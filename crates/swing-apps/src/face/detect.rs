@@ -1,0 +1,229 @@
+//! Face detection: integral-image sliding window with Haar-like tests.
+//!
+//! Plays the role of OpenCV's `CascadeClassifier` in the paper's app: a
+//! dense scan whose cost is proportional to the frame area — the
+//! compute-heavy stage that makes the app too slow for one device.
+
+use crate::face::frame::{FRAME_H, FRAME_W};
+use crate::face::gallery::FACE_SIZE;
+
+/// A detected face candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Detection {
+    /// Top-left corner x.
+    pub x: usize,
+    /// Top-left corner y.
+    pub y: usize,
+    /// Detection score (higher = more face-like), fixed-point.
+    pub score: i64,
+}
+
+/// Detector tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Window stride in pixels; 1 scans densely, larger is faster.
+    pub stride: usize,
+    /// Minimum center-minus-surround contrast to accept, per pixel.
+    pub min_contrast: i64,
+    /// Minimum eye-band darkness relative to the cheeks, per pixel.
+    pub min_eye_drop: i64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            stride: 2,
+            min_contrast: 20,
+            min_eye_drop: 5,
+        }
+    }
+}
+
+/// Summed-area table over an 8-bit image.
+#[derive(Debug)]
+struct Integral {
+    w: usize,
+    /// (w+1) × (h+1) inclusive-prefix sums.
+    sums: Vec<i64>,
+}
+
+impl Integral {
+    fn new(pixels: &[u8], w: usize, h: usize) -> Self {
+        let mut sums = vec![0i64; (w + 1) * (h + 1)];
+        for y in 0..h {
+            let mut row = 0i64;
+            for x in 0..w {
+                row += pixels[y * w + x] as i64;
+                sums[(y + 1) * (w + 1) + (x + 1)] = sums[y * (w + 1) + (x + 1)] + row;
+            }
+        }
+        Integral { w, sums }
+    }
+
+    /// Sum of the rectangle `[x0, x1) × [y0, y1)`.
+    fn rect(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> i64 {
+        let w1 = self.w + 1;
+        self.sums[y1 * w1 + x1] + self.sums[y0 * w1 + x0]
+            - self.sums[y0 * w1 + x1]
+            - self.sums[y1 * w1 + x0]
+    }
+}
+
+/// Scan a frame for face-like windows.
+///
+/// Overlapping hits are suppressed: of any cluster of nearby windows the
+/// best-scoring one survives (non-maximum suppression).
+#[must_use]
+pub fn detect_faces(pixels: &[u8], config: &DetectorConfig) -> Vec<Detection> {
+    detect_in(pixels, FRAME_W, FRAME_H, config)
+}
+
+/// Like [`detect_faces`] for arbitrary image dimensions.
+#[must_use]
+pub fn detect_in(
+    pixels: &[u8],
+    w: usize,
+    h: usize,
+    config: &DetectorConfig,
+) -> Vec<Detection> {
+    assert_eq!(pixels.len(), w * h, "pixel buffer does not match dimensions");
+    if w < FACE_SIZE || h < FACE_SIZE {
+        return Vec::new();
+    }
+    let integral = Integral::new(pixels, w, h);
+    let stride = config.stride.max(1);
+    let mut hits: Vec<Detection> = Vec::new();
+    let inner = FACE_SIZE as i64 * FACE_SIZE as i64 / 4;
+
+    for y in (0..=h - FACE_SIZE).step_by(stride) {
+        for x in (0..=w - FACE_SIZE).step_by(stride) {
+            // Haar test 1: center quarter brighter than the full window
+            // mean (bright oval on dark surround).
+            let q = FACE_SIZE / 4;
+            let center = integral.rect(x + q, y + q, x + FACE_SIZE - q, y + FACE_SIZE - q);
+            let whole = integral.rect(x, y, x + FACE_SIZE, y + FACE_SIZE);
+            let center_n = (FACE_SIZE - 2 * q) as i64 * (FACE_SIZE - 2 * q) as i64;
+            let whole_n = FACE_SIZE as i64 * FACE_SIZE as i64;
+            let contrast = center * whole_n / center_n - whole;
+            let contrast_per_px = contrast / whole_n;
+            if contrast_per_px < config.min_contrast {
+                continue;
+            }
+            // Haar test 2: the eye band (upper third) is darker than the
+            // cheek band just below it.
+            let ey = y + FACE_SIZE / 3;
+            let band_h = 2;
+            let eyes = integral.rect(x + 3, ey, x + FACE_SIZE - 3, ey + band_h);
+            let cheeks = integral.rect(x + 3, ey + band_h + 1, x + FACE_SIZE - 3, ey + 2 * band_h + 1);
+            let band_n = (FACE_SIZE - 6) as i64 * band_h as i64;
+            let eye_drop = (cheeks - eyes) / band_n;
+            if eye_drop < config.min_eye_drop {
+                continue;
+            }
+            hits.push(Detection {
+                x,
+                y,
+                score: contrast_per_px * inner + eye_drop,
+            });
+        }
+    }
+    non_max_suppress(hits)
+}
+
+/// Keep the best-scoring detection of each overlapping cluster.
+fn non_max_suppress(mut hits: Vec<Detection>) -> Vec<Detection> {
+    hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.x.cmp(&b.x)).then(a.y.cmp(&b.y)));
+    let mut kept: Vec<Detection> = Vec::new();
+    for h in hits {
+        let overlaps = kept.iter().any(|k| {
+            let dx = (h.x as i64 - k.x as i64).abs();
+            let dy = (h.y as i64 - k.y as i64).abs();
+            dx < FACE_SIZE as i64 / 2 && dy < FACE_SIZE as i64 / 2
+        });
+        if !overlaps {
+            kept.push(h);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::face::frame::FrameGenerator;
+    use crate::face::gallery::Gallery;
+
+    #[test]
+    fn detects_planted_faces_near_their_location() {
+        let mut gen = FrameGenerator::new(Gallery::standard(), 11);
+        gen.set_face_prob(1.0);
+        let mut found = 0;
+        let n = 50;
+        for _ in 0..n {
+            let scene = gen.next_scene();
+            let dets = detect_faces(&scene.pixels, &DetectorConfig::default());
+            let (_, fx, fy) = scene.faces[0];
+            if dets.iter().any(|d| {
+                (d.x as i64 - fx as i64).abs() <= 4 && (d.y as i64 - fy as i64).abs() <= 4
+            }) {
+                found += 1;
+            }
+        }
+        assert!(found >= n * 8 / 10, "recall {found}/{n}");
+    }
+
+    #[test]
+    fn mostly_quiet_on_empty_frames() {
+        let mut gen = FrameGenerator::new(Gallery::standard(), 13);
+        gen.set_face_prob(0.0);
+        let mut false_hits = 0;
+        let n = 50;
+        for _ in 0..n {
+            let scene = gen.next_scene();
+            false_hits += detect_faces(&scene.pixels, &DetectorConfig::default()).len();
+        }
+        assert!(false_hits <= n / 5, "{false_hits} false positives in {n} frames");
+    }
+
+    #[test]
+    fn integral_image_sums_match_naive() {
+        let pixels: Vec<u8> = (0..FRAME_W * FRAME_H).map(|i| (i % 251) as u8).collect();
+        let integral = Integral::new(&pixels, FRAME_W, FRAME_H);
+        let mut naive = 0i64;
+        for y in 10..30 {
+            for x in 5..25 {
+                naive += pixels[y * FRAME_W + x] as i64;
+            }
+        }
+        assert_eq!(integral.rect(5, 10, 25, 30), naive);
+        // Degenerate rectangles sum to zero.
+        assert_eq!(integral.rect(5, 10, 5, 30), 0);
+        assert_eq!(integral.rect(0, 0, 0, 0), 0);
+    }
+
+    #[test]
+    fn suppression_keeps_best_of_cluster() {
+        let hits = vec![
+            Detection { x: 10, y: 10, score: 5 },
+            Detection { x: 12, y: 11, score: 9 },
+            Detection { x: 50, y: 30, score: 3 },
+        ];
+        let kept = non_max_suppress(hits);
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().any(|d| d.x == 12 && d.score == 9));
+        assert!(kept.iter().any(|d| d.x == 50));
+    }
+
+    #[test]
+    fn tiny_images_yield_nothing() {
+        let img = vec![128u8; 10 * 10];
+        assert!(detect_in(&img, 10, 10, &DetectorConfig::default()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn mismatched_buffer_panics() {
+        let img = vec![0u8; 10];
+        let _ = detect_in(&img, 100, 60, &DetectorConfig::default());
+    }
+}

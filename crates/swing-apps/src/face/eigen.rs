@@ -1,0 +1,344 @@
+//! Eigenfaces: PCA-subspace face recognition.
+//!
+//! OpenCV's default `FaceRecognizer` — the one the paper's app uses — is
+//! the classic eigenfaces method: project mean-centered face patches
+//! onto the top principal components of the training set and classify
+//! by nearest neighbour in that subspace. This module implements it
+//! from scratch: covariance in the (small) sample space, power-iteration
+//! eigendecomposition with deflation, projection and matching.
+
+use crate::face::gallery::{Gallery, FACE_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = FACE_SIZE * FACE_SIZE;
+
+/// A trained eigenface subspace.
+#[derive(Debug, Clone)]
+pub struct EigenSpace {
+    /// Mean face, length `DIM`.
+    mean: Vec<f64>,
+    /// Orthonormal basis vectors (row-major), each length `DIM`.
+    components: Vec<Vec<f64>>,
+    /// Projected gallery templates: `(person id, coefficients)`.
+    gallery_coords: Vec<(usize, Vec<f64>)>,
+    names: Vec<String>,
+}
+
+impl EigenSpace {
+    /// Train a subspace of `n_components` from the gallery.
+    ///
+    /// Training samples are the gallery templates plus `jitter_per_face`
+    /// noisy copies of each (mimicking a real enrollment set). Uses the
+    /// Turk–Pentland trick: eigenvectors of the small `n×n` sample Gram
+    /// matrix, lifted back to pixel space.
+    ///
+    /// # Panics
+    /// Panics if `n_components` is zero or exceeds the sample count.
+    #[must_use]
+    pub fn train(gallery: &Gallery, n_components: usize, jitter_per_face: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(0xE16E);
+        let mut samples: Vec<(usize, Vec<f64>)> = Vec::new();
+        for person in 0..gallery.len() {
+            let base: Vec<f64> = gallery.face(person).iter().map(|&p| p as f64).collect();
+            samples.push((person, base.clone()));
+            for _ in 0..jitter_per_face {
+                let noisy: Vec<f64> = base
+                    .iter()
+                    .map(|&v| (v + rng.random_range(-8.0..8.0)).clamp(0.0, 255.0))
+                    .collect();
+                samples.push((person, noisy));
+            }
+        }
+        let n = samples.len();
+        assert!(
+            n_components > 0 && n_components <= n,
+            "need 1..={n} components, asked for {n_components}"
+        );
+
+        // Mean face and centered samples.
+        let mut mean = vec![0.0f64; DIM];
+        for (_, s) in &samples {
+            for (m, &v) in mean.iter_mut().zip(s) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let centered: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|(_, s)| s.iter().zip(&mean).map(|(&v, &m)| v - m).collect())
+            .collect();
+
+        // Gram matrix G = A^T A (n×n), then power iteration + deflation.
+        let mut gram = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in i..n {
+                let dot: f64 = centered[i].iter().zip(&centered[j]).map(|(a, b)| a * b).sum();
+                gram[i][j] = dot;
+                gram[j][i] = dot;
+            }
+        }
+        let mut components = Vec::with_capacity(n_components);
+        let mut deflated = gram;
+        for k in 0..n_components {
+            let Some((eval, evec)) = dominant_eigen(&deflated, 300, 1e-10) else {
+                break; // rank exhausted
+            };
+            if eval <= 1e-6 {
+                break;
+            }
+            // Lift: u = A v, normalize.
+            let mut u = vec![0.0f64; DIM];
+            for (i, &w) in evec.iter().enumerate() {
+                for (x, &c) in u.iter_mut().zip(&centered[i]) {
+                    *x += w * c;
+                }
+            }
+            let norm = u.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-9 {
+                break;
+            }
+            for x in &mut u {
+                *x /= norm;
+            }
+            components.push(u);
+            // Deflate: G <- G - λ v v^T.
+            for i in 0..n {
+                for j in 0..n {
+                    deflated[i][j] -= eval * evec[i] * evec[j];
+                }
+            }
+            let _ = k;
+        }
+
+        let names = (0..gallery.len()).map(|i| gallery.name(i).to_owned()).collect();
+        let mut space = EigenSpace {
+            mean,
+            components,
+            gallery_coords: Vec::new(),
+            names,
+        };
+        space.gallery_coords = (0..gallery.len())
+            .map(|person| {
+                let coords = space.project_u8(gallery.face(person));
+                (person, coords)
+            })
+            .collect();
+        space
+    }
+
+    /// Number of components actually retained.
+    #[must_use]
+    pub fn n_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Project an 8-bit patch into the subspace.
+    ///
+    /// # Panics
+    /// Panics if the patch is not `FACE_SIZE²` pixels.
+    #[must_use]
+    pub fn project_u8(&self, patch: &[u8]) -> Vec<f64> {
+        assert_eq!(patch.len(), DIM, "patch must be {FACE_SIZE}x{FACE_SIZE}");
+        let centered: Vec<f64> = patch
+            .iter()
+            .zip(&self.mean)
+            .map(|(&p, &m)| p as f64 - m)
+            .collect();
+        self.components
+            .iter()
+            .map(|c| c.iter().zip(&centered).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Reconstruction error of a patch from its projection (distance to
+    /// face space) — high for non-faces.
+    #[must_use]
+    pub fn distance_from_face_space(&self, patch: &[u8]) -> f64 {
+        let coords = self.project_u8(patch);
+        let centered: Vec<f64> = patch
+            .iter()
+            .zip(&self.mean)
+            .map(|(&p, &m)| p as f64 - m)
+            .collect();
+        let mut recon = vec![0.0f64; DIM];
+        for (c, comp) in coords.iter().zip(&self.components) {
+            for (r, &v) in recon.iter_mut().zip(comp) {
+                *r += c * v;
+            }
+        }
+        centered
+            .iter()
+            .zip(&recon)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Classify a patch: nearest gallery template in subspace
+    /// coordinates. Returns `(person, name, distance)`.
+    #[must_use]
+    pub fn classify(&self, patch: &[u8]) -> Option<(usize, &str, f64)> {
+        let coords = self.project_u8(patch);
+        let mut best: Option<(usize, f64)> = None;
+        for (person, g) in &self.gallery_coords {
+            let d: f64 = coords
+                .iter()
+                .zip(g)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                best = Some((*person, d));
+            }
+        }
+        best.map(|(p, d)| (p, self.names[p].as_str(), d))
+    }
+}
+
+/// Dominant eigenpair of a symmetric matrix by power iteration.
+fn dominant_eigen(m: &[Vec<f64>], max_iter: usize, tol: f64) -> Option<(f64, Vec<f64>)> {
+    let n = m.len();
+    if n == 0 {
+        return None;
+    }
+    // Deterministic pseudo-random start avoids unlucky orthogonality.
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.618_034).fract()).collect();
+    let mut eval = 0.0;
+    for _ in 0..max_iter {
+        let mut next = vec![0.0f64; n];
+        for (i, row) in m.iter().enumerate() {
+            next[i] = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+        }
+        let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            return None;
+        }
+        for x in &mut next {
+            *x /= norm;
+        }
+        let new_eval = norm;
+        let delta = (new_eval - eval).abs();
+        eval = new_eval;
+        v = next;
+        if delta < tol * eval.max(1.0) {
+            break;
+        }
+    }
+    Some((eval, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::face::frame::{FrameGenerator, FRAME_W};
+    use crate::face::detect::{detect_faces, DetectorConfig};
+
+    fn space() -> EigenSpace {
+        EigenSpace::train(&Gallery::standard(), 12, 3)
+    }
+
+    #[test]
+    fn training_retains_requested_components() {
+        let s = space();
+        assert!(s.n_components() >= 8, "only {} components", s.n_components());
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let s = space();
+        for i in 0..s.components.len() {
+            let ni: f64 = s.components[i].iter().map(|x| x * x).sum();
+            assert!((ni - 1.0).abs() < 1e-6, "component {i} norm {ni}");
+            for j in (i + 1)..s.components.len() {
+                let dot: f64 = s.components[i]
+                    .iter()
+                    .zip(&s.components[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                assert!(dot.abs() < 1e-3, "components {i},{j} dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn classifies_exact_templates_perfectly() {
+        let g = Gallery::standard();
+        let s = EigenSpace::train(&g, 12, 3);
+        for person in 0..g.len() {
+            let (got, name, d) = s.classify(g.face(person)).unwrap();
+            assert_eq!(got, person, "template {person} classified as {name}");
+            assert!(d < 40.0, "self-distance {d}");
+        }
+    }
+
+    #[test]
+    fn classifies_noisy_detected_faces_in_frames() {
+        let g = Gallery::standard();
+        let s = EigenSpace::train(&g, 12, 3);
+        let mut gen = FrameGenerator::new(g, 31);
+        gen.set_face_prob(1.0);
+        let mut correct = 0;
+        let mut attempts = 0;
+        for _ in 0..40 {
+            let scene = gen.next_scene();
+            let (truth, fx, fy) = scene.faces[0];
+            // Use the ground-truth-aligned patch (alignment is the
+            // detector's job, tested elsewhere).
+            let dets = detect_faces(&scene.pixels, &DetectorConfig::default());
+            if !dets
+                .iter()
+                .any(|d| (d.x as i64 - fx as i64).abs() <= 4 && (d.y as i64 - fy as i64).abs() <= 4)
+            {
+                continue;
+            }
+            let mut patch = Vec::with_capacity(DIM);
+            for dy in 0..FACE_SIZE {
+                let row = (fy + dy) * FRAME_W + fx;
+                patch.extend_from_slice(&scene.pixels[row..row + FACE_SIZE]);
+            }
+            attempts += 1;
+            if let Some((got, _, _)) = s.classify(&patch) {
+                if got == truth {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(attempts >= 25, "too few attempts ({attempts})");
+        assert!(
+            correct * 10 >= attempts * 8,
+            "eigenface accuracy {correct}/{attempts}"
+        );
+    }
+
+    #[test]
+    fn face_space_distance_separates_faces_from_clutter() {
+        let g = Gallery::standard();
+        let s = EigenSpace::train(&g, 12, 3);
+        let face_d = s.distance_from_face_space(g.face(0));
+        // Structured non-face clutter: a diagonal gradient.
+        let clutter: Vec<u8> = (0..DIM).map(|i| ((i % FACE_SIZE) * 12) as u8).collect();
+        let clutter_d = s.distance_from_face_space(&clutter);
+        assert!(
+            clutter_d > 3.0 * face_d,
+            "face {face_d:.0} vs clutter {clutter_d:.0}"
+        );
+    }
+
+    #[test]
+    fn projection_is_deterministic() {
+        let g = Gallery::standard();
+        let a = EigenSpace::train(&g, 8, 2);
+        let b = EigenSpace::train(&g, 8, 2);
+        assert_eq!(a.project_u8(g.face(1)), b.project_u8(g.face(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "patch must be")]
+    fn wrong_patch_size_panics() {
+        let s = EigenSpace::train(&Gallery::standard(), 4, 1);
+        let _ = s.project_u8(&[0u8; 10]);
+    }
+}

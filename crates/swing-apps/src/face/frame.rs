@@ -1,0 +1,168 @@
+//! Synthetic camera: renders grayscale frames with planted faces.
+
+use crate::face::gallery::{Gallery, FACE_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Frame width in pixels.
+pub const FRAME_W: usize = 100;
+/// Frame height in pixels.
+pub const FRAME_H: usize = 60;
+/// Bytes per frame — matches the paper's 6.0 kB video frames.
+pub const FRAME_BYTES: usize = FRAME_W * FRAME_H;
+
+/// Ground truth for one rendered frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scene {
+    /// The rendered 8-bit grayscale pixels, row-major.
+    pub pixels: Vec<u8>,
+    /// Planted faces: `(gallery person id, x, y)` of each face's top-left
+    /// corner.
+    pub faces: Vec<(usize, usize, usize)>,
+}
+
+/// Deterministic frame stream with planted faces.
+#[derive(Debug)]
+pub struct FrameGenerator {
+    gallery: Gallery,
+    rng: StdRng,
+    /// Probability that a frame contains a face.
+    face_prob: f64,
+}
+
+impl FrameGenerator {
+    /// A generator over the given gallery, seeded for reproducibility.
+    #[must_use]
+    pub fn new(gallery: Gallery, seed: u64) -> Self {
+        FrameGenerator {
+            gallery,
+            rng: StdRng::seed_from_u64(seed),
+            face_prob: 0.8,
+        }
+    }
+
+    /// Set the probability that a frame contains a face (default 0.8).
+    pub fn set_face_prob(&mut self, p: f64) {
+        self.face_prob = p.clamp(0.0, 1.0);
+    }
+
+    /// The gallery faces are drawn from.
+    #[must_use]
+    pub fn gallery(&self) -> &Gallery {
+        &self.gallery
+    }
+
+    /// Render the next frame.
+    pub fn next_scene(&mut self) -> Scene {
+        let mut pixels = vec![0u8; FRAME_BYTES];
+        // Textured background: smooth horizontal gradient + blocky
+        // clutter + per-pixel noise. Keeps the detector honest.
+        let base: u8 = self.rng.random_range(40..90);
+        for y in 0..FRAME_H {
+            for x in 0..FRAME_W {
+                let grad = (x * 30 / FRAME_W) as u8;
+                pixels[y * FRAME_W + x] = base.saturating_add(grad);
+            }
+        }
+        for _ in 0..6 {
+            let bx = self.rng.random_range(0..FRAME_W);
+            let by = self.rng.random_range(0..FRAME_H);
+            let bw = self.rng.random_range(4..18).min(FRAME_W - bx);
+            let bh = self.rng.random_range(4..12).min(FRAME_H - by);
+            let shade: i16 = self.rng.random_range(-25..25);
+            for y in by..by + bh {
+                for x in bx..bx + bw {
+                    let p = &mut pixels[y * FRAME_W + x];
+                    *p = (*p as i16 + shade).clamp(0, 255) as u8;
+                }
+            }
+        }
+        for p in &mut pixels {
+            let noise: i16 = self.rng.random_range(-8..8);
+            *p = (*p as i16 + noise).clamp(0, 255) as u8;
+        }
+
+        let mut faces = Vec::new();
+        if self.rng.random_range(0.0..1.0) < self.face_prob {
+            let person = self.rng.random_range(0..self.gallery.len());
+            let x = self.rng.random_range(0..FRAME_W - FACE_SIZE);
+            let y = self.rng.random_range(0..FRAME_H - FACE_SIZE);
+            self.stamp_face(&mut pixels, person, x, y);
+            faces.push((person, x, y));
+        }
+        Scene { pixels, faces }
+    }
+
+    fn stamp_face(&mut self, pixels: &mut [u8], person: usize, x0: usize, y0: usize) {
+        let face = self.gallery.face(person);
+        for dy in 0..FACE_SIZE {
+            for dx in 0..FACE_SIZE {
+                let v = face[dy * FACE_SIZE + dx];
+                let noise: i16 = self.rng.random_range(-5..5);
+                pixels[(y0 + dy) * FRAME_W + (x0 + dx)] =
+                    (v as i16 + noise).clamp(0, 255) as u8;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_paper_sized() {
+        let mut g = FrameGenerator::new(Gallery::standard(), 1);
+        let scene = g.next_scene();
+        assert_eq!(scene.pixels.len(), 6_000);
+        assert_eq!(FRAME_BYTES, 6_000);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = FrameGenerator::new(Gallery::standard(), 7);
+        let mut b = FrameGenerator::new(Gallery::standard(), 7);
+        for _ in 0..5 {
+            assert_eq!(a.next_scene(), b.next_scene());
+        }
+        let mut c = FrameGenerator::new(Gallery::standard(), 8);
+        assert_ne!(a.next_scene(), c.next_scene());
+    }
+
+    #[test]
+    fn face_probability_controls_planting() {
+        let mut g = FrameGenerator::new(Gallery::standard(), 3);
+        g.set_face_prob(0.0);
+        for _ in 0..20 {
+            assert!(g.next_scene().faces.is_empty());
+        }
+        g.set_face_prob(1.0);
+        for _ in 0..20 {
+            let s = g.next_scene();
+            assert_eq!(s.faces.len(), 1);
+            let (_, x, y) = s.faces[0];
+            assert!(x + FACE_SIZE <= FRAME_W && y + FACE_SIZE <= FRAME_H);
+        }
+    }
+
+    #[test]
+    fn planted_face_region_matches_gallery_pattern() {
+        let mut g = FrameGenerator::new(Gallery::standard(), 5);
+        g.set_face_prob(1.0);
+        let s = g.next_scene();
+        let (person, x0, y0) = s.faces[0];
+        let template = g.gallery().face(person).to_vec();
+        // Mean absolute difference between planted region and template
+        // is bounded by the stamping noise.
+        let mut sum = 0i64;
+        for dy in 0..FACE_SIZE {
+            for dx in 0..FACE_SIZE {
+                let a = s.pixels[(y0 + dy) * FRAME_W + (x0 + dx)] as i64;
+                let b = template[dy * FACE_SIZE + dx] as i64;
+                sum += (a - b).abs();
+            }
+        }
+        let mad = sum as f64 / (FACE_SIZE * FACE_SIZE) as f64;
+        assert!(mad < 6.0, "mean abs diff {mad}");
+    }
+}

@@ -1,0 +1,163 @@
+//! The face gallery: deterministic synthetic identities.
+//!
+//! Each "person" is a 20×20 grayscale template with the canonical face
+//! signature the detector looks for — a bright oval on a darker
+//! surround with a dark eye band — plus person-specific structure
+//! (eye spacing, mouth shape, brightness texture) that the recognizer
+//! distinguishes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Side length of a face patch in pixels.
+pub const FACE_SIZE: usize = 20;
+
+/// A set of known identities with their templates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gallery {
+    faces: Vec<Vec<u8>>,
+    names: Vec<String>,
+}
+
+impl Gallery {
+    /// The standard 8-person gallery used across tests and examples.
+    #[must_use]
+    pub fn standard() -> Self {
+        Gallery::generate(8, 0xFACE)
+    }
+
+    /// Generate `n` synthetic identities from a seed.
+    #[must_use]
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut faces = Vec::with_capacity(n);
+        let mut names = Vec::with_capacity(n);
+        for i in 0..n {
+            faces.push(render_face(&mut rng));
+            names.push(format!("person-{i}"));
+        }
+        Gallery { faces, names }
+    }
+
+    /// Number of identities.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faces.len()
+    }
+
+    /// Whether the gallery is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faces.is_empty()
+    }
+
+    /// The template of person `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn face(&self, id: usize) -> &[u8] {
+        &self.faces[id]
+    }
+
+    /// The name of person `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn name(&self, id: usize) -> &str {
+        &self.names[id]
+    }
+}
+
+/// Render one identity: shared face geometry + individual variation.
+fn render_face(rng: &mut StdRng) -> Vec<u8> {
+    let mut face = vec![0u8; FACE_SIZE * FACE_SIZE];
+    let skin: u8 = rng.random_range(150..200);
+    let cx = FACE_SIZE as f64 / 2.0;
+    let cy = FACE_SIZE as f64 / 2.0;
+    // Oval head on dark surround.
+    for y in 0..FACE_SIZE {
+        for x in 0..FACE_SIZE {
+            let dx = (x as f64 - cx) / (FACE_SIZE as f64 * 0.45);
+            let dy = (y as f64 - cy) / (FACE_SIZE as f64 * 0.5);
+            face[y * FACE_SIZE + x] = if dx * dx + dy * dy <= 1.0 { skin } else { 30 };
+        }
+    }
+    // Person-specific eye band: spacing and depth vary.
+    let eye_y = FACE_SIZE / 3;
+    let eye_gap = rng.random_range(3..7);
+    let eye_dark: u8 = rng.random_range(20..70);
+    for ex in [FACE_SIZE / 2 - eye_gap, FACE_SIZE / 2 + eye_gap - 2] {
+        for dy in 0..2 {
+            for dx in 0..2 {
+                face[(eye_y + dy) * FACE_SIZE + ex + dx] = eye_dark;
+            }
+        }
+    }
+    // Mouth: width and vertical position vary.
+    let mouth_y = FACE_SIZE * 2 / 3 + rng.random_range(0..3);
+    let mouth_w = rng.random_range(4..9);
+    let mouth_x = FACE_SIZE / 2 - mouth_w / 2;
+    for dx in 0..mouth_w {
+        face[mouth_y * FACE_SIZE + mouth_x + dx] = 60;
+    }
+    // Individual texture over the skin area.
+    for p in face.iter_mut() {
+        if *p >= 120 {
+            let t: i16 = rng.random_range(-12..12);
+            *p = (*p as i16 + t).clamp(0, 255) as u8;
+        }
+    }
+    face
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_gallery_has_eight_people() {
+        let g = Gallery::standard();
+        assert_eq!(g.len(), 8);
+        assert!(!g.is_empty());
+        assert_eq!(g.name(3), "person-3");
+        assert_eq!(g.face(0).len(), FACE_SIZE * FACE_SIZE);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(Gallery::generate(4, 9), Gallery::generate(4, 9));
+        assert_ne!(Gallery::generate(4, 9), Gallery::generate(4, 10));
+    }
+
+    #[test]
+    fn identities_are_distinct() {
+        let g = Gallery::standard();
+        for i in 0..g.len() {
+            for j in (i + 1)..g.len() {
+                let diff: i64 = g
+                    .face(i)
+                    .iter()
+                    .zip(g.face(j))
+                    .map(|(&a, &b)| (a as i64 - b as i64).abs())
+                    .sum();
+                assert!(
+                    diff > 1_000,
+                    "faces {i} and {j} are nearly identical (diff {diff})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faces_have_bright_center_dark_surround() {
+        let g = Gallery::standard();
+        for i in 0..g.len() {
+            let f = g.face(i);
+            let center = f[(FACE_SIZE / 2) * FACE_SIZE + FACE_SIZE / 2] as i64;
+            let corner = f[0] as i64;
+            assert!(center > corner + 50, "face {i}: center {center} corner {corner}");
+        }
+    }
+}

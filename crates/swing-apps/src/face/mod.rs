@@ -1,0 +1,62 @@
+//! The face-recognition sensing app (paper §VI-A).
+//!
+//! Four function units, exactly as the paper splits them: "reading video
+//! frames from files (source), detecting faces from frames (detector),
+//! matching faces with databases and return results (recognizer), and
+//! displaying results (sink). The size of each video frame is
+//! 400×226 pixels (6.0 kB)."
+//!
+//! Our synthetic camera renders 100×60 8-bit grayscale frames (6.0 kB,
+//! matching the paper's *compressed* frame size) containing zero or more
+//! planted faces drawn from a deterministic gallery, over textured
+//! backgrounds with noise. The detector slides a window over an integral
+//! image looking for the face signature (bright oval, dark eye band);
+//! the recognizer matches candidate patches against the gallery by
+//! normalized correlation.
+
+mod detect;
+mod eigen;
+mod frame;
+mod gallery;
+mod recognize;
+mod units;
+
+pub use detect::{detect_faces, Detection, DetectorConfig};
+pub use eigen::EigenSpace;
+pub use frame::{FrameGenerator, Scene, FRAME_BYTES, FRAME_H, FRAME_W};
+pub use gallery::{Gallery, FACE_SIZE};
+pub use recognize::{recognize, Recognition, Recognizer};
+pub use units::{
+    install, DetectUnit, DisplaySink, FaceAppConfig, FrameSource, RecognitionMethod,
+    RecognizeUnit, STAGE_DETECT, STAGE_DISPLAY, STAGE_RECOGNIZE, STAGE_SOURCE,
+};
+
+use swing_core::graph::AppGraph;
+
+/// Build the paper's four-stage face-recognition dataflow graph.
+#[must_use]
+pub fn app_graph() -> AppGraph {
+    let mut g = AppGraph::new("face-recognition");
+    let src = g.add_source(STAGE_SOURCE);
+    let det = g.add_operator(STAGE_DETECT);
+    let rec = g.add_operator(STAGE_RECOGNIZE);
+    let dsp = g.add_sink(STAGE_DISPLAY);
+    g.connect(src, det).expect("valid edge");
+    g.connect(det, rec).expect("valid edge");
+    g.connect(rec, dsp).expect("valid edge");
+    g.set_target_rate(24.0);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_graph_is_valid_and_four_staged() {
+        let g = app_graph();
+        g.validate().unwrap();
+        assert_eq!(g.stage_count(), 4);
+        assert_eq!(g.target_rate(), Some(24.0));
+    }
+}

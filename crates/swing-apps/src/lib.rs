@@ -1,0 +1,33 @@
+//! # swing-apps
+//!
+//! The two reference sensing applications the paper evaluates (§VI-A),
+//! implemented with real CPU-bound kernels over real byte streams:
+//!
+//! * [`face`] — face recognition: a synthetic camera produces ~6.0 kB
+//!   grayscale frames containing planted faces; an integral-image
+//!   sliding-window detector finds them; an eigenface-style
+//!   nearest-neighbour matcher names them.
+//! * [`voice`] — voice translation: a synthetic microphone produces
+//!   72.0 kB audio frames encoding English word sequences as tone
+//!   chords; a Goertzel-filterbank recognizer decodes the words; a
+//!   rule-based dictionary translates them to Spanish.
+//!
+//! The paper uses OpenCV cascades and PocketSphinx + Apertium; those
+//! stacks are not available here, so these kernels substitute compute
+//! with the same *shape*: per-frame costs dominated by image/signal
+//! processing, results that are checkably correct, and a clean split
+//! into the function units the paper names (source → detect/recognize →
+//! translate → sink).
+//!
+//! Each app module exposes pure kernels, [`FunctionUnit`]
+//! implementations, and an `install` helper that registers the units in
+//! a runtime [`UnitRegistry`].
+//!
+//! [`FunctionUnit`]: swing_core::unit::FunctionUnit
+//! [`UnitRegistry`]: swing_runtime::registry::UnitRegistry
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod face;
+pub mod voice;

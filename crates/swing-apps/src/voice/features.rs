@@ -1,0 +1,103 @@
+//! Feature extraction: a Goertzel filterbank over short windows —
+//! the compute core of the recognizer (PocketSphinx's role of turning
+//! audio into per-frame acoustic scores).
+
+use crate::voice::signal::SAMPLE_RATE_HZ;
+
+/// Samples per analysis window (25 ms at 8 kHz).
+pub const WINDOW_SAMPLES: usize = 200;
+
+/// Power of one frequency in a sample window (Goertzel algorithm).
+#[must_use]
+pub fn goertzel_power(samples: &[i16], freq_hz: f64) -> f64 {
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let k = (0.5 + n as f64 * freq_hz / SAMPLE_RATE_HZ as f64).floor();
+    let omega = 2.0 * std::f64::consts::PI * k / n as f64;
+    let coeff = 2.0 * omega.cos();
+    let mut s0;
+    let mut s1 = 0.0f64;
+    let mut s2 = 0.0f64;
+    for &x in samples {
+        s0 = x as f64 + coeff * s1 - s2;
+        s2 = s1;
+        s1 = s0;
+    }
+    let power = s1 * s1 + s2 * s2 - coeff * s1 * s2;
+    power / (n as f64 * n as f64)
+}
+
+/// Per-window power of each candidate frequency.
+///
+/// Returns one row per window; row `w` holds the power of `freqs[i]` in
+/// window `w`. Windows are non-overlapping, trailing partial windows are
+/// dropped.
+#[must_use]
+pub fn window_energies(samples: &[i16], freqs: &[f64]) -> Vec<Vec<f64>> {
+    samples
+        .chunks_exact(WINDOW_SAMPLES)
+        .map(|w| freqs.iter().map(|&f| goertzel_power(w, f)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, n: usize, amp: f64) -> Vec<i16> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / SAMPLE_RATE_HZ as f64;
+                ((2.0 * std::f64::consts::PI * freq * t).sin() * amp) as i16
+            })
+            .collect()
+    }
+
+    #[test]
+    fn goertzel_finds_the_tone_frequency() {
+        let samples = tone(1_000.0, WINDOW_SAMPLES, 8_000.0);
+        let on = goertzel_power(&samples, 1_000.0);
+        let off = goertzel_power(&samples, 1_640.0);
+        assert!(on > 100.0 * off, "on {on} off {off}");
+    }
+
+    #[test]
+    fn power_scales_with_amplitude() {
+        let quiet = goertzel_power(&tone(900.0, WINDOW_SAMPLES, 1_000.0), 900.0);
+        let loud = goertzel_power(&tone(900.0, WINDOW_SAMPLES, 4_000.0), 900.0);
+        let ratio = loud / quiet;
+        assert!((12.0..20.0).contains(&ratio), "ratio {ratio}"); // ~16x
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        assert_eq!(goertzel_power(&[], 1_000.0), 0.0);
+    }
+
+    #[test]
+    fn window_energies_shape() {
+        let samples = tone(700.0, WINDOW_SAMPLES * 3 + 50, 5_000.0);
+        let rows = window_energies(&samples, &[700.0, 1_500.0]);
+        assert_eq!(rows.len(), 3); // partial window dropped
+        for row in &rows {
+            assert_eq!(row.len(), 2);
+            assert!(row[0] > 10.0 * row[1]);
+        }
+    }
+
+    #[test]
+    fn chord_lights_up_both_frequencies() {
+        let a = tone(800.0, WINDOW_SAMPLES, 4_000.0);
+        let b = tone(2_300.0, WINDOW_SAMPLES, 4_000.0);
+        let chord: Vec<i16> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| x.saturating_add(y))
+            .collect();
+        let rows = window_energies(&chord, &[800.0, 2_300.0, 3_100.0]);
+        assert!(rows[0][0] > 50.0 * rows[0][2]);
+        assert!(rows[0][1] > 50.0 * rows[0][2]);
+    }
+}

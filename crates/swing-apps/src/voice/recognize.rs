@@ -1,0 +1,166 @@
+//! Word recognition: score every vocabulary word per window, then
+//! decode the word sequence with run-length smoothing.
+
+use crate::voice::features::{window_energies, WINDOW_SAMPLES};
+use crate::voice::signal::{pcm_to_samples, Vocabulary, WORD_SAMPLES};
+
+/// Decoder for tone-chord encoded speech.
+#[derive(Debug, Clone)]
+pub struct Recognizer {
+    vocab: Vocabulary,
+    freqs: Vec<f64>,
+}
+
+impl Recognizer {
+    /// Build a recognizer over the vocabulary.
+    #[must_use]
+    pub fn new(vocab: Vocabulary) -> Self {
+        let mut freqs = Vec::with_capacity(vocab.len() * 2);
+        for i in 0..vocab.len() {
+            let (f1, f2) = vocab.freqs(i);
+            freqs.push(f1);
+            freqs.push(f2);
+        }
+        Recognizer { vocab, freqs }
+    }
+
+    /// The vocabulary being decoded.
+    #[must_use]
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Decode an audio frame (16-bit LE PCM) into the spoken words.
+    #[must_use]
+    pub fn decode(&self, pcm: &[u8]) -> Vec<&'static str> {
+        let samples = pcm_to_samples(pcm);
+        let energies = window_energies(&samples, &self.freqs);
+        // Score per window: the word whose chord (f1 AND f2) carries the
+        // most combined energy, gated geometrically so a single loud
+        // frequency cannot win alone.
+        let windows: Vec<Option<usize>> = energies
+            .iter()
+            .map(|row| {
+                let mut best: Option<(usize, f64)> = None;
+                let total: f64 = row.iter().sum::<f64>() + 1e-9;
+                for w in 0..self.vocab.len() {
+                    let p1 = row[2 * w];
+                    let p2 = row[2 * w + 1];
+                    let score = (p1 * p2).sqrt();
+                    if best.map(|(_, s)| score > s).unwrap_or(true) {
+                        best = Some((w, score));
+                    }
+                }
+                // Reject silent / ambiguous windows.
+                best.filter(|&(w, s)| {
+                    let share = (row[2 * w] + row[2 * w + 1]) / total;
+                    s > 50.0 && share > 0.5
+                })
+                .map(|(w, _)| w)
+            })
+            .collect();
+        self.smooth(&windows)
+    }
+
+    /// Collapse per-window votes into words: a word is emitted for every
+    /// run of at least `min_run` consistent windows.
+    fn smooth(&self, windows: &[Option<usize>]) -> Vec<&'static str> {
+        let windows_per_word = WORD_SAMPLES / WINDOW_SAMPLES;
+        let min_run = (windows_per_word / 2).max(2);
+        let mut out = Vec::new();
+        let mut run: Option<(usize, usize)> = None; // (word, length)
+        let flush = |run: &mut Option<(usize, usize)>, out: &mut Vec<&'static str>| {
+            if let Some((w, len)) = run.take() {
+                if len >= min_run {
+                    out.push(self.vocab.word(w));
+                }
+            }
+        };
+        for &vote in windows {
+            match (vote, run) {
+                (Some(w), Some((rw, len))) if w == rw => run = Some((rw, len + 1)),
+                (Some(w), _) => {
+                    flush(&mut run, &mut out);
+                    run = Some((w, 1));
+                }
+                (None, _) => flush(&mut run, &mut out),
+            }
+        }
+        flush(&mut run, &mut out);
+        out
+    }
+}
+
+/// Convenience: decode a frame with a fresh recognizer.
+#[must_use]
+pub fn recognize_words(vocab: &Vocabulary, pcm: &[u8]) -> Vec<&'static str> {
+    Recognizer::new(vocab.clone()).decode(pcm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::voice::signal::AudioGenerator;
+
+    #[test]
+    fn decodes_generated_utterances_exactly() {
+        let vocab = Vocabulary::standard();
+        let recognizer = Recognizer::new(vocab.clone());
+        let mut gen = AudioGenerator::new(vocab, 17);
+        let mut exact = 0;
+        let n = 10;
+        for _ in 0..n {
+            let u = gen.next_utterance();
+            let decoded = recognizer.decode(&u.pcm);
+            // Consecutive repeated words merge into one run; compare
+            // against the deduplicated truth.
+            let mut truth = Vec::new();
+            for &w in &u.words {
+                if truth.last() != Some(&w) {
+                    truth.push(w);
+                }
+            }
+            if decoded == truth {
+                exact += 1;
+            }
+        }
+        assert!(exact >= n - 1, "only {exact}/{n} frames decoded exactly");
+    }
+
+    #[test]
+    fn silence_decodes_to_nothing() {
+        let recognizer = Recognizer::new(Vocabulary::standard());
+        let pcm = vec![0u8; 72_000];
+        assert!(recognizer.decode(&pcm).is_empty());
+    }
+
+    #[test]
+    fn pure_noise_decodes_to_mostly_nothing() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let recognizer = Recognizer::new(Vocabulary::standard());
+        let mut pcm = Vec::with_capacity(72_000);
+        for _ in 0..36_000 {
+            let s: i16 = rng.random_range(-2_000..2_000);
+            pcm.extend_from_slice(&s.to_le_bytes());
+        }
+        let words = recognizer.decode(&pcm);
+        assert!(words.len() <= 2, "noise decoded to {words:?}");
+    }
+
+    #[test]
+    fn truncated_frames_are_handled() {
+        let vocab = Vocabulary::standard();
+        let recognizer = Recognizer::new(vocab.clone());
+        let mut gen = AudioGenerator::new(vocab, 9);
+        let u = gen.next_utterance();
+        // Half a frame decodes to roughly the first half of the words.
+        let words = recognizer.decode(&u.pcm[..u.pcm.len() / 2]);
+        assert!(!words.is_empty());
+        assert!(words.len() <= u.words.len());
+        // Odd byte counts must not panic.
+        let _ = recognizer.decode(&u.pcm[..1001]);
+        let _ = recognizer.decode(&[]);
+    }
+}

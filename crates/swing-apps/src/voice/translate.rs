@@ -1,0 +1,134 @@
+//! Rule-based English→Spanish translation — the Apertium stand-in.
+//!
+//! A word dictionary plus two shallow transfer rules: greeting-phrase
+//! fusion ("good morning" → "buenos días") and polite inversion
+//! ("thank you" → "gracias"). Unknown words pass through marked, the
+//! way rule-based systems surface out-of-vocabulary items.
+
+use std::collections::HashMap;
+
+/// English→Spanish translator.
+#[derive(Debug, Clone)]
+pub struct Translator {
+    dict: HashMap<&'static str, &'static str>,
+    phrases: Vec<(&'static [&'static str], &'static str)>,
+}
+
+impl Default for Translator {
+    fn default() -> Self {
+        Translator::new()
+    }
+}
+
+impl Translator {
+    /// The standard translator covering the app vocabulary.
+    #[must_use]
+    pub fn new() -> Self {
+        let dict: HashMap<&'static str, &'static str> = [
+            ("hello", "hola"),
+            ("good", "bueno"),
+            ("morning", "mañana"),
+            ("where", "dónde"),
+            ("is", "está"),
+            ("the", "el"),
+            ("station", "estación"),
+            ("please", "por favor"),
+            ("thank", "gracias"),
+            ("you", "tú"),
+            ("water", "agua"),
+            ("help", "ayuda"),
+            ("my", "mi"),
+            ("friend", "amigo"),
+            ("today", "hoy"),
+            ("now", "ahora"),
+            ("left", "izquierda"),
+            ("right", "derecha"),
+        ]
+        .into_iter()
+        .collect();
+        let phrases: Vec<(&'static [&'static str], &'static str)> = vec![
+            (&["good", "morning"], "buenos días"),
+            (&["thank", "you"], "gracias"),
+            (&["where", "is", "the"], "dónde está la"),
+        ];
+        Translator { dict, phrases }
+    }
+
+    /// Translate a word sequence.
+    #[must_use]
+    pub fn translate_words(&self, words: &[&str]) -> String {
+        let mut out: Vec<String> = Vec::new();
+        let mut i = 0;
+        'outer: while i < words.len() {
+            // Longest-match phrase rules first.
+            for (pat, replacement) in &self.phrases {
+                if words[i..].len() >= pat.len()
+                    && words[i..i + pat.len()].iter().zip(*pat).all(|(a, b)| a == b)
+                {
+                    out.push((*replacement).to_owned());
+                    i += pat.len();
+                    continue 'outer;
+                }
+            }
+            match self.dict.get(words[i]) {
+                Some(es) => out.push((*es).to_owned()),
+                None => out.push(format!("*{}", words[i])),
+            }
+            i += 1;
+        }
+        out.join(" ")
+    }
+}
+
+/// Convenience: translate with the standard translator.
+#[must_use]
+pub fn translate(words: &[&str]) -> String {
+    Translator::new().translate_words(words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translates_single_words() {
+        assert_eq!(translate(&["water"]), "agua");
+        assert_eq!(translate(&["help", "now"]), "ayuda ahora");
+    }
+
+    #[test]
+    fn phrase_rules_take_precedence() {
+        assert_eq!(translate(&["good", "morning"]), "buenos días");
+        assert_eq!(translate(&["thank", "you", "friend"]), "gracias amigo");
+        assert_eq!(
+            translate(&["where", "is", "the", "station"]),
+            "dónde está la estación"
+        );
+    }
+
+    #[test]
+    fn word_rule_applies_when_phrase_broken() {
+        // "good" alone uses the dictionary, not the phrase rule.
+        assert_eq!(translate(&["good", "friend"]), "bueno amigo");
+        assert_eq!(translate(&["thank"]), "gracias");
+    }
+
+    #[test]
+    fn unknown_words_are_marked() {
+        assert_eq!(translate(&["hello", "zebra"]), "hola *zebra");
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert_eq!(translate(&[]), "");
+    }
+
+    #[test]
+    fn whole_vocabulary_is_covered() {
+        let t = Translator::new();
+        for w in crate::voice::signal::WORDS {
+            let es = t.translate_words(&[w]);
+            assert!(!es.starts_with('*'), "no translation for `{w}`");
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Ablation studies of Swing's design choices. Run with
+//! `cargo bench -p swing-bench --bench ablations`.
+
+fn main() {
+    println!("{}", swing_bench::repro::ablations());
+}

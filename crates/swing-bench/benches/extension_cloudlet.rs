@@ -1,0 +1,6 @@
+//! Extension experiment: cloudlet mode. Run with
+//! `cargo bench -p swing-bench --bench extension_cloudlet`.
+
+fn main() {
+    println!("{}", swing_bench::repro::cloudlet());
+}

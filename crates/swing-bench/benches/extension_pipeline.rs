@@ -1,0 +1,6 @@
+//! Extension experiment: multi-stage pipeline placement. Run with
+//! `cargo bench -p swing-bench --bench extension_pipeline`.
+
+fn main() {
+    println!("{}", swing_bench::repro::pipeline_study());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig10 output. Run with
+//! `cargo bench -p swing-bench --bench fig10_mobility`.
+
+fn main() {
+    println!("{}", swing_bench::repro::fig10());
+}

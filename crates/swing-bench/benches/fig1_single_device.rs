@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig1 output. Run with
+//! `cargo bench -p swing-bench --bench fig1_single_device`.
+
+fn main() {
+    println!("{}", swing_bench::repro::fig1());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig2 output. Run with
+//! `cargo bench -p swing-bench --bench fig2_dynamism`.
+
+fn main() {
+    println!("{}", swing_bench::repro::fig2());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig4 output. Run with
+//! `cargo bench -p swing-bench --bench fig4_policies`.
+
+fn main() {
+    println!("{}", swing_bench::repro::fig4());
+}

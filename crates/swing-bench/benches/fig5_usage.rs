@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig5 output. Run with
+//! `cargo bench -p swing-bench --bench fig5_usage`.
+
+fn main() {
+    println!("{}", swing_bench::repro::fig5());
+}

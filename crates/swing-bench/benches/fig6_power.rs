@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig6 output. Run with
+//! `cargo bench -p swing-bench --bench fig6_power`.
+
+fn main() {
+    println!("{}", swing_bench::repro::fig6());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig7 output. Run with
+//! `cargo bench -p swing-bench --bench fig7_efficiency`.
+
+fn main() {
+    println!("{}", swing_bench::repro::fig7());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig8 output. Run with
+//! `cargo bench -p swing-bench --bench fig8_ordering`.
+
+fn main() {
+    println!("{}", swing_bench::repro::fig8());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig9 output. Run with
+//! `cargo bench -p swing-bench --bench fig9_churn`.
+
+fn main() {
+    println!("{}", swing_bench::repro::fig9());
+}

@@ -1,0 +1,159 @@
+//! Criterion micro-benchmarks of the primitives on Swing's hot paths:
+//! the per-tuple routing decision (the paper stresses LRS "yields fast
+//! low complexity routing decisions per tuple"), worker selection, the
+//! wire format, the reorder buffer, the application kernels, and a full
+//! simulated evaluation run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use swing_apps::face;
+use swing_apps::voice;
+use swing_core::config::ReorderConfig;
+use swing_core::reorder::ReorderBuffer;
+use swing_core::routing::selection::select_workers;
+use swing_core::routing::{Policy, Router, RouterConfig};
+use swing_core::{SeqNo, Tuple, UnitId};
+use swing_device::profile::Workload;
+use swing_net::Message;
+use swing_sim::experiments::evaluation_run;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    for policy in [Policy::Rr, Policy::Lrs] {
+        group.bench_function(format!("route_decision/{policy}"), |b| {
+            let mut router = Router::new(RouterConfig::new(policy), 1);
+            for i in 0..8 {
+                router.add_downstream(UnitId(i), 0);
+            }
+            // Warm the estimator so LRS runs its real weighted path.
+            for i in 0..64u64 {
+                let d = router.route(i * 1_000).unwrap();
+                router.on_send(SeqNo(i), d, i * 1_000);
+                router.on_ack(SeqNo(i), i * 1_000 + 80_000, 60_000);
+            }
+            let mut now = 1_000_000u64;
+            let mut seq = 1_000u64;
+            b.iter(|| {
+                now += 41_666;
+                let dest = router.route(now).unwrap();
+                router.on_send(SeqNo(seq), dest, now);
+                router.on_ack(SeqNo(seq), now + 80_000, 60_000);
+                seq += 1;
+                black_box(dest)
+            });
+        });
+    }
+    group.bench_function("worker_selection/8", |b| {
+        let rates: Vec<(UnitId, f64)> = (0..8)
+            .map(|i| (UnitId(i), 2.0 + i as f64 * 1.7))
+            .collect();
+        b.iter(|| black_box(select_workers(black_box(&rates), 24.0)));
+    });
+    group.bench_function("worker_selection/64", |b| {
+        let rates: Vec<(UnitId, f64)> = (0..64)
+            .map(|i| (UnitId(i), 1.0 + (i as f64 * 13.7) % 19.0))
+            .collect();
+        b.iter(|| black_box(select_workers(black_box(&rates), 100.0)));
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let msg = Message::Data {
+        dest: UnitId(3),
+        from: UnitId(0),
+        tuple: Tuple::with_seq(SeqNo(9)).with("frame", vec![7u8; 6_000]),
+    };
+    group.bench_function("encode_6kB_frame", |b| {
+        b.iter(|| black_box(msg.encode()));
+    });
+    let bytes = msg.encode();
+    group.bench_function("decode_6kB_frame", |b| {
+        b.iter(|| black_box(Message::decode(black_box(&bytes)).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_reorder(c: &mut Criterion) {
+    c.bench_function("reorder/push_shuffled_window", |b| {
+        // Arrivals shuffled within a 8-frame window, like real traces.
+        let order: Vec<u64> = (0..256u64)
+            .map(|i| (i / 8) * 8 + (i * 5 + 3) % 8)
+            .collect();
+        b.iter_batched(
+            || ReorderBuffer::new(ReorderConfig::one_second()),
+            |mut buf| {
+                for (i, &s) in order.iter().enumerate() {
+                    black_box(buf.push(SeqNo(s), s, i as u64 * 1_000));
+                }
+                buf
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(30);
+
+    let mut frame_gen = face::FrameGenerator::new(face::Gallery::standard(), 3);
+    frame_gen.set_face_prob(1.0);
+    let scene = frame_gen.next_scene();
+    let det_cfg = face::DetectorConfig::default();
+    group.bench_function("face_detect_frame", |b| {
+        b.iter(|| black_box(face::detect_faces(black_box(&scene.pixels), &det_cfg)));
+    });
+    let detections = face::detect_faces(&scene.pixels, &det_cfg);
+    let recognizer = face::Recognizer::new(face::Gallery::standard());
+    group.bench_function("face_recognize_frame", |b| {
+        b.iter(|| {
+            black_box(face::recognize(
+                &recognizer,
+                black_box(&scene.pixels),
+                face::FRAME_W,
+                &detections,
+            ))
+        });
+    });
+
+    let mut audio_gen = voice::AudioGenerator::new(voice::Vocabulary::standard(), 3);
+    let utterance = audio_gen.next_utterance();
+    let voice_rec = voice::Recognizer::new(voice::Vocabulary::standard());
+    group.bench_function("voice_decode_72kB_frame", |b| {
+        b.iter(|| black_box(voice_rec.decode(black_box(&utterance.pcm))));
+    });
+    let words = voice_rec.decode(&utterance.pcm);
+    let translator = voice::Translator::new();
+    group.bench_function("voice_translate_sentence", |b| {
+        b.iter(|| black_box(translator.translate_words(black_box(&words))));
+    });
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("evaluation_lrs_face_60s", |b| {
+        b.iter(|| {
+            black_box(evaluation_run(
+                Policy::Lrs,
+                Workload::FaceRecognition,
+                60,
+                7,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_routing,
+    bench_wire,
+    bench_reorder,
+    bench_kernels,
+    bench_simulation
+);
+criterion_main!(benches);

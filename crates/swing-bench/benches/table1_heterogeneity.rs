@@ -1,0 +1,6 @@
+//! Regenerates the paper's table1 output. Run with
+//! `cargo bench -p swing-bench --bench table1_heterogeneity`.
+
+fn main() {
+    println!("{}", swing_bench::repro::table1());
+}

@@ -1,0 +1,161 @@
+//! Configuration for the resource-management layer.
+
+use crate::error::{Error, Result};
+use crate::routing::Policy;
+use crate::SECOND_US;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`Router`](crate::routing::Router) — one per
+/// upstream function unit.
+///
+/// Defaults follow the paper: control information is exchanged "every 1 s
+/// in our implementation" (§V-A), latency is a moving average (§V-B), and
+/// upstreams "switch periodically every few rounds to round robin mode for
+/// a short time" to refresh estimates of unselected downstreams.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Which routing policy to run (LRS, or one of the four baselines).
+    pub policy: Policy,
+    /// Period between rebalancing rounds, microseconds (default 1 s).
+    pub control_period_us: u64,
+    /// Enter probe (round-robin) mode every this many rebalancing rounds.
+    pub probe_every_rounds: u32,
+    /// During a probe, send this many tuples to *each* downstream.
+    pub probe_tuples_per_unit: u32,
+    /// Window length of the per-downstream latency moving average.
+    pub latency_window: usize,
+    /// Optimistic latency assumed for downstreams with no samples yet
+    /// (microseconds). Keeps freshly joined devices attractive until the
+    /// first measurements arrive.
+    pub initial_latency_us: f64,
+    /// Tuples unacknowledged for this long count as lost (microseconds).
+    pub loss_timeout_us: u64,
+    /// Multiplier on the measured input rate Λ when selecting workers;
+    /// 1.0 reproduces the paper's `Σ μ_i ≥ Λ` constraint exactly, larger
+    /// values keep spare capacity.
+    pub headroom: f64,
+    /// Latency/processing samples older than this no longer influence
+    /// the moving averages (microseconds). Links change on the timescale
+    /// of user movement; remembering a bad minute forever would keep a
+    /// recovered device unattractive. Default 10 s.
+    pub sample_max_age_us: u64,
+    /// Floor each latency estimate by the age of the oldest
+    /// unacknowledged in-flight tuple (an RTO-like freshness signal).
+    /// On by default; turning it off reproduces a pure
+    /// moving-average-of-ACKs estimator for ablation studies.
+    pub pending_age_floor: bool,
+}
+
+impl RouterConfig {
+    /// Paper-faithful defaults for the given policy.
+    #[must_use]
+    pub fn new(policy: Policy) -> Self {
+        RouterConfig {
+            policy,
+            control_period_us: SECOND_US,
+            probe_every_rounds: 5,
+            probe_tuples_per_unit: 1,
+            latency_window: 16,
+            initial_latency_us: 100_000.0, // 100 ms
+            loss_timeout_us: 5 * SECOND_US,
+            headroom: 1.0,
+            sample_max_age_us: 10 * SECOND_US,
+            pending_age_floor: true,
+        }
+    }
+
+    /// Validate ranges; call before handing the config to a router.
+    pub fn validate(&self) -> Result<()> {
+        if self.control_period_us == 0 {
+            return Err(Error::InvalidConfig("control period must be positive".into()));
+        }
+        if self.latency_window == 0 {
+            return Err(Error::InvalidConfig("latency window must be non-empty".into()));
+        }
+        if !(self.initial_latency_us > 0.0) {
+            return Err(Error::InvalidConfig(
+                "initial latency estimate must be positive".into(),
+            ));
+        }
+        if !(self.headroom >= 1.0) {
+            return Err(Error::InvalidConfig("headroom must be >= 1.0".into()));
+        }
+        if self.sample_max_age_us == 0 {
+            return Err(Error::InvalidConfig(
+                "sample_max_age_us must be positive".into(),
+            ));
+        }
+        if self.probe_every_rounds == 0 {
+            return Err(Error::InvalidConfig(
+                "probe_every_rounds must be positive (use a large value to disable)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig::new(Policy::Lrs)
+    }
+}
+
+/// Configuration of the sink-side reordering service.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReorderConfig {
+    /// How long a tuple may wait for earlier-sequence stragglers before
+    /// playback skips them. The paper sizes the buffer as a "timespan of
+    /// 1 second" relative to the source data rate (§VI-B).
+    pub span_us: u64,
+}
+
+impl ReorderConfig {
+    /// The paper's 1-second buffer.
+    #[must_use]
+    pub fn one_second() -> Self {
+        ReorderConfig { span_us: SECOND_US }
+    }
+}
+
+impl Default for ReorderConfig {
+    fn default() -> Self {
+        ReorderConfig::one_second()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = RouterConfig::default();
+        assert_eq!(c.policy, Policy::Lrs);
+        assert_eq!(c.control_period_us, SECOND_US);
+        c.validate().unwrap();
+        assert_eq!(ReorderConfig::default().span_us, SECOND_US);
+    }
+
+    #[test]
+    fn validation_rejects_bad_ranges() {
+        let mut c = RouterConfig::default();
+        c.control_period_us = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = RouterConfig::default();
+        c.latency_window = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = RouterConfig::default();
+        c.initial_latency_us = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = RouterConfig::default();
+        c.headroom = 0.5;
+        assert!(c.validate().is_err());
+
+        let mut c = RouterConfig::default();
+        c.probe_every_rounds = 0;
+        assert!(c.validate().is_err());
+    }
+}

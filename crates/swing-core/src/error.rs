@@ -1,0 +1,102 @@
+//! Error type shared by the swing-core APIs.
+
+use crate::UnitId;
+use std::fmt;
+
+/// Convenient result alias used across swing-core.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by graph construction, tuple access and routing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An edge refers to a unit id that is not part of the graph.
+    UnknownUnit(UnitId),
+    /// The same edge was added twice.
+    DuplicateEdge(UnitId, UnitId),
+    /// Connecting these units would create a cycle; Swing graphs are DAGs.
+    CycleDetected(UnitId, UnitId),
+    /// A source unit was given an upstream, or a sink a downstream.
+    InvalidEndpoint(UnitId, &'static str),
+    /// Graph validation failed (message explains which invariant broke).
+    InvalidGraph(String),
+    /// A tuple field with this key does not exist.
+    MissingField(String),
+    /// A tuple field exists but holds a different kind of value.
+    FieldKindMismatch {
+        /// Field key that was accessed.
+        key: String,
+        /// Kind the caller asked for.
+        requested: &'static str,
+        /// Kind actually stored.
+        actual: &'static str,
+    },
+    /// A tuple does not match the schema declared for a unit.
+    SchemaViolation(String),
+    /// The router has no downstream units to send to.
+    NoDownstreams,
+    /// A configuration value is out of its valid range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownUnit(u) => write!(f, "unknown function unit {u}"),
+            Error::DuplicateEdge(a, b) => write!(f, "edge {a} -> {b} already exists"),
+            Error::CycleDetected(a, b) => {
+                write!(f, "edge {a} -> {b} would create a cycle in the dataflow graph")
+            }
+            Error::InvalidEndpoint(u, why) => write!(f, "invalid endpoint {u}: {why}"),
+            Error::InvalidGraph(msg) => write!(f, "invalid application graph: {msg}"),
+            Error::MissingField(k) => write!(f, "tuple has no field `{k}`"),
+            Error::FieldKindMismatch {
+                key,
+                requested,
+                actual,
+            } => write!(
+                f,
+                "tuple field `{key}` holds {actual}, but {requested} was requested"
+            ),
+            Error::SchemaViolation(msg) => write!(f, "tuple violates schema: {msg}"),
+            Error::NoDownstreams => write!(f, "router has no downstream function units"),
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::UnknownUnit(UnitId(3));
+        assert!(e.to_string().contains("u3"));
+
+        let e = Error::FieldKindMismatch {
+            key: "value1".into(),
+            requested: "bytes",
+            actual: "string",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("value1") && msg.contains("bytes") && msg.contains("string"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&Error::NoDownstreams);
+    }
+
+    #[test]
+    fn errors_compare_equal() {
+        assert_eq!(Error::NoDownstreams, Error::NoDownstreams);
+        assert_ne!(
+            Error::UnknownUnit(UnitId(1)),
+            Error::UnknownUnit(UnitId(2))
+        );
+    }
+}

@@ -1,0 +1,368 @@
+//! ACK-driven latency estimation (paper §V-B).
+//!
+//! "The upstream attaches a timestamp to each tuple. Each downstream,
+//! after processing the tuple, sends back an ACK with the original
+//! timestamp. Upon receiving the ACK, the upstream calculates "a" latency
+//! estimate for this tuple by subtracting the timestamp from the current
+//! time." The estimate therefore covers network transmission, queuing and
+//! processing delay at the downstream.
+//!
+//! ACKs additionally carry the downstream's *processing* delay so the
+//! processing-delay-based baselines (PR / PRS) can be driven from the same
+//! mechanism.
+
+use crate::stats::TimedAvg;
+use crate::{SeqNo, UnitId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Per-downstream view exported by the estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyView {
+    /// Downstream function-unit instance.
+    pub unit: UnitId,
+    /// Mean end-to-end latency in microseconds (transmission + queuing +
+    /// processing + ACK), or the configured initial estimate if no sample
+    /// has arrived yet.
+    pub latency_us: f64,
+    /// Mean processing delay in microseconds, reported by the downstream
+    /// in its ACKs.
+    pub processing_us: f64,
+    /// Whether at least one ACK has been observed.
+    pub measured: bool,
+    /// Tuples sent to this downstream so far.
+    pub sent: u64,
+    /// ACKs received from this downstream so far.
+    pub acked: u64,
+    /// Tuples written off as lost (no ACK within the loss timeout).
+    pub lost: u64,
+}
+
+impl LatencyView {
+    /// Service rate `μ = 1/L` in tuples per second.
+    #[must_use]
+    pub fn service_rate(&self) -> f64 {
+        if self.latency_us <= 0.0 {
+            0.0
+        } else {
+            1_000_000.0 / self.latency_us
+        }
+    }
+
+    /// Processing-capacity rate `1/W` in tuples per second.
+    #[must_use]
+    pub fn processing_rate(&self) -> f64 {
+        if self.processing_us <= 0.0 {
+            0.0
+        } else {
+            1_000_000.0 / self.processing_us
+        }
+    }
+}
+
+#[derive(Debug)]
+struct DownstreamStats {
+    latency: TimedAvg,
+    processing: TimedAvg,
+    sent: u64,
+    acked: u64,
+    lost: u64,
+}
+
+/// Tracks in-flight tuples and per-downstream latency statistics for one
+/// upstream function unit.
+#[derive(Debug)]
+pub struct LatencyEstimator {
+    window: usize,
+    sample_max_age_us: u64,
+    initial_latency_us: f64,
+    loss_timeout_us: u64,
+    pending_age_floor: bool,
+    /// seq -> (destination, dispatch time)
+    inflight: HashMap<SeqNo, (UnitId, u64)>,
+    stats: BTreeMap<UnitId, DownstreamStats>,
+}
+
+impl LatencyEstimator {
+    /// Create an estimator.
+    ///
+    /// * `window` — number of samples in each per-downstream moving average.
+    /// * `initial_latency_us` — optimistic estimate used for downstreams
+    ///   that have not produced a sample yet, so that fresh devices are
+    ///   attractive until measured (the paper bootstraps them via
+    ///   round-robin probing).
+    /// * `loss_timeout_us` — tuples unacknowledged for this long are
+    ///   counted as lost and dropped from the in-flight table.
+    #[must_use]
+    pub fn new(window: usize, initial_latency_us: f64, loss_timeout_us: u64) -> Self {
+        LatencyEstimator {
+            window: window.max(1),
+            sample_max_age_us: 10_000_000,
+            initial_latency_us,
+            loss_timeout_us,
+            pending_age_floor: true,
+            inflight: HashMap::new(),
+            stats: BTreeMap::new(),
+        }
+    }
+
+    /// Change how long samples stay relevant (default 10 s). Applies to
+    /// downstreams registered afterwards.
+    pub fn set_sample_max_age(&mut self, max_age_us: u64) {
+        self.sample_max_age_us = max_age_us.max(1);
+    }
+
+    /// Enable/disable the pending-age latency floor (see
+    /// [`view`](Self::view)); on by default.
+    pub fn set_pending_age_floor(&mut self, enabled: bool) {
+        self.pending_age_floor = enabled;
+    }
+
+    /// Register a downstream. No-op if already tracked.
+    pub fn add_unit(&mut self, unit: UnitId) {
+        let window = self.window;
+        let max_age = self.sample_max_age_us;
+        self.stats.entry(unit).or_insert_with(|| DownstreamStats {
+            latency: TimedAvg::new(window, max_age),
+            processing: TimedAvg::new(window, max_age),
+            sent: 0,
+            acked: 0,
+            lost: 0,
+        });
+    }
+
+    /// Forget a downstream (device left). In-flight tuples addressed to it
+    /// are discarded and returned so callers can count them as lost.
+    pub fn remove_unit(&mut self, unit: UnitId) -> Vec<SeqNo> {
+        self.stats.remove(&unit);
+        let mut orphaned: Vec<SeqNo> = self
+            .inflight
+            .iter()
+            .filter(|(_, (u, _))| *u == unit)
+            .map(|(s, _)| *s)
+            .collect();
+        orphaned.sort_unstable();
+        for s in &orphaned {
+            self.inflight.remove(s);
+        }
+        orphaned
+    }
+
+    /// Whether this downstream is tracked.
+    #[must_use]
+    pub fn contains(&self, unit: UnitId) -> bool {
+        self.stats.contains_key(&unit)
+    }
+
+    /// Record that `seq` was dispatched to `unit` at `now_us`.
+    pub fn on_send(&mut self, seq: SeqNo, unit: UnitId, now_us: u64) {
+        self.add_unit(unit);
+        if let Some(s) = self.stats.get_mut(&unit) {
+            s.sent += 1;
+        }
+        self.inflight.insert(seq, (unit, now_us));
+    }
+
+    /// Process an ACK for `seq` carrying the downstream's processing delay.
+    ///
+    /// Returns the end-to-end latency sample in microseconds, or `None` if
+    /// the tuple was unknown (already timed out, or duplicate ACK).
+    pub fn on_ack(&mut self, seq: SeqNo, now_us: u64, processing_us: u64) -> Option<u64> {
+        let (unit, sent_at) = self.inflight.remove(&seq)?;
+        let latency = now_us.saturating_sub(sent_at);
+        if let Some(s) = self.stats.get_mut(&unit) {
+            s.acked += 1;
+            s.latency.update(now_us, latency as f64);
+            s.processing.update(now_us, processing_us as f64);
+        }
+        Some(latency)
+    }
+
+    /// Expire in-flight tuples older than the loss timeout, charging them
+    /// as lost to their destination and penalising its latency estimate
+    /// with the timeout value (a lost tuple is at least that slow).
+    ///
+    /// Returns the expired sequence numbers.
+    pub fn prune_lost(&mut self, now_us: u64) -> Vec<SeqNo> {
+        let timeout = self.loss_timeout_us;
+        let mut expired: Vec<(SeqNo, UnitId)> = self
+            .inflight
+            .iter()
+            .filter(|(_, (_, sent))| now_us.saturating_sub(*sent) > timeout)
+            .map(|(s, (u, _))| (*s, *u))
+            .collect();
+        expired.sort_unstable();
+        let mut seqs = Vec::with_capacity(expired.len());
+        for (seq, unit) in expired {
+            self.inflight.remove(&seq);
+            if let Some(s) = self.stats.get_mut(&unit) {
+                s.lost += 1;
+                s.latency.update(now_us, timeout as f64);
+            }
+            seqs.push(seq);
+        }
+        seqs
+    }
+
+    /// Number of tuples currently awaiting an ACK.
+    #[must_use]
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Per-downstream view for one unit at time `now_us`.
+    ///
+    /// The latency estimate is the moving average of ACKed samples, but
+    /// never less than the age of the oldest still-unacknowledged tuple
+    /// addressed to the unit: if a tuple has been in flight for three
+    /// seconds, the link is *at least* three seconds slow right now, no
+    /// matter what past ACKs said. This RTO-like floor is what lets LRS
+    /// react within one control round when a link suddenly collapses
+    /// (the paper's Fig. 10 mobility events).
+    #[must_use]
+    pub fn view(&mut self, unit: UnitId, now_us: u64) -> Option<LatencyView> {
+        let s = self.stats.get_mut(&unit)?;
+        let measured = !s.latency.is_empty(now_us);
+        let mut latency = s.latency.value(now_us).unwrap_or(self.initial_latency_us);
+        let processing = s.processing.value(now_us).unwrap_or(self.initial_latency_us);
+        if self.pending_age_floor {
+            let oldest_pending = self
+                .inflight
+                .values()
+                .filter(|(u, _)| *u == unit)
+                .map(|(_, sent)| now_us.saturating_sub(*sent))
+                .max();
+            if let Some(age) = oldest_pending {
+                latency = latency.max(age as f64);
+            }
+        }
+        let (sent, acked, lost) = (s.sent, s.acked, s.lost);
+        Some(LatencyView {
+            unit,
+            latency_us: latency,
+            processing_us: processing,
+            measured,
+            sent,
+            acked,
+            lost,
+        })
+    }
+
+    /// Snapshot of every tracked downstream, ordered by unit id.
+    #[must_use]
+    pub fn snapshot(&mut self, now_us: u64) -> Vec<LatencyView> {
+        let units: Vec<UnitId> = self.stats.keys().copied().collect();
+        units
+            .into_iter()
+            .filter_map(|u| self.view(u, now_us))
+            .collect()
+    }
+
+    /// Tracked downstream unit ids, in order.
+    pub fn units(&self) -> impl Iterator<Item = UnitId> + '_ {
+        self.stats.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est() -> LatencyEstimator {
+        LatencyEstimator::new(8, 100_000.0, 5_000_000)
+    }
+
+    #[test]
+    fn ack_produces_latency_sample() {
+        let mut e = est();
+        e.on_send(SeqNo(1), UnitId(10), 1_000);
+        let lat = e.on_ack(SeqNo(1), 51_000, 30_000).unwrap();
+        assert_eq!(lat, 50_000);
+        let v = e.view(UnitId(10), 51_000).unwrap();
+        assert!(v.measured);
+        assert_eq!(v.latency_us, 50_000.0);
+        assert_eq!(v.processing_us, 30_000.0);
+        assert_eq!(v.sent, 1);
+        assert_eq!(v.acked, 1);
+    }
+
+    #[test]
+    fn unknown_or_duplicate_ack_is_ignored() {
+        let mut e = est();
+        assert_eq!(e.on_ack(SeqNo(9), 100, 10), None);
+        e.on_send(SeqNo(1), UnitId(10), 0);
+        assert!(e.on_ack(SeqNo(1), 10, 5).is_some());
+        assert_eq!(e.on_ack(SeqNo(1), 20, 5), None);
+    }
+
+    #[test]
+    fn unmeasured_unit_uses_initial_estimate() {
+        let mut e = est();
+        e.add_unit(UnitId(3));
+        let v = e.view(UnitId(3), 0).unwrap();
+        assert!(!v.measured);
+        assert_eq!(v.latency_us, 100_000.0);
+        assert!((v.service_rate() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moving_average_over_samples() {
+        let mut e = est();
+        for (i, lat) in [10_000u64, 20_000, 30_000].iter().enumerate() {
+            let seq = SeqNo(i as u64);
+            e.on_send(seq, UnitId(1), 0);
+            e.on_ack(seq, *lat, 1_000);
+        }
+        let v = e.view(UnitId(1), 30_000).unwrap();
+        assert!((v.latency_us - 20_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prune_counts_losses_and_penalizes() {
+        let mut e = est();
+        e.on_send(SeqNo(1), UnitId(5), 0);
+        e.on_send(SeqNo(2), UnitId(5), 1_000_000);
+        let expired = e.prune_lost(6_000_000); // timeout 5 s: only seq 1 is stale
+        assert_eq!(expired, vec![SeqNo(1)]);
+        let v = e.view(UnitId(5), 6_000_000).unwrap();
+        assert_eq!(v.lost, 1);
+        assert_eq!(v.latency_us, 5_000_000.0); // penalised with the timeout
+        assert_eq!(e.inflight_len(), 1);
+    }
+
+    #[test]
+    fn remove_unit_discards_inflight() {
+        let mut e = est();
+        e.on_send(SeqNo(1), UnitId(5), 0);
+        e.on_send(SeqNo(2), UnitId(6), 0);
+        let orphaned = e.remove_unit(UnitId(5));
+        assert_eq!(orphaned, vec![SeqNo(1)]);
+        assert!(!e.contains(UnitId(5)));
+        assert!(e.contains(UnitId(6)));
+        assert_eq!(e.on_ack(SeqNo(1), 10, 1), None);
+    }
+
+    #[test]
+    fn service_rates_invert_latency() {
+        let v = LatencyView {
+            unit: UnitId(0),
+            latency_us: 50_000.0, // 50 ms -> 20 tuples/s
+            processing_us: 100_000.0,
+            measured: true,
+            sent: 0,
+            acked: 0,
+            lost: 0,
+        };
+        assert!((v.service_rate() - 20.0).abs() < 1e-9);
+        assert!((v.processing_rate() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_is_ordered_by_unit() {
+        let mut e = est();
+        e.add_unit(UnitId(9));
+        e.add_unit(UnitId(2));
+        e.add_unit(UnitId(5));
+        let units: Vec<UnitId> = e.snapshot(0).iter().map(|v| v.unit).collect();
+        assert_eq!(units, vec![UnitId(2), UnitId(5), UnitId(9)]);
+    }
+}

@@ -1,0 +1,113 @@
+//! # swing-core
+//!
+//! Core programming model and resource-management algorithms of **Swing**,
+//! a framework that aggregates a swarm of co-located mobile devices to
+//! perform collaborative computation on sensed data streams
+//! (Fan, Salonidis, Lee — *Swing: Swarm Computing for Mobile Sensing*,
+//! ICDCS 2018).
+//!
+//! This crate is deliberately free of I/O and wall-clock time: every API
+//! takes explicit microsecond timestamps so the same code drives both the
+//! deterministic discrete-event simulator (`swing-sim`) and the live
+//! multi-threaded runtime (`swing-runtime`).
+//!
+//! ## What lives here
+//!
+//! * **Dataflow programming model** — applications are directed graphs of
+//!   *function units* exchanging [`Tuple`]s (see the `graph`, `unit` and
+//!   `tuple` modules).
+//! * **LRS** — *Latency-based Routing with worker Selection*, the paper's
+//!   distributed resource-management algorithm, plus the four baselines it
+//!   is evaluated against (RR, PR, LR, PRS) ([`routing`]).
+//! * **Latency estimation** — ACK-driven moving-average latency estimates
+//!   with periodic round-robin probing of unselected workers
+//!   ([`estimator`]).
+//! * **Reordering service** — the sink-side buffer that restores tuple
+//!   order before playback ([`reorder`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use swing_core::graph::AppGraph;
+//! use swing_core::routing::{Policy, Router, RouterConfig};
+//! use swing_core::UnitId;
+//!
+//! // Describe the face-recognition app from the paper: a source that
+//! // captures frames, a recognizer stage, and a display sink.
+//! let mut g = AppGraph::new("face-recognition");
+//! let src = g.add_source("camera");
+//! let rec = g.add_operator("recognize");
+//! let snk = g.add_sink("display");
+//! g.connect(src, rec).unwrap();
+//! g.connect(rec, snk).unwrap();
+//! g.validate().unwrap();
+//!
+//! // An upstream unit routes tuples to three replicas of `recognize`
+//! // deployed on different devices, using the LRS policy.
+//! let mut router = Router::new(RouterConfig::new(Policy::Lrs), 42);
+//! for worker in [UnitId(10), UnitId(11), UnitId(12)] {
+//!     router.add_downstream(worker, 0);
+//! }
+//! let dest = router.route(1_000).unwrap();
+//! assert!([UnitId(10), UnitId(11), UnitId(12)].contains(&dest));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod error;
+pub mod estimator;
+pub mod graph;
+pub mod rate;
+pub mod reorder;
+pub mod routing;
+pub mod stats;
+pub mod tuple;
+pub mod unit;
+
+mod id;
+
+pub use error::{Error, Result};
+pub use id::{DeviceId, SeqNo, UnitId};
+pub use tuple::{Tuple, Value, ValueKind};
+
+/// One second expressed in the microsecond timebase used across the crate.
+pub const SECOND_US: u64 = 1_000_000;
+
+/// One millisecond expressed in the microsecond timebase.
+pub const MILLISECOND_US: u64 = 1_000;
+
+/// Convert a microsecond duration to fractional milliseconds.
+#[inline]
+pub fn us_to_ms(us: u64) -> f64 {
+    us as f64 / MILLISECOND_US as f64
+}
+
+/// Convert fractional milliseconds to microseconds (saturating at zero).
+#[inline]
+pub fn ms_to_us(ms: f64) -> u64 {
+    if ms <= 0.0 {
+        0
+    } else {
+        (ms * MILLISECOND_US as f64).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_conversions_roundtrip() {
+        assert_eq!(us_to_ms(1_500), 1.5);
+        assert_eq!(ms_to_us(1.5), 1_500);
+        assert_eq!(ms_to_us(-3.0), 0);
+        assert_eq!(ms_to_us(us_to_ms(123_456)), 123_456);
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(SECOND_US, 1_000 * MILLISECOND_US);
+    }
+}

@@ -1,0 +1,301 @@
+//! The sink-side reordering service (paper §IV-C, evaluated in Fig. 8).
+//!
+//! "Performance heterogeneity and dynamism cause each tuple's end-to-end
+//! delay to differ — tuples that are dispatched earlier may arrive later,
+//! and vice versa. To solve this problem, we buffer results as they arrive
+//! at the sink and sort them in-order before playback. A large buffer
+//! ensures better ordering but delays the display of the results."
+//!
+//! [`ReorderBuffer`] releases items strictly in sequence order. An item
+//! whose predecessors are still missing is held until either they arrive
+//! or the item has waited longer than the configured span, at which point
+//! the missing predecessors are skipped (counted as gaps) and playback
+//! resumes.
+
+use crate::config::ReorderConfig;
+use crate::SeqNo;
+use std::collections::BTreeMap;
+
+/// An item released by the buffer together with its playback metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Played<T> {
+    /// Source sequence number.
+    pub seq: SeqNo,
+    /// Arrival time at the sink, microseconds.
+    pub arrived_us: u64,
+    /// Time the buffer released it for playback, microseconds.
+    pub played_us: u64,
+    /// The payload.
+    pub item: T,
+}
+
+/// Sink-side buffer that restores source order before playback.
+#[derive(Debug)]
+pub struct ReorderBuffer<T> {
+    span_us: u64,
+    /// Next sequence number owed to playback.
+    next_seq: SeqNo,
+    pending: BTreeMap<SeqNo, (u64, T)>,
+    skipped: u64,
+    played: u64,
+    duplicates: u64,
+    stale: u64,
+}
+
+impl<T> ReorderBuffer<T> {
+    /// Create a buffer with the given configuration; playback starts at
+    /// sequence number 0.
+    #[must_use]
+    pub fn new(config: ReorderConfig) -> Self {
+        ReorderBuffer {
+            span_us: config.span_us,
+            next_seq: SeqNo(0),
+            pending: BTreeMap::new(),
+            skipped: 0,
+            played: 0,
+            duplicates: 0,
+            stale: 0,
+        }
+    }
+
+    /// Create a buffer whose playback starts at `first`.
+    #[must_use]
+    pub fn starting_at(config: ReorderConfig, first: SeqNo) -> Self {
+        let mut b = ReorderBuffer::new(config);
+        b.next_seq = first;
+        b
+    }
+
+    /// Offer an arrived item and collect everything that becomes playable.
+    ///
+    /// Returns items in strictly increasing sequence order. Duplicates and
+    /// items older than the playback frontier are dropped (counted in
+    /// [`duplicates`](Self::duplicates) / [`stale`](Self::stale)).
+    pub fn push(&mut self, seq: SeqNo, item: T, now_us: u64) -> Vec<Played<T>> {
+        if seq < self.next_seq {
+            self.stale += 1;
+            return self.drain(now_us);
+        }
+        if self.pending.contains_key(&seq) {
+            self.duplicates += 1;
+            return self.drain(now_us);
+        }
+        self.pending.insert(seq, (now_us, item));
+        self.drain(now_us)
+    }
+
+    /// Release playable items without inserting anything: call this
+    /// periodically so gaps time out even when no new tuples arrive.
+    pub fn poll(&mut self, now_us: u64) -> Vec<Played<T>> {
+        self.drain(now_us)
+    }
+
+    /// Flush everything still buffered, in order, skipping all gaps.
+    pub fn flush(&mut self, now_us: u64) -> Vec<Played<T>> {
+        let mut out = Vec::with_capacity(self.pending.len());
+        let pending = std::mem::take(&mut self.pending);
+        for (seq, (arrived_us, item)) in pending {
+            if seq > self.next_seq {
+                self.skipped += seq.0 - self.next_seq.0;
+            }
+            self.next_seq = seq.next();
+            self.played += 1;
+            out.push(Played {
+                seq,
+                arrived_us,
+                played_us: now_us.max(arrived_us),
+                item,
+            });
+        }
+        out
+    }
+
+    fn drain(&mut self, now_us: u64) -> Vec<Played<T>> {
+        let mut out = Vec::new();
+        loop {
+            let Some((&seq, &(arrived_us, _))) = self.pending.iter().next() else {
+                break;
+            };
+            let in_order = seq == self.next_seq;
+            let timed_out = now_us.saturating_sub(arrived_us) >= self.span_us;
+            if !in_order && !timed_out {
+                break;
+            }
+            if !in_order {
+                // Give up on the gap: everything between next_seq and seq
+                // is lost or too late.
+                self.skipped += seq.0 - self.next_seq.0;
+            }
+            let (arrived_us, item) = self.pending.remove(&seq).expect("peeked key exists");
+            self.next_seq = seq.next();
+            self.played += 1;
+            out.push(Played {
+                seq,
+                arrived_us,
+                played_us: now_us,
+                item,
+            });
+        }
+        out
+    }
+
+    /// Sequence number playback is currently waiting for.
+    #[must_use]
+    pub fn next_seq(&self) -> SeqNo {
+        self.next_seq
+    }
+
+    /// Items currently held in the buffer.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Sequence numbers skipped because they never arrived in time.
+    #[must_use]
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Items released for playback so far.
+    #[must_use]
+    pub fn played(&self) -> u64 {
+        self.played
+    }
+
+    /// Duplicate arrivals dropped.
+    #[must_use]
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Arrivals dropped because playback had already passed them.
+    #[must_use]
+    pub fn stale(&self) -> u64 {
+        self.stale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SECOND_US;
+
+    fn buf() -> ReorderBuffer<&'static str> {
+        ReorderBuffer::new(ReorderConfig::one_second())
+    }
+
+    fn seqs<T>(played: &[Played<T>]) -> Vec<u64> {
+        played.iter().map(|p| p.seq.0).collect()
+    }
+
+    #[test]
+    fn in_order_arrivals_play_immediately() {
+        let mut b = buf();
+        assert_eq!(seqs(&b.push(SeqNo(0), "a", 10)), vec![0]);
+        assert_eq!(seqs(&b.push(SeqNo(1), "b", 20)), vec![1]);
+        assert_eq!(b.played(), 2);
+        assert_eq!(b.pending_len(), 0);
+    }
+
+    #[test]
+    fn out_of_order_arrival_is_held_until_gap_fills() {
+        let mut b = buf();
+        assert!(b.push(SeqNo(1), "b", 10).is_empty());
+        assert_eq!(b.pending_len(), 1);
+        let out = b.push(SeqNo(0), "a", 20);
+        assert_eq!(seqs(&out), vec![0, 1]);
+        assert_eq!(out[0].item, "a");
+        assert_eq!(out[1].item, "b");
+        assert_eq!(out[1].arrived_us, 10);
+        assert_eq!(out[1].played_us, 20);
+    }
+
+    #[test]
+    fn gap_times_out_after_span() {
+        let mut b = buf();
+        assert!(b.push(SeqNo(1), "b", 0).is_empty());
+        // Before the 1 s span elapses nothing plays.
+        assert!(b.poll(SECOND_US - 1).is_empty());
+        // At the deadline seq 0 is skipped and 1 plays.
+        let out = b.poll(SECOND_US);
+        assert_eq!(seqs(&out), vec![1]);
+        assert_eq!(b.skipped(), 1);
+        assert_eq!(b.next_seq(), SeqNo(2));
+    }
+
+    #[test]
+    fn late_arrival_after_skip_is_dropped_as_stale() {
+        let mut b = buf();
+        b.push(SeqNo(1), "b", 0);
+        b.poll(SECOND_US); // skips 0
+        let out = b.push(SeqNo(0), "a", SECOND_US + 1);
+        assert!(out.is_empty());
+        assert_eq!(b.stale(), 1);
+    }
+
+    #[test]
+    fn duplicates_are_counted_and_dropped() {
+        let mut b = buf();
+        b.push(SeqNo(2), "x", 0);
+        b.push(SeqNo(2), "x", 1);
+        assert_eq!(b.duplicates(), 1);
+        assert_eq!(b.pending_len(), 1);
+    }
+
+    #[test]
+    fn playback_is_strictly_increasing_under_shuffle() {
+        let mut b = ReorderBuffer::new(ReorderConfig {
+            span_us: 100_000,
+        });
+        // Arrival order shuffled within a window smaller than the span.
+        let arrivals = [3u64, 0, 2, 1, 5, 4, 7, 6, 9, 8];
+        let mut played = Vec::new();
+        for (i, &s) in arrivals.iter().enumerate() {
+            played.extend(seqs(&b.push(SeqNo(s), "t", i as u64 * 1_000)));
+        }
+        played.extend(seqs(&b.flush(20_000)));
+        assert_eq!(played, (0..10).collect::<Vec<_>>());
+        assert_eq!(b.skipped(), 0);
+    }
+
+    #[test]
+    fn flush_releases_everything_in_order() {
+        let mut b = buf();
+        b.push(SeqNo(5), "f", 0);
+        b.push(SeqNo(2), "c", 0);
+        let out = b.flush(10);
+        assert_eq!(seqs(&out), vec![2, 5]);
+        assert_eq!(b.skipped(), 4); // 0,1 then 3,4
+        assert_eq!(b.pending_len(), 0);
+    }
+
+    #[test]
+    fn starting_at_sets_playback_frontier() {
+        let mut b = ReorderBuffer::starting_at(ReorderConfig::one_second(), SeqNo(10));
+        assert!(b.push(SeqNo(9), "old", 0).is_empty());
+        assert_eq!(b.stale(), 1);
+        assert_eq!(seqs(&b.push(SeqNo(10), "now", 0)), vec![10]);
+    }
+
+    #[test]
+    fn larger_span_waits_longer_for_stragglers() {
+        let short = ReorderConfig { span_us: 10_000 };
+        let long = ReorderConfig { span_us: 500_000 };
+        let mut a = ReorderBuffer::new(short);
+        let mut b = ReorderBuffer::new(long);
+        a.push(SeqNo(1), "x", 0);
+        b.push(SeqNo(1), "x", 0);
+        // After 20 ms the short buffer gives up on seq 0, the long one
+        // keeps waiting — the paper's buffering/latency trade-off.
+        assert_eq!(seqs(&a.poll(20_000)), vec![1]);
+        assert!(b.poll(20_000).is_empty());
+    }
+
+    #[test]
+    fn zero_span_degenerates_to_immediate_playback() {
+        let mut b: ReorderBuffer<&str> = ReorderBuffer::new(ReorderConfig { span_us: 0 });
+        assert_eq!(seqs(&b.push(SeqNo(3), "d", 5)), vec![3]);
+        assert_eq!(b.skipped(), 3);
+    }
+}

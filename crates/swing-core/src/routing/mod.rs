@@ -1,0 +1,28 @@
+//! Distributed resource management: the LRS algorithm and its baselines.
+//!
+//! "Swing uses a distributed low complexity routing algorithm that we call
+//! LRS (Latency-based Routing with worker Selection). LRS is executed at
+//! each upstream function unit in the application dataflow graph using
+//! information communicated periodically from its downstream function
+//! units" (paper §V-A).
+//!
+//! The module decomposes the algorithm exactly along the paper's two key
+//! design points:
+//!
+//! * [`selection`] — *Worker Selection*: pick the minimum set of fastest
+//!   downstreams whose summed service rates cover the input rate `Λ`.
+//! * [`table`] — the weighted routing table used for *Data Routing*:
+//!   probabilistic routing with weights `p_i = (1/L_i) / Σ (1/L_j)`.
+//! * [`Router`] — ties selection, routing and
+//!   [latency estimation](crate::estimator) together and implements all
+//!   five policies evaluated in the paper (§VI-B): RR, PR, LR, PRS, LRS.
+
+mod policy;
+mod router;
+pub mod selection;
+pub mod table;
+
+pub use crate::config::RouterConfig;
+pub use policy::{Metric, Policy};
+pub use router::{Router, RouterSnapshot, RouteView};
+pub use table::{RouteEntry, RoutingTable};

@@ -1,0 +1,138 @@
+//! The five routing policies evaluated in the paper (§VI-B).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which delay estimate drives the routing weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Total end-to-end latency `L` (network + queuing + processing).
+    Latency,
+    /// Processing delay `W` only, ignoring network location.
+    Processing,
+}
+
+/// A data-routing policy for upstream function units.
+///
+/// | Policy | Weights      | Worker selection |
+/// |--------|--------------|------------------|
+/// | `Rr`   | equal (turns)| no               |
+/// | `Pr`   | `1/W_i`      | no               |
+/// | `Lr`   | `1/L_i`      | no               |
+/// | `Prs`  | `1/W_i`      | yes              |
+/// | `Lrs`  | `1/L_i`      | yes              |
+///
+/// `Lrs` is Swing's contribution; `Rr` is the default of data-center
+/// stream processors (Storm, SEEP, IBM Streams) and of prior mobile
+/// stream processors, making it the paper's headline baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// Round-robin: each tuple to the next downstream in turn.
+    Rr,
+    /// Processing-delay-based routing, no worker selection.
+    Pr,
+    /// Latency-based routing, no worker selection.
+    Lr,
+    /// Processing-delay-based routing with worker selection.
+    Prs,
+    /// Latency-based routing with worker selection (the Swing policy).
+    Lrs,
+}
+
+impl Policy {
+    /// All policies, in the order the paper's figures list them.
+    pub const ALL: [Policy; 5] = [Policy::Rr, Policy::Pr, Policy::Lr, Policy::Prs, Policy::Lrs];
+
+    /// Whether this policy runs the Worker Selection step.
+    #[must_use]
+    pub fn uses_selection(self) -> bool {
+        matches!(self, Policy::Prs | Policy::Lrs)
+    }
+
+    /// The delay metric driving the weights, or `None` for round robin.
+    #[must_use]
+    pub fn metric(self) -> Option<Metric> {
+        match self {
+            Policy::Rr => None,
+            Policy::Pr | Policy::Prs => Some(Metric::Processing),
+            Policy::Lr | Policy::Lrs => Some(Metric::Latency),
+        }
+    }
+
+    /// Upper-case display name used in figures ("RR", "LRS", ...).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Rr => "RR",
+            Policy::Pr => "PR",
+            Policy::Lr => "LR",
+            Policy::Prs => "PRS",
+            Policy::Lrs => "LRS",
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Policy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "rr" => Ok(Policy::Rr),
+            "pr" => Ok(Policy::Pr),
+            "lr" => Ok(Policy::Lr),
+            "prs" => Ok(Policy::Prs),
+            "lrs" => Ok(Policy::Lrs),
+            other => Err(format!(
+                "unknown policy `{other}` (expected one of rr, pr, lr, prs, lrs)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_flag_matches_table() {
+        assert!(!Policy::Rr.uses_selection());
+        assert!(!Policy::Pr.uses_selection());
+        assert!(!Policy::Lr.uses_selection());
+        assert!(Policy::Prs.uses_selection());
+        assert!(Policy::Lrs.uses_selection());
+    }
+
+    #[test]
+    fn metrics_match_table() {
+        assert_eq!(Policy::Rr.metric(), None);
+        assert_eq!(Policy::Pr.metric(), Some(Metric::Processing));
+        assert_eq!(Policy::Prs.metric(), Some(Metric::Processing));
+        assert_eq!(Policy::Lr.metric(), Some(Metric::Latency));
+        assert_eq!(Policy::Lrs.metric(), Some(Metric::Latency));
+    }
+
+    #[test]
+    fn parse_roundtrips_display() {
+        for p in Policy::ALL {
+            let parsed: Policy = p.name().parse().unwrap();
+            assert_eq!(parsed, p);
+            let parsed: Policy = p.name().to_lowercase().parse().unwrap();
+            assert_eq!(parsed, p);
+        }
+        assert!("bogus".parse::<Policy>().is_err());
+    }
+
+    #[test]
+    fn all_lists_five_policies_in_figure_order() {
+        assert_eq!(Policy::ALL.len(), 5);
+        assert_eq!(Policy::ALL[0], Policy::Rr);
+        assert_eq!(Policy::ALL[4], Policy::Lrs);
+    }
+}

@@ -1,0 +1,137 @@
+//! The Worker Selection step of LRS (paper §V-A).
+//!
+//! "The upstream function unit selects a subset S of its downstream
+//! function units D. More specifically, it sorts function units in
+//! descending order of service rates μ_i = 1/L_i and selects the minimum
+//! number of function units S such that Σ μ_i ≥ Λ. [...] If the sum rate
+//! constraint cannot be satisfied, all downstream function units are
+//! selected."
+
+use crate::UnitId;
+
+/// Outcome of a worker-selection round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// The selected downstream units (fastest first).
+    pub selected: Vec<UnitId>,
+    /// Whether the summed service rate of the selection covers the demand.
+    /// `false` means every downstream was selected and capacity still
+    /// falls short of `Λ`.
+    pub satisfied: bool,
+}
+
+/// Select the minimum prefix of fastest workers covering demand `lambda`
+/// (tuples per second).
+///
+/// `rates` holds `(unit, μ)` pairs in any order; μ is a service rate in
+/// tuples per second. Ties are broken by unit id so the outcome is
+/// deterministic. A non-positive `lambda` selects just the fastest worker
+/// (the system still needs somewhere to route).
+#[must_use]
+pub fn select_workers(rates: &[(UnitId, f64)], lambda: f64) -> Selection {
+    let mut sorted: Vec<(UnitId, f64)> = rates.to_vec();
+    // Descending by rate, ascending by id on ties.
+    sorted.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+
+    let mut selected = Vec::new();
+    let mut sum = 0.0;
+    for (unit, mu) in &sorted {
+        selected.push(*unit);
+        sum += mu.max(0.0);
+        if sum >= lambda && lambda > 0.0 {
+            return Selection {
+                selected,
+                satisfied: true,
+            };
+        }
+        if lambda <= 0.0 {
+            // Demand unknown or zero: keep only the fastest unit.
+            return Selection {
+                selected,
+                satisfied: true,
+            };
+        }
+    }
+    // Constraint unsatisfiable: select everything.
+    Selection {
+        selected,
+        satisfied: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u32) -> UnitId {
+        UnitId(i)
+    }
+
+    #[test]
+    fn selects_minimum_prefix_of_fastest() {
+        // Rates modeled on Table I throughputs (FPS).
+        let rates = vec![
+            (u(1), 10.0), // B
+            (u(2), 8.0),  // C
+            (u(3), 6.0),  // D
+            (u(6), 12.0), // G
+            (u(7), 13.0), // H
+            (u(8), 12.0), // I
+        ];
+        let sel = select_workers(&rates, 24.0);
+        assert!(sel.satisfied);
+        // Fastest first: H(13) + G(12) = 25 >= 24 -> exactly two workers.
+        assert_eq!(sel.selected, vec![u(7), u(6)]);
+    }
+
+    #[test]
+    fn selects_all_when_unsatisfiable() {
+        let rates = vec![(u(1), 5.0), (u(2), 4.0)];
+        let sel = select_workers(&rates, 24.0);
+        assert!(!sel.satisfied);
+        assert_eq!(sel.selected.len(), 2);
+        assert_eq!(sel.selected, vec![u(1), u(2)]); // still fastest-first
+    }
+
+    #[test]
+    fn exact_boundary_is_satisfied() {
+        let rates = vec![(u(1), 12.0), (u(2), 12.0), (u(3), 1.0)];
+        let sel = select_workers(&rates, 24.0);
+        assert!(sel.satisfied);
+        assert_eq!(sel.selected, vec![u(1), u(2)]);
+    }
+
+    #[test]
+    fn ties_break_by_unit_id() {
+        let rates = vec![(u(9), 10.0), (u(2), 10.0), (u(5), 10.0)];
+        let sel = select_workers(&rates, 15.0);
+        assert_eq!(sel.selected, vec![u(2), u(5)]);
+    }
+
+    #[test]
+    fn zero_demand_keeps_one_worker() {
+        let rates = vec![(u(1), 3.0), (u(2), 9.0)];
+        let sel = select_workers(&rates, 0.0);
+        assert!(sel.satisfied);
+        assert_eq!(sel.selected, vec![u(2)]);
+    }
+
+    #[test]
+    fn empty_input_selects_nothing() {
+        let sel = select_workers(&[], 24.0);
+        assert!(sel.selected.is_empty());
+        assert!(!sel.satisfied);
+    }
+
+    #[test]
+    fn negative_rates_do_not_inflate_sum() {
+        let rates = vec![(u(1), -5.0), (u(2), 10.0)];
+        let sel = select_workers(&rates, 8.0);
+        assert!(sel.satisfied);
+        assert_eq!(sel.selected, vec![u(2)]);
+    }
+}

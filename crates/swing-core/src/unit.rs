@@ -1,0 +1,385 @@
+//! The function-unit programming API.
+//!
+//! "Each function unit is programmed to first receive data, and then
+//! perform certain tasks" (paper §IV-A). A [`FunctionUnit`] receives one
+//! [`Tuple`] at a time, computes, and emits zero or more output tuples to
+//! its downstream units through an [`Emitter`]. Sources and sinks get
+//! their own traits because they sit at the boundary of the graph: a
+//! [`SourceUnit`] is *pulled* by the runtime's pacing loop, a
+//! [`SinkUnit`] only consumes.
+
+use crate::tuple::Tuple;
+use std::fmt;
+
+/// Destination for tuples produced by a function unit.
+///
+/// Implementations decide what "send to the next unit" means: the live
+/// runtime routes through a [`Router`](crate::routing::Router) and a
+/// transport, tests can simply collect into a `Vec<Tuple>`.
+pub trait Emitter {
+    /// Hand one output tuple to the downstream edge.
+    fn emit(&mut self, tuple: Tuple);
+}
+
+impl Emitter for Vec<Tuple> {
+    fn emit(&mut self, tuple: Tuple) {
+        self.push(tuple);
+    }
+}
+
+/// Execution context passed to a function unit for each input tuple.
+pub struct Context<'a> {
+    /// Current time in microseconds (simulated or wall-clock).
+    pub now_us: u64,
+    out: &'a mut dyn Emitter,
+    emitted: usize,
+}
+
+impl<'a> Context<'a> {
+    /// Create a context that emits into `out`.
+    pub fn new(now_us: u64, out: &'a mut dyn Emitter) -> Self {
+        Context {
+            now_us,
+            out,
+            emitted: 0,
+        }
+    }
+
+    /// Send an output tuple downstream (the paper's `send(output)`).
+    pub fn send(&mut self, tuple: Tuple) {
+        self.emitted += 1;
+        self.out.emit(tuple);
+    }
+
+    /// How many tuples have been emitted through this context.
+    #[must_use]
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+}
+
+impl fmt::Debug for Context<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context")
+            .field("now_us", &self.now_us)
+            .field("emitted", &self.emitted)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A computational vertex of the application graph.
+///
+/// Mirrors the paper's Java `FunctionUnitAPI` with its single
+/// `processData(Tuple data)` method.
+pub trait FunctionUnit: Send {
+    /// Process one incoming tuple, emitting any outputs via `ctx`.
+    fn process_data(&mut self, data: Tuple, ctx: &mut Context<'_>);
+
+    /// Called once before the first tuple (load models, open resources).
+    fn on_start(&mut self) {}
+
+    /// Called once after the last tuple (flush, release resources).
+    fn on_stop(&mut self) {}
+}
+
+/// A unit without upstreams: senses data and generates tuples.
+///
+/// The runtime pulls it at the configured input rate; returning `None`
+/// signals end of stream.
+pub trait SourceUnit: Send {
+    /// Produce the next tuple, or `None` when the stream is exhausted.
+    fn next_tuple(&mut self, now_us: u64) -> Option<Tuple>;
+}
+
+/// A unit without downstreams: consumes final results.
+pub trait SinkUnit: Send {
+    /// Consume one result tuple.
+    fn consume(&mut self, data: Tuple, now_us: u64);
+}
+
+/// Adapter turning a closure into a [`FunctionUnit`].
+///
+/// ```
+/// use swing_core::unit::{closure_unit, Context, FunctionUnit};
+/// use swing_core::Tuple;
+///
+/// let mut upper = closure_unit(|data: Tuple, ctx: &mut Context<'_>| {
+///     let text = data.str("text").unwrap().to_uppercase();
+///     ctx.send(Tuple::with_seq(data.seq()).with("text", text));
+/// });
+/// let mut out = Vec::new();
+/// let mut ctx = Context::new(0, &mut out);
+/// upper.process_data(Tuple::new().with("text", "hi"), &mut ctx);
+/// assert_eq!(out[0].str("text").unwrap(), "HI");
+/// ```
+pub fn closure_unit<F>(f: F) -> ClosureUnit<F>
+where
+    F: FnMut(Tuple, &mut Context<'_>) + Send,
+{
+    ClosureUnit { f }
+}
+
+/// See [`closure_unit`].
+pub struct ClosureUnit<F> {
+    f: F,
+}
+
+impl<F> fmt::Debug for ClosureUnit<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClosureUnit").finish_non_exhaustive()
+    }
+}
+
+impl<F> FunctionUnit for ClosureUnit<F>
+where
+    F: FnMut(Tuple, &mut Context<'_>) + Send,
+{
+    fn process_data(&mut self, data: Tuple, ctx: &mut Context<'_>) {
+        (self.f)(data, ctx);
+    }
+}
+
+/// Adapter turning a closure into a [`SourceUnit`].
+pub fn closure_source<F>(f: F) -> ClosureSource<F>
+where
+    F: FnMut(u64) -> Option<Tuple> + Send,
+{
+    ClosureSource { f }
+}
+
+/// See [`closure_source`].
+pub struct ClosureSource<F> {
+    f: F,
+}
+
+impl<F> fmt::Debug for ClosureSource<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClosureSource").finish_non_exhaustive()
+    }
+}
+
+impl<F> SourceUnit for ClosureSource<F>
+where
+    F: FnMut(u64) -> Option<Tuple> + Send,
+{
+    fn next_tuple(&mut self, now_us: u64) -> Option<Tuple> {
+        (self.f)(now_us)
+    }
+}
+
+/// Adapter turning a closure into a [`SinkUnit`].
+pub fn closure_sink<F>(f: F) -> ClosureSink<F>
+where
+    F: FnMut(Tuple, u64) + Send,
+{
+    ClosureSink { f }
+}
+
+/// See [`closure_sink`].
+pub struct ClosureSink<F> {
+    f: F,
+}
+
+impl<F> fmt::Debug for ClosureSink<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClosureSink").finish_non_exhaustive()
+    }
+}
+
+impl<F> SinkUnit for ClosureSink<F>
+where
+    F: FnMut(Tuple, u64) + Send,
+{
+    fn consume(&mut self, data: Tuple, now_us: u64) {
+        (self.f)(data, now_us);
+    }
+}
+
+/// A unit that forwards its input unchanged; useful for tests and as a
+/// placeholder when only routing behaviour matters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PassThrough;
+
+impl FunctionUnit for PassThrough {
+    fn process_data(&mut self, data: Tuple, ctx: &mut Context<'_>) {
+        ctx.send(data);
+    }
+}
+
+/// Wraps a function unit and stretches its processing time by a factor,
+/// emulating a slower device in live runs (the paper's testbed spans a
+/// 6× speed range; on one host all threads run at the same speed, so
+/// heterogeneity must be injected to exercise the routing policies).
+///
+/// The inner unit runs first; the wrapper then spins for
+/// `(factor − 1) ×` the measured kernel time, so a factor of 6.5 makes
+/// this replica behave like the paper's Galaxy S next to a Nexus 4.
+pub struct Slowed<U> {
+    inner: U,
+    factor: f64,
+}
+
+impl<U> std::fmt::Debug for Slowed<U> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slowed").field("factor", &self.factor).finish_non_exhaustive()
+    }
+}
+
+impl<U> Slowed<U> {
+    /// Wrap `inner`, stretching its compute time by `factor` (≥ 1.0).
+    ///
+    /// # Panics
+    /// Panics if `factor` is below 1 or not finite.
+    pub fn new(inner: U, factor: f64) -> Self {
+        assert!(
+            factor >= 1.0 && factor.is_finite(),
+            "slowdown factor must be >= 1.0, got {factor}"
+        );
+        Slowed { inner, factor }
+    }
+
+    /// The configured slowdown factor.
+    #[must_use]
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+}
+
+impl<U: FunctionUnit> FunctionUnit for Slowed<U> {
+    fn process_data(&mut self, data: Tuple, ctx: &mut Context<'_>) {
+        let t0 = std::time::Instant::now();
+        self.inner.process_data(data, ctx);
+        let kernel = t0.elapsed();
+        let target = kernel.mul_f64(self.factor);
+        while t0.elapsed() < target {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn on_start(&mut self) {
+        self.inner.on_start();
+    }
+
+    fn on_stop(&mut self) {
+        self.inner.on_stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeqNo;
+
+    #[test]
+    fn pass_through_forwards() {
+        let mut out = Vec::new();
+        let mut ctx = Context::new(5, &mut out);
+        PassThrough.process_data(Tuple::with_seq(SeqNo(3)).with("x", 1i64), &mut ctx);
+        assert_eq!(ctx.emitted(), 1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].seq(), SeqNo(3));
+    }
+
+    #[test]
+    fn closure_source_produces_until_none() {
+        let mut remaining = 2;
+        let mut src = closure_source(move |now| {
+            if remaining == 0 {
+                None
+            } else {
+                remaining -= 1;
+                Some(Tuple::new().with("t", now as i64))
+            }
+        });
+        assert!(src.next_tuple(1).is_some());
+        assert!(src.next_tuple(2).is_some());
+        assert!(src.next_tuple(3).is_none());
+    }
+
+    #[test]
+    fn closure_sink_observes_tuples() {
+        let mut seen = Vec::new();
+        {
+            let mut sink = closure_sink(|t: Tuple, now| seen.push((t.seq(), now)));
+            sink.consume(Tuple::with_seq(SeqNo(1)), 10);
+            sink.consume(Tuple::with_seq(SeqNo(2)), 20);
+        }
+        assert_eq!(seen, vec![(SeqNo(1), 10), (SeqNo(2), 20)]);
+    }
+
+    #[test]
+    fn context_counts_emissions() {
+        let mut out = Vec::new();
+        let mut ctx = Context::new(0, &mut out);
+        let mut fanout = closure_unit(|data: Tuple, ctx: &mut Context<'_>| {
+            ctx.send(data.clone());
+            ctx.send(data);
+        });
+        fanout.process_data(Tuple::new(), &mut ctx);
+        assert_eq!(ctx.emitted(), 2);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn slowed_stretches_processing_time() {
+        let mut out = Vec::new();
+        // A kernel that actually burns some time, so the stretch is
+        // measurable.
+        let busy = closure_unit(|t: Tuple, ctx: &mut Context<'_>| {
+            let mut acc = 0u64;
+            for i in 0..200_000u64 {
+                acc = acc.wrapping_mul(31).wrapping_add(i);
+            }
+            ctx.send(t.with("acc", acc as i64));
+        });
+        let time_one = |unit: &mut dyn FunctionUnit, out: &mut Vec<Tuple>| {
+            let t0 = std::time::Instant::now();
+            let mut ctx = Context::new(0, out);
+            unit.process_data(Tuple::new(), &mut ctx);
+            t0.elapsed()
+        };
+        let mut fast = closure_unit(|t: Tuple, ctx: &mut Context<'_>| {
+            let mut acc = 0u64;
+            for i in 0..200_000u64 {
+                acc = acc.wrapping_mul(31).wrapping_add(i);
+            }
+            ctx.send(t.with("acc", acc as i64));
+        });
+        // Warm up, then compare medians of a few runs.
+        let mut base = Vec::new();
+        let mut slow_times = Vec::new();
+        let mut slowed = Slowed::new(busy, 4.0);
+        for _ in 0..5 {
+            base.push(time_one(&mut fast, &mut out));
+            slow_times.push(time_one(&mut slowed, &mut out));
+        }
+        base.sort();
+        slow_times.sort();
+        let ratio = slow_times[2].as_secs_f64() / base[2].as_secs_f64().max(1e-9);
+        assert!(ratio > 2.0, "slowdown ratio only {ratio:.1}");
+        assert_eq!(slowed.factor(), 4.0);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn slowed_rejects_speedups() {
+        let _ = Slowed::new(PassThrough, 0.5);
+    }
+
+    #[test]
+    fn units_are_object_safe() {
+        let mut units: Vec<Box<dyn FunctionUnit>> = vec![
+            Box::new(PassThrough),
+            Box::new(closure_unit(|_t, _c: &mut Context<'_>| {})),
+        ];
+        let mut out = Vec::new();
+        let mut ctx = Context::new(0, &mut out);
+        for u in &mut units {
+            u.on_start();
+            u.process_data(Tuple::new(), &mut ctx);
+            u.on_stop();
+        }
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of swing-core's structural invariants.
+
+use proptest::prelude::*;
+use swing_core::graph::AppGraph;
+use swing_core::routing::{Policy, Router, RouterConfig};
+use swing_core::{SeqNo, UnitId};
+
+proptest! {
+    /// Whatever sequence of `connect` calls arrives, an `AppGraph` never
+    /// contains a cycle: a topological order always exists.
+    #[test]
+    fn graphs_stay_acyclic_under_random_edges(
+        ops in proptest::collection::vec((0u32..12, 0u32..12), 0..60),
+    ) {
+        let mut g = AppGraph::new("prop");
+        g.add_source("src");
+        for i in 0..10 {
+            g.add_operator(format!("op{i}"));
+        }
+        g.add_sink("snk");
+        let stages: Vec<swing_core::graph::StageId> = g.stages().collect();
+        for (a, b) in ops {
+            let from = stages[a as usize % stages.len()];
+            let to = stages[b as usize % stages.len()];
+            let _ = g.connect(from, to); // errors are fine
+        }
+        prop_assert!(g.topo_order().is_ok());
+        // Every accepted edge respects the topological order.
+        let order = g.topo_order().unwrap();
+        let pos = |s| order.iter().position(|&x| x == s).unwrap();
+        for &(a, b) in g.edges() {
+            prop_assert!(pos(a) < pos(b));
+        }
+    }
+
+    /// The router only ever routes to registered, non-removed
+    /// downstreams, under any interleaving of adds, removes and acks.
+    #[test]
+    fn router_routes_only_to_live_downstreams(
+        script in proptest::collection::vec((0u8..4, 0u32..8, 0u64..200_000), 1..300),
+        policy_idx in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let policy = Policy::ALL[policy_idx];
+        let mut router = Router::new(RouterConfig::new(policy), seed);
+        let mut live: std::collections::BTreeSet<u32> = Default::default();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for (op, unit, dt) in script {
+            now += dt;
+            match op {
+                0 => {
+                    router.add_downstream(UnitId(unit), now);
+                    live.insert(unit);
+                }
+                1 => {
+                    router.remove_downstream(UnitId(unit));
+                    live.remove(&unit);
+                }
+                2 => {
+                    if let Ok(dest) = router.route(now) {
+                        prop_assert!(
+                            live.contains(&dest.0),
+                            "routed to dead unit {dest} (live: {live:?})"
+                        );
+                        router.on_send(SeqNo(seq), dest, now);
+                        seq += 1;
+                    } else {
+                        prop_assert!(live.is_empty());
+                    }
+                }
+                _ => {
+                    // Ack an arbitrary (possibly unknown) sequence.
+                    router.on_ack(SeqNo(seq.saturating_sub(1)), now, dt);
+                }
+            }
+        }
+    }
+
+    /// Rebalancing at any time never panics and keeps the snapshot
+    /// internally consistent (weights of unselected rows are zero).
+    #[test]
+    fn rebalance_keeps_snapshot_consistent(
+        units in proptest::collection::btree_set(0u32..16, 1..10),
+        acks in proptest::collection::vec((0u32..16, 1_000u64..5_000_000), 0..100),
+        policy_idx in 0usize..5,
+    ) {
+        let mut router = Router::new(RouterConfig::new(Policy::ALL[policy_idx]), 3);
+        for &u in &units {
+            router.add_downstream(UnitId(u), 0);
+        }
+        let mut now = 0;
+        let mut seq = 0u64;
+        for (u, lat) in acks {
+            if !units.contains(&u) {
+                continue;
+            }
+            now += 10_000;
+            router.on_send(SeqNo(seq), UnitId(u), now);
+            router.on_ack(SeqNo(seq), now + lat, lat / 2);
+            seq += 1;
+        }
+        router.rebalance(now + 1);
+        let snap = router.snapshot(now + 1);
+        let total: f64 = snap.routes.iter().map(|r| r.weight).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "weights sum to {total}");
+        for r in &snap.routes {
+            if !r.selected {
+                prop_assert_eq!(r.weight, 0.0);
+            }
+        }
+        prop_assert_eq!(snap.routes.len(), units.len());
+    }
+}

@@ -1,0 +1,30 @@
+//! # swing-device
+//!
+//! Mobile-device substrate for the Swing reproduction: per-device
+//! performance profiles calibrated to the paper's nine-phone testbed
+//! (Table I), a CPU contention model, the paper's utilization-based power
+//! model (§VI-B2), battery accounting, RSSI mobility traces and the
+//! 802.11 rate-adaptation radio model.
+//!
+//! The original evaluation ran on physical Android phones; this crate
+//! substitutes calibrated models that expose the *same observable
+//! signals* the Swing algorithms consume — per-frame service times, CPU
+//! utilization, transmission rates and signal strength — so the routing
+//! policies face the same heterogeneity and dynamism.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod battery;
+pub mod cpu;
+pub mod mobility;
+pub mod power;
+pub mod profile;
+pub mod radio;
+
+pub use battery::Battery;
+pub use cpu::CpuModel;
+pub use mobility::{MobilityTrace, SignalZone};
+pub use power::PowerModel;
+pub use profile::{cloudlet, testbed, DeviceProfile, Workload};
+pub use radio::{link_quality, LinkQuality};

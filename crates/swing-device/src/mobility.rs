@@ -1,0 +1,197 @@
+//! User mobility expressed as Wi-Fi signal-strength traces.
+//!
+//! The paper captures mobility through "variations in signal strength"
+//! (§III) and evaluates it by walking a device through three zones
+//! (Fig. 10): good (RSSI > -30 dBm), fair (-70 to -60 dBm) and poor
+//! (-80 to -70 dBm). [`MobilityTrace`] is a step function from time to
+//! RSSI; [`SignalZone`] names the paper's zones.
+
+use serde::{Deserialize, Serialize};
+
+/// The signal-strength zones used in the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignalZone {
+    /// Next to the access point: RSSI > -30 dBm (Fig. 10's first zone).
+    Good,
+    /// Same office, some obstructions: around -55 dBm (§III "Fair").
+    Fair,
+    /// -70 to -60 dBm: Fig. 10's second zone.
+    Weak,
+    /// -80 to -70 dBm: Fig. 10's third zone; §III's "Bad" locations.
+    Poor,
+    /// Beyond -85 dBm the association drops entirely.
+    OutOfRange,
+}
+
+impl SignalZone {
+    /// Representative RSSI for the zone, dBm.
+    #[must_use]
+    pub fn rssi_dbm(self) -> f64 {
+        match self {
+            SignalZone::Good => -28.0,
+            SignalZone::Fair => -55.0,
+            SignalZone::Weak => -65.0,
+            SignalZone::Poor => -75.0,
+            SignalZone::OutOfRange => -92.0,
+        }
+    }
+
+    /// Classify an RSSI value into a zone.
+    #[must_use]
+    pub fn from_rssi(rssi_dbm: f64) -> Self {
+        if rssi_dbm > -40.0 {
+            SignalZone::Good
+        } else if rssi_dbm > -60.0 {
+            SignalZone::Fair
+        } else if rssi_dbm > -70.0 {
+            SignalZone::Weak
+        } else if rssi_dbm > -85.0 {
+            SignalZone::Poor
+        } else {
+            SignalZone::OutOfRange
+        }
+    }
+}
+
+/// A piecewise-constant RSSI trace: the device holds each signal level
+/// until the next waypoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MobilityTrace {
+    /// (time_us, rssi_dbm) waypoints, sorted by time; the first applies
+    /// from t = 0.
+    steps: Vec<(u64, f64)>,
+}
+
+impl MobilityTrace {
+    /// A device that never moves.
+    #[must_use]
+    pub fn stationary(rssi_dbm: f64) -> Self {
+        MobilityTrace {
+            steps: vec![(0, rssi_dbm)],
+        }
+    }
+
+    /// A device parked in one zone.
+    #[must_use]
+    pub fn in_zone(zone: SignalZone) -> Self {
+        MobilityTrace::stationary(zone.rssi_dbm())
+    }
+
+    /// Build a trace from explicit `(time_us, rssi_dbm)` waypoints.
+    /// Steps are sorted by time; an initial waypoint at t = 0 is added
+    /// (good signal) if missing.
+    #[must_use]
+    pub fn from_steps(mut steps: Vec<(u64, f64)>) -> Self {
+        steps.sort_by_key(|&(t, _)| t);
+        if steps.first().map(|&(t, _)| t != 0).unwrap_or(true) {
+            steps.insert(0, (0, SignalZone::Good.rssi_dbm()));
+        }
+        MobilityTrace { steps }
+    }
+
+    /// The paper's Fig. 10 walk: good for `dwell_us`, then weak for
+    /// `dwell_us`, then poor.
+    #[must_use]
+    pub fn fig10_walk(dwell_us: u64) -> Self {
+        MobilityTrace::from_steps(vec![
+            (0, SignalZone::Good.rssi_dbm()),
+            (dwell_us, SignalZone::Weak.rssi_dbm()),
+            (2 * dwell_us, SignalZone::Poor.rssi_dbm()),
+        ])
+    }
+
+    /// Append a waypoint: from `time_us` on, the device sits at `rssi_dbm`.
+    pub fn add_step(&mut self, time_us: u64, rssi_dbm: f64) {
+        self.steps.push((time_us, rssi_dbm));
+        self.steps.sort_by_key(|&(t, _)| t);
+    }
+
+    /// RSSI at time `t_us`, dBm.
+    #[must_use]
+    pub fn rssi_at(&self, t_us: u64) -> f64 {
+        let mut current = self.steps.first().map(|&(_, r)| r).unwrap_or(-28.0);
+        for &(t, r) in &self.steps {
+            if t <= t_us {
+                current = r;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+
+    /// Zone at time `t_us`.
+    #[must_use]
+    pub fn zone_at(&self, t_us: u64) -> SignalZone {
+        SignalZone::from_rssi(self.rssi_at(t_us))
+    }
+
+    /// Times at which the RSSI changes (excluding t = 0), useful for
+    /// schedulers that must re-evaluate links exactly at transitions.
+    pub fn transition_times(&self) -> impl Iterator<Item = u64> + '_ {
+        self.steps.iter().skip(1).map(|&(t, _)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zones_round_trip_through_rssi() {
+        for z in [
+            SignalZone::Good,
+            SignalZone::Fair,
+            SignalZone::Weak,
+            SignalZone::Poor,
+            SignalZone::OutOfRange,
+        ] {
+            assert_eq!(SignalZone::from_rssi(z.rssi_dbm()), z);
+        }
+    }
+
+    #[test]
+    fn stationary_trace_is_constant() {
+        let t = MobilityTrace::in_zone(SignalZone::Fair);
+        assert_eq!(t.rssi_at(0), -55.0);
+        assert_eq!(t.rssi_at(u64::MAX), -55.0);
+    }
+
+    #[test]
+    fn fig10_walk_steps_through_three_zones() {
+        let minute = 60_000_000;
+        let t = MobilityTrace::fig10_walk(minute);
+        assert_eq!(t.zone_at(0), SignalZone::Good);
+        assert_eq!(t.zone_at(minute - 1), SignalZone::Good);
+        assert_eq!(t.zone_at(minute), SignalZone::Weak);
+        assert_eq!(t.zone_at(2 * minute + 1), SignalZone::Poor);
+    }
+
+    #[test]
+    fn steps_are_sorted_and_zero_anchored() {
+        let t = MobilityTrace::from_steps(vec![(50, -75.0), (10, -55.0)]);
+        assert_eq!(t.rssi_at(0), SignalZone::Good.rssi_dbm());
+        assert_eq!(t.rssi_at(10), -55.0);
+        assert_eq!(t.rssi_at(49), -55.0);
+        assert_eq!(t.rssi_at(50), -75.0);
+    }
+
+    #[test]
+    fn add_step_keeps_order() {
+        let mut t = MobilityTrace::stationary(-28.0);
+        t.add_step(100, -75.0);
+        t.add_step(50, -55.0);
+        assert_eq!(t.rssi_at(60), -55.0);
+        assert_eq!(t.rssi_at(100), -75.0);
+        let trans: Vec<u64> = t.transition_times().collect();
+        assert_eq!(trans, vec![50, 100]);
+    }
+
+    #[test]
+    fn boundary_classification() {
+        assert_eq!(SignalZone::from_rssi(-30.0), SignalZone::Good);
+        assert_eq!(SignalZone::from_rssi(-62.0), SignalZone::Weak);
+        assert_eq!(SignalZone::from_rssi(-80.0), SignalZone::Poor);
+        assert_eq!(SignalZone::from_rssi(-90.0), SignalZone::OutOfRange);
+    }
+}

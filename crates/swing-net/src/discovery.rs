@@ -1,0 +1,216 @@
+//! Master discovery over UDP — the Android NSD analog.
+//!
+//! In the paper's Discovery Service, "the master broadcasts itself by
+//! registering a Network Service on the network [...]. Each worker device
+//! maintains a background service that listens for the master and
+//! connects to it upon discovery" (§IV-C).
+//!
+//! This implementation inverts the datagram direction to stay
+//! multi-process-friendly on one host: the master binds a well-known UDP
+//! port and answers queries ([`MasterResponder`]); workers probe that
+//! port from an ephemeral socket ([`query_master`]). The observable
+//! behaviour is the same — a worker that comes up discovers the master's
+//! TCP address and connects.
+
+use crate::error::{NetError, NetResult};
+use std::io::ErrorKind;
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Default discovery port; override per swarm to run several at once.
+pub const DEFAULT_DISCOVERY_PORT: u16 = 41_414;
+
+const QUERY: &[u8] = b"SWING?";
+const REPLY_PREFIX: &[u8] = b"SWING!";
+
+/// Information a master advertises.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MasterInfo {
+    /// Application name being deployed.
+    pub app: String,
+    /// TCP address of the master's control socket.
+    pub addr: String,
+}
+
+/// Background thread answering discovery queries for a master.
+#[derive(Debug)]
+pub struct MasterResponder {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    port: u16,
+}
+
+impl MasterResponder {
+    /// Start answering queries on `port`, advertising `info`.
+    pub fn start(port: u16, info: MasterInfo) -> NetResult<Self> {
+        let socket = UdpSocket::bind(("127.0.0.1", port))?;
+        socket.set_read_timeout(Some(Duration::from_millis(100)))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let reply = {
+            let mut r = REPLY_PREFIX.to_vec();
+            r.push(b' ');
+            r.extend_from_slice(info.app.as_bytes());
+            r.push(b'\n');
+            r.extend_from_slice(info.addr.as_bytes());
+            r
+        };
+        let handle = std::thread::Builder::new()
+            .name("swing-discovery".into())
+            .spawn(move || {
+                let mut buf = [0u8; 512];
+                while !stop2.load(Ordering::Relaxed) {
+                    match socket.recv_from(&mut buf) {
+                        Ok((n, peer)) if &buf[..n] == QUERY => {
+                            let _ = socket.send_to(&reply, peer);
+                        }
+                        Ok(_) => {} // unknown datagram: ignore
+                        Err(e)
+                            if e.kind() == ErrorKind::WouldBlock
+                                || e.kind() == ErrorKind::TimedOut => {}
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn discovery thread");
+        Ok(MasterResponder {
+            stop,
+            handle: Some(handle),
+            port,
+        })
+    }
+
+    /// The UDP port being served.
+    #[must_use]
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Stop the responder thread (also done on drop).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MasterResponder {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Probe for a master on `port`, retrying until `timeout` elapses.
+pub fn query_master(port: u16, timeout: Duration) -> NetResult<MasterInfo> {
+    let socket = UdpSocket::bind(("127.0.0.1", 0))?;
+    socket.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let deadline = Instant::now() + timeout;
+    let mut buf = [0u8; 512];
+    loop {
+        socket.send_to(QUERY, ("127.0.0.1", port))?;
+        match socket.recv_from(&mut buf) {
+            Ok((n, _)) => {
+                if let Some(info) = parse_reply(&buf[..n]) {
+                    return Ok(info);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) => return Err(e.into()),
+        }
+        if Instant::now() >= deadline {
+            return Err(NetError::DiscoveryTimeout);
+        }
+    }
+}
+
+fn parse_reply(raw: &[u8]) -> Option<MasterInfo> {
+    let raw = raw.strip_prefix(REPLY_PREFIX)?.strip_prefix(b" ")?;
+    let text = std::str::from_utf8(raw).ok()?;
+    let (app, addr) = text.split_once('\n')?;
+    Some(MasterInfo {
+        app: app.to_owned(),
+        addr: addr.to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU16, Ordering};
+
+    /// Distinct ports per test to avoid collisions under parallel runs.
+    static NEXT_PORT: AtomicU16 = AtomicU16::new(42_700);
+
+    fn test_port() -> u16 {
+        NEXT_PORT.fetch_add(1, Ordering::Relaxed)
+    }
+
+    #[test]
+    fn worker_discovers_master() {
+        let port = test_port();
+        let info = MasterInfo {
+            app: "face-recognition".into(),
+            addr: "127.0.0.1:5001".into(),
+        };
+        let _responder = MasterResponder::start(port, info.clone()).unwrap();
+        let found = query_master(port, Duration::from_secs(2)).unwrap();
+        assert_eq!(found, info);
+    }
+
+    #[test]
+    fn discovery_times_out_without_master() {
+        let port = test_port();
+        let err = query_master(port, Duration::from_millis(250)).unwrap_err();
+        assert!(matches!(err, NetError::DiscoveryTimeout));
+    }
+
+    #[test]
+    fn multiple_workers_discover_the_same_master() {
+        let port = test_port();
+        let info = MasterInfo {
+            app: "voice".into(),
+            addr: "127.0.0.1:6001".into(),
+        };
+        let _responder = MasterResponder::start(port, info.clone()).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let expect = info.clone();
+                std::thread::spawn(move || {
+                    let found = query_master(port, Duration::from_secs(2)).unwrap();
+                    assert_eq!(found, expect);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn responder_stops_cleanly() {
+        let port = test_port();
+        let mut responder = MasterResponder::start(
+            port,
+            MasterInfo {
+                app: "x".into(),
+                addr: "y".into(),
+            },
+        )
+        .unwrap();
+        responder.stop();
+        assert!(query_master(port, Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn reply_parsing_rejects_garbage() {
+        assert!(parse_reply(b"nonsense").is_none());
+        assert!(parse_reply(b"SWING! appnoaddr").is_none());
+        let ok = parse_reply(b"SWING! app\n1.2.3.4:5").unwrap();
+        assert_eq!(ok.app, "app");
+        assert_eq!(ok.addr, "1.2.3.4:5");
+    }
+}

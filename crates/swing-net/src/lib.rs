@@ -1,0 +1,22 @@
+//! # swing-net
+//!
+//! Network substrate for Swing: the tuple wire format (the paper's
+//! *Serialization Service*), length-delimited TCP transport, UDP-based
+//! master discovery (the Android NSD analog), and the wireless link model
+//! used by the simulator (sender-side queueing + 802.11 rate adaptation).
+//!
+//! The live runtime (`swing-runtime`) uses [`wire`], [`frame`], [`tcp`]
+//! and [`discovery`]; the simulator (`swing-sim`) uses [`link`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod discovery;
+pub mod error;
+pub mod frame;
+pub mod link;
+pub mod tcp;
+pub mod wire;
+
+pub use error::{NetError, NetResult};
+pub use wire::Message;

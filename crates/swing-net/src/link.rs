@@ -1,0 +1,212 @@
+//! Wireless link model used by the simulator.
+//!
+//! The phones in the paper's testbed share one Wi-Fi access point. A
+//! sender owns a single radio, so transmissions to different downstream
+//! devices *serialize*: while the source is pushing a frame to a
+//! weak-signal device at a collapsed PHY rate, frames for everyone else
+//! wait. This is exactly the mechanism behind the paper's Fig. 2 ("Wi-Fi
+//! signal strength primarily affects network transmission delay") and the
+//! poor performance of processing-delay-based policies in Fig. 4 —
+//! routing to weak-signal devices "directly reduces throughput and
+//! increases latency" (§VI-B1).
+//!
+//! [`SenderRadio`] models the sender-side FIFO; per-transmission airtime
+//! comes from the RSSI-dependent [`LinkQuality`] of the destination plus
+//! multiplicative jitter.
+
+use rand::Rng;
+use swing_device::radio::LinkQuality;
+
+/// One scheduled transmission on the sender's radio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transmission {
+    /// When the radio starts sending this payload, microseconds.
+    pub start_us: u64,
+    /// When the last byte leaves (payload delivered), microseconds.
+    pub end_us: u64,
+}
+
+impl Transmission {
+    /// Queueing + airtime experienced by this payload given its arrival
+    /// at `enqueued_us`.
+    #[must_use]
+    pub fn delay_from(&self, enqueued_us: u64) -> u64 {
+        self.end_us.saturating_sub(enqueued_us)
+    }
+}
+
+/// The sender-side radio: a single FIFO server shared by all
+/// destinations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SenderRadio {
+    free_at_us: u64,
+    sent_bytes: u64,
+    transmissions: u64,
+}
+
+impl SenderRadio {
+    /// A radio that is idle from t = 0.
+    #[must_use]
+    pub fn new() -> Self {
+        SenderRadio::default()
+    }
+
+    /// Schedule a payload of `bytes` arriving at `now_us` for a
+    /// destination whose link has `quality`. Returns the transmission
+    /// schedule; the radio is busy until its end.
+    pub fn enqueue<R: Rng + ?Sized>(
+        &mut self,
+        now_us: u64,
+        bytes: usize,
+        quality: LinkQuality,
+        rng: &mut R,
+    ) -> Option<Transmission> {
+        if !quality.connected {
+            return None;
+        }
+        let airtime = sample_airtime_us(bytes, quality, rng);
+        let start = self.free_at_us.max(now_us);
+        let end = start + airtime;
+        self.free_at_us = end;
+        self.sent_bytes += bytes as u64;
+        self.transmissions += 1;
+        Some(Transmission {
+            start_us: start,
+            end_us: end,
+        })
+    }
+
+    /// How much work is queued ahead of a payload arriving at `now_us`.
+    #[must_use]
+    pub fn backlog_us(&self, now_us: u64) -> u64 {
+        self.free_at_us.saturating_sub(now_us)
+    }
+
+    /// Total bytes pushed through the radio.
+    #[must_use]
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes
+    }
+
+    /// Number of transmissions scheduled.
+    #[must_use]
+    pub fn transmissions(&self) -> u64 {
+        self.transmissions
+    }
+}
+
+/// Sample the airtime of one payload: RSSI-band base delay plus
+/// size/goodput, with the band's multiplicative jitter.
+pub fn sample_airtime_us<R: Rng + ?Sized>(
+    bytes: usize,
+    quality: LinkQuality,
+    rng: &mut R,
+) -> u64 {
+    let nominal = quality.base_delay_us as f64 + bytes as f64 / quality.goodput_bps * 1_000_000.0;
+    let jitter = 1.0 + quality.jitter * rng.random_range(-1.0..1.0);
+    (nominal * jitter.max(0.05)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use swing_device::mobility::SignalZone;
+    use swing_device::radio::link_quality;
+
+    fn good() -> LinkQuality {
+        link_quality(SignalZone::Good.rssi_dbm())
+    }
+
+    fn poor() -> LinkQuality {
+        link_quality(SignalZone::Poor.rssi_dbm())
+    }
+
+    #[test]
+    fn idle_radio_sends_immediately() {
+        let mut radio = SenderRadio::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tx = radio.enqueue(1_000, 6_000, good(), &mut rng).unwrap();
+        assert_eq!(tx.start_us, 1_000);
+        assert!(tx.end_us > tx.start_us);
+        assert_eq!(radio.transmissions(), 1);
+        assert_eq!(radio.sent_bytes(), 6_000);
+    }
+
+    #[test]
+    fn busy_radio_queues_fifo() {
+        let mut radio = SenderRadio::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let first = radio.enqueue(0, 6_000, good(), &mut rng).unwrap();
+        let second = radio.enqueue(0, 6_000, good(), &mut rng).unwrap();
+        assert_eq!(second.start_us, first.end_us);
+        assert!(radio.backlog_us(0) >= second.end_us - second.start_us);
+    }
+
+    #[test]
+    fn weak_destination_delays_later_traffic_to_strong_ones() {
+        // The head-of-line blocking mechanism from §VI-B1.
+        let mut radio = SenderRadio::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let slow = radio.enqueue(0, 6_000, poor(), &mut rng).unwrap();
+        let fast = radio.enqueue(1, 6_000, good(), &mut rng).unwrap();
+        // The fast destination's frame waits for the slow transmission.
+        assert!(fast.start_us >= slow.end_us);
+        assert!(fast.delay_from(1) > slow.end_us / 2);
+    }
+
+    #[test]
+    fn disconnected_destination_returns_none() {
+        let mut radio = SenderRadio::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let q = link_quality(-95.0);
+        assert!(radio.enqueue(0, 100, q, &mut rng).is_none());
+        assert_eq!(radio.transmissions(), 0);
+    }
+
+    #[test]
+    fn airtime_is_jittered_around_nominal() {
+        let q = good();
+        let mut rng = StdRng::seed_from_u64(5);
+        let nominal =
+            q.base_delay_us as f64 + 6_000.0 / q.goodput_bps * 1_000_000.0;
+        let n = 3_000;
+        let mean: f64 = (0..n)
+            .map(|_| sample_airtime_us(6_000, q, &mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - nominal).abs() / nominal < 0.03, "mean {mean} vs {nominal}");
+    }
+
+    #[test]
+    fn radio_idles_between_bursts() {
+        let mut radio = SenderRadio::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let tx = radio.enqueue(0, 6_000, good(), &mut rng).unwrap();
+        // Long after the burst, a new payload starts immediately.
+        let later = tx.end_us + 1_000_000;
+        let tx2 = radio.enqueue(later, 6_000, good(), &mut rng).unwrap();
+        assert_eq!(tx2.start_us, later);
+        assert_eq!(radio.backlog_us(tx2.end_us), 0);
+    }
+
+    #[test]
+    fn sustained_overload_on_poor_link_builds_seconds_of_backlog() {
+        // Fig 2 "Bad" signal: 24 FPS of 6 kB frames into a ~0.16 MB/s
+        // link overloads it; after 10 s the sender queue is seconds deep.
+        let mut radio = SenderRadio::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let gap = 1_000_000 / 24;
+        let mut last_delay = 0;
+        for i in 0..240 {
+            let now = i * gap;
+            let tx = radio.enqueue(now, 6_000, poor(), &mut rng).unwrap();
+            last_delay = tx.delay_from(now);
+        }
+        assert!(
+            last_delay > 1_000_000,
+            "expected seconds of queueing, got {last_delay} us"
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! TCP message transport.
+//!
+//! SEEP "provides a convenient interface for defining graph topologies by
+//! abstracting away the details of TCP socket connections" (§IV-C); this
+//! module plays that role for the Rust runtime. A [`MessageStream`] sends
+//! and receives framed [`Message`]s over a `TcpStream`; a
+//! [`MessageListener`] accepts incoming connections.
+
+use crate::error::NetResult;
+use crate::frame::{read_frame, write_frame};
+use crate::wire::Message;
+use std::fmt;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A bidirectional framed message channel over TCP.
+///
+/// Reads and writes are independently buffered; `MessageStream` is not
+/// internally synchronized — use [`try_clone`](Self::try_clone) to give a
+/// reader thread and a writer thread their own handles.
+pub struct MessageStream {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    peer: SocketAddr,
+}
+
+impl fmt::Debug for MessageStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MessageStream")
+            .field("peer", &self.peer)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MessageStream {
+    /// Wrap an already connected socket.
+    pub fn new(stream: TcpStream) -> NetResult<Self> {
+        stream.set_nodelay(true)?;
+        let peer = stream.peer_addr()?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(MessageStream {
+            reader,
+            writer,
+            peer,
+        })
+    }
+
+    /// Connect to a listening peer.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> NetResult<Self> {
+        let stream = TcpStream::connect(addr)?;
+        MessageStream::new(stream)
+    }
+
+    /// Connect with a timeout.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> NetResult<Self> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        MessageStream::new(stream)
+    }
+
+    /// The remote address.
+    #[must_use]
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Send one message.
+    pub fn send(&mut self, msg: &Message) -> NetResult<()> {
+        write_frame(&mut self.writer, &msg.encode())
+    }
+
+    /// Receive the next message, blocking. Returns
+    /// [`NetError::Closed`](crate::error::NetError::Closed) on clean
+    /// shutdown.
+    pub fn recv(&mut self) -> NetResult<Message> {
+        let payload = read_frame(&mut self.reader)?;
+        Message::decode(&payload)
+    }
+
+    /// Set a read timeout (None blocks forever). A timed-out `recv`
+    /// returns an [`Io`](crate::error::NetError::Io) error of kind
+    /// `WouldBlock` or `TimedOut`.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> NetResult<()> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Clone the underlying socket into an independent handle (e.g. one
+    /// handle per direction in reader/writer threads).
+    pub fn try_clone(&self) -> NetResult<Self> {
+        let stream = self.reader.get_ref().try_clone()?;
+        MessageStream::new(stream)
+    }
+
+    /// Shut down both directions; subsequent `recv` on the peer returns
+    /// `Closed`.
+    pub fn shutdown(&self) {
+        let _ = self.reader.get_ref().shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Accepts framed message connections.
+#[derive(Debug)]
+pub struct MessageListener {
+    listener: TcpListener,
+}
+
+impl MessageListener {
+    /// Bind to an address; use port 0 for an ephemeral port.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> NetResult<Self> {
+        Ok(MessageListener {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound local address (with the resolved port).
+    pub fn local_addr(&self) -> NetResult<SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Accept the next connection, blocking.
+    pub fn accept(&self) -> NetResult<MessageStream> {
+        let (stream, _) = self.listener.accept()?;
+        MessageStream::new(stream)
+    }
+
+    /// Put the listener into non-blocking mode (`accept` then returns
+    /// `WouldBlock` IO errors instead of blocking).
+    pub fn set_nonblocking(&self, nonblocking: bool) -> NetResult<()> {
+        self.listener.set_nonblocking(nonblocking)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::NetError;
+    use std::thread;
+    use swing_core::{SeqNo, Tuple, UnitId};
+
+    #[test]
+    fn messages_flow_both_ways() {
+        let listener = MessageListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let server = thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            let msg = conn.recv().unwrap();
+            match &msg {
+                Message::Data { dest, tuple, .. } => {
+                    assert_eq!(*dest, UnitId(5));
+                    assert_eq!(tuple.bytes("frame").unwrap().len(), 6_000);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            conn.send(&Message::Ack {
+                seq: SeqNo(1),
+                to: UnitId(0),
+                from: UnitId(5),
+                sent_at_us: 42,
+                processing_us: 81_000,
+            })
+            .unwrap();
+        });
+
+        let mut client = MessageStream::connect(addr).unwrap();
+        client
+            .send(&Message::Data {
+                dest: UnitId(5),
+                from: UnitId(0),
+                tuple: Tuple::with_seq(SeqNo(1)).with("frame", vec![0u8; 6_000]),
+            })
+            .unwrap();
+        let ack = client.recv().unwrap();
+        assert_eq!(
+            ack,
+            Message::Ack {
+                seq: SeqNo(1),
+                to: UnitId(0),
+                from: UnitId(5),
+                sent_at_us: 42,
+                processing_us: 81_000,
+            }
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn clean_shutdown_reports_closed() {
+        let listener = MessageListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let conn = listener.accept().unwrap();
+            drop(conn);
+        });
+        let mut client = MessageStream::connect(addr).unwrap();
+        server.join().unwrap();
+        assert!(matches!(client.recv(), Err(NetError::Closed)));
+    }
+
+    #[test]
+    fn many_messages_preserve_order() {
+        let listener = MessageListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            for i in 0..100u64 {
+                match conn.recv().unwrap() {
+                    Message::Data { tuple, .. } => assert_eq!(tuple.seq(), SeqNo(i)),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        });
+        let mut client = MessageStream::connect(addr).unwrap();
+        for i in 0..100u64 {
+            client
+                .send(&Message::Data {
+                    dest: UnitId(1),
+                    from: UnitId(0),
+                    tuple: Tuple::with_seq(SeqNo(i)),
+                })
+                .unwrap();
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn read_timeout_unblocks_recv() {
+        let listener = MessageListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _keep = thread::spawn(move || listener.accept());
+        let mut client = MessageStream::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        match client.recv() {
+            Err(NetError::Io(e)) => assert!(
+                e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+            ),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+}

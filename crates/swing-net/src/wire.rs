@@ -1,0 +1,594 @@
+//! The wire format — Swing's *Serialization Service*.
+//!
+//! "Communicating through socket connections requires serialization.
+//! [...] Swing extends SEEP's serialization function and transforms
+//! customized objects into a byte array [...] at the sender, and
+//! transforms the array back to the object at the receiver" (§IV-C).
+//!
+//! This module defines the complete message vocabulary of the Swing
+//! protocol — data tuples, ACKs and the master/worker control plane of
+//! the deployment workflow (§IV-B) — and a compact, hand-rolled binary
+//! encoding with explicit bounds checking. All integers are big-endian.
+
+use crate::error::{NetError, NetResult};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use swing_core::graph::StageId;
+use swing_core::{DeviceId, SeqNo, Tuple, UnitId, Value};
+
+/// Protocol version carried in every message.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Magic byte opening every message.
+const MAGIC: u8 = 0x57; // 'W'
+
+/// Maximum accepted field / string length (guards against corrupt or
+/// hostile length prefixes).
+const MAX_CHUNK: usize = 64 * 1024 * 1024;
+
+/// Every message exchanged between Swing threads.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Message {
+    /// A data tuple addressed to a downstream function unit.
+    Data {
+        /// Destination function-unit instance.
+        dest: UnitId,
+        /// The upstream instance that dispatched it (ACKs return here).
+        from: UnitId,
+        /// The tuple payload.
+        tuple: Tuple,
+    },
+    /// Acknowledgement carrying the measured processing delay (§V-B).
+    Ack {
+        /// Sequence number of the acknowledged tuple.
+        seq: SeqNo,
+        /// The upstream instance whose router is waiting for this ACK.
+        to: UnitId,
+        /// The downstream unit that processed it.
+        from: UnitId,
+        /// Dispatch timestamp echoed back from the tuple.
+        sent_at_us: u64,
+        /// Processing delay at the downstream, microseconds.
+        processing_us: u64,
+    },
+    /// Worker → master: request to join the swarm (§IV-B step 2).
+    Join {
+        /// The joining device.
+        device: DeviceId,
+        /// Human-readable device name.
+        name: String,
+        /// Address where the worker accepts peer connections.
+        listen_addr: String,
+    },
+    /// Master → worker: activate a function unit by stage name
+    /// (§IV-B step 3: workers already hold all code; the master "simply
+    /// provides each worker the name of the function units it must
+    /// activate").
+    Activate {
+        /// Instance id assigned by the master.
+        unit: UnitId,
+        /// Logical stage to instantiate.
+        stage: StageId,
+        /// Stage name, for logging and code lookup.
+        stage_name: String,
+    },
+    /// Master → worker: connect an upstream unit to a downstream unit at
+    /// the given address.
+    Connect {
+        /// Upstream instance on the receiving worker.
+        upstream: UnitId,
+        /// Downstream instance to route to.
+        downstream: UnitId,
+        /// Network address of the downstream worker.
+        addr: String,
+    },
+    /// Master → workers: begin sensing and computing (§IV-B step 4).
+    Start,
+    /// Master → workers: stop the application.
+    Stop,
+    /// Worker → master: deployment acknowledged, ready to run.
+    Ready {
+        /// The acknowledging device.
+        device: DeviceId,
+    },
+    /// Graceful departure notice.
+    Leave {
+        /// The departing device.
+        device: DeviceId,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Liveness reply, identifying the responding device.
+    Pong {
+        /// The device answering the probe.
+        device: DeviceId,
+    },
+    /// Master → worker: join accepted, here is your device id.
+    Welcome {
+        /// Device id assigned by the master.
+        device: DeviceId,
+    },
+}
+
+impl Message {
+    /// Encode into a byte buffer (without any outer framing).
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_u8(MAGIC);
+        b.put_u8(WIRE_VERSION);
+        match self {
+            Message::Data { dest, from, tuple } => {
+                b.put_u8(1);
+                b.put_u32(dest.0);
+                b.put_u32(from.0);
+                encode_tuple(&mut b, tuple);
+            }
+            Message::Ack {
+                seq,
+                to,
+                from,
+                sent_at_us,
+                processing_us,
+            } => {
+                b.put_u8(2);
+                b.put_u64(seq.0);
+                b.put_u32(to.0);
+                b.put_u32(from.0);
+                b.put_u64(*sent_at_us);
+                b.put_u64(*processing_us);
+            }
+            Message::Join {
+                device,
+                name,
+                listen_addr,
+            } => {
+                b.put_u8(3);
+                b.put_u32(device.0);
+                put_str(&mut b, name);
+                put_str(&mut b, listen_addr);
+            }
+            Message::Activate {
+                unit,
+                stage,
+                stage_name,
+            } => {
+                b.put_u8(4);
+                b.put_u32(unit.0);
+                b.put_u32(stage.0);
+                put_str(&mut b, stage_name);
+            }
+            Message::Connect {
+                upstream,
+                downstream,
+                addr,
+            } => {
+                b.put_u8(5);
+                b.put_u32(upstream.0);
+                b.put_u32(downstream.0);
+                put_str(&mut b, addr);
+            }
+            Message::Start => b.put_u8(6),
+            Message::Stop => b.put_u8(7),
+            Message::Ready { device } => {
+                b.put_u8(8);
+                b.put_u32(device.0);
+            }
+            Message::Leave { device } => {
+                b.put_u8(9);
+                b.put_u32(device.0);
+            }
+            Message::Ping => b.put_u8(10),
+            Message::Pong { device } => {
+                b.put_u8(11);
+                b.put_u32(device.0);
+            }
+            Message::Welcome { device } => {
+                b.put_u8(12);
+                b.put_u32(device.0);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Decode a message previously produced by [`encode`](Self::encode).
+    pub fn decode(mut buf: &[u8]) -> NetResult<Message> {
+        let magic = get_u8(&mut buf)?;
+        if magic != MAGIC {
+            return Err(NetError::Malformed(format!("bad magic byte {magic:#x}")));
+        }
+        let version = get_u8(&mut buf)?;
+        if version != WIRE_VERSION {
+            return Err(NetError::VersionMismatch {
+                ours: WIRE_VERSION,
+                theirs: version,
+            });
+        }
+        let tag = get_u8(&mut buf)?;
+        let msg = match tag {
+            1 => Message::Data {
+                dest: UnitId(get_u32(&mut buf)?),
+                from: UnitId(get_u32(&mut buf)?),
+                tuple: decode_tuple(&mut buf)?,
+            },
+            2 => Message::Ack {
+                seq: SeqNo(get_u64(&mut buf)?),
+                to: UnitId(get_u32(&mut buf)?),
+                from: UnitId(get_u32(&mut buf)?),
+                sent_at_us: get_u64(&mut buf)?,
+                processing_us: get_u64(&mut buf)?,
+            },
+            3 => Message::Join {
+                device: DeviceId(get_u32(&mut buf)?),
+                name: get_str(&mut buf)?,
+                listen_addr: get_str(&mut buf)?,
+            },
+            4 => Message::Activate {
+                unit: UnitId(get_u32(&mut buf)?),
+                stage: StageId(get_u32(&mut buf)?),
+                stage_name: get_str(&mut buf)?,
+            },
+            5 => Message::Connect {
+                upstream: UnitId(get_u32(&mut buf)?),
+                downstream: UnitId(get_u32(&mut buf)?),
+                addr: get_str(&mut buf)?,
+            },
+            6 => Message::Start,
+            7 => Message::Stop,
+            8 => Message::Ready {
+                device: DeviceId(get_u32(&mut buf)?),
+            },
+            9 => Message::Leave {
+                device: DeviceId(get_u32(&mut buf)?),
+            },
+            10 => Message::Ping,
+            11 => Message::Pong {
+                device: DeviceId(get_u32(&mut buf)?),
+            },
+            12 => Message::Welcome {
+                device: DeviceId(get_u32(&mut buf)?),
+            },
+            other => {
+                return Err(NetError::Malformed(format!("unknown message tag {other}")))
+            }
+        };
+        if !buf.is_empty() {
+            return Err(NetError::Malformed(format!(
+                "{} trailing bytes after message",
+                buf.len()
+            )));
+        }
+        Ok(msg)
+    }
+}
+
+fn encode_tuple(b: &mut BytesMut, tuple: &Tuple) {
+    b.put_u64(tuple.seq().0);
+    b.put_u64(tuple.sent_at_us());
+    let fields: Vec<(&str, &Value)> = tuple.iter().collect();
+    b.put_u16(fields.len() as u16);
+    for (key, value) in fields {
+        put_str(b, key);
+        match value {
+            Value::Bytes(v) => {
+                b.put_u8(1);
+                b.put_u32(v.len() as u32);
+                b.put_slice(v);
+            }
+            Value::Str(s) => {
+                b.put_u8(2);
+                put_long_str(b, s);
+            }
+            Value::I64(v) => {
+                b.put_u8(3);
+                b.put_i64(*v);
+            }
+            Value::F64(v) => {
+                b.put_u8(4);
+                b.put_f64(*v);
+            }
+            Value::F32Vec(v) => {
+                b.put_u8(5);
+                b.put_u32(v.len() as u32);
+                for x in v {
+                    b.put_f32(*x);
+                }
+            }
+            Value::Bool(v) => {
+                b.put_u8(6);
+                b.put_u8(u8::from(*v));
+            }
+            // `Value` is non_exhaustive for downstream users, but this
+            // crate always matches the full set.
+            #[allow(unreachable_patterns)]
+            _ => unreachable!("unknown Value variant"),
+        }
+    }
+}
+
+fn decode_tuple(buf: &mut &[u8]) -> NetResult<Tuple> {
+    let seq = SeqNo(get_u64(buf)?);
+    let sent_at = get_u64(buf)?;
+    let n = get_u16(buf)? as usize;
+    let mut tuple = Tuple::with_seq(seq);
+    tuple.stamp_sent(sent_at);
+    for _ in 0..n {
+        let key = get_str(buf)?;
+        let kind = get_u8(buf)?;
+        let value = match kind {
+            1 => {
+                let len = get_len(buf)?;
+                Value::Bytes(get_bytes(buf, len)?.to_vec())
+            }
+            2 => Value::Str(get_long_str(buf)?),
+            3 => Value::I64(get_u64(buf)? as i64),
+            4 => Value::F64(f64::from_bits(get_u64(buf)?)),
+            5 => {
+                let len = get_len(buf)?;
+                if len.checked_mul(4).map(|b| b > MAX_CHUNK).unwrap_or(true) {
+                    return Err(NetError::Malformed("f32 vector too large".into()));
+                }
+                let mut v = Vec::with_capacity(len);
+                for _ in 0..len {
+                    v.push(f32::from_bits(get_u32(buf)?));
+                }
+                Value::F32Vec(v)
+            }
+            6 => Value::Bool(get_u8(buf)? != 0),
+            other => {
+                return Err(NetError::Malformed(format!("unknown value kind {other}")))
+            }
+        };
+        tuple.set_value(key, value);
+    }
+    Ok(tuple)
+}
+
+fn put_str(b: &mut BytesMut, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize, "short string too long");
+    b.put_u16(s.len() as u16);
+    b.put_slice(s.as_bytes());
+}
+
+fn put_long_str(b: &mut BytesMut, s: &str) {
+    b.put_u32(s.len() as u32);
+    b.put_slice(s.as_bytes());
+}
+
+fn get_u8(buf: &mut &[u8]) -> NetResult<u8> {
+    if buf.remaining() < 1 {
+        return Err(NetError::Malformed("unexpected end of message".into()));
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u16(buf: &mut &[u8]) -> NetResult<u16> {
+    if buf.remaining() < 2 {
+        return Err(NetError::Malformed("unexpected end of message".into()));
+    }
+    Ok(buf.get_u16())
+}
+
+fn get_u32(buf: &mut &[u8]) -> NetResult<u32> {
+    if buf.remaining() < 4 {
+        return Err(NetError::Malformed("unexpected end of message".into()));
+    }
+    Ok(buf.get_u32())
+}
+
+fn get_u64(buf: &mut &[u8]) -> NetResult<u64> {
+    if buf.remaining() < 8 {
+        return Err(NetError::Malformed("unexpected end of message".into()));
+    }
+    Ok(buf.get_u64())
+}
+
+fn get_len(buf: &mut &[u8]) -> NetResult<usize> {
+    let len = get_u32(buf)? as usize;
+    if len > MAX_CHUNK {
+        return Err(NetError::Malformed(format!("chunk of {len} bytes too large")));
+    }
+    Ok(len)
+}
+
+fn get_bytes<'a>(buf: &mut &'a [u8], len: usize) -> NetResult<&'a [u8]> {
+    if buf.remaining() < len {
+        return Err(NetError::Malformed("unexpected end of message".into()));
+    }
+    let (head, tail) = buf.split_at(len);
+    *buf = tail;
+    Ok(head)
+}
+
+fn get_str(buf: &mut &[u8]) -> NetResult<String> {
+    let len = get_u16(buf)? as usize;
+    let raw = get_bytes(buf, len)?;
+    String::from_utf8(raw.to_vec())
+        .map_err(|_| NetError::Malformed("string is not valid UTF-8".into()))
+}
+
+fn get_long_str(buf: &mut &[u8]) -> NetResult<String> {
+    let len = get_len(buf)?;
+    let raw = get_bytes(buf, len)?;
+    String::from_utf8(raw.to_vec())
+        .map_err(|_| NetError::Malformed("string is not valid UTF-8".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let bytes = msg.encode();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn data_message_roundtrips() {
+        let mut tuple = Tuple::with_seq(SeqNo(42))
+            .with("frame", vec![7u8; 6_000])
+            .with("label", "face-17")
+            .with("score", 0.93f64)
+            .with("features", vec![1.0f32, -2.5, 3.25])
+            .with("count", -9i64)
+            .with("valid", true);
+        tuple.stamp_sent(123_456_789);
+        roundtrip(Message::Data {
+            dest: UnitId(3),
+            from: UnitId(0),
+            tuple,
+        });
+    }
+
+    #[test]
+    fn control_messages_roundtrip() {
+        roundtrip(Message::Ack {
+            seq: SeqNo(7),
+            to: UnitId(1),
+            from: UnitId(2),
+            sent_at_us: 999,
+            processing_us: 81_000,
+        });
+        roundtrip(Message::Join {
+            device: DeviceId(4),
+            name: "Galaxy S".into(),
+            listen_addr: "127.0.0.1:45000".into(),
+        });
+        roundtrip(Message::Activate {
+            unit: UnitId(9),
+            stage: StageId(1),
+            stage_name: "detect".into(),
+        });
+        roundtrip(Message::Connect {
+            upstream: UnitId(1),
+            downstream: UnitId(9),
+            addr: "127.0.0.1:45001".into(),
+        });
+        roundtrip(Message::Start);
+        roundtrip(Message::Stop);
+        roundtrip(Message::Ready { device: DeviceId(2) });
+        roundtrip(Message::Leave { device: DeviceId(2) });
+        roundtrip(Message::Ping);
+        roundtrip(Message::Pong { device: DeviceId(3) });
+        roundtrip(Message::Welcome { device: DeviceId(7) });
+    }
+
+    #[test]
+    fn empty_tuple_roundtrips() {
+        roundtrip(Message::Data {
+            dest: UnitId(0),
+            from: UnitId(9),
+            tuple: Tuple::new(),
+        });
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut bytes = Message::Ping.encode().to_vec();
+        bytes[0] = 0xFF;
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(NetError::Malformed(_))
+        ));
+
+        let mut bytes = Message::Ping.encode().to_vec();
+        bytes[1] = 99;
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(NetError::VersionMismatch { theirs: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_messages() {
+        let bytes = Message::Ack {
+            seq: SeqNo(7),
+            to: UnitId(1),
+            from: UnitId(2),
+            sent_at_us: 1,
+            processing_us: 2,
+        }
+        .encode();
+        for cut in 1..bytes.len() {
+            assert!(
+                Message::decode(&bytes[..cut]).is_err(),
+                "decode succeeded on {cut}-byte prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = Message::Ping.encode().to_vec();
+        bytes.push(0);
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(NetError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let bytes = vec![MAGIC, WIRE_VERSION, 200];
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(NetError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_length_prefix() {
+        // Hand-craft a Data message claiming a 1 GB byte field.
+        let mut b = BytesMut::new();
+        b.put_u8(MAGIC);
+        b.put_u8(WIRE_VERSION);
+        b.put_u8(1); // Data
+        b.put_u32(0); // dest
+        b.put_u32(0); // from
+        b.put_u64(0); // seq
+        b.put_u64(0); // sent_at
+        b.put_u16(1); // one field
+        b.put_u16(1);
+        b.put_slice(b"k");
+        b.put_u8(1); // bytes kind
+        b.put_u32(1_000_000_000);
+        assert!(matches!(
+            Message::decode(&b),
+            Err(NetError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn encoded_size_tracks_tuple_size() {
+        // Wire size should be close to Tuple::size_bytes so the simulator
+        // and the live transport agree on transmission cost.
+        let tuple = Tuple::new().with("frame", vec![0u8; 6_000]);
+        let est = tuple.size_bytes();
+        let actual = Message::Data {
+            dest: UnitId(0),
+            from: UnitId(0),
+            tuple,
+        }
+        .encode()
+        .len();
+        let diff = (actual as i64 - est as i64).unsigned_abs() as usize;
+        assert!(diff < 64, "estimate {est} vs wire {actual}");
+    }
+
+    #[test]
+    fn non_utf8_string_is_rejected() {
+        let mut b = BytesMut::new();
+        b.put_u8(MAGIC);
+        b.put_u8(WIRE_VERSION);
+        b.put_u8(3); // Join
+        b.put_u32(0);
+        b.put_u16(2);
+        b.put_slice(&[0xFF, 0xFE]); // invalid UTF-8 name
+        b.put_u16(0);
+        assert!(matches!(
+            Message::decode(&b),
+            Err(NetError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests of the wire format: round-trip fidelity and decoder
+//! robustness against arbitrary (corrupt) inputs.
+
+use proptest::prelude::*;
+use swing_core::graph::StageId;
+use swing_core::{DeviceId, SeqNo, Tuple, UnitId};
+use swing_net::Message;
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    let data = (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..512),
+        "[a-z0-9 ]{0,40}",
+    )
+        .prop_map(|(dest, from, seq, bytes, text)| Message::Data {
+            dest: UnitId(dest),
+            from: UnitId(from),
+            tuple: Tuple::with_seq(SeqNo(seq))
+                .with("payload", bytes)
+                .with("label", text),
+        });
+    let ack = (any::<u64>(), any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>())
+        .prop_map(|(seq, to, from, sent, proc)| Message::Ack {
+            seq: SeqNo(seq),
+            to: UnitId(to),
+            from: UnitId(from),
+            sent_at_us: sent,
+            processing_us: proc,
+        });
+    let join = (any::<u32>(), "[a-zA-Z0-9._-]{0,32}", "[a-z0-9.:]{0,32}").prop_map(
+        |(dev, name, addr)| Message::Join {
+            device: DeviceId(dev),
+            name,
+            listen_addr: addr,
+        },
+    );
+    let activate = (any::<u32>(), any::<u32>(), "[a-z-]{0,24}").prop_map(
+        |(unit, stage, name)| Message::Activate {
+            unit: UnitId(unit),
+            stage: StageId(stage),
+            stage_name: name,
+        },
+    );
+    let connect = (any::<u32>(), any::<u32>(), "[a-z0-9.:]{0,32}").prop_map(
+        |(up, down, addr)| Message::Connect {
+            upstream: UnitId(up),
+            downstream: UnitId(down),
+            addr,
+        },
+    );
+    let simple = prop_oneof![
+        Just(Message::Start),
+        Just(Message::Stop),
+        Just(Message::Ping),
+        any::<u32>().prop_map(|d| Message::Pong { device: DeviceId(d) }),
+        any::<u32>().prop_map(|d| Message::Ready { device: DeviceId(d) }),
+        any::<u32>().prop_map(|d| Message::Leave { device: DeviceId(d) }),
+        any::<u32>().prop_map(|d| Message::Welcome { device: DeviceId(d) }),
+    ];
+    prop_oneof![data, ack, join, activate, connect, simple]
+}
+
+proptest! {
+    /// Every message survives encode/decode exactly.
+    #[test]
+    fn messages_roundtrip(msg in arb_message()) {
+        let decoded = Message::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// The decoder never panics on arbitrary bytes — it only errors.
+    #[test]
+    fn decoder_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    /// Truncating a valid message at any point yields an error, never a
+    /// bogus success or a panic.
+    #[test]
+    fn truncations_are_rejected(msg in arb_message(), cut_frac in 0.0f64..1.0) {
+        let bytes = msg.encode();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(Message::decode(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Flipping one byte either errors or decodes to *some* message —
+    /// never panics (bit-flip robustness).
+    #[test]
+    fn single_byte_corruption_is_safe(
+        msg in arb_message(),
+        pos_frac in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = msg.encode().to_vec();
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len().max(1);
+        if !bytes.is_empty() {
+            bytes[pos] ^= xor;
+            let _ = Message::decode(&bytes);
+        }
+    }
+}

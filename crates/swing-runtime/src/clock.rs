@@ -1,0 +1,34 @@
+//! Process-wide monotonic clock in the microsecond timebase the core
+//! algorithms expect.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds since the first call in this process. Monotonic.
+#[must_use]
+pub fn now_us() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn clock_advances_with_real_time() {
+        let a = now_us();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let b = now_us();
+        assert!(b - a >= 4_000, "only {} us elapsed", b - a);
+    }
+}

@@ -1,0 +1,618 @@
+//! Function-unit executors: one thread per activated unit instance.
+//!
+//! Each executor owns its unit, a [`Router`] for its downstream edge
+//! (running the configured LRS/baseline policy), senders toward its
+//! downstream and upstream peers, and — for sinks — the reordering
+//! service and a [`SinkMeter`].
+
+use crate::clock::now_us;
+use crate::fabric::MsgSender;
+use crate::registry::AnyUnit;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use swing_core::config::{ReorderConfig, RouterConfig};
+use swing_core::rate::Pacer;
+use swing_core::reorder::ReorderBuffer;
+use swing_core::routing::{Router, RouterSnapshot};
+use swing_core::stats::Summary;
+use swing_core::unit::{Context, SinkUnit};
+use swing_core::{SeqNo, Tuple, UnitId};
+use swing_net::Message;
+
+/// Tuple field carrying the sensing timestamp end-to-end.
+pub const CREATED_US_FIELD: &str = "_created_us";
+
+/// Per-node runtime configuration, shared by all executors on a node.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Router configuration (policy, control period, probing...).
+    pub router: RouterConfig,
+    /// Source pacing rate, tuples per second.
+    pub input_fps: f64,
+    /// Sink reorder-buffer configuration.
+    pub reorder: ReorderConfig,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            router: RouterConfig::default(),
+            input_fps: 24.0,
+            reorder: ReorderConfig::one_second(),
+        }
+    }
+}
+
+/// Control and data messages delivered to an executor.
+#[derive(Debug)]
+pub enum ExecMsg {
+    /// A tuple to process.
+    Data {
+        /// The upstream instance that sent it.
+        from: UnitId,
+        /// The payload.
+        tuple: Tuple,
+    },
+    /// An ACK from a downstream for a tuple this unit dispatched.
+    Ack {
+        /// Acknowledged sequence number.
+        seq: SeqNo,
+        /// Processing delay at the downstream, microseconds.
+        processing_us: u64,
+    },
+    /// Route future tuples to this downstream too.
+    AddDownstream {
+        /// The downstream instance.
+        unit: UnitId,
+        /// Sender toward the node hosting it.
+        sender: MsgSender,
+    },
+    /// Stop routing to this downstream.
+    RemoveDownstream {
+        /// The downstream instance.
+        unit: UnitId,
+    },
+    /// Register the return path for ACKs to an upstream.
+    AddUpstream {
+        /// The upstream instance.
+        unit: UnitId,
+        /// Sender toward the node hosting it.
+        sender: MsgSender,
+    },
+    /// Begin producing (sources ignore data until started).
+    Start,
+    /// Shut down the executor.
+    Stop,
+}
+
+/// Live throughput/latency statistics collected by a sink executor.
+#[derive(Debug, Default)]
+pub struct SinkMeter {
+    inner: Mutex<MeterInner>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct MeterInner {
+    consumed: u64,
+    latency_ms: Summary,
+    first_us: Option<u64>,
+    last_us: Option<u64>,
+    skipped: u64,
+}
+
+/// Immutable snapshot of a [`SinkMeter`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinkReport {
+    /// Tuples played back to the sink.
+    pub consumed: u64,
+    /// End-to-end latency (sensing to sink arrival), milliseconds.
+    pub latency_ms: Summary,
+    /// Mean playback throughput over the active period, tuples/s.
+    pub throughput: f64,
+    /// Sequence numbers the reorder buffer gave up on.
+    pub skipped: u64,
+}
+
+impl SinkMeter {
+    fn record(&self, latency_ms: Option<f64>, now: u64) {
+        let mut m = self.inner.lock();
+        m.consumed += 1;
+        if let Some(l) = latency_ms {
+            m.latency_ms.update(l);
+        }
+        if m.first_us.is_none() {
+            m.first_us = Some(now);
+        }
+        m.last_us = Some(now);
+    }
+
+    fn set_skipped(&self, skipped: u64) {
+        self.inner.lock().skipped = skipped;
+    }
+
+    /// Snapshot the current statistics.
+    #[must_use]
+    pub fn report(&self) -> SinkReport {
+        let m = self.inner.lock().clone();
+        let throughput = match (m.first_us, m.last_us) {
+            (Some(a), Some(b)) if b > a => m.consumed as f64 * 1_000_000.0 / (b - a) as f64,
+            _ => 0.0,
+        };
+        SinkReport {
+            consumed: m.consumed,
+            latency_ms: m.latency_ms,
+            throughput,
+            skipped: m.skipped,
+        }
+    }
+}
+
+/// Handle to a running executor.
+#[derive(Debug)]
+pub struct ExecHandle {
+    /// The unit instance this executor runs.
+    pub unit: UnitId,
+    tx: crossbeam::channel::Sender<ExecMsg>,
+    join: Option<JoinHandle<()>>,
+    probe: Arc<Mutex<Option<RouterSnapshot>>>,
+}
+
+impl ExecHandle {
+    /// Deliver a message to the executor. Errors are ignored (a stopped
+    /// executor drops messages, which is what churn looks like).
+    pub fn send(&self, msg: ExecMsg) {
+        let _ = self.tx.send(msg);
+    }
+
+    /// The most recent routing-table snapshot published by this
+    /// executor (refreshed periodically and at stop). `None` for units
+    /// that never dispatched.
+    #[must_use]
+    pub fn router_snapshot(&self) -> Option<RouterSnapshot> {
+        self.probe.lock().clone()
+    }
+
+    /// Shared handle to this executor's snapshot slot (for the node's
+    /// observability registry).
+    pub(crate) fn probe_handle(&self) -> Arc<Mutex<Option<RouterSnapshot>>> {
+        Arc::clone(&self.probe)
+    }
+
+    /// Stop the executor and wait for its thread.
+    pub fn stop(&mut self) {
+        let _ = self.tx.send(ExecMsg::Stop);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ExecHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Shared routing state of one executor.
+struct Outbound {
+    me: UnitId,
+    router: Router,
+    downstreams: HashMap<UnitId, MsgSender>,
+    upstreams: HashMap<UnitId, MsgSender>,
+    probe: Arc<Mutex<Option<RouterSnapshot>>>,
+    dispatched: u64,
+}
+
+impl Outbound {
+    fn new(me: UnitId, config: &RouterConfig, probe: Arc<Mutex<Option<RouterSnapshot>>>) -> Self {
+        Outbound {
+            me,
+            router: Router::new(config.clone(), u64::from(me.0) + 1),
+            downstreams: HashMap::new(),
+            upstreams: HashMap::new(),
+            probe,
+            dispatched: 0,
+        }
+    }
+
+    /// Publish the current routing table for observers (every 64
+    /// dispatches, and whenever called explicitly).
+    fn publish(&mut self) {
+        let snap = self.router.snapshot(now_us());
+        *self.probe.lock() = Some(snap);
+    }
+
+    fn handle_control(&mut self, msg: ExecMsg) {
+        match msg {
+            ExecMsg::AddDownstream { unit, sender } => {
+                self.downstreams.insert(unit, sender);
+                self.router.add_downstream(unit, now_us());
+            }
+            ExecMsg::RemoveDownstream { unit } => {
+                self.downstreams.remove(&unit);
+                self.router.remove_downstream(unit);
+            }
+            ExecMsg::AddUpstream { unit, sender } => {
+                self.upstreams.insert(unit, sender);
+            }
+            ExecMsg::Ack { seq, processing_us } => {
+                self.router.on_ack(seq, now_us(), processing_us);
+            }
+            _ => {}
+        }
+    }
+
+    /// Route and send one tuple; on a broken link, remove the downstream
+    /// ("re-route data to other units", §IV-C) and retry.
+    fn dispatch(&mut self, mut tuple: Tuple) {
+        self.dispatched += 1;
+        if self.dispatched % 64 == 0 {
+            self.publish();
+        }
+        loop {
+            let now = now_us();
+            let Ok(dest) = self.router.route(now) else {
+                return; // no downstream left: drop
+            };
+            tuple.stamp_sent(now);
+            self.router.on_send(tuple.seq(), dest, now);
+            let Some(sender) = self.downstreams.get(&dest) else {
+                // Connection not established yet; drop rather than wedge.
+                self.router.remove_downstream(dest);
+                continue;
+            };
+            match sender.send(Message::Data {
+                dest,
+                from: self.me,
+                tuple,
+            }) {
+                Ok(()) => return,
+                Err(crossbeam::channel::SendError(msg)) => {
+                    // Link broken: the peer is gone. Recover the tuple,
+                    // drop the route, try another downstream.
+                    self.downstreams.remove(&dest);
+                    self.router.remove_downstream(dest);
+                    match msg {
+                        Message::Data { tuple: t, .. } => tuple = t,
+                        _ => unreachable!("we sent a Data message"),
+                    }
+                }
+            }
+        }
+    }
+
+    fn ack(&self, upstream: UnitId, seq: SeqNo, sent_at_us: u64, processing_us: u64) {
+        if let Some(sender) = self.upstreams.get(&upstream) {
+            let _ = sender.send(Message::Ack {
+                seq,
+                to: upstream,
+                from: self.me,
+                sent_at_us,
+                processing_us,
+            });
+        }
+    }
+}
+
+/// Spawn the executor thread for a unit instance.
+///
+/// Sinks report into the returned [`SinkMeter`] (always present, unused
+/// by other roles).
+pub fn spawn(unit: UnitId, any: AnyUnit, config: NodeConfig) -> (ExecHandle, Arc<SinkMeter>) {
+    let (tx, rx) = crossbeam::channel::unbounded::<ExecMsg>();
+    let meter = Arc::new(SinkMeter::default());
+    let meter2 = Arc::clone(&meter);
+    let probe: Arc<Mutex<Option<RouterSnapshot>>> = Arc::new(Mutex::new(None));
+    let probe2 = Arc::clone(&probe);
+    let join = std::thread::Builder::new()
+        .name(format!("swing-exec-{unit}"))
+        .spawn(move || match any {
+            AnyUnit::Source(src) => run_source(unit, src, &config, &rx, probe2),
+            AnyUnit::Operator(op) => run_operator(unit, op, &config, &rx, probe2),
+            AnyUnit::Sink(sink) => run_sink(unit, sink, &config, &rx, &meter2, probe2),
+        })
+        .expect("spawn executor thread");
+    (
+        ExecHandle {
+            unit,
+            tx,
+            join: Some(join),
+            probe,
+        },
+        meter,
+    )
+}
+
+fn run_source(
+    unit: UnitId,
+    mut src: Box<dyn swing_core::unit::SourceUnit>,
+    config: &NodeConfig,
+    rx: &crossbeam::channel::Receiver<ExecMsg>,
+    probe: Arc<Mutex<Option<RouterSnapshot>>>,
+) {
+    let mut out = Outbound::new(unit, &config.router, probe);
+    // Wait for Start, absorbing topology control messages.
+    loop {
+        match rx.recv() {
+            Ok(ExecMsg::Start) => break,
+            Ok(ExecMsg::Stop) | Err(_) => return,
+            Ok(msg) => out.handle_control(msg),
+        }
+    }
+    let mut pacer = Pacer::new(config.input_fps, now_us());
+    let mut seq = 0u64;
+    loop {
+        // Sleep until the next frame is due, staying responsive to
+        // control traffic (ACKs, churn, stop).
+        let due = pacer.next_due_us();
+        let now = now_us();
+        if due > now {
+            match rx.recv_timeout(Duration::from_micros(due - now)) {
+                Ok(ExecMsg::Stop) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return
+                }
+                Ok(msg) => {
+                    out.handle_control(msg);
+                    continue;
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            }
+        }
+        // Drain whatever queued up while sensing.
+        while let Ok(msg) = rx.try_recv() {
+            match msg {
+                ExecMsg::Stop => return,
+                other => out.handle_control(other),
+            }
+        }
+        pacer.consume_next();
+        let now = now_us();
+        let Some(mut tuple) = src.next_tuple(now) else {
+            out.publish();
+            return; // stream exhausted
+        };
+        tuple.set_seq(SeqNo(seq));
+        seq += 1;
+        if !tuple.contains(CREATED_US_FIELD) {
+            tuple.set_value(CREATED_US_FIELD, now as i64);
+        }
+        out.router.note_arrival(now);
+        out.dispatch(tuple);
+    }
+}
+
+fn run_operator(
+    unit: UnitId,
+    mut op: Box<dyn swing_core::unit::FunctionUnit>,
+    config: &NodeConfig,
+    rx: &crossbeam::channel::Receiver<ExecMsg>,
+    probe: Arc<Mutex<Option<RouterSnapshot>>>,
+) {
+    let mut out = Outbound::new(unit, &config.router, probe);
+    op.on_start();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ExecMsg::Data { from, tuple } => {
+                let seq = tuple.seq();
+                let sent_at = tuple.sent_at_us();
+                let created = tuple.i64(CREATED_US_FIELD).ok();
+                out.router.note_arrival(now_us());
+                let t0 = now_us();
+                let mut outputs: Vec<Tuple> = Vec::new();
+                {
+                    let mut ctx = Context::new(t0, &mut outputs);
+                    op.process_data(tuple, &mut ctx);
+                }
+                let processing = now_us() - t0;
+                out.ack(from, seq, sent_at, processing);
+                for mut o in outputs {
+                    // Results inherit the input's sequence number and
+                    // sensing timestamp so sinks can reorder and measure
+                    // end-to-end latency.
+                    o.set_seq(seq);
+                    if let Some(c) = created {
+                        if !o.contains(CREATED_US_FIELD) {
+                            o.set_value(CREATED_US_FIELD, c);
+                        }
+                    }
+                    out.dispatch(o);
+                }
+            }
+            ExecMsg::Stop => break,
+            other => out.handle_control(other),
+        }
+    }
+    out.publish();
+    op.on_stop();
+}
+
+fn run_sink(
+    unit: UnitId,
+    mut sink: Box<dyn SinkUnit>,
+    config: &NodeConfig,
+    rx: &crossbeam::channel::Receiver<ExecMsg>,
+    meter: &SinkMeter,
+    probe: Arc<Mutex<Option<RouterSnapshot>>>,
+) {
+    let mut out = Outbound::new(unit, &config.router, probe);
+    let mut reorder: ReorderBuffer<Tuple> = ReorderBuffer::new(config.reorder);
+    let play = |tuple: Tuple, now: u64, meter: &SinkMeter, sink: &mut Box<dyn SinkUnit>| {
+        let latency_ms = tuple
+            .i64(CREATED_US_FIELD)
+            .ok()
+            .map(|c| (now as i64 - c) as f64 / 1_000.0);
+        meter.record(latency_ms, now);
+        sink.consume(tuple, now);
+    };
+    loop {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(ExecMsg::Data { from, tuple }) => {
+                let now = now_us();
+                // ACK on receipt: a sink's processing is negligible.
+                out.ack(from, tuple.seq(), tuple.sent_at_us(), 0);
+                let seq = tuple.seq();
+                for played in reorder.push(seq, tuple, now) {
+                    play(played.item, now, meter, &mut sink);
+                }
+            }
+            Ok(ExecMsg::Stop) => break,
+            Ok(other) => out.handle_control(other),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                let now = now_us();
+                for played in reorder.poll(now) {
+                    play(played.item, now, meter, &mut sink);
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    let now = now_us();
+    for played in reorder.flush(now) {
+        play(played.item, now, meter, &mut sink);
+    }
+    meter.set_skipped(reorder.skipped());
+    let _ = unit;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::AnyUnit;
+    use swing_core::routing::Policy;
+    use swing_core::unit::{closure_sink, closure_source, PassThrough};
+
+    fn config(fps: f64) -> NodeConfig {
+        NodeConfig {
+            router: RouterConfig::new(Policy::Lrs),
+            input_fps: fps,
+            reorder: ReorderConfig { span_us: 100_000 },
+        }
+    }
+
+    /// Wire a source -> operator -> sink chain by hand and run it.
+    #[test]
+    fn three_stage_chain_flows_end_to_end() {
+        let fabric = crate::fabric::Fabric::in_proc();
+        let (src_addr, src_rx) = fabric.listen().unwrap();
+        let (op_addr, op_rx) = fabric.listen().unwrap();
+        let (sink_addr, sink_rx) = fabric.listen().unwrap();
+
+        let produced = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let p2 = produced.clone();
+        let (src_h, _) = spawn(
+            UnitId(0),
+            AnyUnit::Source(Box::new(closure_source(move |_now| {
+                if p2.fetch_add(1, std::sync::atomic::Ordering::Relaxed) < 50 {
+                    Some(Tuple::new().with("v", 1i64))
+                } else {
+                    None
+                }
+            }))),
+            config(500.0),
+        );
+        let (op_h, _) = spawn(UnitId(1), AnyUnit::Operator(Box::new(PassThrough)), config(0.1));
+        let seen = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let s2 = seen.clone();
+        let (sink_h, meter) = spawn(
+            UnitId(2),
+            AnyUnit::Sink(Box::new(closure_sink(move |_t, _n| {
+                s2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }))),
+            config(0.1),
+        );
+
+        // Demux threads standing in for the node layer. Detached: the
+        // fabric registry keeps inbox senders alive, so these threads
+        // block in recv() until the test process exits.
+        let handles = [(src_rx, 0u32), (op_rx, 1), (sink_rx, 2)];
+        let hs: Vec<&ExecHandle> = vec![&src_h, &op_h, &sink_h];
+        for (rx, idx) in handles {
+            let tx = hs[idx as usize].tx.clone();
+            std::thread::spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    let fwd = match msg {
+                        Message::Data { from, tuple, .. } => ExecMsg::Data { from, tuple },
+                        Message::Ack {
+                            seq, processing_us, ..
+                        } => ExecMsg::Ack { seq, processing_us },
+                        _ => continue,
+                    };
+                    if tx.send(fwd).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+
+        // Topology: src -> op -> sink, with ACK return paths.
+        src_h.send(ExecMsg::AddDownstream {
+            unit: UnitId(1),
+            sender: fabric.dial(&op_addr).unwrap(),
+        });
+        op_h.send(ExecMsg::AddUpstream {
+            unit: UnitId(0),
+            sender: fabric.dial(&src_addr).unwrap(),
+        });
+        op_h.send(ExecMsg::AddDownstream {
+            unit: UnitId(2),
+            sender: fabric.dial(&sink_addr).unwrap(),
+        });
+        sink_h.send(ExecMsg::AddUpstream {
+            unit: UnitId(1),
+            sender: fabric.dial(&op_addr).unwrap(),
+        });
+        src_h.send(ExecMsg::Start);
+
+        // 50 tuples at 500/s should take ~100 ms; allow plenty.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while seen.load(std::sync::atomic::Ordering::Relaxed) < 50
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(seen.load(std::sync::atomic::Ordering::Relaxed), 50);
+        let report = meter.report();
+        assert_eq!(report.consumed, 50);
+        assert!(report.latency_ms.mean() < 500.0);
+        assert_eq!(report.skipped, 0);
+
+        drop(src_h);
+        drop(op_h);
+        drop(sink_h);
+    }
+
+    #[test]
+    fn sink_meter_reports_throughput() {
+        let meter = SinkMeter::default();
+        meter.record(Some(10.0), 1_000_000);
+        meter.record(Some(20.0), 2_000_000);
+        meter.record(Some(30.0), 3_000_000);
+        let r = meter.report();
+        assert_eq!(r.consumed, 3);
+        assert!((r.latency_ms.mean() - 20.0).abs() < 1e-9);
+        assert!((r.throughput - 1.5).abs() < 1e-9); // 3 tuples over 2 s
+    }
+
+    #[test]
+    fn empty_meter_is_zero() {
+        let r = SinkMeter::default().report();
+        assert_eq!(r.consumed, 0);
+        assert_eq!(r.throughput, 0.0);
+    }
+
+    #[test]
+    fn source_stops_when_stream_ends() {
+        let (h, _) = spawn(
+            UnitId(7),
+            AnyUnit::Source(Box::new(closure_source(|_| None))),
+            config(1000.0),
+        );
+        h.send(ExecMsg::Start);
+        // The executor thread must terminate on its own; stop() joins it.
+        let mut h = h;
+        h.stop();
+    }
+}

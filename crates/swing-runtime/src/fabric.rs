@@ -1,0 +1,224 @@
+//! Message fabric: one abstraction over in-process channels and TCP.
+//!
+//! Every node owns a single *inbox* on which control messages (from the
+//! master) and data/ACK messages (from peer nodes) arrive. Nodes reach
+//! each other by *dialing* an address obtained from the master's
+//! `Connect` messages. In-process swarms use crossbeam channels under
+//! `inproc:<n>` addresses; TCP swarms use `127.0.0.1:<port>` sockets
+//! bridged onto the same channel types, so the rest of the runtime is
+//! transport-agnostic.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use swing_net::tcp::{MessageListener, MessageStream};
+use swing_net::{Message, NetError, NetResult};
+
+/// Sending half of a message pipe.
+pub type MsgSender = Sender<Message>;
+/// Receiving half of a message pipe.
+pub type MsgReceiver = Receiver<Message>;
+
+/// Registry of in-process inboxes.
+#[derive(Default)]
+pub struct InProcNet {
+    endpoints: Mutex<HashMap<String, MsgSender>>,
+    next_id: AtomicU64,
+}
+
+impl fmt::Debug for InProcNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InProcNet")
+            .field("endpoints", &self.endpoints.lock().len())
+            .finish()
+    }
+}
+
+/// The transport a swarm runs on.
+#[derive(Debug, Clone)]
+pub enum Fabric {
+    /// Crossbeam channels inside one process.
+    InProc(Arc<InProcNet>),
+    /// Loopback TCP sockets (multi-thread or multi-process).
+    Tcp,
+}
+
+impl Fabric {
+    /// A fresh in-process fabric.
+    #[must_use]
+    pub fn in_proc() -> Self {
+        Fabric::InProc(Arc::new(InProcNet::default()))
+    }
+
+    /// The TCP fabric.
+    #[must_use]
+    pub fn tcp() -> Self {
+        Fabric::Tcp
+    }
+
+    /// Create an inbox, returning its dialable address and the receiver.
+    pub fn listen(&self) -> NetResult<(String, MsgReceiver)> {
+        match self {
+            Fabric::InProc(net) => {
+                let (tx, rx) = unbounded();
+                let id = net.next_id.fetch_add(1, Ordering::Relaxed);
+                let addr = format!("inproc:{id}");
+                net.endpoints.lock().insert(addr.clone(), tx);
+                Ok((addr, rx))
+            }
+            Fabric::Tcp => {
+                let listener = MessageListener::bind("127.0.0.1:0")?;
+                let addr = listener.local_addr()?.to_string();
+                let (tx, rx) = unbounded();
+                std::thread::Builder::new()
+                    .name(format!("swing-accept-{addr}"))
+                    .spawn(move || accept_loop(listener, tx))
+                    .expect("spawn accept thread");
+                Ok((addr, rx))
+            }
+        }
+    }
+
+    /// Obtain a sender delivering to the inbox at `addr`.
+    ///
+    /// The returned sender reports an error (disconnected channel) once
+    /// the peer goes away; callers treat that as a broken link.
+    pub fn dial(&self, addr: &str) -> NetResult<MsgSender> {
+        match self {
+            Fabric::InProc(net) => net
+                .endpoints
+                .lock()
+                .get(addr)
+                .cloned()
+                .ok_or_else(|| {
+                    NetError::Io(std::io::Error::new(
+                        std::io::ErrorKind::NotFound,
+                        format!("no in-proc endpoint at {addr}"),
+                    ))
+                }),
+            Fabric::Tcp => {
+                let mut stream = MessageStream::connect(addr)?;
+                let (tx, rx) = unbounded::<Message>();
+                std::thread::Builder::new()
+                    .name(format!("swing-dial-{addr}"))
+                    .spawn(move || {
+                        while let Ok(msg) = rx.recv() {
+                            if stream.send(&msg).is_err() {
+                                break;
+                            }
+                        }
+                        stream.shutdown();
+                    })
+                    .expect("spawn writer thread");
+                Ok(tx)
+            }
+        }
+    }
+}
+
+/// Accept connections forever, pumping each connection's messages into
+/// the shared inbox. Ends when the inbox is dropped.
+fn accept_loop(listener: MessageListener, inbox: MsgSender) {
+    loop {
+        let Ok(mut conn) = listener.accept() else {
+            return;
+        };
+        let inbox = inbox.clone();
+        let spawned = std::thread::Builder::new()
+            .name("swing-conn-reader".into())
+            .spawn(move || loop {
+                match conn.recv() {
+                    Ok(msg) => {
+                        if inbox.send(msg).is_err() {
+                            return; // node shut down
+                        }
+                    }
+                    Err(_) => return, // peer closed
+                }
+            });
+        if spawned.is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn in_proc_messages_flow() {
+        let fabric = Fabric::in_proc();
+        let (addr, rx) = fabric.listen().unwrap();
+        let tx = fabric.dial(&addr).unwrap();
+        tx.send(Message::Ping).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), Message::Ping);
+    }
+
+    #[test]
+    fn in_proc_unknown_address_fails() {
+        let fabric = Fabric::in_proc();
+        assert!(fabric.dial("inproc:999").is_err());
+    }
+
+    #[test]
+    fn in_proc_dropped_inbox_fails_sends() {
+        let fabric = Fabric::in_proc();
+        let (addr, rx) = fabric.listen().unwrap();
+        let tx = fabric.dial(&addr).unwrap();
+        drop(rx);
+        assert!(tx.send(Message::Ping).is_err());
+    }
+
+    #[test]
+    fn tcp_messages_flow() {
+        let fabric = Fabric::tcp();
+        let (addr, rx) = fabric.listen().unwrap();
+        let tx = fabric.dial(&addr).unwrap();
+        tx.send(Message::Ping).unwrap();
+        tx.send(Message::Pong { device: swing_core::DeviceId(0) }).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), Message::Ping);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(2)).unwrap(),
+            Message::Pong { device: swing_core::DeviceId(0) }
+        );
+    }
+
+    #[test]
+    fn tcp_multiple_dialers_share_inbox() {
+        let fabric = Fabric::tcp();
+        let (addr, rx) = fabric.listen().unwrap();
+        let tx1 = fabric.dial(&addr).unwrap();
+        let tx2 = fabric.dial(&addr).unwrap();
+        tx1.send(Message::Ping).unwrap();
+        tx2.send(Message::Ping).unwrap();
+        for _ in 0..2 {
+            assert_eq!(
+                rx.recv_timeout(Duration::from_secs(2)).unwrap(),
+                Message::Ping
+            );
+        }
+    }
+
+    #[test]
+    fn tcp_dial_to_dead_address_errors() {
+        let fabric = Fabric::tcp();
+        // Grab a free port by binding/dropping a listener.
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap().to_string();
+        drop(l);
+        assert!(fabric.dial(&addr).is_err());
+    }
+
+    #[test]
+    fn separate_in_proc_fabrics_are_isolated() {
+        let a = Fabric::in_proc();
+        let b = Fabric::in_proc();
+        let (addr, _rx) = a.listen().unwrap();
+        assert!(b.dial(&addr).is_err());
+    }
+}

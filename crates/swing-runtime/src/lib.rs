@@ -1,0 +1,40 @@
+//! # swing-runtime
+//!
+//! The live Swing runtime — the Rust analog of the paper's SEEP-based
+//! Android prototype. It implements the full §IV-B workflow:
+//!
+//! 1. **Install** — each device holds a [`UnitRegistry`] mapping stage
+//!    names to function-unit factories ("each device has already
+//!    installed all the function units").
+//! 2. **Launch & join** — a [`Master`] listens for
+//!    connections; [`WorkerNode`]s join it (optionally
+//!    after UDP discovery via `swing_net::discovery`).
+//! 3. **Deploy** — the master assigns stage instances to devices and
+//!    sends `Activate`/`Connect` control messages.
+//! 4. **Execute** — on `Start`, source executors sense and dispatch
+//!    tuples through per-unit [`Router`](swing_core::routing::Router)s;
+//!    downstreams ACK with processing delays; sinks reorder and play
+//!    back.
+//!
+//! Transports are pluggable through [`Fabric`]:
+//! in-process channels for tests/examples, loopback TCP for real
+//! socket-level runs. [`LocalSwarm`] assembles a whole
+//! swarm in one process with a few lines.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod clock;
+pub mod executor;
+pub mod fabric;
+pub mod master;
+pub mod node;
+pub mod registry;
+pub mod swarm;
+
+pub use executor::{NodeConfig, SinkReport};
+pub use fabric::Fabric;
+pub use master::{HeartbeatConfig, Master, MasterConfig, Placement};
+pub use node::WorkerNode;
+pub use registry::{AnyUnit, UnitRegistry};
+pub use swarm::{LocalSwarm, LocalSwarmBuilder};

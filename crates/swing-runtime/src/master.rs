@@ -1,0 +1,446 @@
+//! The master: control, bootstrapping and deployment (§IV-B).
+//!
+//! "The master initiates the app, broadcasts its IP address, launches a
+//! socket server and waits for connections. [...] The master deploys the
+//! app dataflow graph by assigning function units and connecting
+//! devices. [...] The master thread is responsible only for control,
+//! bootstrapping connections and sending start/stop commands."
+
+use crate::fabric::{Fabric, MsgSender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use swing_core::graph::{AppGraph, Deployment, Role, StageId};
+use swing_core::{DeviceId, UnitId};
+use swing_net::{Message, NetResult};
+
+/// Where the master places stages when deploying.
+///
+/// The paper's evaluation runs source and sink on the master's device
+/// (`A`) and replicates the compute stages on every worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Sources and sinks on the first-joined device; every operator
+    /// stage replicated on each other device (or on the first device too
+    /// if it is the only one).
+    #[default]
+    SourceOnFirst,
+    /// Every stage (including operators) on every device.
+    ReplicateEverywhere,
+}
+
+/// Liveness-probing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// How often the master pings every worker.
+    pub interval: Duration,
+    /// A worker silent for this long is treated as departed and removed
+    /// from the roster and deployment (its peers' executors notice the
+    /// broken data links independently).
+    pub timeout: Duration,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            interval: Duration::from_millis(500),
+            timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Master configuration.
+#[derive(Debug, Clone)]
+pub struct MasterConfig {
+    /// Devices to wait for before deploying.
+    pub expected_workers: usize,
+    /// Stage placement strategy.
+    pub placement: Placement,
+    /// Liveness probing; `None` relies purely on transport-level
+    /// disconnection (the default, matching the paper's prototype).
+    pub heartbeat: Option<HeartbeatConfig>,
+}
+
+impl Default for MasterConfig {
+    fn default() -> Self {
+        MasterConfig {
+            expected_workers: 1,
+            placement: Placement::SourceOnFirst,
+            heartbeat: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct WorkerInfo {
+    device: DeviceId,
+    #[allow(dead_code)]
+    name: String,
+    addr: String,
+}
+
+/// Shared view of the master's progress.
+#[derive(Debug, Default)]
+pub struct MasterStatus {
+    started: AtomicBool,
+    deployment: Mutex<Deployment>,
+}
+
+impl MasterStatus {
+    /// Whether Start has been broadcast.
+    #[must_use]
+    pub fn started(&self) -> bool {
+        self.started.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of the current deployment.
+    #[must_use]
+    pub fn deployment(&self) -> Deployment {
+        self.deployment.lock().clone()
+    }
+}
+
+/// A running master thread.
+#[derive(Debug)]
+pub struct Master {
+    addr: String,
+    inbox_tx: MsgSender,
+    join: Option<JoinHandle<()>>,
+    status: Arc<MasterStatus>,
+}
+
+impl Master {
+    /// Launch the master for `graph` on the given fabric.
+    pub fn spawn(graph: AppGraph, config: MasterConfig, fabric: Fabric) -> NetResult<Master> {
+        graph.validate().map_err(|e| {
+            swing_net::NetError::Malformed(format!("invalid app graph: {e}"))
+        })?;
+        let (addr, inbox) = fabric.listen()?;
+        let inbox_tx = fabric.dial(&addr)?;
+        let status = Arc::new(MasterStatus::default());
+        let status2 = Arc::clone(&status);
+        let join = std::thread::Builder::new()
+            .name("swing-master".into())
+            .spawn(move || {
+                let heartbeat = config.heartbeat;
+                let mut state = MasterState {
+                    graph,
+                    config,
+                    fabric,
+                    workers: Vec::new(),
+                    senders: HashMap::new(),
+                    deployment: Deployment::new(),
+                    next_device: 0,
+                    started: false,
+                    status: status2,
+                    last_pong: HashMap::new(),
+                };
+                let tick = heartbeat
+                    .map(|h| h.interval.min(h.timeout) / 2)
+                    .unwrap_or(Duration::from_secs(3600))
+                    .max(Duration::from_millis(20));
+                let mut last_ping = Instant::now();
+                loop {
+                    match inbox.recv_timeout(tick) {
+                        Ok(msg) => {
+                            if !state.handle(msg) {
+                                break;
+                            }
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                    }
+                    if let Some(h) = heartbeat {
+                        if last_ping.elapsed() >= h.interval {
+                            state.broadcast(&Message::Ping);
+                            last_ping = Instant::now();
+                        }
+                        state.prune_silent(h.timeout);
+                    }
+                }
+                state.broadcast(&Message::Stop);
+            })
+            .expect("spawn master thread");
+        Ok(Master {
+            addr,
+            inbox_tx,
+            join: Some(join),
+            status,
+        })
+    }
+
+    /// Address workers join at.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Start answering UDP discovery queries for this master (§IV-C's
+    /// Discovery Service: "the master broadcasts itself [...]; each
+    /// worker maintains a background service that listens for the master
+    /// and connects to it upon discovery"). Keep the returned responder
+    /// alive for as long as the master should be discoverable.
+    pub fn announce(
+        &self,
+        discovery_port: u16,
+        app: impl Into<String>,
+    ) -> NetResult<swing_net::discovery::MasterResponder> {
+        swing_net::discovery::MasterResponder::start(
+            discovery_port,
+            swing_net::discovery::MasterInfo {
+                app: app.into(),
+                addr: self.addr.clone(),
+            },
+        )
+    }
+
+    /// Progress/status handle.
+    #[must_use]
+    pub fn status(&self) -> Arc<MasterStatus> {
+        Arc::clone(&self.status)
+    }
+
+    /// Stop the application: broadcasts Stop to all workers and ends the
+    /// master thread.
+    pub fn stop(&mut self) {
+        let _ = self.inbox_tx.send(Message::Stop);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for Master {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+struct MasterState {
+    graph: AppGraph,
+    config: MasterConfig,
+    fabric: Fabric,
+    workers: Vec<WorkerInfo>,
+    senders: HashMap<DeviceId, MsgSender>,
+    deployment: Deployment,
+    next_device: u32,
+    started: bool,
+    status: Arc<MasterStatus>,
+    /// Last liveness reply per device (heartbeat mode).
+    last_pong: HashMap<DeviceId, Instant>,
+}
+
+impl MasterState {
+    fn handle(&mut self, msg: Message) -> bool {
+        match msg {
+            Message::Join {
+                name, listen_addr, ..
+            } => {
+                self.on_join(name, listen_addr);
+            }
+            Message::Leave { device } => {
+                self.remove_worker(device);
+            }
+            Message::Pong { device } => {
+                self.last_pong.insert(device, Instant::now());
+            }
+            Message::Stop => return false,
+            _ => {}
+        }
+        true
+    }
+
+    /// Drop a worker from the roster and the deployment.
+    fn remove_worker(&mut self, device: DeviceId) {
+        self.workers.retain(|w| w.device != device);
+        self.senders.remove(&device);
+        self.last_pong.remove(&device);
+        let units: Vec<UnitId> = self.deployment.instances_on(device).collect();
+        for u in units {
+            self.deployment.remove(u);
+        }
+        self.publish();
+    }
+
+    /// Heartbeat mode: remove workers whose last Pong is too old.
+    fn prune_silent(&mut self, timeout: Duration) {
+        let silent: Vec<DeviceId> = self
+            .workers
+            .iter()
+            .map(|w| w.device)
+            .filter(|d| {
+                self.last_pong
+                    .get(d)
+                    .map(|t| t.elapsed() > timeout)
+                    .unwrap_or(false)
+            })
+            .collect();
+        for d in silent {
+            self.remove_worker(d);
+        }
+    }
+
+    fn on_join(&mut self, name: String, listen_addr: String) {
+        let Ok(sender) = self.fabric.dial(&listen_addr) else {
+            return; // unreachable worker: ignore the join
+        };
+        let device = DeviceId(self.next_device);
+        self.next_device += 1;
+        let _ = sender.send(Message::Welcome { device });
+        self.senders.insert(device, sender);
+        self.last_pong.insert(device, Instant::now());
+        self.workers.push(WorkerInfo {
+            device,
+            name,
+            addr: listen_addr,
+        });
+        if !self.started {
+            if self.workers.len() >= self.config.expected_workers {
+                self.deploy_all();
+                self.broadcast(&Message::Start);
+                self.started = true;
+                self.status.started.store(true, Ordering::SeqCst);
+            }
+        } else {
+            // Late joiner (Fig. 9): activate operator replicas on it and
+            // splice it into the running topology immediately.
+            self.deploy_late(self.workers.len() - 1);
+        }
+        self.publish();
+    }
+
+    /// Initial deployment across all currently joined workers.
+    fn deploy_all(&mut self) {
+        let order = self.graph.topo_order().expect("graph validated");
+        for stage in order {
+            let role = self.graph.stage(stage).expect("stage exists").role;
+            let hosts = self.hosts_for(role);
+            for device in hosts {
+                let unit = self.deployment.place(stage, device);
+                self.activate(device, unit, stage);
+            }
+        }
+        self.connect_edges(None);
+    }
+
+    /// Deploy operator replicas onto a late joiner and connect them.
+    fn deploy_late(&mut self, worker_idx: usize) {
+        let device = self.workers[worker_idx].device;
+        let stages: Vec<StageId> = self
+            .graph
+            .stages()
+            .filter(|&s| self.graph.stage(s).expect("stage exists").role == Role::Operator)
+            .collect();
+        let mut new_units = Vec::new();
+        for stage in stages {
+            let unit = self.deployment.place(stage, device);
+            self.activate(device, unit, stage);
+            new_units.push(unit);
+        }
+        self.connect_edges(Some(&new_units));
+        // The newcomer's executors must start producing/processing.
+        if let Some(sender) = self.senders.get(&device) {
+            let _ = sender.send(Message::Start);
+        }
+    }
+
+    fn hosts_for(&self, role: Role) -> Vec<DeviceId> {
+        let all: Vec<DeviceId> = self.workers.iter().map(|w| w.device).collect();
+        match (role, self.config.placement) {
+            (_, Placement::ReplicateEverywhere) => all,
+            (Role::Source | Role::Sink, Placement::SourceOnFirst) => vec![all[0]],
+            (Role::Operator, Placement::SourceOnFirst) => {
+                if all.len() > 1 {
+                    all[1..].to_vec()
+                } else {
+                    all
+                }
+            }
+        }
+    }
+
+    fn activate(&self, device: DeviceId, unit: UnitId, stage: StageId) {
+        let stage_name = self
+            .graph
+            .stage(stage)
+            .expect("stage exists")
+            .name
+            .clone();
+        if let Some(sender) = self.senders.get(&device) {
+            let _ = sender.send(Message::Activate {
+                unit,
+                stage,
+                stage_name,
+            });
+        }
+    }
+
+    /// Send Connect messages for every instance pair along every graph
+    /// edge. With `only_touching`, restrict to pairs involving one of the
+    /// given (freshly placed) units.
+    fn connect_edges(&self, only_touching: Option<&[UnitId]>) {
+        for &(up_stage, down_stage) in self.graph.edges() {
+            let ups: Vec<UnitId> = self.deployment.instances_of(up_stage).collect();
+            let downs: Vec<UnitId> = self.deployment.instances_of(down_stage).collect();
+            for &u in &ups {
+                for &d in &downs {
+                    if let Some(filter) = only_touching {
+                        if !filter.contains(&u) && !filter.contains(&d) {
+                            continue;
+                        }
+                    }
+                    let u_dev = self.deployment.device_of(u).expect("placed");
+                    let d_dev = self.deployment.device_of(d).expect("placed");
+                    let u_addr = self.addr_of(u_dev);
+                    let d_addr = self.addr_of(d_dev);
+                    // Tell the upstream's node how to reach the
+                    // downstream, and the downstream's node how to reach
+                    // the upstream (for ACKs).
+                    if let (Some(s), Some(addr)) = (self.senders.get(&u_dev), d_addr.clone()) {
+                        let _ = s.send(Message::Connect {
+                            upstream: u,
+                            downstream: d,
+                            addr,
+                        });
+                    }
+                    if let (Some(s), Some(addr)) = (self.senders.get(&d_dev), u_addr) {
+                        let _ = s.send(Message::Connect {
+                            upstream: u,
+                            downstream: d,
+                            addr,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn addr_of(&self, device: DeviceId) -> Option<String> {
+        self.workers
+            .iter()
+            .find(|w| w.device == device)
+            .map(|w| w.addr.clone())
+    }
+
+    fn broadcast(&self, msg: &Message) {
+        for s in self.senders.values() {
+            let _ = s.send(msg.clone());
+        }
+    }
+
+    fn publish(&self) {
+        *self.status.deployment.lock() = self.deployment.clone();
+    }
+}
+
+impl std::fmt::Debug for MasterState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MasterState")
+            .field("workers", &self.workers.len())
+            .field("started", &self.started)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,283 @@
+//! The worker node: one mobile device participating in the swarm.
+//!
+//! A node owns a message inbox on the [`Fabric`], a control connection to
+//! the master, the installed [`UnitRegistry`], and the executors of the
+//! function units the master activated on it (§IV-B steps 2–4).
+
+use crate::clock::now_us;
+use crate::executor::{spawn, ExecHandle, ExecMsg, NodeConfig, SinkMeter};
+use crate::fabric::{Fabric, MsgSender};
+use crate::registry::UnitRegistry;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use swing_core::{DeviceId, UnitId};
+use swing_net::{Message, NetResult};
+
+/// A running worker node.
+#[derive(Debug)]
+pub struct WorkerNode {
+    name: String,
+    data_addr: String,
+    inbox_tx: MsgSender,
+    join: Option<JoinHandle<()>>,
+    meters: Arc<Mutex<HashMap<UnitId, Arc<SinkMeter>>>>,
+    probes: Arc<Mutex<HashMap<UnitId, Arc<parking_lot::Mutex<Option<swing_core::routing::RouterSnapshot>>>>>>,
+}
+
+impl WorkerNode {
+    /// Spawn a node: create its inbox, join the master at `master_addr`,
+    /// and serve until stopped.
+    pub fn spawn(
+        name: impl Into<String>,
+        fabric: Fabric,
+        master_addr: &str,
+        registry: UnitRegistry,
+        config: NodeConfig,
+    ) -> NetResult<WorkerNode> {
+        let name = name.into();
+        let (data_addr, inbox) = fabric.listen()?;
+        // Keep a sender to our own inbox so `stop` can nudge the loop.
+        let inbox_tx = fabric.dial(&data_addr)?;
+        let master = fabric.dial(master_addr)?;
+        master
+            .send(Message::Join {
+                device: DeviceId(0), // assigned by the master via Welcome
+                name: name.clone(),
+                listen_addr: data_addr.clone(),
+            })
+            .map_err(|_| {
+                swing_net::NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    "master inbox is closed",
+                ))
+            })?;
+        let meters: Arc<Mutex<HashMap<UnitId, Arc<SinkMeter>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let meters2 = Arc::clone(&meters);
+        let probes: Arc<
+            Mutex<HashMap<UnitId, Arc<parking_lot::Mutex<Option<swing_core::routing::RouterSnapshot>>>>>,
+        > = Arc::new(Mutex::new(HashMap::new()));
+        let probes2 = Arc::clone(&probes);
+        let thread_name = format!("swing-node-{name}");
+        let reg = registry;
+        let fabric2 = fabric.clone();
+        let master2 = master.clone();
+        let node_name = name.clone();
+        let join = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                let mut state = NodeState {
+                    name: node_name,
+                    device: DeviceId(0),
+                    fabric: fabric2,
+                    registry: reg,
+                    config,
+                    master: master2,
+                    executors: HashMap::new(),
+                    dialed: HashMap::new(),
+                    meters: meters2,
+                    probes: probes2,
+                };
+                while let Ok(msg) = inbox.recv() {
+                    if !state.handle(msg) {
+                        break;
+                    }
+                }
+                for (_, mut h) in state.executors.drain() {
+                    h.stop();
+                }
+            })
+            .expect("spawn node thread");
+        Ok(WorkerNode {
+            name,
+            data_addr,
+            inbox_tx,
+            join: Some(join),
+            meters,
+            probes,
+        })
+    }
+
+    /// Discover the master over UDP (§IV-C's Discovery Service) and join
+    /// it. Blocks up to `timeout` waiting for a responder on
+    /// `discovery_port`.
+    pub fn discover_and_spawn(
+        name: impl Into<String>,
+        fabric: Fabric,
+        discovery_port: u16,
+        timeout: std::time::Duration,
+        registry: UnitRegistry,
+        config: NodeConfig,
+    ) -> NetResult<WorkerNode> {
+        let info = swing_net::discovery::query_master(discovery_port, timeout)?;
+        WorkerNode::spawn(name, fabric, &info.addr, registry, config)
+    }
+
+    /// The node's human-readable name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node's dialable data address.
+    #[must_use]
+    pub fn data_addr(&self) -> &str {
+        &self.data_addr
+    }
+
+    /// Sink meters of every sink instance hosted on this node, keyed by
+    /// unit id.
+    #[must_use]
+    pub fn sink_meters(&self) -> Vec<(UnitId, Arc<SinkMeter>)> {
+        self.meters
+            .lock()
+            .iter()
+            .map(|(u, m)| (*u, Arc::clone(m)))
+            .collect()
+    }
+
+    /// Latest routing-table snapshots of the units hosted on this node
+    /// (units that never dispatched are omitted). Available while
+    /// running and after stop.
+    #[must_use]
+    pub fn router_snapshots(&self) -> Vec<(UnitId, swing_core::routing::RouterSnapshot)> {
+        self.probes
+            .lock()
+            .iter()
+            .filter_map(|(u, p)| p.lock().clone().map(|s| (*u, s)))
+            .collect()
+    }
+
+    /// Stop the node: shuts down its executors and control loop. Peers
+    /// see the links break and re-route, exactly like an abrupt leave.
+    pub fn stop(&mut self) {
+        let _ = self.inbox_tx.send(Message::Stop);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for WorkerNode {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+struct NodeState {
+    name: String,
+    device: DeviceId,
+    fabric: Fabric,
+    registry: UnitRegistry,
+    config: NodeConfig,
+    master: MsgSender,
+    executors: HashMap<UnitId, ExecHandle>,
+    /// Cache of dialed peer inboxes by address.
+    dialed: HashMap<String, MsgSender>,
+    meters: Arc<Mutex<HashMap<UnitId, Arc<SinkMeter>>>>,
+    probes: Arc<Mutex<HashMap<UnitId, Arc<parking_lot::Mutex<Option<swing_core::routing::RouterSnapshot>>>>>>,
+}
+
+impl NodeState {
+    /// Handle one message; returns `false` to stop serving.
+    fn handle(&mut self, msg: Message) -> bool {
+        match msg {
+            Message::Welcome { device } => {
+                self.device = device;
+            }
+            Message::Activate {
+                unit, stage_name, ..
+            } => {
+                let Some(any) = self.registry.create(&stage_name) else {
+                    // App not installed correctly; refuse politely.
+                    let _ = self.master.send(Message::Leave { device: self.device });
+                    return true;
+                };
+                let is_sink = matches!(any, crate::registry::AnyUnit::Sink(_));
+                let (handle, meter) = spawn(unit, any, self.config.clone());
+                if is_sink {
+                    self.meters.lock().insert(unit, meter);
+                }
+                self.probes.lock().insert(unit, handle.probe_handle());
+                self.executors.insert(unit, handle);
+                let _ = self.master.send(Message::Ready { device: self.device });
+            }
+            Message::Connect {
+                upstream,
+                downstream,
+                addr,
+            } => {
+                // If we host the upstream, `addr` reaches the downstream;
+                // if we host the downstream, `addr` reaches the upstream
+                // (for ACKs). A node can host both ends.
+                let sender = self.dial(&addr);
+                if let (Some(h), Some(sender)) =
+                    (self.executors.get(&upstream), sender.clone())
+                {
+                    h.send(ExecMsg::AddDownstream {
+                        unit: downstream,
+                        sender,
+                    });
+                }
+                if let (Some(h), Some(sender)) = (self.executors.get(&downstream), sender) {
+                    h.send(ExecMsg::AddUpstream {
+                        unit: upstream,
+                        sender,
+                    });
+                }
+            }
+            Message::Start => {
+                for h in self.executors.values() {
+                    h.send(ExecMsg::Start);
+                }
+            }
+            Message::Stop => return false,
+            Message::Data { dest, from, tuple } => {
+                if let Some(h) = self.executors.get(&dest) {
+                    h.send(ExecMsg::Data { from, tuple });
+                }
+            }
+            Message::Ack {
+                seq,
+                to,
+                processing_us,
+                ..
+            } => {
+                if let Some(h) = self.executors.get(&to) {
+                    h.send(ExecMsg::Ack { seq, processing_us });
+                }
+            }
+            Message::Ping => {
+                let _ = self.master.send(Message::Pong { device: self.device });
+            }
+            _ => {}
+        }
+        let _ = now_us();
+        true
+    }
+
+    fn dial(&mut self, addr: &str) -> Option<MsgSender> {
+        if let Some(s) = self.dialed.get(addr) {
+            return Some(s.clone());
+        }
+        match self.fabric.dial(addr) {
+            Ok(s) => {
+                self.dialed.insert(addr.to_owned(), s.clone());
+                Some(s)
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for NodeState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeState")
+            .field("name", &self.name)
+            .field("device", &self.device)
+            .field("executors", &self.executors.len())
+            .finish_non_exhaustive()
+    }
+}

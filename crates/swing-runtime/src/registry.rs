@@ -1,0 +1,160 @@
+//! The unit registry: every device "has already installed all the
+//! function units" (§IV-B step 3), so the master only names the stage to
+//! activate. A [`UnitRegistry`] maps stage names to factories that build
+//! fresh unit instances.
+
+use std::collections::HashMap;
+use std::fmt;
+use swing_core::unit::{FunctionUnit, SinkUnit, SourceUnit};
+
+/// A freshly instantiated function unit of any role.
+pub enum AnyUnit {
+    /// A stream source (pulled by the pacing loop).
+    Source(Box<dyn SourceUnit>),
+    /// An intermediate operator.
+    Operator(Box<dyn FunctionUnit>),
+    /// A terminal sink.
+    Sink(Box<dyn SinkUnit>),
+}
+
+impl fmt::Debug for AnyUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AnyUnit::Source(_) => "AnyUnit::Source",
+            AnyUnit::Operator(_) => "AnyUnit::Operator",
+            AnyUnit::Sink(_) => "AnyUnit::Sink",
+        })
+    }
+}
+
+type Factory = Box<dyn Fn() -> AnyUnit + Send + Sync>;
+
+/// Maps stage names to unit factories — the "installed app".
+#[derive(Default)]
+pub struct UnitRegistry {
+    factories: HashMap<String, Factory>,
+}
+
+impl fmt::Debug for UnitRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&str> = self.factories.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        f.debug_struct("UnitRegistry").field("stages", &names).finish()
+    }
+}
+
+impl UnitRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        UnitRegistry::default()
+    }
+
+    /// Register a source-stage factory.
+    pub fn register_source<F, S>(&mut self, name: impl Into<String>, factory: F)
+    where
+        F: Fn() -> S + Send + Sync + 'static,
+        S: SourceUnit + 'static,
+    {
+        self.factories.insert(
+            name.into(),
+            Box::new(move || AnyUnit::Source(Box::new(factory()))),
+        );
+    }
+
+    /// Register an operator-stage factory.
+    pub fn register_operator<F, U>(&mut self, name: impl Into<String>, factory: F)
+    where
+        F: Fn() -> U + Send + Sync + 'static,
+        U: FunctionUnit + 'static,
+    {
+        self.factories.insert(
+            name.into(),
+            Box::new(move || AnyUnit::Operator(Box::new(factory()))),
+        );
+    }
+
+    /// Register a sink-stage factory.
+    pub fn register_sink<F, S>(&mut self, name: impl Into<String>, factory: F)
+    where
+        F: Fn() -> S + Send + Sync + 'static,
+        S: SinkUnit + 'static,
+    {
+        self.factories.insert(
+            name.into(),
+            Box::new(move || AnyUnit::Sink(Box::new(factory()))),
+        );
+    }
+
+    /// Instantiate the unit for `name`, if installed.
+    #[must_use]
+    pub fn create(&self, name: &str) -> Option<AnyUnit> {
+        self.factories.get(name).map(|f| f())
+    }
+
+    /// Whether a stage is installed.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+
+    /// Number of installed stages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// Whether nothing is installed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swing_core::unit::{closure_sink, closure_source, PassThrough};
+
+    fn sample() -> UnitRegistry {
+        let mut r = UnitRegistry::new();
+        r.register_source("camera", || closure_source(|_| None));
+        r.register_operator("detect", || PassThrough);
+        r.register_sink("display", || closure_sink(|_, _| ()));
+        r
+    }
+
+    #[test]
+    fn creates_registered_units_with_right_roles() {
+        let r = sample();
+        assert!(matches!(r.create("camera"), Some(AnyUnit::Source(_))));
+        assert!(matches!(r.create("detect"), Some(AnyUnit::Operator(_))));
+        assert!(matches!(r.create("display"), Some(AnyUnit::Sink(_))));
+        assert!(r.create("absent").is_none());
+    }
+
+    #[test]
+    fn factories_build_fresh_instances() {
+        let r = sample();
+        let a = r.create("detect");
+        let b = r.create("detect");
+        assert!(a.is_some() && b.is_some());
+    }
+
+    #[test]
+    fn registry_reports_contents() {
+        let r = sample();
+        assert_eq!(r.len(), 3);
+        assert!(r.contains("camera"));
+        assert!(!r.contains("nope"));
+        assert!(!r.is_empty());
+        assert!(format!("{r:?}").contains("detect"));
+    }
+
+    #[test]
+    fn reregistering_replaces() {
+        let mut r = sample();
+        r.register_operator("detect", || PassThrough);
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,467 @@
+//! High-level swarm assembly: build a master and a set of worker nodes
+//! in one process (threads connected by channels or loopback TCP), run
+//! the app, and collect sink statistics.
+//!
+//! ```no_run
+//! use swing_core::graph::AppGraph;
+//! use swing_core::routing::Policy;
+//! use swing_core::unit::{closure_sink, closure_source, PassThrough};
+//! use swing_runtime::registry::UnitRegistry;
+//! use swing_runtime::swarm::LocalSwarm;
+//! use swing_core::Tuple;
+//!
+//! let mut g = AppGraph::new("demo");
+//! let s = g.add_source("src");
+//! let o = g.add_operator("work");
+//! let k = g.add_sink("out");
+//! g.connect(s, o).unwrap();
+//! g.connect(o, k).unwrap();
+//!
+//! let registry = || {
+//!     let mut r = UnitRegistry::new();
+//!     r.register_source("src", || closure_source(|_| Some(Tuple::new())));
+//!     r.register_operator("work", || PassThrough);
+//!     r.register_sink("out", || closure_sink(|_, _| ()));
+//!     r
+//! };
+//! let mut swarm = LocalSwarm::builder(g)
+//!     .policy(Policy::Lrs)
+//!     .input_fps(24.0)
+//!     .worker("A", registry())
+//!     .worker("B", registry())
+//!     .start()
+//!     .unwrap();
+//! std::thread::sleep(std::time::Duration::from_secs(1));
+//! let reports = swarm.stop();
+//! println!("{} results", reports[0].1.consumed);
+//! ```
+
+use crate::executor::{NodeConfig, SinkReport};
+use crate::fabric::Fabric;
+use crate::master::{Master, MasterConfig, Placement};
+use crate::node::WorkerNode;
+use crate::registry::UnitRegistry;
+use std::time::{Duration, Instant};
+use swing_core::config::ReorderConfig;
+use swing_core::graph::AppGraph;
+use swing_core::routing::{Policy, RouterConfig};
+use swing_net::{NetError, NetResult};
+
+/// Builder for a [`LocalSwarm`].
+#[derive(Debug)]
+pub struct LocalSwarmBuilder {
+    graph: AppGraph,
+    node_config: NodeConfig,
+    placement: Placement,
+    heartbeat: Option<crate::master::HeartbeatConfig>,
+    fabric: Fabric,
+    workers: Vec<(String, UnitRegistry)>,
+}
+
+impl LocalSwarmBuilder {
+    /// Route with the given policy (default LRS).
+    #[must_use]
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.node_config.router = RouterConfig::new(policy);
+        self
+    }
+
+    /// Full router configuration.
+    #[must_use]
+    pub fn router_config(mut self, config: RouterConfig) -> Self {
+        self.node_config.router = config;
+        self
+    }
+
+    /// Source sensing rate in tuples per second (default 24).
+    #[must_use]
+    pub fn input_fps(mut self, fps: f64) -> Self {
+        self.node_config.input_fps = fps;
+        self
+    }
+
+    /// Sink reorder span (default 1 s).
+    #[must_use]
+    pub fn reorder(mut self, reorder: ReorderConfig) -> Self {
+        self.node_config.reorder = reorder;
+        self
+    }
+
+    /// Use loopback TCP sockets instead of in-process channels.
+    #[must_use]
+    pub fn tcp(mut self) -> Self {
+        self.fabric = Fabric::tcp();
+        self
+    }
+
+    /// Stage placement strategy (default: source/sink on first worker).
+    #[must_use]
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Enable master-side liveness probing: silent workers are removed
+    /// from the roster and deployment after the configured timeout.
+    #[must_use]
+    pub fn heartbeat(mut self, config: crate::master::HeartbeatConfig) -> Self {
+        self.heartbeat = Some(config);
+        self
+    }
+
+    /// Add a worker device with its installed units. The first worker
+    /// hosts the source and sink (device `A` in the paper).
+    #[must_use]
+    pub fn worker(mut self, name: impl Into<String>, registry: UnitRegistry) -> Self {
+        self.workers.push((name.into(), registry));
+        self
+    }
+
+    /// Launch the master and all workers; returns once the deployment
+    /// has started (master broadcast Start).
+    pub fn start(self) -> NetResult<LocalSwarm> {
+        if self.workers.is_empty() {
+            return Err(NetError::Malformed("a swarm needs at least one worker".into()));
+        }
+        let master = Master::spawn(
+            self.graph,
+            MasterConfig {
+                expected_workers: self.workers.len(),
+                placement: self.placement,
+                heartbeat: self.heartbeat,
+            },
+            self.fabric.clone(),
+        )?;
+        let mut nodes = Vec::new();
+        for (name, registry) in self.workers {
+            nodes.push(WorkerNode::spawn(
+                name,
+                self.fabric.clone(),
+                master.addr(),
+                registry,
+                self.node_config.clone(),
+            )?);
+        }
+        let status = master.status();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !status.started() {
+            if Instant::now() > deadline {
+                return Err(NetError::DiscoveryTimeout);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(LocalSwarm {
+            master,
+            nodes,
+            fabric: self.fabric,
+            node_config: self.node_config,
+        })
+    }
+}
+
+/// A running swarm of in-process worker nodes under one master.
+#[derive(Debug)]
+pub struct LocalSwarm {
+    master: Master,
+    nodes: Vec<WorkerNode>,
+    fabric: Fabric,
+    node_config: NodeConfig,
+}
+
+impl LocalSwarm {
+    /// Start building a swarm for `graph`.
+    #[must_use]
+    pub fn builder(graph: AppGraph) -> LocalSwarmBuilder {
+        LocalSwarmBuilder {
+            graph,
+            node_config: NodeConfig::default(),
+            placement: Placement::SourceOnFirst,
+            heartbeat: None,
+            fabric: Fabric::in_proc(),
+            workers: Vec::new(),
+        }
+    }
+
+    /// The master's control address (for external workers to join).
+    #[must_use]
+    pub fn master_addr(&self) -> &str {
+        self.master.addr()
+    }
+
+    /// Let the app run for a while.
+    pub fn run_for(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+
+    /// Add a worker while the app is running (the paper's Fig. 9 join).
+    pub fn add_worker(
+        &mut self,
+        name: impl Into<String>,
+        registry: UnitRegistry,
+    ) -> NetResult<()> {
+        let node = WorkerNode::spawn(
+            name,
+            self.fabric.clone(),
+            self.master.addr(),
+            registry,
+            self.node_config.clone(),
+        )?;
+        self.nodes.push(node);
+        Ok(())
+    }
+
+    /// Abruptly kill a worker by name (the paper's Fig. 9 leave).
+    /// Returns whether a worker with that name existed.
+    pub fn kill_worker(&mut self, name: &str) -> bool {
+        if let Some(idx) = self.nodes.iter().position(|n| n.name() == name) {
+            let mut node = self.nodes.remove(idx);
+            node.stop();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Names of the currently running workers.
+    pub fn worker_names(&self) -> Vec<String> {
+        self.nodes.iter().map(|n| n.name().to_owned()).collect()
+    }
+
+    /// The master's current deployment (updated on churn; with
+    /// heartbeats enabled, silently dead workers disappear from it).
+    #[must_use]
+    pub fn deployment(&self) -> swing_core::graph::Deployment {
+        self.master.status().deployment()
+    }
+
+    /// Latest routing-table snapshots across the whole swarm:
+    /// `(worker name, unit, snapshot)` for every unit that has
+    /// dispatched tuples. Useful for observing which downstreams LRS
+    /// selected and how it weighted them.
+    pub fn router_snapshots(
+        &self,
+    ) -> Vec<(String, swing_core::UnitId, swing_core::routing::RouterSnapshot)> {
+        let mut out = Vec::new();
+        for node in &self.nodes {
+            for (unit, snap) in node.router_snapshots() {
+                out.push((node.name().to_owned(), unit, snap));
+            }
+        }
+        out
+    }
+
+    /// Stop everything and collect `(worker name, sink report)` pairs for
+    /// every sink instance in the swarm.
+    pub fn stop(mut self) -> Vec<(String, SinkReport)> {
+        self.master.stop();
+        let mut reports = Vec::new();
+        for node in &mut self.nodes {
+            let meters = node.sink_meters();
+            node.stop();
+            for (_, meter) in meters {
+                reports.push((node.name().to_owned(), meter.report()));
+            }
+        }
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use swing_core::unit::{closure_sink, closure_source, closure_unit, Context};
+    use swing_core::Tuple;
+
+    fn pipeline_graph() -> AppGraph {
+        let mut g = AppGraph::new("test-app");
+        let s = g.add_source("src");
+        let o = g.add_operator("double");
+        let k = g.add_sink("out");
+        g.connect(s, o).unwrap();
+        g.connect(o, k).unwrap();
+        g
+    }
+
+    fn registry(consumed: Option<Arc<AtomicU64>>) -> UnitRegistry {
+        let mut r = UnitRegistry::new();
+        r.register_source("src", || {
+            closure_source(|_now| Some(Tuple::new().with("x", 21i64)))
+        });
+        r.register_operator("double", || {
+            closure_unit(|t: Tuple, ctx: &mut Context<'_>| {
+                let x = t.i64("x").unwrap();
+                ctx.send(Tuple::new().with("x", x * 2));
+            })
+        });
+        let consumed = consumed.unwrap_or_default();
+        r.register_sink("out", move || {
+            let c = Arc::clone(&consumed);
+            closure_sink(move |t: Tuple, _| {
+                assert_eq!(t.i64("x").unwrap(), 42);
+                c.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        r
+    }
+
+    #[test]
+    fn in_proc_swarm_runs_the_full_workflow() {
+        let consumed = Arc::new(AtomicU64::new(0));
+        let swarm = LocalSwarm::builder(pipeline_graph())
+            .policy(Policy::Lrs)
+            .input_fps(200.0)
+            .worker("A", registry(Some(Arc::clone(&consumed))))
+            .worker("B", registry(None))
+            .worker("C", registry(None))
+            .start()
+            .unwrap();
+        swarm.run_for(Duration::from_millis(800));
+        let reports = swarm.stop();
+        let total: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
+        assert!(total > 50, "only {total} tuples consumed");
+        assert_eq!(consumed.load(Ordering::Relaxed), total);
+        // End-to-end latency at 200 FPS through two hops stays small.
+        let (_, r) = &reports[0];
+        assert!(r.latency_ms.mean() < 250.0, "{}", r.latency_ms.mean());
+    }
+
+    #[test]
+    fn tcp_swarm_runs_the_full_workflow() {
+        let swarm = LocalSwarm::builder(pipeline_graph())
+            .policy(Policy::Lr)
+            .input_fps(100.0)
+            .tcp()
+            .worker("A", registry(None))
+            .worker("B", registry(None))
+            .start()
+            .unwrap();
+        swarm.run_for(Duration::from_millis(700));
+        let reports = swarm.stop();
+        let total: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
+        assert!(total > 20, "only {total} tuples consumed over TCP");
+    }
+
+    #[test]
+    fn worker_joins_mid_run() {
+        let mut swarm = LocalSwarm::builder(pipeline_graph())
+            .policy(Policy::Lrs)
+            .input_fps(100.0)
+            .worker("A", registry(None))
+            .worker("B", registry(None))
+            .start()
+            .unwrap();
+        swarm.run_for(Duration::from_millis(200));
+        swarm.add_worker("C", registry(None)).unwrap();
+        swarm.run_for(Duration::from_millis(400));
+        assert_eq!(swarm.worker_names(), vec!["A", "B", "C"]);
+        let reports = swarm.stop();
+        let total: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
+        assert!(total > 20, "only {total} consumed");
+    }
+
+    #[test]
+    fn worker_leaving_does_not_stop_the_app() {
+        let mut swarm = LocalSwarm::builder(pipeline_graph())
+            .policy(Policy::Lrs)
+            .input_fps(100.0)
+            .worker("A", registry(None))
+            .worker("B", registry(None))
+            .worker("C", registry(None))
+            .start()
+            .unwrap();
+        swarm.run_for(Duration::from_millis(300));
+        assert!(swarm.kill_worker("C"));
+        assert!(!swarm.kill_worker("C"));
+        swarm.run_for(Duration::from_millis(400));
+        let reports = swarm.stop();
+        let total: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
+        // The app kept producing after the leave.
+        assert!(total > 40, "only {total} consumed");
+    }
+
+    #[test]
+    fn heartbeat_prunes_a_silently_dead_worker() {
+        let mut swarm = LocalSwarm::builder(pipeline_graph())
+            .policy(Policy::Lrs)
+            .input_fps(100.0)
+            .heartbeat(crate::master::HeartbeatConfig {
+                interval: Duration::from_millis(100),
+                timeout: Duration::from_millis(400),
+            })
+            .worker("A", registry(None))
+            .worker("B", registry(None))
+            .worker("C", registry(None))
+            .start()
+            .unwrap();
+        swarm.run_for(Duration::from_millis(300));
+        let before = swarm.deployment().len();
+        assert!(before >= 4, "expected full deployment, got {before}");
+        // Kill C abruptly: its node thread dies without sending Leave.
+        assert!(swarm.kill_worker("C"));
+        // Within a couple of heartbeat timeouts the master prunes C's
+        // units from the deployment.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let now_len = swarm.deployment().len();
+            if now_len < before {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "master never pruned the dead worker (still {now_len} units)"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        // The app keeps running on the survivors.
+        swarm.run_for(Duration::from_millis(300));
+        let reports = swarm.stop();
+        let total: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
+        assert!(total > 20, "only {total} consumed");
+    }
+
+    #[test]
+    fn router_snapshots_expose_live_routing_state() {
+        let swarm = LocalSwarm::builder(pipeline_graph())
+            .policy(Policy::Lrs)
+            .input_fps(200.0)
+            .worker("A", registry(None))
+            .worker("B", registry(None))
+            .worker("C", registry(None))
+            .start()
+            .unwrap();
+        swarm.run_for(Duration::from_millis(800));
+        let snaps = swarm.router_snapshots();
+        // At least the source on A has dispatched enough to publish.
+        let (name, _, snap) = snaps
+            .iter()
+            .find(|(name, _, _)| name == "A")
+            .expect("no snapshot from A");
+        assert_eq!(name, "A");
+        // Source routes to the `double` replicas on B and C.
+        assert_eq!(snap.routes.len(), 2);
+        let total: f64 = snap.routes.iter().map(|r| r.weight).sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        assert!(snap.routes.iter().all(|r| r.acked > 0));
+        swarm.stop();
+    }
+
+    #[test]
+    fn empty_swarm_is_rejected() {
+        assert!(LocalSwarm::builder(pipeline_graph()).start().is_err());
+    }
+
+    #[test]
+    fn single_worker_hosts_everything() {
+        let swarm = LocalSwarm::builder(pipeline_graph())
+            .input_fps(100.0)
+            .worker("A", registry(None))
+            .start()
+            .unwrap();
+        swarm.run_for(Duration::from_millis(300));
+        let reports = swarm.stop();
+        let total: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
+        assert!(total > 10, "only {total} consumed");
+    }
+}

@@ -1,0 +1,105 @@
+//! The full §IV-B workflow over TCP with UDP discovery: a master
+//! announces itself; workers discover it, join, get the app deployed,
+//! and compute.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use swing_core::graph::AppGraph;
+use swing_core::unit::{closure_sink, closure_source, PassThrough};
+use swing_core::Tuple;
+use swing_runtime::executor::NodeConfig;
+use swing_runtime::fabric::Fabric;
+use swing_runtime::master::{Master, MasterConfig};
+use swing_runtime::node::WorkerNode;
+use swing_runtime::registry::UnitRegistry;
+
+fn graph() -> AppGraph {
+    let mut g = AppGraph::new("discovered-app");
+    let s = g.add_source("src");
+    let o = g.add_operator("op");
+    let k = g.add_sink("out");
+    g.connect(s, o).unwrap();
+    g.connect(o, k).unwrap();
+    g
+}
+
+fn registry(count: Option<Arc<AtomicU64>>) -> UnitRegistry {
+    let mut r = UnitRegistry::new();
+    r.register_source("src", || closure_source(|_| Some(Tuple::new().with("x", 1i64))));
+    r.register_operator("op", || PassThrough);
+    let count = count.unwrap_or_default();
+    r.register_sink("out", move || {
+        let c = Arc::clone(&count);
+        closure_sink(move |_t, _n| {
+            c.fetch_add(1, Ordering::Relaxed);
+        })
+    });
+    r
+}
+
+#[test]
+fn workers_discover_the_master_and_compute() {
+    // A port unlikely to collide with the swing-net discovery tests.
+    let port = 43_977;
+    let fabric = Fabric::tcp();
+    let master = Master::spawn(
+        graph(),
+        MasterConfig {
+            expected_workers: 2,
+            ..MasterConfig::default()
+        },
+        fabric.clone(),
+    )
+    .unwrap();
+    let _responder = master.announce(port, "discovered-app").unwrap();
+
+    let consumed = Arc::new(AtomicU64::new(0));
+    let config = NodeConfig {
+        input_fps: 100.0,
+        ..NodeConfig::default()
+    };
+    let mut a = WorkerNode::discover_and_spawn(
+        "A",
+        fabric.clone(),
+        port,
+        Duration::from_secs(5),
+        registry(Some(Arc::clone(&consumed))),
+        config.clone(),
+    )
+    .unwrap();
+    let mut b = WorkerNode::discover_and_spawn(
+        "B",
+        fabric,
+        port,
+        Duration::from_secs(5),
+        registry(None),
+        config,
+    )
+    .unwrap();
+
+    // Wait until the pipeline visibly flows.
+    let deadline = std::time::Instant::now() + Duration::from_secs(8);
+    while consumed.load(Ordering::Relaxed) < 30 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let total = consumed.load(Ordering::Relaxed);
+    assert!(total >= 30, "only {total} tuples flowed after discovery");
+
+    drop(master);
+    a.stop();
+    b.stop();
+}
+
+#[test]
+fn discovery_times_out_when_no_master_announces() {
+    let err = WorkerNode::discover_and_spawn(
+        "lonely",
+        Fabric::tcp(),
+        43_978,
+        Duration::from_millis(300),
+        registry(None),
+        NodeConfig::default(),
+    );
+    assert!(err.is_err());
+}

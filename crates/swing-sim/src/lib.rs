@@ -1,0 +1,30 @@
+//! # swing-sim
+//!
+//! Deterministic discrete-event simulator of Swing swarms. It substitutes
+//! the paper's physical testbed — nine heterogeneous Android devices on
+//! an 802.11n WLAN — with calibrated device and radio models
+//! (`swing-device`, `swing-net`) while executing the *real* routing code
+//! from `swing-core`, so policy behaviour is measured, not imitated.
+//!
+//! * [`engine`] — minimal event-queue core with stable ordering.
+//! * [`swarm`] — the simulator: source dispatcher with per-destination
+//!   windows, shared sender radio, worker queues/CPUs, ACK-driven
+//!   estimation, churn and mobility.
+//! * [`metrics`] — per-frame, per-worker and timeline measurements.
+//! * [`experiments`] — canned scenario builders for every figure and
+//!   table in the paper's evaluation.
+//! * [`pipeline`] — multi-stage dataflow simulation with a distributed
+//!   router at every upstream instance (the paper's full programming
+//!   model).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod experiments;
+pub mod metrics;
+pub mod pipeline;
+pub mod swarm;
+
+pub use metrics::{FrameRecord, SwarmReport, TimelinePoint, WorkerStats};
+pub use swarm::{Swarm, SwarmConfig, WorkerSpec};

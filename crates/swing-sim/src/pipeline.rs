@@ -1,0 +1,612 @@
+//! Multi-stage pipeline simulation: the full dataflow-graph programming
+//! model with *distributed* routing.
+//!
+//! The paper's apps are graphs of four function units, and "Swing
+//! enables programmers to express a single compute-intensive operation
+//! as separate function units, e.g., detect() and recognize()"
+//! (§IV-A) with LRS "executed at each upstream function unit in the
+//! application dataflow graph" (§V-A). This simulator runs an arbitrary
+//! [`AppGraph`] under a [`Deployment`] of stage replicas to devices:
+//! every instance with downstreams owns its own [`Router`], measures its
+//! own per-downstream latencies from ACKs, and makes its own selection
+//! and weighting decisions — nothing is coordinated centrally.
+//!
+//! The network model is per-device-pair link queues (quality from the
+//! *receiving* device's signal zone, as in the single-stage swarm
+//! simulator); instances co-located on one device exchange tuples
+//! through memory at negligible cost, so placement decisions — split a
+//! pipeline across devices or fuse stages onto one — have the latency
+//! consequences the paper's design discussion implies.
+
+use crate::engine::EventQueue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use swing_core::config::RouterConfig;
+use swing_core::graph::{AppGraph, Deployment, Role, StageId};
+use swing_core::rate::Pacer;
+use swing_core::routing::Router;
+use swing_core::stats::Summary;
+use swing_core::{DeviceId, SeqNo, UnitId, SECOND_US};
+use swing_device::mobility::SignalZone;
+use swing_device::profile::DeviceProfile;
+use swing_device::radio::link_quality;
+use swing_net::link::SenderRadio;
+
+/// In-memory hand-off cost between co-located instances, microseconds.
+const LOCAL_HOP_US: u64 = 200;
+
+/// ACK uplink delay, microseconds (ACKs are tiny).
+const ACK_DELAY_US: u64 = 3_000;
+
+/// Per-stage compute cost: milliseconds on the reference device (`H`);
+/// other devices scale by their speed factor. Stages not listed cost 0
+/// (sources and sinks usually).
+#[derive(Debug, Clone, Default)]
+pub struct StageCosts {
+    costs: BTreeMap<StageId, f64>,
+}
+
+impl StageCosts {
+    /// No stage costs anything yet.
+    #[must_use]
+    pub fn new() -> Self {
+        StageCosts::default()
+    }
+
+    /// Set `stage`'s per-tuple cost on the reference device.
+    #[must_use]
+    pub fn with(mut self, stage: StageId, reference_ms: f64) -> Self {
+        self.costs.insert(stage, reference_ms);
+        self
+    }
+
+    fn cost_ms(&self, stage: StageId) -> f64 {
+        self.costs.get(&stage).copied().unwrap_or(0.0)
+    }
+}
+
+/// A device participating in the pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineNode {
+    /// Hardware profile.
+    pub profile: DeviceProfile,
+    /// Static signal zone (no mobility in this simulator).
+    pub zone: SignalZone,
+}
+
+impl PipelineNode {
+    /// A device in the good-signal zone.
+    #[must_use]
+    pub fn new(profile: DeviceProfile) -> Self {
+        PipelineNode {
+            profile,
+            zone: SignalZone::Good,
+        }
+    }
+
+    /// Place the device in a zone.
+    #[must_use]
+    pub fn in_zone(mut self, zone: SignalZone) -> Self {
+        self.zone = zone;
+        self
+    }
+}
+
+/// Pipeline simulation parameters.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Router configuration used by every upstream instance.
+    pub router: RouterConfig,
+    /// Source rate, tuples per second.
+    pub input_fps: f64,
+    /// Run length, microseconds.
+    pub duration_us: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Tuple payload size per edge hop, bytes.
+    pub tuple_bytes: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            router: RouterConfig::default(),
+            input_fps: 24.0,
+            duration_us: 30 * SECOND_US,
+            seed: 7,
+            tuple_bytes: 6_040,
+        }
+    }
+}
+
+/// Result of a pipeline run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Tuples emitted by the source.
+    pub generated: u64,
+    /// Tuples that reached a sink.
+    pub completed: u64,
+    /// Mean delivered rate, tuples per second.
+    pub throughput: f64,
+    /// End-to-end latency, milliseconds.
+    pub latency_ms: Summary,
+    /// Tuples processed per instance.
+    pub per_instance: BTreeMap<UnitId, u64>,
+    /// Mean queue + service time per stage, milliseconds.
+    pub per_stage_ms: BTreeMap<StageId, f64>,
+}
+
+impl PipelineReport {
+    /// Tuples processed by each instance of `stage`, in instance order.
+    #[must_use]
+    pub fn stage_shares(&self, deployment: &Deployment, stage: StageId) -> Vec<(UnitId, u64)> {
+        deployment
+            .instances_of(stage)
+            .map(|u| (u, self.per_instance.get(&u).copied().unwrap_or(0)))
+            .collect()
+    }
+}
+
+/// A tuple waiting at / being processed by an instance.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    seq: u64,
+    created: u64,
+    arrived: u64,
+    /// Who to ACK after processing: `(upstream instance, its ack seq)`.
+    upstream: Option<(UnitId, u64)>,
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Emit,
+    Arrive {
+        inst: UnitId,
+        job: Job,
+    },
+    EndService {
+        inst: UnitId,
+    },
+    AckArrive {
+        upstream: UnitId,
+        ack_seq: u64,
+        processing_us: u64,
+    },
+}
+
+struct Instance {
+    stage: StageId,
+    device: DeviceId,
+    role: Role,
+    service_us: u64,
+    router: Option<Router>,
+    queue: VecDeque<Job>,
+    current: Option<Job>,
+    processed: u64,
+    stage_time_sum_us: u64,
+    next_ack_seq: u64,
+}
+
+struct Sim<'a> {
+    nodes: &'a [PipelineNode],
+    config: &'a PipelineConfig,
+    instances: BTreeMap<UnitId, Instance>,
+    links: HashMap<(DeviceId, DeviceId), SenderRadio>,
+    queue: EventQueue<Ev>,
+    rng: StdRng,
+    report: PipelineReport,
+}
+
+impl Sim<'_> {
+    /// Route a job out of `from` toward one of its downstream instances.
+    fn dispatch(&mut self, from: UnitId, seq: u64, created: u64, now: u64) {
+        let (dest, ack_seq, src_dev) = {
+            let inst = self.instances.get_mut(&from).expect("instance exists");
+            let Some(router) = inst.router.as_mut() else {
+                return; // sink: nothing downstream
+            };
+            router.note_arrival(now);
+            let Ok(dest) = router.route(now) else {
+                return; // no downstream left: tuple dropped
+            };
+            let ack_seq = inst.next_ack_seq;
+            inst.next_ack_seq += 1;
+            router.on_send(SeqNo(ack_seq), dest, now);
+            (dest, ack_seq, inst.device)
+        };
+        let dst_dev = self.instances[&dest].device;
+        let arrive_at = if src_dev == dst_dev {
+            now + LOCAL_HOP_US
+        } else {
+            let quality = link_quality(self.nodes[dst_dev.0 as usize].zone.rssi_dbm());
+            let radio = self.links.entry((src_dev, dst_dev)).or_default();
+            match radio.enqueue(now, self.config.tuple_bytes, quality, &mut self.rng) {
+                Some(tx) => tx.end_us,
+                None => return, // disconnected: tuple lost
+            }
+        };
+        self.queue.schedule(
+            arrive_at,
+            Ev::Arrive {
+                inst: dest,
+                job: Job {
+                    seq,
+                    created,
+                    arrived: arrive_at,
+                    upstream: Some((from, ack_seq)),
+                },
+            },
+        );
+    }
+
+    /// Begin serving the next queued job on an idle instance.
+    fn maybe_start(&mut self, inst_id: UnitId, now: u64) {
+        let inst = self.instances.get_mut(&inst_id).expect("instance exists");
+        if inst.current.is_some() {
+            return;
+        }
+        let Some(job) = inst.queue.pop_front() else {
+            return;
+        };
+        inst.current = Some(job);
+        let jitter = 1.0 + 0.08 * self.rng.random_range(-1.0..1.0);
+        let service = (inst.service_us as f64 * jitter) as u64;
+        self.queue.schedule(now + service, Ev::EndService { inst: inst_id });
+    }
+
+    fn handle(&mut self, now: u64, ev: Ev, pacer: &mut Pacer) {
+        match ev {
+            Ev::Emit => {
+                let seq = self.report.generated;
+                self.report.generated += 1;
+                // Sources cost nothing: emit and dispatch immediately
+                // from every source instance (normally one).
+                let source_ids: Vec<UnitId> = self
+                    .instances
+                    .iter()
+                    .filter(|(_, i)| i.role == Role::Source)
+                    .map(|(u, _)| *u)
+                    .collect();
+                for src in source_ids {
+                    if let Some(i) = self.instances.get_mut(&src) {
+                        i.processed += 1;
+                    }
+                    self.dispatch(src, seq, now, now);
+                }
+                let next = pacer.consume_next().max(now + 1);
+                self.queue.schedule(next, Ev::Emit);
+            }
+            Ev::Arrive { inst, job } => {
+                self.instances
+                    .get_mut(&inst)
+                    .expect("instance exists")
+                    .queue
+                    .push_back(job);
+                self.maybe_start(inst, now);
+            }
+            Ev::EndService { inst } => {
+                let (job, role, processing) = {
+                    let i = self.instances.get_mut(&inst).expect("instance exists");
+                    let job = i.current.take().expect("a job was being served");
+                    i.processed += 1;
+                    let stage_time = now.saturating_sub(job.arrived);
+                    i.stage_time_sum_us += stage_time;
+                    (job, i.role, now.saturating_sub(job.arrived))
+                };
+                if let Some((upstream, ack_seq)) = job.upstream {
+                    self.queue.schedule(
+                        now + ACK_DELAY_US,
+                        Ev::AckArrive {
+                            upstream,
+                            ack_seq,
+                            processing_us: processing,
+                        },
+                    );
+                }
+                if role == Role::Sink {
+                    self.report.completed += 1;
+                    self.report
+                        .latency_ms
+                        .update(now.saturating_sub(job.created) as f64 / 1_000.0);
+                } else {
+                    self.dispatch(inst, job.seq, job.created, now);
+                }
+                self.maybe_start(inst, now);
+            }
+            Ev::AckArrive {
+                upstream,
+                ack_seq,
+                processing_us,
+            } => {
+                if let Some(router) = self
+                    .instances
+                    .get_mut(&upstream)
+                    .and_then(|i| i.router.as_mut())
+                {
+                    router.on_ack(SeqNo(ack_seq), now, processing_us);
+                }
+            }
+        }
+    }
+}
+
+/// Simulate `graph` deployed per `deployment` over `nodes`.
+///
+/// # Panics
+/// Panics if the graph is invalid, the deployment references unknown
+/// devices, or a non-sink stage instance has no deployed downstreams.
+#[must_use]
+pub fn run_pipeline(
+    graph: &AppGraph,
+    deployment: &Deployment,
+    nodes: &[PipelineNode],
+    costs: &StageCosts,
+    config: &PipelineConfig,
+) -> PipelineReport {
+    graph.validate().expect("valid graph");
+    let mut instances: BTreeMap<UnitId, Instance> = BTreeMap::new();
+    for (unit, stage, device) in deployment.iter() {
+        let node = nodes
+            .get(device.0 as usize)
+            .unwrap_or_else(|| panic!("deployment references unknown device {device}"));
+        let role = graph.stage(stage).expect("stage exists").role;
+        let service_ms = costs.cost_ms(stage) / node.profile.speed_factor();
+        let downstream = deployment
+            .downstream_instances(graph, unit)
+            .expect("deployed unit");
+        let router = if role == Role::Sink {
+            None
+        } else {
+            assert!(
+                !downstream.is_empty(),
+                "stage {stage} instance {unit} has no deployed downstreams"
+            );
+            let mut r = Router::new(config.router.clone(), config.seed ^ u64::from(unit.0));
+            for d in downstream {
+                r.add_downstream(d, 0);
+            }
+            Some(r)
+        };
+        instances.insert(
+            unit,
+            Instance {
+                stage,
+                device,
+                role,
+                service_us: (service_ms * 1_000.0) as u64,
+                router,
+                queue: VecDeque::new(),
+                current: None,
+                processed: 0,
+                stage_time_sum_us: 0,
+                next_ack_seq: 0,
+            },
+        );
+    }
+    assert!(
+        instances.values().any(|i| i.role == Role::Source),
+        "no deployed source instance"
+    );
+
+    let mut sim = Sim {
+        nodes,
+        config,
+        instances,
+        links: HashMap::new(),
+        queue: EventQueue::new(),
+        rng: StdRng::seed_from_u64(config.seed ^ 0xA5A5_5A5A),
+        report: PipelineReport::default(),
+    };
+    let mut pacer = Pacer::new(config.input_fps, 0);
+    sim.queue.schedule(0, Ev::Emit);
+    while let Some(t) = sim.queue.peek_time() {
+        if t > config.duration_us {
+            break;
+        }
+        let (now, ev) = sim.queue.pop().expect("peeked event");
+        sim.handle(now, ev, &mut pacer);
+    }
+
+    let mut report = sim.report;
+    report.throughput = report.completed as f64 / (config.duration_us as f64 / 1e6);
+    let mut stage_sum: BTreeMap<StageId, (u64, u64)> = BTreeMap::new();
+    for inst in sim.instances.values() {
+        let e = stage_sum.entry(inst.stage).or_insert((0, 0));
+        e.0 += inst.stage_time_sum_us;
+        e.1 += inst.processed;
+    }
+    report.per_instance = sim
+        .instances
+        .iter()
+        .map(|(u, i)| (*u, i.processed))
+        .collect();
+    report.per_stage_ms = stage_sum
+        .into_iter()
+        .map(|(s, (sum, n))| (s, if n > 0 { sum as f64 / n as f64 / 1_000.0 } else { 0.0 }))
+        .collect();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swing_core::routing::Policy;
+    use swing_device::profile::testbed;
+
+    /// The paper's four-stage face app: camera -> detect -> recognize ->
+    /// display, with detect and recognize replicated across workers.
+    fn face_like() -> (AppGraph, StageId, StageId, StageId, StageId) {
+        let mut g = AppGraph::new("pipeline-face");
+        let cam = g.add_source("camera");
+        let det = g.add_operator("detect");
+        let rec = g.add_operator("recognize");
+        let dsp = g.add_sink("display");
+        g.connect(cam, det).unwrap();
+        g.connect(det, rec).unwrap();
+        g.connect(rec, dsp).unwrap();
+        (g, cam, det, rec, dsp)
+    }
+
+    fn good_nodes(letters: &[&str]) -> Vec<PipelineNode> {
+        let tb = testbed();
+        letters
+            .iter()
+            .map(|l| PipelineNode::new(tb.iter().find(|p| p.name == *l).unwrap().clone()))
+            .collect()
+    }
+
+    fn config(policy: Policy) -> PipelineConfig {
+        PipelineConfig {
+            router: RouterConfig::new(policy),
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn four_stage_pipeline_sustains_target_rate() {
+        let (g, cam, det, rec, dsp) = face_like();
+        // A: camera+display; G,H: detect; I,B: recognize.
+        let nodes = good_nodes(&["A", "G", "H", "I", "B"]);
+        let mut d = Deployment::new();
+        d.place(cam, DeviceId(0));
+        d.place(det, DeviceId(1));
+        d.place(det, DeviceId(2));
+        d.place(rec, DeviceId(3));
+        d.place(rec, DeviceId(4));
+        d.place(dsp, DeviceId(0));
+        // Detect ~40 ms, recognize ~31 ms on the reference device: two
+        // replicas of each cover 24 FPS.
+        let costs = StageCosts::new().with(det, 40.0).with(rec, 31.0);
+        let report = run_pipeline(&g, &d, &nodes, &costs, &config(Policy::Lrs));
+        assert!(
+            report.throughput > 21.0,
+            "throughput {:.1}",
+            report.throughput
+        );
+        // End-to-end ≈ hops + detect + recognize, well under a second.
+        assert!(
+            report.latency_ms.mean() < 400.0,
+            "latency {:.0} ms",
+            report.latency_ms.mean()
+        );
+        // Both stages did real work.
+        assert!(report.per_stage_ms[&det] > 20.0);
+        assert!(report.per_stage_ms[&rec] > 15.0);
+    }
+
+    #[test]
+    fn each_upstream_routes_around_its_own_slow_downstream() {
+        // Distributed routing: the detect instances each discover that
+        // one recognize replica runs on the slow E and shift their
+        // traffic to the fast replica — with no central coordinator.
+        let (g, cam, det, rec, dsp) = face_like();
+        let nodes = good_nodes(&["A", "G", "H", "I", "E"]);
+        let mut d = Deployment::new();
+        d.place(cam, DeviceId(0));
+        d.place(det, DeviceId(1));
+        d.place(det, DeviceId(2));
+        let fast_rec = d.place(rec, DeviceId(3)); // I
+        let slow_rec = d.place(rec, DeviceId(4)); // E (6.5x slower)
+        d.place(dsp, DeviceId(0));
+        let costs = StageCosts::new().with(det, 30.0).with(rec, 40.0);
+        let report = run_pipeline(&g, &d, &nodes, &costs, &config(Policy::Lrs));
+        let fast = report.per_instance[&fast_rec];
+        let slow = report.per_instance[&slow_rec];
+        assert!(
+            fast > 2 * slow,
+            "fast recognize got {fast}, slow got {slow}"
+        );
+        assert!(report.throughput > 18.0, "{:.1}", report.throughput);
+    }
+
+    #[test]
+    fn fusing_stages_on_one_device_cuts_transmission_latency() {
+        let (g, cam, det, rec, dsp) = face_like();
+        let costs = StageCosts::new().with(det, 20.0).with(rec, 15.0);
+        let cfg = PipelineConfig {
+            input_fps: 10.0,
+            ..config(Policy::Lrs)
+        };
+
+        // Split: every stage on its own device (3 radio hops).
+        let nodes = good_nodes(&["A", "H", "I"]);
+        let mut split = Deployment::new();
+        split.place(cam, DeviceId(0));
+        split.place(det, DeviceId(1));
+        split.place(rec, DeviceId(2));
+        split.place(dsp, DeviceId(0));
+        let split_report = run_pipeline(&g, &split, &nodes, &costs, &cfg);
+
+        // Fused: detect+recognize co-located on H (1 radio hop there,
+        // in-memory hand-off, 1 hop back).
+        let mut fused = Deployment::new();
+        fused.place(cam, DeviceId(0));
+        fused.place(det, DeviceId(1));
+        fused.place(rec, DeviceId(1));
+        fused.place(dsp, DeviceId(0));
+        let fused_report = run_pipeline(&g, &fused, &nodes, &costs, &cfg);
+
+        assert!(
+            fused_report.latency_ms.mean() < split_report.latency_ms.mean(),
+            "fused {:.1} ms vs split {:.1} ms",
+            fused_report.latency_ms.mean(),
+            split_report.latency_ms.mean()
+        );
+        assert!((fused_report.throughput - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn pipeline_runs_are_deterministic() {
+        let (g, cam, det, rec, dsp) = face_like();
+        let nodes = good_nodes(&["A", "G", "H"]);
+        let mk = || {
+            let mut d = Deployment::new();
+            d.place(cam, DeviceId(0));
+            d.place(det, DeviceId(1));
+            d.place(rec, DeviceId(2));
+            d.place(dsp, DeviceId(0));
+            let costs = StageCosts::new().with(det, 25.0).with(rec, 25.0);
+            run_pipeline(&g, &d, &nodes, &costs, &config(Policy::Lrs))
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.latency_ms, b.latency_ms);
+        assert_eq!(a.per_instance, b.per_instance);
+    }
+
+    #[test]
+    fn overloaded_stage_becomes_the_bottleneck() {
+        let (g, cam, det, rec, dsp) = face_like();
+        let nodes = good_nodes(&["A", "H", "I"]);
+        let mut d = Deployment::new();
+        d.place(cam, DeviceId(0));
+        d.place(det, DeviceId(1));
+        d.place(rec, DeviceId(2));
+        d.place(dsp, DeviceId(0));
+        // recognize takes 100 ms on H-class hardware: ~10 FPS ceiling.
+        let costs = StageCosts::new().with(det, 10.0).with(rec, 100.0);
+        let report = run_pipeline(&g, &d, &nodes, &costs, &config(Policy::Lrs));
+        assert!(
+            report.throughput < 13.0,
+            "throughput {:.1} should be capped by recognize",
+            report.throughput
+        );
+        // The bottleneck stage accumulates queueing.
+        assert!(report.per_stage_ms[&rec] > report.per_stage_ms[&det]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no deployed downstreams")]
+    fn missing_downstream_deployment_panics() {
+        let (g, cam, det, _rec, dsp) = face_like();
+        let nodes = good_nodes(&["A", "H"]);
+        let mut d = Deployment::new();
+        d.place(cam, DeviceId(0));
+        d.place(det, DeviceId(1)); // recognize never placed
+        d.place(dsp, DeviceId(0));
+        let costs = StageCosts::new();
+        let _ = run_pipeline(&g, &d, &nodes, &costs, &PipelineConfig::default());
+    }
+}

@@ -1,0 +1,45 @@
+//! Churn and mobility on the simulated testbed: reproduce the paper's
+//! Fig. 9 (join/leave) and Fig. 10 (walking into weak signal) scenarios
+//! and print the throughput timelines.
+//!
+//! ```sh
+//! cargo run --release --example mobility
+//! ```
+
+use swing::sim::experiments::{joining_run, leaving_run, mobility_run};
+
+fn spark(v: f64, max: f64) -> String {
+    let width = 30usize;
+    let n = ((v / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+fn main() {
+    println!("== Fig 9 (left): B and D computing; G joins at t = 10 s ==");
+    let join = joining_run(10, 30, 7);
+    for p in &join.timeline {
+        println!("t={:>2.0}s {:>5.1} FPS |{}", p.t_s, p.total_fps, spark(p.total_fps, 26.0));
+    }
+
+    println!();
+    println!("== Fig 9 (right): B, G, H computing; G killed at t = 10 s ==");
+    let leave = leaving_run(10, 30, 7);
+    for p in &leave.timeline {
+        println!("t={:>2.0}s {:>5.1} FPS |{}", p.t_s, p.total_fps, spark(p.total_fps, 26.0));
+    }
+    println!("frames lost in the transition: {}", leave.lost);
+
+    println!();
+    println!("== Fig 10: G walks Good -> Weak -> Poor (20 s dwell each) ==");
+    let walk = mobility_run(20, 7);
+    for p in &walk.timeline {
+        println!(
+            "t={:>2.0}s total {:>5.1} FPS (G: {:>4.1} FPS @ {:>3.0} dBm) |{}",
+            p.t_s,
+            p.total_fps,
+            p.per_worker_fps[1],
+            p.per_worker_rssi[1],
+            spark(p.total_fps, 26.0)
+        );
+    }
+}

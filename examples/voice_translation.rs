@@ -1,0 +1,65 @@
+//! Collaborative voice translation — the paper's second app: "a group of
+//! travelers could benefit from real-time translation of native speakers
+//! using collaborative processing on their mobile devices".
+//!
+//! Runs the tone-chord speech recognizer and the EN→ES translator across
+//! an in-process swarm and prints the first few subtitle pairs.
+//!
+//! ```sh
+//! cargo run --release --example voice_translation -- [workers] [seconds]
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use swing::apps::voice::{self, VoiceAppConfig};
+use swing::core::routing::Policy;
+use swing::runtime::registry::UnitRegistry;
+use swing::runtime::swarm::LocalSwarm;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let workers: usize = args.next().map(|s| s.parse().expect("worker count")).unwrap_or(3);
+    let seconds: u64 = args.next().map(|s| s.parse().expect("seconds")).unwrap_or(5);
+
+    let subtitles = Arc::new(AtomicU64::new(0));
+    let config = VoiceAppConfig::default();
+
+    let make_registry = |with_display: bool| {
+        let mut r = UnitRegistry::new();
+        voice::install(&mut r, config.clone());
+        if with_display {
+            let subs = Arc::clone(&subtitles);
+            r.register_sink(voice::STAGE_DISPLAY, move || {
+                let subs = Arc::clone(&subs);
+                voice::TranslationSink::new(move |en: &str, es: &str| {
+                    let n = subs.fetch_add(1, Ordering::Relaxed);
+                    if n < 6 {
+                        println!("  EN: {en}");
+                        println!("  ES: {es}");
+                        println!();
+                    }
+                })
+            });
+        }
+        r
+    };
+
+    println!("voice translation on {workers} devices, LRS, {seconds}s @ 8 FPS");
+    let mut builder = LocalSwarm::builder(voice::app_graph())
+        .policy(Policy::Lrs)
+        .input_fps(8.0)
+        .worker("A", make_registry(true));
+    for i in 1..workers {
+        builder = builder.worker(format!("W{i}"), make_registry(false));
+    }
+    let swarm = builder.start().expect("swarm start");
+    swarm.run_for(Duration::from_secs(seconds));
+    let reports = swarm.stop();
+    for (worker, report) in reports {
+        println!(
+            "subtitles on {worker}: {} utterances, {:.1}/s, latency mean {:.0} ms",
+            report.consumed, report.throughput, report.latency_ms.mean()
+        );
+    }
+}

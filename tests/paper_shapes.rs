@@ -1,0 +1,176 @@
+//! Integration tests asserting that the simulated reproduction preserves
+//! the *shape* of every headline claim in the paper's evaluation: who
+//! wins, by roughly what factor, and how the system reacts to churn and
+//! mobility. Absolute numbers are not expected to match the authors'
+//! testbed; factors and orderings are.
+
+use swing::core::routing::Policy;
+use swing::device::profile::Workload;
+use swing::sim::experiments::{
+    evaluation_run, joining_run, leaving_run, mobility_run, single_device,
+};
+
+const SECS: u64 = 90;
+const SEED: u64 = 1;
+
+/// §I / Fig 1: "Each device can only process 4~10 frames per second,
+/// which is far below the minimal 24 FPS" — no single device keeps up,
+/// and delays build up within seconds.
+#[test]
+fn no_single_device_sustains_real_time() {
+    for letter in ["B", "E", "H", "I"] {
+        let r = single_device(letter, 20, SEED);
+        assert!(
+            r.throughput_fps < 15.0,
+            "{letter} reached {:.1} FPS alone",
+            r.throughput_fps
+        );
+        assert!(
+            r.latency_ms.max() > 1_000.0,
+            "{letter} never built up delay"
+        );
+    }
+}
+
+/// §VI headline: "Compared with the baseline RR, LRS provides 2.7x
+/// improvement in throughput and 6.7x reduction in average latency."
+#[test]
+fn lrs_beats_rr_by_paper_factors() {
+    let rr = evaluation_run(Policy::Rr, Workload::FaceRecognition, SECS, SEED);
+    let lrs = evaluation_run(Policy::Lrs, Workload::FaceRecognition, SECS, SEED);
+    let speedup = lrs.throughput_fps / rr.throughput_fps;
+    let latency_cut = rr.latency_ms.mean() / lrs.latency_ms.mean();
+    assert!(
+        speedup >= 2.2,
+        "throughput improvement {speedup:.1}x below the paper's 2.7x band"
+    );
+    assert!(
+        latency_cut >= 6.0,
+        "latency reduction {latency_cut:.1}x below the paper's 6.7x"
+    );
+    // And LRS actually meets the real-time target.
+    assert!(lrs.throughput_fps > 22.0, "LRS at {:.1} FPS", lrs.throughput_fps);
+}
+
+/// Fig 4: latency-based routing beats processing-delay-based routing,
+/// which mis-routes to weak-signal devices.
+#[test]
+fn latency_based_routing_beats_processing_based() {
+    let face = Workload::FaceRecognition;
+    let pr = evaluation_run(Policy::Pr, face, SECS, SEED);
+    let lr = evaluation_run(Policy::Lr, face, SECS, SEED);
+    assert!(lr.throughput_fps > 2.0 * pr.throughput_fps);
+    assert!(lr.latency_ms.mean() < pr.latency_ms.mean() / 2.0);
+    // PR keeps feeding the poor-signal B; LR learns to avoid it.
+    let received = |r: &swing::sim::SwarmReport, n: &str| {
+        r.workers.iter().find(|w| w.name == n).unwrap().received
+    };
+    assert!(received(&pr, "B") > 2 * received(&lr, "B"));
+}
+
+/// Fig 4/5: worker selection concentrates work on fewer devices without
+/// losing throughput.
+#[test]
+fn worker_selection_uses_fewer_devices() {
+    let face = Workload::FaceRecognition;
+    let lr = evaluation_run(Policy::Lr, face, SECS, SEED);
+    let lrs = evaluation_run(Policy::Lrs, face, SECS, SEED);
+    assert!(lrs.active_workers(50) < lr.active_workers(50));
+    assert!(lrs.throughput_fps > 0.95 * lr.throughput_fps);
+}
+
+/// Fig 6/7: selection improves energy efficiency; PRS (fastest, most
+/// efficient devices only) draws the least power.
+#[test]
+fn energy_shapes_hold() {
+    let face = Workload::FaceRecognition;
+    let rr = evaluation_run(Policy::Rr, face, SECS, SEED);
+    let lr = evaluation_run(Policy::Lr, face, SECS, SEED);
+    let prs = evaluation_run(Policy::Prs, face, SECS, SEED);
+    let lrs = evaluation_run(Policy::Lrs, face, SECS, SEED);
+    assert!(prs.aggregate_power_w() < lr.aggregate_power_w());
+    assert!(prs.aggregate_power_w() < lrs.aggregate_power_w());
+    assert!(lrs.fps_per_watt() > rr.fps_per_watt());
+    assert!(lrs.fps_per_watt() > lr.fps_per_watt());
+}
+
+/// §VI-B: voice translation is heavier; no policy reaches 24 FPS and RR
+/// remains the worst.
+#[test]
+fn voice_workload_shapes_hold() {
+    let voice = Workload::VoiceTranslation;
+    let rr = evaluation_run(Policy::Rr, voice, SECS, SEED);
+    let lrs = evaluation_run(Policy::Lrs, voice, SECS, SEED);
+    assert!(lrs.throughput_fps < 24.0);
+    assert!(lrs.throughput_fps > 1.5 * rr.throughput_fps);
+    assert!(lrs.latency_ms.mean() < rr.latency_ms.mean());
+}
+
+/// Fig 8: LRS delivers results in better order, so the 1 s reorder
+/// buffer skips no more frames than under RR.
+#[test]
+fn lrs_preserves_order_better_than_rr() {
+    let face = Workload::FaceRecognition;
+    let rr = evaluation_run(Policy::Rr, face, SECS, SEED);
+    let lrs = evaluation_run(Policy::Lrs, face, SECS, SEED);
+    assert!(lrs.reorder_skipped <= rr.reorder_skipped);
+}
+
+/// Fig 9 (left): "within a second of G's arrival, throughput rises".
+#[test]
+fn joining_device_raises_throughput_quickly() {
+    let r = joining_run(10, 30, SEED);
+    let before: f64 = r.timeline[6..9].iter().map(|p| p.total_fps).sum::<f64>() / 3.0;
+    let after: f64 = r.timeline[12..16].iter().map(|p| p.total_fps).sum::<f64>() / 4.0;
+    assert!(
+        after > before + 4.0,
+        "join: before {before:.1} FPS, after {after:.1} FPS"
+    );
+}
+
+/// Fig 9 (right): a leave loses a handful of in-flight frames ("13
+/// frames are lost") and throughput recovers to the remaining capacity.
+#[test]
+fn leaving_device_loses_a_handful_and_recovers() {
+    let r = leaving_run(10, 30, SEED);
+    assert!(
+        (1..=60).contains(&(r.lost as i64)),
+        "lost {} frames",
+        r.lost
+    );
+    let tail: f64 = r.timeline[20..].iter().map(|p| p.total_fps).sum::<f64>()
+        / (r.timeline.len() - 20) as f64;
+    assert!(tail > 12.0, "post-leave throughput {tail:.1} FPS");
+}
+
+/// Fig 10: when G walks into weak signal, its load shifts to B and H and
+/// overall throughput recovers.
+#[test]
+fn mobility_shifts_load_and_recovers() {
+    let r = mobility_run(20, SEED);
+    let n = r.timeline.len();
+    // G's share early (good signal) vs late (poor signal).
+    let g_early: f64 = r.timeline[5..15].iter().map(|p| p.per_worker_fps[1]).sum();
+    let g_late: f64 = r.timeline[n - 10..].iter().map(|p| p.per_worker_fps[1]).sum();
+    assert!(
+        g_late < 0.4 * g_early,
+        "G early {g_early:.0}, late {g_late:.0}"
+    );
+    // Total throughput at the end is most of the early level.
+    let t_early: f64 = r.timeline[5..15].iter().map(|p| p.total_fps).sum::<f64>() / 10.0;
+    let t_late: f64 = r.timeline[n - 5..].iter().map(|p| p.total_fps).sum::<f64>() / 5.0;
+    assert!(
+        t_late > 0.6 * t_early,
+        "early {t_early:.1} FPS, late {t_late:.1} FPS"
+    );
+}
+
+/// Determinism: the whole evaluation is reproducible bit-for-bit.
+#[test]
+fn evaluation_runs_are_deterministic() {
+    let a = evaluation_run(Policy::Lrs, Workload::FaceRecognition, 30, 9);
+    let b = evaluation_run(Policy::Lrs, Workload::FaceRecognition, 30, 9);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.lost, b.lost);
+    assert_eq!(a.latency_ms, b.latency_ms);
+}
