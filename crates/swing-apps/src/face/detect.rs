@@ -80,13 +80,12 @@ pub fn detect_faces(pixels: &[u8], config: &DetectorConfig) -> Vec<Detection> {
 
 /// Like [`detect_faces`] for arbitrary image dimensions.
 #[must_use]
-pub fn detect_in(
-    pixels: &[u8],
-    w: usize,
-    h: usize,
-    config: &DetectorConfig,
-) -> Vec<Detection> {
-    assert_eq!(pixels.len(), w * h, "pixel buffer does not match dimensions");
+pub fn detect_in(pixels: &[u8], w: usize, h: usize, config: &DetectorConfig) -> Vec<Detection> {
+    assert_eq!(
+        pixels.len(),
+        w * h,
+        "pixel buffer does not match dimensions"
+    );
     if w < FACE_SIZE || h < FACE_SIZE {
         return Vec::new();
     }
@@ -114,7 +113,12 @@ pub fn detect_in(
             let ey = y + FACE_SIZE / 3;
             let band_h = 2;
             let eyes = integral.rect(x + 3, ey, x + FACE_SIZE - 3, ey + band_h);
-            let cheeks = integral.rect(x + 3, ey + band_h + 1, x + FACE_SIZE - 3, ey + 2 * band_h + 1);
+            let cheeks = integral.rect(
+                x + 3,
+                ey + band_h + 1,
+                x + FACE_SIZE - 3,
+                ey + 2 * band_h + 1,
+            );
             let band_n = (FACE_SIZE - 6) as i64 * band_h as i64;
             let eye_drop = (cheeks - eyes) / band_n;
             if eye_drop < config.min_eye_drop {
@@ -132,7 +136,12 @@ pub fn detect_in(
 
 /// Keep the best-scoring detection of each overlapping cluster.
 fn non_max_suppress(mut hits: Vec<Detection>) -> Vec<Detection> {
-    hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.x.cmp(&b.x)).then(a.y.cmp(&b.y)));
+    hits.sort_by(|a, b| {
+        b.score
+            .cmp(&a.score)
+            .then(a.x.cmp(&b.x))
+            .then(a.y.cmp(&b.y))
+    });
     let mut kept: Vec<Detection> = Vec::new();
     for h in hits {
         let overlaps = kept.iter().any(|k| {
@@ -163,9 +172,10 @@ mod tests {
             let scene = gen.next_scene();
             let dets = detect_faces(&scene.pixels, &DetectorConfig::default());
             let (_, fx, fy) = scene.faces[0];
-            if dets.iter().any(|d| {
-                (d.x as i64 - fx as i64).abs() <= 4 && (d.y as i64 - fy as i64).abs() <= 4
-            }) {
+            if dets
+                .iter()
+                .any(|d| (d.x as i64 - fx as i64).abs() <= 4 && (d.y as i64 - fy as i64).abs() <= 4)
+            {
                 found += 1;
             }
         }
@@ -182,7 +192,10 @@ mod tests {
             let scene = gen.next_scene();
             false_hits += detect_faces(&scene.pixels, &DetectorConfig::default()).len();
         }
-        assert!(false_hits <= n / 5, "{false_hits} false positives in {n} frames");
+        assert!(
+            false_hits <= n / 5,
+            "{false_hits} false positives in {n} frames"
+        );
     }
 
     #[test]
@@ -204,9 +217,21 @@ mod tests {
     #[test]
     fn suppression_keeps_best_of_cluster() {
         let hits = vec![
-            Detection { x: 10, y: 10, score: 5 },
-            Detection { x: 12, y: 11, score: 9 },
-            Detection { x: 50, y: 30, score: 3 },
+            Detection {
+                x: 10,
+                y: 10,
+                score: 5,
+            },
+            Detection {
+                x: 12,
+                y: 11,
+                score: 9,
+            },
+            Detection {
+                x: 50,
+                y: 30,
+                score: 3,
+            },
         ];
         let kept = non_max_suppress(hits);
         assert_eq!(kept.len(), 2);

@@ -75,7 +75,11 @@ impl EigenSpace {
         let mut gram = vec![vec![0.0f64; n]; n];
         for i in 0..n {
             for j in i..n {
-                let dot: f64 = centered[i].iter().zip(&centered[j]).map(|(a, b)| a * b).sum();
+                let dot: f64 = centered[i]
+                    .iter()
+                    .zip(&centered[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
                 gram[i][j] = dot;
                 gram[j][i] = dot;
             }
@@ -113,7 +117,9 @@ impl EigenSpace {
             let _ = k;
         }
 
-        let names = (0..gallery.len()).map(|i| gallery.name(i).to_owned()).collect();
+        let names = (0..gallery.len())
+            .map(|i| gallery.name(i).to_owned())
+            .collect();
         let mut space = EigenSpace {
             mean,
             components,
@@ -205,7 +211,9 @@ fn dominant_eigen(m: &[Vec<f64>], max_iter: usize, tol: f64) -> Option<(f64, Vec
         return None;
     }
     // Deterministic pseudo-random start avoids unlucky orthogonality.
-    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.618_034).fract()).collect();
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| 1.0 + (i as f64 * 0.618_034).fract())
+        .collect();
     let mut eval = 0.0;
     for _ in 0..max_iter {
         let mut next = vec![0.0f64; n];
@@ -233,8 +241,8 @@ fn dominant_eigen(m: &[Vec<f64>], max_iter: usize, tol: f64) -> Option<(f64, Vec
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::face::frame::{FrameGenerator, FRAME_W};
     use crate::face::detect::{detect_faces, DetectorConfig};
+    use crate::face::frame::{FrameGenerator, FRAME_W};
 
     fn space() -> EigenSpace {
         EigenSpace::train(&Gallery::standard(), 12, 3)
@@ -243,7 +251,11 @@ mod tests {
     #[test]
     fn training_retains_requested_components() {
         let s = space();
-        assert!(s.n_components() >= 8, "only {} components", s.n_components());
+        assert!(
+            s.n_components() >= 8,
+            "only {} components",
+            s.n_components()
+        );
     }
 
     #[test]

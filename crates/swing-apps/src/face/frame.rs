@@ -99,8 +99,7 @@ impl FrameGenerator {
             for dx in 0..FACE_SIZE {
                 let v = face[dy * FACE_SIZE + dx];
                 let noise: i16 = self.rng.random_range(-5..5);
-                pixels[(y0 + dy) * FRAME_W + (x0 + dx)] =
-                    (v as i16 + noise).clamp(0, 255) as u8;
+                pixels[(y0 + dy) * FRAME_W + (x0 + dx)] = (v as i16 + noise).clamp(0, 255) as u8;
             }
         }
     }

@@ -157,7 +157,10 @@ mod tests {
             let f = g.face(i);
             let center = f[(FACE_SIZE / 2) * FACE_SIZE + FACE_SIZE / 2] as i64;
             let corner = f[0] as i64;
-            assert!(center > corner + 50, "face {i}: center {center} corner {corner}");
+            assert!(
+                center > corner + 50,
+                "face {i}: center {center} corner {corner}"
+            );
         }
     }
 }

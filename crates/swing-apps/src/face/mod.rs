@@ -27,8 +27,8 @@ pub use frame::{FrameGenerator, Scene, FRAME_BYTES, FRAME_H, FRAME_W};
 pub use gallery::{Gallery, FACE_SIZE};
 pub use recognize::{recognize, Recognition, Recognizer};
 pub use units::{
-    install, DetectUnit, DisplaySink, FaceAppConfig, FrameSource, RecognitionMethod,
-    RecognizeUnit, STAGE_DETECT, STAGE_DISPLAY, STAGE_RECOGNIZE, STAGE_SOURCE,
+    install, DetectUnit, DisplaySink, FaceAppConfig, FrameSource, RecognitionMethod, RecognizeUnit,
+    STAGE_DETECT, STAGE_DISPLAY, STAGE_RECOGNIZE, STAGE_SOURCE,
 };
 
 use swing_core::graph::AppGraph;

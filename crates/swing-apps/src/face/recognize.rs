@@ -69,11 +69,7 @@ impl Recognizer {
             for dx in -SEARCH..=SEARCH {
                 let x = detection.x as i64 + dx;
                 let y = detection.y as i64 + dy;
-                if x < 0
-                    || y < 0
-                    || x as usize + FACE_SIZE > w
-                    || y as usize + FACE_SIZE > h
-                {
+                if x < 0 || y < 0 || x as usize + FACE_SIZE > w || y as usize + FACE_SIZE > h {
                     continue;
                 }
                 let (x, y) = (x as usize, y as usize);
@@ -175,7 +171,11 @@ mod tests {
         let recognizer = Recognizer::new(gallery.clone());
         // A frame that IS the template.
         let pixels = gallery.face(2).to_vec();
-        let det = Detection { x: 0, y: 0, score: 0 };
+        let det = Detection {
+            x: 0,
+            y: 0,
+            score: 0,
+        };
         let rec = recognizer
             .match_patch(&pixels, FACE_SIZE, &det)
             .expect("template should match itself");
@@ -188,7 +188,11 @@ mod tests {
     fn flat_noise_is_rejected_as_unknown() {
         let recognizer = Recognizer::new(Gallery::standard());
         let pixels = vec![128u8; FACE_SIZE * FACE_SIZE];
-        let det = Detection { x: 0, y: 0, score: 0 };
+        let det = Detection {
+            x: 0,
+            y: 0,
+            score: 0,
+        };
         assert!(recognizer.match_patch(&pixels, FACE_SIZE, &det).is_none());
     }
 
@@ -196,7 +200,11 @@ mod tests {
     fn out_of_bounds_detection_is_none() {
         let recognizer = Recognizer::new(Gallery::standard());
         let pixels = vec![0u8; FACE_SIZE * FACE_SIZE];
-        let det = Detection { x: 5, y: 0, score: 0 };
+        let det = Detection {
+            x: 5,
+            y: 0,
+            score: 0,
+        };
         assert!(recognizer.match_patch(&pixels, FACE_SIZE, &det).is_none());
     }
 

@@ -135,9 +135,7 @@ impl RecognizeUnit {
     pub fn new(config: &FaceAppConfig) -> Self {
         let eigen = match config.method {
             RecognitionMethod::Correlation => None,
-            RecognitionMethod::Eigenfaces => {
-                Some(EigenSpace::train(&config.gallery, 12, 3))
-            }
+            RecognitionMethod::Eigenfaces => Some(EigenSpace::train(&config.gallery, 12, 3)),
         };
         RecognizeUnit {
             recognizer: Recognizer::new(config.gallery.clone()),

@@ -25,8 +25,8 @@ pub struct Vocabulary {
 
 /// The built-in English vocabulary.
 pub const WORDS: [&str; 18] = [
-    "hello", "good", "morning", "where", "is", "the", "station", "please", "thank",
-    "you", "water", "help", "my", "friend", "today", "now", "left", "right",
+    "hello", "good", "morning", "where", "is", "the", "station", "please", "thank", "you", "water",
+    "help", "my", "friend", "today", "now", "left", "right",
 ];
 
 impl Vocabulary {
@@ -188,7 +188,12 @@ mod tests {
         }
         all.sort_by(f64::total_cmp);
         for w in all.windows(2) {
-            assert!(w[1] - w[0] >= 60.0, "frequencies too close: {} {}", w[0], w[1]);
+            assert!(
+                w[1] - w[0] >= 60.0,
+                "frequencies too close: {} {}",
+                w[0],
+                w[1]
+            );
         }
     }
 
@@ -216,8 +221,7 @@ mod tests {
         let mut g = AudioGenerator::new(Vocabulary::standard(), 2);
         let u = g.next_utterance();
         let samples = pcm_to_samples(&u.pcm);
-        let rms = (samples.iter().map(|&s| (s as f64).powi(2)).sum::<f64>()
-            / samples.len() as f64)
+        let rms = (samples.iter().map(|&s| (s as f64).powi(2)).sum::<f64>() / samples.len() as f64)
             .sqrt();
         assert!(rms > 2_000.0, "rms {rms}");
     }

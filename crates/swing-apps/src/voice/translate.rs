@@ -63,7 +63,10 @@ impl Translator {
             // Longest-match phrase rules first.
             for (pat, replacement) in &self.phrases {
                 if words[i..].len() >= pat.len()
-                    && words[i..i + pat.len()].iter().zip(*pat).all(|(a, b)| a == b)
+                    && words[i..i + pat.len()]
+                        .iter()
+                        .zip(*pat)
+                        .all(|(a, b)| a == b)
                 {
                     out.push((*replacement).to_owned());
                     i += pat.len();

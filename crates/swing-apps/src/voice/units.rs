@@ -202,8 +202,9 @@ mod tests {
     fn sink_invokes_callback_with_both_texts() {
         let mut pairs = Vec::new();
         {
-            let mut sink =
-                TranslationSink::new(|en: &str, es: &str| pairs.push((en.to_owned(), es.to_owned())));
+            let mut sink = TranslationSink::new(|en: &str, es: &str| {
+                pairs.push((en.to_owned(), es.to_owned()))
+            });
             sink.consume(
                 Tuple::new()
                     .with(FIELD_ENGLISH, "hello friend")
@@ -211,14 +212,22 @@ mod tests {
                 0,
             );
         }
-        assert_eq!(pairs, vec![("hello friend".to_owned(), "hola amigo".to_owned())]);
+        assert_eq!(
+            pairs,
+            vec![("hello friend".to_owned(), "hola amigo".to_owned())]
+        );
     }
 
     #[test]
     fn install_registers_all_stages() {
         let mut r = UnitRegistry::new();
         install(&mut r, VoiceAppConfig::default());
-        for stage in [STAGE_SOURCE, STAGE_RECOGNIZE, STAGE_TRANSLATE, STAGE_DISPLAY] {
+        for stage in [
+            STAGE_SOURCE,
+            STAGE_RECOGNIZE,
+            STAGE_TRANSLATE,
+            STAGE_DISPLAY,
+        ] {
             assert!(r.contains(stage), "{stage} missing");
         }
     }

@@ -44,9 +44,7 @@ fn bench_routing(c: &mut Criterion) {
         });
     }
     group.bench_function("worker_selection/8", |b| {
-        let rates: Vec<(UnitId, f64)> = (0..8)
-            .map(|i| (UnitId(i), 2.0 + i as f64 * 1.7))
-            .collect();
+        let rates: Vec<(UnitId, f64)> = (0..8).map(|i| (UnitId(i), 2.0 + i as f64 * 1.7)).collect();
         b.iter(|| black_box(select_workers(black_box(&rates), 24.0)));
     });
     group.bench_function("worker_selection/64", |b| {
@@ -78,9 +76,7 @@ fn bench_wire(c: &mut Criterion) {
 fn bench_reorder(c: &mut Criterion) {
     c.bench_function("reorder/push_shuffled_window", |b| {
         // Arrivals shuffled within a 8-frame window, like real traces.
-        let order: Vec<u64> = (0..256u64)
-            .map(|i| (i / 8) * 8 + (i * 5 + 3) % 8)
-            .collect();
+        let order: Vec<u64> = (0..256u64).map(|i| (i / 8) * 8 + (i * 5 + 3) % 8).collect();
         b.iter_batched(
             || ReorderBuffer::new(ReorderConfig::one_second()),
             |mut buf| {

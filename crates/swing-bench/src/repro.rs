@@ -37,10 +37,7 @@ pub fn fig1() -> String {
     let mut table = Table::new(
         std::iter::once("t(s)".to_owned()).chain(devices.iter().map(|d| (*d).to_owned())),
     );
-    let reports: Vec<SwarmReport> = devices
-        .iter()
-        .map(|d| single_device(d, 5, SEED))
-        .collect();
+    let reports: Vec<SwarmReport> = devices.iter().map(|d| single_device(d, 5, SEED)).collect();
     for sec in 0..5u64 {
         let mut cells = vec![format!("{}", sec + 1)];
         for r in &reports {
@@ -53,7 +50,11 @@ pub fn fig1() -> String {
                     }
                 }
             }
-            cells.push(if n > 0 { f0(sum / n as f64) } else { "-".into() });
+            cells.push(if n > 0 {
+                f0(sum / n as f64)
+            } else {
+                "-".into()
+            });
         }
         table.row(cells);
     }
@@ -68,7 +69,12 @@ pub fn table1() -> String {
         "Table I: Performance heterogeneity (measured on the simulated devices\n\
          at 24 FPS offered face-recognition load, 60 s).\n\n",
     );
-    let mut table = Table::new(["Phone", "Model", "Processing delay (ms)", "Throughput (FPS)"]);
+    let mut table = Table::new([
+        "Phone",
+        "Model",
+        "Processing delay (ms)",
+        "Throughput (FPS)",
+    ]);
     for letter in WORKER_LETTERS {
         let report = single_device(letter, 60, SEED);
         let proc = report.mean_component_ms(FrameRecord::processing_us);
@@ -88,35 +94,64 @@ pub fn table1() -> String {
 /// processing under varying signal strength, CPU usage and input rate.
 #[must_use]
 pub fn fig2() -> String {
-    let mut out = String::from(
-        "Fig 2: Decomposition of delays in remote processing (A sends to B).\n\n",
-    );
+    let mut out =
+        String::from("Fig 2: Decomposition of delays in remote processing (A sends to B).\n\n");
     let dur = 60;
 
-    let mut t = Table::new(["Signal", "Transmission (ms)", "Processing (ms)", "Queuing (ms)"]);
+    let mut t = Table::new([
+        "Signal",
+        "Transmission (ms)",
+        "Processing (ms)",
+        "Queuing (ms)",
+    ]);
     for (label, zone) in [
         ("Good", SignalZone::Good),
         ("Fair", SignalZone::Weak),
         ("Bad", SignalZone::Poor),
     ] {
         let r = fig2_condition(Fig2Variable::Signal(zone), dur, SEED);
-        t.row([label.to_owned(), f0(r.transmission_ms), f0(r.processing_ms), f0(r.queuing_ms)]);
+        t.row([
+            label.to_owned(),
+            f0(r.transmission_ms),
+            f0(r.processing_ms),
+            f0(r.queuing_ms),
+        ]);
     }
     out.push_str(&t.render());
     out.push('\n');
 
-    let mut t = Table::new(["CPU usage", "Transmission (ms)", "Processing (ms)", "Queuing (ms)"]);
+    let mut t = Table::new([
+        "CPU usage",
+        "Transmission (ms)",
+        "Processing (ms)",
+        "Queuing (ms)",
+    ]);
     for load in [0.2, 0.6, 1.0] {
         let r = fig2_condition(Fig2Variable::CpuLoad(load), dur, SEED);
-        t.row([r.label.clone(), f0(r.transmission_ms), f0(r.processing_ms), f0(r.queuing_ms)]);
+        t.row([
+            r.label.clone(),
+            f0(r.transmission_ms),
+            f0(r.processing_ms),
+            f0(r.queuing_ms),
+        ]);
     }
     out.push_str(&t.render());
     out.push('\n');
 
-    let mut t = Table::new(["Input rate", "Transmission (ms)", "Processing (ms)", "Queuing (ms)"]);
+    let mut t = Table::new([
+        "Input rate",
+        "Transmission (ms)",
+        "Processing (ms)",
+        "Queuing (ms)",
+    ]);
     for fps in [5.0, 10.0, 20.0] {
         let r = fig2_condition(Fig2Variable::InputFps(fps), dur, SEED);
-        t.row([r.label.clone(), f0(r.transmission_ms), f0(r.processing_ms), f0(r.queuing_ms)]);
+        t.row([
+            r.label.clone(),
+            f0(r.transmission_ms),
+            f0(r.processing_ms),
+            f0(r.queuing_ms),
+        ]);
     }
     out.push_str(&t.render());
     out
@@ -347,7 +382,14 @@ pub fn fig10() -> String {
         "Fig 10: Throughput and load changes when device G moves (B,G,H running\n\
          LRS; G dwells in Good, then Weak (-70..-60dBm), then Poor (-80..-70dBm)).\n\n",
     );
-    let mut t = Table::new(["t(s)", "total FPS", "B FPS", "G FPS", "H FPS", "G RSSI (dBm)"]);
+    let mut t = Table::new([
+        "t(s)",
+        "total FPS",
+        "B FPS",
+        "G FPS",
+        "H FPS",
+        "G RSSI (dBm)",
+    ]);
     for p in &r.timeline {
         t.row([
             f0(p.t_s),
@@ -453,7 +495,13 @@ pub fn pipeline_study() -> String {
          (camera -> detect -> recognize -> display) with a distributed LRS\n\
          router at every upstream instance. 24 FPS offered, 60 s.\n\n",
     );
-    let mut t = Table::new(["Placement", "FPS", "Lat mean (ms)", "detect ms", "recognize ms"]);
+    let mut t = Table::new([
+        "Placement",
+        "FPS",
+        "Lat mean (ms)",
+        "detect ms",
+        "recognize ms",
+    ]);
 
     // (a) Stage-per-device chain.
     let mut chain = Deployment::new();
@@ -544,7 +592,13 @@ pub fn ablations() -> String {
 
     // 2. Worker-selection headroom.
     out.push_str("2. Worker-selection headroom (LRS, face)\n");
-    let mut t = Table::new(["Headroom", "FPS", "Lat mean (ms)", "Devices used", "Power (W)"]);
+    let mut t = Table::new([
+        "Headroom",
+        "FPS",
+        "Lat mean (ms)",
+        "Devices used",
+        "Power (W)",
+    ]);
     for headroom in [1.0, 1.3, 1.6] {
         let r = tuned_evaluation_run(Policy::Lrs, 1_000_000, headroom, 26_000, 60, SEED);
         t.row([
@@ -575,7 +629,9 @@ pub fn ablations() -> String {
     out.push('\n');
 
     // 4. Pending-age latency floor: depth of the Fig-10 dip.
-    out.push_str("4. Pending-age latency floor (Fig 10 walk; worst 3 s after G hits poor signal)\n");
+    out.push_str(
+        "4. Pending-age latency floor (Fig 10 walk; worst 3 s after G hits poor signal)\n",
+    );
     let mut t = Table::new(["Floor", "Worst 3 s window (FPS)", "Mean FPS in poor phase"]);
     for floor in [true, false] {
         let r = stale_floor_ablation_run(15, floor, SEED);
@@ -643,7 +699,7 @@ mod tests {
         let s = fig9();
         assert!(s.contains("frames lost"));
         assert!(s.contains("join FPS"));
-        assert_eq!(s.matches('\n').count() > 30, true);
+        assert!(s.matches('\n').count() > 30);
     }
 
     #[test]

@@ -67,16 +67,23 @@ impl RouterConfig {
     /// Validate ranges; call before handing the config to a router.
     pub fn validate(&self) -> Result<()> {
         if self.control_period_us == 0 {
-            return Err(Error::InvalidConfig("control period must be positive".into()));
+            return Err(Error::InvalidConfig(
+                "control period must be positive".into(),
+            ));
         }
         if self.latency_window == 0 {
-            return Err(Error::InvalidConfig("latency window must be non-empty".into()));
+            return Err(Error::InvalidConfig(
+                "latency window must be non-empty".into(),
+            ));
         }
+        // `!(x > 0.0)` rather than `x <= 0.0`: NaN must also be rejected.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(self.initial_latency_us > 0.0) {
             return Err(Error::InvalidConfig(
                 "initial latency estimate must be positive".into(),
             ));
         }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(self.headroom >= 1.0) {
             return Err(Error::InvalidConfig("headroom must be >= 1.0".into()));
         }
@@ -97,6 +104,108 @@ impl RouterConfig {
 impl Default for RouterConfig {
     fn default() -> Self {
         RouterConfig::new(Policy::Lrs)
+    }
+}
+
+/// Configuration of the runtime's delivery/retransmission layer.
+///
+/// The paper's prototype loses the tuples that are in flight toward a
+/// departing device ("13 frames are lost", §VI-C). This layer upgrades
+/// dispatch to at-least-once delivery: every dispatched tuple is retained
+/// until ACKed, with an ACK deadline derived from the router's live
+/// latency estimate `L_i` for the chosen downstream —
+/// `deadline = clamp(deadline_factor · L_i, floor, ceiling) · backoff_factor^attempt`.
+/// On expiry the tuple is re-routed (bounded retries, exponential
+/// backoff); receivers deduplicate by sequence number so each stage still
+/// executes a tuple at most once.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryConfig {
+    /// Master switch. Disabled reproduces the paper prototype's
+    /// fire-and-forget dispatch (in-flight tuples on broken links are
+    /// counted lost, never re-sent).
+    pub enabled: bool,
+    /// ACK deadline as a multiple of the downstream's latency estimate.
+    pub deadline_factor: f64,
+    /// Lower bound on the ACK deadline (µs). Guards against spurious
+    /// retransmissions when the latency estimate is optimistically small.
+    pub deadline_floor_us: u64,
+    /// Upper bound on the ACK deadline (µs), including backoff growth.
+    pub deadline_ceiling_us: u64,
+    /// Deadline multiplier applied per failed attempt (exponential
+    /// backoff).
+    pub backoff_factor: f64,
+    /// Re-dispatch attempts before a tuple is declared lost.
+    pub max_retries: u32,
+    /// Per-upstream receiver-side dedup window: how many recently seen
+    /// sequence numbers each executor remembers per upstream.
+    pub dedup_window: usize,
+}
+
+impl RetryConfig {
+    /// Paper-prototype behavior: no retention, no retransmission.
+    #[must_use]
+    pub fn disabled() -> Self {
+        RetryConfig {
+            enabled: false,
+            ..RetryConfig::default()
+        }
+    }
+
+    /// The ACK deadline (µs from dispatch) for a tuple on attempt
+    /// `attempt` (0 = first transmission), given the downstream's current
+    /// latency estimate.
+    #[must_use]
+    pub fn deadline_us(&self, latency_estimate_us: f64, attempt: u32) -> u64 {
+        let base = (latency_estimate_us.max(0.0) * self.deadline_factor) as u64;
+        let base = base.clamp(self.deadline_floor_us, self.deadline_ceiling_us);
+        let scale = self.backoff_factor.powi(attempt.min(30) as i32);
+        let scaled = (base as f64 * scale) as u64;
+        scaled.clamp(self.deadline_floor_us, self.deadline_ceiling_us)
+    }
+
+    /// Validate ranges; call before handing the config to the runtime.
+    pub fn validate(&self) -> Result<()> {
+        // `!(x > 0.0)` rather than `x <= 0.0`: NaN must also be rejected.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(self.deadline_factor > 0.0) {
+            return Err(Error::InvalidConfig(
+                "deadline_factor must be positive".into(),
+            ));
+        }
+        if self.deadline_floor_us == 0 {
+            return Err(Error::InvalidConfig(
+                "deadline floor must be positive".into(),
+            ));
+        }
+        if self.deadline_ceiling_us < self.deadline_floor_us {
+            return Err(Error::InvalidConfig(
+                "deadline ceiling must be >= floor".into(),
+            ));
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(self.backoff_factor >= 1.0) {
+            return Err(Error::InvalidConfig("backoff_factor must be >= 1.0".into()));
+        }
+        if self.dedup_window == 0 {
+            return Err(Error::InvalidConfig(
+                "dedup window must be non-empty".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            enabled: true,
+            deadline_factor: 4.0,
+            deadline_floor_us: 150 * crate::MILLISECOND_US,
+            deadline_ceiling_us: 2 * SECOND_US,
+            backoff_factor: 2.0,
+            max_retries: 8,
+            dedup_window: 1024,
+        }
     }
 }
 
@@ -137,25 +246,82 @@ mod tests {
     }
 
     #[test]
+    fn retry_defaults_validate_and_disable() {
+        let c = RetryConfig::default();
+        assert!(c.enabled);
+        c.validate().unwrap();
+        assert!(!RetryConfig::disabled().enabled);
+    }
+
+    #[test]
+    fn retry_deadline_floors_ceils_and_backs_off() {
+        let c = RetryConfig::default();
+        // Tiny estimate: floored.
+        assert_eq!(c.deadline_us(1_000.0, 0), 150_000);
+        // 100 ms estimate × 4 = 400 ms.
+        assert_eq!(c.deadline_us(100_000.0, 0), 400_000);
+        // Backoff doubles per attempt but never exceeds the ceiling.
+        assert_eq!(c.deadline_us(100_000.0, 1), 800_000);
+        assert_eq!(c.deadline_us(100_000.0, 2), 1_600_000);
+        assert_eq!(c.deadline_us(100_000.0, 3), 2_000_000);
+        assert_eq!(c.deadline_us(100_000.0, 60), 2_000_000);
+    }
+
+    #[test]
+    fn retry_validation_rejects_bad_ranges() {
+        let bad = [
+            RetryConfig {
+                deadline_factor: 0.0,
+                ..RetryConfig::default()
+            },
+            RetryConfig {
+                deadline_floor_us: 0,
+                ..RetryConfig::default()
+            },
+            RetryConfig {
+                deadline_ceiling_us: RetryConfig::default().deadline_floor_us - 1,
+                ..RetryConfig::default()
+            },
+            RetryConfig {
+                backoff_factor: 0.9,
+                ..RetryConfig::default()
+            },
+            RetryConfig {
+                dedup_window: 0,
+                ..RetryConfig::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err(), "{c:?} should be rejected");
+        }
+    }
+
+    #[test]
     fn validation_rejects_bad_ranges() {
-        let mut c = RouterConfig::default();
-        c.control_period_us = 0;
-        assert!(c.validate().is_err());
-
-        let mut c = RouterConfig::default();
-        c.latency_window = 0;
-        assert!(c.validate().is_err());
-
-        let mut c = RouterConfig::default();
-        c.initial_latency_us = 0.0;
-        assert!(c.validate().is_err());
-
-        let mut c = RouterConfig::default();
-        c.headroom = 0.5;
-        assert!(c.validate().is_err());
-
-        let mut c = RouterConfig::default();
-        c.probe_every_rounds = 0;
-        assert!(c.validate().is_err());
+        let bad = [
+            RouterConfig {
+                control_period_us: 0,
+                ..RouterConfig::default()
+            },
+            RouterConfig {
+                latency_window: 0,
+                ..RouterConfig::default()
+            },
+            RouterConfig {
+                initial_latency_us: 0.0,
+                ..RouterConfig::default()
+            },
+            RouterConfig {
+                headroom: 0.5,
+                ..RouterConfig::default()
+            },
+            RouterConfig {
+                probe_every_rounds: 0,
+                ..RouterConfig::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err(), "{c:?} should be rejected");
+        }
     }
 }

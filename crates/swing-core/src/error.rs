@@ -45,7 +45,10 @@ impl fmt::Display for Error {
             Error::UnknownUnit(u) => write!(f, "unknown function unit {u}"),
             Error::DuplicateEdge(a, b) => write!(f, "edge {a} -> {b} already exists"),
             Error::CycleDetected(a, b) => {
-                write!(f, "edge {a} -> {b} would create a cycle in the dataflow graph")
+                write!(
+                    f,
+                    "edge {a} -> {b} would create a cycle in the dataflow graph"
+                )
             }
             Error::InvalidEndpoint(u, why) => write!(f, "invalid endpoint {u}: {why}"),
             Error::InvalidGraph(msg) => write!(f, "invalid application graph: {msg}"),
@@ -94,9 +97,6 @@ mod tests {
     #[test]
     fn errors_compare_equal() {
         assert_eq!(Error::NoDownstreams, Error::NoDownstreams);
-        assert_ne!(
-            Error::UnknownUnit(UnitId(1)),
-            Error::UnknownUnit(UnitId(2))
-        );
+        assert_ne!(Error::UnknownUnit(UnitId(1)), Error::UnknownUnit(UnitId(2)));
     }
 }

@@ -223,7 +223,10 @@ impl LatencyEstimator {
         let s = self.stats.get_mut(&unit)?;
         let measured = !s.latency.is_empty(now_us);
         let mut latency = s.latency.value(now_us).unwrap_or(self.initial_latency_us);
-        let processing = s.processing.value(now_us).unwrap_or(self.initial_latency_us);
+        let processing = s
+            .processing
+            .value(now_us)
+            .unwrap_or(self.initial_latency_us);
         if self.pending_age_floor {
             let oldest_pending = self
                 .inflight

@@ -56,6 +56,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod config;
+pub mod dedup;
 pub mod error;
 pub mod estimator;
 pub mod graph;

@@ -98,8 +98,8 @@ mod tests {
         let mut p = Pacer::new(24.0, 0);
         let due = p.due(1_000_000); // one second
         assert_eq!(due.len(), 25); // t=0 plus 24 intervals
-        // After 10 simulated seconds the count is exact up to one deadline
-        // of floating-point boundary slack, with no cumulative drift.
+                                   // After 10 simulated seconds the count is exact up to one deadline
+                                   // of floating-point boundary slack, with no cumulative drift.
         let due = p.due(10_000_000);
         assert_eq!(p.emitted() as usize, due.len() + 25);
         assert!((240..=241).contains(&p.emitted()), "{}", p.emitted());

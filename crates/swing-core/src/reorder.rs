@@ -112,10 +112,7 @@ impl<T> ReorderBuffer<T> {
 
     fn drain(&mut self, now_us: u64) -> Vec<Played<T>> {
         let mut out = Vec::new();
-        loop {
-            let Some((&seq, &(arrived_us, _))) = self.pending.iter().next() else {
-                break;
-            };
+        while let Some((&seq, &(arrived_us, _))) = self.pending.iter().next() {
             let in_order = seq == self.next_seq;
             let timed_out = now_us.saturating_sub(arrived_us) >= self.span_us;
             if !in_order && !timed_out {
@@ -245,9 +242,7 @@ mod tests {
 
     #[test]
     fn playback_is_strictly_increasing_under_shuffle() {
-        let mut b = ReorderBuffer::new(ReorderConfig {
-            span_us: 100_000,
-        });
+        let mut b = ReorderBuffer::new(ReorderConfig { span_us: 100_000 });
         // Arrival order shuffled within a window smaller than the span.
         let arrivals = [3u64, 0, 2, 1, 5, 4, 7, 6, 9, 8];
         let mut played = Vec::new();

@@ -24,5 +24,5 @@ pub mod table;
 
 pub use crate::config::RouterConfig;
 pub use policy::{Metric, Policy};
-pub use router::{Router, RouterSnapshot, RouteView};
+pub use router::{RouteView, Router, RouterSnapshot};
 pub use table::{RouteEntry, RoutingTable};

@@ -98,9 +98,7 @@ impl Router {
     /// [`RouterConfig::validate`]).
     #[must_use]
     pub fn new(config: RouterConfig, seed: u64) -> Self {
-        config
-            .validate()
-            .expect("invalid router configuration");
+        config.validate().expect("invalid router configuration");
         let mut estimator = LatencyEstimator::new(
             config.latency_window,
             config.initial_latency_us,
@@ -236,6 +234,15 @@ impl Router {
         self.estimator.on_ack(seq, now_us, processing_us)
     }
 
+    /// Current end-to-end latency estimate `L_i` for a downstream, in
+    /// microseconds — the same figure LRS weights by, including the
+    /// pending-age floor. `None` if the unit is not tracked. The
+    /// runtime's retransmission layer derives ACK deadlines from this.
+    #[must_use]
+    pub fn latency_estimate_us(&mut self, unit: UnitId, now_us: u64) -> Option<f64> {
+        self.estimator.view(unit, now_us).map(|v| v.latency_us)
+    }
+
     /// Whether the router is currently probing (round-robin) to refresh
     /// latency estimates of unselected downstreams.
     #[must_use]
@@ -305,10 +312,7 @@ impl Router {
         }
 
         // Service rates μ_i = 1/delay, in tuples per second.
-        let rates: Vec<(UnitId, f64)> = delays
-            .iter()
-            .map(|&(u, d)| (u, 1_000_000.0 / d))
-            .collect();
+        let rates: Vec<(UnitId, f64)> = delays.iter().map(|&(u, d)| (u, 1_000_000.0 / d)).collect();
 
         let selected: Vec<UnitId> = if self.config.policy.uses_selection() {
             select_workers(&rates, lambda * self.config.headroom).selected
@@ -327,11 +331,12 @@ impl Router {
         // Periodic probing keeps estimates of unselected units fresh
         // (§V-B). Only needed when selection can starve some units.
         if self.config.policy.uses_selection()
-            && self.round % u64::from(self.config.probe_every_rounds) == 0
+            && self
+                .round
+                .is_multiple_of(u64::from(self.config.probe_every_rounds))
             && self.table.selected_len() < self.table.len()
         {
-            self.probe_remaining =
-                self.config.probe_tuples_per_unit * self.table.len() as u32;
+            self.probe_remaining = self.config.probe_tuples_per_unit * self.table.len() as u32;
         }
     }
 
@@ -611,6 +616,25 @@ mod tests {
         assert_eq!(snap.routes[0].acked, 10);
         assert_eq!(snap.routes[0].lost, 0);
         assert!(snap.routes[0].latency_ms > 0.0);
+    }
+
+    #[test]
+    fn latency_estimate_follows_acks_and_pending_age() {
+        let mut r = Router::new(RouterConfig::new(Policy::Lrs), 10);
+        assert_eq!(r.latency_estimate_us(u(1), 0), None);
+        r.add_downstream(u(1), 0);
+        // Unmeasured: the optimistic initial estimate.
+        assert_eq!(r.latency_estimate_us(u(1), 0), Some(100_000.0));
+        r.on_send(SeqNo(0), u(1), 0);
+        r.on_ack(SeqNo(0), 30_000, 10_000);
+        assert_eq!(r.latency_estimate_us(u(1), 30_000), Some(30_000.0));
+        // A stuck in-flight tuple floors the estimate by its age.
+        r.on_send(SeqNo(1), u(1), 30_000);
+        assert_eq!(
+            r.latency_estimate_us(u(1), 530_000),
+            Some(500_000.0),
+            "pending-age floor should dominate the 30 ms average"
+        );
     }
 
     #[test]

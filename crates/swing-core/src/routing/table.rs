@@ -260,7 +260,10 @@ mod tests {
         for i in 1..=3 {
             t.add(u(i));
         }
-        t.install(&[(u(1), 1.0), (u(2), 1.0), (u(3), 2.0)], &[u(1), u(2), u(3)]);
+        t.install(
+            &[(u(1), 1.0), (u(2), 1.0), (u(3), 2.0)],
+            &[u(1), u(2), u(3)],
+        );
         assert!(t.remove(u(3)));
         assert!(!t.remove(u(3)));
         let total: f64 = t.entries().iter().map(|e| e.weight).sum();

@@ -493,7 +493,7 @@ mod tests {
         t.update(200, 30.0);
         t.update(300, 40.0);
         assert_eq!(t.value(300), Some(30.0)); // (20+30+40)/3
-        // Age eviction: 1 s later everything is stale.
+                                              // Age eviction: 1 s later everything is stale.
         assert_eq!(t.value(1_400_000), None);
         assert!(t.is_empty(1_400_000));
     }

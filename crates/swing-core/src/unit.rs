@@ -221,7 +221,9 @@ pub struct Slowed<U> {
 
 impl<U> std::fmt::Debug for Slowed<U> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Slowed").field("factor", &self.factor).finish_non_exhaustive()
+        f.debug_struct("Slowed")
+            .field("factor", &self.factor)
+            .finish_non_exhaustive()
     }
 }
 

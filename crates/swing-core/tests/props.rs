@@ -1,6 +1,7 @@
 //! Property-based tests of swing-core's structural invariants.
 
 use proptest::prelude::*;
+use swing_core::dedup::DedupWindow;
 use swing_core::graph::AppGraph;
 use swing_core::routing::{Policy, Router, RouterConfig};
 use swing_core::{SeqNo, UnitId};
@@ -110,5 +111,38 @@ proptest! {
             }
         }
         prop_assert_eq!(snap.routes.len(), units.len());
+    }
+
+    /// A `DedupWindow` agrees with a brute-force reference model under
+    /// any interleaving of fresh and duplicate sequence numbers: a seq
+    /// is flagged as a duplicate exactly when it is among the last
+    /// `capacity` distinct inserts, and memory stays bounded.
+    #[test]
+    fn dedup_window_matches_reference_model(
+        capacity in 1usize..32,
+        seqs in proptest::collection::vec(0u64..64, 0..400),
+    ) {
+        let mut w = DedupWindow::new(capacity);
+        // Reference: distinct remembered seqs, oldest first.
+        let mut model: Vec<u64> = Vec::new();
+        for s in seqs {
+            let fresh = w.observe(SeqNo(s));
+            prop_assert_eq!(
+                fresh,
+                !model.contains(&s),
+                "seq {} (model: {:?})", s, model
+            );
+            if fresh {
+                if model.len() == capacity {
+                    model.remove(0);
+                }
+                model.push(s);
+            }
+            prop_assert_eq!(w.len(), model.len());
+            prop_assert!(w.len() <= capacity);
+            for &m in &model {
+                prop_assert!(w.contains(SeqNo(m)));
+            }
+        }
     }
 }

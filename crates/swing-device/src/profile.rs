@@ -80,9 +80,7 @@ impl DeviceProfile {
         match workload {
             Workload::FaceRecognition => self.face_ms,
             Workload::VoiceTranslation => self.voice_ms,
-            Workload::Custom { reference_ms } => {
-                reference_ms * self.face_ms / REFERENCE_FACE_MS
-            }
+            Workload::Custom { reference_ms } => reference_ms * self.face_ms / REFERENCE_FACE_MS,
         }
     }
 
@@ -210,8 +208,8 @@ mod tests {
         let tb = testbed();
         let h = tb.iter().find(|p| p.name == "H").unwrap();
         let e = tb.iter().find(|p| p.name == "E").unwrap();
-        let ratio = h.capacity_fps(Workload::FaceRecognition)
-            / e.capacity_fps(Workload::FaceRecognition);
+        let ratio =
+            h.capacity_fps(Workload::FaceRecognition) / e.capacity_fps(Workload::FaceRecognition);
         assert!((5.5..7.5).contains(&ratio), "spread {ratio}");
     }
 
@@ -219,7 +217,11 @@ mod tests {
     fn no_single_device_sustains_24_fps() {
         // The motivating observation of Fig. 1.
         for p in testbed() {
-            assert!(p.capacity_fps(Workload::FaceRecognition) < 24.0, "{}", p.name);
+            assert!(
+                p.capacity_fps(Workload::FaceRecognition) < 24.0,
+                "{}",
+                p.name
+            );
         }
     }
 
@@ -236,7 +238,9 @@ mod tests {
         let tb = testbed();
         let h = tb.iter().find(|p| p.name == "H").unwrap();
         let e = tb.iter().find(|p| p.name == "E").unwrap();
-        let w = Workload::Custom { reference_ms: 100.0 };
+        let w = Workload::Custom {
+            reference_ms: 100.0,
+        };
         assert!((h.service_ms(w) - 100.0).abs() < 1e-9);
         // E is ~6.5x slower than H.
         assert!(e.service_ms(w) > 600.0);

@@ -127,7 +127,10 @@ mod tests {
         let q = link_quality(-28.0);
         let per_frame_us = q.transmission_us(72_000) as f64;
         let utilization = per_frame_us / (1_000_000.0 / 24.0);
-        assert!((0.6..1.2).contains(&utilization), "utilization {utilization}");
+        assert!(
+            (0.6..1.2).contains(&utilization),
+            "utilization {utilization}"
+        );
     }
 
     #[test]

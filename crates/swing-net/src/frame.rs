@@ -27,9 +27,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> NetResult<Vec<u8>> {
     let mut len_buf = [0u8; 4];
     match r.read_exact(&mut len_buf) {
         Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
-            return Err(NetError::Closed)
-        }
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Err(NetError::Closed),
         Err(e) => return Err(e.into()),
     }
     let len = u32::from_be_bytes(len_buf) as usize;
@@ -73,7 +71,10 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&u32::MAX.to_be_bytes());
         let mut r = Cursor::new(buf);
-        assert!(matches!(read_frame(&mut r), Err(NetError::FrameTooLarge(_))));
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(NetError::FrameTooLarge(_))
+        ));
     }
 
     #[test]

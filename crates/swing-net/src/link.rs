@@ -97,11 +97,7 @@ impl SenderRadio {
 
 /// Sample the airtime of one payload: RSSI-band base delay plus
 /// size/goodput, with the band's multiplicative jitter.
-pub fn sample_airtime_us<R: Rng + ?Sized>(
-    bytes: usize,
-    quality: LinkQuality,
-    rng: &mut R,
-) -> u64 {
+pub fn sample_airtime_us<R: Rng + ?Sized>(bytes: usize, quality: LinkQuality, rng: &mut R) -> u64 {
     let nominal = quality.base_delay_us as f64 + bytes as f64 / quality.goodput_bps * 1_000_000.0;
     let jitter = 1.0 + quality.jitter * rng.random_range(-1.0..1.0);
     (nominal * jitter.max(0.05)) as u64
@@ -169,14 +165,16 @@ mod tests {
     fn airtime_is_jittered_around_nominal() {
         let q = good();
         let mut rng = StdRng::seed_from_u64(5);
-        let nominal =
-            q.base_delay_us as f64 + 6_000.0 / q.goodput_bps * 1_000_000.0;
+        let nominal = q.base_delay_us as f64 + 6_000.0 / q.goodput_bps * 1_000_000.0;
         let n = 3_000;
         let mean: f64 = (0..n)
             .map(|_| sample_airtime_us(6_000, q, &mut rng) as f64)
             .sum::<f64>()
             / n as f64;
-        assert!((mean - nominal).abs() / nominal < 0.03, "mean {mean} vs {nominal}");
+        assert!(
+            (mean - nominal).abs() / nominal < 0.03,
+            "mean {mean} vs {nominal}"
+        );
     }
 
     #[test]

@@ -108,6 +108,17 @@ pub enum Message {
         /// Device id assigned by the master.
         device: DeviceId,
     },
+    /// Master → worker: sever one edge of the running topology. Sent to
+    /// the *surviving* end when a device is evicted (heartbeat prune or
+    /// Leave), so upstreams stop routing to vanished downstreams and
+    /// re-dispatch their in-flight tuples instead of waiting for ACK
+    /// deadlines ("re-route data to other units", §IV-C).
+    Disconnect {
+        /// Upstream instance of the severed edge.
+        upstream: UnitId,
+        /// Downstream instance of the severed edge.
+        downstream: UnitId,
+    },
 }
 
 impl Message {
@@ -187,6 +198,14 @@ impl Message {
                 b.put_u8(12);
                 b.put_u32(device.0);
             }
+            Message::Disconnect {
+                upstream,
+                downstream,
+            } => {
+                b.put_u8(13);
+                b.put_u32(upstream.0);
+                b.put_u32(downstream.0);
+            }
         }
         b.freeze()
     }
@@ -248,9 +267,11 @@ impl Message {
             12 => Message::Welcome {
                 device: DeviceId(get_u32(&mut buf)?),
             },
-            other => {
-                return Err(NetError::Malformed(format!("unknown message tag {other}")))
-            }
+            13 => Message::Disconnect {
+                upstream: UnitId(get_u32(&mut buf)?),
+                downstream: UnitId(get_u32(&mut buf)?),
+            },
+            other => return Err(NetError::Malformed(format!("unknown message tag {other}"))),
         };
         if !buf.is_empty() {
             return Err(NetError::Malformed(format!(
@@ -335,9 +356,7 @@ fn decode_tuple(buf: &mut &[u8]) -> NetResult<Tuple> {
                 Value::F32Vec(v)
             }
             6 => Value::Bool(get_u8(buf)? != 0),
-            other => {
-                return Err(NetError::Malformed(format!("unknown value kind {other}")))
-            }
+            other => return Err(NetError::Malformed(format!("unknown value kind {other}"))),
         };
         tuple.set_value(key, value);
     }
@@ -386,7 +405,9 @@ fn get_u64(buf: &mut &[u8]) -> NetResult<u64> {
 fn get_len(buf: &mut &[u8]) -> NetResult<usize> {
     let len = get_u32(buf)? as usize;
     if len > MAX_CHUNK {
-        return Err(NetError::Malformed(format!("chunk of {len} bytes too large")));
+        return Err(NetError::Malformed(format!(
+            "chunk of {len} bytes too large"
+        )));
     }
     Ok(len)
 }
@@ -467,11 +488,23 @@ mod tests {
         });
         roundtrip(Message::Start);
         roundtrip(Message::Stop);
-        roundtrip(Message::Ready { device: DeviceId(2) });
-        roundtrip(Message::Leave { device: DeviceId(2) });
+        roundtrip(Message::Ready {
+            device: DeviceId(2),
+        });
+        roundtrip(Message::Leave {
+            device: DeviceId(2),
+        });
         roundtrip(Message::Ping);
-        roundtrip(Message::Pong { device: DeviceId(3) });
-        roundtrip(Message::Welcome { device: DeviceId(7) });
+        roundtrip(Message::Pong {
+            device: DeviceId(3),
+        });
+        roundtrip(Message::Welcome {
+            device: DeviceId(7),
+        });
+        roundtrip(Message::Disconnect {
+            upstream: UnitId(3),
+            downstream: UnitId(11),
+        });
     }
 
     #[test]
@@ -553,10 +586,7 @@ mod tests {
         b.put_slice(b"k");
         b.put_u8(1); // bytes kind
         b.put_u32(1_000_000_000);
-        assert!(matches!(
-            Message::decode(&b),
-            Err(NetError::Malformed(_))
-        ));
+        assert!(matches!(Message::decode(&b), Err(NetError::Malformed(_))));
     }
 
     #[test]
@@ -586,9 +616,6 @@ mod tests {
         b.put_u16(2);
         b.put_slice(&[0xFF, 0xFE]); // invalid UTF-8 name
         b.put_u16(0);
-        assert!(matches!(
-            Message::decode(&b),
-            Err(NetError::Malformed(_))
-        ));
+        assert!(matches!(Message::decode(&b), Err(NetError::Malformed(_))));
     }
 }

@@ -21,7 +21,13 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 .with("payload", bytes)
                 .with("label", text),
         });
-    let ack = (any::<u64>(), any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>())
+    let ack = (
+        any::<u64>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
         .prop_map(|(seq, to, from, sent, proc)| Message::Ack {
             seq: SeqNo(seq),
             to: UnitId(to),
@@ -29,35 +35,44 @@ fn arb_message() -> impl Strategy<Value = Message> {
             sent_at_us: sent,
             processing_us: proc,
         });
-    let join = (any::<u32>(), "[a-zA-Z0-9._-]{0,32}", "[a-z0-9.:]{0,32}").prop_map(
-        |(dev, name, addr)| Message::Join {
-            device: DeviceId(dev),
-            name,
-            listen_addr: addr,
-        },
-    );
-    let activate = (any::<u32>(), any::<u32>(), "[a-z-]{0,24}").prop_map(
-        |(unit, stage, name)| Message::Activate {
+    let join =
+        (any::<u32>(), "[a-zA-Z0-9._-]{0,32}", "[a-z0-9.:]{0,32}").prop_map(|(dev, name, addr)| {
+            Message::Join {
+                device: DeviceId(dev),
+                name,
+                listen_addr: addr,
+            }
+        });
+    let activate = (any::<u32>(), any::<u32>(), "[a-z-]{0,24}").prop_map(|(unit, stage, name)| {
+        Message::Activate {
             unit: UnitId(unit),
             stage: StageId(stage),
             stage_name: name,
-        },
-    );
-    let connect = (any::<u32>(), any::<u32>(), "[a-z0-9.:]{0,32}").prop_map(
-        |(up, down, addr)| Message::Connect {
+        }
+    });
+    let connect = (any::<u32>(), any::<u32>(), "[a-z0-9.:]{0,32}").prop_map(|(up, down, addr)| {
+        Message::Connect {
             upstream: UnitId(up),
             downstream: UnitId(down),
             addr,
-        },
-    );
+        }
+    });
     let simple = prop_oneof![
         Just(Message::Start),
         Just(Message::Stop),
         Just(Message::Ping),
-        any::<u32>().prop_map(|d| Message::Pong { device: DeviceId(d) }),
-        any::<u32>().prop_map(|d| Message::Ready { device: DeviceId(d) }),
-        any::<u32>().prop_map(|d| Message::Leave { device: DeviceId(d) }),
-        any::<u32>().prop_map(|d| Message::Welcome { device: DeviceId(d) }),
+        any::<u32>().prop_map(|d| Message::Pong {
+            device: DeviceId(d)
+        }),
+        any::<u32>().prop_map(|d| Message::Ready {
+            device: DeviceId(d)
+        }),
+        any::<u32>().prop_map(|d| Message::Leave {
+            device: DeviceId(d)
+        }),
+        any::<u32>().prop_map(|d| Message::Welcome {
+            device: DeviceId(d)
+        }),
     ];
     prop_oneof![data, ack, join, activate, connect, simple]
 }

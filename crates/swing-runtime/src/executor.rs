@@ -4,16 +4,32 @@
 //! (running the configured LRS/baseline policy), senders toward its
 //! downstream and upstream peers, and — for sinks — the reordering
 //! service and a [`SinkMeter`].
+//!
+//! ## Delivery guarantees
+//!
+//! With [`RetryConfig::enabled`] (the default), dispatch is
+//! *at-least-once*: every sent tuple is retained in an
+//! [`InflightTable`] until its ACK arrives, with a deadline derived
+//! from the router's live latency estimate for the chosen downstream.
+//! Expired or orphaned (evicted-downstream) tuples are re-routed —
+//! "Swing re-routes data to other units" (§IV-C) — with exponential
+//! backoff, up to [`RetryConfig::max_retries`] retransmissions, after
+//! which they are counted lost. Receivers keep a per-upstream
+//! [`DedupWindow`] so retransmissions are re-ACKed but processed at
+//! most once. The counters live in [`DeliveryStats`], published
+//! alongside each router snapshot in an [`ExecProbe`].
 
 use crate::clock::now_us;
 use crate::fabric::MsgSender;
+use crate::inflight::InflightTable;
 use crate::registry::AnyUnit;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use swing_core::config::{ReorderConfig, RouterConfig};
+use swing_core::config::{ReorderConfig, RetryConfig, RouterConfig};
+use swing_core::dedup::DedupWindow;
 use swing_core::rate::Pacer;
 use swing_core::reorder::ReorderBuffer;
 use swing_core::routing::{Router, RouterSnapshot};
@@ -34,6 +50,8 @@ pub struct NodeConfig {
     pub input_fps: f64,
     /// Sink reorder-buffer configuration.
     pub reorder: ReorderConfig,
+    /// ACK-deadline retransmission configuration.
+    pub retry: RetryConfig,
 }
 
 impl Default for NodeConfig {
@@ -42,6 +60,7 @@ impl Default for NodeConfig {
             router: RouterConfig::default(),
             input_fps: 24.0,
             reorder: ReorderConfig::one_second(),
+            retry: RetryConfig::default(),
         }
     }
 }
@@ -70,7 +89,8 @@ pub enum ExecMsg {
         /// Sender toward the node hosting it.
         sender: MsgSender,
     },
-    /// Stop routing to this downstream.
+    /// Stop routing to this downstream; in-flight tuples addressed to
+    /// it are re-routed to the survivors.
     RemoveDownstream {
         /// The downstream instance.
         unit: UnitId,
@@ -82,10 +102,54 @@ pub enum ExecMsg {
         /// Sender toward the node hosting it.
         sender: MsgSender,
     },
+    /// Forget an upstream (it left the swarm): drop its ACK return path
+    /// and its dedup window.
+    RemoveUpstream {
+        /// The upstream instance.
+        unit: UnitId,
+    },
     /// Begin producing (sources ignore data until started).
     Start,
     /// Shut down the executor.
     Stop,
+}
+
+/// Delivery accounting of one executor's outbound edge (plus its
+/// receiver-side duplicate filter).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryStats {
+    /// Distinct tuples dispatched (first transmissions).
+    pub sent: u64,
+    /// Distinct tuples confirmed by an ACK.
+    pub acked: u64,
+    /// Retransmissions (expired ACK deadline or evicted downstream).
+    pub retried: u64,
+    /// Incoming duplicates suppressed by the dedup window.
+    pub duplicated: u64,
+    /// Tuples abandoned after the retry budget (or, with retries
+    /// disabled, orphaned by a lost downstream / lack of routes).
+    pub lost: u64,
+}
+
+impl DeliveryStats {
+    /// Accumulate another executor's counters into this one.
+    pub fn merge(&mut self, other: &DeliveryStats) {
+        self.sent += other.sent;
+        self.acked += other.acked;
+        self.retried += other.retried;
+        self.duplicated += other.duplicated;
+        self.lost += other.lost;
+    }
+}
+
+/// What an executor periodically publishes for observers: its routing
+/// table plus its delivery accounting.
+#[derive(Debug, Clone)]
+pub struct ExecProbe {
+    /// Routing-table snapshot.
+    pub router: RouterSnapshot,
+    /// Delivery counters at snapshot time.
+    pub delivery: DeliveryStats,
 }
 
 /// Live throughput/latency statistics collected by a sink executor.
@@ -157,7 +221,7 @@ pub struct ExecHandle {
     pub unit: UnitId,
     tx: crossbeam::channel::Sender<ExecMsg>,
     join: Option<JoinHandle<()>>,
-    probe: Arc<Mutex<Option<RouterSnapshot>>>,
+    probe: Arc<Mutex<Option<ExecProbe>>>,
 }
 
 impl ExecHandle {
@@ -172,12 +236,18 @@ impl ExecHandle {
     /// that never dispatched.
     #[must_use]
     pub fn router_snapshot(&self) -> Option<RouterSnapshot> {
-        self.probe.lock().clone()
+        self.probe.lock().as_ref().map(|p| p.router.clone())
     }
 
-    /// Shared handle to this executor's snapshot slot (for the node's
+    /// The most recent delivery counters published by this executor.
+    #[must_use]
+    pub fn delivery_stats(&self) -> Option<DeliveryStats> {
+        self.probe.lock().as_ref().map(|p| p.delivery)
+    }
+
+    /// Shared handle to this executor's probe slot (for the node's
     /// observability registry).
-    pub(crate) fn probe_handle(&self) -> Arc<Mutex<Option<RouterSnapshot>>> {
+    pub(crate) fn probe_handle(&self) -> Arc<Mutex<Option<ExecProbe>>> {
         Arc::clone(&self.probe)
     }
 
@@ -196,32 +266,59 @@ impl Drop for ExecHandle {
     }
 }
 
+/// A tuple awaiting (re)transmission.
+#[derive(Debug)]
+struct PendingTuple {
+    tuple: Tuple,
+    /// Prior transmissions (0 = never sent; doubles as the backoff
+    /// exponent of the next ACK deadline).
+    attempts: u32,
+}
+
 /// Shared routing state of one executor.
 struct Outbound {
     me: UnitId,
     router: Router,
+    retry: RetryConfig,
+    initial_latency_us: f64,
     downstreams: HashMap<UnitId, MsgSender>,
     upstreams: HashMap<UnitId, MsgSender>,
-    probe: Arc<Mutex<Option<RouterSnapshot>>>,
+    /// Tuples waiting to be routed (new dispatches and retransmissions).
+    pending: VecDeque<PendingTuple>,
+    /// Sent-but-unACKed tuples (empty when retries are disabled).
+    inflight: InflightTable,
+    /// Per-upstream duplicate filters (receiver side).
+    dedup: HashMap<UnitId, DedupWindow>,
+    delivery: DeliveryStats,
+    probe: Arc<Mutex<Option<ExecProbe>>>,
     dispatched: u64,
 }
 
 impl Outbound {
-    fn new(me: UnitId, config: &RouterConfig, probe: Arc<Mutex<Option<RouterSnapshot>>>) -> Self {
+    fn new(me: UnitId, config: &NodeConfig, probe: Arc<Mutex<Option<ExecProbe>>>) -> Self {
         Outbound {
             me,
-            router: Router::new(config.clone(), u64::from(me.0) + 1),
+            router: Router::new(config.router.clone(), u64::from(me.0) + 1),
+            retry: config.retry.clone(),
+            initial_latency_us: config.router.initial_latency_us,
             downstreams: HashMap::new(),
             upstreams: HashMap::new(),
+            pending: VecDeque::new(),
+            inflight: InflightTable::new(),
+            dedup: HashMap::new(),
+            delivery: DeliveryStats::default(),
             probe,
             dispatched: 0,
         }
     }
 
-    /// Publish the current routing table for observers (every 64
-    /// dispatches, and whenever called explicitly).
+    /// Publish the current routing table and delivery counters for
+    /// observers (every 64 dispatches, and whenever called explicitly).
     fn publish(&mut self) {
-        let snap = self.router.snapshot(now_us());
+        let snap = ExecProbe {
+            router: self.router.snapshot(now_us()),
+            delivery: self.delivery,
+        };
         *self.probe.lock() = Some(snap);
     }
 
@@ -230,58 +327,236 @@ impl Outbound {
             ExecMsg::AddDownstream { unit, sender } => {
                 self.downstreams.insert(unit, sender);
                 self.router.add_downstream(unit, now_us());
+                // Tuples may have been waiting for a route.
+                self.flush_pending();
             }
             ExecMsg::RemoveDownstream { unit } => {
-                self.downstreams.remove(&unit);
-                self.router.remove_downstream(unit);
+                self.drop_downstream(unit);
+                self.flush_pending();
             }
             ExecMsg::AddUpstream { unit, sender } => {
                 self.upstreams.insert(unit, sender);
             }
+            ExecMsg::RemoveUpstream { unit } => {
+                self.upstreams.remove(&unit);
+                self.dedup.remove(&unit);
+            }
             ExecMsg::Ack { seq, processing_us } => {
-                self.router.on_ack(seq, now_us(), processing_us);
+                let sample = self.router.on_ack(seq, now_us(), processing_us);
+                if self.retry.enabled {
+                    if self.inflight.ack(seq).is_some() {
+                        self.delivery.acked += 1;
+                    }
+                } else if sample.is_some() {
+                    self.delivery.acked += 1;
+                }
             }
             _ => {}
         }
     }
 
-    /// Route and send one tuple; on a broken link, remove the downstream
-    /// ("re-route data to other units", §IV-C) and retry.
-    fn dispatch(&mut self, mut tuple: Tuple) {
+    /// Receiver-side duplicate filter (at-most-once processing per
+    /// stage): `true` if `seq` from `upstream` is fresh. A re-seen
+    /// sequence is counted and must be re-ACKed — the retransmission
+    /// means the first ACK was lost — but not processed again.
+    fn observe_fresh(&mut self, upstream: UnitId, seq: SeqNo) -> bool {
+        let cap = self.retry.dedup_window;
+        let fresh = self
+            .dedup
+            .entry(upstream)
+            .or_insert_with(|| DedupWindow::new(cap))
+            .observe(seq);
+        if !fresh {
+            self.delivery.duplicated += 1;
+        }
+        fresh
+    }
+
+    /// Remove a downstream everywhere and reclaim every tuple in flight
+    /// toward it for re-dispatch to the survivors (§IV-C re-routing).
+    fn drop_downstream(&mut self, unit: UnitId) {
+        self.downstreams.remove(&unit);
+        let orphans = self.router.remove_downstream(unit);
+        self.reclaim_seqs(&orphans);
+        // Belt and braces: anything still addressed to the evicted unit
+        // that the router no longer tracked (e.g. an entry whose ACK the
+        // estimator already pruned as lost).
+        let stragglers = self.inflight.take_orphans_of(unit);
+        for (_, e) in stragglers {
+            self.pending.push_back(PendingTuple {
+                tuple: e.tuple,
+                attempts: e.attempts,
+            });
+        }
+    }
+
+    /// Requeue the listed in-flight sequence numbers for re-dispatch
+    /// (they were orphaned by an evicted downstream). With retries
+    /// disabled nothing was retained, so they are counted lost.
+    fn reclaim_seqs(&mut self, seqs: &[SeqNo]) {
+        if seqs.is_empty() {
+            return;
+        }
+        if self.retry.enabled {
+            for (_, e) in self.inflight.take_seqs(seqs) {
+                self.pending.push_back(PendingTuple {
+                    tuple: e.tuple,
+                    attempts: e.attempts,
+                });
+            }
+        } else {
+            self.delivery.lost += seqs.len() as u64;
+        }
+    }
+
+    /// Queue one fresh tuple and push the pending queue forward.
+    fn dispatch(&mut self, tuple: Tuple) {
         self.dispatched += 1;
-        if self.dispatched % 64 == 0 {
+        if self.dispatched.is_multiple_of(64) {
             self.publish();
         }
+        self.pending.push_back(PendingTuple { tuple, attempts: 0 });
+        self.flush_pending();
+    }
+
+    /// Send pending tuples in order until the queue empties or dispatch
+    /// must pause (a route exists but its connection has not been
+    /// established yet).
+    fn flush_pending(&mut self) {
+        while let Some(p) = self.pending.pop_front() {
+            if let Some(back) = self.try_send_one(p) {
+                self.pending.push_front(back);
+                return;
+            }
+        }
+    }
+
+    /// Route and transmit one tuple. Returns the tuple back when
+    /// dispatch must wait; handles broken links by evicting the dead
+    /// downstream and retrying another.
+    fn try_send_one(&mut self, mut p: PendingTuple) -> Option<PendingTuple> {
         loop {
             let now = now_us();
             let Ok(dest) = self.router.route(now) else {
-                return; // no downstream left: drop
+                // No downstream left at all: the tuple has nowhere to go.
+                self.delivery.lost += 1;
+                return None;
             };
-            tuple.stamp_sent(now);
-            self.router.on_send(tuple.seq(), dest, now);
             let Some(sender) = self.downstreams.get(&dest) else {
-                // Connection not established yet; drop rather than wedge.
-                self.router.remove_downstream(dest);
-                continue;
+                // The route exists but its connection has not landed yet
+                // (Connect in flight). The downstream is healthy — wait
+                // for the link instead of dropping the tuple or evicting
+                // the route; a control message or timer tick resumes us.
+                return Some(p);
             };
+            p.tuple.stamp_sent(now);
+            self.router.on_send(p.tuple.seq(), dest, now);
             match sender.send(Message::Data {
                 dest,
                 from: self.me,
-                tuple,
+                tuple: p.tuple.clone(),
             }) {
-                Ok(()) => return,
-                Err(crossbeam::channel::SendError(msg)) => {
-                    // Link broken: the peer is gone. Recover the tuple,
-                    // drop the route, try another downstream.
-                    self.downstreams.remove(&dest);
-                    self.router.remove_downstream(dest);
-                    match msg {
-                        Message::Data { tuple: t, .. } => tuple = t,
-                        _ => unreachable!("we sent a Data message"),
+                Ok(()) => {
+                    if p.attempts == 0 {
+                        self.delivery.sent += 1;
+                    } else {
+                        self.delivery.retried += 1;
                     }
+                    if self.retry.enabled {
+                        let latency = self
+                            .router
+                            .latency_estimate_us(dest, now)
+                            .unwrap_or(self.initial_latency_us);
+                        let deadline = now + self.retry.deadline_us(latency, p.attempts);
+                        self.inflight
+                            .record(p.tuple.seq(), p.tuple, dest, now, deadline);
+                    }
+                    return None;
+                }
+                Err(_) => {
+                    // Link broken: the peer is gone. Evict it (reclaiming
+                    // whatever else was in flight toward it) and try
+                    // another downstream with the same tuple.
+                    self.drop_downstream(dest);
                 }
             }
         }
+    }
+
+    /// Earliest absolute time retry timers need servicing, if any.
+    fn next_wake_us(&mut self) -> Option<u64> {
+        if !self.retry.enabled {
+            return None;
+        }
+        let mut wake = self.inflight.next_deadline_us();
+        if !self.pending.is_empty() {
+            // A paused pending queue retries on a short tick.
+            let tick = now_us() + 10_000;
+            wake = Some(wake.map_or(tick, |w| w.min(tick)));
+        }
+        wake
+    }
+
+    /// Expire overdue ACK deadlines: requeue timed-out tuples for
+    /// re-routing (counting the ones that exhausted their retry budget
+    /// as lost) and push the pending queue forward.
+    fn service_timers(&mut self) {
+        if !self.retry.enabled {
+            return;
+        }
+        let now = now_us();
+        let expired = self.inflight.pop_expired(now);
+        if !expired.is_empty() {
+            // Refresh weights/selection so the silent downstream's
+            // pending-age latency floor steers the retry elsewhere.
+            self.router.rebalance(now);
+            for (_, e) in expired {
+                if e.attempts > self.retry.max_retries {
+                    self.delivery.lost += 1;
+                } else {
+                    self.pending.push_back(PendingTuple {
+                        tuple: e.tuple,
+                        attempts: e.attempts,
+                    });
+                }
+            }
+        }
+        self.flush_pending();
+    }
+
+    /// After the source stream ends, keep servicing ACKs and retry
+    /// timers until every in-flight tuple resolves (or the drain budget
+    /// expires), so the tail of the stream is not silently abandoned.
+    /// Whatever remains unresolved is counted lost.
+    fn drain_tail(&mut self, rx: &crossbeam::channel::Receiver<ExecMsg>) {
+        if self.retry.enabled && !(self.inflight.is_empty() && self.pending.is_empty()) {
+            // Worst-case time for one tuple to exhaust its retry budget.
+            let budget = self.retry.deadline_ceiling_us * (u64::from(self.retry.max_retries) + 2);
+            let give_up = now_us() + budget;
+            loop {
+                if self.inflight.is_empty() && self.pending.is_empty() {
+                    break;
+                }
+                let now = now_us();
+                if now >= give_up {
+                    break;
+                }
+                let wake = self.next_wake_us().unwrap_or(now + 10_000).min(give_up);
+                let timeout = Duration::from_micros(wake.saturating_sub(now).max(1));
+                match rx.recv_timeout(timeout) {
+                    Ok(ExecMsg::Stop) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                        break
+                    }
+                    Ok(msg) => self.handle_control(msg),
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                }
+                self.service_timers();
+            }
+            let leftovers = self.inflight.drain_all().len() + self.pending.len();
+            self.pending.clear();
+            self.delivery.lost += leftovers as u64;
+        }
+        self.publish();
     }
 
     fn ack(&self, upstream: UnitId, seq: SeqNo, sent_at_us: u64, processing_us: u64) {
@@ -305,7 +580,7 @@ pub fn spawn(unit: UnitId, any: AnyUnit, config: NodeConfig) -> (ExecHandle, Arc
     let (tx, rx) = crossbeam::channel::unbounded::<ExecMsg>();
     let meter = Arc::new(SinkMeter::default());
     let meter2 = Arc::clone(&meter);
-    let probe: Arc<Mutex<Option<RouterSnapshot>>> = Arc::new(Mutex::new(None));
+    let probe: Arc<Mutex<Option<ExecProbe>>> = Arc::new(Mutex::new(None));
     let probe2 = Arc::clone(&probe);
     let join = std::thread::Builder::new()
         .name(format!("swing-exec-{unit}"))
@@ -331,9 +606,9 @@ fn run_source(
     mut src: Box<dyn swing_core::unit::SourceUnit>,
     config: &NodeConfig,
     rx: &crossbeam::channel::Receiver<ExecMsg>,
-    probe: Arc<Mutex<Option<RouterSnapshot>>>,
+    probe: Arc<Mutex<Option<ExecProbe>>>,
 ) {
-    let mut out = Outbound::new(unit, &config.router, probe);
+    let mut out = Outbound::new(unit, config, probe);
     // Wait for Start, absorbing topology control messages.
     loop {
         match rx.recv() {
@@ -345,14 +620,16 @@ fn run_source(
     let mut pacer = Pacer::new(config.input_fps, now_us());
     let mut seq = 0u64;
     loop {
-        // Sleep until the next frame is due, staying responsive to
-        // control traffic (ACKs, churn, stop).
+        // Sleep until the next frame (or ACK deadline) is due, staying
+        // responsive to control traffic (ACKs, churn, stop).
         let due = pacer.next_due_us();
+        let wake = out.next_wake_us().map_or(due, |w| w.min(due));
         let now = now_us();
-        if due > now {
-            match rx.recv_timeout(Duration::from_micros(due - now)) {
+        if wake > now {
+            match rx.recv_timeout(Duration::from_micros(wake - now)) {
                 Ok(ExecMsg::Stop) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                    return
+                    out.publish();
+                    return;
                 }
                 Ok(msg) => {
                     out.handle_control(msg);
@@ -361,18 +638,26 @@ fn run_source(
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
             }
         }
+        out.service_timers();
+        if pacer.next_due_us() > now_us() {
+            continue; // woken for a retry deadline, not a frame
+        }
         // Drain whatever queued up while sensing.
         while let Ok(msg) = rx.try_recv() {
             match msg {
-                ExecMsg::Stop => return,
+                ExecMsg::Stop => {
+                    out.publish();
+                    return;
+                }
                 other => out.handle_control(other),
             }
         }
         pacer.consume_next();
         let now = now_us();
         let Some(mut tuple) = src.next_tuple(now) else {
-            out.publish();
-            return; // stream exhausted
+            // Stream exhausted: resolve the in-flight tail, then stop.
+            out.drain_tail(rx);
+            return;
         };
         tuple.set_seq(SeqNo(seq));
         seq += 1;
@@ -389,15 +674,28 @@ fn run_operator(
     mut op: Box<dyn swing_core::unit::FunctionUnit>,
     config: &NodeConfig,
     rx: &crossbeam::channel::Receiver<ExecMsg>,
-    probe: Arc<Mutex<Option<RouterSnapshot>>>,
+    probe: Arc<Mutex<Option<ExecProbe>>>,
 ) {
-    let mut out = Outbound::new(unit, &config.router, probe);
+    let mut out = Outbound::new(unit, config, probe);
     op.on_start();
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            ExecMsg::Data { from, tuple } => {
+    loop {
+        let timeout = {
+            let base = Duration::from_millis(50);
+            match out.next_wake_us() {
+                Some(w) => Duration::from_micros(w.saturating_sub(now_us()).max(1)).min(base),
+                None => base,
+            }
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(ExecMsg::Data { from, tuple }) => {
                 let seq = tuple.seq();
                 let sent_at = tuple.sent_at_us();
+                if !out.observe_fresh(from, seq) {
+                    // Duplicate delivery (retransmit after a lost ACK):
+                    // re-ACK so the upstream settles, process nothing.
+                    out.ack(from, seq, sent_at, 0);
+                    continue;
+                }
                 let created = tuple.i64(CREATED_US_FIELD).ok();
                 out.router.note_arrival(now_us());
                 let t0 = now_us();
@@ -421,9 +719,12 @@ fn run_operator(
                     out.dispatch(o);
                 }
             }
-            ExecMsg::Stop => break,
-            other => out.handle_control(other),
+            Ok(ExecMsg::Stop) => break,
+            Ok(other) => out.handle_control(other),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
         }
+        out.service_timers();
     }
     out.publish();
     op.on_stop();
@@ -435,9 +736,9 @@ fn run_sink(
     config: &NodeConfig,
     rx: &crossbeam::channel::Receiver<ExecMsg>,
     meter: &SinkMeter,
-    probe: Arc<Mutex<Option<RouterSnapshot>>>,
+    probe: Arc<Mutex<Option<ExecProbe>>>,
 ) {
-    let mut out = Outbound::new(unit, &config.router, probe);
+    let mut out = Outbound::new(unit, config, probe);
     let mut reorder: ReorderBuffer<Tuple> = ReorderBuffer::new(config.reorder);
     let play = |tuple: Tuple, now: u64, meter: &SinkMeter, sink: &mut Box<dyn SinkUnit>| {
         let latency_ms = tuple
@@ -451,9 +752,14 @@ fn run_sink(
         match rx.recv_timeout(Duration::from_millis(50)) {
             Ok(ExecMsg::Data { from, tuple }) => {
                 let now = now_us();
-                // ACK on receipt: a sink's processing is negligible.
-                out.ack(from, tuple.seq(), tuple.sent_at_us(), 0);
                 let seq = tuple.seq();
+                // ACK on receipt: a sink's processing is negligible.
+                // Duplicates are re-ACKed too (their first ACK was
+                // evidently lost) but never replayed.
+                out.ack(from, seq, tuple.sent_at_us(), 0);
+                if !out.observe_fresh(from, seq) {
+                    continue;
+                }
                 for played in reorder.push(seq, tuple, now) {
                     play(played.item, now, meter, &mut sink);
                 }
@@ -474,6 +780,8 @@ fn run_sink(
         play(played.item, now, meter, &mut sink);
     }
     meter.set_skipped(reorder.skipped());
+    // Publish final delivery counters (duplicates seen at the sink).
+    out.publish();
     let _ = unit;
 }
 
@@ -489,6 +797,7 @@ mod tests {
             router: RouterConfig::new(Policy::Lrs),
             input_fps: fps,
             reorder: ReorderConfig { span_us: 100_000 },
+            retry: RetryConfig::default(),
         }
     }
 
@@ -513,7 +822,11 @@ mod tests {
             }))),
             config(500.0),
         );
-        let (op_h, _) = spawn(UnitId(1), AnyUnit::Operator(Box::new(PassThrough)), config(0.1));
+        let (op_h, _) = spawn(
+            UnitId(1),
+            AnyUnit::Operator(Box::new(PassThrough)),
+            config(0.1),
+        );
         let seen = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
         let s2 = seen.clone();
         let (sink_h, meter) = spawn(
@@ -579,6 +892,12 @@ mod tests {
         assert!(report.latency_ms.mean() < 500.0);
         assert_eq!(report.skipped, 0);
 
+        // Delivery accounting: the source sent 50 distinct tuples; on a
+        // clean fabric nothing may be counted lost.
+        let src_stats = src_h.delivery_stats().expect("source published a probe");
+        assert_eq!(src_stats.sent, 50);
+        assert_eq!(src_stats.lost, 0);
+
         drop(src_h);
         drop(op_h);
         drop(sink_h);
@@ -614,5 +933,111 @@ mod tests {
         // The executor thread must terminate on its own; stop() joins it.
         let mut h = h;
         h.stop();
+    }
+
+    fn tuple(seq: u64) -> Tuple {
+        let mut t = Tuple::new().with("v", 1i64);
+        t.set_seq(SeqNo(seq));
+        t
+    }
+
+    /// The dispatch-while-disconnected fix: a routed downstream whose
+    /// connection has not landed yet must *pause* dispatch, not drop the
+    /// tuple or evict the healthy route.
+    #[test]
+    fn dispatch_waits_for_a_late_connection() {
+        let probe = Arc::new(Mutex::new(None));
+        let mut out = Outbound::new(UnitId(0), &config(100.0), probe);
+        // The route is known, but the connection has not landed yet.
+        out.router.add_downstream(UnitId(1), now_us());
+        out.dispatch(tuple(0));
+        out.dispatch(tuple(1));
+        assert_eq!(out.pending.len(), 2, "tuples must be held, not dropped");
+        assert_eq!(out.router.downstream_len(), 1, "route must not be evicted");
+        assert_eq!(out.delivery.sent, 0);
+        assert_eq!(out.delivery.lost, 0);
+
+        // The connection lands: dispatch resumes in order.
+        let (tx, rx) = crossbeam::channel::unbounded();
+        out.handle_control(ExecMsg::AddDownstream {
+            unit: UnitId(1),
+            sender: tx,
+        });
+        assert!(out.pending.is_empty());
+        assert_eq!(out.delivery.sent, 2);
+        let seqs: Vec<u64> = rx
+            .try_iter()
+            .map(|m| match m {
+                Message::Data { tuple, .. } => tuple.seq().0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1]);
+        assert_eq!(out.inflight.len(), 2, "sent tuples await their ACKs");
+    }
+
+    /// Eviction reclaims in-flight tuples for the survivors: the seqs
+    /// reported by `Router::remove_downstream` are re-dispatched.
+    #[test]
+    fn evicted_downstream_tuples_are_rerouted_to_survivors() {
+        let probe = Arc::new(Mutex::new(None));
+        let mut out = Outbound::new(UnitId(0), &config(100.0), probe);
+        let (tx_a, rx_a) = crossbeam::channel::unbounded();
+        out.handle_control(ExecMsg::AddDownstream {
+            unit: UnitId(1),
+            sender: tx_a,
+        });
+        for i in 0..5 {
+            out.dispatch(tuple(i));
+        }
+        assert_eq!(out.delivery.sent, 5);
+        assert_eq!(rx_a.try_iter().count(), 5);
+        assert_eq!(out.inflight.len(), 5);
+
+        // A survivor joins, then the original downstream is evicted
+        // (heartbeat prune): every unACKed tuple must reach the survivor.
+        let (tx_b, rx_b) = crossbeam::channel::unbounded();
+        out.handle_control(ExecMsg::AddDownstream {
+            unit: UnitId(2),
+            sender: tx_b,
+        });
+        out.handle_control(ExecMsg::RemoveDownstream { unit: UnitId(1) });
+        let mut resent: Vec<u64> = rx_b
+            .try_iter()
+            .map(|m| match m {
+                Message::Data { tuple, .. } => tuple.seq().0,
+                _ => unreachable!(),
+            })
+            .collect();
+        resent.sort_unstable();
+        assert_eq!(resent, vec![0, 1, 2, 3, 4]);
+        assert_eq!(out.delivery.retried, 5);
+        assert_eq!(out.delivery.lost, 0);
+    }
+
+    /// With retries disabled, eviction orphans are counted lost — the
+    /// pre-recovery behavior, kept reachable for baseline comparisons.
+    #[test]
+    fn disabled_retries_count_eviction_orphans_as_lost() {
+        let mut cfg = config(100.0);
+        cfg.retry = RetryConfig::disabled();
+        let probe = Arc::new(Mutex::new(None));
+        let mut out = Outbound::new(UnitId(0), &cfg, probe);
+        let (tx_a, _rx_a) = crossbeam::channel::unbounded();
+        let (tx_b, _rx_b) = crossbeam::channel::unbounded();
+        out.handle_control(ExecMsg::AddDownstream {
+            unit: UnitId(1),
+            sender: tx_a,
+        });
+        for i in 0..4 {
+            out.dispatch(tuple(i));
+        }
+        assert_eq!(out.inflight.len(), 0, "no retention when disabled");
+        out.handle_control(ExecMsg::AddDownstream {
+            unit: UnitId(2),
+            sender: tx_b,
+        });
+        out.handle_control(ExecMsg::RemoveDownstream { unit: UnitId(1) });
+        assert_eq!(out.delivery.lost, 4);
     }
 }

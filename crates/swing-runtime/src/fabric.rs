@@ -8,6 +8,7 @@
 //! bridged onto the same channel types, so the rest of the runtime is
 //! transport-agnostic.
 
+use crate::chaos::{ChaosControl, ChaosShared, FaultPlan};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -44,6 +45,16 @@ pub enum Fabric {
     InProc(Arc<InProcNet>),
     /// Loopback TCP sockets (multi-thread or multi-process).
     Tcp,
+    /// Any fabric wrapped in deterministic fault injection
+    /// (see [`crate::chaos`]).
+    Chaos(Arc<ChaosFabric>),
+}
+
+/// An inner fabric plus the shared fault state its links consult.
+#[derive(Debug)]
+pub struct ChaosFabric {
+    inner: Fabric,
+    shared: Arc<ChaosShared>,
 }
 
 impl Fabric {
@@ -57,6 +68,22 @@ impl Fabric {
     #[must_use]
     pub fn tcp() -> Self {
         Fabric::Tcp
+    }
+
+    /// Wrap `inner` in deterministic fault injection driven by `plan`.
+    /// Every link subsequently dialed through the returned fabric passes
+    /// through a fault shim; the [`ChaosControl`] handle steers
+    /// partitions/crashes and reads injected-fault counters.
+    ///
+    /// Panics if the plan holds an out-of-range probability.
+    #[must_use]
+    pub fn chaos(inner: Fabric, plan: FaultPlan) -> (Self, ChaosControl) {
+        let shared = Arc::new(ChaosShared::new(plan));
+        let control = ChaosControl::new(Arc::clone(&shared));
+        (
+            Fabric::Chaos(Arc::new(ChaosFabric { inner, shared })),
+            control,
+        )
     }
 
     /// Create an inbox, returning its dialable address and the receiver.
@@ -79,6 +106,8 @@ impl Fabric {
                     .expect("spawn accept thread");
                 Ok((addr, rx))
             }
+            // Faults are injected on the dial side; listening is clean.
+            Fabric::Chaos(net) => net.inner.listen(),
         }
     }
 
@@ -88,17 +117,12 @@ impl Fabric {
     /// the peer goes away; callers treat that as a broken link.
     pub fn dial(&self, addr: &str) -> NetResult<MsgSender> {
         match self {
-            Fabric::InProc(net) => net
-                .endpoints
-                .lock()
-                .get(addr)
-                .cloned()
-                .ok_or_else(|| {
-                    NetError::Io(std::io::Error::new(
-                        std::io::ErrorKind::NotFound,
-                        format!("no in-proc endpoint at {addr}"),
-                    ))
-                }),
+            Fabric::InProc(net) => net.endpoints.lock().get(addr).cloned().ok_or_else(|| {
+                NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    format!("no in-proc endpoint at {addr}"),
+                ))
+            }),
             Fabric::Tcp => {
                 let mut stream = MessageStream::connect(addr)?;
                 let (tx, rx) = unbounded::<Message>();
@@ -114,6 +138,14 @@ impl Fabric {
                     })
                     .expect("spawn writer thread");
                 Ok(tx)
+            }
+            Fabric::Chaos(net) => {
+                let inner_tx = net.inner.dial(addr)?;
+                Ok(crate::chaos::spawn_link_shim(
+                    addr,
+                    inner_tx,
+                    Arc::clone(&net.shared),
+                ))
             }
         }
     }
@@ -156,7 +188,10 @@ mod tests {
         let (addr, rx) = fabric.listen().unwrap();
         let tx = fabric.dial(&addr).unwrap();
         tx.send(Message::Ping).unwrap();
-        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), Message::Ping);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(1)).unwrap(),
+            Message::Ping
+        );
     }
 
     #[test]
@@ -180,11 +215,19 @@ mod tests {
         let (addr, rx) = fabric.listen().unwrap();
         let tx = fabric.dial(&addr).unwrap();
         tx.send(Message::Ping).unwrap();
-        tx.send(Message::Pong { device: swing_core::DeviceId(0) }).unwrap();
-        assert_eq!(rx.recv_timeout(Duration::from_secs(2)).unwrap(), Message::Ping);
+        tx.send(Message::Pong {
+            device: swing_core::DeviceId(0),
+        })
+        .unwrap();
         assert_eq!(
             rx.recv_timeout(Duration::from_secs(2)).unwrap(),
-            Message::Pong { device: swing_core::DeviceId(0) }
+            Message::Ping
+        );
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(2)).unwrap(),
+            Message::Pong {
+                device: swing_core::DeviceId(0)
+            }
         );
     }
 

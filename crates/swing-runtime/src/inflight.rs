@@ -1,0 +1,287 @@
+//! The in-flight tuple table backing at-least-once delivery.
+//!
+//! Every tuple an executor dispatches is retained here until its ACK
+//! arrives. Each entry carries an ACK deadline derived from the router's
+//! latency estimate for the chosen downstream (see
+//! [`RetryConfig`](swing_core::config::RetryConfig)); expired entries are
+//! handed back to the executor for re-dispatch, and entries addressed to
+//! an evicted downstream can be reclaimed wholesale for re-routing to
+//! survivors.
+//!
+//! Deadlines live in a min-heap with lazy deletion: an ACK or a
+//! re-dispatch simply supersedes the old heap entry, which is discarded
+//! when popped. `pop_expired` therefore validates every candidate
+//! against the authoritative per-sequence state before yielding it.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use swing_core::{SeqNo, Tuple, UnitId};
+
+/// One retained dispatch awaiting acknowledgement.
+#[derive(Debug, Clone)]
+pub struct InflightEntry {
+    /// The retained payload (re-dispatched verbatim on expiry).
+    pub tuple: Tuple,
+    /// Downstream the latest attempt was sent to.
+    pub dest: UnitId,
+    /// Dispatch time of the first attempt, microseconds.
+    pub first_sent_us: u64,
+    /// Dispatch time of the latest attempt, microseconds.
+    pub last_sent_us: u64,
+    /// Transmission attempts so far (1 = original send only).
+    pub attempts: u32,
+    /// Absolute ACK deadline of the latest attempt, microseconds.
+    pub deadline_us: u64,
+}
+
+/// Table of unacknowledged dispatches with an expiry queue.
+#[derive(Debug, Default)]
+pub struct InflightTable {
+    entries: HashMap<SeqNo, InflightEntry>,
+    /// (deadline, seq) min-heap; stale pairs are dropped lazily.
+    deadlines: BinaryHeap<Reverse<(u64, SeqNo)>>,
+}
+
+impl InflightTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        InflightTable::default()
+    }
+
+    /// Record a dispatch (original or retransmission) of `tuple` to
+    /// `dest`. A re-record of a live sequence number supersedes its
+    /// previous deadline and increments the attempt count while keeping
+    /// `first_sent_us`.
+    pub fn record(
+        &mut self,
+        seq: SeqNo,
+        tuple: Tuple,
+        dest: UnitId,
+        now_us: u64,
+        deadline_us: u64,
+    ) {
+        let deadline_us = deadline_us.max(now_us.saturating_add(1));
+        match self.entries.get_mut(&seq) {
+            Some(e) => {
+                e.tuple = tuple;
+                e.dest = dest;
+                e.last_sent_us = now_us;
+                e.attempts += 1;
+                e.deadline_us = deadline_us;
+            }
+            None => {
+                self.entries.insert(
+                    seq,
+                    InflightEntry {
+                        tuple,
+                        dest,
+                        first_sent_us: now_us,
+                        last_sent_us: now_us,
+                        attempts: 1,
+                        deadline_us,
+                    },
+                );
+            }
+        }
+        self.deadlines.push(Reverse((deadline_us, seq)));
+    }
+
+    /// Confirm delivery of `seq`, returning the retained entry (or
+    /// `None` for an unknown/duplicate ACK).
+    pub fn ack(&mut self, seq: SeqNo) -> Option<InflightEntry> {
+        self.entries.remove(&seq)
+    }
+
+    /// Earliest live deadline, if any tuple is in flight.
+    #[must_use]
+    pub fn next_deadline_us(&mut self) -> Option<u64> {
+        while let Some(Reverse((deadline, seq))) = self.deadlines.peek().copied() {
+            match self.entries.get(&seq) {
+                Some(e) if e.deadline_us == deadline => return Some(deadline),
+                _ => {
+                    // Stale heap pair (acked, re-dispatched or evicted).
+                    self.deadlines.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Remove and return every entry whose deadline has passed, oldest
+    /// deadline first. The caller decides between re-dispatch and loss.
+    pub fn pop_expired(&mut self, now_us: u64) -> Vec<(SeqNo, InflightEntry)> {
+        let mut out = Vec::new();
+        while let Some(Reverse((deadline, seq))) = self.deadlines.peek().copied() {
+            if deadline > now_us {
+                // Validate before trusting the peeked deadline.
+                match self.entries.get(&seq) {
+                    Some(e) if e.deadline_us == deadline => break,
+                    _ => {
+                        self.deadlines.pop();
+                        continue;
+                    }
+                }
+            }
+            self.deadlines.pop();
+            if let Some(e) = self.entries.get(&seq) {
+                if e.deadline_us == deadline {
+                    let e = self.entries.remove(&seq).expect("checked above");
+                    out.push((seq, e));
+                }
+            }
+        }
+        out
+    }
+
+    /// Remove and return every entry addressed to `dest` (the downstream
+    /// was evicted), ordered by sequence number.
+    pub fn take_orphans_of(&mut self, dest: UnitId) -> Vec<(SeqNo, InflightEntry)> {
+        let mut seqs: Vec<SeqNo> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.dest == dest)
+            .map(|(s, _)| *s)
+            .collect();
+        seqs.sort_unstable();
+        seqs.into_iter()
+            .map(|s| (s, self.entries.remove(&s).expect("key just listed")))
+            .collect()
+    }
+
+    /// Remove and return the listed sequence numbers (e.g. the orphans a
+    /// [`Router::remove_downstream`](swing_core::routing::Router::remove_downstream)
+    /// call reported), skipping ones no longer tracked.
+    pub fn take_seqs(&mut self, seqs: &[SeqNo]) -> Vec<(SeqNo, InflightEntry)> {
+        seqs.iter()
+            .filter_map(|s| self.entries.remove(s).map(|e| (*s, e)))
+            .collect()
+    }
+
+    /// Number of tuples currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is awaiting an ACK.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drain every remaining entry (shutdown accounting).
+    pub fn drain_all(&mut self) -> Vec<(SeqNo, InflightEntry)> {
+        self.deadlines.clear();
+        let mut out: Vec<(SeqNo, InflightEntry)> = self.entries.drain().collect();
+        out.sort_unstable_by_key(|(s, _)| *s);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tuple {
+        Tuple::new().with("x", 1i64)
+    }
+
+    #[test]
+    fn record_ack_roundtrip() {
+        let mut tab = InflightTable::new();
+        tab.record(SeqNo(1), t(), UnitId(5), 100, 1_100);
+        assert_eq!(tab.len(), 1);
+        assert_eq!(tab.next_deadline_us(), Some(1_100));
+        let e = tab.ack(SeqNo(1)).unwrap();
+        assert_eq!(e.dest, UnitId(5));
+        assert_eq!(e.attempts, 1);
+        assert!(tab.is_empty());
+        assert_eq!(tab.next_deadline_us(), None);
+        assert!(tab.ack(SeqNo(1)).is_none(), "duplicate ACK");
+    }
+
+    #[test]
+    fn expiry_pops_only_due_entries_in_order() {
+        let mut tab = InflightTable::new();
+        tab.record(SeqNo(2), t(), UnitId(1), 0, 500);
+        tab.record(SeqNo(1), t(), UnitId(1), 0, 300);
+        tab.record(SeqNo(3), t(), UnitId(2), 0, 900);
+        let due: Vec<SeqNo> = tab.pop_expired(600).into_iter().map(|(s, _)| s).collect();
+        assert_eq!(due, vec![SeqNo(1), SeqNo(2)]);
+        assert_eq!(tab.len(), 1);
+        assert_eq!(tab.next_deadline_us(), Some(900));
+    }
+
+    #[test]
+    fn rerecord_supersedes_deadline_and_counts_attempts() {
+        let mut tab = InflightTable::new();
+        tab.record(SeqNo(7), t(), UnitId(1), 0, 100);
+        // Re-dispatch to another downstream with a later deadline.
+        tab.record(SeqNo(7), t(), UnitId(2), 150, 800);
+        // The stale 100 µs deadline must not surface the entry.
+        assert!(tab.pop_expired(200).is_empty());
+        assert_eq!(tab.next_deadline_us(), Some(800));
+        let (_, e) = tab.pop_expired(800).pop().unwrap();
+        assert_eq!(e.dest, UnitId(2));
+        assert_eq!(e.attempts, 2);
+        assert_eq!(e.first_sent_us, 0);
+        assert_eq!(e.last_sent_us, 150);
+    }
+
+    #[test]
+    fn acked_entry_never_expires() {
+        let mut tab = InflightTable::new();
+        tab.record(SeqNo(1), t(), UnitId(1), 0, 100);
+        tab.ack(SeqNo(1)).unwrap();
+        assert!(tab.pop_expired(1_000).is_empty());
+    }
+
+    #[test]
+    fn orphans_of_evicted_downstream_are_reclaimed_in_seq_order() {
+        let mut tab = InflightTable::new();
+        tab.record(SeqNo(3), t(), UnitId(9), 0, 500);
+        tab.record(SeqNo(1), t(), UnitId(9), 0, 500);
+        tab.record(SeqNo(2), t(), UnitId(4), 0, 500);
+        let orphans: Vec<SeqNo> = tab
+            .take_orphans_of(UnitId(9))
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(orphans, vec![SeqNo(1), SeqNo(3)]);
+        assert_eq!(tab.len(), 1);
+        // The reclaimed entries' stale deadlines are ignored.
+        let due: Vec<SeqNo> = tab.pop_expired(1_000).into_iter().map(|(s, _)| s).collect();
+        assert_eq!(due, vec![SeqNo(2)]);
+    }
+
+    #[test]
+    fn take_seqs_skips_unknown() {
+        let mut tab = InflightTable::new();
+        tab.record(SeqNo(1), t(), UnitId(1), 0, 500);
+        let taken = tab.take_seqs(&[SeqNo(1), SeqNo(99)]);
+        assert_eq!(taken.len(), 1);
+        assert!(tab.is_empty());
+    }
+
+    #[test]
+    fn deadline_is_always_in_the_future() {
+        let mut tab = InflightTable::new();
+        // A caller passing a deadline at-or-before `now` still gets a
+        // strictly future deadline (no instant-expiry busy loop).
+        tab.record(SeqNo(1), t(), UnitId(1), 1_000, 1_000);
+        assert!(tab.pop_expired(1_000).is_empty());
+        assert!(!tab.pop_expired(1_001).is_empty());
+    }
+
+    #[test]
+    fn drain_all_empties_the_table() {
+        let mut tab = InflightTable::new();
+        tab.record(SeqNo(2), t(), UnitId(1), 0, 500);
+        tab.record(SeqNo(1), t(), UnitId(2), 0, 400);
+        let all: Vec<SeqNo> = tab.drain_all().into_iter().map(|(s, _)| s).collect();
+        assert_eq!(all, vec![SeqNo(1), SeqNo(2)]);
+        assert!(tab.is_empty());
+        assert_eq!(tab.next_deadline_us(), None);
+    }
+}

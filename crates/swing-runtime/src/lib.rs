@@ -24,15 +24,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod clock;
 pub mod executor;
 pub mod fabric;
+pub mod inflight;
 pub mod master;
 pub mod node;
 pub mod registry;
 pub mod swarm;
 
-pub use executor::{NodeConfig, SinkReport};
+pub use chaos::{ChaosControl, ChaosReport, FaultPlan, LinkFaults};
+pub use executor::{DeliveryStats, ExecProbe, NodeConfig, SinkReport};
 pub use fabric::Fabric;
 pub use master::{HeartbeatConfig, Master, MasterConfig, Placement};
 pub use node::WorkerNode;

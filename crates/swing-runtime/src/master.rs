@@ -115,9 +115,9 @@ pub struct Master {
 impl Master {
     /// Launch the master for `graph` on the given fabric.
     pub fn spawn(graph: AppGraph, config: MasterConfig, fabric: Fabric) -> NetResult<Master> {
-        graph.validate().map_err(|e| {
-            swing_net::NetError::Malformed(format!("invalid app graph: {e}"))
-        })?;
+        graph
+            .validate()
+            .map_err(|e| swing_net::NetError::Malformed(format!("invalid app graph: {e}")))?;
         let (addr, inbox) = fabric.listen()?;
         let inbox_tx = fabric.dial(&addr)?;
         let status = Arc::new(MasterStatus::default());
@@ -253,16 +253,47 @@ impl MasterState {
         true
     }
 
-    /// Drop a worker from the roster and the deployment.
+    /// Drop a worker from the roster and the deployment, telling the
+    /// surviving peers to cut their routes toward it so in-flight
+    /// tuples re-route immediately (§IV-C: "re-routes data to other
+    /// units") instead of waiting for retry deadlines.
     fn remove_worker(&mut self, device: DeviceId) {
         self.workers.retain(|w| w.device != device);
         self.senders.remove(&device);
         self.last_pong.remove(&device);
         let units: Vec<UnitId> = self.deployment.instances_on(device).collect();
+        self.disconnect_edges_of(&units);
         for u in units {
             self.deployment.remove(u);
         }
         self.publish();
+    }
+
+    /// For every graph edge with exactly one end among `dead_units`,
+    /// send the surviving end's host a Disconnect for that pair.
+    fn disconnect_edges_of(&self, dead_units: &[UnitId]) {
+        for &(up_stage, down_stage) in self.graph.edges() {
+            let ups: Vec<UnitId> = self.deployment.instances_of(up_stage).collect();
+            let downs: Vec<UnitId> = self.deployment.instances_of(down_stage).collect();
+            for &u in &ups {
+                for &d in &downs {
+                    let survivor = match (dead_units.contains(&u), dead_units.contains(&d)) {
+                        (false, true) => u,
+                        (true, false) => d,
+                        _ => continue,
+                    };
+                    let Ok(dev) = self.deployment.device_of(survivor) else {
+                        continue;
+                    };
+                    if let Some(s) = self.senders.get(&dev) {
+                        let _ = s.send(Message::Disconnect {
+                            upstream: u,
+                            downstream: d,
+                        });
+                    }
+                }
+            }
+        }
     }
 
     /// Heartbeat mode: remove workers whose last Pong is too old.
@@ -363,12 +394,7 @@ impl MasterState {
     }
 
     fn activate(&self, device: DeviceId, unit: UnitId, stage: StageId) {
-        let stage_name = self
-            .graph
-            .stage(stage)
-            .expect("stage exists")
-            .name
-            .clone();
+        let stage_name = self.graph.stage(stage).expect("stage exists").name.clone();
         if let Some(sender) = self.senders.get(&device) {
             let _ = sender.send(Message::Activate {
                 unit,

@@ -5,7 +5,9 @@
 //! function units the master activated on it (§IV-B steps 2–4).
 
 use crate::clock::now_us;
-use crate::executor::{spawn, ExecHandle, ExecMsg, NodeConfig, SinkMeter};
+use crate::executor::{
+    spawn, DeliveryStats, ExecHandle, ExecMsg, ExecProbe, NodeConfig, SinkMeter,
+};
 use crate::fabric::{Fabric, MsgSender};
 use crate::registry::UnitRegistry;
 use parking_lot::Mutex;
@@ -15,6 +17,9 @@ use std::thread::JoinHandle;
 use swing_core::{DeviceId, UnitId};
 use swing_net::{Message, NetResult};
 
+/// Shared slot an executor publishes its latest probe into.
+type ProbeSlot = Arc<Mutex<Option<ExecProbe>>>;
+
 /// A running worker node.
 #[derive(Debug)]
 pub struct WorkerNode {
@@ -23,7 +28,7 @@ pub struct WorkerNode {
     inbox_tx: MsgSender,
     join: Option<JoinHandle<()>>,
     meters: Arc<Mutex<HashMap<UnitId, Arc<SinkMeter>>>>,
-    probes: Arc<Mutex<HashMap<UnitId, Arc<parking_lot::Mutex<Option<swing_core::routing::RouterSnapshot>>>>>>,
+    probes: Arc<Mutex<HashMap<UnitId, ProbeSlot>>>,
 }
 
 impl WorkerNode {
@@ -56,9 +61,7 @@ impl WorkerNode {
         let meters: Arc<Mutex<HashMap<UnitId, Arc<SinkMeter>>>> =
             Arc::new(Mutex::new(HashMap::new()));
         let meters2 = Arc::clone(&meters);
-        let probes: Arc<
-            Mutex<HashMap<UnitId, Arc<parking_lot::Mutex<Option<swing_core::routing::RouterSnapshot>>>>>,
-        > = Arc::new(Mutex::new(HashMap::new()));
+        let probes: Arc<Mutex<HashMap<UnitId, ProbeSlot>>> = Arc::new(Mutex::new(HashMap::new()));
         let probes2 = Arc::clone(&probes);
         let thread_name = format!("swing-node-{name}");
         let reg = registry;
@@ -139,14 +142,28 @@ impl WorkerNode {
     }
 
     /// Latest routing-table snapshots of the units hosted on this node
-    /// (units that never dispatched are omitted). Available while
-    /// running and after stop.
+    /// (units with no downstream edge — sinks, or units that never
+    /// dispatched — are omitted). Available while running and after
+    /// stop.
     #[must_use]
     pub fn router_snapshots(&self) -> Vec<(UnitId, swing_core::routing::RouterSnapshot)> {
         self.probes
             .lock()
             .iter()
-            .filter_map(|(u, p)| p.lock().clone().map(|s| (*u, s)))
+            .filter_map(|(u, p)| p.lock().as_ref().map(|s| (*u, s.router.clone())))
+            .filter(|(_, s)| !s.routes.is_empty())
+            .collect()
+    }
+
+    /// Latest delivery counters of every unit hosted on this node that
+    /// has published a probe (including sinks, whose counters track the
+    /// duplicates their dedup window suppressed).
+    #[must_use]
+    pub fn delivery_stats(&self) -> Vec<(UnitId, DeliveryStats)> {
+        self.probes
+            .lock()
+            .iter()
+            .filter_map(|(u, p)| p.lock().as_ref().map(|s| (*u, s.delivery)))
             .collect()
     }
 
@@ -177,7 +194,7 @@ struct NodeState {
     /// Cache of dialed peer inboxes by address.
     dialed: HashMap<String, MsgSender>,
     meters: Arc<Mutex<HashMap<UnitId, Arc<SinkMeter>>>>,
-    probes: Arc<Mutex<HashMap<UnitId, Arc<parking_lot::Mutex<Option<swing_core::routing::RouterSnapshot>>>>>>,
+    probes: Arc<Mutex<HashMap<UnitId, ProbeSlot>>>,
 }
 
 impl NodeState {
@@ -192,7 +209,9 @@ impl NodeState {
             } => {
                 let Some(any) = self.registry.create(&stage_name) else {
                     // App not installed correctly; refuse politely.
-                    let _ = self.master.send(Message::Leave { device: self.device });
+                    let _ = self.master.send(Message::Leave {
+                        device: self.device,
+                    });
                     return true;
                 };
                 let is_sink = matches!(any, crate::registry::AnyUnit::Sink(_));
@@ -202,7 +221,9 @@ impl NodeState {
                 }
                 self.probes.lock().insert(unit, handle.probe_handle());
                 self.executors.insert(unit, handle);
-                let _ = self.master.send(Message::Ready { device: self.device });
+                let _ = self.master.send(Message::Ready {
+                    device: self.device,
+                });
             }
             Message::Connect {
                 upstream,
@@ -213,9 +234,7 @@ impl NodeState {
                 // if we host the downstream, `addr` reaches the upstream
                 // (for ACKs). A node can host both ends.
                 let sender = self.dial(&addr);
-                if let (Some(h), Some(sender)) =
-                    (self.executors.get(&upstream), sender.clone())
-                {
+                if let (Some(h), Some(sender)) = (self.executors.get(&upstream), sender.clone()) {
                     h.send(ExecMsg::AddDownstream {
                         unit: downstream,
                         sender,
@@ -249,8 +268,25 @@ impl NodeState {
                     h.send(ExecMsg::Ack { seq, processing_us });
                 }
             }
+            Message::Disconnect {
+                upstream,
+                downstream,
+            } => {
+                // The master evicted the device at the other end of this
+                // edge (heartbeat prune / leave). Whichever end we host,
+                // cut the route so in-flight tuples re-route to the
+                // survivors.
+                if let Some(h) = self.executors.get(&upstream) {
+                    h.send(ExecMsg::RemoveDownstream { unit: downstream });
+                }
+                if let Some(h) = self.executors.get(&downstream) {
+                    h.send(ExecMsg::RemoveUpstream { unit: upstream });
+                }
+            }
             Message::Ping => {
-                let _ = self.master.send(Message::Pong { device: self.device });
+                let _ = self.master.send(Message::Pong {
+                    device: self.device,
+                });
             }
             _ => {}
         }

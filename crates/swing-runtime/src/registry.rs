@@ -39,7 +39,9 @@ impl fmt::Debug for UnitRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut names: Vec<&str> = self.factories.keys().map(String::as_str).collect();
         names.sort_unstable();
-        f.debug_struct("UnitRegistry").field("stages", &names).finish()
+        f.debug_struct("UnitRegistry")
+            .field("stages", &names)
+            .finish()
     }
 }
 

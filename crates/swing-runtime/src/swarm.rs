@@ -36,16 +36,20 @@
 //! println!("{} results", reports[0].1.consumed);
 //! ```
 
-use crate::executor::{NodeConfig, SinkReport};
+use crate::chaos::{ChaosControl, FaultPlan};
+use crate::executor::{DeliveryStats, NodeConfig, SinkReport};
 use crate::fabric::Fabric;
 use crate::master::{Master, MasterConfig, Placement};
 use crate::node::WorkerNode;
 use crate::registry::UnitRegistry;
 use std::time::{Duration, Instant};
-use swing_core::config::ReorderConfig;
+use swing_core::config::{ReorderConfig, RetryConfig};
 use swing_core::graph::AppGraph;
 use swing_core::routing::{Policy, RouterConfig};
 use swing_net::{NetError, NetResult};
+
+/// Per-unit delivery counters: `(worker name, unit, counters)`.
+pub type DeliveryByUnit = Vec<(String, swing_core::UnitId, DeliveryStats)>;
 
 /// Builder for a [`LocalSwarm`].
 #[derive(Debug)]
@@ -55,6 +59,7 @@ pub struct LocalSwarmBuilder {
     placement: Placement,
     heartbeat: Option<crate::master::HeartbeatConfig>,
     fabric: Fabric,
+    fault_plan: Option<FaultPlan>,
     workers: Vec<(String, UnitRegistry)>,
 }
 
@@ -84,6 +89,23 @@ impl LocalSwarmBuilder {
     #[must_use]
     pub fn reorder(mut self, reorder: ReorderConfig) -> Self {
         self.node_config.reorder = reorder;
+        self
+    }
+
+    /// ACK-deadline retransmission configuration (default enabled; pass
+    /// [`RetryConfig::disabled`] for the fire-and-forget baseline).
+    #[must_use]
+    pub fn retry(mut self, retry: RetryConfig) -> Self {
+        self.node_config.retry = retry;
+        self
+    }
+
+    /// Wrap the swarm's fabric in deterministic fault injection (call
+    /// after [`tcp`](Self::tcp) if combining). The control handle is
+    /// available from [`LocalSwarm::chaos`] after start.
+    #[must_use]
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 
@@ -121,8 +143,25 @@ impl LocalSwarmBuilder {
     /// has started (master broadcast Start).
     pub fn start(self) -> NetResult<LocalSwarm> {
         if self.workers.is_empty() {
-            return Err(NetError::Malformed("a swarm needs at least one worker".into()));
+            return Err(NetError::Malformed(
+                "a swarm needs at least one worker".into(),
+            ));
         }
+        self.node_config
+            .retry
+            .validate()
+            .map_err(|e| NetError::Malformed(format!("invalid retry config: {e}")))?;
+        self.node_config
+            .router
+            .validate()
+            .map_err(|e| NetError::Malformed(format!("invalid router config: {e}")))?;
+        let (fabric, chaos) = match self.fault_plan {
+            Some(plan) => {
+                let (f, ctl) = Fabric::chaos(self.fabric, plan);
+                (f, Some(ctl))
+            }
+            None => (self.fabric, None),
+        };
         let master = Master::spawn(
             self.graph,
             MasterConfig {
@@ -130,13 +169,13 @@ impl LocalSwarmBuilder {
                 placement: self.placement,
                 heartbeat: self.heartbeat,
             },
-            self.fabric.clone(),
+            fabric.clone(),
         )?;
         let mut nodes = Vec::new();
         for (name, registry) in self.workers {
             nodes.push(WorkerNode::spawn(
                 name,
-                self.fabric.clone(),
+                fabric.clone(),
                 master.addr(),
                 registry,
                 self.node_config.clone(),
@@ -153,8 +192,9 @@ impl LocalSwarmBuilder {
         Ok(LocalSwarm {
             master,
             nodes,
-            fabric: self.fabric,
+            fabric,
             node_config: self.node_config,
+            chaos,
         })
     }
 }
@@ -166,6 +206,7 @@ pub struct LocalSwarm {
     nodes: Vec<WorkerNode>,
     fabric: Fabric,
     node_config: NodeConfig,
+    chaos: Option<ChaosControl>,
 }
 
 impl LocalSwarm {
@@ -178,8 +219,26 @@ impl LocalSwarm {
             placement: Placement::SourceOnFirst,
             heartbeat: None,
             fabric: Fabric::in_proc(),
+            fault_plan: None,
             workers: Vec::new(),
         }
+    }
+
+    /// The fault-injection control handle, when the swarm was built
+    /// with [`LocalSwarmBuilder::chaos`].
+    #[must_use]
+    pub fn chaos(&self) -> Option<&ChaosControl> {
+        self.chaos.as_ref()
+    }
+
+    /// The dialable data address of the named worker (e.g. to target it
+    /// with [`ChaosControl::partition`] or a scheduled crash).
+    #[must_use]
+    pub fn worker_addr(&self, name: &str) -> Option<String> {
+        self.nodes
+            .iter()
+            .find(|n| n.name() == name)
+            .map(|n| n.data_addr().to_owned())
     }
 
     /// The master's control address (for external workers to join).
@@ -194,11 +253,7 @@ impl LocalSwarm {
     }
 
     /// Add a worker while the app is running (the paper's Fig. 9 join).
-    pub fn add_worker(
-        &mut self,
-        name: impl Into<String>,
-        registry: UnitRegistry,
-    ) -> NetResult<()> {
+    pub fn add_worker(&mut self, name: impl Into<String>, registry: UnitRegistry) -> NetResult<()> {
         let node = WorkerNode::spawn(
             name,
             self.fabric.clone(),
@@ -240,7 +295,11 @@ impl LocalSwarm {
     /// selected and how it weighted them.
     pub fn router_snapshots(
         &self,
-    ) -> Vec<(String, swing_core::UnitId, swing_core::routing::RouterSnapshot)> {
+    ) -> Vec<(
+        String,
+        swing_core::UnitId,
+        swing_core::routing::RouterSnapshot,
+    )> {
         let mut out = Vec::new();
         for node in &self.nodes {
             for (unit, snap) in node.router_snapshots() {
@@ -250,19 +309,52 @@ impl LocalSwarm {
         out
     }
 
+    /// Per-unit delivery counters across the whole swarm:
+    /// `(worker name, unit, stats)` for every unit that has published a
+    /// probe.
+    pub fn delivery_stats(&self) -> DeliveryByUnit {
+        let mut out = Vec::new();
+        for node in &self.nodes {
+            for (unit, stats) in node.delivery_stats() {
+                out.push((node.name().to_owned(), unit, stats));
+            }
+        }
+        out
+    }
+
+    /// Swarm-wide delivery counters, merged over every unit.
+    #[must_use]
+    pub fn delivery_totals(&self) -> DeliveryStats {
+        let mut total = DeliveryStats::default();
+        for (_, _, s) in self.delivery_stats() {
+            total.merge(&s);
+        }
+        total
+    }
+
     /// Stop everything and collect `(worker name, sink report)` pairs for
     /// every sink instance in the swarm.
-    pub fn stop(mut self) -> Vec<(String, SinkReport)> {
+    pub fn stop(self) -> Vec<(String, SinkReport)> {
+        self.stop_with_delivery().0
+    }
+
+    /// Like [`stop`](Self::stop), but also return the final per-unit
+    /// delivery counters (executors publish them on shutdown).
+    pub fn stop_with_delivery(mut self) -> (Vec<(String, SinkReport)>, DeliveryByUnit) {
         self.master.stop();
         let mut reports = Vec::new();
+        let mut delivery = Vec::new();
         for node in &mut self.nodes {
             let meters = node.sink_meters();
             node.stop();
             for (_, meter) in meters {
                 reports.push((node.name().to_owned(), meter.report()));
             }
+            for (unit, stats) in node.delivery_stats() {
+                delivery.push((node.name().to_owned(), unit, stats));
+            }
         }
-        reports
+        (reports, delivery)
     }
 }
 

@@ -26,7 +26,9 @@ fn graph() -> AppGraph {
 
 fn registry(count: Option<Arc<AtomicU64>>) -> UnitRegistry {
     let mut r = UnitRegistry::new();
-    r.register_source("src", || closure_source(|_| Some(Tuple::new().with("x", 1i64))));
+    r.register_source("src", || {
+        closure_source(|_| Some(Tuple::new().with("x", 1i64)))
+    });
     r.register_operator("op", || PassThrough);
     let count = count.unwrap_or_default();
     r.register_sink("out", move || {

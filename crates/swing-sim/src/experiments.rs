@@ -35,10 +35,7 @@ pub const POOR_SIGNAL_LETTERS: [&str; 3] = ["B", "C", "D"];
 /// alone. Delay builds up because no device sustains 24 FPS.
 #[must_use]
 pub fn single_device(letter: &str, duration_s: u64, seed: u64) -> SwarmReport {
-    let mut config = SwarmConfig::new(
-        Workload::FaceRecognition,
-        RouterConfig::new(Policy::Rr),
-    );
+    let mut config = SwarmConfig::new(Workload::FaceRecognition, RouterConfig::new(Policy::Rr));
     config.duration_us = duration_s * SECOND_US;
     config.seed = seed;
     // Fig 1 measures unbounded queue growth over the first seconds; use
@@ -76,10 +73,7 @@ pub struct Fig2Row {
 /// Fig. 2: device `A` sends frames to `B` under one varied condition.
 #[must_use]
 pub fn fig2_condition(var: Fig2Variable, duration_s: u64, seed: u64) -> Fig2Row {
-    let mut config = SwarmConfig::new(
-        Workload::FaceRecognition,
-        RouterConfig::new(Policy::Rr),
-    );
+    let mut config = SwarmConfig::new(Workload::FaceRecognition, RouterConfig::new(Policy::Rr));
     config.duration_us = duration_s * SECOND_US;
     config.seed = seed;
     let mut worker = WorkerSpec::new(device("B"));
@@ -147,10 +141,7 @@ pub fn evaluation_run(
 /// Fig. 9 (left): `B`, `D` computing, `G` joins at `join_at_s`.
 #[must_use]
 pub fn joining_run(join_at_s: u64, duration_s: u64, seed: u64) -> SwarmReport {
-    let mut config = SwarmConfig::new(
-        Workload::FaceRecognition,
-        RouterConfig::new(Policy::Lrs),
-    );
+    let mut config = SwarmConfig::new(Workload::FaceRecognition, RouterConfig::new(Policy::Lrs));
     config.duration_us = duration_s * SECOND_US;
     config.seed = seed;
     let workers = vec![
@@ -164,10 +155,7 @@ pub fn joining_run(join_at_s: u64, duration_s: u64, seed: u64) -> SwarmReport {
 /// Fig. 9 (right): `B`, `G`, `H` computing, `G` leaves at `leave_at_s`.
 #[must_use]
 pub fn leaving_run(leave_at_s: u64, duration_s: u64, seed: u64) -> SwarmReport {
-    let mut config = SwarmConfig::new(
-        Workload::FaceRecognition,
-        RouterConfig::new(Policy::Lrs),
-    );
+    let mut config = SwarmConfig::new(Workload::FaceRecognition, RouterConfig::new(Policy::Lrs));
     config.duration_us = duration_s * SECOND_US;
     config.seed = seed;
     let workers = vec![
@@ -182,12 +170,7 @@ pub fn leaving_run(leave_at_s: u64, duration_s: u64, seed: u64) -> SwarmReport {
 /// cloudlet VM on a good link. LRS should discover it is by far the
 /// fastest worker and concentrate load there.
 #[must_use]
-pub fn cloudlet_run(
-    policy: Policy,
-    workload: Workload,
-    duration_s: u64,
-    seed: u64,
-) -> SwarmReport {
+pub fn cloudlet_run(policy: Policy, workload: Workload, duration_s: u64, seed: u64) -> SwarmReport {
     let mut config = SwarmConfig::new(workload, RouterConfig::new(policy));
     config.duration_us = duration_s * SECOND_US;
     config.seed = seed;
@@ -200,16 +183,12 @@ pub fn cloudlet_run(
 /// poor signal, dwelling `dwell_s` in each zone.
 #[must_use]
 pub fn mobility_run(dwell_s: u64, seed: u64) -> SwarmReport {
-    let mut config = SwarmConfig::new(
-        Workload::FaceRecognition,
-        RouterConfig::new(Policy::Lrs),
-    );
+    let mut config = SwarmConfig::new(Workload::FaceRecognition, RouterConfig::new(Policy::Lrs));
     config.duration_us = 3 * dwell_s * SECOND_US;
     config.seed = seed;
     let workers = vec![
         WorkerSpec::new(device("B")),
-        WorkerSpec::new(device("G"))
-            .with_mobility(MobilityTrace::fig10_walk(dwell_s * SECOND_US)),
+        WorkerSpec::new(device("G")).with_mobility(MobilityTrace::fig10_walk(dwell_s * SECOND_US)),
         WorkerSpec::new(device("H")),
     ];
     Swarm::new(config, workers).run()
@@ -266,8 +245,7 @@ pub fn stale_floor_ablation_run(dwell_s: u64, floor: bool, seed: u64) -> SwarmRe
     config.seed = seed;
     let workers = vec![
         WorkerSpec::new(device("B")),
-        WorkerSpec::new(device("G"))
-            .with_mobility(MobilityTrace::fig10_walk(dwell_s * SECOND_US)),
+        WorkerSpec::new(device("G")).with_mobility(MobilityTrace::fig10_walk(dwell_s * SECOND_US)),
         WorkerSpec::new(device("H")),
     ];
     Swarm::new(config, workers).run()
@@ -316,8 +294,7 @@ mod tests {
             delays.sort_by_key(|&(t, _)| t);
             assert!(delays.len() >= 6, "{letter}: too few completions");
             let third = delays.len() / 3;
-            let early: f64 =
-                delays[..third].iter().map(|&(_, d)| d).sum::<f64>() / third as f64;
+            let early: f64 = delays[..third].iter().map(|&(_, d)| d).sum::<f64>() / third as f64;
             let late: f64 = delays[delays.len() - third..]
                 .iter()
                 .map(|&(_, d)| d)
@@ -565,7 +542,10 @@ mod tests {
         };
         let mean = |probing: bool| -> f64 {
             let seeds = [3u64, 6, 11];
-            seeds.iter().map(|&s| rediscovery_s(probing, s)).sum::<usize>() as f64
+            seeds
+                .iter()
+                .map(|&s| rediscovery_s(probing, s))
+                .sum::<usize>() as f64
                 / seeds.len() as f64
         };
         let with = mean(true);
@@ -606,9 +586,7 @@ mod tests {
 
     #[test]
     fn larger_reorder_span_skips_fewer_frames_but_waits_longer() {
-        let run = |span_us: u64| {
-            tuned_evaluation_run(Policy::Rr, span_us, 1.0, 26_000, DUR, 2)
-        };
+        let run = |span_us: u64| tuned_evaluation_run(Policy::Rr, span_us, 1.0, 26_000, DUR, 2);
         let short = run(250_000);
         let long = run(4_000_000);
         assert!(
@@ -670,10 +648,8 @@ mod tests {
     #[test]
     fn resend_orphans_eliminates_leave_losses() {
         let mk = |resend: bool| {
-            let mut config = SwarmConfig::new(
-                Workload::FaceRecognition,
-                RouterConfig::new(Policy::Lrs),
-            );
+            let mut config =
+                SwarmConfig::new(Workload::FaceRecognition, RouterConfig::new(Policy::Lrs));
             config.duration_us = 30 * SECOND_US;
             config.seed = 5;
             config.resend_orphans = resend;
@@ -700,18 +676,13 @@ mod tests {
 
     #[test]
     fn rate_schedule_changes_offered_load_mid_run() {
-        let mut config = SwarmConfig::new(
-            Workload::FaceRecognition,
-            RouterConfig::new(Policy::Lrs),
-        );
+        let mut config =
+            SwarmConfig::new(Workload::FaceRecognition, RouterConfig::new(Policy::Lrs));
         config.duration_us = 30 * SECOND_US;
         config.seed = 4;
         config.input_fps = 6.0;
         config.rate_schedule = vec![(15 * SECOND_US, 20.0)];
-        let workers = vec![
-            WorkerSpec::new(device("G")),
-            WorkerSpec::new(device("H")),
-        ];
+        let workers = vec![WorkerSpec::new(device("G")), WorkerSpec::new(device("H"))];
         let r = Swarm::new(config, workers).run();
         let early: f64 = r.timeline[3..12].iter().map(|p| p.total_fps).sum::<f64>() / 9.0;
         let late: f64 = r.timeline[20..29].iter().map(|p| p.total_fps).sum::<f64>() / 9.0;
@@ -722,14 +693,19 @@ mod tests {
     #[test]
     fn fig10_system_throughput_survives_the_walk() {
         let report = mobility_run(15, 2);
-        let early: f64 = report.timeline[5..10].iter().map(|p| p.total_fps).sum::<f64>() / 5.0;
+        let early: f64 = report.timeline[5..10]
+            .iter()
+            .map(|p| p.total_fps)
+            .sum::<f64>()
+            / 5.0;
         let n = report.timeline.len();
-        let late: f64 = report.timeline[n - 5..].iter().map(|p| p.total_fps).sum::<f64>() / 5.0;
+        let late: f64 = report.timeline[n - 5..]
+            .iter()
+            .map(|p| p.total_fps)
+            .sum::<f64>()
+            / 5.0;
         // Re-routing keeps most of the throughput despite G's poor link.
-        assert!(
-            late > 0.6 * early,
-            "early {early:.1} late {late:.1}"
-        );
+        assert!(late > 0.6 * early, "early {early:.1} late {late:.1}");
         // RSSI trace in the timeline reflects the walk.
         let first_rssi = report.timeline[2].per_worker_rssi[1];
         let last_rssi = report.timeline[n - 2].per_worker_rssi[1];

@@ -202,7 +202,10 @@ impl SwarmReport {
     /// `threshold` frames) — how many devices a policy actually used.
     #[must_use]
     pub fn active_workers(&self, threshold: u64) -> usize {
-        self.workers.iter().filter(|w| w.received > threshold).count()
+        self.workers
+            .iter()
+            .filter(|w| w.received > threshold)
+            .count()
     }
 
     /// Per-frame records as tab-separated values (with header), for

@@ -252,7 +252,8 @@ impl Sim<'_> {
         inst.current = Some(job);
         let jitter = 1.0 + 0.08 * self.rng.random_range(-1.0..1.0);
         let service = (inst.service_us as f64 * jitter) as u64;
-        self.queue.schedule(now + service, Ev::EndService { inst: inst_id });
+        self.queue
+            .schedule(now + service, Ev::EndService { inst: inst_id });
     }
 
     fn handle(&mut self, now: u64, ev: Ev, pacer: &mut Pacer) {
@@ -423,7 +424,16 @@ pub fn run_pipeline(
         .collect();
     report.per_stage_ms = stage_sum
         .into_iter()
-        .map(|(s, (sum, n))| (s, if n > 0 { sum as f64 / n as f64 / 1_000.0 } else { 0.0 }))
+        .map(|(s, (sum, n))| {
+            (
+                s,
+                if n > 0 {
+                    sum as f64 / n as f64 / 1_000.0
+                } else {
+                    0.0
+                },
+            )
+        })
         .collect();
     report
 }

@@ -399,9 +399,7 @@ impl Swarm {
             Ev::Leave { w } => self.on_leave(now, w),
             Ev::Background { w, load } => self.workers[w].cpu.set_background_load(load),
             Ev::MobilityCheck { w } => {
-                if self.workers[w].active
-                    && !self.workers[w].quality_at(now).connected
-                {
+                if self.workers[w].active && !self.workers[w].quality_at(now).connected {
                     self.on_leave(now, w);
                 }
             }
@@ -484,10 +482,9 @@ impl Swarm {
     fn transmit(&mut self, now: u64, seq: u64, w: usize) {
         let quality = self.workers[w].quality_at(now);
         let frame_bytes = self.frame_bytes;
-        let Some(tx) =
-            self.workers[w]
-                .downlink
-                .enqueue(now, frame_bytes, quality, &mut self.rng)
+        let Some(tx) = self.workers[w]
+            .downlink
+            .enqueue(now, frame_bytes, quality, &mut self.rng)
         else {
             // Link broke between routing and transmission.
             self.frames[seq as usize].lost = true;
@@ -538,8 +535,9 @@ impl Swarm {
         self.workers[w].busy = true;
         // The worker read the frame out of its socket buffer: the
         // sender-side window space is released.
-        self.workers[w].window_bytes =
-            self.workers[w].window_bytes.saturating_sub(self.frame_bytes);
+        self.workers[w].window_bytes = self.workers[w]
+            .window_bytes
+            .saturating_sub(self.frame_bytes);
         self.queue.schedule(now, Ev::Dispatch);
         let service = self.workers[w].cpu.sample_service_us(&mut self.rng);
         self.workers[w].busy_us_window += service;
@@ -565,10 +563,9 @@ impl Swarm {
             // Send the result to the sink and the ACK to the upstream
             // over the worker's own radio (small payloads).
             let quality = self.workers[w].quality_at(now);
-            if let Some(tx) =
-                self.workers[w]
-                    .radio
-                    .enqueue(now, ACK_BYTES, quality, &mut self.rng)
+            if let Some(tx) = self.workers[w]
+                .radio
+                .enqueue(now, ACK_BYTES, quality, &mut self.rng)
             {
                 self.workers[w].completed += 1;
                 self.workers[w].completed_window += 1;
@@ -635,7 +632,12 @@ impl Swarm {
         // re-dispatches them (reliability extension); the paper's
         // prototype loses them.
         let mut stranded: Vec<u64> = self.workers[w].queue.drain(..).collect();
-        stranded.extend(self.router.remove_downstream(unit_of(w)).iter().map(|s| s.0));
+        stranded.extend(
+            self.router
+                .remove_downstream(unit_of(w))
+                .iter()
+                .map(|s| s.0),
+        );
         stranded.sort_unstable();
         for seq in stranded {
             self.strand(now, w, seq);
@@ -686,17 +688,16 @@ impl Swarm {
         for st in &mut self.workers {
             let busy_frac = (st.busy_us_window as f64 / SECOND_US as f64).min(1.0);
             let overhead = if st.active { 0.14 } else { 0.0 };
-            let total_util =
-                (busy_frac + overhead + st.cpu.background_load()).min(1.0);
+            let total_util = (busy_frac + overhead + st.cpu.background_load()).min(1.0);
             let app_util = (busy_frac + overhead).min(1.0);
             let rate_bps = st.bytes_window as f64 / period_s;
             st.energy.charge(&st.power, app_util, rate_bps, period_s);
             st.util_sum += total_util;
             st.util_ticks += 1;
-            point.per_worker_fps.push(st.completed_window as f64 / period_s);
             point
-                .per_worker_rssi
-                .push(st.spec.mobility.rssi_at(now));
+                .per_worker_fps
+                .push(st.completed_window as f64 / period_s);
+            point.per_worker_rssi.push(st.spec.mobility.rssi_at(now));
             st.busy_us_window = 0;
             st.bytes_window = 0;
             st.completed_window = 0;
@@ -792,7 +793,11 @@ mod tests {
             report.throughput_fps
         );
         // Latency ~ tx + service: well under 200 ms.
-        assert!(report.latency_ms.mean() < 200.0, "{}", report.latency_ms.mean());
+        assert!(
+            report.latency_ms.mean() < 200.0,
+            "{}",
+            report.latency_ms.mean()
+        );
     }
 
     #[test]
@@ -820,7 +825,11 @@ mod tests {
             "throughput {}",
             report.throughput_fps
         );
-        assert!(report.latency_ms.mean() < 1_000.0, "{}", report.latency_ms.mean());
+        assert!(
+            report.latency_ms.mean() < 1_000.0,
+            "{}",
+            report.latency_ms.mean()
+        );
     }
 
     #[test]
@@ -871,10 +880,7 @@ mod tests {
             .map(|p| p.total_fps)
             .sum::<f64>()
             / (report.timeline.len() - 15) as f64;
-        assert!(
-            after > before + 3.0,
-            "before {before:.1} after {after:.1}"
-        );
+        assert!(after > before + 3.0, "before {before:.1} after {after:.1}");
     }
 
     #[test]
@@ -912,7 +918,9 @@ mod tests {
         // After the only worker leaves, frames are lost, not wedged.
         assert_eq!(
             report.generated,
-            report.completed + report.lost + report.dropped_at_source
+            report.completed
+                + report.lost
+                + report.dropped_at_source
                 + report
                     .frames
                     .iter()
@@ -934,7 +942,10 @@ mod tests {
         ];
         let report = Swarm::new(c, workers).run();
         // G's share in the first 10 s vs the last 10 s.
-        let early: f64 = report.timeline[..10].iter().map(|p| p.per_worker_fps[1]).sum();
+        let early: f64 = report.timeline[..10]
+            .iter()
+            .map(|p| p.per_worker_fps[1])
+            .sum();
         let late: f64 = report.timeline[report.timeline.len() - 10..]
             .iter()
             .map(|p| p.per_worker_fps[1])
@@ -956,13 +967,8 @@ mod tests {
     fn background_load_reduces_worker_capacity() {
         let mut c = short_config(Policy::Rr);
         c.input_fps = 10.0;
-        let unloaded =
-            Swarm::new(c.clone(), vec![WorkerSpec::new(profile("B"))]).run();
-        let loaded = Swarm::new(
-            c,
-            vec![WorkerSpec::new(profile("B")).with_background(1.0)],
-        )
-        .run();
+        let unloaded = Swarm::new(c.clone(), vec![WorkerSpec::new(profile("B"))]).run();
+        let loaded = Swarm::new(c, vec![WorkerSpec::new(profile("B")).with_background(1.0)]).run();
         assert!(loaded.throughput_fps < unloaded.throughput_fps);
         let unloaded_proc = unloaded.mean_component_ms(FrameRecord::processing_us);
         let loaded_proc = loaded.mean_component_ms(FrameRecord::processing_us);
@@ -995,10 +1001,7 @@ mod tests {
     #[test]
     fn frame_accounting_balances() {
         let c = short_config(Policy::Lrs);
-        let workers = vec![
-            WorkerSpec::new(profile("E")),
-            WorkerSpec::new(profile("H")),
-        ];
+        let workers = vec![WorkerSpec::new(profile("E")), WorkerSpec::new(profile("H"))];
         let report = Swarm::new(c, workers).run();
         // Every generated frame is either completed, dropped, lost, or
         // still in flight at the end of the run.

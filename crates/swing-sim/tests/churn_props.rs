@@ -28,13 +28,15 @@ fn arb_worker() -> impl Strategy<Value = WorkerPlan> {
         0.0f64..1.0,
         proptest::collection::vec((0u64..25_000_000, -85.0f64..-25.0), 0..4),
     )
-        .prop_map(|(device, join_s, leave_s, background, rssi_steps)| WorkerPlan {
-            device,
-            join_s,
-            leave_s,
-            background,
-            rssi_steps,
-        })
+        .prop_map(
+            |(device, join_s, leave_s, background, rssi_steps)| WorkerPlan {
+                device,
+                join_s,
+                leave_s,
+                background,
+                rssi_steps,
+            },
+        )
 }
 
 proptest! {

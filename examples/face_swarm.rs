@@ -26,8 +26,14 @@ fn main() {
         .unwrap_or_else(|| "lrs".into())
         .parse()
         .expect("policy must be one of rr, pr, lr, prs, lrs");
-    let workers: usize = args.next().map(|s| s.parse().expect("worker count")).unwrap_or(4);
-    let seconds: u64 = args.next().map(|s| s.parse().expect("seconds")).unwrap_or(5);
+    let workers: usize = args
+        .next()
+        .map(|s| s.parse().expect("worker count"))
+        .unwrap_or(4);
+    let seconds: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seconds"))
+        .unwrap_or(5);
 
     let recognized = Arc::new(AtomicU64::new(0));
     let config = FaceAppConfig::default();
@@ -55,9 +61,7 @@ fn main() {
         r
     };
 
-    println!(
-        "face recognition on {workers} devices, policy {policy}, {seconds}s @ 24 FPS"
-    );
+    println!("face recognition on {workers} devices, policy {policy}, {seconds}s @ 24 FPS");
     let mut builder = LocalSwarm::builder(face::app_graph())
         .policy(policy)
         .input_fps(24.0)

@@ -18,14 +18,24 @@ fn main() {
     println!("== Fig 9 (left): B and D computing; G joins at t = 10 s ==");
     let join = joining_run(10, 30, 7);
     for p in &join.timeline {
-        println!("t={:>2.0}s {:>5.1} FPS |{}", p.t_s, p.total_fps, spark(p.total_fps, 26.0));
+        println!(
+            "t={:>2.0}s {:>5.1} FPS |{}",
+            p.t_s,
+            p.total_fps,
+            spark(p.total_fps, 26.0)
+        );
     }
 
     println!();
     println!("== Fig 9 (right): B, G, H computing; G killed at t = 10 s ==");
     let leave = leaving_run(10, 30, 7);
     for p in &leave.timeline {
-        println!("t={:>2.0}s {:>5.1} FPS |{}", p.t_s, p.total_fps, spark(p.total_fps, 26.0));
+        println!(
+            "t={:>2.0}s {:>5.1} FPS |{}",
+            p.t_s,
+            p.total_fps,
+            spark(p.total_fps, 26.0)
+        );
     }
     println!("frames lost in the transition: {}", leave.lost);
 

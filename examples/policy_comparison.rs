@@ -15,7 +15,10 @@ fn main() {
         Some("voice") => Workload::VoiceTranslation,
         _ => Workload::FaceRecognition,
     };
-    let seconds: u64 = args.next().map(|s| s.parse().expect("seconds")).unwrap_or(60);
+    let seconds: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seconds"))
+        .unwrap_or(60);
 
     println!(
         "policy comparison, {} workload, {seconds} simulated seconds, 24 FPS offered",

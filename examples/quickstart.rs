@@ -80,7 +80,9 @@ fn main() {
     for (worker, report) in reports {
         println!(
             "sink on {worker}: {} results, {:.1} results/s, mean latency {:.1} ms",
-            report.consumed, report.throughput, report.latency_ms.mean()
+            report.consumed,
+            report.throughput,
+            report.latency_ms.mean()
         );
     }
 }

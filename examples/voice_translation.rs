@@ -19,8 +19,14 @@ use swing::runtime::swarm::LocalSwarm;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let workers: usize = args.next().map(|s| s.parse().expect("worker count")).unwrap_or(3);
-    let seconds: u64 = args.next().map(|s| s.parse().expect("seconds")).unwrap_or(5);
+    let workers: usize = args
+        .next()
+        .map(|s| s.parse().expect("worker count"))
+        .unwrap_or(3);
+    let seconds: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seconds"))
+        .unwrap_or(5);
 
     let subtitles = Arc::new(AtomicU64::new(0));
     let config = VoiceAppConfig::default();
@@ -59,7 +65,9 @@ fn main() {
     for (worker, report) in reports {
         println!(
             "subtitles on {worker}: {} utterances, {:.1}/s, latency mean {:.0} ms",
-            report.consumed, report.throughput, report.latency_ms.mean()
+            report.consumed,
+            report.throughput,
+            report.latency_ms.mean()
         );
     }
 }

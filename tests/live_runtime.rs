@@ -9,10 +9,7 @@ use swing::core::routing::Policy;
 use swing::runtime::registry::UnitRegistry;
 use swing::runtime::swarm::LocalSwarm;
 
-fn face_registry(
-    config: &face::FaceAppConfig,
-    names: Option<Arc<AtomicU64>>,
-) -> UnitRegistry {
+fn face_registry(config: &face::FaceAppConfig, names: Option<Arc<AtomicU64>>) -> UnitRegistry {
     let mut r = UnitRegistry::new();
     face::install(&mut r, config.clone());
     if let Some(names) = names {
@@ -44,8 +41,16 @@ fn face_recognition_runs_collaboratively_in_proc() {
     let reports = swarm.stop();
     let (_, report) = &reports[0];
     // ~72 frames sensed; nearly all should complete in-process.
-    assert!(report.consumed > 40, "only {} frames displayed", report.consumed);
-    assert!(report.throughput > 15.0, "throughput {:.1}", report.throughput);
+    assert!(
+        report.consumed > 40,
+        "only {} frames displayed",
+        report.consumed
+    );
+    assert!(
+        report.throughput > 15.0,
+        "throughput {:.1}",
+        report.throughput
+    );
     // Most frames contain a planted face and get named.
     let named = names.load(Ordering::Relaxed);
     assert!(named > report.consumed / 2, "only {named} names");

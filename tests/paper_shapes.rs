@@ -49,7 +49,11 @@ fn lrs_beats_rr_by_paper_factors() {
         "latency reduction {latency_cut:.1}x below the paper's 6.7x"
     );
     // And LRS actually meets the real-time target.
-    assert!(lrs.throughput_fps > 22.0, "LRS at {:.1} FPS", lrs.throughput_fps);
+    assert!(
+        lrs.throughput_fps > 22.0,
+        "LRS at {:.1} FPS",
+        lrs.throughput_fps
+    );
 }
 
 /// Fig 4: latency-based routing beats processing-delay-based routing,
@@ -138,8 +142,8 @@ fn leaving_device_loses_a_handful_and_recovers() {
         "lost {} frames",
         r.lost
     );
-    let tail: f64 = r.timeline[20..].iter().map(|p| p.total_fps).sum::<f64>()
-        / (r.timeline.len() - 20) as f64;
+    let tail: f64 =
+        r.timeline[20..].iter().map(|p| p.total_fps).sum::<f64>() / (r.timeline.len() - 20) as f64;
     assert!(tail > 12.0, "post-leave throughput {tail:.1} FPS");
 }
 
@@ -151,7 +155,10 @@ fn mobility_shifts_load_and_recovers() {
     let n = r.timeline.len();
     // G's share early (good signal) vs late (poor signal).
     let g_early: f64 = r.timeline[5..15].iter().map(|p| p.per_worker_fps[1]).sum();
-    let g_late: f64 = r.timeline[n - 10..].iter().map(|p| p.per_worker_fps[1]).sum();
+    let g_late: f64 = r.timeline[n - 10..]
+        .iter()
+        .map(|p| p.per_worker_fps[1])
+        .sum();
     assert!(
         g_late < 0.4 * g_early,
         "G early {g_early:.0}, late {g_late:.0}"
