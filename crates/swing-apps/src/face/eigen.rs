@@ -6,10 +6,28 @@
 //! by nearest neighbour in that subspace. This module implements it
 //! from scratch: covariance in the (small) sample space, power-iteration
 //! eigendecomposition with deflation, projection and matching.
+//!
+//! ## Storage layout
+//!
+//! All matrices are flat, contiguous buffers — the basis both row-major
+//! (for training and orthonormality checks) and column-major (for the
+//! per-frame hot path). The column-major copy lets projection and
+//! reconstruction walk pixels in the outer loop with one accumulator per
+//! component: every accumulator still sees its additions in the same
+//! pixel order as a naive per-component dot product (so results are
+//! bit-identical to it), but the `k` independent dependency chains let
+//! the CPU overlap floating-point add latency instead of serializing on
+//! a single chain per component.
 
 use crate::face::gallery::{Gallery, FACE_SIZE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-wide cache of trained subspaces, keyed by
+/// (gallery fingerprint, component count, jitter).
+type TrainCache = OnceLock<Mutex<HashMap<(u64, usize, usize), Arc<EigenSpace>>>>;
 
 const DIM: usize = FACE_SIZE * FACE_SIZE;
 
@@ -18,8 +36,14 @@ const DIM: usize = FACE_SIZE * FACE_SIZE;
 pub struct EigenSpace {
     /// Mean face, length `DIM`.
     mean: Vec<f64>,
-    /// Orthonormal basis vectors (row-major), each length `DIM`.
-    components: Vec<Vec<f64>>,
+    /// Retained component count.
+    k: usize,
+    /// Orthonormal basis, row-major: component `c` is
+    /// `components[c * DIM..(c + 1) * DIM]`.
+    components: Vec<f64>,
+    /// The same basis column-major (`components_t[i * k + c]`), for the
+    /// pixel-outer projection/reconstruction loops.
+    components_t: Vec<f64>,
     /// Projected gallery templates: `(person id, coefficients)`.
     gallery_coords: Vec<(usize, Vec<f64>)>,
     names: Vec<String>,
@@ -38,27 +62,30 @@ impl EigenSpace {
     #[must_use]
     pub fn train(gallery: &Gallery, n_components: usize, jitter_per_face: usize) -> Self {
         let mut rng = StdRng::seed_from_u64(0xE16E);
-        let mut samples: Vec<(usize, Vec<f64>)> = Vec::new();
+        let mut sample_ids: Vec<usize> = Vec::new();
+        // Flat n×DIM sample matrix.
+        let mut samples: Vec<f64> = Vec::new();
         for person in 0..gallery.len() {
             let base: Vec<f64> = gallery.face(person).iter().map(|&p| p as f64).collect();
-            samples.push((person, base.clone()));
+            sample_ids.push(person);
+            samples.extend_from_slice(&base);
             for _ in 0..jitter_per_face {
-                let noisy: Vec<f64> = base
-                    .iter()
-                    .map(|&v| (v + rng.random_range(-8.0..8.0)).clamp(0.0, 255.0))
-                    .collect();
-                samples.push((person, noisy));
+                sample_ids.push(person);
+                samples.extend(
+                    base.iter()
+                        .map(|&v| (v + rng.random_range(-8.0..8.0)).clamp(0.0, 255.0)),
+                );
             }
         }
-        let n = samples.len();
+        let n = sample_ids.len();
         assert!(
             n_components > 0 && n_components <= n,
             "need 1..={n} components, asked for {n_components}"
         );
 
-        // Mean face and centered samples.
+        // Mean face and centered samples (flat n×DIM).
         let mut mean = vec![0.0f64; DIM];
-        for (_, s) in &samples {
+        for s in samples.chunks_exact(DIM) {
             for (m, &v) in mean.iter_mut().zip(s) {
                 *m += v;
             }
@@ -66,28 +93,29 @@ impl EigenSpace {
         for m in &mut mean {
             *m /= n as f64;
         }
-        let centered: Vec<Vec<f64>> = samples
-            .iter()
-            .map(|(_, s)| s.iter().zip(&mean).map(|(&v, &m)| v - m).collect())
-            .collect();
-
-        // Gram matrix G = A^T A (n×n), then power iteration + deflation.
-        let mut gram = vec![vec![0.0f64; n]; n];
-        for i in 0..n {
-            for j in i..n {
-                let dot: f64 = centered[i]
-                    .iter()
-                    .zip(&centered[j])
-                    .map(|(a, b)| a * b)
-                    .sum();
-                gram[i][j] = dot;
-                gram[j][i] = dot;
+        let mut centered = samples;
+        for s in centered.chunks_exact_mut(DIM) {
+            for (v, &m) in s.iter_mut().zip(&mean) {
+                *v -= m;
             }
         }
-        let mut components = Vec::with_capacity(n_components);
+        let row = |i: usize| &centered[i * DIM..(i + 1) * DIM];
+
+        // Gram matrix G = A^T A (n×n, flat), then power iteration +
+        // deflation.
+        let mut gram = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let dot: f64 = row(i).iter().zip(row(j)).map(|(a, b)| a * b).sum();
+                gram[i * n + j] = dot;
+                gram[j * n + i] = dot;
+            }
+        }
+        let mut components = Vec::with_capacity(n_components * DIM);
+        let mut k = 0;
         let mut deflated = gram;
-        for k in 0..n_components {
-            let Some((eval, evec)) = dominant_eigen(&deflated, 300, 1e-10) else {
+        while k < n_components {
+            let Some((eval, evec)) = dominant_eigen(&deflated, n, 300, 1e-10) else {
                 break; // rank exhausted
             };
             if eval <= 1e-6 {
@@ -96,7 +124,7 @@ impl EigenSpace {
             // Lift: u = A v, normalize.
             let mut u = vec![0.0f64; DIM];
             for (i, &w) in evec.iter().enumerate() {
-                for (x, &c) in u.iter_mut().zip(&centered[i]) {
+                for (x, &c) in u.iter_mut().zip(row(i)) {
                     *x += w * c;
                 }
             }
@@ -107,14 +135,23 @@ impl EigenSpace {
             for x in &mut u {
                 *x /= norm;
             }
-            components.push(u);
+            components.extend_from_slice(&u);
+            k += 1;
             // Deflate: G <- G - λ v v^T.
             for i in 0..n {
-                for j in 0..n {
-                    deflated[i][j] -= eval * evec[i] * evec[j];
+                let wi = eval * evec[i];
+                for (d, &vj) in deflated[i * n..(i + 1) * n].iter_mut().zip(&evec) {
+                    *d -= wi * vj;
                 }
             }
-            let _ = k;
+        }
+
+        // Column-major copy for the pixel-outer hot loops.
+        let mut components_t = vec![0.0f64; k * DIM];
+        for c in 0..k {
+            for i in 0..DIM {
+                components_t[i * k + c] = components[c * DIM + i];
+            }
         }
 
         let names = (0..gallery.len())
@@ -122,7 +159,9 @@ impl EigenSpace {
             .collect();
         let mut space = EigenSpace {
             mean,
+            k,
             components,
+            components_t,
             gallery_coords: Vec::new(),
             names,
         };
@@ -135,10 +174,51 @@ impl EigenSpace {
         space
     }
 
+    /// Train through a process-wide cache: activating N recognizer
+    /// instances against the same gallery trains once and shares the
+    /// subspace. The key is the gallery's content fingerprint plus the
+    /// training parameters, so differently-configured units still get
+    /// their own subspaces.
+    #[must_use]
+    pub fn train_shared(
+        gallery: &Gallery,
+        n_components: usize,
+        jitter_per_face: usize,
+    ) -> Arc<EigenSpace> {
+        static CACHE: TrainCache = OnceLock::new();
+        let key = (gallery.fingerprint(), n_components, jitter_per_face);
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(space) = cache.lock().expect("eigen cache poisoned").get(&key) {
+            return Arc::clone(space);
+        }
+        // Train outside the lock: it takes hundreds of milliseconds and
+        // concurrent first activations should not serialize on it.
+        // Duplicate work on a race is harmless (training is
+        // deterministic); first insert wins.
+        let trained = Arc::new(EigenSpace::train(gallery, n_components, jitter_per_face));
+        let mut cache = cache.lock().expect("eigen cache poisoned");
+        Arc::clone(cache.entry(key).or_insert(trained))
+    }
+
     /// Number of components actually retained.
     #[must_use]
     pub fn n_components(&self) -> usize {
-        self.components.len()
+        self.k
+    }
+
+    /// One basis vector (row-major slice of length `DIM`).
+    ///
+    /// # Panics
+    /// Panics if `c >= self.n_components()`.
+    #[must_use]
+    pub fn component(&self, c: usize) -> &[f64] {
+        &self.components[c * DIM..(c + 1) * DIM]
+    }
+
+    /// The mean face the basis is centered on (`DIM` values).
+    #[must_use]
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
     }
 
     /// Project an 8-bit patch into the subspace.
@@ -148,15 +228,28 @@ impl EigenSpace {
     #[must_use]
     pub fn project_u8(&self, patch: &[u8]) -> Vec<f64> {
         assert_eq!(patch.len(), DIM, "patch must be {FACE_SIZE}x{FACE_SIZE}");
-        let centered: Vec<f64> = patch
-            .iter()
-            .zip(&self.mean)
-            .map(|(&p, &m)| p as f64 - m)
-            .collect();
-        self.components
-            .iter()
-            .map(|c| c.iter().zip(&centered).map(|(a, b)| a * b).sum())
-            .collect()
+        // Monomorphized kernels for the component counts the apps
+        // actually use: a fixed-size accumulator array lets the compiler
+        // unroll and vectorize the inner loop across components.
+        match self.k {
+            8 => project_kernel::<8>(patch, &self.mean, &self.components_t),
+            12 => project_kernel::<12>(patch, &self.mean, &self.components_t),
+            16 => project_kernel::<16>(patch, &self.mean, &self.components_t),
+            k => {
+                let mut coords = vec![0.0f64; k];
+                for ((&p, &m), col) in patch
+                    .iter()
+                    .zip(&self.mean)
+                    .zip(self.components_t.chunks_exact(k))
+                {
+                    let centered = p as f64 - m;
+                    for (acc, &w) in coords.iter_mut().zip(col) {
+                        *acc += w * centered;
+                    }
+                }
+                coords
+            }
+        }
     }
 
     /// Reconstruction error of a patch from its projection (distance to
@@ -164,23 +257,22 @@ impl EigenSpace {
     #[must_use]
     pub fn distance_from_face_space(&self, patch: &[u8]) -> f64 {
         let coords = self.project_u8(patch);
-        let centered: Vec<f64> = patch
-            .iter()
-            .zip(&self.mean)
-            .map(|(&p, &m)| p as f64 - m)
-            .collect();
-        let mut recon = vec![0.0f64; DIM];
-        for (c, comp) in coords.iter().zip(&self.components) {
-            for (r, &v) in recon.iter_mut().zip(comp) {
-                *r += c * v;
+        let k = self.k;
+        let mut err = 0.0f64;
+        // Fused reconstruction + residual: recon_i is a c-ordered dot
+        // product, exactly as if accumulated component-by-component into
+        // a recon buffer; the squared residuals sum in pixel order.
+        for (i, (&p, &m)) in patch.iter().zip(&self.mean).enumerate() {
+            let centered = p as f64 - m;
+            let col = &self.components_t[i * k..(i + 1) * k];
+            let mut recon = 0.0f64;
+            for (&c, &w) in coords.iter().zip(col) {
+                recon += c * w;
             }
+            let d = centered - recon;
+            err += d * d;
         }
-        centered
-            .iter()
-            .zip(&recon)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        err.sqrt()
     }
 
     /// Classify a patch: nearest gallery template in subspace
@@ -188,6 +280,13 @@ impl EigenSpace {
     #[must_use]
     pub fn classify(&self, patch: &[u8]) -> Option<(usize, &str, f64)> {
         let coords = self.project_u8(patch);
+        self.classify_coords(&coords)
+    }
+
+    /// Classify already-projected coordinates (lets callers that also
+    /// need the projection compute it once).
+    #[must_use]
+    pub fn classify_coords(&self, coords: &[f64]) -> Option<(usize, &str, f64)> {
         let mut best: Option<(usize, f64)> = None;
         for (person, g) in &self.gallery_coords {
             let d: f64 = coords
@@ -204,21 +303,37 @@ impl EigenSpace {
     }
 }
 
-/// Dominant eigenpair of a symmetric matrix by power iteration.
-fn dominant_eigen(m: &[Vec<f64>], max_iter: usize, tol: f64) -> Option<(f64, Vec<f64>)> {
-    let n = m.len();
+/// Pixel-outer projection with a compile-time component count. Each
+/// accumulator sums in pixel order — bit-identical to the seed's
+/// per-component dot product — while the fixed-size array lets the
+/// compiler unroll and vectorize across the K independent chains.
+fn project_kernel<const K: usize>(patch: &[u8], mean: &[f64], components_t: &[f64]) -> Vec<f64> {
+    let mut acc = [0.0f64; K];
+    for ((&p, &m), col) in patch.iter().zip(mean).zip(components_t.chunks_exact(K)) {
+        let centered = p as f64 - m;
+        for j in 0..K {
+            acc[j] += col[j] * centered;
+        }
+    }
+    acc.to_vec()
+}
+
+/// Dominant eigenpair of a flat, symmetric `n×n` matrix by power
+/// iteration.
+fn dominant_eigen(m: &[f64], n: usize, max_iter: usize, tol: f64) -> Option<(f64, Vec<f64>)> {
     if n == 0 {
         return None;
     }
+    debug_assert_eq!(m.len(), n * n);
     // Deterministic pseudo-random start avoids unlucky orthogonality.
     let mut v: Vec<f64> = (0..n)
         .map(|i| 1.0 + (i as f64 * 0.618_034).fract())
         .collect();
     let mut eval = 0.0;
+    let mut next = vec![0.0f64; n];
     for _ in 0..max_iter {
-        let mut next = vec![0.0f64; n];
-        for (i, row) in m.iter().enumerate() {
-            next[i] = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+        for (x, row) in next.iter_mut().zip(m.chunks_exact(n)) {
+            *x = row.iter().zip(&v).map(|(a, b)| a * b).sum();
         }
         let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
         if norm < 1e-12 {
@@ -230,7 +345,7 @@ fn dominant_eigen(m: &[Vec<f64>], max_iter: usize, tol: f64) -> Option<(f64, Vec
         let new_eval = norm;
         let delta = (new_eval - eval).abs();
         eval = new_eval;
-        v = next;
+        std::mem::swap(&mut v, &mut next);
         if delta < tol * eval.max(1.0) {
             break;
         }
@@ -261,16 +376,23 @@ mod tests {
     #[test]
     fn components_are_orthonormal() {
         let s = space();
-        for i in 0..s.components.len() {
-            let ni: f64 = s.components[i].iter().map(|x| x * x).sum();
+        for i in 0..s.n_components() {
+            let ci = s.component(i);
+            let ni: f64 = ci.iter().map(|x| x * x).sum();
             assert!((ni - 1.0).abs() < 1e-6, "component {i} norm {ni}");
-            for j in (i + 1)..s.components.len() {
-                let dot: f64 = s.components[i]
-                    .iter()
-                    .zip(&s.components[j])
-                    .map(|(a, b)| a * b)
-                    .sum();
+            for j in (i + 1)..s.n_components() {
+                let dot: f64 = ci.iter().zip(s.component(j)).map(|(a, b)| a * b).sum();
                 assert!(dot.abs() < 1e-3, "components {i},{j} dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_basis_matches_row_major() {
+        let s = space();
+        for c in 0..s.n_components() {
+            for i in 0..DIM {
+                assert_eq!(s.components_t[i * s.k + c], s.component(c)[i]);
             }
         }
     }
@@ -352,5 +474,231 @@ mod tests {
     fn wrong_patch_size_panics() {
         let s = EigenSpace::train(&Gallery::standard(), 4, 1);
         let _ = s.project_u8(&[0u8; 10]);
+    }
+
+    /// The seed's nested-`Vec` implementation, kept verbatim as a test
+    /// oracle: the flat kernel must agree with it to the last bit.
+    mod seed_oracle {
+        use super::super::DIM;
+        use crate::face::gallery::Gallery;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        pub struct SeedEigenSpace {
+            pub mean: Vec<f64>,
+            pub components: Vec<Vec<f64>>,
+            pub gallery_coords: Vec<(usize, Vec<f64>)>,
+        }
+
+        pub fn train(
+            gallery: &Gallery,
+            n_components: usize,
+            jitter_per_face: usize,
+        ) -> SeedEigenSpace {
+            let mut rng = StdRng::seed_from_u64(0xE16E);
+            let mut samples: Vec<(usize, Vec<f64>)> = Vec::new();
+            for person in 0..gallery.len() {
+                let base: Vec<f64> = gallery.face(person).iter().map(|&p| p as f64).collect();
+                samples.push((person, base.clone()));
+                for _ in 0..jitter_per_face {
+                    let noisy: Vec<f64> = base
+                        .iter()
+                        .map(|&v| (v + rng.random_range(-8.0..8.0)).clamp(0.0, 255.0))
+                        .collect();
+                    samples.push((person, noisy));
+                }
+            }
+            let n = samples.len();
+            let mut mean = vec![0.0f64; DIM];
+            for (_, s) in &samples {
+                for (m, &v) in mean.iter_mut().zip(s) {
+                    *m += v;
+                }
+            }
+            for m in &mut mean {
+                *m /= n as f64;
+            }
+            let centered: Vec<Vec<f64>> = samples
+                .iter()
+                .map(|(_, s)| s.iter().zip(&mean).map(|(&v, &m)| v - m).collect())
+                .collect();
+            let mut gram = vec![vec![0.0f64; n]; n];
+            for i in 0..n {
+                for j in i..n {
+                    let dot: f64 = centered[i]
+                        .iter()
+                        .zip(&centered[j])
+                        .map(|(a, b)| a * b)
+                        .sum();
+                    gram[i][j] = dot;
+                    gram[j][i] = dot;
+                }
+            }
+            let mut components = Vec::with_capacity(n_components);
+            let mut deflated = gram;
+            for _ in 0..n_components {
+                let Some((eval, evec)) = dominant_eigen_nested(&deflated, 300, 1e-10) else {
+                    break;
+                };
+                if eval <= 1e-6 {
+                    break;
+                }
+                let mut u = vec![0.0f64; DIM];
+                for (i, &w) in evec.iter().enumerate() {
+                    for (x, &c) in u.iter_mut().zip(&centered[i]) {
+                        *x += w * c;
+                    }
+                }
+                let norm = u.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if norm < 1e-9 {
+                    break;
+                }
+                for x in &mut u {
+                    *x /= norm;
+                }
+                components.push(u);
+                for i in 0..n {
+                    for j in 0..n {
+                        deflated[i][j] -= eval * evec[i] * evec[j];
+                    }
+                }
+            }
+            let mut space = SeedEigenSpace {
+                mean,
+                components,
+                gallery_coords: Vec::new(),
+            };
+            space.gallery_coords = (0..gallery.len())
+                .map(|person| (person, project_u8(&space, gallery.face(person))))
+                .collect();
+            space
+        }
+
+        pub fn project_u8(s: &SeedEigenSpace, patch: &[u8]) -> Vec<f64> {
+            let centered: Vec<f64> = patch
+                .iter()
+                .zip(&s.mean)
+                .map(|(&p, &m)| p as f64 - m)
+                .collect();
+            s.components
+                .iter()
+                .map(|c| c.iter().zip(&centered).map(|(a, b)| a * b).sum())
+                .collect()
+        }
+
+        pub fn distance_from_face_space(s: &SeedEigenSpace, patch: &[u8]) -> f64 {
+            let coords = project_u8(s, patch);
+            let centered: Vec<f64> = patch
+                .iter()
+                .zip(&s.mean)
+                .map(|(&p, &m)| p as f64 - m)
+                .collect();
+            let mut recon = vec![0.0f64; DIM];
+            for (c, comp) in coords.iter().zip(&s.components) {
+                for (r, &v) in recon.iter_mut().zip(comp) {
+                    *r += c * v;
+                }
+            }
+            centered
+                .iter()
+                .zip(&recon)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt()
+        }
+
+        fn dominant_eigen_nested(
+            m: &[Vec<f64>],
+            max_iter: usize,
+            tol: f64,
+        ) -> Option<(f64, Vec<f64>)> {
+            let n = m.len();
+            if n == 0 {
+                return None;
+            }
+            let mut v: Vec<f64> = (0..n)
+                .map(|i| 1.0 + (i as f64 * 0.618_034).fract())
+                .collect();
+            let mut eval = 0.0;
+            for _ in 0..max_iter {
+                let mut next = vec![0.0f64; n];
+                for (i, row) in m.iter().enumerate() {
+                    next[i] = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+                }
+                let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if norm < 1e-12 {
+                    return None;
+                }
+                for x in &mut next {
+                    *x /= norm;
+                }
+                let new_eval = norm;
+                let delta = (new_eval - eval).abs();
+                eval = new_eval;
+                v = next;
+                if delta < tol * eval.max(1.0) {
+                    break;
+                }
+            }
+            Some((eval, v))
+        }
+    }
+
+    #[test]
+    fn flat_kernel_is_bit_identical_to_seed_implementation() {
+        let g = Gallery::standard();
+        let flat = EigenSpace::train(&g, 12, 3);
+        let seed = seed_oracle::train(&g, 12, 3);
+
+        assert_eq!(flat.n_components(), seed.components.len());
+        assert_eq!(flat.mean, seed.mean, "mean faces differ");
+        for c in 0..flat.n_components() {
+            assert_eq!(
+                flat.component(c),
+                &seed.components[c][..],
+                "component {c} differs"
+            );
+        }
+
+        // Projections, distances and classifications agree to the bit on
+        // every gallery fixture and on structured clutter.
+        let clutter: Vec<u8> = (0..DIM).map(|i| ((i % FACE_SIZE) * 7) as u8).collect();
+        let mut patches: Vec<Vec<u8>> = (0..g.len()).map(|p| g.face(p).to_vec()).collect();
+        patches.push(clutter);
+        for patch in &patches {
+            let a = flat.project_u8(patch);
+            let b = seed_oracle::project_u8(&seed, patch);
+            assert_eq!(a, b, "projection differs");
+            assert_eq!(
+                flat.distance_from_face_space(patch).to_bits(),
+                seed_oracle::distance_from_face_space(&seed, patch).to_bits(),
+                "face-space distance differs"
+            );
+        }
+        for (p, coords) in &seed.gallery_coords {
+            let (fp, fc) = &flat.gallery_coords[*p];
+            assert_eq!(fp, p);
+            assert_eq!(fc, coords, "gallery template {p} projected differently");
+        }
+    }
+
+    #[test]
+    fn train_shared_caches_per_key() {
+        let g = Gallery::standard();
+        let a = EigenSpace::train_shared(&g, 6, 1);
+        let b = EigenSpace::train_shared(&g, 6, 1);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "same gallery+params must share one trained subspace"
+        );
+        // Different parameters (or a different gallery) get their own.
+        let c = EigenSpace::train_shared(&g, 5, 1);
+        assert!(!Arc::ptr_eq(&a, &c));
+        let other = Gallery::generate(4, 0xBEEF);
+        let d = EigenSpace::train_shared(&other, 6, 1);
+        assert!(!Arc::ptr_eq(&a, &d));
+        // And the cached subspace behaves like a fresh one.
+        let fresh = EigenSpace::train(&g, 6, 1);
+        assert_eq!(a.project_u8(g.face(0)), fresh.project_u8(g.face(0)));
     }
 }

@@ -8,6 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::hash::{Hash, Hasher};
 
 /// Side length of a face patch in pixels.
 pub const FACE_SIZE: usize = 20;
@@ -67,6 +68,18 @@ impl Gallery {
     #[must_use]
     pub fn name(&self, id: usize) -> &str {
         &self.names[id]
+    }
+
+    /// Content hash of every template and name. Two galleries with the
+    /// same identities fingerprint identically, so per-process caches
+    /// (e.g. the trained eigenface subspace) can key on it instead of
+    /// comparing kilobytes of pixels.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.faces.hash(&mut h);
+        self.names.hash(&mut h);
+        h.finish()
     }
 }
 
@@ -129,6 +142,22 @@ mod tests {
     fn generation_is_deterministic() {
         assert_eq!(Gallery::generate(4, 9), Gallery::generate(4, 9));
         assert_ne!(Gallery::generate(4, 9), Gallery::generate(4, 10));
+    }
+
+    #[test]
+    fn fingerprint_tracks_contents() {
+        assert_eq!(
+            Gallery::generate(4, 9).fingerprint(),
+            Gallery::generate(4, 9).fingerprint()
+        );
+        assert_ne!(
+            Gallery::generate(4, 9).fingerprint(),
+            Gallery::generate(4, 10).fingerprint()
+        );
+        assert_ne!(
+            Gallery::generate(4, 9).fingerprint(),
+            Gallery::generate(5, 9).fingerprint()
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::face::eigen::EigenSpace;
 use crate::face::frame::{FrameGenerator, FRAME_W};
 use crate::face::gallery::{Gallery, FACE_SIZE};
 use crate::face::recognize::{recognize, Recognizer};
+use std::sync::Arc;
 use swing_core::unit::{Context, FunctionUnit, SinkUnit, SourceUnit};
 use swing_core::Tuple;
 use swing_runtime::registry::UnitRegistry;
@@ -125,25 +126,32 @@ impl FunctionUnit for DetectUnit {
 #[derive(Debug)]
 pub struct RecognizeUnit {
     recognizer: Recognizer,
-    eigen: Option<EigenSpace>,
+    /// Shared across every recognizer instance in the process: training
+    /// runs once per (gallery, parameters), not once per activation.
+    eigen: Option<Arc<EigenSpace>>,
+    /// Reused patch buffer for the alignment search (one allocation per
+    /// unit instead of one per candidate position).
+    patch: Vec<u8>,
 }
 
 impl RecognizeUnit {
-    /// Build from the app config (trains the eigenface subspace if that
-    /// method is selected — the stage's model-loading cost).
+    /// Build from the app config (loads the eigenface subspace from the
+    /// shared training cache if that method is selected, training it on
+    /// first activation only).
     #[must_use]
     pub fn new(config: &FaceAppConfig) -> Self {
         let eigen = match config.method {
             RecognitionMethod::Correlation => None,
-            RecognitionMethod::Eigenfaces => Some(EigenSpace::train(&config.gallery, 12, 3)),
+            RecognitionMethod::Eigenfaces => Some(EigenSpace::train_shared(&config.gallery, 12, 3)),
         };
         RecognizeUnit {
             recognizer: Recognizer::new(config.gallery.clone()),
             eigen,
+            patch: vec![0u8; FACE_SIZE * FACE_SIZE],
         }
     }
 
-    fn label_eigen(&self, frame: &[u8], detections: &[Detection]) -> String {
+    fn label_eigen(&mut self, frame: &[u8], detections: &[Detection]) -> String {
         let space = self.eigen.as_ref().expect("eigen method selected");
         let h = frame.len() / FRAME_W;
         let mut hits = Vec::new();
@@ -163,12 +171,11 @@ impl RecognizeUnit {
                         continue;
                     }
                     let (x, y) = (x as usize, y as usize);
-                    let mut patch = Vec::with_capacity(FACE_SIZE * FACE_SIZE);
-                    for row in 0..FACE_SIZE {
+                    for (row, out) in self.patch.chunks_exact_mut(FACE_SIZE).enumerate() {
                         let start = (y + row) * FRAME_W + x;
-                        patch.extend_from_slice(&frame[start..start + FACE_SIZE]);
+                        out.copy_from_slice(&frame[start..start + FACE_SIZE]);
                     }
-                    if let Some((person, name, dist)) = space.classify(&patch) {
+                    if let Some((person, name, dist)) = space.classify(&self.patch) {
                         let _ = person;
                         if best.map(|(_, _, bd, _, _)| dist < bd).unwrap_or(true) {
                             best = Some((person, name, dist, x, y));
@@ -251,13 +258,18 @@ impl<F: FnMut(&str) + Send> SinkUnit for DisplaySink<F> {
 
 /// Install all four face stages into a runtime registry ("each device
 /// downloads and installs the app", §IV-B step 1).
+///
+/// The config (which owns the gallery's kilobytes of templates) is put
+/// behind one `Arc` shared by every factory closure instead of being
+/// deep-cloned per stage.
 pub fn install(registry: &mut UnitRegistry, config: FaceAppConfig) {
-    let c1 = config.clone();
-    registry.register_source(STAGE_SOURCE, move || FrameSource::new(&c1));
-    let c2 = config.clone();
-    registry.register_operator(STAGE_DETECT, move || DetectUnit::new(&c2));
-    let c3 = config.clone();
-    registry.register_operator(STAGE_RECOGNIZE, move || RecognizeUnit::new(&c3));
+    let config = Arc::new(config);
+    let c = Arc::clone(&config);
+    registry.register_source(STAGE_SOURCE, move || FrameSource::new(&c));
+    let c = Arc::clone(&config);
+    registry.register_operator(STAGE_DETECT, move || DetectUnit::new(&c));
+    let c = Arc::clone(&config);
+    registry.register_operator(STAGE_RECOGNIZE, move || RecognizeUnit::new(&c));
     registry.register_sink(STAGE_DISPLAY, move || DisplaySink::new(|_| {}));
 }
 

@@ -66,9 +66,21 @@ fn bench_wire(c: &mut Criterion) {
     group.bench_function("encode_6kB_frame", |b| {
         b.iter(|| black_box(msg.encode()));
     });
+    group.bench_function("encode_into_reused_buffer", |b| {
+        let mut scratch = bytes::BytesMut::new();
+        b.iter(|| {
+            scratch.clear();
+            msg.encode_into(&mut scratch);
+            black_box(scratch.len())
+        });
+    });
     let bytes = msg.encode();
     group.bench_function("decode_6kB_frame", |b| {
         b.iter(|| black_box(Message::decode(black_box(&bytes)).unwrap()));
+    });
+    group.bench_function("decode_shared_6kB_frame", |b| {
+        let frame = swing_core::SharedBytes::copy_from_slice(&bytes);
+        b.iter(|| black_box(Message::decode_shared(black_box(&frame)).unwrap()));
     });
     group.finish();
 }

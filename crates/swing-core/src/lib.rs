@@ -60,6 +60,7 @@ pub mod dedup;
 pub mod error;
 pub mod estimator;
 pub mod graph;
+pub mod payload;
 pub mod rate;
 pub mod reorder;
 pub mod routing;
@@ -71,7 +72,8 @@ mod id;
 
 pub use error::{Error, Result};
 pub use id::{DeviceId, SeqNo, UnitId};
-pub use tuple::{Tuple, Value, ValueKind};
+pub use payload::SharedBytes;
+pub use tuple::{FieldKey, Tuple, Value, ValueKind};
 
 /// One second expressed in the microsecond timebase used across the crate.
 pub const SECOND_US: u64 = 1_000_000;

@@ -1,0 +1,290 @@
+//! Shared, cheaply-clonable byte buffers for tuple payloads.
+//!
+//! Video frames and audio segments dominate the data plane: a single
+//! captured frame is dispatched downstream, retained in the in-flight
+//! retransmission table until its ACK arrives, and possibly duplicated by
+//! the chaos fabric — three owners of the same pixels. [`SharedBytes`]
+//! lets all of them hold the *same* heap allocation behind an [`Arc`], so
+//! cloning a tuple costs a reference-count bump instead of a memcpy of
+//! the frame.
+//!
+//! A `SharedBytes` is a view (`start..start + len`) into its backing
+//! buffer, which makes zero-copy decoding possible: the network layer
+//! wraps a received frame once and hands out sub-slices of it as payload
+//! fields without copying (see `swing-net`'s `Message::decode_shared`).
+//!
+//! Ownership rule: the backing buffer is immutable from the moment a
+//! `SharedBytes` is constructed. There is deliberately no `&mut [u8]`
+//! accessor — mutation would be observable through every clone, including
+//! tuples already retained for retransmission. Build a new buffer instead.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer view.
+///
+/// Cloning is O(1) and never copies the underlying bytes. Equality and
+/// ordering compare the viewed bytes, not the backing allocation, so two
+/// views with equal contents compare equal regardless of provenance.
+pub struct SharedBytes {
+    buf: Arc<Vec<u8>>,
+    start: usize,
+    len: usize,
+}
+
+impl SharedBytes {
+    /// An empty buffer (no allocation is shared, but none is needed).
+    #[must_use]
+    pub fn new() -> Self {
+        SharedBytes {
+            buf: Arc::new(Vec::new()),
+            start: 0,
+            len: 0,
+        }
+    }
+
+    /// Wrap an owned vector without copying it.
+    #[must_use]
+    #[inline]
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        let len = v.len();
+        SharedBytes {
+            buf: Arc::new(v),
+            start: 0,
+            len,
+        }
+    }
+
+    /// Copy a slice into a fresh shared buffer.
+    #[must_use]
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        SharedBytes::from_vec(s.to_vec())
+    }
+
+    /// A sub-view of this buffer (`range` is relative to this view).
+    /// Shares the backing allocation — no bytes are copied.
+    ///
+    /// # Panics
+    /// Panics if `start + len` exceeds this view's length.
+    #[must_use]
+    #[inline]
+    pub fn slice(&self, start: usize, len: usize) -> Self {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len),
+            "slice {start}..{} out of bounds of view of length {}",
+            start + len,
+            self.len
+        );
+        SharedBytes {
+            buf: Arc::clone(&self.buf),
+            start: self.start + start,
+            len,
+        }
+    }
+
+    /// The viewed bytes.
+    #[must_use]
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..self.start + self.len]
+    }
+
+    /// Length of the view in bytes.
+    #[must_use]
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    #[must_use]
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of live views sharing this backing allocation.
+    ///
+    /// Diagnostic only (the count is racy under concurrent clones); used
+    /// by tests to assert that dispatch/retransmission/duplication share
+    /// one allocation instead of deep-copying.
+    #[must_use]
+    #[inline]
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.buf)
+    }
+
+    /// Whether `other` is a view into the same backing allocation.
+    #[must_use]
+    #[inline]
+    pub fn shares_allocation_with(&self, other: &SharedBytes) -> bool {
+        Arc::ptr_eq(&self.buf, &other.buf)
+    }
+}
+
+impl Clone for SharedBytes {
+    #[inline]
+    fn clone(&self) -> Self {
+        SharedBytes {
+            buf: Arc::clone(&self.buf),
+            start: self.start,
+            len: self.len,
+        }
+    }
+}
+
+impl Default for SharedBytes {
+    fn default() -> Self {
+        SharedBytes::new()
+    }
+}
+
+impl Deref for SharedBytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for SharedBytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for SharedBytes {
+    #[inline]
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for SharedBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SharedBytes {}
+
+impl PartialEq<[u8]> for SharedBytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for SharedBytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl fmt::Debug for SharedBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Frames are kilobytes; print shape, not contents.
+        write!(f, "SharedBytes({} bytes", self.len)?;
+        if self.start != 0 || self.len != self.buf.len() {
+            write!(
+                f,
+                " @{}..{} of {}",
+                self.start,
+                self.start + self.len,
+                self.buf.len()
+            )?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<u8>> for SharedBytes {
+    fn from(v: Vec<u8>) -> Self {
+        SharedBytes::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for SharedBytes {
+    fn from(s: &[u8]) -> Self {
+        SharedBytes::copy_from_slice(s)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for SharedBytes {
+    fn from(a: [u8; N]) -> Self {
+        SharedBytes::from_vec(a.to_vec())
+    }
+}
+
+impl FromIterator<u8> for SharedBytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        SharedBytes::from_vec(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_does_not_copy_and_clone_shares() {
+        let frame = vec![7u8; 6_000];
+        let a = SharedBytes::from_vec(frame);
+        assert_eq!(a.ref_count(), 1);
+        let b = a.clone();
+        assert_eq!(a.ref_count(), 2);
+        assert!(a.shares_allocation_with(&b));
+        assert_eq!(a, b);
+        drop(b);
+        assert_eq!(a.ref_count(), 1);
+    }
+
+    #[test]
+    fn slice_shares_backing_allocation() {
+        let a = SharedBytes::from_vec((0u8..100).collect());
+        let mid = a.slice(10, 20);
+        assert!(a.shares_allocation_with(&mid));
+        assert_eq!(&mid[..], &(10u8..30).collect::<Vec<_>>()[..]);
+        // Slicing a slice stays relative to the view.
+        let inner = mid.slice(5, 5);
+        assert_eq!(&inner[..], &[15, 16, 17, 18, 19]);
+        assert!(inner.shares_allocation_with(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let a = SharedBytes::from_vec(vec![0; 4]);
+        let _ = a.slice(2, 3);
+    }
+
+    #[test]
+    fn equality_is_by_contents_not_provenance() {
+        let a = SharedBytes::from_vec(vec![1, 2, 3]);
+        let b = SharedBytes::copy_from_slice(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert!(!a.shares_allocation_with(&b));
+        assert_eq!(a, vec![1, 2, 3]);
+        assert_eq!(a, *[1u8, 2, 3].as_slice());
+    }
+
+    #[test]
+    fn empty_views() {
+        let e = SharedBytes::new();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        let a = SharedBytes::from_vec(vec![1, 2]);
+        let tail = a.slice(2, 0);
+        assert!(tail.is_empty());
+    }
+
+    #[test]
+    fn debug_prints_shape_not_contents() {
+        let a = SharedBytes::from_vec(vec![0; 6000]);
+        assert_eq!(format!("{a:?}"), "SharedBytes(6000 bytes)");
+        let s = a.slice(100, 50);
+        assert_eq!(format!("{s:?}"), "SharedBytes(50 bytes @100..150 of 6000)");
+    }
+}

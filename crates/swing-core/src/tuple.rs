@@ -9,16 +9,24 @@
 //! attached when dispatching the tuple.
 
 use crate::error::{Error, Result};
+use crate::payload::SharedBytes;
 use crate::SeqNo;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A single named value inside a [`Tuple`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The two bulk variants ([`Value::Bytes`], [`Value::F32Vec`]) hold their
+/// data behind shared, reference-counted buffers, so cloning a `Value` —
+/// and therefore a [`Tuple`] — never copies a frame's pixels or a feature
+/// vector's floats. See [`crate::payload`] for the ownership rules.
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum Value {
     /// Raw bytes — e.g. an encoded video frame or audio segment.
-    Bytes(Vec<u8>),
+    /// Cheap to clone: the buffer is shared, not copied.
+    Bytes(SharedBytes),
     /// UTF-8 text — e.g. a recognized name or translated sentence.
     Str(String),
     /// A 64-bit signed integer.
@@ -26,7 +34,8 @@ pub enum Value {
     /// A 64-bit float.
     F64(f64),
     /// A vector of 32-bit floats — e.g. a feature vector.
-    F32Vec(Vec<f32>),
+    /// Cheap to clone: the storage is shared, not copied.
+    F32Vec(Arc<[f32]>),
     /// A boolean flag.
     Bool(bool),
 }
@@ -104,7 +113,17 @@ impl fmt::Display for ValueKind {
 
 impl From<Vec<u8>> for Value {
     fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(SharedBytes::from_vec(v))
+    }
+}
+impl From<SharedBytes> for Value {
+    fn from(v: SharedBytes) -> Self {
         Value::Bytes(v)
+    }
+}
+impl From<&[u8]> for Value {
+    fn from(v: &[u8]) -> Self {
+        Value::Bytes(SharedBytes::copy_from_slice(v))
     }
 }
 impl From<String> for Value {
@@ -129,6 +148,11 @@ impl From<f64> for Value {
 }
 impl From<Vec<f32>> for Value {
     fn from(v: Vec<f32>) -> Self {
+        Value::F32Vec(v.into())
+    }
+}
+impl From<Arc<[f32]>> for Value {
+    fn from(v: Arc<[f32]>) -> Self {
         Value::F32Vec(v)
     }
 }
@@ -138,18 +162,179 @@ impl From<bool> for Value {
     }
 }
 
+/// Longest field name stored inline in a [`FieldKey`].
+const INLINE_KEY: usize = 22;
+
+/// A field name. Names of up to [`INLINE_KEY`] bytes — every key the
+/// runtime and the apps use — are stored inline, so building, decoding
+/// and cloning tuples never allocates per field; longer names fall back
+/// to the heap.
+#[derive(Clone)]
+pub struct FieldKey(KeyRepr);
+
+#[derive(Clone)]
+enum KeyRepr {
+    Inline { len: u8, buf: [u8; INLINE_KEY] },
+    Heap(String),
+}
+
+impl FieldKey {
+    /// The name as a string slice.
+    #[must_use]
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            KeyRepr::Inline { len, buf } => std::str::from_utf8(&buf[..*len as usize])
+                .expect("inline keys are built from valid strings"),
+            KeyRepr::Heap(s) => s,
+        }
+    }
+
+    /// The raw name bytes. Comparisons go through this accessor: the
+    /// bytes are always valid UTF-8 by construction, so equality on
+    /// bytes equals equality on the string, without re-validating.
+    #[must_use]
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        match &self.0 {
+            KeyRepr::Inline { len, buf } => &buf[..*len as usize],
+            KeyRepr::Heap(s) => s.as_bytes(),
+        }
+    }
+
+    /// Build a key from raw name bytes, returning `None` when they are
+    /// not valid UTF-8. ASCII names — every key the runtime and apps
+    /// use — take a validation-free inline fast path; anything else
+    /// goes through full UTF-8 validation.
+    #[must_use]
+    #[inline]
+    pub fn try_from_bytes(raw: &[u8]) -> Option<FieldKey> {
+        if raw.len() <= INLINE_KEY && raw.iter().all(|&b| b < 0x80) {
+            let mut buf = [0u8; INLINE_KEY];
+            for (dst, &src) in buf.iter_mut().zip(raw) {
+                *dst = src;
+            }
+            return Some(FieldKey(KeyRepr::Inline {
+                len: raw.len() as u8,
+                buf,
+            }));
+        }
+        std::str::from_utf8(raw).ok().map(FieldKey::from)
+    }
+
+    /// Name length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            KeyRepr::Inline { len, .. } => *len as usize,
+            KeyRepr::Heap(s) => s.len(),
+        }
+    }
+
+    /// Whether the name is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<&str> for FieldKey {
+    #[inline]
+    fn from(s: &str) -> Self {
+        if s.len() <= INLINE_KEY {
+            let mut buf = [0u8; INLINE_KEY];
+            // An explicit loop: for these tiny lengths the compiler
+            // emits a handful of moves instead of a memcpy call.
+            for (dst, &src) in buf.iter_mut().zip(s.as_bytes()) {
+                *dst = src;
+            }
+            FieldKey(KeyRepr::Inline {
+                len: s.len() as u8,
+                buf,
+            })
+        } else {
+            FieldKey(KeyRepr::Heap(s.to_owned()))
+        }
+    }
+}
+
+impl From<String> for FieldKey {
+    #[inline]
+    fn from(s: String) -> Self {
+        if s.len() <= INLINE_KEY {
+            FieldKey::from(s.as_str())
+        } else {
+            FieldKey(KeyRepr::Heap(s))
+        }
+    }
+}
+
+impl From<&String> for FieldKey {
+    #[inline]
+    fn from(s: &String) -> Self {
+        FieldKey::from(s.as_str())
+    }
+}
+
+impl std::ops::Deref for FieldKey {
+    type Target = str;
+    #[inline]
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq for FieldKey {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl Eq for FieldKey {}
+
+impl std::hash::Hash for FieldKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl PartialEq<str> for FieldKey {
+    #[inline]
+    fn eq(&self, other: &str) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl std::fmt::Debug for FieldKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl std::fmt::Display for FieldKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A data tuple exchanged between function units.
 ///
 /// Fields are stored in insertion order; lookup is by key. Tuples are small
 /// (a handful of fields), so linear scans beat a hash map here.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+///
+/// Cloning a tuple copies its (short, inline — see [`FieldKey`]) field
+/// keys but *shares* bulk payloads — see [`Value`]. This is what makes
+/// retaining every dispatched tuple in the in-flight retransmission
+/// table affordable.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Tuple {
     seq: SeqNo,
     /// Microsecond timestamp attached by the dispatching upstream unit.
     /// Downstreams echo it back in their ACKs so the upstream can compute
     /// the tuple's end-to-end latency (paper §V-B).
     sent_at_us: u64,
-    fields: Vec<(String, Value)>,
+    fields: Vec<(FieldKey, Value)>,
 }
 
 impl Tuple {
@@ -161,6 +346,7 @@ impl Tuple {
 
     /// Create an empty tuple carrying the given sequence number.
     #[must_use]
+    #[inline]
     pub fn with_seq(seq: SeqNo) -> Self {
         Tuple {
             seq,
@@ -170,6 +356,7 @@ impl Tuple {
 
     /// The per-source sequence number.
     #[must_use]
+    #[inline]
     pub fn seq(&self) -> SeqNo {
         self.seq
     }
@@ -181,24 +368,34 @@ impl Tuple {
 
     /// The dispatch timestamp attached by the upstream, in microseconds.
     #[must_use]
+    #[inline]
     pub fn sent_at_us(&self) -> u64 {
         self.sent_at_us
     }
 
     /// Stamp the tuple with the dispatch time (done by the routing layer).
+    #[inline]
     pub fn stamp_sent(&mut self, now_us: u64) {
         self.sent_at_us = now_us;
     }
 
     /// Add or replace a field, builder style.
     #[must_use]
-    pub fn with(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+    pub fn with(mut self, key: impl Into<FieldKey>, value: impl Into<Value>) -> Self {
         self.set_value(key, value);
         self
     }
 
+    /// Reserve room for `additional` more fields. Decoders that know the
+    /// field count up front use this to build the tuple in one
+    /// allocation instead of growing it push by push.
+    #[inline]
+    pub fn reserve_fields(&mut self, additional: usize) {
+        self.fields.reserve(additional);
+    }
+
     /// Add or replace a field.
-    pub fn set_value(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+    pub fn set_value(&mut self, key: impl Into<FieldKey>, value: impl Into<Value>) {
         let key = key.into();
         let value = value.into();
         if let Some(slot) = self.fields.iter_mut().find(|(k, _)| *k == key) {
@@ -209,10 +406,11 @@ impl Tuple {
     }
 
     /// Look up a field by key.
+    #[inline]
     pub fn get_value(&self, key: &str) -> Result<&Value> {
         self.fields
             .iter()
-            .find(|(k, _)| k == key)
+            .find(|(k, _)| k.as_bytes() == key.as_bytes())
             .map(|(_, v)| v)
             .ok_or_else(|| Error::MissingField(key.to_owned()))
     }
@@ -220,7 +418,17 @@ impl Tuple {
     /// Look up a byte-array field (the paper's `(byte[]) data.getValue(..)`).
     pub fn bytes(&self, key: &str) -> Result<&[u8]> {
         match self.get_value(key)? {
-            Value::Bytes(b) => Ok(b),
+            Value::Bytes(b) => Ok(b.as_slice()),
+            other => Err(self.kind_mismatch(key, "bytes", other)),
+        }
+    }
+
+    /// Look up a byte-array field as a shared handle. The returned clone
+    /// shares the field's allocation (an O(1) refcount bump), so units can
+    /// forward a frame downstream without copying it.
+    pub fn bytes_shared(&self, key: &str) -> Result<SharedBytes> {
+        match self.get_value(key)? {
+            Value::Bytes(b) => Ok(b.clone()),
             other => Err(self.kind_mismatch(key, "bytes", other)),
         }
     }
@@ -267,14 +475,19 @@ impl Tuple {
 
     /// Remove a field, returning its value if present.
     pub fn remove(&mut self, key: &str) -> Option<Value> {
-        let idx = self.fields.iter().position(|(k, _)| k == key)?;
+        let idx = self
+            .fields
+            .iter()
+            .position(|(k, _)| k.as_bytes() == key.as_bytes())?;
         Some(self.fields.remove(idx).1)
     }
 
     /// Whether a field with this key exists.
     #[must_use]
     pub fn contains(&self, key: &str) -> bool {
-        self.fields.iter().any(|(k, _)| k == key)
+        self.fields
+            .iter()
+            .any(|(k, _)| k.as_bytes() == key.as_bytes())
     }
 
     /// Number of fields.

@@ -21,6 +21,24 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> NetResult<()> {
     Ok(())
 }
 
+/// Write one frame whose payload is split across several slices
+/// (gathered write). The length prefix covers the concatenation, so the
+/// receiver sees exactly one frame; a bulk payload can be written
+/// straight from its shared buffer without being copied into a
+/// contiguous staging area first.
+pub fn write_frame_parts<W: Write>(w: &mut W, parts: &[&[u8]]) -> NetResult<()> {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    if total > MAX_FRAME {
+        return Err(NetError::FrameTooLarge(total));
+    }
+    w.write_all(&(total as u32).to_be_bytes())?;
+    for part in parts {
+        w.write_all(part)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
 /// Read one length-prefixed frame. Returns [`NetError::Closed`] on a
 /// clean EOF at a frame boundary.
 pub fn read_frame<R: Read>(r: &mut R) -> NetResult<Vec<u8>> {

@@ -19,4 +19,4 @@ pub mod tcp;
 pub mod wire;
 
 pub use error::{NetError, NetResult};
-pub use wire::Message;
+pub use wire::{Message, WireSegment, SHARED_SEGMENT_MIN};

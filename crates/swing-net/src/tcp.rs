@@ -7,12 +7,14 @@
 //! [`MessageListener`] accepts incoming connections.
 
 use crate::error::NetResult;
-use crate::frame::{read_frame, write_frame};
-use crate::wire::Message;
+use crate::frame::{read_frame, write_frame_parts};
+use crate::wire::{Message, WireSegment};
+use bytes::BytesMut;
 use std::fmt;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+use swing_core::SharedBytes;
 
 /// A bidirectional framed message channel over TCP.
 ///
@@ -23,6 +25,11 @@ pub struct MessageStream {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     peer: SocketAddr,
+    /// Reused encode buffer: after a few sends it reaches the
+    /// connection's steady-state message size and stops allocating.
+    scratch: BytesMut,
+    /// Reused segment list for gathered writes.
+    segments: Vec<WireSegment>,
 }
 
 impl fmt::Debug for MessageStream {
@@ -44,6 +51,8 @@ impl MessageStream {
             reader,
             writer,
             peer,
+            scratch: BytesMut::new(),
+            segments: Vec::new(),
         })
     }
 
@@ -65,17 +74,33 @@ impl MessageStream {
         self.peer
     }
 
-    /// Send one message.
+    /// Send one message. Fixed-size fields are encoded into a buffer
+    /// reused across sends; bulk payloads (e.g. camera frames) are
+    /// written straight from the tuple's shared buffer via a gathered
+    /// write, so steady-state traffic neither allocates per message nor
+    /// copies pixel data.
     pub fn send(&mut self, msg: &Message) -> NetResult<()> {
-        write_frame(&mut self.writer, &msg.encode())
+        self.scratch.clear();
+        self.segments.clear();
+        msg.encode_segments(&mut self.scratch, &mut self.segments);
+        let parts: Vec<&[u8]> = self
+            .segments
+            .iter()
+            .map(|s| s.bytes(&self.scratch))
+            .collect();
+        write_frame_parts(&mut self.writer, &parts)
     }
 
     /// Receive the next message, blocking. Returns
     /// [`NetError::Closed`](crate::error::NetError::Closed) on clean
     /// shutdown.
+    ///
+    /// The frame is read into one shared buffer which the decoded
+    /// message's byte payloads borrow — a received video frame is never
+    /// copied after it leaves the socket.
     pub fn recv(&mut self) -> NetResult<Message> {
-        let payload = read_frame(&mut self.reader)?;
-        Message::decode(&payload)
+        let payload = SharedBytes::from_vec(read_frame(&mut self.reader)?);
+        Message::decode_shared(&payload)
     }
 
     /// Set a read timeout (None blocks forever). A timed-out `recv`

@@ -11,9 +11,9 @@
 //! encoding with explicit bounds checking. All integers are big-endian.
 
 use crate::error::{NetError, NetResult};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use swing_core::graph::StageId;
-use swing_core::{DeviceId, SeqNo, Tuple, UnitId, Value};
+use swing_core::{DeviceId, FieldKey, SeqNo, SharedBytes, Tuple, UnitId, Value};
 
 /// Protocol version carried in every message.
 pub const WIRE_VERSION: u8 = 1;
@@ -24,6 +24,49 @@ const MAGIC: u8 = 0x57; // 'W'
 /// Maximum accepted field / string length (guards against corrupt or
 /// hostile length prefixes).
 const MAX_CHUNK: usize = 64 * 1024 * 1024;
+
+/// Byte-array fields at least this large are emitted by
+/// [`Message::encode_segments`] as [`WireSegment::Shared`] references
+/// instead of being copied into the scratch buffer. Below this size the
+/// copy is cheaper than an extra vectored-write segment.
+pub const SHARED_SEGMENT_MIN: usize = 1024;
+
+/// One piece of a message encoded by [`Message::encode_segments`]:
+/// either a range of the caller's scratch buffer or a bulk payload
+/// written directly from the tuple's shared buffer (zero-copy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireSegment {
+    /// A byte range of the scratch buffer, relative to its start.
+    Scratch(std::ops::Range<usize>),
+    /// A payload borrowed from the tuple's shared buffer.
+    Shared(SharedBytes),
+}
+
+impl WireSegment {
+    /// Length of this segment in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            WireSegment::Scratch(r) => r.len(),
+            WireSegment::Shared(b) => b.len(),
+        }
+    }
+
+    /// Whether the segment is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The segment's bytes, resolving scratch ranges against `scratch`.
+    #[must_use]
+    pub fn bytes<'a>(&'a self, scratch: &'a [u8]) -> &'a [u8] {
+        match self {
+            WireSegment::Scratch(r) => &scratch[r.clone()],
+            WireSegment::Shared(b) => b.as_slice(),
+        }
+    }
+}
 
 /// Every message exchanged between Swing threads.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,10 +165,52 @@ pub enum Message {
 }
 
 impl Message {
+    /// Exact encoded size in bytes (header included, outer framing
+    /// excluded). [`encode`](Self::encode) uses this to size its buffer
+    /// in one allocation; transports use it to `reserve` before
+    /// [`encode_into`](Self::encode_into).
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        // magic + version + tag
+        let header = 3;
+        header
+            + match self {
+                Message::Data { tuple, .. } => 4 + 4 + tuple_encoded_len(tuple),
+                Message::Ack { .. } => 8 + 4 + 4 + 8 + 8,
+                Message::Join {
+                    name, listen_addr, ..
+                } => 4 + 2 + name.len() + 2 + listen_addr.len(),
+                Message::Activate { stage_name, .. } => 4 + 4 + 2 + stage_name.len(),
+                Message::Connect { addr, .. } => 4 + 4 + 2 + addr.len(),
+                Message::Start | Message::Stop | Message::Ping => 0,
+                Message::Ready { .. }
+                | Message::Leave { .. }
+                | Message::Pong { .. }
+                | Message::Welcome { .. } => 4,
+                Message::Disconnect { .. } => 4 + 4,
+            }
+    }
+
     /// Encode into a byte buffer (without any outer framing).
+    ///
+    /// Allocates an exactly-sized buffer. Transports that send many
+    /// messages should keep a scratch [`BytesMut`] and call
+    /// [`encode_into`](Self::encode_into) instead, reusing the
+    /// allocation across sends.
     #[must_use]
     pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(64);
+        let mut b = BytesMut::with_capacity(self.encoded_len());
+        self.encode_into(&mut b);
+        b.freeze()
+    }
+
+    /// Append this message's encoding to `b`, growing it at most once.
+    ///
+    /// The buffer is *not* cleared first: the caller owns the reuse
+    /// policy (`b.clear()` between messages keeps one steady-state
+    /// allocation for a whole connection).
+    pub fn encode_into(&self, b: &mut BytesMut) {
+        b.reserve(self.encoded_len());
         b.put_u8(MAGIC);
         b.put_u8(WIRE_VERSION);
         match self {
@@ -133,7 +218,7 @@ impl Message {
                 b.put_u8(1);
                 b.put_u32(dest.0);
                 b.put_u32(from.0);
-                encode_tuple(&mut b, tuple);
+                encode_tuple(b, tuple);
             }
             Message::Ack {
                 seq,
@@ -156,8 +241,8 @@ impl Message {
             } => {
                 b.put_u8(3);
                 b.put_u32(device.0);
-                put_str(&mut b, name);
-                put_str(&mut b, listen_addr);
+                put_str(b, name);
+                put_str(b, listen_addr);
             }
             Message::Activate {
                 unit,
@@ -167,7 +252,7 @@ impl Message {
                 b.put_u8(4);
                 b.put_u32(unit.0);
                 b.put_u32(stage.0);
-                put_str(&mut b, stage_name);
+                put_str(b, stage_name);
             }
             Message::Connect {
                 upstream,
@@ -177,7 +262,7 @@ impl Message {
                 b.put_u8(5);
                 b.put_u32(upstream.0);
                 b.put_u32(downstream.0);
-                put_str(&mut b, addr);
+                put_str(b, addr);
             }
             Message::Start => b.put_u8(6),
             Message::Stop => b.put_u8(7),
@@ -207,11 +292,76 @@ impl Message {
                 b.put_u32(downstream.0);
             }
         }
-        b.freeze()
+    }
+
+    /// Encode without copying bulk payloads: fixed-size fields land in
+    /// `scratch`, and byte-array fields of [`SHARED_SEGMENT_MIN`] bytes
+    /// or more are emitted as [`WireSegment::Shared`] references to the
+    /// tuple's own buffer. Concatenating the segments in order yields
+    /// exactly the bytes of [`encode`](Self::encode); transports write
+    /// them back to back, so a 6 kB camera frame goes from the sensing
+    /// tuple to the socket without an intermediate copy.
+    ///
+    /// Appends to both `scratch` and `segments` without clearing them;
+    /// scratch ranges are relative to the buffer's start.
+    pub fn encode_segments(&self, scratch: &mut BytesMut, segments: &mut Vec<WireSegment>) {
+        let Message::Data { dest, from, tuple } = self else {
+            // Control-plane messages are small: one scratch segment.
+            let start = scratch.len();
+            self.encode_into(scratch);
+            segments.push(WireSegment::Scratch(start..scratch.len()));
+            return;
+        };
+        let mut seg_start = scratch.len();
+        scratch.put_u8(MAGIC);
+        scratch.put_u8(WIRE_VERSION);
+        scratch.put_u8(1);
+        scratch.put_u32(dest.0);
+        scratch.put_u32(from.0);
+        scratch.put_u64(tuple.seq().0);
+        scratch.put_u64(tuple.sent_at_us());
+        scratch.put_u16(tuple.len() as u16);
+        for (key, value) in tuple.iter() {
+            put_str(scratch, key);
+            match value {
+                Value::Bytes(v) if v.len() >= SHARED_SEGMENT_MIN => {
+                    scratch.put_u8(1);
+                    scratch.put_u32(v.len() as u32);
+                    segments.push(WireSegment::Scratch(seg_start..scratch.len()));
+                    segments.push(WireSegment::Shared(v.clone()));
+                    seg_start = scratch.len();
+                }
+                other => encode_value(scratch, other),
+            }
+        }
+        if scratch.len() > seg_start {
+            segments.push(WireSegment::Scratch(seg_start..scratch.len()));
+        }
     }
 
     /// Decode a message previously produced by [`encode`](Self::encode).
-    pub fn decode(mut buf: &[u8]) -> NetResult<Message> {
+    ///
+    /// Bulk payload fields are copied out of `buf` (the caller keeps
+    /// ownership of it). When the whole frame is already in a
+    /// [`SharedBytes`], prefer [`decode_shared`](Self::decode_shared),
+    /// which borrows payloads from the frame instead of copying them.
+    pub fn decode(buf: &[u8]) -> NetResult<Message> {
+        Message::decode_inner(buf, None)
+    }
+
+    /// Decode a message, taking byte-array payloads as zero-copy
+    /// sub-views of `frame` instead of copying them out.
+    ///
+    /// This is the receive-path complement of cheap tuple clones: a
+    /// 6 kB video frame arriving over TCP is allocated once by the
+    /// framing layer and then flows through decode → executor dispatch →
+    /// in-flight retention without its pixels ever being copied again.
+    pub fn decode_shared(frame: &SharedBytes) -> NetResult<Message> {
+        Message::decode_inner(frame.as_slice(), Some(frame))
+    }
+
+    fn decode_inner(mut buf: &[u8], backing: Option<&SharedBytes>) -> NetResult<Message> {
+        let base = buf.as_ptr() as usize;
         let magic = get_u8(&mut buf)?;
         if magic != MAGIC {
             return Err(NetError::Malformed(format!("bad magic byte {magic:#x}")));
@@ -228,7 +378,7 @@ impl Message {
             1 => Message::Data {
                 dest: UnitId(get_u32(&mut buf)?),
                 from: UnitId(get_u32(&mut buf)?),
-                tuple: decode_tuple(&mut buf)?,
+                tuple: decode_tuple(&mut buf, backing, base)?,
             },
             2 => Message::Ack {
                 seq: SeqNo(get_u64(&mut buf)?),
@@ -283,77 +433,111 @@ impl Message {
     }
 }
 
+/// Exact on-wire size of a tuple (seq + timestamp + field count + fields).
+fn tuple_encoded_len(tuple: &Tuple) -> usize {
+    let mut n = 8 + 8 + 2;
+    for (key, value) in tuple.iter() {
+        n += 2 + key.len() + 1; // key prefix + key + kind tag
+        n += match value {
+            Value::Bytes(v) => 4 + v.len(),
+            Value::Str(s) => 4 + s.len(),
+            Value::I64(_) | Value::F64(_) => 8,
+            Value::F32Vec(v) => 4 + v.len() * 4,
+            Value::Bool(_) => 1,
+            #[allow(unreachable_patterns)]
+            _ => unreachable!("unknown Value variant"),
+        };
+    }
+    n
+}
+
 fn encode_tuple(b: &mut BytesMut, tuple: &Tuple) {
     b.put_u64(tuple.seq().0);
     b.put_u64(tuple.sent_at_us());
-    let fields: Vec<(&str, &Value)> = tuple.iter().collect();
-    b.put_u16(fields.len() as u16);
-    for (key, value) in fields {
+    b.put_u16(tuple.len() as u16);
+    for (key, value) in tuple.iter() {
         put_str(b, key);
-        match value {
-            Value::Bytes(v) => {
-                b.put_u8(1);
-                b.put_u32(v.len() as u32);
-                b.put_slice(v);
-            }
-            Value::Str(s) => {
-                b.put_u8(2);
-                put_long_str(b, s);
-            }
-            Value::I64(v) => {
-                b.put_u8(3);
-                b.put_i64(*v);
-            }
-            Value::F64(v) => {
-                b.put_u8(4);
-                b.put_f64(*v);
-            }
-            Value::F32Vec(v) => {
-                b.put_u8(5);
-                b.put_u32(v.len() as u32);
-                for x in v {
-                    b.put_f32(*x);
-                }
-            }
-            Value::Bool(v) => {
-                b.put_u8(6);
-                b.put_u8(u8::from(*v));
-            }
-            // `Value` is non_exhaustive for downstream users, but this
-            // crate always matches the full set.
-            #[allow(unreachable_patterns)]
-            _ => unreachable!("unknown Value variant"),
-        }
+        encode_value(b, value);
     }
 }
 
-fn decode_tuple(buf: &mut &[u8]) -> NetResult<Tuple> {
+/// Encode one field value, kind tag included.
+fn encode_value(b: &mut BytesMut, value: &Value) {
+    match value {
+        Value::Bytes(v) => {
+            b.put_u8(1);
+            b.put_u32(v.len() as u32);
+            b.put_slice(v.as_slice());
+        }
+        Value::Str(s) => {
+            b.put_u8(2);
+            put_long_str(b, s);
+        }
+        Value::I64(v) => {
+            b.put_u8(3);
+            b.put_i64(*v);
+        }
+        Value::F64(v) => {
+            b.put_u8(4);
+            b.put_f64(*v);
+        }
+        Value::F32Vec(v) => {
+            b.put_u8(5);
+            b.put_u32(v.len() as u32);
+            for x in v.iter() {
+                b.put_f32(*x);
+            }
+        }
+        Value::Bool(v) => {
+            b.put_u8(6);
+            b.put_u8(u8::from(*v));
+        }
+        // `Value` is non_exhaustive for downstream users, but this
+        // crate always matches the full set.
+        #[allow(unreachable_patterns)]
+        _ => unreachable!("unknown Value variant"),
+    }
+}
+
+/// Decode a tuple. With a `backing` frame, byte-array fields become
+/// zero-copy sub-views of it (`base` is the address of the frame's first
+/// byte, used to turn borrowed slices back into offsets).
+fn decode_tuple(buf: &mut &[u8], backing: Option<&SharedBytes>, base: usize) -> NetResult<Tuple> {
     let seq = SeqNo(get_u64(buf)?);
     let sent_at = get_u64(buf)?;
     let n = get_u16(buf)? as usize;
     let mut tuple = Tuple::with_seq(seq);
     tuple.stamp_sent(sent_at);
+    tuple.reserve_fields(n.min(256));
     for _ in 0..n {
-        let key = get_str(buf)?;
+        let key = get_key(buf)?;
         let kind = get_u8(buf)?;
         let value = match kind {
             1 => {
                 let len = get_len(buf)?;
-                Value::Bytes(get_bytes(buf, len)?.to_vec())
+                let raw = get_bytes(buf, len)?;
+                let payload = match backing {
+                    Some(frame) => frame.slice(raw.as_ptr() as usize - base, len),
+                    None => SharedBytes::copy_from_slice(raw),
+                };
+                Value::Bytes(payload)
             }
             2 => Value::Str(get_long_str(buf)?),
             3 => Value::I64(get_u64(buf)? as i64),
             4 => Value::F64(f64::from_bits(get_u64(buf)?)),
             5 => {
                 let len = get_len(buf)?;
-                if len.checked_mul(4).map(|b| b > MAX_CHUNK).unwrap_or(true) {
+                let Some(byte_len) = len.checked_mul(4).filter(|b| *b <= MAX_CHUNK) else {
                     return Err(NetError::Malformed("f32 vector too large".into()));
-                }
-                let mut v = Vec::with_capacity(len);
-                for _ in 0..len {
-                    v.push(f32::from_bits(get_u32(buf)?));
-                }
-                Value::F32Vec(v)
+                };
+                // One bounds check for the whole vector, then a
+                // fixed-stride loop the compiler can unroll.
+                let raw = get_bytes(buf, byte_len)?;
+                let v: Vec<f32> = raw
+                    .chunks_exact(4)
+                    .map(|c| f32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect();
+                Value::F32Vec(v.into())
             }
             6 => Value::Bool(get_u8(buf)? != 0),
             other => return Err(NetError::Malformed(format!("unknown value kind {other}"))),
@@ -374,64 +558,102 @@ fn put_long_str(b: &mut BytesMut, s: &str) {
     b.put_slice(s.as_bytes());
 }
 
+/// Truncation is the one error every hot read helper can hit; building
+/// its boxed message out of line keeps each helper down to a compare,
+/// a pointer bump, and a load.
+#[cold]
+#[inline(never)]
+fn short_message() -> NetError {
+    NetError::Malformed("unexpected end of message".into())
+}
+
+#[cold]
+#[inline(never)]
+fn invalid_utf8() -> NetError {
+    NetError::Malformed("string is not valid UTF-8".into())
+}
+
+#[cold]
+#[inline(never)]
+fn chunk_too_large(len: usize) -> NetError {
+    NetError::Malformed(format!("chunk of {len} bytes too large"))
+}
+
+/// Consume exactly `N` bytes as a fixed array — one bounds check, then
+/// a constant-size load the compiler turns into a single move.
+#[inline]
+fn get_array<const N: usize>(buf: &mut &[u8]) -> NetResult<[u8; N]> {
+    if buf.len() < N {
+        return Err(short_message());
+    }
+    let (head, tail) = buf.split_at(N);
+    *buf = tail;
+    Ok(head.try_into().expect("split_at returned N bytes"))
+}
+
+#[inline]
 fn get_u8(buf: &mut &[u8]) -> NetResult<u8> {
-    if buf.remaining() < 1 {
-        return Err(NetError::Malformed("unexpected end of message".into()));
-    }
-    Ok(buf.get_u8())
+    Ok(get_array::<1>(buf)?[0])
 }
 
+#[inline]
 fn get_u16(buf: &mut &[u8]) -> NetResult<u16> {
-    if buf.remaining() < 2 {
-        return Err(NetError::Malformed("unexpected end of message".into()));
-    }
-    Ok(buf.get_u16())
+    Ok(u16::from_be_bytes(get_array(buf)?))
 }
 
+#[inline]
 fn get_u32(buf: &mut &[u8]) -> NetResult<u32> {
-    if buf.remaining() < 4 {
-        return Err(NetError::Malformed("unexpected end of message".into()));
-    }
-    Ok(buf.get_u32())
+    Ok(u32::from_be_bytes(get_array(buf)?))
 }
 
+#[inline]
 fn get_u64(buf: &mut &[u8]) -> NetResult<u64> {
-    if buf.remaining() < 8 {
-        return Err(NetError::Malformed("unexpected end of message".into()));
-    }
-    Ok(buf.get_u64())
+    Ok(u64::from_be_bytes(get_array(buf)?))
 }
 
 fn get_len(buf: &mut &[u8]) -> NetResult<usize> {
     let len = get_u32(buf)? as usize;
     if len > MAX_CHUNK {
-        return Err(NetError::Malformed(format!(
-            "chunk of {len} bytes too large"
-        )));
+        return Err(chunk_too_large(len));
     }
     Ok(len)
 }
 
+#[inline]
 fn get_bytes<'a>(buf: &mut &'a [u8], len: usize) -> NetResult<&'a [u8]> {
-    if buf.remaining() < len {
-        return Err(NetError::Malformed("unexpected end of message".into()));
+    if buf.len() < len {
+        return Err(short_message());
     }
     let (head, tail) = buf.split_at(len);
     *buf = tail;
     Ok(head)
 }
 
-fn get_str(buf: &mut &[u8]) -> NetResult<String> {
+/// Read a field name, taking the ASCII inline fast path for the short
+/// keys every tuple actually carries.
+fn get_key(buf: &mut &[u8]) -> NetResult<FieldKey> {
     let len = get_u16(buf)? as usize;
     let raw = get_bytes(buf, len)?;
-    String::from_utf8(raw.to_vec())
-        .map_err(|_| NetError::Malformed("string is not valid UTF-8".into()))
+    FieldKey::try_from_bytes(raw).ok_or_else(invalid_utf8)
+}
+
+/// Borrow a short string from the buffer, validating UTF-8 in place.
+fn get_str_ref<'a>(buf: &mut &'a [u8]) -> NetResult<&'a str> {
+    let len = get_u16(buf)? as usize;
+    let raw = get_bytes(buf, len)?;
+    std::str::from_utf8(raw).map_err(|_| NetError::Malformed("string is not valid UTF-8".into()))
+}
+
+fn get_str(buf: &mut &[u8]) -> NetResult<String> {
+    // Validate in place, then copy exactly once into the String.
+    get_str_ref(buf).map(str::to_owned)
 }
 
 fn get_long_str(buf: &mut &[u8]) -> NetResult<String> {
     let len = get_len(buf)?;
     let raw = get_bytes(buf, len)?;
-    String::from_utf8(raw.to_vec())
+    std::str::from_utf8(raw)
+        .map(str::to_owned)
         .map_err(|_| NetError::Malformed("string is not valid UTF-8".into()))
 }
 
@@ -604,6 +826,184 @@ mod tests {
         .len();
         let diff = (actual as i64 - est as i64).unsigned_abs() as usize;
         assert!(diff < 64, "estimate {est} vs wire {actual}");
+    }
+
+    fn all_variant_samples() -> Vec<Message> {
+        let mut tuple = Tuple::with_seq(SeqNo(42))
+            .with("frame", vec![7u8; 6_000])
+            .with("label", "face-17")
+            .with("score", 0.93f64)
+            .with("features", vec![1.0f32, -2.5, 3.25])
+            .with("count", -9i64)
+            .with("valid", true);
+        tuple.stamp_sent(123_456_789);
+        vec![
+            Message::Data {
+                dest: UnitId(3),
+                from: UnitId(0),
+                tuple,
+            },
+            Message::Ack {
+                seq: SeqNo(7),
+                to: UnitId(1),
+                from: UnitId(2),
+                sent_at_us: 999,
+                processing_us: 81_000,
+            },
+            Message::Join {
+                device: DeviceId(4),
+                name: "Galaxy S".into(),
+                listen_addr: "127.0.0.1:45000".into(),
+            },
+            Message::Activate {
+                unit: UnitId(9),
+                stage: StageId(1),
+                stage_name: "detect".into(),
+            },
+            Message::Connect {
+                upstream: UnitId(1),
+                downstream: UnitId(9),
+                addr: "127.0.0.1:45001".into(),
+            },
+            Message::Start,
+            Message::Stop,
+            Message::Ready {
+                device: DeviceId(2),
+            },
+            Message::Leave {
+                device: DeviceId(2),
+            },
+            Message::Ping,
+            Message::Pong {
+                device: DeviceId(3),
+            },
+            Message::Welcome {
+                device: DeviceId(7),
+            },
+            Message::Disconnect {
+                upstream: UnitId(3),
+                downstream: UnitId(11),
+            },
+        ]
+    }
+
+    #[test]
+    fn encoded_len_is_exact_for_every_variant() {
+        for msg in all_variant_samples() {
+            assert_eq!(
+                msg.encode().len(),
+                msg.encoded_len(),
+                "encoded_len wrong for {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_into_reused_buffer_matches_encode() {
+        let mut scratch = BytesMut::with_capacity(16);
+        for msg in all_variant_samples() {
+            scratch.clear();
+            msg.encode_into(&mut scratch);
+            assert_eq!(&scratch[..], &msg.encode()[..]);
+            assert_eq!(Message::decode(&scratch).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn decode_shared_matches_decode_for_every_variant() {
+        for msg in all_variant_samples() {
+            let frame = SharedBytes::from_vec(msg.encode().to_vec());
+            assert_eq!(Message::decode_shared(&frame).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn decode_shared_borrows_payload_from_the_frame() {
+        let pixels = vec![9u8; 6_000];
+        let msg = Message::Data {
+            dest: UnitId(1),
+            from: UnitId(2),
+            tuple: Tuple::with_seq(SeqNo(5)).with("frame", pixels.clone()),
+        };
+        let frame = SharedBytes::from_vec(msg.encode().to_vec());
+        let decoded = Message::decode_shared(&frame).unwrap();
+        let Message::Data { tuple, .. } = decoded else {
+            panic!("wrong variant");
+        };
+        let payload = tuple.bytes_shared("frame").unwrap();
+        assert_eq!(payload.as_slice(), &pixels[..]);
+        assert!(
+            payload.shares_allocation_with(&frame),
+            "decode_shared must not copy byte payloads"
+        );
+        // Copying decode, by contrast, detaches from the frame.
+        let copied = Message::decode(&frame).unwrap();
+        let Message::Data { tuple, .. } = copied else {
+            panic!("wrong variant");
+        };
+        assert!(!tuple
+            .bytes_shared("frame")
+            .unwrap()
+            .shares_allocation_with(&frame));
+    }
+
+    #[test]
+    fn decode_shared_rejects_corruption_like_decode() {
+        let mut bytes = Message::Ping.encode().to_vec();
+        bytes.push(0);
+        assert!(Message::decode_shared(&SharedBytes::from_vec(bytes)).is_err());
+        let frame = SharedBytes::from_vec(vec![MAGIC, WIRE_VERSION, 200]);
+        assert!(Message::decode_shared(&frame).is_err());
+    }
+
+    #[test]
+    fn segments_concatenate_to_encode_for_every_variant() {
+        for msg in all_variant_samples() {
+            let mut scratch = BytesMut::new();
+            let mut segs = Vec::new();
+            msg.encode_segments(&mut scratch, &mut segs);
+            let mut flat = Vec::new();
+            for s in &segs {
+                flat.extend_from_slice(s.bytes(&scratch));
+            }
+            assert_eq!(flat, msg.encode().as_ref(), "variant {msg:?}");
+        }
+    }
+
+    #[test]
+    fn segment_encoding_borrows_large_payloads_and_inlines_small_ones() {
+        let frame = SharedBytes::from_vec(vec![9u8; 6_000]);
+        let msg = Message::Data {
+            dest: UnitId(1),
+            from: UnitId(0),
+            tuple: Tuple::with_seq(SeqNo(4))
+                .with("frame", frame.clone())
+                .with("thumb", vec![1u8; SHARED_SEGMENT_MIN - 1])
+                .with("cam", 7i64),
+        };
+        let mut scratch = BytesMut::new();
+        let mut segs = Vec::new();
+        msg.encode_segments(&mut scratch, &mut segs);
+        let shared: Vec<&SharedBytes> = segs
+            .iter()
+            .filter_map(|s| match s {
+                WireSegment::Shared(b) => Some(b),
+                WireSegment::Scratch(_) => None,
+            })
+            .collect();
+        assert_eq!(shared.len(), 1, "only the 6 kB frame crosses the threshold");
+        assert!(
+            shared[0].shares_allocation_with(&frame),
+            "large payload segment must borrow the tuple's buffer"
+        );
+        // Reuse without clearing: ranges stay relative to scratch start.
+        let first_len = scratch.len();
+        let mut segs2 = Vec::new();
+        msg.encode_segments(&mut scratch, &mut segs2);
+        match &segs2[0] {
+            WireSegment::Scratch(r) => assert_eq!(r.start, first_len),
+            other => panic!("expected scratch segment, got {other:?}"),
+        }
     }
 
     #[test]

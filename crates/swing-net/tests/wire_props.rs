@@ -117,4 +117,64 @@ proptest! {
             let _ = Message::decode(&bytes);
         }
     }
+
+    /// Encoding into a reused scratch buffer (the transport's fast path)
+    /// produces byte-for-byte the same wire image as the allocating
+    /// `encode`, for any message — including when the buffer arrives
+    /// dirty from a previous, differently-sized message.
+    #[test]
+    fn encode_into_reuse_matches_encode(first in arb_message(), second in arb_message()) {
+        let mut scratch = bytes::BytesMut::new();
+        first.encode_into(&mut scratch);
+        prop_assert_eq!(&scratch[..], &first.encode()[..]);
+        // Reuse for a second message of a different shape/size.
+        scratch.clear();
+        second.encode_into(&mut scratch);
+        prop_assert_eq!(&scratch[..], &second.encode()[..]);
+    }
+
+    /// `encoded_len` is exact for every message, so `encode` never
+    /// reallocates and transports can reserve precisely.
+    #[test]
+    fn encoded_len_is_exact(msg in arb_message()) {
+        prop_assert_eq!(msg.encode().len(), msg.encoded_len());
+    }
+
+    /// The zero-copy decoder is observationally identical to the
+    /// allocating one: same messages on valid input.
+    #[test]
+    fn decode_shared_matches_decode(msg in arb_message()) {
+        let frame = swing_core::SharedBytes::from_vec(msg.encode().to_vec());
+        let shared = Message::decode_shared(&frame).unwrap();
+        let copied = Message::decode(&frame).unwrap();
+        prop_assert_eq!(&shared, &copied);
+        prop_assert_eq!(shared, msg);
+    }
+
+    /// Segment encoding is a pure re-chunking: concatenating the
+    /// segments reproduces `encode()` byte for byte, for any message.
+    #[test]
+    fn segments_concatenate_to_encode(msg in arb_message()) {
+        let mut scratch = bytes::BytesMut::new();
+        let mut segs = Vec::new();
+        msg.encode_segments(&mut scratch, &mut segs);
+        let mut flat = Vec::new();
+        for s in &segs {
+            flat.extend_from_slice(s.bytes(&scratch));
+        }
+        prop_assert_eq!(&flat[..], &msg.encode()[..]);
+    }
+
+    /// ... and same rejections on corrupt input: neither decoder accepts
+    /// bytes the other refuses.
+    #[test]
+    fn decode_shared_rejects_what_decode_rejects(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let frame = swing_core::SharedBytes::from_vec(bytes.clone());
+        let shared = Message::decode_shared(&frame);
+        let copied = Message::decode(&bytes);
+        prop_assert_eq!(shared.is_ok(), copied.is_ok());
+        if let (Ok(a), Ok(b)) = (shared, copied) {
+            prop_assert_eq!(a, b);
+        }
+    }
 }

@@ -1040,4 +1040,57 @@ mod tests {
         out.handle_control(ExecMsg::RemoveDownstream { unit: UnitId(1) });
         assert_eq!(out.delivery.lost, 4);
     }
+
+    /// The zero-copy acceptance check for the data plane: dispatching a
+    /// tuple that carries a camera frame must not clone the pixel
+    /// buffer. The wire message and the retransmission table entry both
+    /// share the dispatcher's allocation, and ACKing releases exactly
+    /// one reference.
+    #[test]
+    fn dispatch_shares_frame_payload_with_wire_and_inflight() {
+        use swing_core::SharedBytes;
+
+        let probe = Arc::new(Mutex::new(None));
+        let mut out = Outbound::new(UnitId(0), &config(100.0), probe);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        out.handle_control(ExecMsg::AddDownstream {
+            unit: UnitId(1),
+            sender: tx,
+        });
+
+        let frame = SharedBytes::from_vec(vec![7u8; 6000]);
+        assert_eq!(frame.ref_count(), 1);
+        let mut t = Tuple::new().with("frame", frame.clone()).with("cam", 3i64);
+        t.set_seq(SeqNo(0));
+        out.dispatch(t);
+
+        // dispatch -> wire: the Message::Data on the channel borrows the
+        // same allocation, it does not own a copy.
+        let sent = match rx.try_recv().expect("tuple was dispatched") {
+            Message::Data { tuple, .. } => tuple,
+            other => panic!("unexpected message {other:?}"),
+        };
+        let on_wire = sent.bytes_shared("frame").unwrap();
+        assert!(
+            on_wire.shares_allocation_with(&frame),
+            "wire message must not copy the pixel buffer"
+        );
+
+        // dispatch -> retransmit: the inflight table retains another
+        // reference to the same buffer, not a deep copy. Exactly four
+        // handles exist: `frame`, the wire tuple, `on_wire`, inflight.
+        assert_eq!(
+            frame.ref_count(),
+            4,
+            "frame + wire tuple + on_wire + inflight"
+        );
+        let retained = out.inflight.ack(SeqNo(0)).expect("tuple was retained");
+        let in_table = retained.tuple.bytes_shared("frame").unwrap();
+        assert!(in_table.shares_allocation_with(&frame));
+
+        // ACK releases the table's reference; nothing leaked.
+        drop(retained);
+        drop(in_table);
+        assert_eq!(frame.ref_count(), 3, "ACK released the inflight copy");
+    }
 }
