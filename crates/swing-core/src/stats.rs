@@ -407,6 +407,12 @@ impl Reservoir {
         }
     }
 
+    /// The currently retained samples (unordered).
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
     /// Number of samples offered so far.
     #[must_use]
     pub fn seen(&self) -> u64 {

@@ -15,8 +15,10 @@ pub mod discovery;
 pub mod error;
 pub mod frame;
 pub mod link;
+pub mod metrics;
 pub mod tcp;
 pub mod wire;
 
 pub use error::{NetError, NetResult};
+pub use metrics::LinkMetrics;
 pub use wire::{Message, WireSegment, SHARED_SEGMENT_MIN};

@@ -1,0 +1,48 @@
+//! Per-link transport metrics.
+//!
+//! A [`LinkMetrics`] bundle is a set of retained telemetry handles for
+//! one connection: frame/byte counters in both directions plus
+//! wire-encode/decode time histograms, all labeled with the link's peer
+//! address. Attach one to a [`MessageStream`](crate::tcp::MessageStream)
+//! via [`set_metrics`](crate::tcp::MessageStream::set_metrics); streams
+//! without metrics pay nothing.
+
+use swing_telemetry::names as n;
+use swing_telemetry::{Counter, Histogram, Telemetry};
+
+/// Telemetry handles for one transport link.
+///
+/// Cloning shares the underlying metric cells, so a stream split into
+/// reader/writer halves keeps reporting into one set of series.
+#[derive(Clone, Debug)]
+pub struct LinkMetrics {
+    /// Frames written to the link.
+    pub frames_sent: Counter,
+    /// Frames read from the link.
+    pub frames_received: Counter,
+    /// Payload bytes written to the link.
+    pub bytes_sent: Counter,
+    /// Payload bytes read from the link.
+    pub bytes_received: Counter,
+    /// Wire-encode time per frame, microseconds.
+    pub encode_us: Histogram,
+    /// Wire-decode time per frame, microseconds.
+    pub decode_us: Histogram,
+}
+
+impl LinkMetrics {
+    /// Register the per-link series in `telemetry`, labeled
+    /// `link=<link>` (conventionally the peer address).
+    #[must_use]
+    pub fn new(telemetry: &Telemetry, link: &str) -> Self {
+        let labels: &[(&str, &str)] = &[(n::LABEL_LINK, link)];
+        LinkMetrics {
+            frames_sent: telemetry.counter(n::NET_FRAMES_SENT, labels),
+            frames_received: telemetry.counter(n::NET_FRAMES_RECEIVED, labels),
+            bytes_sent: telemetry.counter(n::NET_BYTES_SENT, labels),
+            bytes_received: telemetry.counter(n::NET_BYTES_RECEIVED, labels),
+            encode_us: telemetry.histogram(n::NET_ENCODE_US, labels),
+            decode_us: telemetry.histogram(n::NET_DECODE_US, labels),
+        }
+    }
+}

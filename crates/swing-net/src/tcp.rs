@@ -8,6 +8,7 @@
 
 use crate::error::NetResult;
 use crate::frame::{read_frame, write_frame_parts};
+use crate::metrics::LinkMetrics;
 use crate::wire::{Message, WireSegment};
 use bytes::BytesMut;
 use std::fmt;
@@ -30,6 +31,8 @@ pub struct MessageStream {
     scratch: BytesMut,
     /// Reused segment list for gathered writes.
     segments: Vec<WireSegment>,
+    /// Optional per-link telemetry; `None` costs nothing.
+    metrics: Option<LinkMetrics>,
 }
 
 impl fmt::Debug for MessageStream {
@@ -53,7 +56,14 @@ impl MessageStream {
             peer,
             scratch: BytesMut::new(),
             segments: Vec::new(),
+            metrics: None,
         })
+    }
+
+    /// Report this stream's traffic into the given per-link metrics
+    /// (frames/bytes in both directions, encode/decode time).
+    pub fn set_metrics(&mut self, metrics: LinkMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Connect to a listening peer.
@@ -80,6 +90,7 @@ impl MessageStream {
     /// write, so steady-state traffic neither allocates per message nor
     /// copies pixel data.
     pub fn send(&mut self, msg: &Message) -> NetResult<()> {
+        let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
         self.scratch.clear();
         self.segments.clear();
         msg.encode_segments(&mut self.scratch, &mut self.segments);
@@ -88,6 +99,11 @@ impl MessageStream {
             .iter()
             .map(|s| s.bytes(&self.scratch))
             .collect();
+        if let (Some(m), Some(t0)) = (&self.metrics, t0) {
+            m.encode_us.record_duration(t0.elapsed());
+            m.frames_sent.inc();
+            m.bytes_sent.add(parts.iter().map(|p| p.len() as u64).sum());
+        }
         write_frame_parts(&mut self.writer, &parts)
     }
 
@@ -100,7 +116,14 @@ impl MessageStream {
     /// copied after it leaves the socket.
     pub fn recv(&mut self) -> NetResult<Message> {
         let payload = SharedBytes::from_vec(read_frame(&mut self.reader)?);
-        Message::decode_shared(&payload)
+        let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
+        let msg = Message::decode_shared(&payload)?;
+        if let (Some(m), Some(t0)) = (&self.metrics, t0) {
+            m.decode_us.record_duration(t0.elapsed());
+            m.frames_received.inc();
+            m.bytes_received.add(payload.len() as u64);
+        }
+        Ok(msg)
     }
 
     /// Set a read timeout (None blocks forever). A timed-out `recv`
@@ -115,7 +138,11 @@ impl MessageStream {
     /// handle per direction in reader/writer threads).
     pub fn try_clone(&self) -> NetResult<Self> {
         let stream = self.reader.get_ref().try_clone()?;
-        MessageStream::new(stream)
+        let mut clone = MessageStream::new(stream)?;
+        if let Some(m) = &self.metrics {
+            clone.set_metrics(m.clone());
+        }
+        Ok(clone)
     }
 
     /// Shut down both directions; subsequent `recv` on the peer returns
@@ -210,6 +237,46 @@ mod tests {
             }
         );
         server.join().unwrap();
+    }
+
+    #[test]
+    fn link_metrics_count_frames_and_bytes_both_ways() {
+        use swing_telemetry::{names, Telemetry};
+
+        let telemetry = Telemetry::new();
+        let listener = MessageListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            let msg = conn.recv().unwrap();
+            conn.send(&msg).unwrap(); // echo
+        });
+        let mut client = MessageStream::connect(addr).unwrap();
+        client.set_metrics(crate::LinkMetrics::new(&telemetry, "test-link"));
+        client
+            .send(&Message::Data {
+                dest: UnitId(1),
+                from: UnitId(0),
+                tuple: Tuple::with_seq(SeqNo(0)).with("frame", vec![9u8; 2_000]),
+            })
+            .unwrap();
+        let _ = client.recv().unwrap();
+        server.join().unwrap();
+
+        let labels = &[(names::LABEL_LINK, "test-link")];
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter(names::NET_FRAMES_SENT, labels), 1);
+        assert_eq!(snap.counter(names::NET_FRAMES_RECEIVED, labels), 1);
+        assert!(snap.counter(names::NET_BYTES_SENT, labels) > 2_000);
+        assert!(snap.counter(names::NET_BYTES_RECEIVED, labels) > 2_000);
+        assert_eq!(
+            snap.histogram(names::NET_ENCODE_US, labels).unwrap().count,
+            1
+        );
+        assert_eq!(
+            snap.histogram(names::NET_DECODE_US, labels).unwrap().count,
+            1
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@ use swing_core::stats::Summary;
 use swing_core::unit::{Context, SinkUnit};
 use swing_core::{SeqNo, Tuple, UnitId};
 use swing_net::Message;
+use swing_telemetry::{Counter, Gauge, Histogram, Stage, Telemetry};
 
 /// Tuple field carrying the sensing timestamp end-to-end.
 pub const CREATED_US_FIELD: &str = "_created_us";
@@ -52,6 +53,11 @@ pub struct NodeConfig {
     pub reorder: ReorderConfig,
     /// ACK-deadline retransmission configuration.
     pub retry: RetryConfig,
+    /// Telemetry domain every executor on this node emits into.
+    pub telemetry: Telemetry,
+    /// `worker` label applied to this node's metrics (the worker's
+    /// human-readable name; set by the node layer on spawn).
+    pub worker_label: String,
 }
 
 impl Default for NodeConfig {
@@ -61,6 +67,8 @@ impl Default for NodeConfig {
             input_fps: 24.0,
             reorder: ReorderConfig::one_second(),
             retry: RetryConfig::default(),
+            telemetry: Telemetry::default(),
+            worker_label: "local".to_string(),
         }
     }
 }
@@ -275,6 +283,172 @@ struct PendingTuple {
     attempts: u32,
 }
 
+/// Per-downstream gauges, registered lazily as routes appear.
+struct RouteGauges {
+    latency_us: Gauge,
+    weight: Gauge,
+    selected: Gauge,
+}
+
+/// One executor's telemetry handles. Everything is registered once at
+/// construction (or on first sight of a downstream); after that every
+/// hot-path update is a single relaxed atomic operation on a retained
+/// handle — no locks, no allocation, no label formatting per tuple.
+struct ExecMetrics {
+    telemetry: Telemetry,
+    worker: String,
+    unit_label: String,
+    policy: &'static str,
+    unit_raw: u32,
+    sent: Counter,
+    acked: Counter,
+    retried: Counter,
+    duplicated: Counter,
+    lost: Counter,
+    queue_depth: Gauge,
+    ack_rtt_us: Histogram,
+    inflight_size: Gauge,
+    inflight_expired: Counter,
+    inflight_reclaimed: Counter,
+    selection_size: Gauge,
+    selection_changes: Counter,
+    probe_windows: Counter,
+    route_gauges: HashMap<UnitId, RouteGauges>,
+    /// Selection-set membership at the last published snapshot, for the
+    /// membership-change counter.
+    prev_selected: Vec<UnitId>,
+    /// Probe flag at the last published snapshot, for edge detection.
+    prev_probing: bool,
+}
+
+impl ExecMetrics {
+    fn new(me: UnitId, config: &NodeConfig) -> Self {
+        use swing_telemetry::names as n;
+        let telemetry = config.telemetry.clone();
+        let worker = config.worker_label.clone();
+        let unit_label = me.0.to_string();
+        let labels: &[(&str, &str)] = &[(n::LABEL_WORKER, &worker), (n::LABEL_UNIT, &unit_label)];
+        ExecMetrics {
+            sent: telemetry.counter(n::EXEC_SENT, labels),
+            acked: telemetry.counter(n::EXEC_ACKED, labels),
+            retried: telemetry.counter(n::EXEC_RETRIED, labels),
+            duplicated: telemetry.counter(n::EXEC_DUPLICATED, labels),
+            lost: telemetry.counter(n::EXEC_LOST, labels),
+            queue_depth: telemetry.gauge(n::EXEC_QUEUE_DEPTH, labels),
+            ack_rtt_us: telemetry.histogram(n::EXEC_ACK_RTT_US, labels),
+            inflight_size: telemetry.gauge(n::INFLIGHT_SIZE, labels),
+            inflight_expired: telemetry.counter(n::INFLIGHT_EXPIRED, labels),
+            inflight_reclaimed: telemetry.counter(n::INFLIGHT_RECLAIMED, labels),
+            selection_size: telemetry.gauge(n::EXEC_SELECTION_SIZE, labels),
+            selection_changes: telemetry.counter(n::EXEC_SELECTION_CHANGES, labels),
+            probe_windows: telemetry.counter(n::EXEC_PROBE_WINDOWS, labels),
+            route_gauges: HashMap::new(),
+            prev_selected: Vec::new(),
+            prev_probing: false,
+            policy: config.router.policy.name(),
+            unit_raw: me.0,
+            telemetry,
+            worker,
+            unit_label,
+        }
+    }
+
+    /// The delivery counters as one consistent-schema view. Each field
+    /// is read once from its atomic; the struct is the same shape the
+    /// registry snapshot exposes under the `swing_exec_*_total` names.
+    fn delivery(&self) -> DeliveryStats {
+        DeliveryStats {
+            sent: self.sent.get(),
+            acked: self.acked.get(),
+            retried: self.retried.get(),
+            duplicated: self.duplicated.get(),
+            lost: self.lost.get(),
+        }
+    }
+
+    /// Mirror a router snapshot into the per-downstream gauges, the
+    /// selection-set metrics, and the probe-window edge counter.
+    fn publish_router(&mut self, snap: &RouterSnapshot) {
+        use swing_telemetry::names as n;
+        for route in &snap.routes {
+            if !self.route_gauges.contains_key(&route.unit) {
+                let downstream = route.unit.0.to_string();
+                let labels: &[(&str, &str)] = &[
+                    (n::LABEL_WORKER, &self.worker),
+                    (n::LABEL_UNIT, &self.unit_label),
+                    (n::LABEL_DOWNSTREAM, &downstream),
+                ];
+                let gauges = RouteGauges {
+                    latency_us: self.telemetry.gauge(n::EXEC_LATENCY_ESTIMATE_US, labels),
+                    weight: self.telemetry.gauge(
+                        n::ROUTE_WEIGHT,
+                        &[
+                            (n::LABEL_WORKER, &self.worker),
+                            (n::LABEL_UNIT, &self.unit_label),
+                            (n::LABEL_DOWNSTREAM, &downstream),
+                            (n::LABEL_POLICY, self.policy),
+                        ],
+                    ),
+                    selected: self.telemetry.gauge(n::ROUTE_SELECTED, labels),
+                };
+                self.route_gauges.insert(route.unit, gauges);
+            }
+            let gauges = &self.route_gauges[&route.unit];
+            gauges.latency_us.set(route.latency_ms * 1_000.0);
+            gauges.weight.set(route.weight);
+            gauges.selected.set(if route.selected { 1.0 } else { 0.0 });
+        }
+        // A downstream that left keeps its last gauge values; zero the
+        // weight so scrapes don't show a stale route share.
+        for (unit, gauges) in &self.route_gauges {
+            if !snap.routes.iter().any(|r| r.unit == *unit) {
+                gauges.weight.set(0.0);
+                gauges.selected.set(0.0);
+            }
+        }
+
+        let mut selected: Vec<UnitId> = snap
+            .routes
+            .iter()
+            .filter(|r| r.selected)
+            .map(|r| r.unit)
+            .collect();
+        selected.sort_unstable();
+        self.selection_size.set_u64(selected.len() as u64);
+        if selected != self.prev_selected {
+            // Count units entering or leaving the selection set.
+            let changes = selected
+                .iter()
+                .filter(|u| !self.prev_selected.contains(u))
+                .count()
+                + self
+                    .prev_selected
+                    .iter()
+                    .filter(|u| !selected.contains(u))
+                    .count();
+            self.selection_changes.add(changes as u64);
+            self.prev_selected = selected;
+        }
+        if snap.probing && !self.prev_probing {
+            self.probe_windows.inc();
+        }
+        self.prev_probing = snap.probing;
+    }
+}
+
+/// Delivery counts accumulated locally on the dispatch hot path and
+/// flushed to the registry in [`Outbound::publish`]: one plain integer
+/// add per tuple instead of an atomic RMW, keeping telemetry inside the
+/// 5% dispatch-overhead budget.
+#[derive(Default)]
+struct LocalDelivery {
+    sent: u64,
+    acked: u64,
+    retried: u64,
+    duplicated: u64,
+    lost: u64,
+}
+
 /// Shared routing state of one executor.
 struct Outbound {
     me: UnitId,
@@ -289,9 +463,13 @@ struct Outbound {
     inflight: InflightTable,
     /// Per-upstream duplicate filters (receiver side).
     dedup: HashMap<UnitId, DedupWindow>,
-    delivery: DeliveryStats,
+    metrics: ExecMetrics,
+    /// Registry-pending delivery counts (see [`LocalDelivery`]).
+    local: LocalDelivery,
     probe: Arc<Mutex<Option<ExecProbe>>>,
     dispatched: u64,
+    /// Absolute time of the next periodic publish (see `maybe_publish`).
+    next_publish_us: u64,
 }
 
 impl Outbound {
@@ -306,20 +484,78 @@ impl Outbound {
             pending: VecDeque::new(),
             inflight: InflightTable::new(),
             dedup: HashMap::new(),
-            delivery: DeliveryStats::default(),
+            metrics: ExecMetrics::new(me, config),
+            local: LocalDelivery::default(),
             probe,
             dispatched: 0,
+            next_publish_us: 0,
+        }
+    }
+
+    /// The delivery counters: registry values plus whatever accumulated
+    /// locally since the last flush, so callers always see every event.
+    fn delivery(&self) -> DeliveryStats {
+        let mut d = self.metrics.delivery();
+        d.sent += self.local.sent;
+        d.acked += self.local.acked;
+        d.retried += self.local.retried;
+        d.duplicated += self.local.duplicated;
+        d.lost += self.local.lost;
+        d
+    }
+
+    /// Flush locally accumulated delivery counts into the registry.
+    /// Sent and retried flush before acked so a concurrent snapshot
+    /// (which reads `acked` first — the keys sort alphabetically) never
+    /// observes more ACKs than transmissions.
+    fn flush_delivery(&mut self) {
+        let l = &mut self.local;
+        if l.sent > 0 {
+            self.metrics.sent.add(std::mem::take(&mut l.sent));
+        }
+        if l.retried > 0 {
+            self.metrics.retried.add(std::mem::take(&mut l.retried));
+        }
+        if l.acked > 0 {
+            self.metrics.acked.add(std::mem::take(&mut l.acked));
+        }
+        if l.duplicated > 0 {
+            self.metrics
+                .duplicated
+                .add(std::mem::take(&mut l.duplicated));
+        }
+        if l.lost > 0 {
+            self.metrics.lost.add(std::mem::take(&mut l.lost));
         }
     }
 
     /// Publish the current routing table and delivery counters for
-    /// observers (every 64 dispatches, and whenever called explicitly).
+    /// observers (every 64 dispatches, and whenever called explicitly):
+    /// the delivery-count flush, the routing-table gauges, and the
+    /// probe slot refresh together.
     fn publish(&mut self) {
+        self.flush_delivery();
+        let now = now_us();
+        self.next_publish_us = now + 250_000;
+        let router = self.router.snapshot(now);
+        self.metrics.publish_router(&router);
+        self.metrics
+            .inflight_size
+            .set_u64(self.inflight.len() as u64);
         let snap = ExecProbe {
-            router: self.router.snapshot(now_us()),
-            delivery: self.delivery,
+            router,
+            delivery: self.delivery(),
         };
         *self.probe.lock() = Some(snap);
+    }
+
+    /// Publish if the 250 ms freshness deadline passed, so observers
+    /// see live counters even when the 64-dispatch cadence is too slow
+    /// (a lightly loaded operator never reaches it between scrapes).
+    fn maybe_publish(&mut self) {
+        if now_us() >= self.next_publish_us {
+            self.publish();
+        }
     }
 
     fn handle_control(&mut self, msg: ExecMsg) {
@@ -343,12 +579,19 @@ impl Outbound {
             }
             ExecMsg::Ack { seq, processing_us } => {
                 let sample = self.router.on_ack(seq, now_us(), processing_us);
-                if self.retry.enabled {
-                    if self.inflight.ack(seq).is_some() {
-                        self.delivery.acked += 1;
-                    }
-                } else if sample.is_some() {
-                    self.delivery.acked += 1;
+                let fresh = if self.retry.enabled {
+                    self.inflight.ack(seq).is_some()
+                } else {
+                    sample.is_some()
+                };
+                if fresh {
+                    self.local.acked += 1;
+                    self.metrics
+                        .telemetry
+                        .record_stage(seq.0, self.metrics.unit_raw, Stage::Acked);
+                }
+                if let Some(rtt_us) = sample {
+                    self.metrics.ack_rtt_us.record(rtt_us);
                 }
             }
             _ => {}
@@ -367,7 +610,7 @@ impl Outbound {
             .or_insert_with(|| DedupWindow::new(cap))
             .observe(seq);
         if !fresh {
-            self.delivery.duplicated += 1;
+            self.local.duplicated += 1;
         }
         fresh
     }
@@ -382,6 +625,7 @@ impl Outbound {
         // that the router no longer tracked (e.g. an entry whose ACK the
         // estimator already pruned as lost).
         let stragglers = self.inflight.take_orphans_of(unit);
+        self.metrics.inflight_reclaimed.add(stragglers.len() as u64);
         for (_, e) in stragglers {
             self.pending.push_back(PendingTuple {
                 tuple: e.tuple,
@@ -398,14 +642,16 @@ impl Outbound {
             return;
         }
         if self.retry.enabled {
-            for (_, e) in self.inflight.take_seqs(seqs) {
+            let reclaimed = self.inflight.take_seqs(seqs);
+            self.metrics.inflight_reclaimed.add(reclaimed.len() as u64);
+            for (_, e) in reclaimed {
                 self.pending.push_back(PendingTuple {
                     tuple: e.tuple,
                     attempts: e.attempts,
                 });
             }
         } else {
-            self.delivery.lost += seqs.len() as u64;
+            self.local.lost += seqs.len() as u64;
         }
     }
 
@@ -439,7 +685,7 @@ impl Outbound {
             let now = now_us();
             let Ok(dest) = self.router.route(now) else {
                 // No downstream left at all: the tuple has nowhere to go.
-                self.delivery.lost += 1;
+                self.local.lost += 1;
                 return None;
             };
             let Some(sender) = self.downstreams.get(&dest) else {
@@ -458,9 +704,19 @@ impl Outbound {
             }) {
                 Ok(()) => {
                     if p.attempts == 0 {
-                        self.delivery.sent += 1;
+                        self.local.sent += 1;
+                        self.metrics.telemetry.record_stage(
+                            p.tuple.seq().0,
+                            self.metrics.unit_raw,
+                            Stage::Dispatched,
+                        );
                     } else {
-                        self.delivery.retried += 1;
+                        self.local.retried += 1;
+                        self.metrics.telemetry.record_stage(
+                            p.tuple.seq().0,
+                            self.metrics.unit_raw,
+                            Stage::Retransmitted,
+                        );
                     }
                     if self.retry.enabled {
                         let latency = self
@@ -507,12 +763,13 @@ impl Outbound {
         let now = now_us();
         let expired = self.inflight.pop_expired(now);
         if !expired.is_empty() {
+            self.metrics.inflight_expired.add(expired.len() as u64);
             // Refresh weights/selection so the silent downstream's
             // pending-age latency floor steers the retry elsewhere.
             self.router.rebalance(now);
             for (_, e) in expired {
                 if e.attempts > self.retry.max_retries {
-                    self.delivery.lost += 1;
+                    self.local.lost += 1;
                 } else {
                     self.pending.push_back(PendingTuple {
                         tuple: e.tuple,
@@ -554,7 +811,7 @@ impl Outbound {
             }
             let leftovers = self.inflight.drain_all().len() + self.pending.len();
             self.pending.clear();
-            self.delivery.lost += leftovers as u64;
+            self.local.lost += leftovers as u64;
         }
         self.publish();
     }
@@ -609,6 +866,17 @@ fn run_source(
     probe: Arc<Mutex<Option<ExecProbe>>>,
 ) {
     let mut out = Outbound::new(unit, config, probe);
+    let sensed = {
+        use swing_telemetry::names as n;
+        let unit_label = unit.0.to_string();
+        config.telemetry.counter(
+            n::SOURCE_SENSED,
+            &[
+                (n::LABEL_WORKER, &config.worker_label),
+                (n::LABEL_UNIT, &unit_label),
+            ],
+        )
+    };
     // Wait for Start, absorbing topology control messages.
     loop {
         match rx.recv() {
@@ -620,6 +888,8 @@ fn run_source(
     let mut pacer = Pacer::new(config.input_fps, now_us());
     let mut seq = 0u64;
     loop {
+        out.metrics.queue_depth.set_u64(rx.len() as u64);
+        out.maybe_publish();
         // Sleep until the next frame (or ACK deadline) is due, staying
         // responsive to control traffic (ACKs, churn, stop).
         let due = pacer.next_due_us();
@@ -660,6 +930,8 @@ fn run_source(
             return;
         };
         tuple.set_seq(SeqNo(seq));
+        sensed.inc();
+        config.telemetry.record_stage(seq, unit.0, Stage::Sensed);
         seq += 1;
         if !tuple.contains(CREATED_US_FIELD) {
             tuple.set_value(CREATED_US_FIELD, now as i64);
@@ -679,6 +951,8 @@ fn run_operator(
     let mut out = Outbound::new(unit, config, probe);
     op.on_start();
     loop {
+        out.metrics.queue_depth.set_u64(rx.len() as u64);
+        out.maybe_publish();
         let timeout = {
             let base = Duration::from_millis(50);
             match out.next_wake_us() {
@@ -705,6 +979,9 @@ fn run_operator(
                     op.process_data(tuple, &mut ctx);
                 }
                 let processing = now_us() - t0;
+                config
+                    .telemetry
+                    .record_stage(seq.0, unit.0, Stage::Processed);
                 out.ack(from, seq, sent_at, processing);
                 for mut o in outputs {
                     // Results inherit the input's sequence number and
@@ -740,15 +1017,37 @@ fn run_sink(
 ) {
     let mut out = Outbound::new(unit, config, probe);
     let mut reorder: ReorderBuffer<Tuple> = ReorderBuffer::new(config.reorder);
-    let play = |tuple: Tuple, now: u64, meter: &SinkMeter, sink: &mut Box<dyn SinkUnit>| {
+    let (played_c, skipped_c, e2e_us) = {
+        use swing_telemetry::names as n;
+        let unit_label = unit.0.to_string();
+        let labels: &[(&str, &str)] = &[
+            (n::LABEL_WORKER, &config.worker_label),
+            (n::LABEL_UNIT, &unit_label),
+        ];
+        (
+            config.telemetry.counter(n::SINK_PLAYED, labels),
+            config.telemetry.counter(n::SINK_SKIPPED, labels),
+            config.telemetry.histogram(n::SINK_E2E_LATENCY_US, labels),
+        )
+    };
+    let telemetry = config.telemetry.clone();
+    let mut reported_skipped = 0u64;
+    let play = move |tuple: Tuple, now: u64, meter: &SinkMeter, sink: &mut Box<dyn SinkUnit>| {
         let latency_ms = tuple
             .i64(CREATED_US_FIELD)
             .ok()
             .map(|c| (now as i64 - c) as f64 / 1_000.0);
         meter.record(latency_ms, now);
+        played_c.inc();
+        if let Some(l) = latency_ms {
+            e2e_us.record((l.max(0.0) * 1_000.0) as u64);
+        }
+        telemetry.record_stage(tuple.seq().0, unit.0, Stage::Played);
         sink.consume(tuple, now);
     };
     loop {
+        out.metrics.queue_depth.set_u64(rx.len() as u64);
+        out.maybe_publish();
         match rx.recv_timeout(Duration::from_millis(50)) {
             Ok(ExecMsg::Data { from, tuple }) => {
                 let now = now_us();
@@ -771,6 +1070,9 @@ fn run_sink(
                 for played in reorder.poll(now) {
                     play(played.item, now, meter, &mut sink);
                 }
+                let s = reorder.skipped();
+                skipped_c.add(s - reported_skipped);
+                reported_skipped = s;
             }
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
         }
@@ -780,6 +1082,7 @@ fn run_sink(
         play(played.item, now, meter, &mut sink);
     }
     meter.set_skipped(reorder.skipped());
+    skipped_c.add(reorder.skipped() - reported_skipped);
     // Publish final delivery counters (duplicates seen at the sink).
     out.publish();
     let _ = unit;
@@ -798,6 +1101,7 @@ mod tests {
             input_fps: fps,
             reorder: ReorderConfig { span_us: 100_000 },
             retry: RetryConfig::default(),
+            ..NodeConfig::default()
         }
     }
 
@@ -954,8 +1258,8 @@ mod tests {
         out.dispatch(tuple(1));
         assert_eq!(out.pending.len(), 2, "tuples must be held, not dropped");
         assert_eq!(out.router.downstream_len(), 1, "route must not be evicted");
-        assert_eq!(out.delivery.sent, 0);
-        assert_eq!(out.delivery.lost, 0);
+        assert_eq!(out.delivery().sent, 0);
+        assert_eq!(out.delivery().lost, 0);
 
         // The connection lands: dispatch resumes in order.
         let (tx, rx) = crossbeam::channel::unbounded();
@@ -964,7 +1268,7 @@ mod tests {
             sender: tx,
         });
         assert!(out.pending.is_empty());
-        assert_eq!(out.delivery.sent, 2);
+        assert_eq!(out.delivery().sent, 2);
         let seqs: Vec<u64> = rx
             .try_iter()
             .map(|m| match m {
@@ -990,7 +1294,7 @@ mod tests {
         for i in 0..5 {
             out.dispatch(tuple(i));
         }
-        assert_eq!(out.delivery.sent, 5);
+        assert_eq!(out.delivery().sent, 5);
         assert_eq!(rx_a.try_iter().count(), 5);
         assert_eq!(out.inflight.len(), 5);
 
@@ -1011,8 +1315,8 @@ mod tests {
             .collect();
         resent.sort_unstable();
         assert_eq!(resent, vec![0, 1, 2, 3, 4]);
-        assert_eq!(out.delivery.retried, 5);
-        assert_eq!(out.delivery.lost, 0);
+        assert_eq!(out.delivery().retried, 5);
+        assert_eq!(out.delivery().lost, 0);
     }
 
     /// With retries disabled, eviction orphans are counted lost — the
@@ -1038,7 +1342,7 @@ mod tests {
             sender: tx_b,
         });
         out.handle_control(ExecMsg::RemoveDownstream { unit: UnitId(1) });
-        assert_eq!(out.delivery.lost, 4);
+        assert_eq!(out.delivery().lost, 4);
     }
 
     /// The zero-copy acceptance check for the data plane: dispatching a

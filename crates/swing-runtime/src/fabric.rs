@@ -16,7 +16,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use swing_net::tcp::{MessageListener, MessageStream};
-use swing_net::{Message, NetError, NetResult};
+use swing_net::{LinkMetrics, Message, NetError, NetResult};
+use swing_telemetry::Telemetry;
 
 /// Sending half of a message pipe.
 pub type MsgSender = Sender<Message>;
@@ -44,10 +45,26 @@ pub enum Fabric {
     /// Crossbeam channels inside one process.
     InProc(Arc<InProcNet>),
     /// Loopback TCP sockets (multi-thread or multi-process).
-    Tcp,
+    Tcp(Arc<TcpNet>),
     /// Any fabric wrapped in deterministic fault injection
     /// (see [`crate::chaos`]).
     Chaos(Arc<ChaosFabric>),
+}
+
+/// Shared state of the TCP fabric: the optional telemetry domain its
+/// links report per-link frame/byte/timing metrics into.
+#[derive(Debug, Default)]
+pub struct TcpNet {
+    telemetry: Mutex<Option<Telemetry>>,
+}
+
+impl TcpNet {
+    fn link_metrics(&self, link: &str) -> Option<LinkMetrics> {
+        self.telemetry
+            .lock()
+            .as_ref()
+            .map(|t| LinkMetrics::new(t, link))
+    }
 }
 
 /// An inner fabric plus the shared fault state its links consult.
@@ -67,7 +84,19 @@ impl Fabric {
     /// The TCP fabric.
     #[must_use]
     pub fn tcp() -> Self {
-        Fabric::Tcp
+        Fabric::Tcp(Arc::new(TcpNet::default()))
+    }
+
+    /// Report per-link transport metrics (frames, bytes, encode/decode
+    /// time) into `telemetry`. Affects links dialed or accepted after
+    /// the call; only the TCP fabric has wire traffic to measure, other
+    /// fabrics ignore this.
+    pub fn set_telemetry(&self, telemetry: &Telemetry) {
+        match self {
+            Fabric::InProc(_) => {}
+            Fabric::Tcp(net) => *net.telemetry.lock() = Some(telemetry.clone()),
+            Fabric::Chaos(net) => net.inner.set_telemetry(telemetry),
+        }
     }
 
     /// Wrap `inner` in deterministic fault injection driven by `plan`.
@@ -96,13 +125,14 @@ impl Fabric {
                 net.endpoints.lock().insert(addr.clone(), tx);
                 Ok((addr, rx))
             }
-            Fabric::Tcp => {
+            Fabric::Tcp(net) => {
                 let listener = MessageListener::bind("127.0.0.1:0")?;
                 let addr = listener.local_addr()?.to_string();
                 let (tx, rx) = unbounded();
+                let net = Arc::clone(net);
                 std::thread::Builder::new()
                     .name(format!("swing-accept-{addr}"))
-                    .spawn(move || accept_loop(listener, tx))
+                    .spawn(move || accept_loop(&listener, &tx, &net))
                     .expect("spawn accept thread");
                 Ok((addr, rx))
             }
@@ -123,8 +153,11 @@ impl Fabric {
                     format!("no in-proc endpoint at {addr}"),
                 ))
             }),
-            Fabric::Tcp => {
+            Fabric::Tcp(net) => {
                 let mut stream = MessageStream::connect(addr)?;
+                if let Some(m) = net.link_metrics(addr) {
+                    stream.set_metrics(m);
+                }
                 let (tx, rx) = unbounded::<Message>();
                 std::thread::Builder::new()
                     .name(format!("swing-dial-{addr}"))
@@ -153,11 +186,14 @@ impl Fabric {
 
 /// Accept connections forever, pumping each connection's messages into
 /// the shared inbox. Ends when the inbox is dropped.
-fn accept_loop(listener: MessageListener, inbox: MsgSender) {
+fn accept_loop(listener: &MessageListener, inbox: &MsgSender, net: &TcpNet) {
     loop {
         let Ok(mut conn) = listener.accept() else {
             return;
         };
+        if let Some(m) = net.link_metrics(&conn.peer_addr().to_string()) {
+            conn.set_metrics(m);
+        }
         let inbox = inbox.clone();
         let spawned = std::thread::Builder::new()
             .name("swing-conn-reader".into())

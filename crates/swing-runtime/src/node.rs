@@ -42,6 +42,9 @@ impl WorkerNode {
         config: NodeConfig,
     ) -> NetResult<WorkerNode> {
         let name = name.into();
+        // Metrics emitted by this node's executors carry its name.
+        let mut config = config;
+        config.worker_label.clone_from(&name);
         let (data_addr, inbox) = fabric.listen()?;
         // Keep a sender to our own inbox so `stop` can nudge the loop.
         let inbox_tx = fabric.dial(&data_addr)?;

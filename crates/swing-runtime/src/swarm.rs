@@ -47,6 +47,7 @@ use swing_core::config::{ReorderConfig, RetryConfig};
 use swing_core::graph::AppGraph;
 use swing_core::routing::{Policy, RouterConfig};
 use swing_net::{NetError, NetResult};
+use swing_telemetry::Telemetry;
 
 /// Per-unit delivery counters: `(worker name, unit, counters)`.
 pub type DeliveryByUnit = Vec<(String, swing_core::UnitId, DeliveryStats)>;
@@ -97,6 +98,16 @@ impl LocalSwarmBuilder {
     #[must_use]
     pub fn retry(mut self, retry: RetryConfig) -> Self {
         self.node_config.retry = retry;
+        self
+    }
+
+    /// Emit metrics into an externally owned [`Telemetry`] domain (e.g.
+    /// one scraped by an exporter). By default every swarm gets a fresh
+    /// domain, shared by all of its workers and reachable via
+    /// [`LocalSwarm::telemetry`].
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.node_config.telemetry = telemetry;
         self
     }
 
@@ -162,6 +173,8 @@ impl LocalSwarmBuilder {
             }
             None => (self.fabric, None),
         };
+        // TCP links report frames/bytes/timing into the swarm's domain.
+        fabric.set_telemetry(&self.node_config.telemetry);
         let master = Master::spawn(
             self.graph,
             MasterConfig {
@@ -229,6 +242,15 @@ impl LocalSwarm {
     #[must_use]
     pub fn chaos(&self) -> Option<&ChaosControl> {
         self.chaos.as_ref()
+    }
+
+    /// The telemetry domain every worker in this swarm emits into:
+    /// scrape it live with [`Telemetry::prometheus_text`] /
+    /// [`Telemetry::to_json`], or attach a
+    /// [`swing_telemetry::SnapshotExporter`].
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.node_config.telemetry
     }
 
     /// The dialable data address of the named worker (e.g. to target it
@@ -310,16 +332,15 @@ impl LocalSwarm {
     }
 
     /// Per-unit delivery counters across the whole swarm:
-    /// `(worker name, unit, stats)` for every unit that has published a
-    /// probe.
+    /// `(worker name, unit, stats)` for every executor on a live worker.
+    ///
+    /// Built from one [`Telemetry`] snapshot, so the five counters of
+    /// each unit are read in a single consistent pass — and, counters
+    /// being monotone atomics, a value observed here can never exceed
+    /// what the next call observes.
     pub fn delivery_stats(&self) -> DeliveryByUnit {
-        let mut out = Vec::new();
-        for node in &self.nodes {
-            for (unit, stats) in node.delivery_stats() {
-                out.push((node.name().to_owned(), unit, stats));
-            }
-        }
-        out
+        let live = self.worker_names();
+        delivery_from_snapshot(&self.node_config.telemetry.snapshot(), &live)
     }
 
     /// Swarm-wide delivery counters, merged over every unit.
@@ -343,19 +364,52 @@ impl LocalSwarm {
     pub fn stop_with_delivery(mut self) -> (Vec<(String, SinkReport)>, DeliveryByUnit) {
         self.master.stop();
         let mut reports = Vec::new();
-        let mut delivery = Vec::new();
         for node in &mut self.nodes {
             let meters = node.sink_meters();
             node.stop();
             for (_, meter) in meters {
                 reports.push((node.name().to_owned(), meter.report()));
             }
-            for (unit, stats) in node.delivery_stats() {
-                delivery.push((node.name().to_owned(), unit, stats));
-            }
         }
+        let delivery = self.delivery_stats();
         (reports, delivery)
     }
+}
+
+/// Group a registry snapshot's `swing_exec_*_total` counters back into
+/// per-unit [`DeliveryStats`], keeping only metrics of live workers (a
+/// killed worker's counters stay in the registry but no longer describe
+/// a running executor).
+fn delivery_from_snapshot(snap: &swing_telemetry::Snapshot, live: &[String]) -> DeliveryByUnit {
+    use std::collections::BTreeMap;
+    use swing_telemetry::names as n;
+    let mut map: BTreeMap<(String, u32), DeliveryStats> = BTreeMap::new();
+    {
+        let mut fill = |name: &str, pick: fn(&mut DeliveryStats) -> &mut u64| {
+            for (key, value) in snap.counters_named(name) {
+                let (Some(worker), Some(unit)) =
+                    (key.label(n::LABEL_WORKER), key.label(n::LABEL_UNIT))
+                else {
+                    continue;
+                };
+                let Ok(unit) = unit.parse::<u32>() else {
+                    continue;
+                };
+                if !live.iter().any(|w| w == worker) {
+                    continue;
+                }
+                *pick(map.entry((worker.to_string(), unit)).or_default()) += value;
+            }
+        };
+        fill(n::EXEC_SENT, |d| &mut d.sent);
+        fill(n::EXEC_ACKED, |d| &mut d.acked);
+        fill(n::EXEC_RETRIED, |d| &mut d.retried);
+        fill(n::EXEC_DUPLICATED, |d| &mut d.duplicated);
+        fill(n::EXEC_LOST, |d| &mut d.lost);
+    }
+    map.into_iter()
+        .map(|((worker, unit), stats)| (worker, swing_core::UnitId(unit), stats))
+        .collect()
 }
 
 #[cfg(test)]
@@ -430,6 +484,18 @@ mod tests {
             .start()
             .unwrap();
         swarm.run_for(Duration::from_millis(700));
+        // TCP links report into the swarm's telemetry domain.
+        let snap = swarm.telemetry().snapshot();
+        let frames = snap.counter_total(swing_telemetry::names::NET_FRAMES_SENT);
+        let bytes = snap.counter_total(swing_telemetry::names::NET_BYTES_SENT);
+        assert!(frames > 0, "no frames counted on the TCP links");
+        assert!(bytes > frames, "frames carry at least a header each");
+        assert!(
+            snap.histogram_total(swing_telemetry::names::NET_ENCODE_US)
+                .count
+                > 0,
+            "no encode timings recorded"
+        );
         let reports = swarm.stop();
         let total: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
         assert!(total > 20, "only {total} tuples consumed over TCP");
@@ -536,6 +602,69 @@ mod tests {
         let total: f64 = snap.routes.iter().map(|r| r.weight).sum();
         assert!((total - 1.0).abs() < 1e-6);
         assert!(snap.routes.iter().all(|r| r.acked > 0));
+        swarm.stop();
+    }
+
+    /// Regression test for the non-atomic delivery reads: every call to
+    /// `delivery_stats` is one consistent registry pass over monotone
+    /// counters, so no counter may ever be observed decreasing while
+    /// the swarm runs — and the distinct-ACK invariant
+    /// `acked <= sent + retried` holds within a single snapshot (an ACK
+    /// is only counted after its transmission was).
+    #[test]
+    fn delivery_stats_snapshots_are_monotone_and_consistent() {
+        let swarm = LocalSwarm::builder(pipeline_graph())
+            .policy(Policy::Lrs)
+            .input_fps(400.0)
+            .worker("A", registry(None))
+            .worker("B", registry(None))
+            .start()
+            .unwrap();
+        let mut prev = DeliveryStats::default();
+        for _ in 0..40 {
+            let total = swarm.delivery_totals();
+            assert!(total.sent >= prev.sent, "sent went backwards");
+            assert!(total.acked >= prev.acked, "acked went backwards");
+            assert!(total.retried >= prev.retried, "retried went backwards");
+            assert!(total.lost >= prev.lost, "lost went backwards");
+            assert!(
+                total.duplicated >= prev.duplicated,
+                "duplicated went backwards"
+            );
+            assert!(
+                total.acked <= total.sent + total.retried,
+                "acked {} outran transmissions {}+{}",
+                total.acked,
+                total.sent,
+                total.retried
+            );
+            prev = total;
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(prev.sent > 0, "the swarm never dispatched anything");
+        swarm.stop();
+    }
+
+    /// A killed worker's counters drop out of `delivery_stats` (they
+    /// stay in the registry but no longer describe a live executor),
+    /// while the survivors' keep accumulating.
+    #[test]
+    fn delivery_stats_exclude_killed_workers() {
+        let mut swarm = LocalSwarm::builder(pipeline_graph())
+            .policy(Policy::Lrs)
+            .input_fps(200.0)
+            .worker("A", registry(None))
+            .worker("B", registry(None))
+            .worker("C", registry(None))
+            .start()
+            .unwrap();
+        swarm.run_for(Duration::from_millis(300));
+        assert!(swarm.delivery_stats().iter().any(|(w, _, _)| w == "C"));
+        assert!(swarm.kill_worker("C"));
+        assert!(
+            swarm.delivery_stats().iter().all(|(w, _, _)| w != "C"),
+            "killed worker still reported"
+        );
         swarm.stop();
     }
 

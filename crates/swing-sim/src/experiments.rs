@@ -647,11 +647,11 @@ mod tests {
 
     #[test]
     fn resend_orphans_eliminates_leave_losses() {
-        let mk = |resend: bool| {
+        let mk = |resend: bool, seed: u64| {
             let mut config =
                 SwarmConfig::new(Workload::FaceRecognition, RouterConfig::new(Policy::Lrs));
             config.duration_us = 30 * SECOND_US;
-            config.seed = 5;
+            config.seed = seed;
             config.resend_orphans = resend;
             let workers = vec![
                 WorkerSpec::new(device("B")),
@@ -660,9 +660,20 @@ mod tests {
             ];
             Swarm::new(config, workers).run()
         };
-        let lossy = mk(false);
-        let reliable = mk(true);
-        assert!(lossy.lost > 0, "baseline lost nothing; scenario too easy");
+        // Whether the leave catches in-flight frames depends on the RNG
+        // draw sequence; scan for a seed where the lossy baseline does
+        // lose something, then compare resend against that same seed.
+        let (seed, lossy) = (1..=16)
+            .map(|s| (s, mk(false, s)))
+            .find(|(_, r)| r.lost > 0)
+            .expect("no seed in 1..=16 lost frames on leave");
+        let reliable = mk(true, seed);
+        assert!(
+            reliable.lost <= lossy.lost,
+            "resend lost more ({} > {})",
+            reliable.lost,
+            lossy.lost
+        );
         assert_eq!(reliable.lost, 0, "resend still lost {}", reliable.lost);
         // The re-sent frames actually completed (possibly after retry).
         let retried = reliable.frames.iter().filter(|f| f.retries > 0).count();

@@ -1,0 +1,643 @@
+//! Snapshot exporters: Prometheus text exposition and JSON.
+//!
+//! The JSON codec is hand-rolled (writer *and* reader) so snapshots can
+//! be exported, schema-checked, and re-imported for offline analysis
+//! without pulling a serialization dependency into the build. The
+//! format is stable and documented in DESIGN.md §Observability:
+//!
+//! ```json
+//! {
+//!   "counters":   [{"name": "...", "labels": {"k": "v"}, "value": 1}],
+//!   "gauges":     [{"name": "...", "labels": {}, "value": 1.5}],
+//!   "histograms": [{"name": "...", "labels": {}, "count": 2, "sum": 30,
+//!                   "min": 10, "max": 20, "p50": 10, "p95": 20, "p99": 20,
+//!                   "buckets": [[10, 1], [20, 1]]}]
+//! }
+//! ```
+//!
+//! `buckets` pairs are `[bucket_index, count]` in the log-linear scheme
+//! of [`crate::hist`]; `p50/p95/p99` are derived fields included for
+//! plotting convenience and ignored on import.
+
+use crate::hist::HistogramSnapshot;
+use crate::registry::{MetricKey, Snapshot};
+use crate::Telemetry;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Prometheus text format
+// ---------------------------------------------------------------------
+
+fn prom_escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn prom_labels(key: &MetricKey, extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = key
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+/// Counters and gauges map directly; histograms are rendered as
+/// summaries (`{quantile="0.5|0.95|0.99|1"}`, `_sum`, `_count`).
+#[must_use]
+pub fn prometheus_text(s: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_type_line = String::new();
+    let mut type_line = |out: &mut String, name: &str, kind: &str| {
+        let line = format!("# TYPE {name} {kind}\n");
+        if line != last_type_line {
+            out.push_str(&line);
+            last_type_line = line;
+        }
+    };
+    for (key, v) in &s.counters {
+        type_line(&mut out, &key.name, "counter");
+        let _ = writeln!(out, "{}{} {v}", key.name, prom_labels(key, None));
+    }
+    for (key, v) in &s.gauges {
+        type_line(&mut out, &key.name, "gauge");
+        let _ = writeln!(out, "{}{} {v}", key.name, prom_labels(key, None));
+    }
+    for (key, h) in &s.histograms {
+        type_line(&mut out, &key.name, "summary");
+        for (q, val) in [
+            ("0.5", h.p50()),
+            ("0.95", h.p95()),
+            ("0.99", h.p99()),
+            ("1", h.max),
+        ] {
+            let _ = writeln!(
+                out,
+                "{}{} {val}",
+                key.name,
+                prom_labels(key, Some(("quantile", q)))
+            );
+        }
+        let _ = writeln!(out, "{}_sum{} {}", key.name, prom_labels(key, None), h.sum);
+        let _ = writeln!(
+            out,
+            "{}_count{} {}",
+            key.name,
+            prom_labels(key, None),
+            h.count
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// JSON writer
+// ---------------------------------------------------------------------
+
+fn json_escape(out: &mut String, v: &str) {
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{}` on f64 prints the shortest string that round-trips.
+        let _ = write!(out, "{v}");
+        // Bare integers stay valid JSON numbers, nothing to fix up.
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn json_key_fields(out: &mut String, key: &MetricKey) {
+    out.push_str("\"name\": ");
+    json_escape(out, &key.name);
+    out.push_str(", \"labels\": {");
+    for (i, (k, v)) in key.labels.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        json_escape(out, k);
+        out.push_str(": ");
+        json_escape(out, v);
+    }
+    out.push('}');
+}
+
+/// Serialize a snapshot to the documented JSON schema.
+#[must_use]
+pub fn to_json(s: &Snapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": [");
+    for (i, (key, v)) in s.counters.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n    {" } else { "\n    {" });
+        json_key_fields(&mut out, key);
+        let _ = write!(out, ", \"value\": {v}}}");
+    }
+    out.push_str("\n  ],\n  \"gauges\": [");
+    for (i, (key, v)) in s.gauges.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n    {" } else { "\n    {" });
+        json_key_fields(&mut out, key);
+        out.push_str(", \"value\": ");
+        json_f64(&mut out, *v);
+        out.push('}');
+    }
+    out.push_str("\n  ],\n  \"histograms\": [");
+    for (i, (key, h)) in s.histograms.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n    {" } else { "\n    {" });
+        json_key_fields(&mut out, key);
+        let _ = write!(
+            out,
+            ", \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
+            h.count,
+            h.sum,
+            h.min,
+            h.max,
+            h.p50(),
+            h.p95(),
+            h.p99()
+        );
+        for (j, (idx, n)) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{idx}, {n}]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------
+// JSON reader (minimal recursive-descent parser)
+// ---------------------------------------------------------------------
+
+/// Error from [`from_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid snapshot JSON: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    /// The literal digits, converted on demand so `u64` stays exact.
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_u64(&self) -> Result<u64, JsonError> {
+        match self {
+            Json::Num(raw) => raw
+                .parse::<u64>()
+                .or_else(|_| raw.parse::<f64>().map(|f| f as u64))
+                .map_err(|_| JsonError(format!("expected integer, got {raw:?}"))),
+            other => Err(JsonError(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::Num(raw) => raw
+                .parse::<f64>()
+                .map_err(|_| JsonError(format!("bad number {raw:?}"))),
+            Json::Null => Ok(f64::NAN),
+            other => Err(JsonError(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(JsonError(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    fn as_arr(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(v) => Ok(v),
+            other => Err(JsonError(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    fn field<'a>(&'a self, name: &str) -> Result<&'a Json, JsonError> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| JsonError(format!("missing field {name:?}"))),
+            other => Err(JsonError(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'n') if self.literal("null") => Ok(Json::Null),
+            Some(b't') if self.literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Json::Bool(false)),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: take the whole code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if raw.is_empty() {
+            return Err(self.err("expected a number"));
+        }
+        Ok(Json::Num(raw.to_string()))
+    }
+}
+
+fn parse_key(obj: &Json) -> Result<MetricKey, JsonError> {
+    let name = obj.field("name")?.as_str()?.to_string();
+    let mut labels = Vec::new();
+    if let Json::Obj(fields) = obj.field("labels")? {
+        for (k, v) in fields {
+            labels.push((k.clone(), v.as_str()?.to_string()));
+        }
+    } else {
+        return Err(JsonError("labels must be an object".into()));
+    }
+    labels.sort();
+    Ok(MetricKey { name, labels })
+}
+
+/// Parse a snapshot previously produced by [`to_json`]. Derived fields
+/// (`p50`/`p95`/`p99`) are ignored; everything else round-trips.
+pub fn from_json(text: &str) -> Result<Snapshot, JsonError> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let root = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.err("trailing data"));
+    }
+
+    let mut snapshot = Snapshot::default();
+    for item in root.field("counters")?.as_arr()? {
+        snapshot
+            .counters
+            .push((parse_key(item)?, item.field("value")?.as_u64()?));
+    }
+    for item in root.field("gauges")?.as_arr()? {
+        snapshot
+            .gauges
+            .push((parse_key(item)?, item.field("value")?.as_f64()?));
+    }
+    for item in root.field("histograms")?.as_arr()? {
+        let mut buckets = Vec::new();
+        for pair in item.field("buckets")?.as_arr()? {
+            let pair = pair.as_arr()?;
+            if pair.len() != 2 {
+                return Err(JsonError("bucket pairs must be [index, count]".into()));
+            }
+            buckets.push((pair[0].as_u64()? as u32, pair[1].as_u64()?));
+        }
+        snapshot.histograms.push((
+            parse_key(item)?,
+            HistogramSnapshot {
+                count: item.field("count")?.as_u64()?,
+                sum: item.field("sum")?.as_u64()?,
+                min: item.field("min")?.as_u64()?,
+                max: item.field("max")?.as_u64()?,
+                buckets,
+            },
+        ));
+    }
+    Ok(snapshot)
+}
+
+// ---------------------------------------------------------------------
+// Interval exporter
+// ---------------------------------------------------------------------
+
+/// Background thread that snapshots a [`Telemetry`] handle on a fixed
+/// interval and hands each snapshot to a sink. One final snapshot is
+/// always delivered on `stop`/drop, so short runs still export.
+pub struct SnapshotExporter {
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for SnapshotExporter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotExporter").finish_non_exhaustive()
+    }
+}
+
+impl SnapshotExporter {
+    /// Start exporting `telemetry` every `interval`.
+    #[must_use]
+    pub fn spawn(
+        telemetry: Telemetry,
+        interval: Duration,
+        mut sink: impl FnMut(&Snapshot) + Send + 'static,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("telemetry-export".into())
+            .spawn(move || {
+                // Poll the stop flag at a finer grain than the export
+                // interval so stop() never waits a whole interval.
+                let tick = interval
+                    .min(Duration::from_millis(20))
+                    .max(Duration::from_millis(1));
+                let mut elapsed = Duration::ZERO;
+                while !stop_flag.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    elapsed += tick;
+                    if elapsed >= interval {
+                        elapsed = Duration::ZERO;
+                        sink(&telemetry.snapshot());
+                    }
+                }
+                sink(&telemetry.snapshot());
+            })
+            .expect("spawn telemetry exporter");
+        SnapshotExporter {
+            stop,
+            join: Some(join),
+        }
+    }
+
+    /// Stop the exporter, delivering one final snapshot first.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for SnapshotExporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use std::sync::Mutex;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.counter("swing_exec_sent_total", &[("unit", "1"), ("worker", "w0")])
+            .add(42);
+        r.gauge("swing_exec_queue_depth", &[("worker", "w0")])
+            .set(3.5);
+        let h = r.histogram("swing_net_encode_us", &[("link", "w0")]);
+        for v in [10, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = prometheus_text(&sample());
+        assert!(text.contains("# TYPE swing_exec_sent_total counter"));
+        assert!(text.contains("swing_exec_sent_total{unit=\"1\",worker=\"w0\"} 42"));
+        assert!(text.contains("# TYPE swing_exec_queue_depth gauge"));
+        assert!(text.contains("swing_exec_queue_depth{worker=\"w0\"} 3.5"));
+        assert!(text.contains("# TYPE swing_net_encode_us summary"));
+        assert!(text.contains("swing_net_encode_us{link=\"w0\",quantile=\"0.5\"}"));
+        assert!(text.contains("swing_net_encode_us_count{link=\"w0\"} 5"));
+        assert!(text.contains("swing_net_encode_us_sum{link=\"w0\"} 1100"));
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let s = sample();
+        let parsed = from_json(&to_json(&s)).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn json_escapes_awkward_labels() {
+        let r = Registry::new();
+        r.counter("m", &[("path", "a\\b\"c\nd\ttab")]).inc();
+        let s = r.snapshot();
+        let parsed = from_json(&to_json(&s)).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(from_json("").is_err());
+        assert!(from_json("{").is_err());
+        assert!(from_json("{\"counters\": 3}").is_err());
+        assert!(from_json("[1, 2, 3]").is_err());
+        assert!(from_json("{\"counters\": [], \"gauges\": [], \"histograms\": []} x").is_err());
+    }
+
+    #[test]
+    fn exporter_delivers_final_snapshot_on_stop() {
+        let telemetry = Telemetry::new();
+        telemetry.counter("ticks", &[]).add(7);
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_seen = Arc::clone(&seen);
+        let exporter = SnapshotExporter::spawn(
+            telemetry.clone(),
+            Duration::from_secs(3600), // never fires on its own
+            move |s| sink_seen.lock().unwrap().push(s.counter("ticks", &[])),
+        );
+        exporter.stop();
+        assert_eq!(seen.lock().unwrap().as_slice(), &[7]);
+    }
+}

@@ -1,0 +1,352 @@
+//! Log-linear latency histogram with lock-free recording and mergeable
+//! snapshots.
+//!
+//! Values (typically microseconds) are binned HDR-style: 32 linear
+//! sub-buckets per power-of-two range, so every bucket's width is at
+//! most 1/32 ≈ 3.1% of its lower bound. Recording is three relaxed
+//! atomic adds plus a min/max update — no locks, no allocation — which
+//! keeps it safe for the per-tuple dispatch path. Snapshots are sparse
+//! (populated buckets only), exactly mergeable (bucket-wise addition,
+//! so merge order never changes the result), and cheap to serialize.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Linear sub-buckets per power-of-two range.
+const SUB_BUCKETS: u64 = 32;
+/// `log2(SUB_BUCKETS)`.
+const SUB_SHIFT: u32 = 5;
+/// Total bucket count covering all of `u64`:
+/// 32 unit-width buckets for values `< 32`, then 32 buckets for each of
+/// the 59 remaining octaves `[2^k, 2^(k+1))`, `k = 5..=63`.
+const BUCKETS: usize = (SUB_BUCKETS as usize) * 60;
+
+/// Bucket index for a recorded value.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros(); // floor(log2 v), >= SUB_SHIFT
+        let sub = (v >> (exp - SUB_SHIFT)) - SUB_BUCKETS; // 0..32
+        ((exp - SUB_SHIFT + 1) as usize) * SUB_BUCKETS as usize + sub as usize
+    }
+}
+
+/// Smallest value that lands in bucket `index`.
+#[inline]
+fn bucket_low(index: usize) -> u64 {
+    let octave = index as u64 / SUB_BUCKETS;
+    let sub = index as u64 % SUB_BUCKETS;
+    if octave == 0 {
+        sub
+    } else {
+        (SUB_BUCKETS + sub) << (octave - 1)
+    }
+}
+
+/// Largest value that lands in bucket `index`.
+#[inline]
+fn bucket_high(index: usize) -> u64 {
+    if index + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_low(index + 1) - 1
+    }
+}
+
+/// Representative value reported for bucket `index` (its midpoint).
+#[inline]
+fn bucket_mid(index: usize) -> u64 {
+    let low = bucket_low(index);
+    // Avoid overflow near u64::MAX; width is low/32 at most.
+    low + (bucket_high(index) - low) / 2
+}
+
+struct HistCore {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A shared, lock-free histogram handle. Cloning is a refcount bump;
+/// all clones record into the same buckets.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistCore>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.core.sum.load(Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            core: Arc::new(HistCore {
+                buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one value. Lock-free and allocation-free: two atomic adds
+    /// in the steady state. The recorded count is carried by the bucket
+    /// cells themselves, and min/max take the RMW only when the racy
+    /// early-out says the extreme actually moved — min only ever
+    /// decreases, so observing `v >= min` proves no update is needed
+    /// (and symmetrically for max).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let c = &self.core;
+        c.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        c.sum.fetch_add(v, Relaxed);
+        if v < c.min.load(Relaxed) {
+            c.min.fetch_min(v, Relaxed);
+        }
+        if v > c.max.load(Relaxed) {
+            c.max.fetch_max(v, Relaxed);
+        }
+    }
+
+    /// Record a `Duration` in microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Number of recorded values (one pass over the bucket cells).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.core.buckets.iter().map(|b| b.load(Relaxed)).sum()
+    }
+
+    /// Capture a snapshot. Concurrent `record`s may or may not be
+    /// included, but every value recorded before the snapshot started
+    /// is; bucket counts never decrease between successive snapshots.
+    /// `count` is computed from the same bucket loads, so it always
+    /// equals the snapshot's bucket total.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &self.core;
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (i, b) in c.buckets.iter().enumerate() {
+            let n = b.load(Relaxed);
+            if n > 0 {
+                buckets.push((i as u32, n));
+                count += n;
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: c.sum.load(Relaxed),
+            min: c.min.load(Relaxed),
+            max: c.max.load(Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// An immutable, mergeable view of a [`Histogram`].
+///
+/// `buckets` holds `(bucket_index, count)` pairs sorted by index, with
+/// zero-count buckets omitted. Merging adds counts bucket-wise, which
+/// makes merge exactly associative and commutative.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// `u64::MAX` when empty.
+    pub min: u64,
+    pub max: u64,
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of recorded values, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, accurate to one bucket width
+    /// (≤ 3.2% relative error). Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        // Use the bucket total rather than `count`: a deserialized
+        // snapshot could carry an inconsistent `count` field, and the
+        // walk must terminate inside the bucket list.
+        let total: u64 = self.buckets.iter().map(|&(_, n)| n).sum();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target value, 1-based.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let mid = bucket_mid(i as usize);
+                // Clamp to the observed range so p100 reports the true
+                // max rather than the bucket midpoint.
+                return mid.clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Shorthand for the quantiles the exporters report.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold `other` into `self` bucket-wise. Exactly associative: any
+    /// merge order over a set of snapshots yields identical results.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, na)), Some(&&(ib, nb))) => {
+                    if ia == ib {
+                        merged.push((ia, na + nb));
+                        a.next();
+                        b.next();
+                    } else if ia < ib {
+                        merged.push((ia, na));
+                        a.next();
+                    } else {
+                        merged.push((ib, nb));
+                        b.next();
+                    }
+                }
+                (Some(&&pair), None) => {
+                    merged.push(pair);
+                    a.next();
+                }
+                (None, Some(&&pair)) => {
+                    merged.push(pair);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_continuous() {
+        // Exhaustive over the small range, then spot-check octave edges.
+        let mut prev = bucket_index(0);
+        for v in 1..=4096u64 {
+            let i = bucket_index(v);
+            assert!(i >= prev, "index regressed at {v}");
+            assert!(i - prev <= 1, "index skipped at {v}");
+            prev = i;
+        }
+        for exp in 5..63u32 {
+            let edge = 1u64 << exp;
+            assert_eq!(
+                bucket_index(edge),
+                bucket_index(edge - 1) + 1,
+                "octave edge {edge} not contiguous"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_round_trip() {
+        for i in 0..BUCKETS {
+            let low = bucket_low(i);
+            assert_eq!(bucket_index(low), i, "low bound of bucket {i}");
+            let high = bucket_high(i);
+            assert_eq!(bucket_index(high), i, "high bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in [1u64, 31, 32, 33, 100, 1000, 12_345, 1 << 20, u64::MAX / 3] {
+            let mid = bucket_mid(bucket_index(v));
+            let err = (mid as f64 - v as f64).abs() / (v as f64);
+            assert!(err <= 1.0 / 31.0, "value {v} -> mid {mid}, err {err}");
+        }
+    }
+
+    #[test]
+    fn records_extremes() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max, u64::MAX);
+    }
+
+    #[test]
+    fn empty_snapshot_is_sane() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Unified observability for the Swing swarm data plane.
+//!
+//! The paper's resource-management result (LRS beating RR/PR/LR/PRS,
+//! §V) is an argument about *measured* per-downstream latency, queue
+//! depth, and throughput — this crate is the layer that measures them
+//! on a live swarm. It provides three pieces:
+//!
+//! 1. a lock-free metric [`Registry`] — atomic [`Counter`]s,
+//!    [`Gauge`]s, and log-linear [`Histogram`]s with mergeable
+//!    snapshots and p50/p95/p99/max quantiles — cheap enough for the
+//!    per-tuple hot path (no locks, no allocation after registration);
+//! 2. a bounded tuple-lifecycle [`EventRing`]
+//!    (sensed → dispatched → retransmitted → acked → processed →
+//!    played) for post-hoc tracing of individual frames;
+//! 3. snapshot exporters rendering [`prometheus_text`] and [`to_json`],
+//!    on demand or on an interval via [`SnapshotExporter`].
+//!
+//! The crate is dependency-free (std only) and knows nothing about the
+//! rest of the workspace: the runtime, simulator, and net layers all
+//! emit through a cloned [`Telemetry`] handle.
+//!
+//! # Example
+//!
+//! ```
+//! use swing_telemetry::Telemetry;
+//!
+//! let telemetry = Telemetry::new();
+//! // Register once (locks), then record from the hot path (lock-free).
+//! let sent = telemetry.counter("swing_exec_sent_total", &[("worker", "w0")]);
+//! let lat = telemetry.histogram("swing_exec_ack_rtt_us", &[("worker", "w0")]);
+//! sent.inc();
+//! lat.record(1_250);
+//!
+//! let snap = telemetry.snapshot();
+//! assert_eq!(snap.counter("swing_exec_sent_total", &[("worker", "w0")]), 1);
+//! println!("{}", swing_telemetry::prometheus_text(&snap));
+//! ```
+
+mod events;
+mod export;
+mod hist;
+mod metric;
+pub mod names;
+mod registry;
+
+pub use events::{EventRing, Stage, TupleEvent};
+pub use export::{from_json, prometheus_text, to_json, JsonError, SnapshotExporter};
+pub use hist::{Histogram, HistogramSnapshot};
+pub use metric::{Counter, Gauge};
+pub use registry::{MetricKey, Registry, Snapshot};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default capacity of the tuple-lifecycle event ring.
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// A cloneable handle to one telemetry domain: a metric registry plus a
+/// tuple-lifecycle event ring, sharing one epoch for timestamps.
+///
+/// Cloning is two refcount bumps; every clone reads and writes the same
+/// underlying state, so a handle can be threaded through a swarm's
+/// master, workers, and executors and scraped from anywhere.
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    registry: Arc<Registry>,
+    events: Arc<EventRing>,
+    /// Per-tuple lifecycle tracing is opt-in: metrics are always on,
+    /// but [`record_stage`](Self::record_stage) is a no-op until
+    /// [`enable_tracing`](Self::enable_tracing), so the dispatch hot
+    /// path pays one relaxed load when tracing is off.
+    tracing: Arc<AtomicBool>,
+    epoch: Instant,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// Fresh telemetry domain with the default event-ring capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Telemetry::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Fresh telemetry domain with an explicit event-ring capacity.
+    #[must_use]
+    pub fn with_event_capacity(capacity: usize) -> Self {
+        Telemetry {
+            registry: Arc::new(Registry::new()),
+            events: Arc::new(EventRing::new(capacity)),
+            tracing: Arc::new(AtomicBool::new(false)),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Turn on per-tuple lifecycle tracing for every clone of this
+    /// handle. Off by default — each stage crossing then costs a short
+    /// mutex push into the event ring.
+    pub fn enable_tracing(&self) {
+        self.tracing.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether lifecycle tracing is currently on.
+    #[must_use]
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Microseconds since this domain was created; the timebase for
+    /// event timestamps.
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// The underlying registry.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The tuple-lifecycle event ring.
+    #[must_use]
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// Get or create a counter. See [`Registry::counter`].
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.registry.counter(name, labels)
+    }
+
+    /// Get or create a gauge. See [`Registry::gauge`].
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.registry.gauge(name, labels)
+    }
+
+    /// Get or create a histogram. See [`Registry::histogram`].
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.registry.histogram(name, labels)
+    }
+
+    /// Record a tuple-lifecycle stage crossing, stamped with
+    /// [`now_us`](Self::now_us). No-op unless
+    /// [`enable_tracing`](Self::enable_tracing) was called.
+    #[inline]
+    pub fn record_stage(&self, seq: u64, unit: u32, stage: Stage) {
+        if self.tracing_enabled() {
+            self.events.record(TupleEvent {
+                at_us: self.now_us(),
+                seq,
+                unit,
+                stage,
+            });
+        }
+    }
+
+    /// Like [`record_stage`](Self::record_stage) with a caller-supplied
+    /// timestamp (for callers that already read a clock this tick).
+    #[inline]
+    pub fn record_stage_at(&self, at_us: u64, seq: u64, unit: u32, stage: Stage) {
+        if self.tracing_enabled() {
+            self.events.record(TupleEvent {
+                at_us,
+                seq,
+                unit,
+                stage,
+            });
+        }
+    }
+
+    /// One consistent pass over every metric. See [`Registry::snapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Render the current state in Prometheus text exposition format.
+    #[must_use]
+    pub fn prometheus_text(&self) -> String {
+        prometheus_text(&self.snapshot())
+    }
+
+    /// Render the current state as JSON (schema in [`export`] docs).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        to_json(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_domain() {
+        let a = Telemetry::new();
+        let b = a.clone();
+        a.counter("n", &[]).inc();
+        b.counter("n", &[]).inc();
+        assert_eq!(a.snapshot().counter("n", &[]), 2);
+        // Tracing is opt-in; enabling it on one clone enables all.
+        b.record_stage(9, 1, Stage::Sensed);
+        assert!(a.events().is_empty(), "tracing must default to off");
+        a.enable_tracing();
+        assert!(b.tracing_enabled());
+        b.record_stage(9, 1, Stage::Sensed);
+        assert_eq!(a.events().trace(9).len(), 1);
+    }
+
+    #[test]
+    fn default_domains_are_independent() {
+        let a = Telemetry::new();
+        let b = Telemetry::new();
+        a.counter("n", &[]).inc();
+        assert_eq!(b.snapshot().counter("n", &[]), 0);
+    }
+
+    #[test]
+    fn now_us_is_monotone() {
+        let t = Telemetry::new();
+        let a = t.now_us();
+        let b = t.now_us();
+        assert!(b >= a);
+    }
+}

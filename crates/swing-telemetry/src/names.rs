@@ -1,0 +1,98 @@
+//! The swarm's metric naming scheme, shared by the live runtime and the
+//! simulator so both report through one schema (documented in DESIGN.md
+//! §Observability).
+//!
+//! Conventions: `swing_<layer>_<what>[_total]`, `_total` for monotone
+//! counters, `_us`/`_ms` suffixes for time units. Label keys are
+//! [`LABEL_WORKER`], [`LABEL_UNIT`], [`LABEL_DOWNSTREAM`],
+//! [`LABEL_POLICY`], and [`LABEL_LINK`].
+
+/// Worker (device) name hosting the emitting executor.
+pub const LABEL_WORKER: &str = "worker";
+/// Dataflow unit instance id (decimal).
+pub const LABEL_UNIT: &str = "unit";
+/// Downstream unit instance id (decimal) of a per-route metric.
+pub const LABEL_DOWNSTREAM: &str = "downstream";
+/// Routing policy in force (`rr|pr|lr|prs|lrs`).
+pub const LABEL_POLICY: &str = "policy";
+/// Transport link identifier (peer address).
+pub const LABEL_LINK: &str = "link";
+
+// --- executor dispatch edge (labels: worker, unit) ---
+
+/// Distinct tuples dispatched (first transmissions).
+pub const EXEC_SENT: &str = "swing_exec_sent_total";
+/// Distinct tuples confirmed by an ACK.
+pub const EXEC_ACKED: &str = "swing_exec_acked_total";
+/// Retransmissions (expired ACK deadline or evicted downstream).
+pub const EXEC_RETRIED: &str = "swing_exec_retried_total";
+/// Incoming duplicates suppressed by the dedup window.
+pub const EXEC_DUPLICATED: &str = "swing_exec_duplicated_total";
+/// Tuples abandoned after the retry budget (or orphaned with retries
+/// disabled).
+pub const EXEC_LOST: &str = "swing_exec_lost_total";
+/// Depth of the executor's inbox queue (gauge).
+pub const EXEC_QUEUE_DEPTH: &str = "swing_exec_queue_depth";
+/// ACK round-trip time histogram, microseconds.
+pub const EXEC_ACK_RTT_US: &str = "swing_exec_ack_rtt_us";
+
+// --- routing (labels: worker, unit [, downstream, policy]) ---
+
+/// Live per-downstream latency estimate L_i, microseconds (gauge).
+pub const EXEC_LATENCY_ESTIMATE_US: &str = "swing_exec_latency_estimate_us";
+/// Normalized routing weight p_i of a downstream (gauge).
+pub const ROUTE_WEIGHT: &str = "swing_route_weight";
+/// 1 when Worker Selection keeps the downstream active, else 0 (gauge).
+pub const ROUTE_SELECTED: &str = "swing_route_selected";
+/// Size of the current selection set (gauge).
+pub const EXEC_SELECTION_SIZE: &str = "swing_exec_selection_size";
+/// Selection-set membership changes observed across rebalances.
+pub const EXEC_SELECTION_CHANGES: &str = "swing_exec_selection_changes_total";
+/// Probe-window activations (round-robin refresh of unselected units).
+pub const EXEC_PROBE_WINDOWS: &str = "swing_exec_probe_windows_total";
+
+// --- in-flight table (labels: worker, unit) ---
+
+/// Tuples currently awaiting an ACK (gauge).
+pub const INFLIGHT_SIZE: &str = "swing_inflight_size";
+/// ACK deadlines that expired.
+pub const INFLIGHT_EXPIRED: &str = "swing_inflight_expired_total";
+/// In-flight tuples reclaimed from an evicted downstream.
+pub const INFLIGHT_RECLAIMED: &str = "swing_inflight_reclaimed_total";
+
+// --- source / sink endpoints (labels: worker, unit) ---
+
+/// Tuples captured at a source.
+pub const SOURCE_SENSED: &str = "swing_source_sensed_total";
+/// Tuples played back at a sink.
+pub const SINK_PLAYED: &str = "swing_sink_played_total";
+/// Sequence numbers a sink's reorder buffer gave up on.
+pub const SINK_SKIPPED: &str = "swing_sink_skipped_total";
+/// End-to-end latency (sensing to playback) histogram, microseconds.
+pub const SINK_E2E_LATENCY_US: &str = "swing_sink_e2e_latency_us";
+
+// --- device layer (labels: worker [, policy]) ---
+
+/// Mean total CPU utilization 0..=1 of a device (gauge).
+pub const DEVICE_CPU_UTIL: &str = "swing_device_cpu_util";
+/// Mean app-attributable CPU power, watts (gauge).
+pub const DEVICE_CPU_POWER_W: &str = "swing_device_cpu_power_watts";
+/// Mean Wi-Fi power, watts (gauge).
+pub const DEVICE_WIFI_POWER_W: &str = "swing_device_wifi_power_watts";
+/// Mean input data rate at a device, frames per second (gauge).
+pub const DEVICE_INPUT_FPS: &str = "swing_device_input_fps";
+
+// --- transport (labels: link) ---
+
+/// Frames written to a link.
+pub const NET_FRAMES_SENT: &str = "swing_net_frames_sent_total";
+/// Frames read from a link.
+pub const NET_FRAMES_RECEIVED: &str = "swing_net_frames_received_total";
+/// Payload bytes written to a link.
+pub const NET_BYTES_SENT: &str = "swing_net_bytes_sent_total";
+/// Payload bytes read from a link.
+pub const NET_BYTES_RECEIVED: &str = "swing_net_bytes_received_total";
+/// Wire-encode time histogram, microseconds.
+pub const NET_ENCODE_US: &str = "swing_net_encode_us";
+/// Wire-decode time histogram, microseconds.
+pub const NET_DECODE_US: &str = "swing_net_decode_us";

@@ -1,0 +1,287 @@
+//! The metric registry: named, labeled metrics with single-pass
+//! consistent snapshots.
+//!
+//! Registration (`counter`/`gauge`/`histogram`) takes a mutex, dedups
+//! on `(name, labels)`, and hands back a shared handle; after that the
+//! hot path touches only the handle's atomics. Registering the same
+//! name+labels twice returns a handle to the same underlying cell, so
+//! independent subsystems can safely contribute to one metric.
+//!
+//! `snapshot()` walks the registry exactly once under the registration
+//! lock (which only excludes *registration*, never recording) and reads
+//! each atomic exactly once. Counters are monotone atomics, so a value
+//! observed in one snapshot can never exceed the value the next
+//! snapshot observes — successive snapshots never show a counter
+//! decreasing, even while the swarm is running.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::metric::{Counter, Gauge};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Identity of one metric: a name plus sorted `label=value` pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct MetricKey {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    #[must_use]
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Value of one label, if present.
+    #[must_use]
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl std::fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)?;
+        if !self.labels.is_empty() {
+            f.write_str("{")?;
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write!(f, "{k}=\"{v}\"")?;
+            }
+            f.write_str("}")?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<MetricKey, Counter>,
+    gauges: BTreeMap<MetricKey, Gauge>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+/// A set of named metrics. See the module docs for the locking story.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("registry poisoned");
+        f.debug_struct("Registry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create a counter. Call once per site and keep the handle.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.counters.entry(key).or_default().clone()
+    }
+
+    /// Get or create a gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.gauges.entry(key).or_default().clone()
+    }
+
+    /// Get or create a histogram.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = MetricKey::new(name, labels);
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.histograms.entry(key).or_default().clone()
+    }
+
+    /// Read every metric in one pass. Entries come out sorted by key,
+    /// so two snapshots of the same registry are directly comparable.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("registry poisoned");
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// One consistent view of a [`Registry`], sorted by metric key.
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Snapshot {
+    pub counters: Vec<(MetricKey, u64)>,
+    pub gauges: Vec<(MetricKey, f64)>,
+    pub histograms: Vec<(MetricKey, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Value of the counter with exactly these labels, or 0.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let key = MetricKey::new(name, labels);
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Sum of all counters with this name, across label sets.
+    #[must_use]
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|&(_, v)| v)
+            .sum()
+    }
+
+    /// All counters with this name, with their label sets.
+    pub fn counters_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = (&'a MetricKey, u64)> + 'a {
+        self.counters
+            .iter()
+            .filter(move |(k, _)| k.name == name)
+            .map(|(k, v)| (k, *v))
+    }
+
+    /// Value of the gauge with exactly these labels, if present.
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let key = MetricKey::new(name, labels);
+        self.gauges.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
+
+    /// All gauges with this name, with their label sets.
+    pub fn gauges_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = (&'a MetricKey, f64)> + 'a {
+        self.gauges
+            .iter()
+            .filter(move |(k, _)| k.name == name)
+            .map(|(k, v)| (k, *v))
+    }
+
+    /// The histogram with exactly these labels, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        let key = MetricKey::new(name, labels);
+        self.histograms
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, h)| h)
+    }
+
+    /// Merge of all histograms with this name across label sets.
+    #[must_use]
+    pub fn histogram_total(&self, name: &str) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot {
+            min: u64::MAX,
+            ..HistogramSnapshot::default()
+        };
+        for (k, h) in &self.histograms {
+            if k.name == name {
+                out.merge(h);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reregistration_returns_the_same_cell() {
+        let r = Registry::new();
+        let a = r.counter("hits", &[("worker", "w0")]);
+        let b = r.counter("hits", &[("worker", "w0")]);
+        a.inc();
+        b.inc();
+        assert_eq!(r.snapshot().counter("hits", &[("worker", "w0")]), 2);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = Registry::new();
+        let a = r.counter("x", &[("a", "1"), ("b", "2")]);
+        let b = r.counter("x", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn snapshot_reads_all_kinds() {
+        let r = Registry::new();
+        r.counter("c", &[]).add(3);
+        r.gauge("g", &[("k", "v")]).set(1.5);
+        let h = r.histogram("h", &[]);
+        h.record(10);
+        h.record(20);
+        let s = r.snapshot();
+        assert_eq!(s.counter("c", &[]), 3);
+        assert_eq!(s.gauge("g", &[("k", "v")]), Some(1.5));
+        let hs = s.histogram("h", &[]).unwrap();
+        assert_eq!(hs.count, 2);
+        assert_eq!(hs.sum, 30);
+    }
+
+    #[test]
+    fn counter_total_sums_across_labels() {
+        let r = Registry::new();
+        r.counter("sent", &[("unit", "1")]).add(2);
+        r.counter("sent", &[("unit", "2")]).add(5);
+        r.counter("other", &[]).add(100);
+        assert_eq!(r.snapshot().counter_total("sent"), 7);
+    }
+
+    #[test]
+    fn key_display_is_prometheus_shaped() {
+        let k = MetricKey::new("m", &[("b", "2"), ("a", "1")]);
+        assert_eq!(k.to_string(), "m{a=\"1\",b=\"2\"}");
+        assert_eq!(MetricKey::new("m", &[]).to_string(), "m");
+    }
+}

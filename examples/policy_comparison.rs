@@ -4,10 +4,16 @@
 //! ```sh
 //! cargo run --release --example policy_comparison -- [face|voice] [seconds]
 //! ```
+//!
+//! Set `SWING_TELEMETRY_OUT=<path>` to also export every run's report
+//! into one telemetry domain (policies separated by the `policy` label)
+//! and write the snapshot as JSON — the same schema a live swarm
+//! exports, so one dashboard reads both.
 
 use swing::core::routing::Policy;
 use swing::device::profile::Workload;
 use swing::sim::experiments::evaluation_run;
+use swing::telemetry::Telemetry;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -31,10 +37,12 @@ fn main() {
         "{:<7} {:>12} {:>12} {:>12} {:>10} {:>10}",
         "policy", "FPS", "lat mean ms", "lat max ms", "devices", "FPS/W"
     );
+    let telemetry = Telemetry::new();
     let mut baseline_fps = None;
     let mut baseline_lat = None;
     for policy in Policy::ALL {
         let r = evaluation_run(policy, workload, seconds, 1);
+        r.export_telemetry(&telemetry, &policy.to_string());
         if policy == Policy::Rr {
             baseline_fps = Some(r.throughput_fps);
             baseline_lat = Some(r.latency_ms.mean());
@@ -57,5 +65,9 @@ fn main() {
                 );
             }
         }
+    }
+    if let Ok(path) = std::env::var("SWING_TELEMETRY_OUT") {
+        std::fs::write(&path, telemetry.to_json()).expect("write telemetry JSON");
+        println!("telemetry snapshot written to {path}");
     }
 }

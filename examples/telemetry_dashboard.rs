@@ -1,0 +1,151 @@
+//! A live terminal dashboard over the telemetry subsystem: runs the
+//! face-recognition swarm and, once a second, renders per-worker
+//! latency estimates (the L_i the LRS policy routes on), queue depths,
+//! delivery counters, and the Worker Selection membership table — all
+//! read from one registry snapshot, the same data a Prometheus scrape
+//! of [`swing::telemetry::Telemetry::prometheus_text`] would see.
+//!
+//! ```sh
+//! cargo run --release --example telemetry_dashboard -- [policy] [workers] [seconds]
+//! cargo run --release --example telemetry_dashboard -- lrs 4 8
+//! ```
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+use swing::apps::face::{self, FaceAppConfig};
+use swing::core::routing::Policy;
+use swing::runtime::registry::UnitRegistry;
+use swing::runtime::swarm::LocalSwarm;
+use swing::telemetry::names;
+
+fn registry() -> UnitRegistry {
+    let mut r = UnitRegistry::new();
+    face::install(&mut r, FaceAppConfig::default());
+    r
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let policy: Policy = args
+        .next()
+        .unwrap_or_else(|| "lrs".into())
+        .parse()
+        .expect("policy must be one of rr, pr, lr, prs, lrs");
+    let workers: usize = args
+        .next()
+        .map(|s| s.parse().expect("worker count"))
+        .unwrap_or(4);
+    let seconds: u64 = args
+        .next()
+        .map(|s| s.parse().expect("seconds"))
+        .unwrap_or(8);
+
+    println!(
+        "telemetry dashboard: face recognition on {workers} devices, policy {policy}, {seconds}s @ 24 FPS"
+    );
+    let mut builder = LocalSwarm::builder(face::app_graph())
+        .policy(policy)
+        .input_fps(24.0)
+        .worker("A", registry());
+    for i in 1..workers {
+        builder = builder.worker(format!("W{i}"), registry());
+    }
+    let swarm = builder.start().expect("swarm start");
+
+    for tick in 1..=seconds {
+        swarm.run_for(Duration::from_secs(1));
+        let snap = swarm.telemetry().snapshot();
+
+        // Executor table: every (worker, unit) that dispatches tuples.
+        let mut rows: BTreeMap<(String, String), [u64; 4]> = BTreeMap::new();
+        let field = |name: &str, slot: usize, rows: &mut BTreeMap<(String, String), [u64; 4]>| {
+            for (key, v) in snap.counters_named(name) {
+                let (Some(w), Some(u)) =
+                    (key.label(names::LABEL_WORKER), key.label(names::LABEL_UNIT))
+                else {
+                    continue;
+                };
+                rows.entry((w.to_string(), u.to_string())).or_default()[slot] += v;
+            }
+        };
+        field(names::EXEC_SENT, 0, &mut rows);
+        field(names::EXEC_ACKED, 1, &mut rows);
+        field(names::EXEC_RETRIED, 2, &mut rows);
+        field(names::EXEC_LOST, 3, &mut rows);
+
+        println!("\n== t={tick}s ==");
+        println!(
+            "{:<8} {:>4} {:>6} {:>6} {:>6} {:>5} {:>5} {:>6}",
+            "worker", "unit", "queue", "sent", "acked", "retry", "lost", "sel"
+        );
+        for ((worker, unit), [sent, acked, retried, lost]) in &rows {
+            let labels = [
+                (names::LABEL_WORKER, worker.as_str()),
+                (names::LABEL_UNIT, unit.as_str()),
+            ];
+            let queue = snap.gauge(names::EXEC_QUEUE_DEPTH, &labels).unwrap_or(0.0);
+            let sel = snap
+                .gauge(names::EXEC_SELECTION_SIZE, &labels)
+                .map_or_else(|| "-".into(), |v| format!("{v:.0}"));
+            println!(
+                "{worker:<8} {unit:>4} {queue:>6.0} {sent:>6} {acked:>6} {retried:>5} {lost:>5} {sel:>6}"
+            );
+        }
+
+        // Worker Selection membership: the routing edge's view of each
+        // downstream replica — latency estimate L_i, weight, in/out.
+        let mut routes: Vec<String> = Vec::new();
+        for (key, selected) in snap.gauges_named(names::ROUTE_SELECTED) {
+            let (Some(w), Some(u), Some(d)) = (
+                key.label(names::LABEL_WORKER),
+                key.label(names::LABEL_UNIT),
+                key.label(names::LABEL_DOWNSTREAM),
+            ) else {
+                continue;
+            };
+            let labels = [
+                (names::LABEL_WORKER, w),
+                (names::LABEL_UNIT, u),
+                (names::LABEL_DOWNSTREAM, d),
+            ];
+            let l_ms = snap
+                .gauge(names::EXEC_LATENCY_ESTIMATE_US, &labels)
+                .unwrap_or(f64::NAN)
+                / 1_000.0;
+            routes.push(format!(
+                "  {w}/{u} -> unit {d}: L={l_ms:>6.1} ms  {}",
+                if selected > 0.5 { "SELECTED" } else { "probe" }
+            ));
+        }
+        if !routes.is_empty() {
+            println!("selection ({}):", routes.len());
+            routes.sort();
+            for r in &routes {
+                println!("{r}");
+            }
+        }
+    }
+
+    let snap = swarm.telemetry().snapshot();
+    let e2e = snap.histogram_total(names::SINK_E2E_LATENCY_US);
+    println!(
+        "\ntotals: sensed {} played {} retried {} | e2e latency p50 {:.1} ms p95 {:.1} ms p99 {:.1} ms",
+        snap.counter_total(names::SOURCE_SENSED),
+        snap.counter_total(names::SINK_PLAYED),
+        snap.counter_total(names::EXEC_RETRIED),
+        e2e.p50() as f64 / 1_000.0,
+        e2e.p95() as f64 / 1_000.0,
+        e2e.p99() as f64 / 1_000.0,
+    );
+    println!("\nsample of the Prometheus exposition a scrape would return:");
+    for line in swarm
+        .telemetry()
+        .prometheus_text()
+        .lines()
+        .filter(|l| l.starts_with("swing_exec_sent_total") || l.starts_with("swing_sink_played"))
+        .take(8)
+    {
+        println!("  {line}");
+    }
+    swarm.stop();
+}

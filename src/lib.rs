@@ -30,3 +30,4 @@ pub use swing_device as device;
 pub use swing_net as net;
 pub use swing_runtime as runtime;
 pub use swing_sim as sim;
+pub use swing_telemetry as telemetry;
