@@ -21,6 +21,7 @@
 
 use std::hint::black_box;
 use std::time::Instant;
+use swing_core::clock::RealClock;
 use swing_core::{SeqNo, Tuple};
 use swing_telemetry::{names, Stage, Telemetry};
 
@@ -73,6 +74,12 @@ fn main() {
         .collect();
 
     let telemetry = Telemetry::new();
+    // The live configuration under test: event timestamps routed
+    // through the injected Clock seam (a RealClock here), exactly as
+    // LocalSwarm installs it — the overhead budget must hold with the
+    // indirection in place.
+    let clock = RealClock::handle();
+    assert!(telemetry.set_time_source(move || clock.now_us()));
     let labels = [(names::LABEL_WORKER, "bench"), (names::LABEL_UNIT, "1")];
     let sent = telemetry.counter(names::EXEC_SENT, &labels);
     let acked = telemetry.counter(names::EXEC_ACKED, &labels);

@@ -1,0 +1,303 @@
+//! Time as an injected capability.
+//!
+//! Every layer of the runtime that needs a timestamp takes a
+//! [`ClockHandle`] instead of reading a process global. Two
+//! implementations cover the two execution modes:
+//!
+//! * [`RealClock`] — wraps a monotonic [`Instant`] epoch; `sleep_until`
+//!   parks the calling thread. This is what the live multi-threaded
+//!   runtime injects.
+//! * [`VirtualClock`] — discrete-event time backed by the shared
+//!   [`EventQueue`](crate::event::EventQueue). `sleep_until` *jumps* the
+//!   clock forward instead of waiting, so sixty seconds of simulated
+//!   traffic run in milliseconds of wall time, and two runs from the
+//!   same seed replay identically (FoundationDB-style deterministic
+//!   simulation of the production code paths).
+//!
+//! Both clocks share the microsecond timebase used across the crate.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::event::EventQueue;
+
+/// Identifier for a timer registered with a clock.
+pub type TimerId = u64;
+
+/// A source of monotonic microsecond time plus timer scheduling.
+///
+/// The trait is object-safe: components hold an `Arc<dyn Clock>`
+/// ([`ClockHandle`]) so the same executor/router/retransmission code
+/// runs under real or virtual time without recompilation.
+pub trait Clock: Send + Sync {
+    /// Microseconds since this clock's epoch. Monotonic.
+    fn now_us(&self) -> u64;
+
+    /// Block (real time) or jump (virtual time) until `deadline_us`.
+    ///
+    /// A deadline at or before `now_us()` returns immediately.
+    fn sleep_until(&self, deadline_us: u64);
+
+    /// Register a timer to fire at `deadline_us`; returns its id.
+    ///
+    /// Timers are a scheduling hint: [`VirtualClock`] keeps them in its
+    /// event queue so a driver can advance straight to the next
+    /// deadline; [`RealClock`] only records the earliest deadline.
+    fn register_timer(&self, deadline_us: u64) -> TimerId;
+
+    /// Earliest registered timer deadline not yet fired, if any.
+    fn next_timer_us(&self) -> Option<u64>;
+
+    /// Whether this clock is discrete-event (virtual) time.
+    fn is_virtual(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Debug for dyn Clock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Clock")
+            .field("now_us", &self.now_us())
+            .field("virtual", &self.is_virtual())
+            .finish()
+    }
+}
+
+/// Shared handle to a clock implementation.
+pub type ClockHandle = Arc<dyn Clock>;
+
+/// Monotonic wall-clock time measured from a per-instance epoch.
+///
+/// Each `RealClock` owns its epoch, which fixes the cross-test coupling
+/// of a process-global `OnceLock` epoch: tests that construct their own
+/// clock see timestamps starting near zero regardless of what ran
+/// before them in the same process.
+#[derive(Debug, Clone)]
+pub struct RealClock {
+    epoch: Instant,
+    next_deadline: Arc<AtomicU64>,
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        RealClock::new()
+    }
+}
+
+impl RealClock {
+    /// A real clock whose epoch is the moment of construction.
+    #[must_use]
+    pub fn new() -> Self {
+        RealClock {
+            epoch: Instant::now(),
+            next_deadline: Arc::new(AtomicU64::new(u64::MAX)),
+        }
+    }
+
+    /// Convenience: a freshly constructed clock behind a [`ClockHandle`].
+    #[must_use]
+    pub fn handle() -> ClockHandle {
+        Arc::new(RealClock::new())
+    }
+}
+
+impl Clock for RealClock {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn sleep_until(&self, deadline_us: u64) {
+        let now = self.now_us();
+        if deadline_us > now {
+            std::thread::sleep(Duration::from_micros(deadline_us - now));
+        }
+    }
+
+    fn register_timer(&self, deadline_us: u64) -> TimerId {
+        self.next_deadline.fetch_min(deadline_us, Ordering::Relaxed);
+        deadline_us
+    }
+
+    fn next_timer_us(&self) -> Option<u64> {
+        let d = self.next_deadline.load(Ordering::Relaxed);
+        (d != u64::MAX).then_some(d)
+    }
+}
+
+struct VirtualTimers {
+    queue: EventQueue<TimerId>,
+    next_id: TimerId,
+}
+
+/// Discrete-event virtual time.
+///
+/// The clock only moves when a driver advances it — either explicitly
+/// via [`VirtualClock::advance_to`] / [`VirtualClock::fire_next`], or
+/// implicitly when a component calls `sleep_until` (which jumps rather
+/// than waits). Reads are a single atomic load, so hot dispatch paths
+/// pay the same cost as under [`RealClock`].
+pub struct VirtualClock {
+    now: AtomicU64,
+    timers: Mutex<VirtualTimers>,
+}
+
+impl fmt::Debug for VirtualClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VirtualClock")
+            .field("now_us", &self.now.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        VirtualClock::new()
+    }
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at t = 0 with no timers.
+    #[must_use]
+    pub fn new() -> Self {
+        VirtualClock {
+            now: AtomicU64::new(0),
+            timers: Mutex::new(VirtualTimers {
+                queue: EventQueue::new(),
+                next_id: 0,
+            }),
+        }
+    }
+
+    /// Convenience: a fresh virtual clock behind an `Arc`.
+    #[must_use]
+    pub fn shared() -> Arc<VirtualClock> {
+        Arc::new(VirtualClock::new())
+    }
+
+    /// Advance time to `t_us` (never moves backwards).
+    pub fn advance_to(&self, t_us: u64) {
+        self.now.fetch_max(t_us, Ordering::Relaxed);
+    }
+
+    /// Pop the earliest registered timer, advancing `now` to its
+    /// deadline. Returns `(deadline_us, timer_id)`.
+    pub fn fire_next(&self) -> Option<(u64, TimerId)> {
+        let fired = {
+            let mut t = self.timers.lock().expect("virtual clock poisoned");
+            t.queue.pop()
+        };
+        if let Some((when, _)) = fired {
+            self.advance_to(when);
+        }
+        fired
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_us(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+
+    fn sleep_until(&self, deadline_us: u64) {
+        // Discrete-event semantics: jump, don't wait.
+        self.advance_to(deadline_us);
+    }
+
+    fn register_timer(&self, deadline_us: u64) -> TimerId {
+        let mut t = self.timers.lock().expect("virtual clock poisoned");
+        let id = t.next_id;
+        t.next_id += 1;
+        t.queue.schedule(deadline_us.max(self.now_us()), id);
+        id
+    }
+
+    fn next_timer_us(&self) -> Option<u64> {
+        self.timers
+            .lock()
+            .expect("virtual clock poisoned")
+            .queue
+            .peek_time()
+    }
+
+    fn is_virtual(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotonic_and_advances() {
+        let c = RealClock::new();
+        let a = c.now_us();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = c.now_us();
+        assert!(b > a, "clock did not advance: {a} -> {b}");
+    }
+
+    #[test]
+    fn fresh_real_clocks_start_near_zero() {
+        // Per-instance epochs: no cross-test coupling through a global.
+        let c = RealClock::new();
+        assert!(c.now_us() < SECOND_IN_US, "epoch not fresh");
+        const SECOND_IN_US: u64 = 1_000_000;
+    }
+
+    #[test]
+    fn real_clock_sleep_until_waits() {
+        let c = RealClock::new();
+        let start = c.now_us();
+        c.sleep_until(start + 3_000);
+        assert!(c.now_us() - start >= 2_000);
+        // A past deadline returns immediately.
+        c.sleep_until(0);
+    }
+
+    #[test]
+    fn virtual_clock_only_moves_when_driven() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_us(), 0);
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(c.now_us(), 0, "virtual time moved on its own");
+        c.advance_to(42_000);
+        assert_eq!(c.now_us(), 42_000);
+        c.advance_to(10); // never backwards
+        assert_eq!(c.now_us(), 42_000);
+    }
+
+    #[test]
+    fn virtual_sleep_jumps() {
+        let c = VirtualClock::new();
+        let before = Instant::now();
+        c.sleep_until(60_000_000); // "sleep" a virtual minute
+        assert!(before.elapsed() < Duration::from_millis(100));
+        assert_eq!(c.now_us(), 60_000_000);
+    }
+
+    #[test]
+    fn virtual_timers_fire_in_order() {
+        let c = VirtualClock::new();
+        let t2 = c.register_timer(2_000);
+        let t1 = c.register_timer(1_000);
+        assert_eq!(c.next_timer_us(), Some(1_000));
+        assert_eq!(c.fire_next(), Some((1_000, t1)));
+        assert_eq!(c.now_us(), 1_000);
+        assert_eq!(c.fire_next(), Some((2_000, t2)));
+        assert_eq!(c.fire_next(), None);
+    }
+
+    #[test]
+    fn clock_handle_is_object_safe() {
+        let handles: Vec<ClockHandle> =
+            vec![Arc::new(RealClock::new()), Arc::new(VirtualClock::new())];
+        for h in &handles {
+            let _ = h.now_us();
+        }
+        assert!(!handles[0].is_virtual());
+        assert!(handles[1].is_virtual());
+    }
+}

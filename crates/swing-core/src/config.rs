@@ -2,7 +2,7 @@
 
 use crate::error::{Error, Result};
 use crate::routing::Policy;
-use crate::SECOND_US;
+use crate::{timing, SECOND_US};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a [`Router`](crate::routing::Router) — one per
@@ -52,14 +52,14 @@ impl RouterConfig {
     pub fn new(policy: Policy) -> Self {
         RouterConfig {
             policy,
-            control_period_us: SECOND_US,
-            probe_every_rounds: 5,
-            probe_tuples_per_unit: 1,
+            control_period_us: timing::CONTROL_PERIOD_US,
+            probe_every_rounds: timing::PROBE_EVERY_ROUNDS,
+            probe_tuples_per_unit: timing::PROBE_TUPLES_PER_UNIT,
             latency_window: 16,
-            initial_latency_us: 100_000.0, // 100 ms
-            loss_timeout_us: 5 * SECOND_US,
+            initial_latency_us: timing::INITIAL_LATENCY_ESTIMATE_US,
+            loss_timeout_us: timing::LOSS_TIMEOUT_US,
             headroom: 1.0,
-            sample_max_age_us: 10 * SECOND_US,
+            sample_max_age_us: timing::SAMPLE_MAX_AGE_US,
             pending_age_floor: true,
         }
     }
@@ -200,8 +200,8 @@ impl Default for RetryConfig {
         RetryConfig {
             enabled: true,
             deadline_factor: 4.0,
-            deadline_floor_us: 150 * crate::MILLISECOND_US,
-            deadline_ceiling_us: 2 * SECOND_US,
+            deadline_floor_us: timing::ACK_DEADLINE_FLOOR_US,
+            deadline_ceiling_us: timing::ACK_DEADLINE_CEILING_US,
             backoff_factor: 2.0,
             max_retries: 8,
             dedup_window: 1024,

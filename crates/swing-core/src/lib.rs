@@ -6,10 +6,14 @@
 //! (Fan, Salonidis, Lee — *Swing: Swarm Computing for Mobile Sensing*,
 //! ICDCS 2018).
 //!
-//! This crate is deliberately free of I/O and wall-clock time: every API
-//! takes explicit microsecond timestamps so the same code drives both the
+//! This crate is deliberately free of I/O: every algorithmic API takes
+//! explicit microsecond timestamps so the same code drives both the
 //! deterministic discrete-event simulator (`swing-sim`) and the live
-//! multi-threaded runtime (`swing-runtime`).
+//! multi-threaded runtime (`swing-runtime`). Time itself is an injected
+//! capability — the [`clock`] module defines the [`Clock`] trait with a
+//! monotonic [`RealClock`] and a discrete-event [`VirtualClock`] backed
+//! by the shared [`event::EventQueue`], so the *production* executors can
+//! be replayed deterministically under virtual time.
 //!
 //! ## What lives here
 //!
@@ -55,22 +59,27 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod clock;
 pub mod config;
 pub mod dedup;
 pub mod error;
 pub mod estimator;
+pub mod event;
 pub mod graph;
 pub mod payload;
 pub mod rate;
 pub mod reorder;
 pub mod routing;
 pub mod stats;
+pub mod timing;
 pub mod tuple;
 pub mod unit;
 
 mod id;
 
+pub use clock::{Clock, ClockHandle, RealClock, VirtualClock};
 pub use error::{Error, Result};
+pub use event::EventQueue;
 pub use id::{DeviceId, SeqNo, UnitId};
 pub use payload::SharedBytes;
 pub use tuple::{FieldKey, Tuple, Value, ValueKind};

@@ -19,7 +19,7 @@
 //! the frames lost in flight; this layer is how the repo reproduces that
 //! — and proves the retransmission layer closes the gap.
 
-use crate::clock::now_us;
+use crate::clock::global_clock;
 use crate::fabric::{MsgReceiver, MsgSender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -29,6 +29,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use swing_core::clock::ClockHandle;
 use swing_net::Message;
 
 /// Probabilistic faults applied to the data plane of one link.
@@ -171,9 +172,13 @@ struct ChaosStats {
 #[derive(Debug)]
 pub(crate) struct ChaosShared {
     plan: FaultPlan,
+    /// The clock crash schedules are evaluated against. The process
+    /// global by default; injectable so crash instants can be expressed
+    /// in virtual time.
+    clock: ClockHandle,
     /// Addresses all traffic toward which is currently swallowed.
     partitions: Mutex<HashSet<String>>,
-    /// addr -> absolute process time (µs) after which traffic toward it
+    /// addr -> absolute clock time (µs) after which traffic toward it
     /// is swallowed (a scheduled crash, as seen from the network).
     crashes: Mutex<HashMap<String, u64>>,
     stats: ChaosStats,
@@ -181,9 +186,14 @@ pub(crate) struct ChaosShared {
 
 impl ChaosShared {
     pub(crate) fn new(plan: FaultPlan) -> Self {
+        ChaosShared::with_clock(plan, global_clock())
+    }
+
+    pub(crate) fn with_clock(plan: FaultPlan, clock: ClockHandle) -> Self {
         plan.validate();
         ChaosShared {
             plan,
+            clock,
             partitions: Mutex::new(HashSet::new()),
             crashes: Mutex::new(HashMap::new()),
             stats: ChaosStats::default(),
@@ -197,7 +207,7 @@ impl ChaosShared {
         self.crashes
             .lock()
             .get(addr)
-            .is_some_and(|&at| now_us() >= at)
+            .is_some_and(|&at| self.clock.now_us() >= at)
     }
 }
 
@@ -224,15 +234,16 @@ impl ChaosControl {
         self.shared.partitions.lock().remove(addr);
     }
 
-    /// Black-hole all traffic toward `addr` from absolute process time
-    /// `at_us` (see [`crate::clock::now_us`]) onward — a scheduled crash.
+    /// Black-hole all traffic toward `addr` from absolute clock time
+    /// `at_us` (on the fabric's injected clock) onward — a scheduled
+    /// crash.
     pub fn crash_at(&self, addr: impl Into<String>, at_us: u64) {
         self.shared.crashes.lock().insert(addr.into(), at_us);
     }
 
     /// Black-hole all traffic toward `addr` starting `delay` from now.
     pub fn crash_in(&self, addr: impl Into<String>, delay: Duration) {
-        self.crash_at(addr, now_us() + delay.as_micros() as u64);
+        self.crash_at(addr, self.shared.clock.now_us() + delay.as_micros() as u64);
     }
 
     /// Lift every partition and cancel every scheduled crash.

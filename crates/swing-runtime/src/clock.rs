@@ -1,19 +1,46 @@
-//! Process-wide monotonic clock in the microsecond timebase the core
-//! algorithms expect.
+//! Process-wide monotonic clock — **deprecated** in favor of the
+//! injected [`swing_core::clock::Clock`] capability.
+//!
+//! Historically every layer of the runtime read this module's global
+//! `now_us()`. That made the runtime impossible to drive under virtual
+//! time, and the shared `OnceLock` epoch coupled tests: timestamp
+//! assertions depended on which test touched the clock first in the
+//! process. New code takes a [`ClockHandle`] (see
+//! [`NodeConfig::clock`](crate::executor::NodeConfig)); this module
+//! remains as a thin shim over one process-global [`RealClock`] for
+//! downstream callers that have not migrated yet.
 
 use std::sync::OnceLock;
-use std::time::Instant;
+use swing_core::clock::{ClockHandle, RealClock};
 
-static EPOCH: OnceLock<Instant> = OnceLock::new();
+static GLOBAL: OnceLock<ClockHandle> = OnceLock::new();
+
+/// The process-global real clock. All [`NodeConfig`]s default to this
+/// handle so tuples timestamped on one node remain comparable on
+/// another; tests wanting isolated epochs inject their own
+/// [`RealClock`] or a [`VirtualClock`](swing_core::clock::VirtualClock).
+///
+/// [`NodeConfig`]: crate::executor::NodeConfig
+#[must_use]
+pub fn global_clock() -> ClockHandle {
+    GLOBAL
+        .get_or_init(|| std::sync::Arc::new(RealClock::new()))
+        .clone()
+}
 
 /// Microseconds since the first call in this process. Monotonic.
+#[deprecated(
+    since = "0.2.0",
+    note = "inject a `swing_core::clock::ClockHandle` (e.g. via `NodeConfig::clock`) instead of \
+            reading the process-global clock"
+)]
 #[must_use]
 pub fn now_us() -> u64 {
-    let epoch = *EPOCH.get_or_init(Instant::now);
-    epoch.elapsed().as_micros() as u64
+    global_clock().now_us()
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
@@ -30,5 +57,13 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(5));
         let b = now_us();
         assert!(b - a >= 4_000, "only {} us elapsed", b - a);
+    }
+
+    #[test]
+    fn shim_and_global_share_one_epoch() {
+        let direct = global_clock().now_us();
+        let shimmed = now_us();
+        // Both reads come from the same epoch, microseconds apart.
+        assert!(shimmed.abs_diff(direct) < 1_000_000);
     }
 }

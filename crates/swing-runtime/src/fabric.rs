@@ -49,6 +49,10 @@ pub enum Fabric {
     /// Any fabric wrapped in deterministic fault injection
     /// (see [`crate::chaos`]).
     Chaos(Arc<ChaosFabric>),
+    /// Deterministic simulated transport: messages move only when a
+    /// discrete-event loop pumps them, through seeded per-link
+    /// delay/loss models (see [`crate::sim`]).
+    Sim(Arc<crate::sim::SimFabric>),
 }
 
 /// Shared state of the TCP fabric: the optional telemetry domain its
@@ -96,7 +100,19 @@ impl Fabric {
             Fabric::InProc(_) => {}
             Fabric::Tcp(net) => *net.telemetry.lock() = Some(telemetry.clone()),
             Fabric::Chaos(net) => net.inner.set_telemetry(telemetry),
+            Fabric::Sim(_) => {}
         }
+    }
+
+    /// A fresh simulated fabric, all link randomness derived from
+    /// `seed`. Returns the fabric plus the [`SimFabric`] handle the
+    /// driving event loop pumps messages through.
+    ///
+    /// [`SimFabric`]: crate::sim::SimFabric
+    #[must_use]
+    pub fn sim(seed: u64) -> (Self, Arc<crate::sim::SimFabric>) {
+        let net = crate::sim::SimFabric::new(seed);
+        (Fabric::Sim(Arc::clone(&net)), net)
     }
 
     /// Wrap `inner` in deterministic fault injection driven by `plan`.
@@ -138,6 +154,7 @@ impl Fabric {
             }
             // Faults are injected on the dial side; listening is clean.
             Fabric::Chaos(net) => net.inner.listen(),
+            Fabric::Sim(net) => Ok(net.listen_impl()),
         }
     }
 
@@ -180,6 +197,7 @@ impl Fabric {
                     Arc::clone(&net.shared),
                 ))
             }
+            Fabric::Sim(net) => net.dial_impl(addr),
         }
     }
 }

@@ -26,18 +26,22 @@
 
 pub mod chaos;
 pub mod clock;
+pub mod dispatch;
 pub mod executor;
 pub mod fabric;
 pub mod inflight;
 pub mod master;
 pub mod node;
 pub mod registry;
+pub mod sim;
 pub mod swarm;
 
 pub use chaos::{ChaosControl, ChaosReport, FaultPlan, LinkFaults};
+pub use dispatch::Dispatcher;
 pub use executor::{DeliveryStats, ExecProbe, NodeConfig, SinkReport};
 pub use fabric::Fabric;
 pub use master::{HeartbeatConfig, Master, MasterConfig, Placement};
 pub use node::WorkerNode;
 pub use registry::{AnyUnit, UnitRegistry};
+pub use sim::{SimFabric, SimLinkConfig, SimSwarm, SimSwarmConfig};
 pub use swarm::{LocalSwarm, LocalSwarmBuilder};

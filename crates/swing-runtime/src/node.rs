@@ -4,7 +4,6 @@
 //! the master, the installed [`UnitRegistry`], and the executors of the
 //! function units the master activated on it (§IV-B steps 2–4).
 
-use crate::clock::now_us;
 use crate::executor::{
     spawn, DeliveryStats, ExecHandle, ExecMsg, ExecProbe, NodeConfig, SinkMeter,
 };
@@ -293,7 +292,6 @@ impl NodeState {
             }
             _ => {}
         }
-        let _ = now_us();
         true
     }
 

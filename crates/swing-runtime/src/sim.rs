@@ -1,0 +1,1219 @@
+//! Deterministic simulation of the *real* data plane.
+//!
+//! FoundationDB-style testing: the production dispatch machinery — the
+//! same [`Dispatcher`] the live executor threads drive, with its
+//! router, in-flight table, dedup windows, and telemetry — runs here
+//! under a [`VirtualClock`] on a single-threaded discrete-event loop,
+//! with transport replaced by [`SimFabric`]: seeded per-link
+//! delay/loss/duplication models behind the ordinary [`Fabric`] seam.
+//! A whole chaos scenario (lossy links, a mid-run crash, ACK-deadline
+//! retransmission, re-routing to survivors) therefore becomes a pure
+//! function of its seed — run it twice and every timestamp, counter,
+//! and routing decision is identical — and sixty seconds of simulated
+//! traffic settle in milliseconds of wall time.
+//!
+//! Two layers:
+//!
+//! * [`SimFabric`] — the transport. `listen` registers an inbox under a
+//!   `sim:<n>` address; `dial` creates a dedicated link with its own
+//!   seeded RNG. Messages sent on a link are collected by
+//!   [`SimFabric::poll`], which applies the link's fault model and
+//!   returns `(deliver_at, addr, message)` triples for the event loop
+//!   to schedule. Crashing an address drops its inbox *and* the
+//!   receiving ends of every link toward it, so senders observe a
+//!   disconnected channel — the exact failure the live eviction path
+//!   handles.
+//! * [`SimSwarm`] — the harness. It deploys a real [`UnitRegistry`]'s
+//!   units across simulated workers (same placement rule as the
+//!   master's `SourceOnFirst`), wires their [`Dispatcher`]s through the
+//!   fabric, and pumps one [`EventQueue`] under the shared virtual
+//!   clock: source pacing ticks, message deliveries, ACK-deadline
+//!   timers, reorder-buffer polls, and scheduled crashes.
+//!
+//! [`Fabric`]: crate::fabric::Fabric
+
+use crate::dispatch::Dispatcher;
+use crate::executor::{DeliveryStats, NodeConfig, SinkMeter, SinkReport, CREATED_US_FIELD};
+use crate::fabric::{MsgReceiver, MsgSender};
+use crate::registry::{AnyUnit, UnitRegistry};
+use crate::swarm::{delivery_from_snapshot, DeliveryByUnit};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use swing_core::clock::{Clock, VirtualClock};
+use swing_core::event::EventQueue;
+use swing_core::graph::{AppGraph, Role};
+use swing_core::rate::Pacer;
+use swing_core::reorder::ReorderBuffer;
+use swing_core::timing;
+use swing_core::unit::Context;
+use swing_core::{SeqNo, Tuple, UnitId};
+use swing_net::{Message, NetError, NetResult};
+use swing_telemetry::{Stage, Telemetry};
+
+/// Per-link transmission model of the simulated radio: a fixed base
+/// propagation delay, uniformly distributed jitter on top, and
+/// independent drop / duplication probabilities. Applied to data-plane
+/// messages ([`Message::Data`] and [`Message::Ack`]); anything else
+/// crosses the link with only the base delay, mirroring the chaos
+/// fabric's control-plane exemption.
+#[derive(Debug, Clone, Copy)]
+pub struct SimLinkConfig {
+    /// Fixed one-way propagation delay, microseconds.
+    pub base_delay_us: u64,
+    /// Additional uniform jitter in `[0, jitter_us]`, microseconds.
+    pub jitter_us: u64,
+    /// Probability a data-plane message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a data-plane message is delivered twice (the second
+    /// copy draws its own delay).
+    pub dup_prob: f64,
+}
+
+impl Default for SimLinkConfig {
+    /// A clean local-hop link: the paper's intra-swarm transmission
+    /// delay with mild jitter and no faults.
+    fn default() -> Self {
+        SimLinkConfig {
+            base_delay_us: timing::LOCAL_HOP_US,
+            jitter_us: timing::LOCAL_HOP_US / 2,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+        }
+    }
+}
+
+impl SimLinkConfig {
+    /// This link model with the given drop probability.
+    #[must_use]
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// This link model with the given duplication probability.
+    #[must_use]
+    pub fn with_dup(mut self, p: f64) -> Self {
+        self.dup_prob = p;
+        self
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        for (name, p) in [("drop_prob", self.drop_prob), ("dup_prob", self.dup_prob)] {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(format!("{name} = {p} is not a probability"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One dialed link: the channel's receiving end plus its seeded fault
+/// state. Dropping the struct disconnects the sender — that is how a
+/// crash propagates to the peers holding the dial side.
+struct SimLink {
+    to: String,
+    rx: MsgReceiver,
+    rng: StdRng,
+    cfg: SimLinkConfig,
+}
+
+struct SimNetState {
+    next_addr: u64,
+    next_link: u64,
+    inboxes: HashMap<String, MsgSender>,
+    links: Vec<SimLink>,
+    /// Link model applied to links dialed toward each address (falls
+    /// back to `default_link`).
+    per_addr: HashMap<String, SimLinkConfig>,
+    default_link: SimLinkConfig,
+}
+
+/// The simulated transport (see the module docs). Behaves like the
+/// in-process fabric — `listen` hands out `sim:<n>` inboxes, `dial`
+/// returns a sender — except messages do not arrive until the event
+/// loop calls [`SimFabric::poll`] and schedules the returned
+/// deliveries, and each link carries a seeded [`SimLinkConfig`] fault
+/// model.
+pub struct SimFabric {
+    seed: u64,
+    state: Mutex<SimNetState>,
+    /// Data-plane messages dropped by link fault models.
+    dropped: AtomicU64,
+    /// Data-plane messages duplicated by link fault models.
+    duplicated: AtomicU64,
+}
+
+impl std::fmt::Debug for SimFabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state.lock();
+        f.debug_struct("SimFabric")
+            .field("seed", &self.seed)
+            .field("inboxes", &s.inboxes.len())
+            .field("links", &s.links.len())
+            .finish()
+    }
+}
+
+impl SimFabric {
+    /// A fresh simulated transport. All link RNGs derive from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Arc<SimFabric> {
+        Arc::new(SimFabric {
+            seed,
+            state: Mutex::new(SimNetState {
+                next_addr: 0,
+                next_link: 0,
+                inboxes: HashMap::new(),
+                links: Vec::new(),
+                per_addr: HashMap::new(),
+                default_link: SimLinkConfig::default(),
+            }),
+            dropped: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+        })
+    }
+
+    /// Set the fault model applied to links dialed from now on whose
+    /// destination has no per-address override.
+    pub fn set_default_link(&self, cfg: SimLinkConfig) {
+        self.state.lock().default_link = cfg;
+    }
+
+    /// Override the fault model for links dialed toward `addr` from now
+    /// on (existing links keep their model).
+    pub fn set_link_to(&self, addr: &str, cfg: SimLinkConfig) {
+        self.state.lock().per_addr.insert(addr.to_owned(), cfg);
+    }
+
+    /// Messages the link fault models have dropped so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Messages the link fault models have duplicated so far.
+    #[must_use]
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated.load(Ordering::Relaxed)
+    }
+
+    /// Register an inbox: the dialable `sim:<n>` address plus the
+    /// receiving end (the `Fabric::listen` contract).
+    pub fn listen_impl(&self) -> (String, MsgReceiver) {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let mut s = self.state.lock();
+        let addr = format!("sim:{}", s.next_addr);
+        s.next_addr += 1;
+        s.inboxes.insert(addr.clone(), tx);
+        (addr, rx)
+    }
+
+    /// Create a dedicated faulted link toward `addr` and return its
+    /// sending end (the `Fabric::dial` contract).
+    pub fn dial_impl(&self, addr: &str) -> NetResult<MsgSender> {
+        let mut s = self.state.lock();
+        if !s.inboxes.contains_key(addr) {
+            return Err(NetError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("no sim endpoint at {addr}"),
+            )));
+        }
+        let cfg = s.per_addr.get(addr).copied().unwrap_or(s.default_link);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        // Distinct links draw from distinct deterministic streams: mix
+        // the link ordinal into the seed. Dial order is deterministic
+        // under the single-threaded event loop.
+        let link_no = s.next_link;
+        s.next_link += 1;
+        let seed = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(link_no + 1));
+        s.links.push(SimLink {
+            to: addr.to_owned(),
+            rx,
+            rng: StdRng::seed_from_u64(seed),
+            cfg,
+        });
+        Ok(tx)
+    }
+
+    /// Drain every link and turn the messages in transit into scheduled
+    /// deliveries: `(deliver_at_us, destination address, message)`.
+    /// Fault models apply here — a dropped message simply produces no
+    /// delivery; a duplicated one produces two with independent delays.
+    /// Links are drained in dial order, so the result is deterministic.
+    pub fn poll(&self, now_us: u64) -> Vec<(u64, String, Message)> {
+        let mut out = Vec::new();
+        let mut s = self.state.lock();
+        for link in &mut s.links {
+            while let Ok(msg) = link.rx.try_recv() {
+                let data_plane = matches!(msg, Message::Data { .. } | Message::Ack { .. });
+                if data_plane
+                    && link.cfg.drop_prob > 0.0
+                    && link.rng.random_bool(link.cfg.drop_prob)
+                {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let jitter = |rng: &mut StdRng| {
+                    if link.cfg.jitter_us > 0 {
+                        rng.random_range(0..=link.cfg.jitter_us)
+                    } else {
+                        0
+                    }
+                };
+                let d = link.cfg.base_delay_us + jitter(&mut link.rng);
+                if data_plane && link.cfg.dup_prob > 0.0 && link.rng.random_bool(link.cfg.dup_prob)
+                {
+                    self.duplicated.fetch_add(1, Ordering::Relaxed);
+                    let d2 = link.cfg.base_delay_us + jitter(&mut link.rng);
+                    out.push((now_us + d2, link.to.clone(), msg.clone()));
+                }
+                out.push((now_us + d, link.to.clone(), msg));
+            }
+        }
+        out
+    }
+
+    /// Deliver a message into the inbox at `addr` (the event loop calls
+    /// this when a scheduled delivery fires). `false` if the address is
+    /// gone (crashed): the message evaporates, as on a real dead link.
+    pub fn deliver(&self, addr: &str, msg: Message) -> bool {
+        let s = self.state.lock();
+        match s.inboxes.get(addr) {
+            Some(tx) => tx.send(msg).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Kill the endpoint at `addr`: its inbox unregisters and the
+    /// receiving end of every link toward it drops, so peers holding
+    /// the dial side observe a disconnected channel on their next send
+    /// — driving the production eviction/re-route path.
+    pub fn crash(&self, addr: &str) -> bool {
+        let mut s = self.state.lock();
+        let existed = s.inboxes.remove(addr).is_some();
+        s.links.retain(|l| l.to != addr);
+        existed
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimSwarm: the discrete-event harness driving real dispatchers.
+// ---------------------------------------------------------------------------
+
+/// Configuration of a [`SimSwarm`].
+#[derive(Debug, Clone)]
+pub struct SimSwarmConfig {
+    /// Master seed: link RNGs (and nothing else — the data plane is
+    /// already deterministic under virtual time) derive from it.
+    pub seed: u64,
+    /// The per-node runtime configuration (router policy, pacing rate,
+    /// reorder span, retry policy, telemetry domain). Its clock is
+    /// replaced by the swarm's [`VirtualClock`].
+    pub node: NodeConfig,
+    /// Default link model for every dialed link.
+    pub link: SimLinkConfig,
+    /// Modeled per-tuple processing delay reported in operator ACKs
+    /// (virtual time does not advance while a unit computes).
+    pub service_us: u64,
+    /// How long after a crash the surviving dispatchers evict the dead
+    /// worker's units (the master's heartbeat-prune detection latency).
+    /// Senders with traffic in flight discover the death earlier, from
+    /// the broken link itself.
+    pub eviction_delay_us: u64,
+    /// Virtual interval between sink reorder-buffer polls (the live
+    /// sink's 50 ms receive timeout).
+    pub reorder_poll_us: u64,
+}
+
+impl Default for SimSwarmConfig {
+    fn default() -> Self {
+        SimSwarmConfig {
+            seed: 1,
+            node: NodeConfig::default(),
+            link: SimLinkConfig::default(),
+            service_us: timing::LOCAL_HOP_US,
+            eviction_delay_us: timing::CONTROL_PERIOD_US,
+            reorder_poll_us: 50_000,
+        }
+    }
+}
+
+enum ExecRole {
+    Source {
+        src: Box<dyn swing_core::unit::SourceUnit>,
+        pacer: Pacer,
+        seq: u64,
+        done: bool,
+    },
+    Operator {
+        op: Box<dyn swing_core::unit::FunctionUnit>,
+    },
+    Sink {
+        sink: Box<dyn swing_core::unit::SinkUnit>,
+        reorder: ReorderBuffer<Tuple>,
+        meter: Arc<SinkMeter>,
+        reported_skipped: u64,
+    },
+}
+
+/// One deployed unit instance: its role-specific state plus the real
+/// production [`Dispatcher`].
+struct SimExec {
+    unit: UnitId,
+    worker: usize,
+    disp: Dispatcher,
+    role: ExecRole,
+    alive: bool,
+    /// Earliest armed retry-timer event, to avoid flooding the queue.
+    armed_timer: Option<u64>,
+}
+
+struct SimWorker {
+    name: String,
+    addr: String,
+    inbox: MsgReceiver,
+    alive: bool,
+}
+
+#[derive(Debug, Clone)]
+enum SimEvent {
+    /// A source pacing tick for the exec at this index.
+    SourceTick(usize),
+    /// A message arrives at a worker inbox.
+    Deliver { addr: String, msg: Message },
+    /// Service ACK-deadline / pending-queue timers of one exec
+    /// (`usize::MAX` = the run_until horizon pin, a no-op).
+    Timer(usize),
+    /// Periodic sink reorder-buffer poll.
+    ReorderPoll(usize),
+    /// Kill a worker abruptly.
+    Crash(usize),
+    /// Survivors evict the crashed worker's units (heartbeat prune).
+    Evict(usize),
+}
+
+/// A deterministic single-process swarm: real units, real dispatchers,
+/// virtual time (see the module docs).
+///
+/// ```
+/// use swing_core::graph::AppGraph;
+/// use swing_core::unit::{closure_sink, closure_source, PassThrough};
+/// use swing_core::Tuple;
+/// use swing_runtime::registry::UnitRegistry;
+/// use swing_runtime::sim::{SimSwarm, SimSwarmConfig};
+///
+/// let mut g = AppGraph::new("demo");
+/// let s = g.add_source("src");
+/// let o = g.add_operator("work");
+/// let k = g.add_sink("out");
+/// g.connect(s, o).unwrap();
+/// g.connect(o, k).unwrap();
+/// let registry = || {
+///     let mut r = UnitRegistry::new();
+///     r.register_source("src", || closure_source(|_| Some(Tuple::new())));
+///     r.register_operator("work", || PassThrough);
+///     r.register_sink("out", || closure_sink(|_, _| ()));
+///     r
+/// };
+/// let mut swarm = SimSwarm::start(
+///     g,
+///     vec![("A".into(), registry()), ("B".into(), registry())],
+///     SimSwarmConfig::default(),
+/// )
+/// .unwrap();
+/// swarm.run_for(10 * swing_core::SECOND_US); // ten virtual seconds
+/// let reports = swarm.finish();
+/// assert!(reports[0].1.consumed > 0);
+/// ```
+pub struct SimSwarm {
+    clock: Arc<VirtualClock>,
+    fabric: Arc<SimFabric>,
+    queue: EventQueue<SimEvent>,
+    workers: Vec<SimWorker>,
+    execs: Vec<SimExec>,
+    /// Global unit → exec index.
+    by_unit: HashMap<UnitId, usize>,
+    config: SimSwarmConfig,
+}
+
+impl std::fmt::Debug for SimSwarm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimSwarm")
+            .field("now_us", &self.queue.now_us())
+            .field("workers", &self.workers.len())
+            .field("execs", &self.execs.len())
+            .finish()
+    }
+}
+
+impl SimSwarm {
+    /// Deploy `graph` across the named workers (same placement rule as
+    /// the live master's `SourceOnFirst`: source and sink on the first
+    /// worker, operators replicated on the rest) and wire every edge
+    /// through a fresh [`SimFabric`] seeded from `config.seed`.
+    pub fn start(
+        graph: AppGraph,
+        workers: Vec<(String, UnitRegistry)>,
+        config: SimSwarmConfig,
+    ) -> NetResult<SimSwarm> {
+        if workers.is_empty() {
+            return Err(NetError::Malformed(
+                "a sim swarm needs at least one worker".into(),
+            ));
+        }
+        graph
+            .validate()
+            .map_err(|e| NetError::Malformed(format!("invalid graph: {e}")))?;
+        config
+            .link
+            .validate()
+            .map_err(|e| NetError::Malformed(format!("invalid link model: {e}")))?;
+        config
+            .node
+            .retry
+            .validate()
+            .map_err(|e| NetError::Malformed(format!("invalid retry config: {e}")))?;
+
+        let clock = VirtualClock::shared();
+        let fabric = SimFabric::new(config.seed);
+        fabric.set_default_link(config.link);
+        // Event timestamps follow the swarm's virtual clock, so a
+        // traced run is reproducible down to the event ring.
+        let tel_clock = Arc::clone(&clock);
+        config
+            .node
+            .telemetry
+            .set_time_source(move || tel_clock.now_us());
+
+        let mut sim = SimSwarm {
+            clock: Arc::clone(&clock),
+            fabric: Arc::clone(&fabric),
+            queue: EventQueue::new(),
+            workers: Vec::new(),
+            execs: Vec::new(),
+            by_unit: HashMap::new(),
+            config,
+        };
+
+        for (name, _) in &workers {
+            let (addr, inbox) = fabric.listen_impl();
+            sim.workers.push(SimWorker {
+                name: name.clone(),
+                addr,
+                inbox,
+                alive: true,
+            });
+        }
+
+        // Placement: mirror Master::hosts_for under SourceOnFirst.
+        let mut next_unit = 0u32;
+        let mut stage_instances: HashMap<swing_core::graph::StageId, Vec<UnitId>> = HashMap::new();
+        for stage in graph.stages() {
+            let spec = graph.stage(stage).expect("stage exists");
+            let hosts: Vec<usize> = match spec.role {
+                Role::Source | Role::Sink => vec![0],
+                Role::Operator => {
+                    if workers.len() > 1 {
+                        (1..workers.len()).collect()
+                    } else {
+                        vec![0]
+                    }
+                }
+            };
+            for w in hosts {
+                let registry = &workers[w].1;
+                let Some(any) = registry.create(&spec.name) else {
+                    return Err(NetError::Malformed(format!(
+                        "worker {} has no unit installed for stage {}",
+                        workers[w].0, spec.name
+                    )));
+                };
+                let unit = UnitId(next_unit);
+                next_unit += 1;
+                let mut node = sim.config.node.clone();
+                node.clock = clock.clone();
+                node.worker_label.clone_from(&workers[w].0);
+                let mut disp = Dispatcher::new(unit, &node);
+                disp.enable_loss_log();
+                let role = match any {
+                    AnyUnit::Source(src) => ExecRole::Source {
+                        src,
+                        pacer: Pacer::new(node.input_fps, 0),
+                        seq: 0,
+                        done: false,
+                    },
+                    AnyUnit::Operator(mut op) => {
+                        op.on_start();
+                        ExecRole::Operator { op }
+                    }
+                    AnyUnit::Sink(sink) => ExecRole::Sink {
+                        sink,
+                        reorder: ReorderBuffer::new(node.reorder),
+                        meter: Arc::new(SinkMeter::default()),
+                        reported_skipped: 0,
+                    },
+                };
+                let idx = sim.execs.len();
+                sim.by_unit.insert(unit, idx);
+                sim.execs.push(SimExec {
+                    unit,
+                    worker: w,
+                    disp,
+                    role,
+                    alive: true,
+                    armed_timer: None,
+                });
+                stage_instances.entry(stage).or_default().push(unit);
+            }
+        }
+
+        // Wire edges: each (upstream instance, downstream instance)
+        // pair gets its own dialed link in both directions (data
+        // forward, ACKs back), exactly like the master's Connect fan-out.
+        for &(from_stage, to_stage) in graph.edges() {
+            let ups = stage_instances
+                .get(&from_stage)
+                .cloned()
+                .unwrap_or_default();
+            let downs = stage_instances.get(&to_stage).cloned().unwrap_or_default();
+            for &up in &ups {
+                for &down in &downs {
+                    let up_idx = sim.by_unit[&up];
+                    let down_idx = sim.by_unit[&down];
+                    let down_addr = sim.workers[sim.execs[down_idx].worker].addr.clone();
+                    let up_addr = sim.workers[sim.execs[up_idx].worker].addr.clone();
+                    let tx_data = fabric.dial_impl(&down_addr)?;
+                    sim.execs[up_idx].disp.add_downstream(down, tx_data);
+                    let tx_ack = fabric.dial_impl(&up_addr)?;
+                    sim.execs[down_idx].disp.add_upstream(up, tx_ack);
+                }
+            }
+        }
+
+        // First pacing tick of every source at t = 0.
+        for i in 0..sim.execs.len() {
+            if matches!(sim.execs[i].role, ExecRole::Source { .. }) {
+                sim.queue.schedule(0, SimEvent::SourceTick(i));
+            }
+        }
+        // Reorder polls for every sink.
+        let poll = sim.config.reorder_poll_us;
+        for i in 0..sim.execs.len() {
+            if matches!(sim.execs[i].role, ExecRole::Sink { .. }) {
+                sim.queue.schedule(poll, SimEvent::ReorderPoll(i));
+            }
+        }
+        Ok(sim)
+    }
+
+    /// The virtual clock every unit in this swarm reads.
+    #[must_use]
+    pub fn clock(&self) -> Arc<VirtualClock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// The telemetry domain the swarm emits into.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.config.node.telemetry
+    }
+
+    /// The simulated transport (fault counters, live link overrides).
+    #[must_use]
+    pub fn fabric(&self) -> Arc<SimFabric> {
+        Arc::clone(&self.fabric)
+    }
+
+    /// Current virtual time, microseconds.
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        self.queue.now_us()
+    }
+
+    /// Schedule an abrupt crash of the named worker at absolute virtual
+    /// time `at_us`: its inbox and inbound links drop (senders see a
+    /// broken channel), its units stop, and after
+    /// [`SimSwarmConfig::eviction_delay_us`] the survivors evict its
+    /// units — the heartbeat-prune path. `false` if no such worker.
+    pub fn crash_worker_at(&mut self, name: &str, at_us: u64) -> bool {
+        match self.workers.iter().position(|w| w.name == name) {
+            Some(w) => {
+                self.queue.schedule(at_us, SimEvent::Crash(w));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run the event loop until virtual time reaches `until_us` (events
+    /// beyond the horizon stay queued). Wall time spent here is
+    /// proportional to the number of events, not to the simulated span.
+    pub fn run_until(&mut self, until_us: u64) {
+        self.pump_fabric();
+        while let Some(t) = self.queue.peek_time() {
+            if t > until_us {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event");
+            self.clock.advance_to(now);
+            self.handle(now, ev);
+            self.pump_fabric();
+        }
+        self.clock.advance_to(until_us);
+        // EventQueue::now_us only advances on pop; pin it to the
+        // horizon so a subsequent schedule cannot land in the past.
+        self.queue.schedule(until_us, SimEvent::Timer(usize::MAX));
+        let _ = self.queue.pop();
+    }
+
+    /// Advance virtual time by `span_us` from now.
+    pub fn run_for(&mut self, span_us: u64) {
+        self.run_until(self.now_us() + span_us);
+    }
+
+    /// Per-unit delivery counters, built exactly like
+    /// [`LocalSwarm::delivery_stats`] — one consistent telemetry
+    /// snapshot, dead workers excluded.
+    ///
+    /// [`LocalSwarm::delivery_stats`]: crate::swarm::LocalSwarm::delivery_stats
+    pub fn delivery_stats(&mut self) -> DeliveryByUnit {
+        for e in &mut self.execs {
+            if e.alive {
+                e.disp.publish();
+            }
+        }
+        let live: Vec<String> = self
+            .workers
+            .iter()
+            .filter(|w| w.alive)
+            .map(|w| w.name.clone())
+            .collect();
+        delivery_from_snapshot(&self.config.node.telemetry.snapshot(), &live)
+    }
+
+    /// Swarm-wide delivery counters, merged over every live unit.
+    pub fn delivery_totals(&mut self) -> DeliveryStats {
+        let mut total = DeliveryStats::default();
+        for (_, _, s) in self.delivery_stats() {
+            total.merge(&s);
+        }
+        total
+    }
+
+    /// Sequence numbers every live dispatcher counted lost so far
+    /// (sorted, deduplicated across units). Draining: a second call
+    /// returns only losses recorded since.
+    pub fn lost_seqs(&mut self) -> Vec<SeqNo> {
+        let mut lost: Vec<SeqNo> = Vec::new();
+        for e in &mut self.execs {
+            lost.extend(e.disp.take_lost_seqs());
+        }
+        lost.sort_unstable();
+        lost.dedup();
+        lost
+    }
+
+    /// Let the in-flight tail settle (every retry deadline serviced or
+    /// the retry budget exhausted), then flush sinks and return
+    /// `(worker name, sink report)` pairs — the [`LocalSwarm::stop`]
+    /// shape.
+    ///
+    /// [`LocalSwarm::stop`]: crate::swarm::LocalSwarm::stop
+    pub fn finish(mut self) -> Vec<(String, SinkReport)> {
+        // Worst-case virtual time for one tuple to exhaust its budget,
+        // mirroring Dispatcher::drain_tail.
+        let retry = &self.config.node.retry;
+        let budget = if retry.enabled {
+            retry.deadline_ceiling_us * (u64::from(retry.max_retries) + 2)
+        } else {
+            2 * (self.config.link.base_delay_us + self.config.link.jitter_us)
+                + timing::PENDING_RETRY_TICK_US
+        };
+        let deadline = self.now_us() + budget;
+        while self.now_us() < deadline
+            && self
+                .execs
+                .iter()
+                .any(|e| e.alive && (e.disp.inflight_len() > 0 || e.disp.pending_len() > 0))
+        {
+            let step = self.now_us() + timing::PENDING_RETRY_TICK_US;
+            self.run_until(step.min(deadline));
+        }
+        let now = self.now_us();
+        let mut reports = Vec::new();
+        for e in &mut self.execs {
+            // Final publish, as executors do on shutdown; a dead unit's
+            // state died with its worker.
+            if e.alive {
+                e.disp.publish();
+            }
+            if let ExecRole::Sink {
+                sink,
+                reorder,
+                meter,
+                ..
+            } = &mut e.role
+            {
+                if e.alive {
+                    for played in reorder.flush(now) {
+                        Self::play_one(played.item, now, meter, sink);
+                    }
+                    meter.set_skipped(reorder.skipped());
+                }
+                reports.push((self.workers[e.worker].name.clone(), meter.report()));
+            }
+        }
+        reports
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    /// Move messages the last event put on the wire into the queue.
+    fn pump_fabric(&mut self) {
+        for (at, addr, msg) in self.fabric.poll(self.queue.now_us()) {
+            self.queue.schedule(at, SimEvent::Deliver { addr, msg });
+        }
+    }
+
+    /// (Re-)arm the retry-timer event of exec `i` if it needs an
+    /// earlier wake-up than the one already queued.
+    fn arm_timer(&mut self, i: usize, now: u64) {
+        if !self.execs[i].alive {
+            return;
+        }
+        let Some(wake) = self.execs[i].disp.next_wake_us() else {
+            return;
+        };
+        let wake = wake.max(now);
+        let stale = match self.execs[i].armed_timer {
+            Some(armed) => wake < armed || armed <= now,
+            None => true,
+        };
+        if stale {
+            self.queue.schedule(wake, SimEvent::Timer(i));
+            self.execs[i].armed_timer = Some(wake);
+        }
+    }
+
+    fn play_one(
+        tuple: Tuple,
+        now: u64,
+        meter: &SinkMeter,
+        sink: &mut Box<dyn swing_core::unit::SinkUnit>,
+    ) {
+        let latency_ms = tuple
+            .i64(CREATED_US_FIELD)
+            .ok()
+            .map(|c| (now as i64 - c) as f64 / 1_000.0);
+        meter.record(latency_ms, now);
+        sink.consume(tuple, now);
+    }
+
+    fn handle(&mut self, now: u64, ev: SimEvent) {
+        match ev {
+            SimEvent::SourceTick(i) => self.on_source_tick(i, now),
+            SimEvent::Deliver { addr, msg } => self.on_deliver(&addr, msg, now),
+            SimEvent::Timer(i) => {
+                if i == usize::MAX {
+                    return; // run_until horizon pin
+                }
+                if self.execs[i].alive {
+                    self.execs[i].armed_timer = None;
+                    self.execs[i].disp.service_timers();
+                    self.arm_timer(i, now);
+                }
+            }
+            SimEvent::ReorderPoll(i) => self.on_reorder_poll(i, now),
+            SimEvent::Crash(w) => self.on_crash(w, now),
+            SimEvent::Evict(w) => self.on_evict(w, now),
+        }
+    }
+
+    fn on_source_tick(&mut self, i: usize, now: u64) {
+        if !self.execs[i].alive {
+            return;
+        }
+        let telemetry = self.config.node.telemetry.clone();
+        let e = &mut self.execs[i];
+        let ExecRole::Source {
+            src,
+            pacer,
+            seq,
+            done,
+        } = &mut e.role
+        else {
+            return;
+        };
+        if *done {
+            return;
+        }
+        pacer.consume_next();
+        match src.next_tuple(now) {
+            None => {
+                // Stream exhausted: retry timers keep draining the tail.
+                *done = true;
+            }
+            Some(mut tuple) => {
+                tuple.set_seq(SeqNo(*seq));
+                telemetry.record_stage(*seq, e.unit.0, Stage::Sensed);
+                *seq += 1;
+                if !tuple.contains(CREATED_US_FIELD) {
+                    tuple.set_value(CREATED_US_FIELD, now as i64);
+                }
+                e.disp.router_mut().note_arrival(now);
+                e.disp.dispatch(tuple);
+                let next = pacer.next_due_us();
+                self.queue.schedule(next, SimEvent::SourceTick(i));
+            }
+        }
+        self.arm_timer(i, now);
+    }
+
+    fn on_deliver(&mut self, addr: &str, msg: Message, now: u64) {
+        if !self.fabric.deliver(addr, msg) {
+            return; // crashed endpoint: the message evaporates
+        }
+        let Some(w) = self.workers.iter().position(|x| x.addr == addr) else {
+            return;
+        };
+        // Drain the inbox through the real listen-side receiver (the
+        // clone shares the channel; it frees `self` for the handlers).
+        let inbox = self.workers[w].inbox.clone();
+        while let Ok(msg) = inbox.try_recv() {
+            match msg {
+                Message::Data { dest, from, tuple } => self.on_data(dest, from, tuple, now),
+                Message::Ack {
+                    seq,
+                    to,
+                    processing_us,
+                    ..
+                } => {
+                    if let Some(&i) = self.by_unit.get(&to) {
+                        if self.execs[i].alive {
+                            self.execs[i].disp.on_ack(seq, processing_us);
+                            self.arm_timer(i, now);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The run_operator / run_sink data path, event-shaped: dedup,
+    /// ACK, process, dispatch results. Same calls, same order.
+    fn on_data(&mut self, dest: UnitId, from: UnitId, tuple: Tuple, now: u64) {
+        let Some(&i) = self.by_unit.get(&dest) else {
+            return;
+        };
+        if !self.execs[i].alive {
+            return;
+        }
+        let telemetry = self.config.node.telemetry.clone();
+        let service_us = self.config.service_us;
+        let e = &mut self.execs[i];
+        let seq = tuple.seq();
+        let sent_at = tuple.sent_at_us();
+        match &mut e.role {
+            ExecRole::Source { .. } => {}
+            ExecRole::Operator { op } => {
+                if !e.disp.observe_fresh(from, seq) {
+                    // Duplicate (retransmit after a lost ACK): re-ACK,
+                    // process nothing.
+                    e.disp.ack(from, seq, sent_at, 0);
+                    return;
+                }
+                let created = tuple.i64(CREATED_US_FIELD).ok();
+                e.disp.router_mut().note_arrival(now);
+                let mut outputs: Vec<Tuple> = Vec::new();
+                {
+                    let mut ctx = Context::new(now, &mut outputs);
+                    op.process_data(tuple, &mut ctx);
+                }
+                // Virtual time stands still while the unit computes;
+                // the modeled service time rides the ACK, feeding the
+                // router's processing-delay term (§V-B).
+                telemetry.record_stage(seq.0, dest.0, Stage::Processed);
+                e.disp.ack(from, seq, sent_at, service_us);
+                for mut o in outputs {
+                    o.set_seq(seq);
+                    if let Some(c) = created {
+                        if !o.contains(CREATED_US_FIELD) {
+                            o.set_value(CREATED_US_FIELD, c);
+                        }
+                    }
+                    e.disp.dispatch(o);
+                }
+                self.arm_timer(i, now);
+            }
+            ExecRole::Sink {
+                sink,
+                reorder,
+                meter,
+                ..
+            } => {
+                e.disp.ack(from, seq, sent_at, 0);
+                if !e.disp.observe_fresh(from, seq) {
+                    return;
+                }
+                telemetry.record_stage(seq.0, dest.0, Stage::Played);
+                for played in reorder.push(seq, tuple, now) {
+                    Self::play_one(played.item, now, meter, sink);
+                }
+            }
+        }
+    }
+
+    fn on_reorder_poll(&mut self, i: usize, now: u64) {
+        if !self.execs[i].alive {
+            return;
+        }
+        let e = &mut self.execs[i];
+        if let ExecRole::Sink {
+            sink,
+            reorder,
+            meter,
+            reported_skipped,
+        } = &mut e.role
+        {
+            for played in reorder.poll(now) {
+                Self::play_one(played.item, now, meter, sink);
+            }
+            let s = reorder.skipped();
+            *reported_skipped = s;
+            meter.set_skipped(s);
+            self.queue
+                .schedule(now + self.config.reorder_poll_us, SimEvent::ReorderPoll(i));
+        }
+    }
+
+    fn on_crash(&mut self, w: usize, _now: u64) {
+        if !self.workers[w].alive {
+            return;
+        }
+        self.workers[w].alive = false;
+        self.fabric.crash(&self.workers[w].addr);
+        for e in &mut self.execs {
+            if e.worker == w {
+                e.alive = false;
+            }
+        }
+        // The master's heartbeat prune notices after a detection delay;
+        // dispatchers with traffic in flight discover the broken links
+        // themselves before that.
+        self.queue.schedule(
+            self.queue.now_us() + self.config.eviction_delay_us,
+            SimEvent::Evict(w),
+        );
+    }
+
+    fn on_evict(&mut self, w: usize, now: u64) {
+        let dead: Vec<UnitId> = self
+            .execs
+            .iter()
+            .filter(|e| e.worker == w)
+            .map(|e| e.unit)
+            .collect();
+        for i in 0..self.execs.len() {
+            if !self.execs[i].alive {
+                continue;
+            }
+            for &du in &dead {
+                self.execs[i].disp.remove_downstream(du);
+                self.execs[i].disp.remove_upstream(du);
+            }
+            self.execs[i].disp.flush_pending();
+            self.arm_timer(i, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swing_core::config::RetryConfig;
+    use swing_core::routing::Policy;
+    use swing_core::unit::{closure_sink, closure_source, PassThrough};
+    use swing_core::SECOND_US;
+
+    fn graph() -> AppGraph {
+        let mut g = AppGraph::new("sim-test");
+        let s = g.add_source("src");
+        let o = g.add_operator("work");
+        let k = g.add_sink("out");
+        g.connect(s, o).unwrap();
+        g.connect(o, k).unwrap();
+        g
+    }
+
+    fn registry(frames: u64) -> UnitRegistry {
+        let mut r = UnitRegistry::new();
+        r.register_source("src", move || {
+            let count = std::sync::atomic::AtomicU64::new(0);
+            closure_source(move |_now| {
+                if count.fetch_add(1, Ordering::Relaxed) < frames {
+                    Some(Tuple::new().with("v", 1i64))
+                } else {
+                    None
+                }
+            })
+        });
+        r.register_operator("work", || PassThrough);
+        r.register_sink("out", || closure_sink(|_, _| ()));
+        r
+    }
+
+    fn config(seed: u64, drop: f64) -> SimSwarmConfig {
+        let mut c = SimSwarmConfig {
+            seed,
+            link: SimLinkConfig::default().with_drop(drop),
+            ..SimSwarmConfig::default()
+        };
+        c.node.input_fps = 30.0;
+        c.node.router = swing_core::routing::RouterConfig::new(Policy::Lrs);
+        c.node.telemetry = Telemetry::new();
+        c
+    }
+
+    #[test]
+    fn clean_run_delivers_everything_in_order() {
+        let mut swarm = SimSwarm::start(
+            graph(),
+            vec![("A".into(), registry(100)), ("B".into(), registry(100))],
+            config(7, 0.0),
+        )
+        .unwrap();
+        swarm.run_for(10 * SECOND_US);
+        let totals = swarm.delivery_totals();
+        assert_eq!(totals.lost, 0, "clean links lose nothing");
+        let reports = swarm.finish();
+        let consumed: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
+        assert_eq!(consumed, 100, "every frame reached the sink");
+        assert_eq!(reports[0].1.skipped, 0);
+    }
+
+    #[test]
+    fn sixty_simulated_seconds_run_in_well_under_a_second() {
+        let wall = std::time::Instant::now();
+        let mut swarm = SimSwarm::start(
+            graph(),
+            vec![("A".into(), registry(u64::MAX)), ("B".into(), registry(0))],
+            config(3, 0.02),
+        )
+        .unwrap();
+        swarm.run_for(60 * SECOND_US);
+        assert!(swarm.now_us() >= 60 * SECOND_US);
+        let totals = swarm.delivery_totals();
+        // 30 fps for 60 s ≈ 1800 frames sensed and dispatched.
+        assert!(totals.sent > 1_500, "only {} sent", totals.sent);
+        assert!(
+            wall.elapsed() < std::time::Duration::from_secs(1),
+            "simulation too slow: {:?}",
+            wall.elapsed()
+        );
+    }
+
+    #[test]
+    fn lossy_links_recover_via_retransmission() {
+        let mut cfg = config(11, 0.10);
+        // A tuple may burn several ACK deadlines before it lands; give
+        // the sink a reorder window wide enough to still play it.
+        cfg.node.reorder = swing_core::config::ReorderConfig {
+            span_us: 10 * SECOND_US,
+        };
+        let mut swarm = SimSwarm::start(
+            graph(),
+            vec![("A".into(), registry(200)), ("B".into(), registry(0))],
+            cfg,
+        )
+        .unwrap();
+        swarm.run_for(30 * SECOND_US);
+        let totals = swarm.delivery_totals();
+        assert!(totals.retried > 0, "10% drop must force retransmissions");
+        assert_eq!(totals.lost, 0, "retries must recover every drop");
+        assert!(swarm.fabric().dropped() > 0);
+        let reports = swarm.finish();
+        let consumed: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
+        assert_eq!(consumed, 200);
+    }
+
+    #[test]
+    fn disabled_retries_lose_dropped_tuples() {
+        let mut cfg = config(11, 0.10);
+        cfg.node.retry = RetryConfig::disabled();
+        let mut swarm = SimSwarm::start(
+            graph(),
+            vec![("A".into(), registry(200)), ("B".into(), registry(0))],
+            cfg,
+        )
+        .unwrap();
+        swarm.run_for(30 * SECOND_US);
+        let reports = swarm.finish();
+        let consumed: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
+        assert!(consumed < 200, "drops must show without retransmission");
+        assert!(consumed > 100, "most frames still arrive");
+    }
+
+    #[test]
+    fn crash_mid_run_reroutes_to_the_survivor() {
+        let mut swarm = SimSwarm::start(
+            graph(),
+            vec![
+                ("A".into(), registry(u64::MAX)),
+                ("B".into(), registry(0)),
+                ("C".into(), registry(0)),
+            ],
+            config(5, 0.0),
+        )
+        .unwrap();
+        assert!(swarm.crash_worker_at("C", 5 * SECOND_US));
+        assert!(!swarm.crash_worker_at("nope", SECOND_US));
+        swarm.run_for(15 * SECOND_US);
+        let stats = swarm.delivery_stats();
+        assert!(
+            stats.iter().all(|(w, _, _)| w != "C"),
+            "dead worker still reported"
+        );
+        let totals = swarm.delivery_totals();
+        // The source keeps dispatching after the crash, re-routing
+        // everything through B.
+        assert!(totals.sent > 300, "only {} sent", totals.sent);
+    }
+
+    #[test]
+    fn same_seed_same_history() {
+        let run = |seed: u64| {
+            let mut swarm = SimSwarm::start(
+                graph(),
+                vec![("A".into(), registry(300)), ("B".into(), registry(0))],
+                config(seed, 0.08),
+            )
+            .unwrap();
+            swarm.run_for(20 * SECOND_US);
+            let totals = swarm.delivery_totals();
+            let dropped = swarm.fabric().dropped();
+            let reports = swarm.finish();
+            let consumed: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
+            (totals, dropped, consumed)
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed must reproduce the same history");
+        let c = run(43);
+        assert_ne!(a.1, c.1, "different seeds draw different fault patterns");
+    }
+
+    #[test]
+    fn link_model_rejects_bad_probability() {
+        let mut cfg = SimSwarmConfig::default();
+        cfg.link.drop_prob = 1.5;
+        let err = SimSwarm::start(graph(), vec![("A".into(), UnitRegistry::new())], cfg);
+        assert!(err.is_err());
+    }
+}

@@ -111,6 +111,17 @@ impl LocalSwarmBuilder {
         self
     }
 
+    /// Drive every executor in the swarm from this clock (default: the
+    /// process-global real clock, so timestamps stay comparable across
+    /// swarms). The live threads still schedule with real waits — for
+    /// discrete-event virtual time use [`crate::sim::SimSwarm`], which
+    /// single-threads the same dispatch machinery.
+    #[must_use]
+    pub fn clock(mut self, clock: swing_core::clock::ClockHandle) -> Self {
+        self.node_config.clock = clock;
+        self
+    }
+
     /// Wrap the swarm's fabric in deterministic fault injection (call
     /// after [`tcp`](Self::tcp) if combining). The control handle is
     /// available from [`LocalSwarm::chaos`] after start.
@@ -175,6 +186,11 @@ impl LocalSwarmBuilder {
         };
         // TCP links report frames/bytes/timing into the swarm's domain.
         fabric.set_telemetry(&self.node_config.telemetry);
+        // Event timestamps follow the injected clock (real or virtual).
+        let tel_clock = self.node_config.clock.clone();
+        self.node_config
+            .telemetry
+            .set_time_source(move || tel_clock.now_us());
         let master = Master::spawn(
             self.graph,
             MasterConfig {
@@ -379,8 +395,12 @@ impl LocalSwarm {
 /// Group a registry snapshot's `swing_exec_*_total` counters back into
 /// per-unit [`DeliveryStats`], keeping only metrics of live workers (a
 /// killed worker's counters stay in the registry but no longer describe
-/// a running executor).
-fn delivery_from_snapshot(snap: &swing_telemetry::Snapshot, live: &[String]) -> DeliveryByUnit {
+/// a running executor). Shared with the deterministic harness
+/// ([`crate::sim::SimSwarm`]), whose stats must group identically.
+pub(crate) fn delivery_from_snapshot(
+    snap: &swing_telemetry::Snapshot,
+    live: &[String],
+) -> DeliveryByUnit {
     use std::collections::BTreeMap;
     use swing_telemetry::names as n;
     let mut map: BTreeMap<(String, u32), DeliveryStats> = BTreeMap::new();

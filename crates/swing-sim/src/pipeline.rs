@@ -27,17 +27,12 @@ use swing_core::graph::{AppGraph, Deployment, Role, StageId};
 use swing_core::rate::Pacer;
 use swing_core::routing::Router;
 use swing_core::stats::Summary;
+use swing_core::timing::{ACK_DELAY_US, LOCAL_HOP_US};
 use swing_core::{DeviceId, SeqNo, UnitId, SECOND_US};
 use swing_device::mobility::SignalZone;
 use swing_device::profile::DeviceProfile;
 use swing_device::radio::link_quality;
 use swing_net::link::SenderRadio;
-
-/// In-memory hand-off cost between co-located instances, microseconds.
-const LOCAL_HOP_US: u64 = 200;
-
-/// ACK uplink delay, microseconds (ACKs are tiny).
-const ACK_DELAY_US: u64 = 3_000;
 
 /// Per-stage compute cost: milliseconds on the reference device (`H`);
 /// other devices scale by their speed factor. Stages not listed cost 0

@@ -3,9 +3,14 @@
 //! sensed frames to worker devices over a shared Wi-Fi AP, workers
 //! computing and returning results to a sink co-located with the source.
 //!
-//! The routing layer is *not* simulated: the simulator embeds the real
-//! [`Router`] from `swing-core`, driving it with simulated timestamps and
-//! ACKs, so the exact production LRS/RR/PR/LR/PRS code paths are measured.
+//! The dispatch layer is *not* simulated: the simulator embeds the real
+//! [`Dispatcher`] from `swing-runtime` — the same routing / pending-queue
+//! / orphan-reclaim state machine the live executors run — driving it
+//! under a [`VirtualClock`] with simulated ACKs, so the exact production
+//! LRS/RR/PR/LR/PRS code paths are measured. The simulator contributes
+//! only what the runtime cannot know: the physics (radio link queues,
+//! CPU service times, mobility, energy) and the per-frame lifecycle
+//! records behind the paper's figures.
 //!
 //! ## Transport model
 //!
@@ -25,30 +30,41 @@
 //!    and collapses RR throughput to roughly `n × min_i rate_i`).
 //!    The source's sensing buffer is bounded, so a stalled dispatcher
 //!    drops frames exactly like a camera missing frames.
+//!
+//! The windows map onto the dispatcher's link gates
+//! ([`Dispatcher::set_link_up`]) in *paced* mode: the simulator
+//! transmits one tuple per [`Dispatcher::flush_one`] call and refreshes
+//! the gates between sends, so the shared state machine observes the
+//! same flow control a TCP socket buffer would impose.
 
 use crate::engine::EventQueue;
 use crate::metrics::{FrameRecord, SwarmReport, TimelinePoint, WorkerStats};
+use crossbeam::channel::{unbounded, Receiver};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
-use swing_core::config::{ReorderConfig, RouterConfig};
+use std::sync::Arc;
+use swing_core::clock::VirtualClock;
+use swing_core::config::{ReorderConfig, RetryConfig, RouterConfig};
 use swing_core::rate::Pacer;
 use swing_core::reorder::ReorderBuffer;
-use swing_core::routing::Router;
 use swing_core::stats::{Reservoir, Summary};
-use swing_core::{SeqNo, UnitId, SECOND_US};
+use swing_core::{timing, SeqNo, Tuple, UnitId, SECOND_US};
 use swing_device::cpu::CpuModel;
 use swing_device::mobility::{MobilityTrace, SignalZone};
 use swing_device::power::{EnergyLedger, PowerModel};
 use swing_device::profile::{DeviceProfile, Workload};
 use swing_device::radio::{link_quality, LinkQuality};
 use swing_net::link::SenderRadio;
+use swing_net::Message;
+use swing_runtime::{Dispatcher, NodeConfig};
 
-/// Wire overhead added to each frame payload (headers, keys).
-const TUPLE_OVERHEAD_BYTES: usize = 40;
-
-/// Size of an ACK + result message sent back by a worker.
-const ACK_BYTES: usize = 220;
+/// ACK deadline used when `resend_orphans` is on: pushed past any
+/// plausible run length so departure reclaim is the *only*
+/// retransmission trigger — the reliability extension re-dispatches
+/// orphans of departed devices, it does not add timer-based
+/// retransmission on top of the paper's prototype.
+const ORPHAN_RECLAIM_DEADLINE_US: u64 = 3_600 * SECOND_US;
 
 /// Static description of one worker device in a scenario.
 #[derive(Debug, Clone)]
@@ -148,7 +164,9 @@ pub struct SwarmConfig {
     pub link_break_us: u64,
     /// Re-dispatch frames orphaned by a departing device instead of
     /// losing them — the reliability extension MobiStreams explores (the
-    /// paper's prototype loses them: "13 frames are lost").
+    /// paper's prototype loses them: "13 frames are lost"). Maps onto
+    /// the dispatcher's retry machinery with the ACK deadline pushed
+    /// past the run length, so eviction reclaim is the only resend path.
     pub resend_orphans: bool,
     /// Input-rate schedule: at each `(time_us, fps)` step the source
     /// changes its sensing rate. Applied on top of `input_fps`.
@@ -183,8 +201,6 @@ impl SwarmConfig {
 enum Ev {
     /// The source senses its next frame.
     Generate,
-    /// Try to move frames from the sensing buffer to the network.
-    Dispatch,
     /// Frame `seq` fully arrived at worker `w`.
     Arrive { w: usize, seq: u64 },
     /// Worker `w` finished processing frame `seq`.
@@ -212,6 +228,10 @@ struct WorkerState {
     cpu: CpuModel,
     power: PowerModel,
     active: bool,
+    /// The receiving end of the dispatcher's link toward this worker:
+    /// tuples the shared dispatch state machine put "on the wire",
+    /// awaiting the radio physics.
+    wire: Option<Receiver<Message>>,
     /// Frames waiting for the CPU (seq numbers).
     queue: VecDeque<u64>,
     busy: bool,
@@ -248,6 +268,7 @@ impl WorkerState {
             cpu,
             power,
             active,
+            wire: None,
             queue: VecDeque::new(),
             busy: false,
             window_bytes: 0,
@@ -275,14 +296,14 @@ impl WorkerState {
 pub struct Swarm {
     config: SwarmConfig,
     workers: Vec<WorkerState>,
-    router: Router,
+    /// The production dispatch state machine (routing, pending queue,
+    /// committed destinations, orphan reclaim), driven in paced mode
+    /// under the simulator's virtual clock.
+    disp: Dispatcher,
+    clock: Arc<VirtualClock>,
     queue: EventQueue<Ev>,
     rng: StdRng,
     pacer: Pacer,
-    /// Sensed frames waiting to be dispatched (seq numbers).
-    sensing_buffer: VecDeque<u64>,
-    /// A frame routed to a full-window destination, waiting for space.
-    pending: Option<(u64, usize)>,
     reorder: ReorderBuffer<u64>,
     frames: Vec<FrameRecord>,
     frame_bytes: usize,
@@ -314,21 +335,47 @@ impl Swarm {
     #[must_use]
     pub fn new(config: SwarmConfig, workers: Vec<WorkerSpec>) -> Self {
         assert!(!workers.is_empty(), "a swarm needs at least one worker");
-        let mut router = Router::new(config.router.clone(), config.seed);
+        let clock = VirtualClock::shared();
+        let retry = if config.resend_orphans {
+            RetryConfig {
+                deadline_floor_us: ORPHAN_RECLAIM_DEADLINE_US,
+                deadline_ceiling_us: ORPHAN_RECLAIM_DEADLINE_US,
+                ..RetryConfig::default()
+            }
+        } else {
+            // Paper-prototype behavior: fire and forget; orphans of a
+            // departed device are counted lost.
+            RetryConfig::disabled()
+        };
+        let node = NodeConfig {
+            router: config.router.clone(),
+            input_fps: config.input_fps,
+            reorder: config.reorder,
+            retry,
+            worker_label: "sim-source".to_string(),
+            clock: clock.clone(),
+            ..NodeConfig::default()
+        };
+        // The source's dispatcher: unit 0; workers are units 1..=N.
+        let mut disp = Dispatcher::new(UnitId(0), &node);
+        disp.set_paced(true);
+        disp.enable_loss_log();
         if config.demand_hint {
-            router.set_demand_hint(Some(config.input_fps));
+            disp.router_mut().set_demand_hint(Some(config.input_fps));
         }
         let mut queue = EventQueue::new();
         let workload = config.workload;
-        let states: Vec<WorkerState> = workers
+        let mut states: Vec<WorkerState> = workers
             .into_iter()
             .map(|spec| WorkerState::new(spec, workload))
             .collect();
         // Register initially-present workers; schedule joins/leaves and
         // background/mobility steps.
-        for (w, st) in states.iter().enumerate() {
+        for (w, st) in states.iter_mut().enumerate() {
             if st.active {
-                router.add_downstream(unit_of(w), 0);
+                let (tx, rx) = unbounded();
+                st.wire = Some(rx);
+                disp.add_downstream(unit_of(w), tx);
             } else {
                 queue.schedule(st.spec.join_at_us, Ev::Join { w });
             }
@@ -347,16 +394,15 @@ impl Swarm {
         }
         queue.schedule(0, Ev::Generate);
         queue.schedule(SECOND_US, Ev::MetricsTick);
-        let frame_bytes = workload.frame_bytes() + TUPLE_OVERHEAD_BYTES;
+        let frame_bytes = workload.frame_bytes() + timing::TUPLE_OVERHEAD_BYTES as usize;
         Swarm {
             pacer: Pacer::new(config.input_fps, 0),
             rng: StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             reorder: ReorderBuffer::new(config.reorder),
-            router,
+            disp,
+            clock,
             queue,
             workers: states,
-            sensing_buffer: VecDeque::new(),
-            pending: None,
             frames: Vec::new(),
             frame_bytes,
             generated: 0,
@@ -386,26 +432,29 @@ impl Swarm {
     }
 
     fn handle(&mut self, now: u64, ev: Ev) {
+        // The dispatcher reads time through its injected clock; keep it
+        // in lockstep with the event loop.
+        self.clock.advance_to(now);
         match ev {
             Ev::Generate => self.on_generate(now),
-            Ev::Dispatch => self.try_dispatch(now),
             Ev::Arrive { w, seq } => self.on_arrive(now, w, seq),
             Ev::EndService { w, seq } => self.on_end_service(now, w, seq),
             Ev::AckArrive { seq, processing_us } => {
-                self.router.on_ack(SeqNo(seq), now, processing_us);
+                self.disp.on_ack(SeqNo(seq), processing_us);
             }
             Ev::ResultArrive { seq } => self.on_result(now, seq),
-            Ev::Join { w } => self.on_join(now, w),
-            Ev::Leave { w } => self.on_leave(now, w),
+            Ev::Join { w } => self.on_join(w),
+            Ev::Leave { w } => self.on_leave(w),
             Ev::Background { w, load } => self.workers[w].cpu.set_background_load(load),
             Ev::MobilityCheck { w } => {
                 if self.workers[w].active && !self.workers[w].quality_at(now).connected {
-                    self.on_leave(now, w);
+                    self.on_leave(w);
                 }
             }
             Ev::RateChange { fps } => self.pacer.set_rate(fps),
             Ev::MetricsTick => self.on_metrics_tick(now),
         }
+        self.pump(now);
     }
 
     fn on_generate(&mut self, now: u64) {
@@ -413,105 +462,128 @@ impl Swarm {
         self.generated += 1;
         // The offered load Λ is what the sensor produces, independent of
         // whether the network can currently absorb it.
-        self.router.note_arrival(now);
+        self.disp.router_mut().note_arrival(now);
         self.frames.push(FrameRecord {
             seq,
             created_us: now,
             ..FrameRecord::default()
         });
-        let buffered = self.sensing_buffer.len() + usize::from(self.pending.is_some());
-        if buffered >= self.config.source_buffer_frames {
+        // The dispatcher's pending queue *is* the sensing buffer: every
+        // queued tuple is a sensed frame the network has not absorbed.
+        if self.disp.pending_len() >= self.config.source_buffer_frames {
             // Sensing buffer full: the camera drops this frame.
             self.frames[seq as usize].dropped = true;
             self.dropped += 1;
         } else {
-            self.sensing_buffer.push_back(seq);
-            self.try_dispatch(now);
+            let mut tuple = Tuple::new();
+            tuple.set_seq(SeqNo(seq));
+            self.disp.dispatch(tuple);
         }
         let next = self.pacer.consume_next().max(now + 1);
         self.queue.schedule(next, Ev::Generate);
     }
 
-    /// Move frames from the sensing buffer onto the network until a
-    /// destination window blocks or the buffer empties.
-    fn try_dispatch(&mut self, now: u64) {
-        // First retry the frame blocked on a full window, if any.
-        if let Some((seq, w)) = self.pending {
-            if !self.workers[w].active {
-                // Its destination vanished; put it back for re-routing.
-                self.pending = None;
-                self.sensing_buffer.push_front(seq);
-            } else if self.window_admits(w) {
-                self.pending = None;
-                self.transmit(now, seq, w);
-            } else {
-                return; // still blocked
+    /// Push the dispatcher's output onto the simulated air until it
+    /// blocks (full window, no route) or runs dry: one tuple per flush,
+    /// radio physics applied on observation, byte-window gates refreshed
+    /// between consecutive sends.
+    fn pump(&mut self, now: u64) {
+        loop {
+            self.drain_wire(now);
+            self.settle_losses();
+            if !self.disp.flush_one() {
+                break;
             }
         }
-        while let Some(&seq) = self.sensing_buffer.front() {
-            let Ok(dest) = self.router.route(now) else {
-                // No downstream workers at all: the frame cannot be
-                // processed; count it lost and move on.
-                self.sensing_buffer.pop_front();
-                self.frames[seq as usize].lost = true;
-                self.lost += 1;
+    }
+
+    /// Observe every tuple the dispatcher transmitted and run the radio
+    /// physics for it.
+    fn drain_wire(&mut self, now: u64) {
+        for w in 0..self.workers.len() {
+            let Some(rx) = self.workers[w].wire.clone() else {
                 continue;
             };
-            let w = worker_of(dest);
-            self.sensing_buffer.pop_front();
-            if !self.window_admits(w) {
-                // Head-of-line block: the tuple is committed to `dest`
-                // (like a tuple sitting in a TCP send buffer) and waits.
-                self.pending = Some((seq, w));
-                return;
+            while let Ok(msg) = rx.try_recv() {
+                if let Message::Data { tuple, .. } = msg {
+                    self.on_wire_data(now, w, tuple.seq().0);
+                }
             }
-            self.transmit(now, seq, w);
         }
     }
 
-    /// Whether worker `w`'s in-flight window can take one more frame.
-    /// An empty window always admits a frame, so frames larger than the
-    /// window (72 kB voice frames vs a 32 kB window) still flow — one at
-    /// a time, exactly like TCP with a small socket buffer.
-    fn window_admits(&self, w: usize) -> bool {
-        let used = self.workers[w].window_bytes;
-        used == 0 || used + self.frame_bytes <= self.config.dest_window_bytes
+    /// Settle per-frame records for tuples the dispatcher wrote off
+    /// (no downstream left, or orphaned with retries disabled).
+    fn settle_losses(&mut self) {
+        for seq in self.disp.take_lost_seqs() {
+            self.mark_lost(seq.0);
+        }
     }
 
-    /// Put one frame on the air toward worker `w`.
-    fn transmit(&mut self, now: u64, seq: u64, w: usize) {
+    /// Mirror worker `w`'s in-flight byte window onto the dispatcher's
+    /// link gate. An empty window always admits a frame, so frames
+    /// larger than the window (72 kB voice frames vs a 32 kB window)
+    /// still flow — one at a time, exactly like TCP with a small socket
+    /// buffer.
+    fn sync_gate(&mut self, w: usize) {
+        if !self.workers[w].active {
+            return; // eviction dropped the gate along with the route
+        }
+        let used = self.workers[w].window_bytes;
+        let admits = used == 0 || used + self.frame_bytes <= self.config.dest_window_bytes;
+        self.disp.set_link_up(unit_of(w), admits);
+    }
+
+    /// The dispatcher put frame `seq` on the wire toward worker `w`:
+    /// model the transmission.
+    fn on_wire_data(&mut self, now: u64, w: usize, seq: u64) {
+        if !self.workers[w].active {
+            // Stale: the eviction that killed the worker already
+            // reclaimed (or wrote off) this tuple.
+            return;
+        }
+        if self.frames[seq as usize].completed() {
+            // A reclaim re-sent a frame whose result was already on the
+            // air when its worker left; the receiver would dedup it.
+            return;
+        }
         let quality = self.workers[w].quality_at(now);
         let frame_bytes = self.frame_bytes;
         let Some(tx) = self.workers[w]
             .downlink
             .enqueue(now, frame_bytes, quality, &mut self.rng)
         else {
-            // Link broke between routing and transmission.
-            self.frames[seq as usize].lost = true;
-            self.lost += 1;
-            self.on_leave(now, w);
+            // Link broke between routing and transmission: drop the
+            // worker; the eviction reclaims (or writes off) everything
+            // unACKed toward it, this frame included.
+            self.on_leave(w);
             return;
         };
         if tx.end_us - tx.start_us > self.config.link_break_us {
             // The transfer would out-live any TCP timeout: declare the
-            // link broken, lose the frame, drop the worker.
-            self.frames[seq as usize].lost = true;
-            self.lost += 1;
-            self.on_leave(now, w);
+            // link broken and drop the worker.
+            self.on_leave(w);
             return;
         }
-        self.workers[w].window_bytes += self.frame_bytes;
-        self.router.on_send(SeqNo(seq), unit_of(w), now);
         let fr = &mut self.frames[seq as usize];
+        if fr.dispatched_us.is_some() {
+            // A re-dispatch after its previous worker departed.
+            fr.retries += 1;
+            fr.arrived_us = None;
+            fr.started_us = None;
+            fr.finished_us = None;
+        }
         fr.worker = Some(w);
         fr.dispatched_us = Some(now);
+        self.workers[w].window_bytes += frame_bytes;
+        self.sync_gate(w);
         self.queue.schedule(tx.end_us, Ev::Arrive { w, seq });
     }
 
     fn on_arrive(&mut self, now: u64, w: usize, seq: u64) {
-        if !self.workers[w].active {
-            // The destination died while the frame was on the air.
-            self.strand(now, w, seq);
+        if !self.workers[w].active || self.frames[seq as usize].worker != Some(w) {
+            // The destination died while the frame was on the air (its
+            // eviction settled the frame), or the frame was re-assigned.
             return;
         }
         if !self.frames[seq as usize].completed() {
@@ -534,11 +606,12 @@ impl Swarm {
         };
         self.workers[w].busy = true;
         // The worker read the frame out of its socket buffer: the
-        // sender-side window space is released.
+        // sender-side window space is released (the gate reopens and
+        // the pump pushes the pending queue after this event).
         self.workers[w].window_bytes = self.workers[w]
             .window_bytes
             .saturating_sub(self.frame_bytes);
-        self.queue.schedule(now, Ev::Dispatch);
+        self.sync_gate(w);
         let service = self.workers[w].cpu.sample_service_us(&mut self.rng);
         self.workers[w].busy_us_window += service;
         if !self.frames[seq as usize].completed() {
@@ -549,39 +622,34 @@ impl Swarm {
     }
 
     fn on_end_service(&mut self, now: u64, w: usize, seq: u64) {
-        if self.frames[seq as usize].worker != Some(w) {
-            // Stale event: the worker left mid-service and the frame was
-            // re-assigned (resend mode). The new assignment owns the
-            // frame's lifecycle now.
+        if !self.workers[w].active || self.frames[seq as usize].worker != Some(w) {
+            // Stale event: the worker left mid-service (its eviction
+            // settled the frame) or the frame was re-assigned elsewhere.
             return;
         }
         if !self.frames[seq as usize].completed() {
             self.frames[seq as usize].finished_us = Some(now);
         }
         let processing_us = now - self.frames[seq as usize].started_us.unwrap_or(now);
-        if self.workers[w].active {
-            // Send the result to the sink and the ACK to the upstream
-            // over the worker's own radio (small payloads).
-            let quality = self.workers[w].quality_at(now);
-            if let Some(tx) = self.workers[w]
+        // Send the result to the sink and the ACK to the upstream over
+        // the worker's own radio (small payloads).
+        let quality = self.workers[w].quality_at(now);
+        if let Some(tx) =
+            self.workers[w]
                 .radio
-                .enqueue(now, ACK_BYTES, quality, &mut self.rng)
-            {
-                self.workers[w].completed += 1;
-                self.workers[w].completed_window += 1;
-                self.workers[w].bytes_window += ACK_BYTES as u64;
-                self.queue
-                    .schedule(tx.end_us, Ev::AckArrive { seq, processing_us });
-                self.queue.schedule(tx.end_us, Ev::ResultArrive { seq });
-            } else {
-                self.mark_lost(seq);
-                self.on_leave(now, w);
-            }
-        } else {
-            self.strand(now, w, seq);
-        }
-        if self.workers[w].active {
+                .enqueue(now, timing::ACK_BYTES as usize, quality, &mut self.rng)
+        {
+            self.workers[w].completed += 1;
+            self.workers[w].completed_window += 1;
+            self.workers[w].bytes_window += timing::ACK_BYTES;
+            self.queue
+                .schedule(tx.end_us, Ev::AckArrive { seq, processing_us });
+            self.queue.schedule(tx.end_us, Ev::ResultArrive { seq });
             self.start_service(now, w);
+        } else {
+            // The uplink broke: drop the worker; its eviction reclaims
+            // (or writes off) every unACKed frame, this one included.
+            self.on_leave(w);
         }
     }
 
@@ -611,39 +679,33 @@ impl Swarm {
         }
     }
 
-    fn on_join(&mut self, now: u64, w: usize) {
+    fn on_join(&mut self, w: usize) {
         if self.workers[w].active {
             return;
         }
         self.workers[w].active = true;
-        self.router.add_downstream(unit_of(w), now);
-        self.queue.schedule(now, Ev::Dispatch);
+        let (tx, rx) = unbounded();
+        self.workers[w].wire = Some(rx);
+        self.disp.add_downstream(unit_of(w), tx);
+        self.sync_gate(w);
     }
 
-    fn on_leave(&mut self, now: u64, w: usize) {
+    fn on_leave(&mut self, w: usize) {
         if !self.workers[w].active {
             return;
         }
         self.workers[w].active = false;
         self.workers[w].busy = false;
         self.workers[w].window_bytes = 0;
-        // Frames queued on the device die with it; in-flight frames
-        // toward it are orphaned. With `resend_orphans` the upstream
-        // re-dispatches them (reliability extension); the paper's
-        // prototype loses them.
-        let mut stranded: Vec<u64> = self.workers[w].queue.drain(..).collect();
-        stranded.extend(
-            self.router
-                .remove_downstream(unit_of(w))
-                .iter()
-                .map(|s| s.0),
-        );
-        stranded.sort_unstable();
-        for seq in stranded {
-            self.strand(now, w, seq);
-        }
-        // Unblock the dispatcher if it was waiting on this worker.
-        self.queue.schedule(now, Ev::Dispatch);
+        // Frames queued on the device die with it; none of them (nor
+        // the frames still on the air) have been ACKed, so the
+        // dispatcher's eviction reclaims them all: re-queued for
+        // re-dispatch with `resend_orphans` (reliability extension),
+        // counted lost without — the paper's prototype loses them
+        // ("13 frames are lost", §VI-C).
+        self.workers[w].queue.clear();
+        self.workers[w].wire = None;
+        let _ = self.disp.remove_downstream(unit_of(w));
     }
 
     fn mark_lost(&mut self, seq: u64) {
@@ -651,28 +713,6 @@ impl Swarm {
         if fr.sink_us.is_none() && !fr.lost {
             fr.lost = true;
             self.lost += 1;
-        }
-    }
-
-    /// A frame stranded on departed worker `w`: re-dispatch it when the
-    /// reliability extension is on, otherwise count it lost. Stale
-    /// events for frames already re-assigned elsewhere are ignored.
-    fn strand(&mut self, now: u64, w: usize, seq: u64) {
-        if self.frames[seq as usize].worker != Some(w) {
-            return; // already re-dispatched (or never ours)
-        }
-        if self.config.resend_orphans && !self.frames[seq as usize].completed() {
-            let fr = &mut self.frames[seq as usize];
-            fr.retries += 1;
-            fr.worker = None;
-            fr.dispatched_us = None;
-            fr.arrived_us = None;
-            fr.started_us = None;
-            fr.finished_us = None;
-            self.sensing_buffer.push_front(seq);
-            self.queue.schedule(now, Ev::Dispatch);
-        } else {
-            self.mark_lost(seq);
         }
     }
 
@@ -1031,6 +1071,27 @@ mod tests {
         assert_eq!(
             report.generated,
             report.completed + report.dropped_at_source + report.lost + in_flight
+        );
+    }
+
+    #[test]
+    fn resent_orphans_survive_a_departure() {
+        // The reliability extension: frames stranded on a departing
+        // device are reclaimed by the shared dispatcher's eviction path
+        // and re-routed to the survivors instead of being lost.
+        let mut c = short_config(Policy::Lrs);
+        c.duration_us = 30 * SECOND_US;
+        c.resend_orphans = true;
+        let workers = vec![
+            WorkerSpec::new(profile("B")),
+            WorkerSpec::new(profile("G")).leaving_at(10 * SECOND_US),
+            WorkerSpec::new(profile("H")),
+        ];
+        let report = Swarm::new(c, workers).run();
+        assert_eq!(report.lost, 0, "orphans must be re-dispatched, not lost");
+        assert!(
+            report.frames.iter().any(|f| f.retries > 0),
+            "some frames were in flight on G and must show re-dispatches"
         );
     }
 

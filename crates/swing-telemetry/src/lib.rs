@@ -50,11 +50,20 @@ pub use metric::{Counter, Gauge};
 pub use registry::{MetricKey, Registry, Snapshot};
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Default capacity of the tuple-lifecycle event ring.
 pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// A pluggable time source: microseconds on some monotone timeline.
+///
+/// This crate is std-only and knows nothing about the workspace's
+/// `Clock` trait, so the seam is a plain closure: the runtime installs
+/// `move || clock.now_us()` via [`Telemetry::set_time_source`] and
+/// every event timestamp then follows that clock — real or virtual —
+/// instead of the domain's wall-clock epoch.
+pub type TimeSource = Arc<dyn Fn() -> u64 + Send + Sync>;
 
 /// A cloneable handle to one telemetry domain: a metric registry plus a
 /// tuple-lifecycle event ring, sharing one epoch for timestamps.
@@ -62,7 +71,7 @@ pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
 /// Cloning is two refcount bumps; every clone reads and writes the same
 /// underlying state, so a handle can be threaded through a swarm's
 /// master, workers, and executors and scraped from anywhere.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Telemetry {
     registry: Arc<Registry>,
     events: Arc<EventRing>,
@@ -72,11 +81,24 @@ pub struct Telemetry {
     /// path pays one relaxed load when tracing is off.
     tracing: Arc<AtomicBool>,
     epoch: Instant,
+    /// Set-once override of the timestamp source (shared by every
+    /// clone); [`now_us`](Self::now_us) falls back to `epoch` until
+    /// one is installed.
+    time: Arc<OnceLock<TimeSource>>,
 }
 
 impl Default for Telemetry {
     fn default() -> Self {
         Telemetry::new()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("tracing", &self.tracing_enabled())
+            .field("custom_time_source", &self.time.get().is_some())
+            .finish_non_exhaustive()
     }
 }
 
@@ -95,7 +117,18 @@ impl Telemetry {
             events: Arc::new(EventRing::new(capacity)),
             tracing: Arc::new(AtomicBool::new(false)),
             epoch: Instant::now(),
+            time: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Install the timestamp source every clone of this handle reads
+    /// (e.g. `move || clock.now_us()` for a virtual clock, so traced
+    /// events line up with simulated time). Set-once: returns `false`,
+    /// leaving the original in place, if a source was already
+    /// installed. Without one, timestamps count from the domain's
+    /// creation instant.
+    pub fn set_time_source(&self, f: impl Fn() -> u64 + Send + Sync + 'static) -> bool {
+        self.time.set(Arc::new(f)).is_ok()
     }
 
     /// Turn on per-tuple lifecycle tracing for every clone of this
@@ -111,11 +144,15 @@ impl Telemetry {
         self.tracing.load(Ordering::Relaxed)
     }
 
-    /// Microseconds since this domain was created; the timebase for
-    /// event timestamps.
+    /// The timebase for event timestamps: the installed
+    /// [time source](Self::set_time_source) if any, else microseconds
+    /// since this domain was created.
     #[must_use]
     pub fn now_us(&self) -> u64 {
-        self.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+        match self.time.get() {
+            Some(f) => f(),
+            None => self.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+        }
     }
 
     /// The underlying registry.
@@ -230,5 +267,26 @@ mod tests {
         let a = t.now_us();
         let b = t.now_us();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn time_source_overrides_the_epoch_for_every_clone() {
+        use std::sync::atomic::AtomicU64;
+
+        let a = Telemetry::new();
+        let b = a.clone();
+        let virtual_now = Arc::new(AtomicU64::new(41));
+        let src = Arc::clone(&virtual_now);
+        assert!(a.set_time_source(move || src.load(Ordering::Relaxed)));
+        assert_eq!(b.now_us(), 41, "clones read the shared source");
+        virtual_now.store(1_000_000, Ordering::Relaxed);
+        assert_eq!(a.now_us(), 1_000_000);
+        // Set-once: a second source is refused.
+        assert!(!b.set_time_source(|| 7));
+        assert_eq!(a.now_us(), 1_000_000);
+        // Traced events are stamped from the source.
+        a.enable_tracing();
+        a.record_stage(5, 1, Stage::Sensed);
+        assert_eq!(a.events().trace(5)[0].at_us, 1_000_000);
     }
 }

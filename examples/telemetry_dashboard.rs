@@ -1,22 +1,36 @@
-//! A live terminal dashboard over the telemetry subsystem: runs the
-//! face-recognition swarm and, once a second, renders per-worker
-//! latency estimates (the L_i the LRS policy routes on), queue depths,
-//! delivery counters, and the Worker Selection membership table — all
-//! read from one registry snapshot, the same data a Prometheus scrape
-//! of [`swing::telemetry::Telemetry::prometheus_text`] would see.
+//! A terminal dashboard over the telemetry subsystem: renders
+//! per-worker latency estimates (the L_i the LRS policy routes on),
+//! queue depths, delivery counters, and the Worker Selection membership
+//! table — all read from one registry snapshot, the same data a
+//! Prometheus scrape of [`swing::telemetry::Telemetry::prometheus_text`]
+//! would see.
+//!
+//! The dashboard takes its clock from the `Clock` abstraction, so the
+//! same rendering drives two modes:
+//!
+//! * `live` — the face-recognition swarm on real executor threads under
+//!   a `RealClock`, sampled once per wall second;
+//! * `sim` — the *same* production data plane replayed under a
+//!   `VirtualClock` through the seeded `SimFabric`, sampled once per
+//!   *virtual* second. The whole run is deterministic in the seed and
+//!   finishes in milliseconds regardless of the simulated span.
 //!
 //! ```sh
-//! cargo run --release --example telemetry_dashboard -- [policy] [workers] [seconds]
-//! cargo run --release --example telemetry_dashboard -- lrs 4 8
+//! cargo run --release --example telemetry_dashboard -- [live|sim] [policy] [workers] [seconds] [seed]
+//! cargo run --release --example telemetry_dashboard -- live lrs 4 8
+//! cargo run --release --example telemetry_dashboard -- sim lrs 4 30 7
 //! ```
 
 use std::collections::BTreeMap;
 use std::time::Duration;
 use swing::apps::face::{self, FaceAppConfig};
-use swing::core::routing::Policy;
+use swing::core::clock::Clock;
+use swing::core::routing::{Policy, RouterConfig};
+use swing::core::SECOND_US;
 use swing::runtime::registry::UnitRegistry;
+use swing::runtime::sim::{SimSwarm, SimSwarmConfig};
 use swing::runtime::swarm::LocalSwarm;
-use swing::telemetry::names;
+use swing::telemetry::{names, Snapshot, Telemetry};
 
 fn registry() -> UnitRegistry {
     let mut r = UnitRegistry::new();
@@ -24,8 +38,165 @@ fn registry() -> UnitRegistry {
     r
 }
 
+/// One dashboard frame from one consistent registry snapshot.
+fn render_tick(snap: &Snapshot, tick: u64) {
+    // Executor table: every (worker, unit) that dispatches tuples.
+    let mut rows: BTreeMap<(String, String), [u64; 4]> = BTreeMap::new();
+    let field = |name: &str, slot: usize, rows: &mut BTreeMap<(String, String), [u64; 4]>| {
+        for (key, v) in snap.counters_named(name) {
+            let (Some(w), Some(u)) = (key.label(names::LABEL_WORKER), key.label(names::LABEL_UNIT))
+            else {
+                continue;
+            };
+            rows.entry((w.to_string(), u.to_string())).or_default()[slot] += v;
+        }
+    };
+    field(names::EXEC_SENT, 0, &mut rows);
+    field(names::EXEC_ACKED, 1, &mut rows);
+    field(names::EXEC_RETRIED, 2, &mut rows);
+    field(names::EXEC_LOST, 3, &mut rows);
+
+    println!("\n== t={tick}s ==");
+    println!(
+        "{:<8} {:>4} {:>6} {:>6} {:>6} {:>5} {:>5} {:>6}",
+        "worker", "unit", "queue", "sent", "acked", "retry", "lost", "sel"
+    );
+    for ((worker, unit), [sent, acked, retried, lost]) in &rows {
+        let labels = [
+            (names::LABEL_WORKER, worker.as_str()),
+            (names::LABEL_UNIT, unit.as_str()),
+        ];
+        let queue = snap.gauge(names::EXEC_QUEUE_DEPTH, &labels).unwrap_or(0.0);
+        let sel = snap
+            .gauge(names::EXEC_SELECTION_SIZE, &labels)
+            .map_or_else(|| "-".into(), |v| format!("{v:.0}"));
+        println!(
+            "{worker:<8} {unit:>4} {queue:>6.0} {sent:>6} {acked:>6} {retried:>5} {lost:>5} {sel:>6}"
+        );
+    }
+
+    // Worker Selection membership: the routing edge's view of each
+    // downstream replica — latency estimate L_i, weight, in/out.
+    let mut routes: Vec<String> = Vec::new();
+    for (key, selected) in snap.gauges_named(names::ROUTE_SELECTED) {
+        let (Some(w), Some(u), Some(d)) = (
+            key.label(names::LABEL_WORKER),
+            key.label(names::LABEL_UNIT),
+            key.label(names::LABEL_DOWNSTREAM),
+        ) else {
+            continue;
+        };
+        let labels = [
+            (names::LABEL_WORKER, w),
+            (names::LABEL_UNIT, u),
+            (names::LABEL_DOWNSTREAM, d),
+        ];
+        let l_ms = snap
+            .gauge(names::EXEC_LATENCY_ESTIMATE_US, &labels)
+            .unwrap_or(f64::NAN)
+            / 1_000.0;
+        routes.push(format!(
+            "  {w}/{u} -> unit {d}: L={l_ms:>6.1} ms  {}",
+            if selected > 0.5 { "SELECTED" } else { "probe" }
+        ));
+    }
+    if !routes.is_empty() {
+        println!("selection ({}):", routes.len());
+        routes.sort();
+        for r in &routes {
+            println!("{r}");
+        }
+    }
+}
+
+fn render_totals(telemetry: &Telemetry) {
+    let snap = telemetry.snapshot();
+    let e2e = snap.histogram_total(names::SINK_E2E_LATENCY_US);
+    println!(
+        "\ntotals: sensed {} played {} retried {} | e2e latency p50 {:.1} ms p95 {:.1} ms p99 {:.1} ms",
+        snap.counter_total(names::SOURCE_SENSED),
+        snap.counter_total(names::SINK_PLAYED),
+        snap.counter_total(names::EXEC_RETRIED),
+        e2e.p50() as f64 / 1_000.0,
+        e2e.p95() as f64 / 1_000.0,
+        e2e.p99() as f64 / 1_000.0,
+    );
+    println!("\nsample of the Prometheus exposition a scrape would return:");
+    for line in telemetry
+        .prometheus_text()
+        .lines()
+        .filter(|l| l.starts_with("swing_exec_sent_total") || l.starts_with("swing_sink_played"))
+        .take(8)
+    {
+        println!("  {line}");
+    }
+}
+
+fn run_live(policy: Policy, workers: usize, seconds: u64) {
+    println!(
+        "telemetry dashboard (live): face recognition on {workers} devices, policy {policy}, {seconds}s @ 24 FPS"
+    );
+    let mut builder = LocalSwarm::builder(face::app_graph())
+        .policy(policy)
+        .input_fps(24.0)
+        .worker("A", registry());
+    for i in 1..workers {
+        builder = builder.worker(format!("W{i}"), registry());
+    }
+    let swarm = builder.start().expect("swarm start");
+
+    for tick in 1..=seconds {
+        swarm.run_for(Duration::from_secs(1));
+        render_tick(&swarm.telemetry().snapshot(), tick);
+    }
+    render_totals(swarm.telemetry());
+    swarm.stop();
+}
+
+fn run_sim(policy: Policy, workers: usize, seconds: u64, seed: u64) {
+    println!(
+        "telemetry dashboard (virtual-time replay): face recognition on {workers} devices, \
+         policy {policy}, {seconds} simulated seconds @ 24 FPS, seed {seed}"
+    );
+    let mut cfg = SimSwarmConfig {
+        seed,
+        ..SimSwarmConfig::default()
+    };
+    cfg.node.input_fps = 24.0;
+    cfg.node.router = RouterConfig::new(policy);
+    cfg.node.telemetry = Telemetry::new();
+    let telemetry = cfg.node.telemetry.clone();
+
+    let mut crew: Vec<(String, UnitRegistry)> = vec![("A".into(), registry())];
+    for i in 1..workers {
+        crew.push((format!("W{i}"), registry()));
+    }
+    let mut swarm = SimSwarm::start(face::app_graph(), crew, cfg).expect("sim swarm start");
+
+    let wall = std::time::Instant::now();
+    for tick in 1..=seconds {
+        // One virtual second per dashboard frame; the clock handle is
+        // the swarm's VirtualClock, so "now" is simulated time.
+        swarm.run_for(SECOND_US);
+        let now_s = swarm.clock().now_us() / SECOND_US;
+        render_tick(&telemetry.snapshot(), now_s.max(tick));
+    }
+    println!(
+        "\nreplayed {seconds} virtual seconds in {:?} wall time (deterministic in seed {seed})",
+        wall.elapsed()
+    );
+    render_totals(&telemetry);
+    swarm.finish();
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    // Mode is optional and defaults to live, so the original
+    // `-- lrs 3 4` invocation keeps working.
+    let mode = match args.peek().map(String::as_str) {
+        Some("live") | Some("sim") => args.next().unwrap(),
+        _ => "live".into(),
+    };
     let policy: Policy = args
         .next()
         .unwrap_or_else(|| "lrs".into())
@@ -39,113 +210,11 @@ fn main() {
         .next()
         .map(|s| s.parse().expect("seconds"))
         .unwrap_or(8);
+    let seed: u64 = args.next().map(|s| s.parse().expect("seed")).unwrap_or(7);
 
-    println!(
-        "telemetry dashboard: face recognition on {workers} devices, policy {policy}, {seconds}s @ 24 FPS"
-    );
-    let mut builder = LocalSwarm::builder(face::app_graph())
-        .policy(policy)
-        .input_fps(24.0)
-        .worker("A", registry());
-    for i in 1..workers {
-        builder = builder.worker(format!("W{i}"), registry());
+    match mode.as_str() {
+        "live" => run_live(policy, workers, seconds),
+        "sim" => run_sim(policy, workers, seconds, seed),
+        other => panic!("mode must be 'live' or 'sim', got {other:?}"),
     }
-    let swarm = builder.start().expect("swarm start");
-
-    for tick in 1..=seconds {
-        swarm.run_for(Duration::from_secs(1));
-        let snap = swarm.telemetry().snapshot();
-
-        // Executor table: every (worker, unit) that dispatches tuples.
-        let mut rows: BTreeMap<(String, String), [u64; 4]> = BTreeMap::new();
-        let field = |name: &str, slot: usize, rows: &mut BTreeMap<(String, String), [u64; 4]>| {
-            for (key, v) in snap.counters_named(name) {
-                let (Some(w), Some(u)) =
-                    (key.label(names::LABEL_WORKER), key.label(names::LABEL_UNIT))
-                else {
-                    continue;
-                };
-                rows.entry((w.to_string(), u.to_string())).or_default()[slot] += v;
-            }
-        };
-        field(names::EXEC_SENT, 0, &mut rows);
-        field(names::EXEC_ACKED, 1, &mut rows);
-        field(names::EXEC_RETRIED, 2, &mut rows);
-        field(names::EXEC_LOST, 3, &mut rows);
-
-        println!("\n== t={tick}s ==");
-        println!(
-            "{:<8} {:>4} {:>6} {:>6} {:>6} {:>5} {:>5} {:>6}",
-            "worker", "unit", "queue", "sent", "acked", "retry", "lost", "sel"
-        );
-        for ((worker, unit), [sent, acked, retried, lost]) in &rows {
-            let labels = [
-                (names::LABEL_WORKER, worker.as_str()),
-                (names::LABEL_UNIT, unit.as_str()),
-            ];
-            let queue = snap.gauge(names::EXEC_QUEUE_DEPTH, &labels).unwrap_or(0.0);
-            let sel = snap
-                .gauge(names::EXEC_SELECTION_SIZE, &labels)
-                .map_or_else(|| "-".into(), |v| format!("{v:.0}"));
-            println!(
-                "{worker:<8} {unit:>4} {queue:>6.0} {sent:>6} {acked:>6} {retried:>5} {lost:>5} {sel:>6}"
-            );
-        }
-
-        // Worker Selection membership: the routing edge's view of each
-        // downstream replica — latency estimate L_i, weight, in/out.
-        let mut routes: Vec<String> = Vec::new();
-        for (key, selected) in snap.gauges_named(names::ROUTE_SELECTED) {
-            let (Some(w), Some(u), Some(d)) = (
-                key.label(names::LABEL_WORKER),
-                key.label(names::LABEL_UNIT),
-                key.label(names::LABEL_DOWNSTREAM),
-            ) else {
-                continue;
-            };
-            let labels = [
-                (names::LABEL_WORKER, w),
-                (names::LABEL_UNIT, u),
-                (names::LABEL_DOWNSTREAM, d),
-            ];
-            let l_ms = snap
-                .gauge(names::EXEC_LATENCY_ESTIMATE_US, &labels)
-                .unwrap_or(f64::NAN)
-                / 1_000.0;
-            routes.push(format!(
-                "  {w}/{u} -> unit {d}: L={l_ms:>6.1} ms  {}",
-                if selected > 0.5 { "SELECTED" } else { "probe" }
-            ));
-        }
-        if !routes.is_empty() {
-            println!("selection ({}):", routes.len());
-            routes.sort();
-            for r in &routes {
-                println!("{r}");
-            }
-        }
-    }
-
-    let snap = swarm.telemetry().snapshot();
-    let e2e = snap.histogram_total(names::SINK_E2E_LATENCY_US);
-    println!(
-        "\ntotals: sensed {} played {} retried {} | e2e latency p50 {:.1} ms p95 {:.1} ms p99 {:.1} ms",
-        snap.counter_total(names::SOURCE_SENSED),
-        snap.counter_total(names::SINK_PLAYED),
-        snap.counter_total(names::EXEC_RETRIED),
-        e2e.p50() as f64 / 1_000.0,
-        e2e.p95() as f64 / 1_000.0,
-        e2e.p99() as f64 / 1_000.0,
-    );
-    println!("\nsample of the Prometheus exposition a scrape would return:");
-    for line in swarm
-        .telemetry()
-        .prometheus_text()
-        .lines()
-        .filter(|l| l.starts_with("swing_exec_sent_total") || l.starts_with("swing_sink_played"))
-        .take(8)
-    {
-        println!("  {line}");
-    }
-    swarm.stop();
 }

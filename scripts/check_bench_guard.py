@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Bench-smoke guard for the telemetry/clock dispatch overhead.
+
+Usage: check_bench_guard.py BENCH_pr3_telemetry.json BENCH_pr2.json
+
+Cross-checks the freshly measured PR3 telemetry-overhead report against
+the checked-in PR2 data-plane baseline:
+
+1. the instrumented dispatch path (telemetry + the injected-Clock
+   timestamp indirection) must stay within the 5% overhead budget of
+   the same-machine baseline column, which replays PR2's
+   `dispatch_clone_and_record` workload (125.9 ns on the reference
+   machine);
+2. the re-measured baseline must be in the same ballpark as the
+   checked-in reference — a wildly different number means the bench is
+   no longer measuring the PR2 workload and the percentage above is
+   meaningless.
+"""
+
+import json
+import sys
+
+
+def pick(benches, name):
+    for b in benches:
+        if b["name"] == name:
+            return b
+    sys.exit(f"FAIL: no bench named {name!r} in report")
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1], encoding="utf-8") as f:
+        pr3 = json.load(f)
+    with open(sys.argv[2], encoding="utf-8") as f:
+        pr2 = json.load(f)
+
+    budget = float(pr3.get("budget_pct", 5.0))
+    ref = pick(pr2["benches"], "dispatch_clone_and_record")["after"]
+    disp = pick(pr3["benches"], "dispatch_telemetry_overhead")
+
+    print(f"checked-in PR2 dispatch baseline : {ref:8.1f} ns/op")
+    print(f"re-measured baseline (this host) : {disp['baseline']:8.1f} ns/op")
+    print(f"instrumented (telemetry + clock) : {disp['instrumented']:8.1f} ns/op")
+    print(f"overhead                         : {disp['overhead_pct']:8.2f} %  (budget {budget}%)")
+
+    if disp["overhead_pct"] > budget:
+        sys.exit(
+            f"FAIL: dispatch overhead {disp['overhead_pct']:.2f}% exceeds "
+            f"the {budget}% budget over the PR2 baseline"
+        )
+
+    # Sanity-check the measurement itself: CI hosts differ from the
+    # reference machine, but not by an order of magnitude.
+    ratio = disp["baseline"] / ref
+    if not 0.2 <= ratio <= 5.0:
+        sys.exit(
+            f"FAIL: re-measured baseline {disp['baseline']:.1f} ns is {ratio:.1f}x "
+            f"the checked-in {ref} ns reference; the bench no longer replays "
+            "the PR2 dispatch workload"
+        )
+
+    print("OK: dispatch cost within budget of the PR2 baseline")
+
+
+if __name__ == "__main__":
+    main()
