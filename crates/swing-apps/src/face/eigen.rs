@@ -20,10 +20,9 @@
 //! a single chain per component.
 
 use crate::face::gallery::{Gallery, FACE_SIZE};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+use swing_core::rng::DetRng;
 
 /// Process-wide cache of trained subspaces, keyed by
 /// (gallery fingerprint, component count, jitter).
@@ -61,7 +60,7 @@ impl EigenSpace {
     /// Panics if `n_components` is zero or exceeds the sample count.
     #[must_use]
     pub fn train(gallery: &Gallery, n_components: usize, jitter_per_face: usize) -> Self {
-        let mut rng = StdRng::seed_from_u64(0xE16E);
+        let mut rng = DetRng::seed_from_u64(0xE16E);
         let mut sample_ids: Vec<usize> = Vec::new();
         // Flat n×DIM sample matrix.
         let mut samples: Vec<f64> = Vec::new();
@@ -481,8 +480,7 @@ mod tests {
     mod seed_oracle {
         use super::super::DIM;
         use crate::face::gallery::Gallery;
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use swing_core::rng::DetRng;
 
         pub struct SeedEigenSpace {
             pub mean: Vec<f64>,
@@ -495,7 +493,7 @@ mod tests {
             n_components: usize,
             jitter_per_face: usize,
         ) -> SeedEigenSpace {
-            let mut rng = StdRng::seed_from_u64(0xE16E);
+            let mut rng = DetRng::seed_from_u64(0xE16E);
             let mut samples: Vec<(usize, Vec<f64>)> = Vec::new();
             for person in 0..gallery.len() {
                 let base: Vec<f64> = gallery.face(person).iter().map(|&p| p as f64).collect();

@@ -1,8 +1,7 @@
 //! Synthetic camera: renders grayscale frames with planted faces.
 
 use crate::face::gallery::{Gallery, FACE_SIZE};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use swing_core::rng::DetRng;
 
 /// Frame width in pixels.
 pub const FRAME_W: usize = 100;
@@ -25,7 +24,7 @@ pub struct Scene {
 #[derive(Debug)]
 pub struct FrameGenerator {
     gallery: Gallery,
-    rng: StdRng,
+    rng: DetRng,
     /// Probability that a frame contains a face.
     face_prob: f64,
 }
@@ -36,7 +35,7 @@ impl FrameGenerator {
     pub fn new(gallery: Gallery, seed: u64) -> Self {
         FrameGenerator {
             gallery,
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::seed_from_u64(seed),
             face_prob: 0.8,
         }
     }

@@ -6,9 +6,8 @@
 //! (eye spacing, mouth shape, brightness texture) that the recognizer
 //! distinguishes.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hash::{Hash, Hasher};
+use swing_core::rng::DetRng;
 
 /// Side length of a face patch in pixels.
 pub const FACE_SIZE: usize = 20;
@@ -30,7 +29,7 @@ impl Gallery {
     /// Generate `n` synthetic identities from a seed.
     #[must_use]
     pub fn generate(n: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         let mut faces = Vec::with_capacity(n);
         let mut names = Vec::with_capacity(n);
         for i in 0..n {
@@ -84,7 +83,7 @@ impl Gallery {
 }
 
 /// Render one identity: shared face geometry + individual variation.
-fn render_face(rng: &mut StdRng) -> Vec<u8> {
+fn render_face(rng: &mut DetRng) -> Vec<u8> {
     let mut face = vec![0u8; FACE_SIZE * FACE_SIZE];
     let skin: u8 = rng.random_range(150..200);
     let cx = FACE_SIZE as f64 / 2.0;

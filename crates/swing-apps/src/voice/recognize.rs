@@ -136,9 +136,8 @@ mod tests {
 
     #[test]
     fn pure_noise_decodes_to_mostly_nothing() {
-        use rand::Rng;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use swing_core::rng::DetRng;
+        let mut rng = DetRng::seed_from_u64(3);
         let recognizer = Recognizer::new(Vocabulary::standard());
         let mut pcm = Vec::with_capacity(72_000);
         for _ in 0..36_000 {

@@ -1,7 +1,6 @@
 //! Synthetic microphone: English sentences encoded as tone chords.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use swing_core::rng::DetRng;
 
 /// Audio sample rate, hertz.
 pub const SAMPLE_RATE_HZ: usize = 8_000;
@@ -92,7 +91,7 @@ pub struct Utterance {
 #[derive(Debug)]
 pub struct AudioGenerator {
     vocab: Vocabulary,
-    rng: StdRng,
+    rng: DetRng,
     /// Peak amplitude of each tone (of i16 full scale).
     amplitude: f64,
     /// Additive noise amplitude.
@@ -105,7 +104,7 @@ impl AudioGenerator {
     pub fn new(vocab: Vocabulary, seed: u64) -> Self {
         AudioGenerator {
             vocab,
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::seed_from_u64(seed),
             amplitude: 9_000.0,
             noise: 900.0,
         }

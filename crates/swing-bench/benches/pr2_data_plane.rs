@@ -536,6 +536,10 @@ fn main() {
     let mut json = String::from("{\n");
     json.push_str("  \"pr\": 2,\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(
+        "  \"harness\": \"self-contained Instant loop (min-of-runs); host-specific — \
+         compare columns within one report, regenerate rather than compare across machines\",\n",
+    );
     json.push_str("  \"benches\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(

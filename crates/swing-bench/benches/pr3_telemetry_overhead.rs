@@ -173,7 +173,7 @@ fn main() {
     assert!(snap.counter(names::EXEC_SENT, &labels) > 0);
 
     let json = format!(
-        "{{\n  \"pr\": 3,\n  \"quick\": {quick},\n  \"budget_pct\": 5.0,\n  \"benches\": [\n    {{\"name\": \"dispatch_telemetry_overhead\", \"unit\": \"ns/op\", \"baseline\": {baseline:.1}, \"instrumented\": {instrumented:.1}, \"overhead_pct\": {dispatch_overhead_pct:.2}}},\n    {{\"name\": \"dispatch_ack_cycle_telemetry_overhead\", \"unit\": \"ns/op\", \"baseline\": {cycle_base:.1}, \"instrumented\": {cycle_inst:.1}, \"overhead_pct\": {cycle_overhead_pct:.2}}}\n  ]\n}}\n"
+        "{{\n  \"pr\": 3,\n  \"quick\": {quick},\n  \"budget_pct\": 5.0,\n  \"harness\": \"self-contained Instant loop (min-of-runs); host-specific — compare columns within one report, regenerate rather than compare across machines\",\n  \"benches\": [\n    {{\"name\": \"dispatch_telemetry_overhead\", \"unit\": \"ns/op\", \"baseline\": {baseline:.1}, \"instrumented\": {instrumented:.1}, \"overhead_pct\": {dispatch_overhead_pct:.2}}},\n    {{\"name\": \"dispatch_ack_cycle_telemetry_overhead\", \"unit\": \"ns/op\", \"baseline\": {cycle_base:.1}, \"instrumented\": {cycle_inst:.1}, \"overhead_pct\": {cycle_overhead_pct:.2}}}\n  ]\n}}\n"
     );
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
         format!(

@@ -69,6 +69,7 @@ pub mod graph;
 pub mod payload;
 pub mod rate;
 pub mod reorder;
+pub mod rng;
 pub mod routing;
 pub mod stats;
 pub mod timing;
@@ -82,6 +83,7 @@ pub use error::{Error, Result};
 pub use event::EventQueue;
 pub use id::{DeviceId, SeqNo, UnitId};
 pub use payload::SharedBytes;
+pub use rng::DetRng;
 pub use tuple::{FieldKey, Tuple, Value, ValueKind};
 
 /// One second expressed in the microsecond timebase used across the crate.

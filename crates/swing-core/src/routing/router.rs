@@ -3,13 +3,12 @@
 use crate::config::RouterConfig;
 use crate::error::{Error, Result};
 use crate::estimator::LatencyEstimator;
+use crate::rng::DetRng;
 use crate::routing::policy::{Metric, Policy};
 use crate::routing::selection::select_workers;
 use crate::routing::table::RoutingTable;
 use crate::stats::RateEstimator;
 use crate::{SeqNo, UnitId};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Diagnostic view of one routing-table row plus its latency statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,7 +74,7 @@ pub struct Router {
     table: RoutingTable,
     estimator: LatencyEstimator,
     arrivals: RateEstimator,
-    rng: StdRng,
+    rng: DetRng,
     rr_cursor: usize,
     round: u64,
     probe_remaining: u32,
@@ -110,7 +109,7 @@ impl Router {
             arrivals: RateEstimator::new(config.control_period_us),
             estimator,
             table: RoutingTable::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::seed_from_u64(seed),
             rr_cursor: 0,
             round: 0,
             probe_remaining: 0,

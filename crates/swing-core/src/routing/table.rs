@@ -7,8 +7,8 @@
 //! the tuple to the specified downstream ID" (§V-A).
 
 use crate::error::{Error, Result};
+use crate::rng::DetRng;
 use crate::UnitId;
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// One row of the routing table.
@@ -174,7 +174,7 @@ impl RoutingTable {
 
     /// Draw a destination with probability proportional to its weight
     /// ("the upstream generates a weighted random number").
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<UnitId> {
+    pub fn sample(&self, rng: &mut DetRng) -> Result<UnitId> {
         if self.entries.is_empty() {
             return Err(Error::NoDownstreams);
         }
@@ -223,8 +223,7 @@ impl RoutingTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::DetRng;
 
     fn u(i: u32) -> UnitId {
         UnitId(i)
@@ -277,7 +276,7 @@ mod tests {
         t.add(u(1));
         t.add(u(2));
         t.install(&[(u(1), 9.0), (u(2), 1.0)], &[u(1), u(2)]);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = DetRng::seed_from_u64(7);
         let mut count1 = 0;
         for _ in 0..10_000 {
             if t.sample(&mut rng).unwrap() == u(1) {
@@ -295,7 +294,7 @@ mod tests {
             t.add(u(i));
         }
         t.install(&[(u(2), 1.0), (u(4), 3.0)], &[u(2), u(4)]);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         for _ in 0..1_000 {
             let d = t.sample(&mut rng).unwrap();
             assert!(d == u(2) || d == u(4));
@@ -305,7 +304,7 @@ mod tests {
     #[test]
     fn sample_empty_table_errors() {
         let t = RoutingTable::new();
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = DetRng::seed_from_u64(0);
         assert_eq!(t.sample(&mut rng).unwrap_err(), Error::NoDownstreams);
     }
 
@@ -318,7 +317,7 @@ mod tests {
         t.install(&[(u(1), 0.0), (u(2), 0.0)], &[u(1), u(2)]);
         let total: f64 = t.entries().iter().map(|e| e.weight).sum();
         assert!((total - 1.0).abs() < 1e-12);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         t.sample(&mut rng).unwrap();
     }
 

@@ -8,7 +8,7 @@
 //! measurements.
 
 use crate::profile::{DeviceProfile, Workload};
-use rand::Rng;
+use swing_core::rng::DetRng;
 
 /// Strength of background contention: at 100% background load a frame
 /// takes `1 / (1 - CONTENTION * 1.0)` ≈ 3.3× its unloaded time, matching
@@ -82,7 +82,7 @@ impl CpuModel {
 
     /// Draw one service time, microseconds (expected value with
     /// multiplicative Gaussian-ish jitter, never below 10% of base).
-    pub fn sample_service_us<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+    pub fn sample_service_us(&self, rng: &mut DetRng) -> u64 {
         let expected = self.expected_service_ms();
         // Sum of uniforms approximates a normal; cheap and seedable.
         let noise: f64 = (0..4).map(|_| rng.random_range(-0.5..0.5)).sum::<f64>() / 2.0;
@@ -123,8 +123,7 @@ impl CpuModel {
 mod tests {
     use super::*;
     use crate::profile::testbed;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use swing_core::rng::DetRng;
 
     fn model(name: &str) -> CpuModel {
         let tb = testbed();
@@ -156,7 +155,7 @@ mod tests {
     #[test]
     fn jittered_samples_center_on_expectation() {
         let m = model("H");
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = DetRng::seed_from_u64(11);
         let n = 2_000;
         let mean_us: f64 = (0..n)
             .map(|_| m.sample_service_us(&mut rng) as f64)
@@ -172,7 +171,7 @@ mod tests {
     #[test]
     fn samples_are_never_degenerate() {
         let m = model("E");
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = DetRng::seed_from_u64(5);
         for _ in 0..1_000 {
             let s = m.sample_service_us(&mut rng);
             assert!(s > 46_000, "sample {s} below 10% of base");

@@ -14,7 +14,7 @@
 //! comes from the RSSI-dependent [`LinkQuality`] of the destination plus
 //! multiplicative jitter.
 
-use rand::Rng;
+use swing_core::rng::DetRng;
 use swing_device::radio::LinkQuality;
 
 /// One scheduled transmission on the sender's radio.
@@ -54,12 +54,12 @@ impl SenderRadio {
     /// Schedule a payload of `bytes` arriving at `now_us` for a
     /// destination whose link has `quality`. Returns the transmission
     /// schedule; the radio is busy until its end.
-    pub fn enqueue<R: Rng + ?Sized>(
+    pub fn enqueue(
         &mut self,
         now_us: u64,
         bytes: usize,
         quality: LinkQuality,
-        rng: &mut R,
+        rng: &mut DetRng,
     ) -> Option<Transmission> {
         if !quality.connected {
             return None;
@@ -97,7 +97,7 @@ impl SenderRadio {
 
 /// Sample the airtime of one payload: RSSI-band base delay plus
 /// size/goodput, with the band's multiplicative jitter.
-pub fn sample_airtime_us<R: Rng + ?Sized>(bytes: usize, quality: LinkQuality, rng: &mut R) -> u64 {
+pub fn sample_airtime_us(bytes: usize, quality: LinkQuality, rng: &mut DetRng) -> u64 {
     let nominal = quality.base_delay_us as f64 + bytes as f64 / quality.goodput_bps * 1_000_000.0;
     let jitter = 1.0 + quality.jitter * rng.random_range(-1.0..1.0);
     (nominal * jitter.max(0.05)) as u64
@@ -106,8 +106,7 @@ pub fn sample_airtime_us<R: Rng + ?Sized>(bytes: usize, quality: LinkQuality, rn
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use swing_core::rng::DetRng;
     use swing_device::mobility::SignalZone;
     use swing_device::radio::link_quality;
 
@@ -122,7 +121,7 @@ mod tests {
     #[test]
     fn idle_radio_sends_immediately() {
         let mut radio = SenderRadio::new();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let tx = radio.enqueue(1_000, 6_000, good(), &mut rng).unwrap();
         assert_eq!(tx.start_us, 1_000);
         assert!(tx.end_us > tx.start_us);
@@ -133,7 +132,7 @@ mod tests {
     #[test]
     fn busy_radio_queues_fifo() {
         let mut radio = SenderRadio::new();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = DetRng::seed_from_u64(2);
         let first = radio.enqueue(0, 6_000, good(), &mut rng).unwrap();
         let second = radio.enqueue(0, 6_000, good(), &mut rng).unwrap();
         assert_eq!(second.start_us, first.end_us);
@@ -144,7 +143,7 @@ mod tests {
     fn weak_destination_delays_later_traffic_to_strong_ones() {
         // The head-of-line blocking mechanism from §VI-B1.
         let mut radio = SenderRadio::new();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let slow = radio.enqueue(0, 6_000, poor(), &mut rng).unwrap();
         let fast = radio.enqueue(1, 6_000, good(), &mut rng).unwrap();
         // The fast destination's frame waits for the slow transmission.
@@ -155,7 +154,7 @@ mod tests {
     #[test]
     fn disconnected_destination_returns_none() {
         let mut radio = SenderRadio::new();
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = DetRng::seed_from_u64(4);
         let q = link_quality(-95.0);
         assert!(radio.enqueue(0, 100, q, &mut rng).is_none());
         assert_eq!(radio.transmissions(), 0);
@@ -164,7 +163,7 @@ mod tests {
     #[test]
     fn airtime_is_jittered_around_nominal() {
         let q = good();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = DetRng::seed_from_u64(5);
         let nominal = q.base_delay_us as f64 + 6_000.0 / q.goodput_bps * 1_000_000.0;
         let n = 3_000;
         let mean: f64 = (0..n)
@@ -180,7 +179,7 @@ mod tests {
     #[test]
     fn radio_idles_between_bursts() {
         let mut radio = SenderRadio::new();
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = DetRng::seed_from_u64(6);
         let tx = radio.enqueue(0, 6_000, good(), &mut rng).unwrap();
         // Long after the burst, a new payload starts immediately.
         let later = tx.end_us + 1_000_000;
@@ -194,7 +193,7 @@ mod tests {
         // Fig 2 "Bad" signal: 24 FPS of 6 kB frames into a ~0.16 MB/s
         // link overloads it; after 10 s the sender queue is seconds deep.
         let mut radio = SenderRadio::new();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = DetRng::seed_from_u64(7);
         let gap = 1_000_000 / 24;
         let mut last_delay = 0;
         for i in 0..240 {

@@ -22,14 +22,13 @@
 use crate::clock::global_clock;
 use crate::fabric::{MsgReceiver, MsgSender};
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use swing_core::clock::ClockHandle;
+use swing_core::rng::DetRng;
 use swing_net::Message;
 
 /// Probabilistic faults applied to the data plane of one link.
@@ -282,7 +281,7 @@ pub(crate) fn spawn_link_shim(
 ) -> MsgSender {
     let (tx, rx): (MsgSender, MsgReceiver) = crossbeam::channel::unbounded();
     let faults = shared.plan.faults_for(addr);
-    let mut rng = StdRng::seed_from_u64(link_seed(shared.plan.seed, addr));
+    let mut rng = DetRng::seed_from_u64(link_seed(shared.plan.seed, addr));
     let addr = addr.to_owned();
     std::thread::Builder::new()
         .name(format!("swing-chaos-{addr}"))

@@ -38,8 +38,6 @@ use crate::fabric::{MsgReceiver, MsgSender};
 use crate::registry::{AnyUnit, UnitRegistry};
 use crate::swarm::{delivery_from_snapshot, DeliveryByUnit};
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -48,6 +46,7 @@ use swing_core::event::EventQueue;
 use swing_core::graph::{AppGraph, Role};
 use swing_core::rate::Pacer;
 use swing_core::reorder::ReorderBuffer;
+use swing_core::rng::DetRng;
 use swing_core::timing;
 use swing_core::unit::Context;
 use swing_core::{SeqNo, Tuple, UnitId};
@@ -117,7 +116,7 @@ impl SimLinkConfig {
 struct SimLink {
     to: String,
     rx: MsgReceiver,
-    rng: StdRng,
+    rng: DetRng,
     cfg: SimLinkConfig,
 }
 
@@ -235,7 +234,7 @@ impl SimFabric {
         s.links.push(SimLink {
             to: addr.to_owned(),
             rx,
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::seed_from_u64(seed),
             cfg,
         });
         Ok(tx)
@@ -259,7 +258,7 @@ impl SimFabric {
                     self.dropped.fetch_add(1, Ordering::Relaxed);
                     continue;
                 }
-                let jitter = |rng: &mut StdRng| {
+                let jitter = |rng: &mut DetRng| {
                     if link.cfg.jitter_us > 0 {
                         rng.random_range(0..=link.cfg.jitter_us)
                     } else {

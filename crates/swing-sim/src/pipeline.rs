@@ -19,12 +19,11 @@
 //! consequences the paper's design discussion implies.
 
 use crate::engine::EventQueue;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use swing_core::config::RouterConfig;
 use swing_core::graph::{AppGraph, Deployment, Role, StageId};
 use swing_core::rate::Pacer;
+use swing_core::rng::DetRng;
 use swing_core::routing::Router;
 use swing_core::stats::Summary;
 use swing_core::timing::{ACK_DELAY_US, LOCAL_HOP_US};
@@ -189,7 +188,7 @@ struct Sim<'a> {
     instances: BTreeMap<UnitId, Instance>,
     links: HashMap<(DeviceId, DeviceId), SenderRadio>,
     queue: EventQueue<Ev>,
-    rng: StdRng,
+    rng: DetRng,
     report: PipelineReport,
 }
 
@@ -391,7 +390,7 @@ pub fn run_pipeline(
         instances,
         links: HashMap::new(),
         queue: EventQueue::new(),
-        rng: StdRng::seed_from_u64(config.seed ^ 0xA5A5_5A5A),
+        rng: DetRng::seed_from_u64(config.seed ^ 0xA5A5_5A5A),
         report: PipelineReport::default(),
     };
     let mut pacer = Pacer::new(config.input_fps, 0);

@@ -40,14 +40,13 @@
 use crate::engine::EventQueue;
 use crate::metrics::{FrameRecord, SwarmReport, TimelinePoint, WorkerStats};
 use crossbeam::channel::{unbounded, Receiver};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use swing_core::clock::VirtualClock;
 use swing_core::config::{ReorderConfig, RetryConfig, RouterConfig};
 use swing_core::rate::Pacer;
 use swing_core::reorder::ReorderBuffer;
+use swing_core::rng::DetRng;
 use swing_core::stats::{Reservoir, Summary};
 use swing_core::{timing, SeqNo, Tuple, UnitId, SECOND_US};
 use swing_device::cpu::CpuModel;
@@ -302,7 +301,7 @@ pub struct Swarm {
     disp: Dispatcher,
     clock: Arc<VirtualClock>,
     queue: EventQueue<Ev>,
-    rng: StdRng,
+    rng: DetRng,
     pacer: Pacer,
     reorder: ReorderBuffer<u64>,
     frames: Vec<FrameRecord>,
@@ -397,7 +396,7 @@ impl Swarm {
         let frame_bytes = workload.frame_bytes() + timing::TUPLE_OVERHEAD_BYTES as usize;
         Swarm {
             pacer: Pacer::new(config.input_fps, 0),
-            rng: StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            rng: DetRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             reorder: ReorderBuffer::new(config.reorder),
             disp,
             clock,

@@ -247,9 +247,16 @@ impl HistogramSnapshot {
 
     /// Fold `other` into `self` bucket-wise. Exactly associative: any
     /// merge order over a set of snapshots yields identical results.
+    ///
+    /// `count` and `sum` add modulo 2^64, matching the wrapping
+    /// `fetch_add` on the recording path — so merging partial snapshots
+    /// is bit-identical to recording every value into one histogram
+    /// even at extremes, instead of panicking in debug builds. A
+    /// wrapped `sum` needs ~2^64 µs of recorded latency (580k
+    /// core-years), unreachable on the live path.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
         let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
@@ -261,7 +268,7 @@ impl HistogramSnapshot {
             match (a.peek(), b.peek()) {
                 (Some(&&(ia, na)), Some(&&(ib, nb))) => {
                     if ia == ib {
-                        merged.push((ia, na + nb));
+                        merged.push((ia, na.wrapping_add(nb)));
                         a.next();
                         b.next();
                     } else if ia < ib {

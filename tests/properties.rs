@@ -1,10 +1,9 @@
 //! Property-based tests of the core data structures and invariants.
 
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use swing::core::config::ReorderConfig;
 use swing::core::reorder::ReorderBuffer;
+use swing::core::rng::DetRng;
 use swing::core::routing::selection::select_workers;
 use swing::core::routing::table::RoutingTable;
 use swing::core::stats::Summary;
@@ -54,7 +53,7 @@ proptest! {
         for &id in &ids {
             table.add(UnitId(id));
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         for _ in 0..64 {
             let u = table.sample(&mut rng).unwrap();
             prop_assert!(ids.contains(&u.0));
