@@ -76,7 +76,8 @@ mod seed {
     /// `bytes::Buf`-trait reads and per-read `NetResult` plumbing.
     pub fn decode_data(buf: &[u8]) -> (UnitId, UnitId, SeedTuple) {
         use bytes::Buf;
-        use swing_net::{NetError, NetResult};
+        use swing_core::{Error as NetError, Result};
+        type NetResult<T> = Result<T>;
 
         fn get_u8(buf: &mut &[u8]) -> NetResult<u8> {
             if buf.remaining() < 1 {

@@ -1,0 +1,230 @@
+//! PR5 flow-control overhead microbench: measures what the overload
+//! subsystem adds to the per-tuple dispatch path when it is enabled but
+//! not shedding — the common case — against the PR2
+//! `dispatch_clone_and_record` baseline, and writes the result to
+//! `BENCH_pr5_flow.json` at the workspace root.
+//!
+//! Run with `cargo bench -p swing-bench --bench pr5_flow_overhead`
+//! (append `-- --quick` for the CI smoke run, `-- --assert` to fail the
+//! process when dispatch overhead exceeds the 5% budget).
+//!
+//! The baseline replays PR2's dispatch work: clone the tuple once for
+//! the wire message and once for the retransmission table. The gated
+//! row adds exactly the bookkeeping the *sending* dispatcher now
+//! performs per tuple with `FlowConfig` enabled: the admission-gate
+//! check (selected-downstream credit headroom), one credit consume
+//! (an entry update in the flat per-downstream credit ledger), and —
+//! at the executor's publish cadence, every 64 dispatches — the
+//! occupancy sync into the credit gauges. A second, ungated row also
+//! charges the receiving executor's bounded-`Mailbox` push/pop and the
+//! ACK-side credit release to the same dispatch for a whole-cycle
+//! view, mirroring the PR3 harness's dispatch/dispatch+ack split (in
+//! production those run on different executors, usually different
+//! devices).
+
+use std::hint::black_box;
+use std::time::Instant;
+use swing_core::flow::{FlowConfig, Mailbox, PushOutcome};
+use swing_core::{SeqNo, Tuple, UnitId};
+use swing_telemetry::{names, Telemetry};
+
+/// Nanoseconds per iteration for one timed run.
+fn time_ns<F: FnMut()>(f: &mut F, iters: u64) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Interleaved best-of-`runs` for a baseline/instrumented pair, same
+/// discipline as the PR2/PR3 harnesses: alternate the columns so
+/// frequency drift hits both alike.
+fn bench_pair<A: FnMut(), B: FnMut()>(
+    mut baseline: A,
+    mut instrumented: B,
+    iters: u64,
+    runs: usize,
+) -> (f64, f64) {
+    time_ns(&mut baseline, iters / 10 + 1);
+    time_ns(&mut instrumented, iters / 10 + 1);
+    let mut base_best = f64::INFINITY;
+    let mut inst_best = f64::INFINITY;
+    for _ in 0..runs {
+        base_best = base_best.min(time_ns(&mut baseline, iters));
+        inst_best = inst_best.min(time_ns(&mut instrumented, iters));
+    }
+    (base_best, inst_best)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let assert_budget = std::env::args().any(|a| a == "--assert");
+    let (iters, runs) = if quick { (50_000, 5) } else { (200_000, 7) };
+
+    // The PR2 dispatch workload: a 6 kB camera frame plus a scalar,
+    // rotated across 4096 distinct tuples so payload refcounts touch
+    // memory beyond L2 the way production dispatch does.
+    const ROT: usize = 4096;
+    let tuples: Vec<Tuple> = (0..ROT)
+        .map(|i| {
+            Tuple::with_seq(SeqNo(i as u64))
+                .with("frame", vec![(i % 251) as u8; 6_000])
+                .with("cam", 3i64)
+        })
+        .collect();
+
+    // The dispatcher-side state flow control adds: the credit window
+    // toward three downstream replicas and a bounded receiving mailbox.
+    // Capacity is high enough that the steady state never sheds — this
+    // measures the bookkeeping, not the shedding.
+    let flow = FlowConfig::bounded(64);
+    let downstreams = [UnitId(11), UnitId(12), UnitId(13)];
+    // The dispatcher's credit ledger: a flat vector scanned linearly,
+    // pre-seeded with every downstream as connect() would.
+    let mut outstanding: Vec<(UnitId, u32)> = downstreams.iter().map(|&u| (u, 0)).collect();
+    let mut mailbox: Mailbox<Tuple> = Mailbox::from_config(&flow);
+    let telemetry = Telemetry::new();
+    let credit_gauges: Vec<_> = downstreams
+        .iter()
+        .map(|u| {
+            let d = u.0.to_string();
+            telemetry.gauge(
+                names::EXEC_CREDITS,
+                &[
+                    (names::LABEL_WORKER, "bench"),
+                    (names::LABEL_DOWNSTREAM, &d),
+                ],
+            )
+        })
+        .collect();
+
+    // Pin the CPU at its working frequency before the first row.
+    {
+        let spin_until = Instant::now() + std::time::Duration::from_millis(200);
+        let mut i = 0usize;
+        while Instant::now() < spin_until {
+            black_box((tuples[i].clone(), tuples[i].clone()));
+            i = (i + 1) & (ROT - 1);
+        }
+    }
+
+    // --- dispatch path: clone x2 vs clone x2 + sender-side flow work ---
+    let (mut bi, mut ai, mut di) = (0usize, 0usize, 0usize);
+    let credits = flow.credits_per_downstream;
+    let (baseline, instrumented) = bench_pair(
+        || {
+            let t = black_box(&tuples[bi]);
+            let wire_copy = t.clone();
+            let inflight_copy = t.clone();
+            black_box((wire_copy, inflight_copy));
+            bi = (bi + 1) & (ROT - 1);
+        },
+        || {
+            let t = black_box(&tuples[ai]);
+            // Admission gate: any selected downstream with headroom.
+            let admit = outstanding.iter().any(|&(_, n)| n < credits);
+            assert!(admit, "steady state must never close the gate");
+            // Rotate destinations without a hot-loop division.
+            let dest = downstreams[di];
+            di = if di + 1 == downstreams.len() {
+                0
+            } else {
+                di + 1
+            };
+            // The PR2 dispatch work itself: the same two clones.
+            let wire_copy = t.clone();
+            let inflight_copy = t.clone();
+            black_box((wire_copy, inflight_copy));
+            // Credit consume on send; released again so the steady
+            // state neither drifts nor closes the gate.
+            if let Some((_, n)) = outstanding.iter_mut().find(|(u, _)| *u == dest) {
+                *n = (*n + 1).saturating_sub(1);
+            }
+            if ai & 0x3f == 0 {
+                // Publish cadence: refresh the credit gauges.
+                for (k, &(_, out)) in outstanding.iter().enumerate() {
+                    credit_gauges[k].set_u64(u64::from(credits.saturating_sub(out)));
+                }
+            }
+            ai = (ai + 1) & (ROT - 1);
+        },
+        iters,
+        runs,
+    );
+    let overhead_pct = (instrumented / baseline - 1.0).max(0.0) * 100.0;
+    println!(
+        "dispatch+flow   baseline {baseline:>8.1} ns  instrumented {instrumented:>8.1} ns  overhead {overhead_pct:>5.2}%"
+    );
+
+    // --- whole cycle (informational): also charge the receiving
+    //     executor's bounded mailbox and the ACK-side credit release ---
+    let (mut bi, mut ai, mut di) = (0usize, 0usize, 0usize);
+    let (cycle_base, cycle_inst) = bench_pair(
+        || {
+            let t = black_box(&tuples[bi]);
+            black_box((t.clone(), t.clone()));
+            bi = (bi + 1) & (ROT - 1);
+        },
+        || {
+            let t = black_box(&tuples[ai]);
+            let admit = outstanding.iter().any(|&(_, n)| n < credits);
+            assert!(admit, "steady state must never close the gate");
+            let dest = downstreams[di];
+            di = if di + 1 == downstreams.len() {
+                0
+            } else {
+                di + 1
+            };
+            // The wire copy travels through the bounded mailbox (a
+            // move, as on the receiving executor), so the clone count
+            // matches the baseline exactly.
+            let wire_copy = t.clone();
+            let inflight_copy = t.clone();
+            if let Some((_, n)) = outstanding.iter_mut().find(|(u, _)| *u == dest) {
+                *n += 1;
+            }
+            match mailbox.push(wire_copy) {
+                PushOutcome::Queued => {}
+                _ => unreachable!("capacity 64 never sheds at depth <= 1"),
+            }
+            black_box((mailbox.pop(), inflight_copy));
+            // ACK: release the credit.
+            if let Some((_, n)) = outstanding.iter_mut().find(|(u, _)| *u == dest) {
+                *n = n.saturating_sub(1);
+            }
+            if ai & 0x3f == 0 {
+                for (k, &(_, out)) in outstanding.iter().enumerate() {
+                    credit_gauges[k].set_u64(u64::from(credits.saturating_sub(out)));
+                }
+            }
+            ai = (ai + 1) & (ROT - 1);
+        },
+        iters,
+        runs,
+    );
+    let cycle_overhead_pct = (cycle_inst / cycle_base - 1.0).max(0.0) * 100.0;
+    println!(
+        "full flow cycle baseline {cycle_base:>8.1} ns  instrumented {cycle_inst:>8.1} ns  overhead {cycle_overhead_pct:>5.2}%"
+    );
+
+    // Keep the gauges observable so the work can't be optimized out.
+    let snap = telemetry.snapshot();
+    assert!(snap.gauges_named(names::EXEC_CREDITS).count() == downstreams.len());
+
+    let json = format!(
+        "{{\n  \"pr\": 5,\n  \"quick\": {quick},\n  \"budget_pct\": 5.0,\n  \"harness\": \"self-contained Instant loop (min-of-runs); host-specific — compare columns within one report, regenerate rather than compare across machines\",\n  \"benches\": [\n    {{\"name\": \"dispatch_flow_overhead\", \"unit\": \"ns/op\", \"baseline\": {baseline:.1}, \"instrumented\": {instrumented:.1}, \"overhead_pct\": {overhead_pct:.2}}},\n    {{\"name\": \"flow_whole_cycle_overhead\", \"unit\": \"ns/op\", \"baseline\": {cycle_base:.1}, \"instrumented\": {cycle_inst:.1}, \"overhead_pct\": {cycle_overhead_pct:.2}}}\n  ]\n}}\n"
+    );
+    let out = std::env::var("BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_pr5_flow.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).expect("write BENCH_pr5_flow.json");
+    println!("\nwrote {out}");
+
+    if assert_budget {
+        assert!(
+            overhead_pct <= 5.0,
+            "flow-control dispatch overhead {overhead_pct:.2}% exceeds the 5% budget"
+        );
+        println!("flow-control overhead within the 5% budget");
+    }
+}

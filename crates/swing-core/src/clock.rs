@@ -8,7 +8,7 @@
 //!   parks the calling thread. This is what the live multi-threaded
 //!   runtime injects.
 //! * [`VirtualClock`] — discrete-event time backed by the shared
-//!   [`EventQueue`](crate::event::EventQueue). `sleep_until` *jumps* the
+//!   [`EventQueue`]. `sleep_until` *jumps* the
 //!   clock forward instead of waiting, so sixty seconds of simulated
 //!   traffic run in milliseconds of wall time, and two runs from the
 //!   same seed replay identically (FoundationDB-style deterministic

@@ -1,13 +1,23 @@
-//! Error type shared by the swing-core APIs.
+//! The unified error type shared by every Swing crate.
+//!
+//! One `#[non_exhaustive]` enum covers graph construction, tuple
+//! access, routing and configuration (the historical swing-core
+//! surface) *and* the network layer (wire codec, transports,
+//! discovery — folded in from `swing_net::error`). `swing_net`
+//! re-exports `NetError`/`NetResult` as deprecated aliases of
+//! [`Error`]/[`Result`] for one release.
 
 use crate::UnitId;
 use std::fmt;
+use std::io;
+use std::sync::Arc;
 
-/// Convenient result alias used across swing-core.
+/// Convenient result alias used across the workspace.
 pub type Result<T> = std::result::Result<T, Error>;
 
-/// Errors produced by graph construction, tuple access and routing.
-#[derive(Debug, Clone, PartialEq)]
+/// Errors produced by graph construction, tuple access, routing,
+/// configuration and the network layer.
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum Error {
     /// An edge refers to a unit id that is not part of the graph.
@@ -37,6 +47,80 @@ pub enum Error {
     NoDownstreams,
     /// A configuration value is out of its valid range.
     InvalidConfig(String),
+    /// Underlying socket / IO failure. Wrapped in an [`Arc`] so the
+    /// unified error stays `Clone`; equality compares the
+    /// [`io::ErrorKind`] only.
+    Io(Arc<io::Error>),
+    /// A frame or message could not be decoded.
+    Malformed(String),
+    /// The peer speaks an incompatible protocol version.
+    VersionMismatch {
+        /// Version we implement.
+        ours: u8,
+        /// Version the peer sent.
+        theirs: u8,
+    },
+    /// A frame exceeded the maximum allowed size.
+    FrameTooLarge(usize),
+    /// Discovery timed out without finding a master.
+    DiscoveryTimeout,
+    /// The connection was closed by the peer.
+    Closed,
+}
+
+impl Error {
+    /// Wrap an [`io::Error`] (equivalent to `From`, handy in closures).
+    #[must_use]
+    pub fn io(e: io::Error) -> Self {
+        Error::Io(Arc::new(e))
+    }
+}
+
+impl PartialEq for Error {
+    fn eq(&self, other: &Self) -> bool {
+        use Error::*;
+        match (self, other) {
+            (UnknownUnit(a), UnknownUnit(b)) => a == b,
+            (DuplicateEdge(a1, a2), DuplicateEdge(b1, b2)) => a1 == b1 && a2 == b2,
+            (CycleDetected(a1, a2), CycleDetected(b1, b2)) => a1 == b1 && a2 == b2,
+            (InvalidEndpoint(a, aw), InvalidEndpoint(b, bw)) => a == b && aw == bw,
+            (InvalidGraph(a), InvalidGraph(b)) => a == b,
+            (MissingField(a), MissingField(b)) => a == b,
+            (
+                FieldKindMismatch {
+                    key: ak,
+                    requested: ar,
+                    actual: aa,
+                },
+                FieldKindMismatch {
+                    key: bk,
+                    requested: br,
+                    actual: ba,
+                },
+            ) => ak == bk && ar == br && aa == ba,
+            (SchemaViolation(a), SchemaViolation(b)) => a == b,
+            (NoDownstreams, NoDownstreams) => true,
+            (InvalidConfig(a), InvalidConfig(b)) => a == b,
+            // io::Error carries no structural equality; kind is the
+            // meaningful comparison for tests and retries.
+            (Io(a), Io(b)) => a.kind() == b.kind(),
+            (Malformed(a), Malformed(b)) => a == b,
+            (
+                VersionMismatch {
+                    ours: ao,
+                    theirs: at,
+                },
+                VersionMismatch {
+                    ours: bo,
+                    theirs: bt,
+                },
+            ) => ao == bo && at == bt,
+            (FrameTooLarge(a), FrameTooLarge(b)) => a == b,
+            (DiscoveryTimeout, DiscoveryTimeout) => true,
+            (Closed, Closed) => true,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -64,11 +148,32 @@ impl fmt::Display for Error {
             Error::SchemaViolation(msg) => write!(f, "tuple violates schema: {msg}"),
             Error::NoDownstreams => write!(f, "router has no downstream function units"),
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Malformed(msg) => write!(f, "malformed message: {msg}"),
+            Error::VersionMismatch { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours {ours}, peer {theirs}")
+            }
+            Error::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            Error::DiscoveryTimeout => write!(f, "no master discovered before timeout"),
+            Error::Closed => write!(f, "connection closed by peer"),
         }
     }
 }
 
-impl std::error::Error for Error {}
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(&**e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(Arc::new(e))
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -86,6 +191,10 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains("value1") && msg.contains("bytes") && msg.contains("string"));
+
+        let e = Error::VersionMismatch { ours: 1, theirs: 9 };
+        assert!(e.to_string().contains('9'));
+        assert!(Error::FrameTooLarge(123).to_string().contains("123"));
     }
 
     #[test]
@@ -98,5 +207,25 @@ mod tests {
     fn errors_compare_equal() {
         assert_eq!(Error::NoDownstreams, Error::NoDownstreams);
         assert_ne!(Error::UnknownUnit(UnitId(1)), Error::UnknownUnit(UnitId(2)));
+    }
+
+    #[test]
+    fn io_errors_convert_chain_and_compare_by_kind() {
+        let e: Error = io::Error::new(io::ErrorKind::BrokenPipe, "pipe").into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&Error::Closed).is_none());
+        // Clone shares the same Arc'd io::Error.
+        let e2 = e.clone();
+        assert_eq!(e, e2);
+        // Same kind, different message: equal by design.
+        assert_eq!(
+            e,
+            Error::io(io::Error::new(io::ErrorKind::BrokenPipe, "other"))
+        );
+        assert_ne!(
+            e,
+            Error::io(io::Error::new(io::ErrorKind::NotFound, "pipe"))
+        );
     }
 }

@@ -65,6 +65,7 @@ pub mod dedup;
 pub mod error;
 pub mod estimator;
 pub mod event;
+pub mod flow;
 pub mod graph;
 pub mod payload;
 pub mod rate;
@@ -81,10 +82,44 @@ mod id;
 pub use clock::{Clock, ClockHandle, RealClock, VirtualClock};
 pub use error::{Error, Result};
 pub use event::EventQueue;
+pub use flow::{FlowConfig, Mailbox, OverloadPolicy};
 pub use id::{DeviceId, SeqNo, UnitId};
 pub use payload::SharedBytes;
 pub use rng::DetRng;
 pub use tuple::{FieldKey, Tuple, Value, ValueKind};
+
+/// One-stop imports for building Swing applications.
+///
+/// Covers the types every example and most integrations need: the
+/// dataflow graph, routing policies and configuration, tuples, clocks
+/// and the overload-control knobs. The runtime crate re-exports this
+/// (extended with its builders) as `swing_runtime::prelude`.
+///
+/// ```
+/// use swing_core::prelude::*;
+///
+/// let mut g = AppGraph::new("demo");
+/// let src = g.add_source("camera");
+/// let snk = g.add_sink("display");
+/// g.connect(src, snk).unwrap();
+/// let router = Router::new(RouterConfig::new(Policy::Lrs), 1);
+/// assert_eq!(router.policy(), Policy::Lrs);
+/// ```
+pub mod prelude {
+    pub use crate::clock::{Clock, ClockHandle, RealClock, VirtualClock};
+    pub use crate::config::{ReorderConfig, RetryConfig, RouterConfig};
+    pub use crate::flow::{FlowConfig, Mailbox, OverloadPolicy};
+    pub use crate::graph::AppGraph;
+    pub use crate::id::{DeviceId, SeqNo, UnitId};
+    pub use crate::payload::SharedBytes;
+    pub use crate::routing::{Policy, Router, RouterSnapshot};
+    pub use crate::tuple::{FieldKey, Tuple, Value, ValueKind};
+    pub use crate::unit::{
+        closure_sink, closure_source, closure_unit, Context, FunctionUnit, PassThrough, SinkUnit,
+        SourceUnit,
+    };
+    pub use crate::{Error, Result, MILLISECOND_US, SECOND_US};
+}
 
 /// One second expressed in the microsecond timebase used across the crate.
 pub const SECOND_US: u64 = 1_000_000;

@@ -165,7 +165,7 @@ impl From<bool> for Value {
 /// Longest field name stored inline in a [`FieldKey`].
 const INLINE_KEY: usize = 22;
 
-/// A field name. Names of up to [`INLINE_KEY`] bytes — every key the
+/// A field name. Names of up to `INLINE_KEY` (22) bytes — every key the
 /// runtime and the apps use — are stored inline, so building, decoding
 /// and cloning tuples never allocates per field; longer names fall back
 /// to the heap.

@@ -12,13 +12,13 @@
 //! behaviour is the same — a worker that comes up discovers the master's
 //! TCP address and connects.
 
-use crate::error::{NetError, NetResult};
 use std::io::ErrorKind;
 use std::net::UdpSocket;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use swing_core::{Error, Result};
 
 /// Default discovery port; override per swarm to run several at once.
 pub const DEFAULT_DISCOVERY_PORT: u16 = 41_414;
@@ -45,7 +45,7 @@ pub struct MasterResponder {
 
 impl MasterResponder {
     /// Start answering queries on `port`, advertising `info`.
-    pub fn start(port: u16, info: MasterInfo) -> NetResult<Self> {
+    pub fn start(port: u16, info: MasterInfo) -> Result<Self> {
         let socket = UdpSocket::bind(("127.0.0.1", port))?;
         socket.set_read_timeout(Some(Duration::from_millis(100)))?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -105,7 +105,7 @@ impl Drop for MasterResponder {
 }
 
 /// Probe for a master on `port`, retrying until `timeout` elapses.
-pub fn query_master(port: u16, timeout: Duration) -> NetResult<MasterInfo> {
+pub fn query_master(port: u16, timeout: Duration) -> Result<MasterInfo> {
     let socket = UdpSocket::bind(("127.0.0.1", 0))?;
     socket.set_read_timeout(Some(Duration::from_millis(100)))?;
     let deadline = Instant::now() + timeout;
@@ -122,7 +122,7 @@ pub fn query_master(port: u16, timeout: Duration) -> NetResult<MasterInfo> {
             Err(e) => return Err(e.into()),
         }
         if Instant::now() >= deadline {
-            return Err(NetError::DiscoveryTimeout);
+            return Err(Error::DiscoveryTimeout);
         }
     }
 }
@@ -165,7 +165,7 @@ mod tests {
     fn discovery_times_out_without_master() {
         let port = test_port();
         let err = query_master(port, Duration::from_millis(250)).unwrap_err();
-        assert!(matches!(err, NetError::DiscoveryTimeout));
+        assert!(matches!(err, Error::DiscoveryTimeout));
     }
 
     #[test]

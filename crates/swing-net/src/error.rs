@@ -1,80 +1,22 @@
-//! Error type for the network layer.
+//! Deprecated aliases of the unified workspace error.
+//!
+//! The network-layer error variants (`Io`, `Malformed`,
+//! `VersionMismatch`, `FrameTooLarge`, `DiscoveryTimeout`, `Closed`)
+//! were folded into [`swing_core::Error`], which is `#[non_exhaustive]`
+//! and carries `From<std::io::Error>`. These aliases keep old imports
+//! compiling for one release; new code should use
+//! `swing_core::{Error, Result}` directly.
 
-use std::fmt;
-use std::io;
+/// Deprecated alias of [`swing_core::Error`].
+#[deprecated(
+    since = "0.1.0",
+    note = "network errors were folded into `swing_core::Error`; use it directly"
+)]
+pub type NetError = swing_core::Error;
 
-/// Result alias for network operations.
-pub type NetResult<T> = std::result::Result<T, NetError>;
-
-/// Errors produced by wire encoding, transports and discovery.
-#[derive(Debug)]
-#[non_exhaustive]
-pub enum NetError {
-    /// Underlying socket / IO failure.
-    Io(io::Error),
-    /// A frame or message could not be decoded.
-    Malformed(String),
-    /// The peer speaks an incompatible protocol version.
-    VersionMismatch {
-        /// Version we implement.
-        ours: u8,
-        /// Version the peer sent.
-        theirs: u8,
-    },
-    /// A frame exceeded the maximum allowed size.
-    FrameTooLarge(usize),
-    /// Discovery timed out without finding a master.
-    DiscoveryTimeout,
-    /// The connection was closed by the peer.
-    Closed,
-}
-
-impl fmt::Display for NetError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            NetError::Io(e) => write!(f, "io error: {e}"),
-            NetError::Malformed(msg) => write!(f, "malformed message: {msg}"),
-            NetError::VersionMismatch { ours, theirs } => {
-                write!(f, "protocol version mismatch: ours {ours}, peer {theirs}")
-            }
-            NetError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
-            NetError::DiscoveryTimeout => write!(f, "no master discovered before timeout"),
-            NetError::Closed => write!(f, "connection closed by peer"),
-        }
-    }
-}
-
-impl std::error::Error for NetError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            NetError::Io(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<io::Error> for NetError {
-    fn from(e: io::Error) -> Self {
-        NetError::Io(e)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn displays_are_informative() {
-        let e = NetError::VersionMismatch { ours: 1, theirs: 9 };
-        assert!(e.to_string().contains('9'));
-        assert!(NetError::FrameTooLarge(123).to_string().contains("123"));
-    }
-
-    #[test]
-    fn io_errors_convert_and_chain() {
-        let e: NetError = io::Error::new(io::ErrorKind::BrokenPipe, "pipe").into();
-        assert!(matches!(e, NetError::Io(_)));
-        assert!(std::error::Error::source(&e).is_some());
-        assert!(std::error::Error::source(&NetError::Closed).is_none());
-    }
-}
+/// Deprecated alias of [`swing_core::Result`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `swing_core::Result` directly; network errors were folded into `swing_core::Error`"
+)]
+pub type NetResult<T> = swing_core::Result<T>;

@@ -4,16 +4,16 @@
 //! wrapped in a 4-byte big-endian length prefix so receivers can recover
 //! message boundaries.
 
-use crate::error::{NetError, NetResult};
 use std::io::{Read, Write};
+use swing_core::{Error, Result};
 
 /// Largest frame accepted (64 MiB), matching the wire format's chunk cap.
 pub const MAX_FRAME: usize = 64 * 1024 * 1024;
 
 /// Write one length-prefixed frame.
-pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> NetResult<()> {
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<()> {
     if payload.len() > MAX_FRAME {
-        return Err(NetError::FrameTooLarge(payload.len()));
+        return Err(Error::FrameTooLarge(payload.len()));
     }
     w.write_all(&(payload.len() as u32).to_be_bytes())?;
     w.write_all(payload)?;
@@ -26,10 +26,10 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> NetResult<()> {
 /// receiver sees exactly one frame; a bulk payload can be written
 /// straight from its shared buffer without being copied into a
 /// contiguous staging area first.
-pub fn write_frame_parts<W: Write>(w: &mut W, parts: &[&[u8]]) -> NetResult<()> {
+pub fn write_frame_parts<W: Write>(w: &mut W, parts: &[&[u8]]) -> Result<()> {
     let total: usize = parts.iter().map(|p| p.len()).sum();
     if total > MAX_FRAME {
-        return Err(NetError::FrameTooLarge(total));
+        return Err(Error::FrameTooLarge(total));
     }
     w.write_all(&(total as u32).to_be_bytes())?;
     for part in parts {
@@ -39,18 +39,18 @@ pub fn write_frame_parts<W: Write>(w: &mut W, parts: &[&[u8]]) -> NetResult<()> 
     Ok(())
 }
 
-/// Read one length-prefixed frame. Returns [`NetError::Closed`] on a
+/// Read one length-prefixed frame. Returns [`Error::Closed`] on a
 /// clean EOF at a frame boundary.
-pub fn read_frame<R: Read>(r: &mut R) -> NetResult<Vec<u8>> {
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>> {
     let mut len_buf = [0u8; 4];
     match r.read_exact(&mut len_buf) {
         Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Err(NetError::Closed),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Err(Error::Closed),
         Err(e) => return Err(e.into()),
     }
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > MAX_FRAME {
-        return Err(NetError::FrameTooLarge(len));
+        return Err(Error::FrameTooLarge(len));
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
@@ -72,7 +72,7 @@ mod tests {
         assert_eq!(read_frame(&mut r).unwrap(), b"hello");
         assert_eq!(read_frame(&mut r).unwrap(), b"");
         assert_eq!(read_frame(&mut r).unwrap(), vec![9u8; 1000]);
-        assert!(matches!(read_frame(&mut r), Err(NetError::Closed)));
+        assert!(matches!(read_frame(&mut r), Err(Error::Closed)));
     }
 
     #[test]
@@ -81,7 +81,7 @@ mod tests {
         write_frame(&mut buf, b"hello").unwrap();
         buf.truncate(buf.len() - 2);
         let mut r = Cursor::new(buf);
-        assert!(matches!(read_frame(&mut r), Err(NetError::Io(_))));
+        assert!(matches!(read_frame(&mut r), Err(Error::Io(_))));
     }
 
     #[test]
@@ -89,10 +89,7 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&u32::MAX.to_be_bytes());
         let mut r = Cursor::new(buf);
-        assert!(matches!(
-            read_frame(&mut r),
-            Err(NetError::FrameTooLarge(_))
-        ));
+        assert!(matches!(read_frame(&mut r), Err(Error::FrameTooLarge(_))));
     }
 
     #[test]
@@ -111,7 +108,7 @@ mod tests {
         let big = vec![0u8; MAX_FRAME + 1];
         assert!(matches!(
             write_frame(&mut NullWriter, &big),
-            Err(NetError::FrameTooLarge(_))
+            Err(Error::FrameTooLarge(_))
         ));
     }
 }

@@ -19,6 +19,7 @@ pub mod metrics;
 pub mod tcp;
 pub mod wire;
 
+#[allow(deprecated)]
 pub use error::{NetError, NetResult};
 pub use metrics::LinkMetrics;
 pub use wire::{Message, WireSegment, SHARED_SEGMENT_MIN};

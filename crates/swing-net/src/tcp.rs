@@ -6,7 +6,6 @@
 //! and receives framed [`Message`]s over a `TcpStream`; a
 //! [`MessageListener`] accepts incoming connections.
 
-use crate::error::NetResult;
 use crate::frame::{read_frame, write_frame_parts};
 use crate::metrics::LinkMetrics;
 use crate::wire::{Message, WireSegment};
@@ -15,6 +14,7 @@ use std::fmt;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+use swing_core::Result;
 use swing_core::SharedBytes;
 
 /// A bidirectional framed message channel over TCP.
@@ -45,7 +45,7 @@ impl fmt::Debug for MessageStream {
 
 impl MessageStream {
     /// Wrap an already connected socket.
-    pub fn new(stream: TcpStream) -> NetResult<Self> {
+    pub fn new(stream: TcpStream) -> Result<Self> {
         stream.set_nodelay(true)?;
         let peer = stream.peer_addr()?;
         let reader = BufReader::new(stream.try_clone()?);
@@ -67,13 +67,13 @@ impl MessageStream {
     }
 
     /// Connect to a listening peer.
-    pub fn connect<A: ToSocketAddrs>(addr: A) -> NetResult<Self> {
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self> {
         let stream = TcpStream::connect(addr)?;
         MessageStream::new(stream)
     }
 
     /// Connect with a timeout.
-    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> NetResult<Self> {
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> Result<Self> {
         let stream = TcpStream::connect_timeout(addr, timeout)?;
         MessageStream::new(stream)
     }
@@ -89,7 +89,7 @@ impl MessageStream {
     /// written straight from the tuple's shared buffer via a gathered
     /// write, so steady-state traffic neither allocates per message nor
     /// copies pixel data.
-    pub fn send(&mut self, msg: &Message) -> NetResult<()> {
+    pub fn send(&mut self, msg: &Message) -> Result<()> {
         let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
         self.scratch.clear();
         self.segments.clear();
@@ -108,13 +108,13 @@ impl MessageStream {
     }
 
     /// Receive the next message, blocking. Returns
-    /// [`NetError::Closed`](crate::error::NetError::Closed) on clean
+    /// [`Error::Closed`](swing_core::Error::Closed) on clean
     /// shutdown.
     ///
     /// The frame is read into one shared buffer which the decoded
     /// message's byte payloads borrow — a received video frame is never
     /// copied after it leaves the socket.
-    pub fn recv(&mut self) -> NetResult<Message> {
+    pub fn recv(&mut self) -> Result<Message> {
         let payload = SharedBytes::from_vec(read_frame(&mut self.reader)?);
         let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
         let msg = Message::decode_shared(&payload)?;
@@ -127,16 +127,16 @@ impl MessageStream {
     }
 
     /// Set a read timeout (None blocks forever). A timed-out `recv`
-    /// returns an [`Io`](crate::error::NetError::Io) error of kind
+    /// returns an [`Io`](swing_core::Error::Io) error of kind
     /// `WouldBlock` or `TimedOut`.
-    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> NetResult<()> {
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<()> {
         self.reader.get_ref().set_read_timeout(timeout)?;
         Ok(())
     }
 
     /// Clone the underlying socket into an independent handle (e.g. one
     /// handle per direction in reader/writer threads).
-    pub fn try_clone(&self) -> NetResult<Self> {
+    pub fn try_clone(&self) -> Result<Self> {
         let stream = self.reader.get_ref().try_clone()?;
         let mut clone = MessageStream::new(stream)?;
         if let Some(m) = &self.metrics {
@@ -160,26 +160,26 @@ pub struct MessageListener {
 
 impl MessageListener {
     /// Bind to an address; use port 0 for an ephemeral port.
-    pub fn bind<A: ToSocketAddrs>(addr: A) -> NetResult<Self> {
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> Result<Self> {
         Ok(MessageListener {
             listener: TcpListener::bind(addr)?,
         })
     }
 
     /// The bound local address (with the resolved port).
-    pub fn local_addr(&self) -> NetResult<SocketAddr> {
+    pub fn local_addr(&self) -> Result<SocketAddr> {
         Ok(self.listener.local_addr()?)
     }
 
     /// Accept the next connection, blocking.
-    pub fn accept(&self) -> NetResult<MessageStream> {
+    pub fn accept(&self) -> Result<MessageStream> {
         let (stream, _) = self.listener.accept()?;
         MessageStream::new(stream)
     }
 
     /// Put the listener into non-blocking mode (`accept` then returns
     /// `WouldBlock` IO errors instead of blocking).
-    pub fn set_nonblocking(&self, nonblocking: bool) -> NetResult<()> {
+    pub fn set_nonblocking(&self, nonblocking: bool) -> Result<()> {
         self.listener.set_nonblocking(nonblocking)?;
         Ok(())
     }
@@ -188,8 +188,8 @@ impl MessageListener {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::error::NetError;
     use std::thread;
+    use swing_core::Error;
     use swing_core::{SeqNo, Tuple, UnitId};
 
     #[test]
@@ -289,7 +289,7 @@ mod tests {
         });
         let mut client = MessageStream::connect(addr).unwrap();
         server.join().unwrap();
-        assert!(matches!(client.recv(), Err(NetError::Closed)));
+        assert!(matches!(client.recv(), Err(Error::Closed)));
     }
 
     #[test]
@@ -328,7 +328,7 @@ mod tests {
             .set_read_timeout(Some(Duration::from_millis(50)))
             .unwrap();
         match client.recv() {
-            Err(NetError::Io(e)) => assert!(
+            Err(Error::Io(e)) => assert!(
                 e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut
             ),

@@ -10,10 +10,10 @@
 //! the deployment workflow (§IV-B) — and a compact, hand-rolled binary
 //! encoding with explicit bounds checking. All integers are big-endian.
 
-use crate::error::{NetError, NetResult};
 use bytes::{BufMut, Bytes, BytesMut};
 use swing_core::graph::StageId;
 use swing_core::{DeviceId, FieldKey, SeqNo, SharedBytes, Tuple, UnitId, Value};
+use swing_core::{Error, Result};
 
 /// Protocol version carried in every message.
 pub const WIRE_VERSION: u8 = 1;
@@ -345,7 +345,7 @@ impl Message {
     /// ownership of it). When the whole frame is already in a
     /// [`SharedBytes`], prefer [`decode_shared`](Self::decode_shared),
     /// which borrows payloads from the frame instead of copying them.
-    pub fn decode(buf: &[u8]) -> NetResult<Message> {
+    pub fn decode(buf: &[u8]) -> Result<Message> {
         Message::decode_inner(buf, None)
     }
 
@@ -356,19 +356,19 @@ impl Message {
     /// 6 kB video frame arriving over TCP is allocated once by the
     /// framing layer and then flows through decode → executor dispatch →
     /// in-flight retention without its pixels ever being copied again.
-    pub fn decode_shared(frame: &SharedBytes) -> NetResult<Message> {
+    pub fn decode_shared(frame: &SharedBytes) -> Result<Message> {
         Message::decode_inner(frame.as_slice(), Some(frame))
     }
 
-    fn decode_inner(mut buf: &[u8], backing: Option<&SharedBytes>) -> NetResult<Message> {
+    fn decode_inner(mut buf: &[u8], backing: Option<&SharedBytes>) -> Result<Message> {
         let base = buf.as_ptr() as usize;
         let magic = get_u8(&mut buf)?;
         if magic != MAGIC {
-            return Err(NetError::Malformed(format!("bad magic byte {magic:#x}")));
+            return Err(Error::Malformed(format!("bad magic byte {magic:#x}")));
         }
         let version = get_u8(&mut buf)?;
         if version != WIRE_VERSION {
-            return Err(NetError::VersionMismatch {
+            return Err(Error::VersionMismatch {
                 ours: WIRE_VERSION,
                 theirs: version,
             });
@@ -421,10 +421,10 @@ impl Message {
                 upstream: UnitId(get_u32(&mut buf)?),
                 downstream: UnitId(get_u32(&mut buf)?),
             },
-            other => return Err(NetError::Malformed(format!("unknown message tag {other}"))),
+            other => return Err(Error::Malformed(format!("unknown message tag {other}"))),
         };
         if !buf.is_empty() {
-            return Err(NetError::Malformed(format!(
+            return Err(Error::Malformed(format!(
                 "{} trailing bytes after message",
                 buf.len()
             )));
@@ -502,7 +502,7 @@ fn encode_value(b: &mut BytesMut, value: &Value) {
 /// Decode a tuple. With a `backing` frame, byte-array fields become
 /// zero-copy sub-views of it (`base` is the address of the frame's first
 /// byte, used to turn borrowed slices back into offsets).
-fn decode_tuple(buf: &mut &[u8], backing: Option<&SharedBytes>, base: usize) -> NetResult<Tuple> {
+fn decode_tuple(buf: &mut &[u8], backing: Option<&SharedBytes>, base: usize) -> Result<Tuple> {
     let seq = SeqNo(get_u64(buf)?);
     let sent_at = get_u64(buf)?;
     let n = get_u16(buf)? as usize;
@@ -528,7 +528,7 @@ fn decode_tuple(buf: &mut &[u8], backing: Option<&SharedBytes>, base: usize) -> 
             5 => {
                 let len = get_len(buf)?;
                 let Some(byte_len) = len.checked_mul(4).filter(|b| *b <= MAX_CHUNK) else {
-                    return Err(NetError::Malformed("f32 vector too large".into()));
+                    return Err(Error::Malformed("f32 vector too large".into()));
                 };
                 // One bounds check for the whole vector, then a
                 // fixed-stride loop the compiler can unroll.
@@ -540,7 +540,7 @@ fn decode_tuple(buf: &mut &[u8], backing: Option<&SharedBytes>, base: usize) -> 
                 Value::F32Vec(v.into())
             }
             6 => Value::Bool(get_u8(buf)? != 0),
-            other => return Err(NetError::Malformed(format!("unknown value kind {other}"))),
+            other => return Err(Error::Malformed(format!("unknown value kind {other}"))),
         };
         tuple.set_value(key, value);
     }
@@ -563,26 +563,26 @@ fn put_long_str(b: &mut BytesMut, s: &str) {
 /// a pointer bump, and a load.
 #[cold]
 #[inline(never)]
-fn short_message() -> NetError {
-    NetError::Malformed("unexpected end of message".into())
+fn short_message() -> Error {
+    Error::Malformed("unexpected end of message".into())
 }
 
 #[cold]
 #[inline(never)]
-fn invalid_utf8() -> NetError {
-    NetError::Malformed("string is not valid UTF-8".into())
+fn invalid_utf8() -> Error {
+    Error::Malformed("string is not valid UTF-8".into())
 }
 
 #[cold]
 #[inline(never)]
-fn chunk_too_large(len: usize) -> NetError {
-    NetError::Malformed(format!("chunk of {len} bytes too large"))
+fn chunk_too_large(len: usize) -> Error {
+    Error::Malformed(format!("chunk of {len} bytes too large"))
 }
 
 /// Consume exactly `N` bytes as a fixed array — one bounds check, then
 /// a constant-size load the compiler turns into a single move.
 #[inline]
-fn get_array<const N: usize>(buf: &mut &[u8]) -> NetResult<[u8; N]> {
+fn get_array<const N: usize>(buf: &mut &[u8]) -> Result<[u8; N]> {
     if buf.len() < N {
         return Err(short_message());
     }
@@ -592,26 +592,26 @@ fn get_array<const N: usize>(buf: &mut &[u8]) -> NetResult<[u8; N]> {
 }
 
 #[inline]
-fn get_u8(buf: &mut &[u8]) -> NetResult<u8> {
+fn get_u8(buf: &mut &[u8]) -> Result<u8> {
     Ok(get_array::<1>(buf)?[0])
 }
 
 #[inline]
-fn get_u16(buf: &mut &[u8]) -> NetResult<u16> {
+fn get_u16(buf: &mut &[u8]) -> Result<u16> {
     Ok(u16::from_be_bytes(get_array(buf)?))
 }
 
 #[inline]
-fn get_u32(buf: &mut &[u8]) -> NetResult<u32> {
+fn get_u32(buf: &mut &[u8]) -> Result<u32> {
     Ok(u32::from_be_bytes(get_array(buf)?))
 }
 
 #[inline]
-fn get_u64(buf: &mut &[u8]) -> NetResult<u64> {
+fn get_u64(buf: &mut &[u8]) -> Result<u64> {
     Ok(u64::from_be_bytes(get_array(buf)?))
 }
 
-fn get_len(buf: &mut &[u8]) -> NetResult<usize> {
+fn get_len(buf: &mut &[u8]) -> Result<usize> {
     let len = get_u32(buf)? as usize;
     if len > MAX_CHUNK {
         return Err(chunk_too_large(len));
@@ -620,7 +620,7 @@ fn get_len(buf: &mut &[u8]) -> NetResult<usize> {
 }
 
 #[inline]
-fn get_bytes<'a>(buf: &mut &'a [u8], len: usize) -> NetResult<&'a [u8]> {
+fn get_bytes<'a>(buf: &mut &'a [u8], len: usize) -> Result<&'a [u8]> {
     if buf.len() < len {
         return Err(short_message());
     }
@@ -631,30 +631,30 @@ fn get_bytes<'a>(buf: &mut &'a [u8], len: usize) -> NetResult<&'a [u8]> {
 
 /// Read a field name, taking the ASCII inline fast path for the short
 /// keys every tuple actually carries.
-fn get_key(buf: &mut &[u8]) -> NetResult<FieldKey> {
+fn get_key(buf: &mut &[u8]) -> Result<FieldKey> {
     let len = get_u16(buf)? as usize;
     let raw = get_bytes(buf, len)?;
     FieldKey::try_from_bytes(raw).ok_or_else(invalid_utf8)
 }
 
 /// Borrow a short string from the buffer, validating UTF-8 in place.
-fn get_str_ref<'a>(buf: &mut &'a [u8]) -> NetResult<&'a str> {
+fn get_str_ref<'a>(buf: &mut &'a [u8]) -> Result<&'a str> {
     let len = get_u16(buf)? as usize;
     let raw = get_bytes(buf, len)?;
-    std::str::from_utf8(raw).map_err(|_| NetError::Malformed("string is not valid UTF-8".into()))
+    std::str::from_utf8(raw).map_err(|_| Error::Malformed("string is not valid UTF-8".into()))
 }
 
-fn get_str(buf: &mut &[u8]) -> NetResult<String> {
+fn get_str(buf: &mut &[u8]) -> Result<String> {
     // Validate in place, then copy exactly once into the String.
     get_str_ref(buf).map(str::to_owned)
 }
 
-fn get_long_str(buf: &mut &[u8]) -> NetResult<String> {
+fn get_long_str(buf: &mut &[u8]) -> Result<String> {
     let len = get_len(buf)?;
     let raw = get_bytes(buf, len)?;
     std::str::from_utf8(raw)
         .map(str::to_owned)
-        .map_err(|_| NetError::Malformed("string is not valid UTF-8".into()))
+        .map_err(|_| Error::Malformed("string is not valid UTF-8".into()))
 }
 
 #[cfg(test)]
@@ -742,16 +742,13 @@ mod tests {
     fn rejects_bad_magic_and_version() {
         let mut bytes = Message::Ping.encode().to_vec();
         bytes[0] = 0xFF;
-        assert!(matches!(
-            Message::decode(&bytes),
-            Err(NetError::Malformed(_))
-        ));
+        assert!(matches!(Message::decode(&bytes), Err(Error::Malformed(_))));
 
         let mut bytes = Message::Ping.encode().to_vec();
         bytes[1] = 99;
         assert!(matches!(
             Message::decode(&bytes),
-            Err(NetError::VersionMismatch { theirs: 99, .. })
+            Err(Error::VersionMismatch { theirs: 99, .. })
         ));
     }
 
@@ -777,19 +774,13 @@ mod tests {
     fn rejects_trailing_garbage() {
         let mut bytes = Message::Ping.encode().to_vec();
         bytes.push(0);
-        assert!(matches!(
-            Message::decode(&bytes),
-            Err(NetError::Malformed(_))
-        ));
+        assert!(matches!(Message::decode(&bytes), Err(Error::Malformed(_))));
     }
 
     #[test]
     fn rejects_unknown_tag() {
         let bytes = vec![MAGIC, WIRE_VERSION, 200];
-        assert!(matches!(
-            Message::decode(&bytes),
-            Err(NetError::Malformed(_))
-        ));
+        assert!(matches!(Message::decode(&bytes), Err(Error::Malformed(_))));
     }
 
     #[test]
@@ -808,7 +799,7 @@ mod tests {
         b.put_slice(b"k");
         b.put_u8(1); // bytes kind
         b.put_u32(1_000_000_000);
-        assert!(matches!(Message::decode(&b), Err(NetError::Malformed(_))));
+        assert!(matches!(Message::decode(&b), Err(Error::Malformed(_))));
     }
 
     #[test]
@@ -1016,6 +1007,6 @@ mod tests {
         b.put_u16(2);
         b.put_slice(&[0xFF, 0xFE]); // invalid UTF-8 name
         b.put_u16(0);
-        assert!(matches!(Message::decode(&b), Err(NetError::Malformed(_))));
+        assert!(matches!(Message::decode(&b), Err(Error::Malformed(_))));
     }
 }

@@ -1,6 +1,6 @@
 //! Deterministic fault injection for the message fabric.
 //!
-//! [`ChaosFabric`](crate::fabric::Fabric::chaos) wraps any [`Fabric`]
+//! [`ChaosFabric`](crate::fabric::Fabric::chaos) wraps any [`Fabric`](crate::fabric::Fabric)
 //! and perturbs the *data plane* (Data and ACK messages) on every dialed
 //! link: seeded probabilistic drops, extra delay, and duplication —
 //! configurable per destination address via a [`FaultPlan`] — plus
@@ -80,7 +80,7 @@ impl Default for LinkFaults {
     }
 }
 
-/// Seeded, per-link fault configuration for a [`ChaosFabric`]
+/// Seeded, per-link fault configuration for a [`ChaosFabric`](crate::fabric::ChaosFabric)
 /// (see [`Fabric::chaos`](crate::fabric::Fabric::chaos)).
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
@@ -210,7 +210,7 @@ impl ChaosShared {
     }
 }
 
-/// Live handle for steering a running [`ChaosFabric`]: partition/heal
+/// Live handle for steering a running [`ChaosFabric`](crate::fabric::ChaosFabric): partition/heal
 /// links, schedule crashes, and read injected-fault counters.
 #[derive(Debug, Clone)]
 pub struct ChaosControl {

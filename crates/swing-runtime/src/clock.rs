@@ -1,14 +1,13 @@
-//! Process-wide monotonic clock — **deprecated** in favor of the
-//! injected [`swing_core::clock::Clock`] capability.
+//! The process-global real clock default.
 //!
-//! Historically every layer of the runtime read this module's global
-//! `now_us()`. That made the runtime impossible to drive under virtual
-//! time, and the shared `OnceLock` epoch coupled tests: timestamp
-//! assertions depended on which test touched the clock first in the
-//! process. New code takes a [`ClockHandle`] (see
-//! [`NodeConfig::clock`](crate::executor::NodeConfig)); this module
-//! remains as a thin shim over one process-global [`RealClock`] for
-//! downstream callers that have not migrated yet.
+//! Historically every layer of the runtime read a global `now_us()`
+//! free function from this module. That made the runtime impossible to
+//! drive under virtual time, and the shared `OnceLock` epoch coupled
+//! tests: timestamp assertions depended on which test touched the
+//! clock first in the process. All code now takes an injected
+//! [`ClockHandle`] (see [`NodeConfig::clock`](crate::executor::NodeConfig));
+//! this module only supplies the default handle those configs start
+//! from. The deprecated `now_us()` shim has been removed.
 
 use std::sync::OnceLock;
 use swing_core::clock::{ClockHandle, RealClock};
@@ -28,42 +27,33 @@ pub fn global_clock() -> ClockHandle {
         .clone()
 }
 
-/// Microseconds since the first call in this process. Monotonic.
-#[deprecated(
-    since = "0.2.0",
-    note = "inject a `swing_core::clock::ClockHandle` (e.g. via `NodeConfig::clock`) instead of \
-            reading the process-global clock"
-)]
-#[must_use]
-pub fn now_us() -> u64 {
-    global_clock().now_us()
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
 
     #[test]
     fn clock_is_monotonic() {
-        let a = now_us();
-        let b = now_us();
+        let clock = global_clock();
+        let a = clock.now_us();
+        let b = clock.now_us();
         assert!(b >= a);
     }
 
     #[test]
     fn clock_advances_with_real_time() {
-        let a = now_us();
+        let clock = global_clock();
+        let a = clock.now_us();
         std::thread::sleep(std::time::Duration::from_millis(5));
-        let b = now_us();
+        let b = clock.now_us();
         assert!(b - a >= 4_000, "only {} us elapsed", b - a);
     }
 
     #[test]
-    fn shim_and_global_share_one_epoch() {
-        let direct = global_clock().now_us();
-        let shimmed = now_us();
-        // Both reads come from the same epoch, microseconds apart.
-        assert!(shimmed.abs_diff(direct) < 1_000_000);
+    fn global_clock_is_one_shared_epoch() {
+        // Two fetches return handles over the same epoch — reads stay
+        // microseconds apart, never an epoch apart.
+        let a = global_clock().now_us();
+        let b = global_clock().now_us();
+        assert!(b.abs_diff(a) < 1_000_000);
     }
 }

@@ -1,0 +1,179 @@
+//! One configuration surface for both execution harnesses.
+//!
+//! [`SwarmConfig`] carries every knob that means the same thing to the
+//! live threaded swarm ([`LocalSwarm`](crate::swarm::LocalSwarm)) and
+//! the deterministic harness ([`SimSwarm`](crate::sim::SimSwarm)):
+//! routing, pacing, reorder span, retransmission, overload control,
+//! telemetry domain, clock, and fault injection. Build one, then hand
+//! it to either side:
+//!
+//! * [`LocalSwarmBuilder::config`](crate::swarm::LocalSwarmBuilder::config)
+//!   consumes it wholesale (individual builder methods remain as
+//!   per-knob shorthands over the same struct).
+//! * [`SimSwarmConfig::from_swarm`](crate::sim::SimSwarmConfig::from_swarm)
+//!   seeds the simulator's node configuration from it, so an experiment
+//!   validated under virtual time runs live with the identical knobs.
+
+use crate::chaos::FaultPlan;
+use crate::clock::global_clock;
+use crate::executor::NodeConfig;
+use swing_core::clock::ClockHandle;
+use swing_core::config::{ReorderConfig, RetryConfig};
+use swing_core::flow::FlowConfig;
+use swing_core::routing::{Policy, RouterConfig};
+use swing_core::Result;
+use swing_telemetry::Telemetry;
+
+/// The knobs shared by live and simulated swarm construction.
+///
+/// Defaults mirror [`NodeConfig::default`]: LRS routing, 24 FPS
+/// sources, a one-second reorder span, retries on, overload control
+/// off, a fresh telemetry domain, the process-global real clock, and
+/// no fault injection.
+#[derive(Debug, Clone)]
+pub struct SwarmConfig {
+    /// Router configuration (policy, control period, probing,
+    /// occupancy penalty).
+    pub router: RouterConfig,
+    /// Source sensing rate, tuples per second.
+    pub input_fps: f64,
+    /// Sink reorder-buffer configuration.
+    pub reorder: ReorderConfig,
+    /// ACK-deadline retransmission configuration.
+    pub retry: RetryConfig,
+    /// Overload control: bounded mailboxes, credit-based source
+    /// admission, and the shed policy (disabled by default).
+    pub flow: FlowConfig,
+    /// Telemetry domain every executor emits into.
+    pub telemetry: Telemetry,
+    /// The clock every executor reads. [`SimSwarm`](crate::sim::SimSwarm)
+    /// replaces it with the swarm's `VirtualClock`.
+    pub clock: ClockHandle,
+    /// Deterministic transport fault injection for the live swarm.
+    /// The simulator models faults with its own seeded
+    /// [`SimLinkConfig`](crate::sim::SimLinkConfig) instead and does
+    /// not apply this plan.
+    pub chaos: Option<FaultPlan>,
+}
+
+impl Default for SwarmConfig {
+    fn default() -> Self {
+        let node = NodeConfig::default();
+        SwarmConfig {
+            router: node.router,
+            input_fps: node.input_fps,
+            reorder: node.reorder,
+            retry: node.retry,
+            flow: node.flow,
+            telemetry: node.telemetry,
+            clock: node.clock,
+            chaos: None,
+        }
+    }
+}
+
+impl SwarmConfig {
+    /// A default configuration routing with the given policy.
+    #[must_use]
+    pub fn with_policy(policy: Policy) -> Self {
+        SwarmConfig {
+            router: RouterConfig::new(policy),
+            ..SwarmConfig::default()
+        }
+    }
+
+    /// Check every knob for consistency (delegates to
+    /// [`NodeConfig::validate`], the single source of truth both
+    /// harnesses call at start).
+    pub fn validate(&self) -> Result<()> {
+        self.node_config().validate()
+    }
+
+    /// The per-node runtime configuration these knobs describe. The
+    /// `worker` metric label keeps its default — the node layer sets it
+    /// on spawn.
+    #[must_use]
+    pub fn node_config(&self) -> NodeConfig {
+        NodeConfig {
+            router: self.router.clone(),
+            input_fps: self.input_fps,
+            reorder: self.reorder,
+            retry: self.retry.clone(),
+            flow: self.flow,
+            telemetry: self.telemetry.clone(),
+            worker_label: "local".to_string(),
+            clock: self.clock.clone(),
+        }
+    }
+
+    /// Rebuild the shared knobs from an existing [`NodeConfig`]
+    /// (inverse of [`node_config`](Self::node_config); the worker label
+    /// is per-node state and is dropped).
+    #[must_use]
+    pub fn from_node_config(node: NodeConfig) -> Self {
+        SwarmConfig {
+            router: node.router,
+            input_fps: node.input_fps,
+            reorder: node.reorder,
+            retry: node.retry,
+            flow: node.flow,
+            telemetry: node.telemetry,
+            clock: node.clock,
+            chaos: None,
+        }
+    }
+
+    /// Reset the clock to the process-global real clock (undoes a
+    /// virtual-clock injection when reusing a sim-tuned config live).
+    #[must_use]
+    pub fn real_clock(mut self) -> Self {
+        self.clock = global_clock();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swing_core::flow::OverloadPolicy;
+
+    #[test]
+    fn default_matches_node_config_default() {
+        let cfg = SwarmConfig::default();
+        let node = cfg.node_config();
+        let reference = NodeConfig::default();
+        assert_eq!(node.input_fps, reference.input_fps);
+        assert_eq!(node.router.policy, reference.router.policy);
+        assert_eq!(node.retry.enabled, reference.retry.enabled);
+        assert!(!node.flow.enabled);
+        assert!(cfg.chaos.is_none());
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn flow_without_retries_is_rejected() {
+        let mut cfg = SwarmConfig {
+            flow: FlowConfig::bounded(8),
+            retry: RetryConfig::disabled(),
+            ..SwarmConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        cfg.retry = RetryConfig::default();
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn round_trips_through_node_config() {
+        let mut cfg = SwarmConfig::with_policy(Policy::Rr);
+        cfg.input_fps = 60.0;
+        cfg.flow = FlowConfig {
+            policy: OverloadPolicy::ShedNewest,
+            ..FlowConfig::bounded(16)
+        };
+        let back = SwarmConfig::from_node_config(cfg.node_config());
+        assert_eq!(back.router.policy, Policy::Rr);
+        assert_eq!(back.input_fps, 60.0);
+        assert_eq!(back.flow.mailbox_capacity, 16);
+        assert_eq!(back.flow.policy, OverloadPolicy::ShedNewest);
+    }
+}

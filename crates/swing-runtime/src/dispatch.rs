@@ -32,6 +32,7 @@ use std::time::Duration;
 use swing_core::clock::ClockHandle;
 use swing_core::config::RetryConfig;
 use swing_core::dedup::DedupWindow;
+use swing_core::flow::{FlowConfig, OverloadPolicy};
 use swing_core::routing::{Router, RouterSnapshot};
 use swing_core::timing;
 use swing_core::{SeqNo, Tuple, UnitId};
@@ -82,7 +83,15 @@ pub(crate) struct ExecMetrics {
     selection_size: Gauge,
     selection_changes: Counter,
     probe_windows: Counter,
+    sensed: Counter,
+    shed_at_source: Counter,
+    source_paused: Counter,
+    shed_in_queue: Counter,
+    pub(crate) mailbox_depth: Histogram,
     route_gauges: HashMap<UnitId, RouteGauges>,
+    /// Per-downstream remaining-credit gauges, registered lazily like
+    /// [`ExecMetrics::route_gauges`].
+    credit_gauges: HashMap<UnitId, Gauge>,
     /// Selection-set membership at the last published snapshot, for the
     /// membership-change counter.
     prev_selected: Vec<UnitId>,
@@ -111,7 +120,13 @@ impl ExecMetrics {
             selection_size: telemetry.gauge(n::EXEC_SELECTION_SIZE, labels),
             selection_changes: telemetry.counter(n::EXEC_SELECTION_CHANGES, labels),
             probe_windows: telemetry.counter(n::EXEC_PROBE_WINDOWS, labels),
+            sensed: telemetry.counter(n::SOURCE_SENSED, labels),
+            shed_at_source: telemetry.counter(n::SOURCE_SHED, labels),
+            source_paused: telemetry.counter(n::SOURCE_PAUSED, labels),
+            shed_in_queue: telemetry.counter(n::EXEC_SHED_IN_QUEUE, labels),
+            mailbox_depth: telemetry.histogram(n::EXEC_MAILBOX_DEPTH, labels),
             route_gauges: HashMap::new(),
+            credit_gauges: HashMap::new(),
             prev_selected: Vec::new(),
             prev_probing: false,
             policy: config.router.policy.name(),
@@ -203,6 +218,24 @@ impl ExecMetrics {
         }
         self.prev_probing = snap.probing;
     }
+
+    /// The remaining-credit gauge toward `unit`, registered on first use.
+    fn credit_gauge(&mut self, unit: UnitId) -> &Gauge {
+        use swing_telemetry::names as n;
+        if !self.credit_gauges.contains_key(&unit) {
+            let downstream = unit.0.to_string();
+            let gauge = self.telemetry.gauge(
+                n::EXEC_CREDITS,
+                &[
+                    (n::LABEL_WORKER, &self.worker),
+                    (n::LABEL_UNIT, &self.unit_label),
+                    (n::LABEL_DOWNSTREAM, &downstream),
+                ],
+            );
+            self.credit_gauges.insert(unit, gauge);
+        }
+        &self.credit_gauges[&unit]
+    }
 }
 
 /// Delivery counts accumulated locally on the dispatch hot path and
@@ -226,6 +259,7 @@ pub struct Dispatcher {
     me: UnitId,
     pub(crate) router: Router,
     retry: RetryConfig,
+    flow: FlowConfig,
     clock: ClockHandle,
     initial_latency_us: f64,
     downstreams: HashMap<UnitId, MsgSender>,
@@ -234,6 +268,13 @@ pub struct Dispatcher {
     /// simulator's per-destination byte window is full). Dispatch to a
     /// gated destination pauses exactly like a not-yet-dialed link.
     gated: HashSet<UnitId>,
+    /// Tuples in flight toward each downstream, counted against the
+    /// per-downstream credit window
+    /// ([`FlowConfig::credits_per_downstream`]). Every increment happens
+    /// when an in-flight entry is recorded and every decrement when one
+    /// is removed (ACK, expiry, reclaim), so the counts always agree
+    /// with the [`InflightTable`]. Empty unless credits are active.
+    outstanding: CreditLedger,
     /// Tuples waiting to be routed (new dispatches and retransmissions).
     pending: VecDeque<PendingTuple>,
     /// Sent-but-unACKed tuples (empty when retries are disabled).
@@ -255,6 +296,47 @@ pub struct Dispatcher {
     /// pushes are suppressed and the embedding layer transmits one
     /// tuple at a time via [`Dispatcher::flush_one`].
     paced: bool,
+}
+
+/// Per-downstream in-flight counts, touched on every send and every
+/// ACK. A flat vector instead of a `HashMap`: a unit fans out to a
+/// handful of replicas, and at that size a linear scan over eight-byte
+/// keys is several times cheaper than hashing — this sits on the
+/// per-tuple hot path, where the flow-overhead budget is 5%.
+#[derive(Debug, Default)]
+struct CreditLedger(Vec<(UnitId, u32)>);
+
+impl CreditLedger {
+    #[inline]
+    fn get(&self, unit: UnitId) -> u32 {
+        self.0
+            .iter()
+            .find(|(u, _)| *u == unit)
+            .map_or(0, |&(_, n)| n)
+    }
+
+    #[inline]
+    fn add_one(&mut self, unit: UnitId) {
+        match self.0.iter_mut().find(|(u, _)| *u == unit) {
+            Some((_, n)) => *n += 1,
+            None => self.0.push((unit, 1)),
+        }
+    }
+
+    #[inline]
+    fn sub_one(&mut self, unit: UnitId) {
+        if let Some((_, n)) = self.0.iter_mut().find(|(u, _)| *u == unit) {
+            *n = n.saturating_sub(1);
+        }
+    }
+
+    fn remove(&mut self, unit: UnitId) {
+        self.0.retain(|(u, _)| *u != unit);
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (UnitId, u32)> + '_ {
+        self.0.iter().copied()
+    }
 }
 
 impl std::fmt::Debug for Dispatcher {
@@ -286,11 +368,13 @@ impl Dispatcher {
             me,
             router: Router::new(config.router.clone(), u64::from(me.0) + 1),
             retry: config.retry.clone(),
+            flow: config.flow,
             clock: config.clock.clone(),
             initial_latency_us: config.router.initial_latency_us,
             downstreams: HashMap::new(),
             upstreams: HashMap::new(),
             gated: HashSet::new(),
+            outstanding: CreditLedger::default(),
             pending: VecDeque::new(),
             inflight: InflightTable::new(),
             dedup: HashMap::new(),
@@ -320,6 +404,112 @@ impl Dispatcher {
     #[must_use]
     pub fn router_mut(&mut self) -> &mut Router {
         &mut self.router
+    }
+
+    /// The overload-control configuration this dispatcher runs under.
+    #[must_use]
+    pub fn flow(&self) -> &FlowConfig {
+        &self.flow
+    }
+
+    /// Whether the credit window is live: overload control is on *and*
+    /// retries are enabled (the in-flight table is what meters credits;
+    /// without it there is nothing to count against).
+    fn credits_active(&self) -> bool {
+        self.flow.enabled && self.retry.enabled
+    }
+
+    /// Consume one credit toward `dest` (an in-flight entry was just
+    /// recorded for it).
+    fn credit_consume(&mut self, dest: UnitId) {
+        if self.credits_active() {
+            self.outstanding.add_one(dest);
+        }
+    }
+
+    /// Release one credit toward `dest` (its in-flight entry resolved:
+    /// ACKed, expired, or reclaimed).
+    fn credit_release(&mut self, dest: UnitId) {
+        self.outstanding.sub_one(dest);
+    }
+
+    /// Source admission gate: `true` when a *new* capture can be
+    /// admitted into the data plane. With overload control disabled this
+    /// is always `true` (the seed behavior). With credits active, a new
+    /// tuple is admitted only while the local pending queue is below the
+    /// mailbox bound and at least one connected, selected, ungated
+    /// downstream still has credit headroom. When it returns `false`
+    /// the source sheds (or pauses, under [`OverloadPolicy::Block`]) at
+    /// capture time instead of growing an unbounded queue.
+    #[must_use]
+    pub fn admits_new(&self) -> bool {
+        if !self.credits_active() {
+            return true;
+        }
+        if self.pending.len() >= self.flow.effective_capacity() {
+            return false;
+        }
+        let credits = self.flow.credits_per_downstream;
+        self.downstreams.keys().any(|u| {
+            self.router.is_selected(*u)
+                && !self.gated.contains(u)
+                && self.outstanding.get(*u) < credits
+        })
+    }
+
+    /// Count one frame sensed at a source (shed or admitted — every
+    /// capture that consumed a sequence number).
+    pub fn count_sensed(&mut self) {
+        self.metrics.sensed.inc();
+    }
+
+    /// Count one frame shed at capture time (the admission gate was
+    /// closed when the source sensed it).
+    pub fn count_shed_at_source(&mut self) {
+        self.metrics.shed_at_source.inc();
+    }
+
+    /// Count one capture tick skipped under [`OverloadPolicy::Block`]
+    /// back-pressure (the frame was never sensed, so this is *not* part
+    /// of the shed-accounting identity).
+    pub fn count_source_paused(&mut self) {
+        self.metrics.source_paused.inc();
+    }
+
+    /// Count one tuple evicted or rejected by a full bounded mailbox
+    /// (or pending queue).
+    pub fn count_shed_in_queue(&mut self) {
+        self.metrics.shed_in_queue.inc();
+    }
+
+    /// The overload counters `(shed_at_source, shed_in_queue, paused)`
+    /// as currently published.
+    #[must_use]
+    pub fn overload_counts(&self) -> (u64, u64, u64) {
+        (
+            self.metrics.shed_at_source.get(),
+            self.metrics.shed_in_queue.get(),
+            self.metrics.source_paused.get(),
+        )
+    }
+
+    /// Push per-downstream queue occupancy (outstanding / credits) into
+    /// the router — so the next rebalance de-weights saturated workers
+    /// before their inflated latency estimates catch up — and refresh
+    /// the remaining-credit gauges.
+    fn sync_occupancy(&mut self) {
+        if !self.credits_active() {
+            return;
+        }
+        let credits = self.flow.credits_per_downstream;
+        let ledger: Vec<(UnitId, u32)> = self.outstanding.iter().collect();
+        for (unit, out) in ledger {
+            self.router
+                .note_occupancy(unit, f64::from(out) / f64::from(credits));
+            self.metrics
+                .credit_gauge(unit)
+                .set_u64(u64::from(credits.saturating_sub(out)));
+        }
     }
 
     /// Number of tuples queued awaiting (re)transmission.
@@ -402,6 +592,7 @@ impl Dispatcher {
         self.flush_delivery();
         let now = self.clock.now_us();
         self.next_publish_us = now + timing::TELEMETRY_PUBLISH_INTERVAL_US;
+        self.sync_occupancy();
         let router = self.router.snapshot(now);
         self.metrics.publish_router(&router);
         self.metrics
@@ -485,7 +676,13 @@ impl Dispatcher {
         let now = self.clock.now_us();
         let sample = self.router.on_ack(seq, now, processing_us);
         let fresh = if self.retry.enabled {
-            self.inflight.ack(seq).is_some()
+            match self.inflight.ack(seq) {
+                Some(e) => {
+                    self.credit_release(e.dest);
+                    true
+                }
+                None => false,
+            }
         } else {
             sample.is_some()
         };
@@ -549,6 +746,9 @@ impl Dispatcher {
                 committed: None,
             });
         }
+        // Nothing can be outstanding toward a downstream that no longer
+        // exists; drop its credit account entirely.
+        self.outstanding.remove(unit);
         orphans
     }
 
@@ -563,6 +763,7 @@ impl Dispatcher {
             let reclaimed = self.inflight.take_seqs(seqs);
             self.metrics.inflight_reclaimed.add(reclaimed.len() as u64);
             for (_, e) in reclaimed {
+                self.credit_release(e.dest);
                 self.pending.push_back(PendingTuple {
                     tuple: e.tuple,
                     attempts: e.attempts,
@@ -578,6 +779,14 @@ impl Dispatcher {
     }
 
     /// Queue one fresh tuple and push the pending queue forward.
+    ///
+    /// With overload control enabled, the pending queue is bounded at
+    /// [`FlowConfig::effective_capacity`]: a shedding policy evicts the
+    /// oldest waiting tuple ([`OverloadPolicy::ShedOldest`]) or rejects
+    /// the incoming one ([`OverloadPolicy::ShedNewest`]) rather than
+    /// grow without limit, counting each victim as shed-in-queue.
+    /// [`OverloadPolicy::Block`] never sheds here — it bounds memory
+    /// through source back-pressure alone.
     pub fn dispatch(&mut self, tuple: Tuple) {
         self.dispatched += 1;
         if self
@@ -585,6 +794,23 @@ impl Dispatcher {
             .is_multiple_of(timing::TELEMETRY_PUBLISH_EVERY_DISPATCHES)
         {
             self.publish();
+        }
+        if self.flow.enabled && self.pending.len() >= self.flow.effective_capacity() {
+            match self.flow.policy {
+                OverloadPolicy::ShedOldest => {
+                    while self.pending.len() >= self.flow.effective_capacity() {
+                        if self.pending.pop_front().is_none() {
+                            break;
+                        }
+                        self.metrics.shed_in_queue.inc();
+                    }
+                }
+                OverloadPolicy::ShedNewest => {
+                    self.metrics.shed_in_queue.inc();
+                    return;
+                }
+                OverloadPolicy::Block => {}
+            }
         }
         self.pending.push_back(PendingTuple {
             tuple,
@@ -664,6 +890,14 @@ impl Dispatcher {
                 // window. Hold position until it reopens.
                 return Some(p);
             }
+            if self.credits_active()
+                && self.outstanding.get(dest) >= self.flow.credits_per_downstream
+            {
+                // Out of credits toward the committed destination: hold
+                // position (like a gated link) until an ACK, expiry, or
+                // reclaim replenishes the window.
+                return Some(p);
+            }
             let Some(sender) = self.downstreams.get(&dest) else {
                 // The route exists but its connection has not landed yet
                 // (Connect in flight). The downstream is healthy — wait
@@ -702,6 +936,7 @@ impl Dispatcher {
                         let deadline = now + self.retry.deadline_us(latency, p.attempts);
                         self.inflight
                             .record(p.tuple.seq(), p.tuple, dest, now, deadline);
+                        self.credit_consume(dest);
                     }
                     return None;
                 }
@@ -742,9 +977,12 @@ impl Dispatcher {
         if !expired.is_empty() {
             self.metrics.inflight_expired.add(expired.len() as u64);
             // Refresh weights/selection so the silent downstream's
-            // pending-age latency floor steers the retry elsewhere.
+            // pending-age latency floor (and its credit occupancy)
+            // steers the retry elsewhere.
+            self.sync_occupancy();
             self.router.rebalance(now);
             for (seq, e) in expired {
+                self.credit_release(e.dest);
                 if e.attempts > self.retry.max_retries {
                     self.local.lost += 1;
                     self.log_loss(seq);
@@ -793,7 +1031,8 @@ impl Dispatcher {
             }
             let leftovers = self.inflight.drain_all();
             self.local.lost += (leftovers.len() + self.pending.len()) as u64;
-            for (seq, _) in leftovers {
+            for (seq, e) in leftovers {
+                self.credit_release(e.dest);
                 self.log_loss(seq);
             }
             let unsent: Vec<SeqNo> = self.pending.drain(..).map(|p| p.tuple.seq()).collect();

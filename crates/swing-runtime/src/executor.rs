@@ -38,6 +38,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 use swing_core::clock::ClockHandle;
 use swing_core::config::{ReorderConfig, RetryConfig, RouterConfig};
+use swing_core::flow::{FlowConfig, Mailbox, OverloadPolicy, PushOutcome};
 use swing_core::rate::Pacer;
 use swing_core::reorder::ReorderBuffer;
 use swing_core::routing::RouterSnapshot;
@@ -60,6 +61,10 @@ pub struct NodeConfig {
     pub reorder: ReorderConfig,
     /// ACK-deadline retransmission configuration.
     pub retry: RetryConfig,
+    /// Overload control: bounded mailboxes, credit-based source
+    /// admission, and the shed policy (disabled by default — the
+    /// pre-overload-control behavior).
+    pub flow: FlowConfig,
     /// Telemetry domain every executor on this node emits into.
     pub telemetry: Telemetry,
     /// `worker` label applied to this node's metrics (the worker's
@@ -80,10 +85,33 @@ impl Default for NodeConfig {
             input_fps: 24.0,
             reorder: ReorderConfig::one_second(),
             retry: RetryConfig::default(),
+            flow: FlowConfig::disabled(),
             telemetry: Telemetry::default(),
             worker_label: "local".to_string(),
             clock: global_clock(),
         }
+    }
+}
+
+impl NodeConfig {
+    /// Validate every knob for consistency — the single check both
+    /// harnesses ([`LocalSwarmBuilder`](crate::swarm::LocalSwarmBuilder)
+    /// and [`SimSwarm`](crate::sim::SimSwarm)) run at start.
+    pub fn validate(&self) -> swing_core::Result<()> {
+        self.retry
+            .validate()
+            .map_err(|e| swing_core::Error::Malformed(format!("invalid retry config: {e}")))?;
+        self.router
+            .validate()
+            .map_err(|e| swing_core::Error::Malformed(format!("invalid router config: {e}")))?;
+        self.flow.validate()?;
+        if self.flow.enabled && !self.retry.enabled {
+            return Err(swing_core::Error::InvalidConfig(
+                "overload control requires retries: credits are metered by the in-flight table"
+                    .into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -187,6 +215,7 @@ struct MeterInner {
     first_us: Option<u64>,
     last_us: Option<u64>,
     skipped: u64,
+    stale: u64,
 }
 
 /// Immutable snapshot of a [`SinkMeter`].
@@ -200,6 +229,9 @@ pub struct SinkReport {
     pub throughput: f64,
     /// Sequence numbers the reorder buffer gave up on.
     pub skipped: u64,
+    /// Tuples that arrived after playback had passed them and were
+    /// dropped — delivered but not played.
+    pub stale: u64,
 }
 
 impl SinkMeter {
@@ -215,8 +247,10 @@ impl SinkMeter {
         m.last_us = Some(now);
     }
 
-    pub(crate) fn set_skipped(&self, skipped: u64) {
-        self.inner.lock().skipped = skipped;
+    pub(crate) fn set_reorder_counts(&self, skipped: u64, stale: u64) {
+        let mut m = self.inner.lock();
+        m.skipped = skipped;
+        m.stale = stale;
     }
 
     /// Snapshot the current statistics.
@@ -232,6 +266,7 @@ impl SinkMeter {
             latency_ms: m.latency_ms,
             throughput,
             skipped: m.skipped,
+            stale: m.stale,
         }
     }
 }
@@ -326,17 +361,6 @@ fn run_source(
 ) {
     let clock = config.clock.clone();
     let mut out = Dispatcher::with_probe(unit, config, probe);
-    let sensed = {
-        use swing_telemetry::names as n;
-        let unit_label = unit.0.to_string();
-        config.telemetry.counter(
-            n::SOURCE_SENSED,
-            &[
-                (n::LABEL_WORKER, &config.worker_label),
-                (n::LABEL_UNIT, &unit_label),
-            ],
-        )
-    };
     // Wait for Start, absorbing topology control messages.
     loop {
         match rx.recv() {
@@ -384,20 +408,67 @@ fn run_source(
         }
         pacer.consume_next();
         let now = clock.now_us();
+        // Credit-based admission: with overload control on and every
+        // selected downstream out of credits, a new capture cannot make
+        // progress. Under `Block` the capture tick is skipped entirely
+        // (back-pressure into the sensor); under the shed policies the
+        // frame is sensed — it consumes a sequence number and counts in
+        // the accounting identity — but shed before dispatch.
+        let admit = out.admits_new();
+        if !admit && out.flow().policy == OverloadPolicy::Block {
+            out.count_source_paused();
+            continue;
+        }
         let Some(mut tuple) = src.next_tuple(now) else {
             // Stream exhausted: resolve the in-flight tail, then stop.
             out.drain_tail(rx);
             return;
         };
         tuple.set_seq(SeqNo(seq));
-        sensed.inc();
+        out.count_sensed();
         config.telemetry.record_stage(seq, unit.0, Stage::Sensed);
         seq += 1;
+        // Demand estimation sees every sensed frame, shed or not: the
+        // router's arrival rate Λ must reflect offered load, not the
+        // post-shedding admit rate.
+        out.router_mut().note_arrival(now);
+        if !admit {
+            out.count_shed_at_source();
+            continue;
+        }
         if !tuple.contains(CREATED_US_FIELD) {
             tuple.set_value(CREATED_US_FIELD, now as i64);
         }
-        out.router_mut().note_arrival(now);
         out.dispatch(tuple);
+    }
+}
+
+/// Move one incoming data tuple into the operator's mailbox, applying
+/// the dedup filter first (a retransmit of an already-seen — possibly
+/// already-shed — sequence is re-ACKed, never requeued) and the
+/// overload policy on overflow. Shed victims are ACKed immediately so
+/// the upstream settles: they are accounted shed-in-queue, not lost.
+fn mailbox_enqueue(
+    out: &mut Dispatcher,
+    mailbox: &mut Mailbox<(UnitId, Tuple)>,
+    from: UnitId,
+    tuple: Tuple,
+) {
+    let seq = tuple.seq();
+    let sent_at = tuple.sent_at_us();
+    if !out.observe_fresh(from, seq) {
+        // Duplicate delivery (retransmit after a lost ACK): re-ACK so
+        // the upstream settles, process nothing.
+        out.ack(from, seq, sent_at, 0);
+        return;
+    }
+    match mailbox.push((from, tuple)) {
+        PushOutcome::Queued => {}
+        PushOutcome::ShedOldest((victim_from, victim))
+        | PushOutcome::Rejected((victim_from, victim)) => {
+            out.ack(victim_from, victim.seq(), victim.sent_at_us(), 0);
+            out.count_shed_in_queue();
+        }
     }
 }
 
@@ -410,10 +481,68 @@ fn run_operator(
 ) {
     let clock = config.clock.clone();
     let mut out = Dispatcher::with_probe(unit, config, probe);
+    // Operator inbox. With overload control off the capacity is
+    // unbounded (seed behavior); with it on, the shed policies bound it
+    // at the configured capacity. `Block` keeps the mailbox unbounded —
+    // it never sheds at the receiver; the per-downstream credit windows
+    // upstream bound what can arrive.
+    let mut mailbox: Mailbox<(UnitId, Tuple)> = if config.flow.policy == OverloadPolicy::Block {
+        Mailbox::new(usize::MAX, OverloadPolicy::Block)
+    } else {
+        Mailbox::from_config(&config.flow)
+    };
     op.on_start();
-    loop {
-        out.metrics.queue_depth.set_u64(rx.len() as u64);
+    'run: loop {
+        out.metrics
+            .queue_depth
+            .set_u64((rx.len() + mailbox.len()) as u64);
         out.maybe_publish();
+        // Eagerly drain the channel so control traffic is handled
+        // immediately and queued data falls under the mailbox's
+        // overload policy instead of hiding in the channel.
+        while let Ok(msg) = rx.try_recv() {
+            match msg {
+                ExecMsg::Data { from, tuple } => {
+                    mailbox_enqueue(&mut out, &mut mailbox, from, tuple)
+                }
+                ExecMsg::Stop => break 'run,
+                other => out.handle_control(other),
+            }
+        }
+        if let Some((from, tuple)) = mailbox.pop() {
+            // Depth at serve time, counting the tuple being served.
+            out.metrics.mailbox_depth.record(mailbox.len() as u64 + 1);
+            let seq = tuple.seq();
+            let sent_at = tuple.sent_at_us();
+            let created = tuple.i64(CREATED_US_FIELD).ok();
+            out.router_mut().note_arrival(clock.now_us());
+            let t0 = clock.now_us();
+            let mut outputs: Vec<Tuple> = Vec::new();
+            {
+                let mut ctx = Context::new(t0, &mut outputs);
+                op.process_data(tuple, &mut ctx);
+            }
+            let processing = clock.now_us() - t0;
+            config
+                .telemetry
+                .record_stage(seq.0, unit.0, Stage::Processed);
+            out.ack(from, seq, sent_at, processing);
+            for mut o in outputs {
+                // Results inherit the input's sequence number and
+                // sensing timestamp so sinks can reorder and measure
+                // end-to-end latency.
+                o.set_seq(seq);
+                if let Some(c) = created {
+                    if !o.contains(CREATED_US_FIELD) {
+                        o.set_value(CREATED_US_FIELD, c);
+                    }
+                }
+                out.dispatch(o);
+            }
+            out.service_timers();
+            continue;
+        }
+        // Mailbox empty: sleep until traffic or the next retry deadline.
         let timeout = {
             let base = Duration::from_millis(50);
             match out.next_wake_us() {
@@ -423,39 +552,7 @@ fn run_operator(
         };
         match rx.recv_timeout(timeout) {
             Ok(ExecMsg::Data { from, tuple }) => {
-                let seq = tuple.seq();
-                let sent_at = tuple.sent_at_us();
-                if !out.observe_fresh(from, seq) {
-                    // Duplicate delivery (retransmit after a lost ACK):
-                    // re-ACK so the upstream settles, process nothing.
-                    out.ack(from, seq, sent_at, 0);
-                    continue;
-                }
-                let created = tuple.i64(CREATED_US_FIELD).ok();
-                out.router_mut().note_arrival(clock.now_us());
-                let t0 = clock.now_us();
-                let mut outputs: Vec<Tuple> = Vec::new();
-                {
-                    let mut ctx = Context::new(t0, &mut outputs);
-                    op.process_data(tuple, &mut ctx);
-                }
-                let processing = clock.now_us() - t0;
-                config
-                    .telemetry
-                    .record_stage(seq.0, unit.0, Stage::Processed);
-                out.ack(from, seq, sent_at, processing);
-                for mut o in outputs {
-                    // Results inherit the input's sequence number and
-                    // sensing timestamp so sinks can reorder and measure
-                    // end-to-end latency.
-                    o.set_seq(seq);
-                    if let Some(c) = created {
-                        if !o.contains(CREATED_US_FIELD) {
-                            o.set_value(CREATED_US_FIELD, c);
-                        }
-                    }
-                    out.dispatch(o);
-                }
+                mailbox_enqueue(&mut out, &mut mailbox, from, tuple)
             }
             Ok(ExecMsg::Stop) => break,
             Ok(other) => out.handle_control(other),
@@ -479,7 +576,7 @@ fn run_sink(
     let clock = config.clock.clone();
     let mut out = Dispatcher::with_probe(unit, config, probe);
     let mut reorder: ReorderBuffer<Tuple> = ReorderBuffer::new(config.reorder);
-    let (played_c, skipped_c, e2e_us) = {
+    let (played_c, skipped_c, stale_c, e2e_us) = {
         use swing_telemetry::names as n;
         let unit_label = unit.0.to_string();
         let labels: &[(&str, &str)] = &[
@@ -489,11 +586,13 @@ fn run_sink(
         (
             config.telemetry.counter(n::SINK_PLAYED, labels),
             config.telemetry.counter(n::SINK_SKIPPED, labels),
+            config.telemetry.counter(n::SINK_STALE, labels),
             config.telemetry.histogram(n::SINK_E2E_LATENCY_US, labels),
         )
     };
     let telemetry = config.telemetry.clone();
     let mut reported_skipped = 0u64;
+    let mut reported_stale = 0u64;
     let play = move |tuple: Tuple, now: u64, meter: &SinkMeter, sink: &mut Box<dyn SinkUnit>| {
         let latency_ms = tuple
             .i64(CREATED_US_FIELD)
@@ -535,6 +634,9 @@ fn run_sink(
                 let s = reorder.skipped();
                 skipped_c.add(s - reported_skipped);
                 reported_skipped = s;
+                let t = reorder.stale();
+                stale_c.add(t - reported_stale);
+                reported_stale = t;
             }
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
         }
@@ -543,8 +645,9 @@ fn run_sink(
     for played in reorder.flush(now) {
         play(played.item, now, meter, &mut sink);
     }
-    meter.set_skipped(reorder.skipped());
+    meter.set_reorder_counts(reorder.skipped(), reorder.stale());
     skipped_c.add(reorder.skipped() - reported_skipped);
+    stale_c.add(reorder.stale() - reported_stale);
     // Publish final delivery counters (duplicates seen at the sink).
     out.publish();
     let _ = unit;

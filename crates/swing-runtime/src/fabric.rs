@@ -15,8 +15,9 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use swing_core::{Error, Result};
 use swing_net::tcp::{MessageListener, MessageStream};
-use swing_net::{LinkMetrics, Message, NetError, NetResult};
+use swing_net::{LinkMetrics, Message};
 use swing_telemetry::Telemetry;
 
 /// Sending half of a message pipe.
@@ -132,7 +133,7 @@ impl Fabric {
     }
 
     /// Create an inbox, returning its dialable address and the receiver.
-    pub fn listen(&self) -> NetResult<(String, MsgReceiver)> {
+    pub fn listen(&self) -> Result<(String, MsgReceiver)> {
         match self {
             Fabric::InProc(net) => {
                 let (tx, rx) = unbounded();
@@ -162,10 +163,10 @@ impl Fabric {
     ///
     /// The returned sender reports an error (disconnected channel) once
     /// the peer goes away; callers treat that as a broken link.
-    pub fn dial(&self, addr: &str) -> NetResult<MsgSender> {
+    pub fn dial(&self, addr: &str) -> Result<MsgSender> {
         match self {
             Fabric::InProc(net) => net.endpoints.lock().get(addr).cloned().ok_or_else(|| {
-                NetError::Io(std::io::Error::new(
+                Error::io(std::io::Error::new(
                     std::io::ErrorKind::NotFound,
                     format!("no in-proc endpoint at {addr}"),
                 ))

@@ -26,6 +26,7 @@
 
 pub mod chaos;
 pub mod clock;
+pub mod config;
 pub mod dispatch;
 pub mod executor;
 pub mod fabric;
@@ -36,7 +37,30 @@ pub mod registry;
 pub mod sim;
 pub mod swarm;
 
+/// One-stop imports for building and running swarms.
+///
+/// Extends [`swing_core::prelude`] (graph, tuples, units, policies,
+/// clocks, flow control) with the runtime's own surface: the live
+/// [`LocalSwarm`], the deterministic [`SimSwarm`], the
+/// shared [`SwarmConfig`], registries, and fault injection.
+///
+/// ```
+/// use swing_runtime::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::chaos::{ChaosControl, ChaosReport, FaultPlan, LinkFaults};
+    pub use crate::config::SwarmConfig;
+    pub use crate::executor::{DeliveryStats, NodeConfig, SinkReport};
+    pub use crate::master::{HeartbeatConfig, Placement};
+    pub use crate::registry::UnitRegistry;
+    pub use crate::sim::{SimFabric, SimLinkConfig, SimSwarm, SimSwarmConfig};
+    pub use crate::swarm::{LocalSwarm, LocalSwarmBuilder};
+    pub use swing_core::prelude::*;
+    pub use swing_telemetry::Telemetry;
+}
+
 pub use chaos::{ChaosControl, ChaosReport, FaultPlan, LinkFaults};
+pub use config::SwarmConfig;
 pub use dispatch::Dispatcher;
 pub use executor::{DeliveryStats, ExecProbe, NodeConfig, SinkReport};
 pub use fabric::Fabric;

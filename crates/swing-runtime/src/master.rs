@@ -14,8 +14,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use swing_core::graph::{AppGraph, Deployment, Role, StageId};
+use swing_core::Result;
 use swing_core::{DeviceId, UnitId};
-use swing_net::{Message, NetResult};
+use swing_net::Message;
 
 /// Where the master places stages when deploying.
 ///
@@ -114,10 +115,10 @@ pub struct Master {
 
 impl Master {
     /// Launch the master for `graph` on the given fabric.
-    pub fn spawn(graph: AppGraph, config: MasterConfig, fabric: Fabric) -> NetResult<Master> {
+    pub fn spawn(graph: AppGraph, config: MasterConfig, fabric: Fabric) -> Result<Master> {
         graph
             .validate()
-            .map_err(|e| swing_net::NetError::Malformed(format!("invalid app graph: {e}")))?;
+            .map_err(|e| swing_core::Error::Malformed(format!("invalid app graph: {e}")))?;
         let (addr, inbox) = fabric.listen()?;
         let inbox_tx = fabric.dial(&addr)?;
         let status = Arc::new(MasterStatus::default());
@@ -187,7 +188,7 @@ impl Master {
         &self,
         discovery_port: u16,
         app: impl Into<String>,
-    ) -> NetResult<swing_net::discovery::MasterResponder> {
+    ) -> Result<swing_net::discovery::MasterResponder> {
         swing_net::discovery::MasterResponder::start(
             discovery_port,
             swing_net::discovery::MasterInfo {

@@ -13,8 +13,9 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use swing_core::Result;
 use swing_core::{DeviceId, UnitId};
-use swing_net::{Message, NetResult};
+use swing_net::Message;
 
 /// Shared slot an executor publishes its latest probe into.
 type ProbeSlot = Arc<Mutex<Option<ExecProbe>>>;
@@ -39,7 +40,7 @@ impl WorkerNode {
         master_addr: &str,
         registry: UnitRegistry,
         config: NodeConfig,
-    ) -> NetResult<WorkerNode> {
+    ) -> Result<WorkerNode> {
         let name = name.into();
         // Metrics emitted by this node's executors carry its name.
         let mut config = config;
@@ -55,7 +56,7 @@ impl WorkerNode {
                 listen_addr: data_addr.clone(),
             })
             .map_err(|_| {
-                swing_net::NetError::Io(std::io::Error::new(
+                swing_core::Error::io(std::io::Error::new(
                     std::io::ErrorKind::ConnectionRefused,
                     "master inbox is closed",
                 ))
@@ -115,7 +116,7 @@ impl WorkerNode {
         timeout: std::time::Duration,
         registry: UnitRegistry,
         config: NodeConfig,
-    ) -> NetResult<WorkerNode> {
+    ) -> Result<WorkerNode> {
         let info = swing_net::discovery::query_master(discovery_port, timeout)?;
         WorkerNode::spawn(name, fabric, &info.addr, registry, config)
     }

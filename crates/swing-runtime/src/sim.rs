@@ -43,15 +43,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use swing_core::clock::{Clock, VirtualClock};
 use swing_core::event::EventQueue;
+use swing_core::flow::{Mailbox, OverloadPolicy, PushOutcome};
 use swing_core::graph::{AppGraph, Role};
 use swing_core::rate::Pacer;
 use swing_core::reorder::ReorderBuffer;
 use swing_core::rng::DetRng;
 use swing_core::timing;
 use swing_core::unit::Context;
+use swing_core::{Error, Result};
 use swing_core::{SeqNo, Tuple, UnitId};
-use swing_net::{Message, NetError, NetResult};
-use swing_telemetry::{Stage, Telemetry};
+use swing_net::Message;
+use swing_telemetry::{names as tn, Counter, Histogram, Stage, Telemetry};
 
 /// Per-link transmission model of the simulated radio: a fixed base
 /// propagation delay, uniformly distributed jitter on top, and
@@ -100,7 +102,7 @@ impl SimLinkConfig {
         self
     }
 
-    fn validate(&self) -> Result<(), String> {
+    fn validate(&self) -> std::result::Result<(), String> {
         for (name, p) in [("drop_prob", self.drop_prob), ("dup_prob", self.dup_prob)] {
             if !(0.0..=1.0).contains(&p) || p.is_nan() {
                 return Err(format!("{name} = {p} is not a probability"));
@@ -213,10 +215,10 @@ impl SimFabric {
 
     /// Create a dedicated faulted link toward `addr` and return its
     /// sending end (the `Fabric::dial` contract).
-    pub fn dial_impl(&self, addr: &str) -> NetResult<MsgSender> {
+    pub fn dial_impl(&self, addr: &str) -> Result<MsgSender> {
         let mut s = self.state.lock();
         if !s.inboxes.contains_key(addr) {
-            return Err(NetError::Io(std::io::Error::new(
+            return Err(Error::io(std::io::Error::new(
                 std::io::ErrorKind::NotFound,
                 format!("no sim endpoint at {addr}"),
             )));
@@ -343,6 +345,25 @@ impl Default for SimSwarmConfig {
     }
 }
 
+impl SimSwarmConfig {
+    /// Seed the simulator's node configuration from the same
+    /// [`SwarmConfig`](crate::config::SwarmConfig) a live
+    /// [`LocalSwarmBuilder`](crate::swarm::LocalSwarmBuilder) consumes,
+    /// so an experiment validated under virtual time runs live with
+    /// identical knobs. Sim-only knobs (seed, link model, service time,
+    /// eviction delay, reorder poll) keep their defaults; the shared
+    /// config's clock is replaced by the swarm's `VirtualClock` at
+    /// start, and its `chaos` plan is not applied — the sim models
+    /// transport faults with its seeded [`SimLinkConfig`] instead.
+    #[must_use]
+    pub fn from_swarm(shared: &crate::config::SwarmConfig) -> Self {
+        SimSwarmConfig {
+            node: shared.node_config(),
+            ..SimSwarmConfig::default()
+        }
+    }
+}
+
 enum ExecRole {
     Source {
         src: Box<dyn swing_core::unit::SourceUnit>,
@@ -352,12 +373,29 @@ enum ExecRole {
     },
     Operator {
         op: Box<dyn swing_core::unit::FunctionUnit>,
+        /// Inbound queue in front of the serialized service: tuples wait
+        /// here while the operator is busy, and the overload policy
+        /// sheds from it when bounded. (`Block` keeps it unbounded —
+        /// upstream credit windows bound what can arrive.)
+        mailbox: Mailbox<(UnitId, Tuple)>,
+        /// Whether a `ServiceDone` completion is scheduled. The operator
+        /// serves one tuple per [`SimSwarmConfig::service_us`], so under
+        /// offered load above 1/service_us a queue forms — the overload
+        /// regime the flow-control subsystem exists for.
+        busy: bool,
     },
     Sink {
         sink: Box<dyn swing_core::unit::SinkUnit>,
         reorder: ReorderBuffer<Tuple>,
         meter: Arc<SinkMeter>,
         reported_skipped: u64,
+        reported_stale: u64,
+        /// Sink endpoint metrics, mirroring the live `run_sink` schema
+        /// so dashboards and experiments read one set of names.
+        played_c: Counter,
+        skipped_c: Counter,
+        stale_c: Counter,
+        e2e_us: Histogram,
     },
 }
 
@@ -389,6 +427,8 @@ enum SimEvent {
     /// Service ACK-deadline / pending-queue timers of one exec
     /// (`usize::MAX` = the run_until horizon pin, a no-op).
     Timer(usize),
+    /// An operator finishes serving one tuple (serialized service).
+    ServiceDone(usize),
     /// Periodic sink reorder-buffer poll.
     ReorderPoll(usize),
     /// Kill a worker abruptly.
@@ -460,24 +500,20 @@ impl SimSwarm {
         graph: AppGraph,
         workers: Vec<(String, UnitRegistry)>,
         config: SimSwarmConfig,
-    ) -> NetResult<SimSwarm> {
+    ) -> Result<SimSwarm> {
         if workers.is_empty() {
-            return Err(NetError::Malformed(
+            return Err(Error::Malformed(
                 "a sim swarm needs at least one worker".into(),
             ));
         }
         graph
             .validate()
-            .map_err(|e| NetError::Malformed(format!("invalid graph: {e}")))?;
+            .map_err(|e| Error::Malformed(format!("invalid graph: {e}")))?;
         config
             .link
             .validate()
-            .map_err(|e| NetError::Malformed(format!("invalid link model: {e}")))?;
-        config
-            .node
-            .retry
-            .validate()
-            .map_err(|e| NetError::Malformed(format!("invalid retry config: {e}")))?;
+            .map_err(|e| Error::Malformed(format!("invalid link model: {e}")))?;
+        config.node.validate()?;
 
         let clock = VirtualClock::shared();
         let fabric = SimFabric::new(config.seed);
@@ -528,7 +564,7 @@ impl SimSwarm {
             for w in hosts {
                 let registry = &workers[w].1;
                 let Some(any) = registry.create(&spec.name) else {
-                    return Err(NetError::Malformed(format!(
+                    return Err(Error::Malformed(format!(
                         "worker {} has no unit installed for stage {}",
                         workers[w].0, spec.name
                     )));
@@ -549,14 +585,35 @@ impl SimSwarm {
                     },
                     AnyUnit::Operator(mut op) => {
                         op.on_start();
-                        ExecRole::Operator { op }
+                        let mailbox = if node.flow.policy == OverloadPolicy::Block {
+                            Mailbox::new(usize::MAX, OverloadPolicy::Block)
+                        } else {
+                            Mailbox::from_config(&node.flow)
+                        };
+                        ExecRole::Operator {
+                            op,
+                            mailbox,
+                            busy: false,
+                        }
                     }
-                    AnyUnit::Sink(sink) => ExecRole::Sink {
-                        sink,
-                        reorder: ReorderBuffer::new(node.reorder),
-                        meter: Arc::new(SinkMeter::default()),
-                        reported_skipped: 0,
-                    },
+                    AnyUnit::Sink(sink) => {
+                        let unit_label = unit.0.to_string();
+                        let labels: &[(&str, &str)] = &[
+                            (tn::LABEL_WORKER, &node.worker_label),
+                            (tn::LABEL_UNIT, &unit_label),
+                        ];
+                        ExecRole::Sink {
+                            sink,
+                            reorder: ReorderBuffer::new(node.reorder),
+                            meter: Arc::new(SinkMeter::default()),
+                            reported_skipped: 0,
+                            reported_stale: 0,
+                            played_c: node.telemetry.counter(tn::SINK_PLAYED, labels),
+                            skipped_c: node.telemetry.counter(tn::SINK_SKIPPED, labels),
+                            stale_c: node.telemetry.counter(tn::SINK_STALE, labels),
+                            e2e_us: node.telemetry.histogram(tn::SINK_E2E_LATENCY_US, labels),
+                        }
+                    }
                 };
                 let idx = sim.execs.len();
                 sim.by_unit.insert(unit, idx);
@@ -747,6 +804,16 @@ impl SimSwarm {
         let now = self.now_us();
         let mut reports = Vec::new();
         for e in &mut self.execs {
+            // Frames still queued in an operator mailbox at shutdown
+            // are shed — they were admitted but never served, and the
+            // shed-accounting identity must balance exactly.
+            if e.alive {
+                if let ExecRole::Operator { mailbox, .. } = &mut e.role {
+                    while mailbox.pop().is_some() {
+                        e.disp.count_shed_in_queue();
+                    }
+                }
+            }
             // Final publish, as executors do on shutdown; a dead unit's
             // state died with its worker.
             if e.alive {
@@ -756,14 +823,25 @@ impl SimSwarm {
                 sink,
                 reorder,
                 meter,
-                ..
+                reported_skipped,
+                reported_stale,
+                played_c,
+                skipped_c,
+                stale_c,
+                e2e_us,
             } = &mut e.role
             {
                 if e.alive {
                     for played in reorder.flush(now) {
-                        Self::play_one(played.item, now, meter, sink);
+                        Self::play_one(played.item, now, meter, sink, played_c, e2e_us);
                     }
-                    meter.set_skipped(reorder.skipped());
+                    let s = reorder.skipped();
+                    skipped_c.add(s - *reported_skipped);
+                    *reported_skipped = s;
+                    let t = reorder.stale();
+                    stale_c.add(t - *reported_stale);
+                    *reported_stale = t;
+                    meter.set_reorder_counts(s, t);
                 }
                 reports.push((self.workers[e.worker].name.clone(), meter.report()));
             }
@@ -805,12 +883,18 @@ impl SimSwarm {
         now: u64,
         meter: &SinkMeter,
         sink: &mut Box<dyn swing_core::unit::SinkUnit>,
+        played_c: &Counter,
+        e2e_us: &Histogram,
     ) {
         let latency_ms = tuple
             .i64(CREATED_US_FIELD)
             .ok()
             .map(|c| (now as i64 - c) as f64 / 1_000.0);
         meter.record(latency_ms, now);
+        played_c.inc();
+        if let Some(l) = latency_ms {
+            e2e_us.record((l.max(0.0) * 1_000.0) as u64);
+        }
         sink.consume(tuple, now);
     }
 
@@ -828,10 +912,65 @@ impl SimSwarm {
                     self.arm_timer(i, now);
                 }
             }
+            SimEvent::ServiceDone(i) => self.on_service_done(i, now),
             SimEvent::ReorderPoll(i) => self.on_reorder_poll(i, now),
             SimEvent::Crash(w) => self.on_crash(w, now),
             SimEvent::Evict(w) => self.on_evict(w, now),
         }
+    }
+
+    /// One serialized operator service completes: serve the tuple at
+    /// the head of the mailbox — the run_operator data path, event-
+    /// shaped (process, ACK with the modeled service time, dispatch
+    /// results) — then start on the next queued tuple, if any.
+    fn on_service_done(&mut self, i: usize, now: u64) {
+        if !self.execs[i].alive {
+            return;
+        }
+        let service_us = self.config.service_us;
+        let telemetry = self.config.node.telemetry.clone();
+        let e = &mut self.execs[i];
+        let ExecRole::Operator { op, mailbox, busy } = &mut e.role else {
+            return;
+        };
+        let Some((from, tuple)) = mailbox.pop() else {
+            *busy = false;
+            return;
+        };
+        e.disp
+            .metrics
+            .mailbox_depth
+            .record(mailbox.len() as u64 + 1);
+        let seq = tuple.seq();
+        let sent_at = tuple.sent_at_us();
+        let created = tuple.i64(CREATED_US_FIELD).ok();
+        e.disp.router_mut().note_arrival(now);
+        let mut outputs: Vec<Tuple> = Vec::new();
+        {
+            let mut ctx = Context::new(now, &mut outputs);
+            op.process_data(tuple, &mut ctx);
+        }
+        // Virtual time stood still for the service span that just
+        // elapsed; the modeled service time rides the ACK, feeding the
+        // router's processing-delay term (§V-B).
+        telemetry.record_stage(seq.0, e.unit.0, Stage::Processed);
+        e.disp.ack(from, seq, sent_at, service_us);
+        for mut o in outputs {
+            o.set_seq(seq);
+            if let Some(c) = created {
+                if !o.contains(CREATED_US_FIELD) {
+                    o.set_value(CREATED_US_FIELD, c);
+                }
+            }
+            e.disp.dispatch(o);
+        }
+        if mailbox.is_empty() {
+            *busy = false;
+        } else {
+            self.queue
+                .schedule(now + service_us, SimEvent::ServiceDone(i));
+        }
+        self.arm_timer(i, now);
     }
 
     fn on_source_tick(&mut self, i: usize, now: u64) {
@@ -853,6 +992,18 @@ impl SimSwarm {
             return;
         }
         pacer.consume_next();
+        // Credit-based admission, mirroring run_source: under `Block`
+        // an inadmissible tick skips capture entirely; under the shed
+        // policies the frame is sensed (consuming a sequence number)
+        // but shed before dispatch.
+        let admit = e.disp.admits_new();
+        if !admit && e.disp.flow().policy == OverloadPolicy::Block {
+            e.disp.count_source_paused();
+            let next = pacer.next_due_us();
+            self.queue.schedule(next, SimEvent::SourceTick(i));
+            self.arm_timer(i, now);
+            return;
+        }
         match src.next_tuple(now) {
             None => {
                 // Stream exhausted: retry timers keep draining the tail.
@@ -860,13 +1011,20 @@ impl SimSwarm {
             }
             Some(mut tuple) => {
                 tuple.set_seq(SeqNo(*seq));
+                e.disp.count_sensed();
                 telemetry.record_stage(*seq, e.unit.0, Stage::Sensed);
                 *seq += 1;
-                if !tuple.contains(CREATED_US_FIELD) {
-                    tuple.set_value(CREATED_US_FIELD, now as i64);
-                }
+                // Demand estimation sees every sensed frame, shed or
+                // not (offered load, not post-shedding admit rate).
                 e.disp.router_mut().note_arrival(now);
-                e.disp.dispatch(tuple);
+                if admit {
+                    if !tuple.contains(CREATED_US_FIELD) {
+                        tuple.set_value(CREATED_US_FIELD, now as i64);
+                    }
+                    e.disp.dispatch(tuple);
+                } else {
+                    e.disp.count_shed_at_source();
+                }
                 let next = pacer.next_due_us();
                 self.queue.schedule(next, SimEvent::SourceTick(i));
             }
@@ -914,47 +1072,41 @@ impl SimSwarm {
         if !self.execs[i].alive {
             return;
         }
-        let telemetry = self.config.node.telemetry.clone();
         let service_us = self.config.service_us;
+        let telemetry = self.config.node.telemetry.clone();
         let e = &mut self.execs[i];
         let seq = tuple.seq();
         let sent_at = tuple.sent_at_us();
         match &mut e.role {
             ExecRole::Source { .. } => {}
-            ExecRole::Operator { op } => {
+            ExecRole::Operator { mailbox, busy, .. } => {
                 if !e.disp.observe_fresh(from, seq) {
-                    // Duplicate (retransmit after a lost ACK): re-ACK,
-                    // process nothing.
+                    // Duplicate (retransmit after a lost ACK — possibly
+                    // of an already-shed frame): re-ACK, queue nothing.
                     e.disp.ack(from, seq, sent_at, 0);
                     return;
                 }
-                let created = tuple.i64(CREATED_US_FIELD).ok();
-                e.disp.router_mut().note_arrival(now);
-                let mut outputs: Vec<Tuple> = Vec::new();
-                {
-                    let mut ctx = Context::new(now, &mut outputs);
-                    op.process_data(tuple, &mut ctx);
-                }
-                // Virtual time stands still while the unit computes;
-                // the modeled service time rides the ACK, feeding the
-                // router's processing-delay term (§V-B).
-                telemetry.record_stage(seq.0, dest.0, Stage::Processed);
-                e.disp.ack(from, seq, sent_at, service_us);
-                for mut o in outputs {
-                    o.set_seq(seq);
-                    if let Some(c) = created {
-                        if !o.contains(CREATED_US_FIELD) {
-                            o.set_value(CREATED_US_FIELD, c);
-                        }
+                // Into the mailbox; shed victims are ACKed immediately
+                // so the upstream settles (shed, not lost).
+                match mailbox.push((from, tuple)) {
+                    PushOutcome::Queued => {}
+                    PushOutcome::ShedOldest((vf, v)) | PushOutcome::Rejected((vf, v)) => {
+                        e.disp.ack(vf, v.seq(), v.sent_at_us(), 0);
+                        e.disp.count_shed_in_queue();
                     }
-                    e.disp.dispatch(o);
                 }
-                self.arm_timer(i, now);
+                if !*busy && !mailbox.is_empty() {
+                    *busy = true;
+                    self.queue
+                        .schedule(now + service_us, SimEvent::ServiceDone(i));
+                }
             }
             ExecRole::Sink {
                 sink,
                 reorder,
                 meter,
+                played_c,
+                e2e_us,
                 ..
             } => {
                 e.disp.ack(from, seq, sent_at, 0);
@@ -963,7 +1115,7 @@ impl SimSwarm {
                 }
                 telemetry.record_stage(seq.0, dest.0, Stage::Played);
                 for played in reorder.push(seq, tuple, now) {
-                    Self::play_one(played.item, now, meter, sink);
+                    Self::play_one(played.item, now, meter, sink, played_c, e2e_us);
                 }
             }
         }
@@ -979,14 +1131,23 @@ impl SimSwarm {
             reorder,
             meter,
             reported_skipped,
+            reported_stale,
+            played_c,
+            skipped_c,
+            stale_c,
+            e2e_us,
         } = &mut e.role
         {
             for played in reorder.poll(now) {
-                Self::play_one(played.item, now, meter, sink);
+                Self::play_one(played.item, now, meter, sink, played_c, e2e_us);
             }
             let s = reorder.skipped();
+            skipped_c.add(s - *reported_skipped);
             *reported_skipped = s;
-            meter.set_skipped(s);
+            let t = reorder.stale();
+            stale_c.add(t - *reported_stale);
+            *reported_stale = t;
+            meter.set_reorder_counts(s, t);
             self.queue
                 .schedule(now + self.config.reorder_poll_us, SimEvent::ReorderPoll(i));
         }

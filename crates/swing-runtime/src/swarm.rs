@@ -37,6 +37,7 @@
 //! ```
 
 use crate::chaos::{ChaosControl, FaultPlan};
+use crate::config::SwarmConfig;
 use crate::executor::{DeliveryStats, NodeConfig, SinkReport};
 use crate::fabric::Fabric;
 use crate::master::{Master, MasterConfig, Placement};
@@ -44,52 +45,65 @@ use crate::node::WorkerNode;
 use crate::registry::UnitRegistry;
 use std::time::{Duration, Instant};
 use swing_core::config::{ReorderConfig, RetryConfig};
+use swing_core::flow::FlowConfig;
 use swing_core::graph::AppGraph;
 use swing_core::routing::{Policy, RouterConfig};
-use swing_net::{NetError, NetResult};
+use swing_core::{Error, Result};
 use swing_telemetry::Telemetry;
 
 /// Per-unit delivery counters: `(worker name, unit, counters)`.
 pub type DeliveryByUnit = Vec<(String, swing_core::UnitId, DeliveryStats)>;
 
 /// Builder for a [`LocalSwarm`].
+///
+/// All per-knob methods are shorthands over one [`SwarmConfig`] — build
+/// a config up front and pass it to [`config`](Self::config) to share
+/// the exact same knobs with a [`SimSwarm`](crate::sim::SimSwarm) run.
 #[derive(Debug)]
 pub struct LocalSwarmBuilder {
     graph: AppGraph,
-    node_config: NodeConfig,
+    config: SwarmConfig,
     placement: Placement,
     heartbeat: Option<crate::master::HeartbeatConfig>,
     fabric: Fabric,
-    fault_plan: Option<FaultPlan>,
     workers: Vec<(String, UnitRegistry)>,
 }
 
 impl LocalSwarmBuilder {
+    /// Replace every shared knob at once with a prebuilt [`SwarmConfig`]
+    /// (routing, pacing, reorder, retry, overload control, telemetry,
+    /// clock, chaos plan).
+    #[must_use]
+    pub fn config(mut self, config: SwarmConfig) -> Self {
+        self.config = config;
+        self
+    }
+
     /// Route with the given policy (default LRS).
     #[must_use]
     pub fn policy(mut self, policy: Policy) -> Self {
-        self.node_config.router = RouterConfig::new(policy);
+        self.config.router = RouterConfig::new(policy);
         self
     }
 
     /// Full router configuration.
     #[must_use]
     pub fn router_config(mut self, config: RouterConfig) -> Self {
-        self.node_config.router = config;
+        self.config.router = config;
         self
     }
 
     /// Source sensing rate in tuples per second (default 24).
     #[must_use]
     pub fn input_fps(mut self, fps: f64) -> Self {
-        self.node_config.input_fps = fps;
+        self.config.input_fps = fps;
         self
     }
 
     /// Sink reorder span (default 1 s).
     #[must_use]
     pub fn reorder(mut self, reorder: ReorderConfig) -> Self {
-        self.node_config.reorder = reorder;
+        self.config.reorder = reorder;
         self
     }
 
@@ -97,7 +111,17 @@ impl LocalSwarmBuilder {
     /// [`RetryConfig::disabled`] for the fire-and-forget baseline).
     #[must_use]
     pub fn retry(mut self, retry: RetryConfig) -> Self {
-        self.node_config.retry = retry;
+        self.config.retry = retry;
+        self
+    }
+
+    /// Overload control: bounded mailboxes, credit-based source
+    /// admission, and the shed policy (default
+    /// [`FlowConfig::disabled`]). Requires retries — credits are
+    /// metered by the in-flight table.
+    #[must_use]
+    pub fn flow(mut self, flow: FlowConfig) -> Self {
+        self.config.flow = flow;
         self
     }
 
@@ -107,7 +131,7 @@ impl LocalSwarmBuilder {
     /// [`LocalSwarm::telemetry`].
     #[must_use]
     pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
-        self.node_config.telemetry = telemetry;
+        self.config.telemetry = telemetry;
         self
     }
 
@@ -118,7 +142,7 @@ impl LocalSwarmBuilder {
     /// single-threads the same dispatch machinery.
     #[must_use]
     pub fn clock(mut self, clock: swing_core::clock::ClockHandle) -> Self {
-        self.node_config.clock = clock;
+        self.config.clock = clock;
         self
     }
 
@@ -127,7 +151,7 @@ impl LocalSwarmBuilder {
     /// available from [`LocalSwarm::chaos`] after start.
     #[must_use]
     pub fn chaos(mut self, plan: FaultPlan) -> Self {
-        self.fault_plan = Some(plan);
+        self.config.chaos = Some(plan);
         self
     }
 
@@ -163,21 +187,13 @@ impl LocalSwarmBuilder {
 
     /// Launch the master and all workers; returns once the deployment
     /// has started (master broadcast Start).
-    pub fn start(self) -> NetResult<LocalSwarm> {
+    pub fn start(self) -> Result<LocalSwarm> {
         if self.workers.is_empty() {
-            return Err(NetError::Malformed(
-                "a swarm needs at least one worker".into(),
-            ));
+            return Err(Error::Malformed("a swarm needs at least one worker".into()));
         }
-        self.node_config
-            .retry
-            .validate()
-            .map_err(|e| NetError::Malformed(format!("invalid retry config: {e}")))?;
-        self.node_config
-            .router
-            .validate()
-            .map_err(|e| NetError::Malformed(format!("invalid router config: {e}")))?;
-        let (fabric, chaos) = match self.fault_plan {
+        let node_config = self.config.node_config();
+        node_config.validate()?;
+        let (fabric, chaos) = match self.config.chaos {
             Some(plan) => {
                 let (f, ctl) = Fabric::chaos(self.fabric, plan);
                 (f, Some(ctl))
@@ -185,10 +201,10 @@ impl LocalSwarmBuilder {
             None => (self.fabric, None),
         };
         // TCP links report frames/bytes/timing into the swarm's domain.
-        fabric.set_telemetry(&self.node_config.telemetry);
+        fabric.set_telemetry(&node_config.telemetry);
         // Event timestamps follow the injected clock (real or virtual).
-        let tel_clock = self.node_config.clock.clone();
-        self.node_config
+        let tel_clock = node_config.clock.clone();
+        node_config
             .telemetry
             .set_time_source(move || tel_clock.now_us());
         let master = Master::spawn(
@@ -207,14 +223,14 @@ impl LocalSwarmBuilder {
                 fabric.clone(),
                 master.addr(),
                 registry,
-                self.node_config.clone(),
+                node_config.clone(),
             )?);
         }
         let status = master.status();
         let deadline = Instant::now() + Duration::from_secs(10);
         while !status.started() {
             if Instant::now() > deadline {
-                return Err(NetError::DiscoveryTimeout);
+                return Err(Error::DiscoveryTimeout);
             }
             std::thread::sleep(Duration::from_millis(5));
         }
@@ -222,7 +238,7 @@ impl LocalSwarmBuilder {
             master,
             nodes,
             fabric,
-            node_config: self.node_config,
+            node_config,
             chaos,
         })
     }
@@ -244,11 +260,10 @@ impl LocalSwarm {
     pub fn builder(graph: AppGraph) -> LocalSwarmBuilder {
         LocalSwarmBuilder {
             graph,
-            node_config: NodeConfig::default(),
+            config: SwarmConfig::default(),
             placement: Placement::SourceOnFirst,
             heartbeat: None,
             fabric: Fabric::in_proc(),
-            fault_plan: None,
             workers: Vec::new(),
         }
     }
@@ -291,7 +306,7 @@ impl LocalSwarm {
     }
 
     /// Add a worker while the app is running (the paper's Fig. 9 join).
-    pub fn add_worker(&mut self, name: impl Into<String>, registry: UnitRegistry) -> NetResult<()> {
+    pub fn add_worker(&mut self, name: impl Into<String>, registry: UnitRegistry) -> Result<()> {
         let node = WorkerNode::spawn(
             name,
             self.fabric.clone(),

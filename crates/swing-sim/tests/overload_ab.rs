@@ -1,0 +1,283 @@
+//! Seeded A/B overload experiment on the real data plane under virtual
+//! time: offered load Λ = 1.5 × Σ μ, where Σ μ is the aggregate service
+//! rate of the operator replicas.
+//!
+//! * **Arm A (seed build)** — `FlowConfig::disabled()`: operator
+//!   mailboxes grow without limit for the whole run and end-to-end p99
+//!   latency grows with them.
+//! * **Arm B (overload control)** — bounded `ShedOldest` mailboxes plus
+//!   credit-based source admission: queue depth stays ≤ the configured
+//!   capacity, p99 stays bounded, and the shed-accounting identity
+//!   `sensed = (played + stale) + shed_at_source + shed_in_queue + lost`
+//!   holds exactly (`stale` counts tuples delivered after sink playback
+//!   had already passed their sequence number).
+//!
+//! Both arms are pure functions of the seed; the bounded arm is run
+//! twice and its exported telemetry must be byte-identical.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use swing_runtime::prelude::*;
+use swing_telemetry::names as n;
+use swing_telemetry::to_json;
+
+/// Each operator replica serves one tuple per 50 ms → μ = 20 tuples/s.
+const SERVICE_US: u64 = 50_000;
+/// Two operator replicas → Σ μ = 40/s; 60 FPS offered → Λ = 1.5 × Σ μ.
+const INPUT_FPS: f64 = 60.0;
+/// Virtual run length before the tail settles.
+const RUN_US: u64 = 30 * SECOND_US;
+/// Frames the source offers (60 FPS × 30 s).
+const FRAMES: u64 = 1_800;
+/// Mailbox capacity / credit window of the bounded arm.
+const CAPACITY: usize = 12;
+
+fn graph() -> AppGraph {
+    let mut g = AppGraph::new("overload-ab");
+    let s = g.add_source("src");
+    let o = g.add_operator("work");
+    let k = g.add_sink("out");
+    g.connect(s, o).unwrap();
+    g.connect(o, k).unwrap();
+    g
+}
+
+fn registry() -> UnitRegistry {
+    let mut r = UnitRegistry::new();
+    r.register_source("src", || {
+        let count = AtomicU64::new(0);
+        closure_source(move |_now| {
+            (count.fetch_add(1, Ordering::Relaxed) < FRAMES).then(|| Tuple::new().with("v", 1i64))
+        })
+    });
+    r.register_operator("work", || PassThrough);
+    r.register_sink("out", || closure_sink(|_, _| ()));
+    r
+}
+
+struct Outcome {
+    sensed: u64,
+    played: u64,
+    shed_at_source: u64,
+    shed_in_queue: u64,
+    /// Capture ticks skipped under `Block` back-pressure (never sensed,
+    /// so outside the shed-accounting identity).
+    paused: u64,
+    /// Delivered to the sink but dropped because playback had already
+    /// passed them — a terminal state, part of "delivered".
+    stale: u64,
+    lost: u64,
+    /// Max operator mailbox depth observed at serve time.
+    depth_max: u64,
+    /// End-to-end p99 latency, microseconds.
+    p99_us: u64,
+    /// Full exported telemetry, for replay comparison.
+    json: String,
+}
+
+fn run_arm(seed: u64, flow: FlowConfig) -> Outcome {
+    let mut shared = SwarmConfig::with_policy(Policy::Lrs);
+    shared.input_fps = INPUT_FPS;
+    shared.flow = flow;
+    // ACK deadlines far beyond any queueing delay in this scenario:
+    // retransmissions would duplicate frames across the two operator
+    // replicas and blur the one-terminal-state-per-frame accounting
+    // this experiment asserts.
+    shared.retry = RetryConfig {
+        deadline_floor_us: 30 * SECOND_US,
+        deadline_ceiling_us: 60 * SECOND_US,
+        max_retries: 1,
+        ..RetryConfig::default()
+    };
+    shared.telemetry = Telemetry::new();
+    let telemetry = shared.telemetry.clone();
+    let cfg = SimSwarmConfig {
+        seed,
+        service_us: SERVICE_US,
+        ..SimSwarmConfig::from_swarm(&shared)
+    };
+    let mut swarm = SimSwarm::start(
+        graph(),
+        vec![
+            ("A".into(), registry()),
+            ("B".into(), registry()),
+            ("C".into(), registry()),
+        ],
+        cfg,
+    )
+    .expect("sim swarm start");
+    swarm.run_for(RUN_US);
+    let reports = swarm.finish();
+    let played_reported: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
+    let snap = telemetry.snapshot();
+    let played = snap.counter_total(n::SINK_PLAYED);
+    assert_eq!(
+        played, played_reported,
+        "sink meter and telemetry disagree on played frames"
+    );
+    Outcome {
+        sensed: snap.counter_total(n::SOURCE_SENSED),
+        played,
+        shed_at_source: snap.counter_total(n::SOURCE_SHED),
+        shed_in_queue: snap.counter_total(n::EXEC_SHED_IN_QUEUE),
+        paused: snap.counter_total(n::SOURCE_PAUSED),
+        stale: snap.counter_total(n::SINK_STALE),
+        lost: snap.counter_total(n::EXEC_LOST),
+        depth_max: snap.histogram_total(n::EXEC_MAILBOX_DEPTH).max,
+        p99_us: snap.histogram_total(n::SINK_E2E_LATENCY_US).p99(),
+        json: to_json(&snap),
+    }
+}
+
+/// The headline A/B: under Λ = 1.5 × Σ μ the seed build's queues grow
+/// for the whole run while the bounded build's stay at the capacity,
+/// and p99 reflects the difference.
+#[test]
+fn bounded_build_keeps_queues_and_p99_bounded_where_seed_build_grows() {
+    let baseline = run_arm(1207, FlowConfig::disabled());
+    let bounded = run_arm(1207, FlowConfig::bounded(CAPACITY));
+
+    // Seed build: every offered frame is admitted and queues balloon —
+    // the backlog at 30 s is (Λ - Σμ) × 30 s = 600 frames across two
+    // mailboxes, two orders of magnitude past the bounded capacity.
+    assert_eq!(baseline.sensed, FRAMES);
+    assert_eq!(baseline.shed_at_source, 0, "no gate in the seed build");
+    assert_eq!(baseline.shed_in_queue, 0, "no bound in the seed build");
+    assert!(
+        baseline.depth_max >= 5 * CAPACITY as u64,
+        "seed-build queues never grew: depth max {}",
+        baseline.depth_max
+    );
+    assert!(
+        baseline.p99_us > 4 * SECOND_US,
+        "seed-build p99 {}us does not show the queueing collapse",
+        baseline.p99_us
+    );
+    // Even without flow control every frame reaches a terminal state:
+    // played, dropped stale at the sink, or lost by the executors.
+    assert_eq!(
+        baseline.sensed,
+        baseline.played + baseline.stale + baseline.lost,
+        "seed-build accounting hole: sensed {} != played {} + stale {} + lost {}",
+        baseline.sensed,
+        baseline.played,
+        baseline.stale,
+        baseline.lost,
+    );
+
+    // Overload control: depth ≤ capacity, p99 bounded by
+    // capacity × service (+ reorder span), and frames are conserved.
+    assert_eq!(bounded.sensed, FRAMES);
+    assert!(
+        bounded.depth_max <= CAPACITY as u64,
+        "mailbox depth {} exceeded capacity {CAPACITY}",
+        bounded.depth_max
+    );
+    assert!(
+        bounded.p99_us < 3 * SECOND_US,
+        "bounded p99 {}us is not bounded",
+        bounded.p99_us
+    );
+    assert!(
+        bounded.p99_us < baseline.p99_us / 2,
+        "bounded p99 {}us not clearly below baseline {}us",
+        bounded.p99_us,
+        baseline.p99_us
+    );
+    assert!(
+        bounded.shed_at_source > 0,
+        "the credit gate never engaged under 1.5x overload"
+    );
+    assert_eq!(
+        bounded.sensed,
+        (bounded.played + bounded.stale)
+            + bounded.shed_at_source
+            + bounded.shed_in_queue
+            + bounded.lost,
+        "shed accounting identity violated: sensed {} != (played {} + stale {}) + shed_src {} + shed_q {} + lost {}",
+        bounded.sensed,
+        bounded.played,
+        bounded.stale,
+        bounded.shed_at_source,
+        bounded.shed_in_queue,
+        bounded.lost,
+    );
+    // Shedding kept goodput at the service rate, not below it: at
+    // least ~Σμ × 30 s frames actually played.
+    assert!(
+        bounded.played >= 1_000,
+        "only {} frames played — shedding ate goodput",
+        bounded.played
+    );
+}
+
+/// A credit window wider than the mailbox moves the shedding point
+/// from the source to the receiving queue; the identity still closes
+/// exactly.
+#[test]
+fn in_queue_shedding_conserves_frames_too() {
+    let flow = FlowConfig {
+        enabled: true,
+        mailbox_capacity: 8,
+        policy: OverloadPolicy::ShedOldest,
+        credits_per_downstream: 24,
+    };
+    let out = run_arm(42, flow);
+    assert_eq!(out.sensed, FRAMES);
+    assert!(
+        out.depth_max <= 8,
+        "mailbox depth {} exceeded capacity 8",
+        out.depth_max
+    );
+    assert!(
+        out.shed_in_queue > 0,
+        "wide credits over a narrow mailbox must shed in-queue"
+    );
+    assert_eq!(
+        out.sensed,
+        (out.played + out.stale) + out.shed_at_source + out.shed_in_queue + out.lost,
+        "shed accounting identity violated: sensed {} != (played {} + stale {}) + shed_src {} + shed_q {} + lost {}",
+        out.sensed,
+        out.played,
+        out.stale,
+        out.shed_at_source,
+        out.shed_in_queue,
+        out.lost,
+    );
+}
+
+/// `Block` pauses capture instead of shedding: nothing is shed anywhere,
+/// paused ticks never sense (the frame budget drains later, once
+/// credits free up), and everything sensed is eventually played.
+#[test]
+fn block_policy_pauses_the_source_instead_of_shedding() {
+    let flow = FlowConfig {
+        enabled: true,
+        mailbox_capacity: CAPACITY,
+        policy: OverloadPolicy::Block,
+        credits_per_downstream: CAPACITY as u32,
+    };
+    let out = run_arm(7, flow);
+    assert!(out.paused > 0, "back-pressure never paused the source");
+    assert_eq!(out.shed_at_source, 0);
+    assert_eq!(out.shed_in_queue, 0);
+    assert_eq!(
+        out.sensed,
+        out.played + out.stale + out.lost,
+        "Block arm lost frames outside the identity: sensed {} played {} stale {} lost {}",
+        out.sensed,
+        out.played,
+        out.stale,
+        out.lost
+    );
+}
+
+/// The bounded arm is a pure function of its seed: the exported
+/// telemetry of two identical runs is byte-identical.
+#[test]
+fn bounded_overload_run_replays_byte_identical() {
+    let a = run_arm(99, FlowConfig::bounded(CAPACITY));
+    let b = run_arm(99, FlowConfig::bounded(CAPACITY));
+    assert_eq!(a.json, b.json, "same seed, different telemetry");
+    let c = run_arm(100, FlowConfig::bounded(CAPACITY));
+    assert_ne!(a.json, c.json, "different seed left no trace at all");
+}

@@ -226,7 +226,7 @@ impl Telemetry {
         prometheus_text(&self.snapshot())
     }
 
-    /// Render the current state as JSON (schema in [`export`] docs).
+    /// Render the current state as JSON (schema in the `export` module docs).
     #[must_use]
     pub fn to_json(&self) -> String {
         to_json(&self.snapshot())

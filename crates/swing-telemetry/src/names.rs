@@ -36,6 +36,23 @@ pub const EXEC_QUEUE_DEPTH: &str = "swing_exec_queue_depth";
 /// ACK round-trip time histogram, microseconds.
 pub const EXEC_ACK_RTT_US: &str = "swing_exec_ack_rtt_us";
 
+// --- overload control (labels: worker, unit [, downstream]) ---
+
+/// Tuples shed at capture time because no selected downstream had
+/// credits left (source admission gate).
+pub const SOURCE_SHED: &str = "swing_source_shed_total";
+/// Source capture ticks skipped while paused by `OverloadPolicy::Block`
+/// back-pressure (not part of the shed-accounting identity — a paused
+/// source never sensed the frame).
+pub const SOURCE_PAUSED: &str = "swing_source_paused_total";
+/// Tuples evicted or rejected by a full operator mailbox.
+pub const EXEC_SHED_IN_QUEUE: &str = "swing_exec_shed_in_queue_total";
+/// Operator mailbox depth sampled per served tuple (histogram).
+pub const EXEC_MAILBOX_DEPTH: &str = "swing_exec_mailbox_depth";
+/// Credits still available toward a downstream (gauge; labels add
+/// `downstream`).
+pub const EXEC_CREDITS: &str = "swing_exec_credits";
+
 // --- routing (labels: worker, unit [, downstream, policy]) ---
 
 /// Live per-downstream latency estimate L_i, microseconds (gauge).
@@ -68,6 +85,11 @@ pub const SOURCE_SENSED: &str = "swing_source_sensed_total";
 pub const SINK_PLAYED: &str = "swing_sink_played_total";
 /// Sequence numbers a sink's reorder buffer gave up on.
 pub const SINK_SKIPPED: &str = "swing_sink_skipped_total";
+/// Tuples that reached a sink after playback had already passed their
+/// sequence number and were dropped. Delivered but not played: this is
+/// the counter that closes the shed-accounting identity
+/// `sensed = (played + stale) + shed_at_source + shed_in_queue + lost`.
+pub const SINK_STALE: &str = "swing_sink_stale_total";
 /// End-to-end latency (sensing to playback) histogram, microseconds.
 pub const SINK_E2E_LATENCY_US: &str = "swing_sink_e2e_latency_us";
 

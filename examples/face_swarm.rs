@@ -15,9 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use swing::apps::face::{self, FaceAppConfig};
-use swing::core::routing::Policy;
-use swing::runtime::registry::UnitRegistry;
-use swing::runtime::swarm::LocalSwarm;
+use swing::prelude::*;
 
 fn main() {
     let mut args = std::env::args().skip(1);

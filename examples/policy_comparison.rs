@@ -10,10 +10,9 @@
 //! and write the snapshot as JSON — the same schema a live swarm
 //! exports, so one dashboard reads both.
 
-use swing::core::routing::Policy;
 use swing::device::profile::Workload;
+use swing::prelude::*;
 use swing::sim::experiments::evaluation_run;
-use swing::telemetry::Telemetry;
 
 fn main() {
     let mut args = std::env::args().skip(1);

@@ -8,12 +8,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use swing::core::graph::AppGraph;
-use swing::core::routing::Policy;
-use swing::core::unit::{closure_sink, closure_source, closure_unit, Context};
-use swing::core::Tuple;
-use swing::runtime::registry::UnitRegistry;
-use swing::runtime::swarm::LocalSwarm;
+use swing::prelude::*;
 
 fn main() {
     // 1. Describe the dataflow graph (paper §IV-A): a source sensing

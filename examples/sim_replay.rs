@@ -15,14 +15,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
-use swing::core::config::ReorderConfig;
-use swing::core::graph::AppGraph;
-use swing::core::routing::{Policy, RouterConfig};
-use swing::core::unit::{closure_sink, closure_source, PassThrough};
-use swing::core::{Tuple, SECOND_US};
-use swing::runtime::registry::UnitRegistry;
-use swing::runtime::sim::{SimLinkConfig, SimSwarm, SimSwarmConfig};
-use swing::telemetry::{to_json, Telemetry};
+use swing::prelude::*;
+use swing::telemetry::to_json;
 
 fn registry(frames: u64) -> UnitRegistry {
     let mut r = UnitRegistry::new();
@@ -53,18 +47,20 @@ fn main() {
     g.connect(s, o).unwrap();
     g.connect(o, k).unwrap();
 
-    let mut cfg = SimSwarmConfig {
-        seed,
-        link: SimLinkConfig::default().with_drop(0.10),
-        ..SimSwarmConfig::default()
-    };
-    cfg.node.input_fps = 30.0;
-    cfg.node.router = RouterConfig::new(Policy::Lrs);
-    cfg.node.reorder = ReorderConfig {
+    // The same SwarmConfig a live LocalSwarm would consume seeds the
+    // simulator's node configuration.
+    let mut shared = SwarmConfig::with_policy(Policy::Lrs);
+    shared.input_fps = 30.0;
+    shared.reorder = ReorderConfig {
         span_us: 10 * SECOND_US,
     };
-    cfg.node.telemetry = Telemetry::new();
-    let telemetry = cfg.node.telemetry.clone();
+    shared.telemetry = Telemetry::new();
+    let telemetry = shared.telemetry.clone();
+    let cfg = SimSwarmConfig {
+        seed,
+        link: SimLinkConfig::default().with_drop(0.10),
+        ..SimSwarmConfig::from_swarm(&shared)
+    };
 
     println!("sim_replay: seed {seed}, {seconds} simulated seconds, 10% drop, crash C @ t=20s");
     let wall = Instant::now();

@@ -24,13 +24,8 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 use swing::apps::face::{self, FaceAppConfig};
-use swing::core::clock::Clock;
-use swing::core::routing::{Policy, RouterConfig};
-use swing::core::SECOND_US;
-use swing::runtime::registry::UnitRegistry;
-use swing::runtime::sim::{SimSwarm, SimSwarmConfig};
-use swing::runtime::swarm::LocalSwarm;
-use swing::telemetry::{names, Snapshot, Telemetry};
+use swing::prelude::*;
+use swing::telemetry::{names, Snapshot};
 
 fn registry() -> UnitRegistry {
     let mut r = UnitRegistry::new();

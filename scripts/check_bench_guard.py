@@ -1,17 +1,19 @@
 #!/usr/bin/env python3
-"""Bench-smoke guard for the telemetry/clock dispatch overhead.
+"""Bench-smoke guard for the per-tuple dispatch overhead budgets.
 
-Usage: check_bench_guard.py BENCH_pr3_telemetry.json BENCH_pr2.json
+Usage: check_bench_guard.py BENCH_pr3_telemetry.json BENCH_pr2.json \\
+           [BENCH_pr5_flow.json]
 
-Cross-checks the freshly measured PR3 telemetry-overhead report against
-the checked-in PR2 data-plane baseline:
+Cross-checks the freshly measured overhead reports against the
+checked-in PR2 data-plane baseline:
 
 1. the instrumented dispatch path (telemetry + the injected-Clock
-   timestamp indirection) must stay within the 5% overhead budget of
-   the same-machine baseline column, which replays PR2's
-   `dispatch_clone_and_record` workload (125.9 ns on the reference
-   machine);
-2. the re-measured baseline must be in the same ballpark as the
+   timestamp indirection; with the optional third report, also the
+   flow-control credit/mailbox bookkeeping) must stay within the 5%
+   overhead budget of the same-machine baseline column, which replays
+   PR2's `dispatch_clone_and_record` workload (125.9 ns on the
+   reference machine);
+2. each re-measured baseline must be in the same ballpark as the
    checked-in reference — a wildly different number means the bench is
    no longer measuring the PR2 workload and the percentage above is
    meaningless.
@@ -28,26 +30,18 @@ def pick(benches, name):
     sys.exit(f"FAIL: no bench named {name!r} in report")
 
 
-def main():
-    if len(sys.argv) != 3:
-        sys.exit(__doc__)
-    with open(sys.argv[1], encoding="utf-8") as f:
-        pr3 = json.load(f)
-    with open(sys.argv[2], encoding="utf-8") as f:
-        pr2 = json.load(f)
-
-    budget = float(pr3.get("budget_pct", 5.0))
-    ref = pick(pr2["benches"], "dispatch_clone_and_record")["after"]
-    disp = pick(pr3["benches"], "dispatch_telemetry_overhead")
+def check_report(report, bench_name, what, ref):
+    budget = float(report.get("budget_pct", 5.0))
+    disp = pick(report["benches"], bench_name)
 
     print(f"checked-in PR2 dispatch baseline : {ref:8.1f} ns/op")
     print(f"re-measured baseline (this host) : {disp['baseline']:8.1f} ns/op")
-    print(f"instrumented (telemetry + clock) : {disp['instrumented']:8.1f} ns/op")
+    print(f"instrumented ({what:<15}) : {disp['instrumented']:8.1f} ns/op")
     print(f"overhead                         : {disp['overhead_pct']:8.2f} %  (budget {budget}%)")
 
     if disp["overhead_pct"] > budget:
         sys.exit(
-            f"FAIL: dispatch overhead {disp['overhead_pct']:.2f}% exceeds "
+            f"FAIL: {what} dispatch overhead {disp['overhead_pct']:.2f}% exceeds "
             f"the {budget}% budget over the PR2 baseline"
         )
 
@@ -61,7 +55,25 @@ def main():
             "the PR2 dispatch workload"
         )
 
-    print("OK: dispatch cost within budget of the PR2 baseline")
+    print(f"OK: {what} dispatch cost within budget of the PR2 baseline")
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        sys.exit(__doc__)
+    with open(sys.argv[1], encoding="utf-8") as f:
+        pr3 = json.load(f)
+    with open(sys.argv[2], encoding="utf-8") as f:
+        pr2 = json.load(f)
+
+    ref = pick(pr2["benches"], "dispatch_clone_and_record")["after"]
+    check_report(pr3, "dispatch_telemetry_overhead", "telemetry + clock", ref)
+
+    if len(sys.argv) == 4:
+        with open(sys.argv[3], encoding="utf-8") as f:
+            pr5 = json.load(f)
+        print()
+        check_report(pr5, "dispatch_flow_overhead", "flow control", ref)
 
 
 if __name__ == "__main__":

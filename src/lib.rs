@@ -24,6 +24,13 @@
 //!
 //! See `examples/quickstart.rs` for a complete first program.
 
+/// One-stop imports for the whole workspace: `use swing::prelude::*;`
+/// brings in the dataflow model, routing policies, overload control,
+/// both execution harnesses (live and simulated), and telemetry.
+pub mod prelude {
+    pub use swing_runtime::prelude::*;
+}
+
 pub use swing_apps as apps;
 pub use swing_core as core;
 pub use swing_device as device;

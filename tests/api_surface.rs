@@ -1,0 +1,76 @@
+//! Compile-time contract for the public facade: everything an
+//! application needs must resolve through `swing::prelude::*`, and the
+//! configuration/data types must stay `Send + Sync` so swarms can be
+//! driven from any thread.
+
+#![allow(unused_imports)]
+
+use swing::prelude::*;
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+/// Every name an example uses must come in through the one glob import.
+#[test]
+fn prelude_covers_the_application_surface() {
+    // Core data & graph types.
+    let _ = Tuple::new().with("v", 1i64);
+    let mut g = AppGraph::new("surface");
+    let s = g.add_source("src");
+    let k = g.add_sink("out");
+    g.connect(s, k).unwrap();
+
+    // Configuration: one SwarmConfig feeds both the live builder and
+    // the simulator.
+    let mut shared = SwarmConfig::with_policy(Policy::Lrs);
+    shared.flow = FlowConfig::bounded(8);
+    shared.retry = RetryConfig::default();
+    assert!(shared.validate().is_ok());
+    let sim = SimSwarmConfig::from_swarm(&shared);
+    assert_eq!(sim.node.flow, shared.flow);
+
+    // Overload policy enum variants are all reachable.
+    for p in [
+        OverloadPolicy::Block,
+        OverloadPolicy::ShedOldest,
+        OverloadPolicy::ShedNewest,
+    ] {
+        let _ = FlowConfig {
+            policy: p,
+            ..FlowConfig::bounded(4)
+        };
+    }
+
+    // Unit construction helpers.
+    let mut r = UnitRegistry::new();
+    r.register_source("src", || closure_source(|_| None));
+    r.register_operator("work", || PassThrough);
+    r.register_sink("out", || closure_sink(|_, _| ()));
+
+    // Runtime entry points resolve (not started here).
+    let _ = LocalSwarm::builder(g).worker("A", r);
+
+    // Time and telemetry.
+    let _: u64 = SECOND_US;
+    let _ = Telemetry::new();
+    let _: ClockHandle = RealClock::handle();
+}
+
+/// Configs and handles cross thread boundaries: builders run on one
+/// thread, executors on others, dashboards on a third.
+#[test]
+fn key_types_are_send_and_sync() {
+    assert_send_sync::<Tuple>();
+    assert_send_sync::<AppGraph>();
+    assert_send_sync::<RouterConfig>();
+    assert_send_sync::<RetryConfig>();
+    assert_send_sync::<ReorderConfig>();
+    assert_send_sync::<FlowConfig>();
+    assert_send_sync::<OverloadPolicy>();
+    assert_send_sync::<SwarmConfig>();
+    assert_send_sync::<NodeConfig>();
+    assert_send_sync::<Telemetry>();
+    assert_send_sync::<ClockHandle>();
+    assert_send_sync::<SharedBytes>();
+    assert_send_sync::<UnitRegistry>();
+    assert_send_sync::<Error>();
+}

@@ -1,0 +1,107 @@
+//! Tier-1 seed regression for the overload-control subsystem: a short
+//! bounded `ShedOldest` run under 1.5× overload must keep mailbox depth
+//! within the configured capacity, conserve every sensed frame through
+//! the shed-accounting identity
+//! `sensed = (played + stale) + shed_at_source + shed_in_queue + lost`,
+//! and replay byte-identically per seed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use swing::prelude::*;
+use swing::telemetry::{names as n, to_json};
+
+const SERVICE_US: u64 = 50_000; // one operator replica serves 20/s
+const FRAMES: u64 = 600; // 10 s of 60 FPS offered to Σμ = 40/s
+const CAPACITY: usize = 12;
+
+fn graph() -> AppGraph {
+    let mut g = AppGraph::new("overload-regression");
+    let s = g.add_source("src");
+    let o = g.add_operator("work");
+    let k = g.add_sink("out");
+    g.connect(s, o).unwrap();
+    g.connect(o, k).unwrap();
+    g
+}
+
+fn registry() -> UnitRegistry {
+    let mut r = UnitRegistry::new();
+    r.register_source("src", || {
+        let count = AtomicU64::new(0);
+        closure_source(move |_now| {
+            (count.fetch_add(1, Ordering::Relaxed) < FRAMES).then(|| Tuple::new().with("v", 1i64))
+        })
+    });
+    r.register_operator("work", || PassThrough);
+    r.register_sink("out", || closure_sink(|_, _| ()));
+    r
+}
+
+fn run(seed: u64) -> (u64, u64, u64, u64, u64, u64, u64, String) {
+    let mut shared = SwarmConfig::with_policy(Policy::Lrs);
+    shared.input_fps = 60.0;
+    shared.flow = FlowConfig::bounded(CAPACITY);
+    // Deadlines beyond any queueing delay here: a retransmit rerouted to
+    // the other replica could otherwise reach two terminal states for
+    // one sensed frame and blur the identity under test.
+    shared.retry = RetryConfig {
+        deadline_floor_us: 30 * SECOND_US,
+        deadline_ceiling_us: 60 * SECOND_US,
+        max_retries: 1,
+        ..RetryConfig::default()
+    };
+    shared.telemetry = Telemetry::new();
+    let telemetry = shared.telemetry.clone();
+    let cfg = SimSwarmConfig {
+        seed,
+        service_us: SERVICE_US,
+        ..SimSwarmConfig::from_swarm(&shared)
+    };
+    let mut swarm = SimSwarm::start(
+        graph(),
+        vec![
+            ("A".into(), registry()),
+            ("B".into(), registry()),
+            ("C".into(), registry()),
+        ],
+        cfg,
+    )
+    .expect("sim swarm start");
+    swarm.run_for(10 * SECOND_US);
+    swarm.finish();
+    let snap = telemetry.snapshot();
+    (
+        snap.counter_total(n::SOURCE_SENSED),
+        snap.counter_total(n::SINK_PLAYED),
+        snap.counter_total(n::SINK_STALE),
+        snap.counter_total(n::SOURCE_SHED),
+        snap.counter_total(n::EXEC_SHED_IN_QUEUE),
+        snap.counter_total(n::EXEC_LOST),
+        snap.histogram_total(n::EXEC_MAILBOX_DEPTH).max,
+        to_json(&snap),
+    )
+}
+
+#[test]
+fn bounded_overload_sheds_within_capacity_and_conserves_frames() {
+    let (sensed, played, stale, shed_src, shed_q, lost, depth_max, _) = run(7);
+    assert_eq!(sensed, FRAMES, "the frame budget must be fully offered");
+    assert!(
+        depth_max <= CAPACITY as u64,
+        "mailbox depth {depth_max} exceeded capacity {CAPACITY}"
+    );
+    assert!(shed_src > 0, "1.5x overload must engage the credit gate");
+    assert_eq!(
+        sensed,
+        (played + stale) + shed_src + shed_q + lost,
+        "shed accounting identity violated: sensed {sensed} != \
+         (played {played} + stale {stale}) + shed_src {shed_src} + shed_q {shed_q} + lost {lost}"
+    );
+    assert!(played > FRAMES / 2, "shedding ate goodput: played {played}");
+}
+
+#[test]
+fn bounded_overload_replay_is_byte_identical() {
+    let (.., a) = run(1207);
+    let (.., b) = run(1207);
+    assert_eq!(a, b, "same seed must export identical telemetry");
+}
