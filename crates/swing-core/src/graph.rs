@@ -405,6 +405,14 @@ impl Deployment {
         self.instances.remove(&unit).is_some()
     }
 
+    /// Re-insert an instance under its original id (master recovery from
+    /// a checkpoint). Keeps the id counter above every restored id so
+    /// future placements never collide with adopted units.
+    pub fn restore(&mut self, unit: UnitId, stage: StageId, device: DeviceId) {
+        self.next_unit = self.next_unit.max(unit.0 + 1);
+        self.instances.insert(unit, (stage, device));
+    }
+
     /// The stage a unit instantiates.
     pub fn stage_of(&self, unit: UnitId) -> Result<StageId> {
         self.instances

@@ -114,6 +114,10 @@ pub enum Message {
         stage: StageId,
         /// Stage name, for logging and code lookup.
         stage_name: String,
+        /// Deployment epoch this activation belongs to. Workers ignore
+        /// topology changes stamped with an epoch older than the latest
+        /// they have seen, fencing delayed or stale control traffic.
+        epoch: u64,
     },
     /// Master → worker: connect an upstream unit to a downstream unit at
     /// the given address.
@@ -124,6 +128,8 @@ pub enum Message {
         downstream: UnitId,
         /// Network address of the downstream worker.
         addr: String,
+        /// Deployment epoch of this topology change (fencing).
+        epoch: u64,
     },
     /// Master → workers: begin sensing and computing (§IV-B step 4).
     Start,
@@ -161,6 +167,38 @@ pub enum Message {
         upstream: UnitId,
         /// Downstream instance of the severed edge.
         downstream: UnitId,
+        /// Deployment epoch of this topology change (fencing).
+        epoch: u64,
+    },
+    /// Master → worker: a (re)started master introduces itself. Sent to
+    /// every worker recorded in the recovered checkpoint so the workers
+    /// re-dial the master's new control address and [`Announce`] the
+    /// units they still host (adopt-vs-redeploy reconciliation).
+    ///
+    /// [`Announce`]: Message::Announce
+    MasterHello {
+        /// The master's (new) dialable control address.
+        addr: String,
+        /// Deployment epoch the master resumed at (strictly greater
+        /// than any epoch it published before the restart).
+        epoch: u64,
+    },
+    /// Worker → master: re-announce after a master restart (reply to
+    /// [`MasterHello`]), listing the units this worker still runs so
+    /// the master can adopt them instead of redeploying the world.
+    ///
+    /// [`MasterHello`]: Message::MasterHello
+    Announce {
+        /// The re-announcing device (id assigned before the restart).
+        device: DeviceId,
+        /// Human-readable device name.
+        name: String,
+        /// Address where the worker accepts peer connections.
+        listen_addr: String,
+        /// `(unit, stage)` pairs of every unit instance still hosted.
+        units: Vec<(UnitId, StageId)>,
+        /// Latest deployment epoch the worker has observed.
+        epoch: u64,
     },
 }
 
@@ -180,14 +218,21 @@ impl Message {
                 Message::Join {
                     name, listen_addr, ..
                 } => 4 + 2 + name.len() + 2 + listen_addr.len(),
-                Message::Activate { stage_name, .. } => 4 + 4 + 2 + stage_name.len(),
-                Message::Connect { addr, .. } => 4 + 4 + 2 + addr.len(),
+                Message::Activate { stage_name, .. } => 4 + 4 + 2 + stage_name.len() + 8,
+                Message::Connect { addr, .. } => 4 + 4 + 2 + addr.len() + 8,
                 Message::Start | Message::Stop | Message::Ping => 0,
                 Message::Ready { .. }
                 | Message::Leave { .. }
                 | Message::Pong { .. }
                 | Message::Welcome { .. } => 4,
-                Message::Disconnect { .. } => 4 + 4,
+                Message::Disconnect { .. } => 4 + 4 + 8,
+                Message::MasterHello { addr, .. } => 2 + addr.len() + 8,
+                Message::Announce {
+                    name,
+                    listen_addr,
+                    units,
+                    ..
+                } => 4 + 2 + name.len() + 2 + listen_addr.len() + 2 + units.len() * 8 + 8,
             }
     }
 
@@ -248,21 +293,25 @@ impl Message {
                 unit,
                 stage,
                 stage_name,
+                epoch,
             } => {
                 b.put_u8(4);
                 b.put_u32(unit.0);
                 b.put_u32(stage.0);
                 put_str(b, stage_name);
+                b.put_u64(*epoch);
             }
             Message::Connect {
                 upstream,
                 downstream,
                 addr,
+                epoch,
             } => {
                 b.put_u8(5);
                 b.put_u32(upstream.0);
                 b.put_u32(downstream.0);
                 put_str(b, addr);
+                b.put_u64(*epoch);
             }
             Message::Start => b.put_u8(6),
             Message::Stop => b.put_u8(7),
@@ -286,10 +335,35 @@ impl Message {
             Message::Disconnect {
                 upstream,
                 downstream,
+                epoch,
             } => {
                 b.put_u8(13);
                 b.put_u32(upstream.0);
                 b.put_u32(downstream.0);
+                b.put_u64(*epoch);
+            }
+            Message::MasterHello { addr, epoch } => {
+                b.put_u8(14);
+                put_str(b, addr);
+                b.put_u64(*epoch);
+            }
+            Message::Announce {
+                device,
+                name,
+                listen_addr,
+                units,
+                epoch,
+            } => {
+                b.put_u8(15);
+                b.put_u32(device.0);
+                put_str(b, name);
+                put_str(b, listen_addr);
+                b.put_u16(units.len() as u16);
+                for (unit, stage) in units {
+                    b.put_u32(unit.0);
+                    b.put_u32(stage.0);
+                }
+                b.put_u64(*epoch);
             }
         }
     }
@@ -396,11 +470,13 @@ impl Message {
                 unit: UnitId(get_u32(&mut buf)?),
                 stage: StageId(get_u32(&mut buf)?),
                 stage_name: get_str(&mut buf)?,
+                epoch: get_u64(&mut buf)?,
             },
             5 => Message::Connect {
                 upstream: UnitId(get_u32(&mut buf)?),
                 downstream: UnitId(get_u32(&mut buf)?),
                 addr: get_str(&mut buf)?,
+                epoch: get_u64(&mut buf)?,
             },
             6 => Message::Start,
             7 => Message::Stop,
@@ -420,7 +496,29 @@ impl Message {
             13 => Message::Disconnect {
                 upstream: UnitId(get_u32(&mut buf)?),
                 downstream: UnitId(get_u32(&mut buf)?),
+                epoch: get_u64(&mut buf)?,
             },
+            14 => Message::MasterHello {
+                addr: get_str(&mut buf)?,
+                epoch: get_u64(&mut buf)?,
+            },
+            15 => {
+                let device = DeviceId(get_u32(&mut buf)?);
+                let name = get_str(&mut buf)?;
+                let listen_addr = get_str(&mut buf)?;
+                let n = get_u16(&mut buf)? as usize;
+                let mut units = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    units.push((UnitId(get_u32(&mut buf)?), StageId(get_u32(&mut buf)?)));
+                }
+                Message::Announce {
+                    device,
+                    name,
+                    listen_addr,
+                    units,
+                    epoch: get_u64(&mut buf)?,
+                }
+            }
             other => return Err(Error::Malformed(format!("unknown message tag {other}"))),
         };
         if !buf.is_empty() {
@@ -702,11 +800,13 @@ mod tests {
             unit: UnitId(9),
             stage: StageId(1),
             stage_name: "detect".into(),
+            epoch: 2,
         });
         roundtrip(Message::Connect {
             upstream: UnitId(1),
             downstream: UnitId(9),
             addr: "127.0.0.1:45001".into(),
+            epoch: 2,
         });
         roundtrip(Message::Start);
         roundtrip(Message::Stop);
@@ -726,6 +826,18 @@ mod tests {
         roundtrip(Message::Disconnect {
             upstream: UnitId(3),
             downstream: UnitId(11),
+            epoch: 9,
+        });
+        roundtrip(Message::MasterHello {
+            addr: "127.0.0.1:45002".into(),
+            epoch: 10,
+        });
+        roundtrip(Message::Announce {
+            device: DeviceId(5),
+            name: "Pixel".into(),
+            listen_addr: "127.0.0.1:45003".into(),
+            units: vec![(UnitId(0), StageId(0)), (UnitId(7), StageId(2))],
+            epoch: 10,
         });
     }
 
@@ -850,11 +962,13 @@ mod tests {
                 unit: UnitId(9),
                 stage: StageId(1),
                 stage_name: "detect".into(),
+                epoch: 3,
             },
             Message::Connect {
                 upstream: UnitId(1),
                 downstream: UnitId(9),
                 addr: "127.0.0.1:45001".into(),
+                epoch: 3,
             },
             Message::Start,
             Message::Stop,
@@ -874,6 +988,18 @@ mod tests {
             Message::Disconnect {
                 upstream: UnitId(3),
                 downstream: UnitId(11),
+                epoch: 4,
+            },
+            Message::MasterHello {
+                addr: "127.0.0.1:45002".into(),
+                epoch: 5,
+            },
+            Message::Announce {
+                device: DeviceId(2),
+                name: "Nexus 5".into(),
+                listen_addr: "127.0.0.1:45003".into(),
+                units: vec![(UnitId(1), StageId(0)), (UnitId(4), StageId(2))],
+                epoch: 5,
             },
         ]
     }

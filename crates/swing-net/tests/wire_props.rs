@@ -43,20 +43,48 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 listen_addr: addr,
             }
         });
-    let activate = (any::<u32>(), any::<u32>(), "[a-z-]{0,24}").prop_map(|(unit, stage, name)| {
-        Message::Activate {
+    let activate = (any::<u32>(), any::<u32>(), "[a-z-]{0,24}", any::<u64>()).prop_map(
+        |(unit, stage, name, epoch)| Message::Activate {
             unit: UnitId(unit),
             stage: StageId(stage),
             stage_name: name,
-        }
-    });
-    let connect = (any::<u32>(), any::<u32>(), "[a-z0-9.:]{0,32}").prop_map(|(up, down, addr)| {
-        Message::Connect {
+            epoch,
+        },
+    );
+    let connect = (any::<u32>(), any::<u32>(), "[a-z0-9.:]{0,32}", any::<u64>()).prop_map(
+        |(up, down, addr, epoch)| Message::Connect {
             upstream: UnitId(up),
             downstream: UnitId(down),
             addr,
+            epoch,
+        },
+    );
+    let disconnect = (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(up, down, epoch)| {
+        Message::Disconnect {
+            upstream: UnitId(up),
+            downstream: UnitId(down),
+            epoch,
         }
     });
+    let hello = ("[a-z0-9.:]{0,32}", any::<u64>())
+        .prop_map(|(addr, epoch)| Message::MasterHello { addr, epoch });
+    let announce = (
+        any::<u32>(),
+        "[a-zA-Z0-9._-]{0,32}",
+        "[a-z0-9.:]{0,32}",
+        proptest::collection::vec((any::<u32>(), any::<u32>()), 0..16),
+        any::<u64>(),
+    )
+        .prop_map(|(dev, name, addr, units, epoch)| Message::Announce {
+            device: DeviceId(dev),
+            name,
+            listen_addr: addr,
+            units: units
+                .into_iter()
+                .map(|(u, s)| (UnitId(u), StageId(s)))
+                .collect(),
+            epoch,
+        });
     let simple = prop_oneof![
         Just(Message::Start),
         Just(Message::Stop),
@@ -74,7 +102,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
             device: DeviceId(d)
         }),
     ];
-    prop_oneof![data, ack, join, activate, connect, simple]
+    prop_oneof![data, ack, join, activate, connect, disconnect, hello, announce, simple]
 }
 
 proptest! {

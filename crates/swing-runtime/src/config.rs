@@ -17,6 +17,7 @@
 use crate::chaos::FaultPlan;
 use crate::clock::global_clock;
 use crate::executor::NodeConfig;
+use crate::master::HeartbeatConfig;
 use swing_core::clock::ClockHandle;
 use swing_core::config::{ReorderConfig, RetryConfig};
 use swing_core::flow::FlowConfig;
@@ -54,6 +55,13 @@ pub struct SwarmConfig {
     /// [`SimLinkConfig`](crate::sim::SimLinkConfig) instead and does
     /// not apply this plan.
     pub chaos: Option<FaultPlan>,
+    /// Master-side liveness probing. `None` (the default) disables
+    /// failure detection: silent workers are never pruned. When set,
+    /// the timeout must be strictly greater than the probe interval —
+    /// [`validate`](Self::validate) rejects anything else, since a
+    /// timeout at or below the interval declares every worker dead
+    /// before its first reply can arrive.
+    pub heartbeat: Option<HeartbeatConfig>,
 }
 
 impl Default for SwarmConfig {
@@ -68,6 +76,7 @@ impl Default for SwarmConfig {
             telemetry: node.telemetry,
             clock: node.clock,
             chaos: None,
+            heartbeat: None,
         }
     }
 }
@@ -84,9 +93,14 @@ impl SwarmConfig {
 
     /// Check every knob for consistency (delegates to
     /// [`NodeConfig::validate`], the single source of truth both
-    /// harnesses call at start).
+    /// harnesses call at start, plus the heartbeat timing rules).
     pub fn validate(&self) -> Result<()> {
-        self.node_config().validate()
+        self.node_config().validate()?;
+        if let Some(hb) = &self.heartbeat {
+            hb.validate()
+                .map_err(swing_core::Error::Malformed)?;
+        }
+        Ok(())
     }
 
     /// The per-node runtime configuration these knobs describe. The
@@ -120,6 +134,7 @@ impl SwarmConfig {
             telemetry: node.telemetry,
             clock: node.clock,
             chaos: None,
+            heartbeat: None,
         }
     }
 
@@ -160,6 +175,29 @@ mod tests {
         assert!(cfg.validate().is_err());
         cfg.retry = RetryConfig::default();
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn heartbeat_timing_is_validated() {
+        use std::time::Duration;
+        let hb = |interval_ms: u64, timeout_ms: u64| SwarmConfig {
+            heartbeat: Some(HeartbeatConfig {
+                interval: Duration::from_millis(interval_ms),
+                timeout: Duration::from_millis(timeout_ms),
+            }),
+            ..SwarmConfig::default()
+        };
+        // Sane: timeout strictly above the probe interval.
+        hb(100, 400).validate().unwrap();
+        // Zero interval or zero timeout never probes / always evicts.
+        assert!(hb(0, 400).validate().is_err());
+        assert!(hb(100, 0).validate().is_err());
+        // Timeout at or below the interval evicts before the first
+        // reply can land.
+        assert!(hb(100, 100).validate().is_err());
+        assert!(hb(400, 100).validate().is_err());
+        // No heartbeat config at all is fine (detection off).
+        SwarmConfig::default().validate().unwrap();
     }
 
     #[test]

@@ -876,7 +876,17 @@ impl Dispatcher {
                 Some(d) => d,
                 None => {
                     let Ok(d) = self.router.route(now) else {
-                        // No downstream left at all: nowhere to go.
+                        if self.retry.enabled {
+                            // No downstream *right now* — e.g. the sole
+                            // host of the next stage died and its
+                            // replacement is not wired yet. Hold the
+                            // tuple: the pending tick keeps retrying
+                            // until a route appears, and the drain
+                            // budget bounds how long (leftovers are
+                            // counted lost there).
+                            return Some(p);
+                        }
+                        // Fire-and-forget: nowhere to go, count it now.
                         self.local.lost += 1;
                         self.log_loss(p.tuple.seq());
                         return None;

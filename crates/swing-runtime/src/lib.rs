@@ -25,6 +25,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chaos;
+pub mod checkpoint;
 pub mod clock;
 pub mod config;
 pub mod dispatch;
@@ -49,6 +50,7 @@ pub mod swarm;
 /// ```
 pub mod prelude {
     pub use crate::chaos::{ChaosControl, ChaosReport, FaultPlan, LinkFaults};
+    pub use crate::checkpoint::{CheckpointStore, FileCheckpoint, MemoryCheckpoint};
     pub use crate::config::SwarmConfig;
     pub use crate::executor::{DeliveryStats, NodeConfig, SinkReport};
     pub use crate::master::{HeartbeatConfig, Placement};
@@ -60,11 +62,12 @@ pub mod prelude {
 }
 
 pub use chaos::{ChaosControl, ChaosReport, FaultPlan, LinkFaults};
+pub use checkpoint::{CheckpointStore, FileCheckpoint, MasterCheckpoint, MemoryCheckpoint};
 pub use config::SwarmConfig;
 pub use dispatch::Dispatcher;
 pub use executor::{DeliveryStats, ExecProbe, NodeConfig, SinkReport};
 pub use fabric::Fabric;
-pub use master::{HeartbeatConfig, Master, MasterConfig, Placement};
+pub use master::{HeartbeatConfig, Master, MasterConfig, MasterStatus, Placement};
 pub use node::WorkerNode;
 pub use registry::{AnyUnit, UnitRegistry};
 pub use sim::{SimFabric, SimLinkConfig, SimSwarm, SimSwarmConfig};

@@ -6,13 +6,15 @@
 //! devices. [...] The master thread is responsible only for control,
 //! bootstrapping connections and sending start/stop commands."
 
+use crate::checkpoint::{MasterCheckpoint, StoreHandle};
 use crate::fabric::{Fabric, MsgSender};
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+use swing_core::clock::ClockHandle;
 use swing_core::graph::{AppGraph, Deployment, Role, StageId};
 use swing_core::Result;
 use swing_core::{DeviceId, UnitId};
@@ -53,8 +55,31 @@ impl Default for HeartbeatConfig {
     }
 }
 
+impl HeartbeatConfig {
+    /// Reject configurations that cannot detect failure soundly: both
+    /// durations must be nonzero and the timeout strictly greater than
+    /// the probe interval (a timeout at or below the interval declares
+    /// every worker dead between two pings).
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.interval.is_zero() {
+            return Err("heartbeat interval must be nonzero".into());
+        }
+        if self.timeout.is_zero() {
+            return Err("heartbeat timeout must be nonzero".into());
+        }
+        if self.timeout <= self.interval {
+            return Err(format!(
+                "heartbeat timeout ({:?}) must be strictly greater than the \
+                 probe interval ({:?})",
+                self.timeout, self.interval
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Master configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct MasterConfig {
     /// Devices to wait for before deploying.
     pub expected_workers: usize,
@@ -63,6 +88,19 @@ pub struct MasterConfig {
     /// Liveness probing; `None` relies purely on transport-level
     /// disconnection (the default, matching the paper's prototype).
     pub heartbeat: Option<HeartbeatConfig>,
+    /// The clock failure detection reads. Injecting a
+    /// [`VirtualClock`](swing_core::clock::VirtualClock) makes heartbeat
+    /// pruning deterministic under simulation like every other layer.
+    pub clock: ClockHandle,
+    /// Durable control-plane state. When set, the master saves a
+    /// checkpoint on every membership change, and a freshly spawned
+    /// master finding a compatible checkpoint recovers from it instead
+    /// of cold-starting (workers re-announce; units are adopted, not
+    /// redeployed).
+    pub checkpoint: Option<StoreHandle>,
+    /// How long a recovering master waits for checkpointed workers to
+    /// re-announce before declaring them dead and re-placing their units.
+    pub recovery_grace: Duration,
 }
 
 impl Default for MasterConfig {
@@ -71,7 +109,22 @@ impl Default for MasterConfig {
             expected_workers: 1,
             placement: Placement::SourceOnFirst,
             heartbeat: None,
+            clock: crate::clock::global_clock(),
+            checkpoint: None,
+            recovery_grace: Duration::from_secs(2),
         }
+    }
+}
+
+impl std::fmt::Debug for MasterConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MasterConfig")
+            .field("expected_workers", &self.expected_workers)
+            .field("placement", &self.placement)
+            .field("heartbeat", &self.heartbeat)
+            .field("checkpoint", &self.checkpoint)
+            .field("recovery_grace", &self.recovery_grace)
+            .finish_non_exhaustive()
     }
 }
 
@@ -88,6 +141,9 @@ struct WorkerInfo {
 pub struct MasterStatus {
     started: AtomicBool,
     deployment: Mutex<Deployment>,
+    epoch: AtomicU64,
+    dead_workers: Mutex<Vec<String>>,
+    deploys: Mutex<BTreeMap<UnitId, u64>>,
 }
 
 impl MasterStatus {
@@ -102,6 +158,29 @@ impl MasterStatus {
     pub fn deployment(&self) -> Deployment {
         self.deployment.lock().clone()
     }
+
+    /// The current deployment epoch. Bumped on every topology-changing
+    /// wave (initial deploy, late join, re-placement, recovery); workers
+    /// fence out control messages from older epochs.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Names of workers the master has declared dead (leave, heartbeat
+    /// prune, or failure to re-announce after recovery), oldest first.
+    #[must_use]
+    pub fn dead_workers(&self) -> Vec<String> {
+        self.dead_workers.lock().clone()
+    }
+
+    /// Times each unit was sent an Activate. Recovery that adopts a
+    /// running unit does not bump its counter — the kill/recover test
+    /// asserts healthy units stay at one deploy.
+    #[must_use]
+    pub fn deploy_counts(&self) -> BTreeMap<UnitId, u64> {
+        self.deploys.lock().clone()
+    }
 }
 
 /// A running master thread.
@@ -111,39 +190,89 @@ pub struct Master {
     inbox_tx: MsgSender,
     join: Option<JoinHandle<()>>,
     status: Arc<MasterStatus>,
+    silent: Arc<AtomicBool>,
 }
 
 impl Master {
     /// Launch the master for `graph` on the given fabric.
+    ///
+    /// If `config.checkpoint` holds a checkpoint recorded by a previous
+    /// incarnation for this same graph, the master recovers: it restores
+    /// the roster and placement under a bumped epoch, asks the
+    /// checkpointed workers to re-announce, and adopts still-running
+    /// units instead of redeploying them.
     pub fn spawn(graph: AppGraph, config: MasterConfig, fabric: Fabric) -> Result<Master> {
         graph
             .validate()
             .map_err(|e| swing_core::Error::Malformed(format!("invalid app graph: {e}")))?;
+        if let Some(h) = &config.heartbeat {
+            h.validate()
+                .map_err(|e| swing_core::Error::Malformed(format!("invalid heartbeat: {e}")))?;
+        }
+        // A readable checkpoint that belongs to a *different* application
+        // is a deployment mistake, not a cold start — refuse loudly
+        // instead of silently ignoring the recorded state.
+        if let Some(store) = &config.checkpoint {
+            if let Some(bytes) = store.load() {
+                if let Ok(ck) = MasterCheckpoint::decode(&bytes) {
+                    if ck.graph_name != graph.name()
+                        || ck.n_stages != graph.stages().count()
+                        || ck.n_edges != graph.edges().len()
+                    {
+                        return Err(swing_core::Error::Malformed(format!(
+                            "checkpoint records app '{}' ({} stages, {} edges), \
+                             refusing to recover '{}'",
+                            ck.graph_name,
+                            ck.n_stages,
+                            ck.n_edges,
+                            graph.name()
+                        )));
+                    }
+                }
+            }
+        }
         let (addr, inbox) = fabric.listen()?;
         let inbox_tx = fabric.dial(&addr)?;
         let status = Arc::new(MasterStatus::default());
         let status2 = Arc::clone(&status);
+        let silent = Arc::new(AtomicBool::new(false));
+        let silent2 = Arc::clone(&silent);
+        let my_addr = addr.clone();
         let join = std::thread::Builder::new()
             .name("swing-master".into())
             .spawn(move || {
                 let heartbeat = config.heartbeat;
+                let clock = config.clock.clone();
                 let mut state = MasterState {
                     graph,
                     config,
                     fabric,
+                    addr: my_addr,
                     workers: Vec::new(),
                     senders: HashMap::new(),
                     deployment: Deployment::new(),
                     next_device: 0,
                     started: false,
+                    epoch: 0,
                     status: status2,
                     last_pong: HashMap::new(),
+                    last_ping_us: clock.now_us(),
+                    recovering: HashMap::new(),
+                    recovery_deadline_us: None,
+                };
+                state.try_recover();
+                // Without heartbeats the loop normally parks on the inbox;
+                // an in-progress recovery still needs periodic wakeups so
+                // the re-announce grace deadline can fire.
+                let idle = if state.recovery_deadline_us.is_some() {
+                    Duration::from_millis(25)
+                } else {
+                    Duration::from_secs(3600)
                 };
                 let tick = heartbeat
                     .map(|h| h.interval.min(h.timeout) / 2)
-                    .unwrap_or(Duration::from_secs(3600))
+                    .unwrap_or(idle)
                     .max(Duration::from_millis(20));
-                let mut last_ping = Instant::now();
                 loop {
                     match inbox.recv_timeout(tick) {
                         Ok(msg) => {
@@ -154,15 +283,11 @@ impl Master {
                         Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
                         Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
                     }
-                    if let Some(h) = heartbeat {
-                        if last_ping.elapsed() >= h.interval {
-                            state.broadcast(&Message::Ping);
-                            last_ping = Instant::now();
-                        }
-                        state.prune_silent(h.timeout);
-                    }
+                    state.on_tick(heartbeat);
                 }
-                state.broadcast(&Message::Stop);
+                if !silent2.load(Ordering::SeqCst) {
+                    state.broadcast(&Message::Stop);
+                }
             })
             .expect("spawn master thread");
         Ok(Master {
@@ -170,6 +295,7 @@ impl Master {
             inbox_tx,
             join: Some(join),
             status,
+            silent,
         })
     }
 
@@ -212,6 +338,18 @@ impl Master {
             let _ = j.join();
         }
     }
+
+    /// Kill the master abruptly: the thread exits *without* broadcasting
+    /// Stop, so workers keep streaming master-less — exactly a master
+    /// crash. Spawn a new master with the same `checkpoint` store to
+    /// recover the swarm.
+    pub fn kill(&mut self) {
+        self.silent.store(true, Ordering::SeqCst);
+        let _ = self.inbox_tx.send(Message::Stop);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
 }
 
 impl Drop for Master {
@@ -224,14 +362,25 @@ struct MasterState {
     graph: AppGraph,
     config: MasterConfig,
     fabric: Fabric,
+    /// The master's own dialable address (sent in `MasterHello`).
+    addr: String,
     workers: Vec<WorkerInfo>,
     senders: HashMap<DeviceId, MsgSender>,
     deployment: Deployment,
     next_device: u32,
     started: bool,
+    /// Deployment epoch: bumped before every topology-changing wave and
+    /// stamped into Activate/Connect/Disconnect so fenced-out workers
+    /// (pruned but still alive) ignore stale control traffic.
+    epoch: u64,
     status: Arc<MasterStatus>,
-    /// Last liveness reply per device (heartbeat mode).
-    last_pong: HashMap<DeviceId, Instant>,
+    /// Last liveness reply per device (heartbeat mode), clock micros.
+    last_pong: HashMap<DeviceId, u64>,
+    last_ping_us: u64,
+    /// Checkpointed workers we are waiting to re-announce after recovery.
+    recovering: HashMap<DeviceId, WorkerInfo>,
+    /// When the re-announce grace period ends (clock micros).
+    recovery_deadline_us: Option<u64>,
 }
 
 impl MasterState {
@@ -242,11 +391,20 @@ impl MasterState {
             } => {
                 self.on_join(name, listen_addr);
             }
+            Message::Announce {
+                device,
+                name,
+                listen_addr,
+                units,
+                ..
+            } => {
+                self.on_announce(device, name, listen_addr, units);
+            }
             Message::Leave { device } => {
                 self.remove_worker(device);
             }
             Message::Pong { device } => {
-                self.last_pong.insert(device, Instant::now());
+                self.last_pong.insert(device, self.config.clock.now_us());
             }
             Message::Stop => return false,
             _ => {}
@@ -254,18 +412,62 @@ impl MasterState {
         true
     }
 
+    /// Periodic work between inbox messages: heartbeat probing/pruning
+    /// and the recovery re-announce deadline.
+    fn on_tick(&mut self, heartbeat: Option<HeartbeatConfig>) {
+        if let Some(h) = heartbeat {
+            let now = self.config.clock.now_us();
+            if now.saturating_sub(self.last_ping_us) >= h.interval.as_micros() as u64 {
+                self.broadcast(&Message::Ping);
+                self.last_ping_us = now;
+            }
+            self.prune_silent(h.timeout);
+        }
+        if let Some(deadline) = self.recovery_deadline_us {
+            if self.config.clock.now_us() >= deadline {
+                self.recovery_deadline_us = None;
+                let silent: Vec<DeviceId> = self.recovering.keys().copied().collect();
+                for d in silent {
+                    self.remove_worker(d);
+                }
+            }
+        }
+    }
+
     /// Drop a worker from the roster and the deployment, telling the
     /// surviving peers to cut their routes toward it so in-flight
     /// tuples re-route immediately (§IV-C: "re-routes data to other
-    /// units") instead of waiting for retry deadlines.
+    /// units") instead of waiting for retry deadlines — then re-place
+    /// its units on the survivors under a new epoch, so a stage whose
+    /// sole host died comes back instead of staying dark.
     fn remove_worker(&mut self, device: DeviceId) {
+        let known = self.workers.iter().any(|w| w.device == device)
+            || self.recovering.contains_key(&device);
+        if !known {
+            return;
+        }
+        let name = self
+            .workers
+            .iter()
+            .find(|w| w.device == device)
+            .map(|w| w.name.clone())
+            .or_else(|| self.recovering.get(&device).map(|w| w.name.clone()))
+            .unwrap_or_default();
         self.workers.retain(|w| w.device != device);
+        self.recovering.remove(&device);
         self.senders.remove(&device);
         self.last_pong.remove(&device);
+        self.status.dead_workers.lock().push(name);
         let units: Vec<UnitId> = self.deployment.instances_on(device).collect();
-        self.disconnect_edges_of(&units);
-        for u in units {
-            self.deployment.remove(u);
+        if !units.is_empty() {
+            self.epoch += 1;
+            self.disconnect_edges_of(&units);
+            for u in units {
+                self.deployment.remove(u);
+            }
+            if self.started {
+                self.reconcile();
+            }
         }
         self.publish();
     }
@@ -290,6 +492,7 @@ impl MasterState {
                         let _ = s.send(Message::Disconnect {
                             upstream: u,
                             downstream: d,
+                            epoch: self.epoch,
                         });
                     }
                 }
@@ -299,6 +502,7 @@ impl MasterState {
 
     /// Heartbeat mode: remove workers whose last Pong is too old.
     fn prune_silent(&mut self, timeout: Duration) {
+        let now = self.config.clock.now_us();
         let silent: Vec<DeviceId> = self
             .workers
             .iter()
@@ -306,7 +510,7 @@ impl MasterState {
             .filter(|d| {
                 self.last_pong
                     .get(d)
-                    .map(|t| t.elapsed() > timeout)
+                    .map(|t| now.saturating_sub(*t) > timeout.as_micros() as u64)
                     .unwrap_or(false)
             })
             .collect();
@@ -323,7 +527,7 @@ impl MasterState {
         self.next_device += 1;
         let _ = sender.send(Message::Welcome { device });
         self.senders.insert(device, sender);
-        self.last_pong.insert(device, Instant::now());
+        self.last_pong.insert(device, self.config.clock.now_us());
         self.workers.push(WorkerInfo {
             device,
             name,
@@ -331,51 +535,64 @@ impl MasterState {
         });
         if !self.started {
             if self.workers.len() >= self.config.expected_workers {
-                self.deploy_all();
+                self.epoch += 1;
+                self.reconcile();
                 self.broadcast(&Message::Start);
                 self.started = true;
                 self.status.started.store(true, Ordering::SeqCst);
             }
         } else {
-            // Late joiner (Fig. 9): activate operator replicas on it and
-            // splice it into the running topology immediately.
-            self.deploy_late(self.workers.len() - 1);
+            // Late joiner (Fig. 9): activate replicas on it and splice
+            // it into the running topology immediately.
+            self.epoch += 1;
+            self.reconcile();
         }
         self.publish();
     }
 
-    /// Initial deployment across all currently joined workers.
-    fn deploy_all(&mut self) {
+    /// Drive the deployment toward the `Placement` policy's desired state
+    /// over the *current* roster: place and activate every (stage, device)
+    /// the policy wants that has no instance yet, then connect the new
+    /// units' edges. Add-only — instances on devices the policy no longer
+    /// favors keep running (migration away from live hosts is not an
+    /// error path). One routine serves initial deployment, late join,
+    /// and re-placement after a death; callers bump the epoch first.
+    fn reconcile(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
         let order = self.graph.topo_order().expect("graph validated");
+        let mut new_units: Vec<UnitId> = Vec::new();
+        let mut touched: Vec<DeviceId> = Vec::new();
         for stage in order {
             let role = self.graph.stage(stage).expect("stage exists").role;
-            let hosts = self.hosts_for(role);
-            for device in hosts {
-                let unit = self.deployment.place(stage, device);
-                self.activate(device, unit, stage);
+            for device in self.hosts_for(role) {
+                let have = self
+                    .deployment
+                    .instances_of(stage)
+                    .any(|u| self.deployment.device_of(u) == Ok(device));
+                if !have {
+                    let unit = self.deployment.place(stage, device);
+                    self.activate(device, unit, stage);
+                    new_units.push(unit);
+                    if !touched.contains(&device) {
+                        touched.push(device);
+                    }
+                }
             }
         }
-        self.connect_edges(None);
-    }
-
-    /// Deploy operator replicas onto a late joiner and connect them.
-    fn deploy_late(&mut self, worker_idx: usize) {
-        let device = self.workers[worker_idx].device;
-        let stages: Vec<StageId> = self
-            .graph
-            .stages()
-            .filter(|&s| self.graph.stage(s).expect("stage exists").role == Role::Operator)
-            .collect();
-        let mut new_units = Vec::new();
-        for stage in stages {
-            let unit = self.deployment.place(stage, device);
-            self.activate(device, unit, stage);
-            new_units.push(unit);
+        if new_units.is_empty() {
+            return;
         }
         self.connect_edges(Some(&new_units));
-        // The newcomer's executors must start producing/processing.
-        if let Some(sender) = self.senders.get(&device) {
-            let _ = sender.send(Message::Start);
+        // Freshly placed executors on an already-running app must start
+        // producing/processing immediately.
+        if self.started {
+            for device in touched {
+                if let Some(sender) = self.senders.get(&device) {
+                    let _ = sender.send(Message::Start);
+                }
+            }
         }
     }
 
@@ -401,7 +618,9 @@ impl MasterState {
                 unit,
                 stage,
                 stage_name,
+                epoch: self.epoch,
             });
+            *self.status.deploys.lock().entry(unit).or_insert(0) += 1;
         }
     }
 
@@ -431,6 +650,7 @@ impl MasterState {
                             upstream: u,
                             downstream: d,
                             addr,
+                            epoch: self.epoch,
                         });
                     }
                     if let (Some(s), Some(addr)) = (self.senders.get(&d_dev), u_addr) {
@@ -438,6 +658,7 @@ impl MasterState {
                             upstream: u,
                             downstream: d,
                             addr,
+                            epoch: self.epoch,
                         });
                     }
                 }
@@ -458,8 +679,148 @@ impl MasterState {
         }
     }
 
+    /// Publish the shared status *and* persist a checkpoint. Called at
+    /// every membership/deployment change, so the checkpoint always
+    /// reflects the latest epoch and placement.
     fn publish(&self) {
         *self.status.deployment.lock() = self.deployment.clone();
+        self.status.epoch.store(self.epoch, Ordering::SeqCst);
+        if let Some(store) = &self.config.checkpoint {
+            store.save(&self.to_checkpoint().encode());
+        }
+    }
+
+    fn to_checkpoint(&self) -> MasterCheckpoint {
+        MasterCheckpoint {
+            graph_name: self.graph.name().to_owned(),
+            n_stages: self.graph.stages().count(),
+            n_edges: self.graph.edges().len(),
+            epoch: self.epoch,
+            next_device: self.next_device,
+            started: self.started,
+            workers: self
+                .workers
+                .iter()
+                .chain(self.recovering.values())
+                .map(|w| (w.device, w.addr.clone(), w.name.clone()))
+                .collect(),
+            units: self.deployment.iter().collect(),
+        }
+    }
+
+    /// If the configured store holds a checkpoint for this graph, resume
+    /// from it: restore roster and placement under a bumped epoch, hail
+    /// every checkpointed worker with `MasterHello`, and arm the
+    /// re-announce grace deadline. Workers answer with `Announce`; units
+    /// they still host are adopted, missing ones redeployed
+    /// (`on_announce`), and workers that stay silent past the grace are
+    /// pruned, which re-places their units.
+    fn try_recover(&mut self) {
+        let Some(store) = &self.config.checkpoint else {
+            return;
+        };
+        let Some(bytes) = store.load() else {
+            return;
+        };
+        let ck = match MasterCheckpoint::decode(&bytes) {
+            Ok(ck) => ck,
+            Err(_) => return, // untrusted checkpoint: cold-start
+        };
+        if ck.graph_name != self.graph.name()
+            || ck.n_stages != self.graph.stages().count()
+            || ck.n_edges != self.graph.edges().len()
+        {
+            return; // checkpoint from a different application
+        }
+        self.epoch = ck.epoch + 1;
+        self.next_device = ck.next_device;
+        self.started = ck.started;
+        self.status.started.store(ck.started, Ordering::SeqCst);
+        for (u, s, d) in ck.units {
+            self.deployment.restore(u, s, d);
+        }
+        for (device, addr, name) in ck.workers {
+            self.recovering.insert(
+                device,
+                WorkerInfo {
+                    device,
+                    name,
+                    addr: addr.clone(),
+                },
+            );
+            if let Ok(sender) = self.fabric.dial(&addr) {
+                let _ = sender.send(Message::MasterHello {
+                    addr: self.addr.clone(),
+                    epoch: self.epoch,
+                });
+            }
+        }
+        if !self.recovering.is_empty() {
+            self.recovery_deadline_us =
+                Some(self.config.clock.now_us() + self.config.recovery_grace.as_micros() as u64);
+        }
+        self.publish();
+    }
+
+    /// A worker re-announcing itself after a master restart: restore it
+    /// to the roster and reconcile adopt-vs-redeploy per unit — units it
+    /// still hosts are adopted untouched (no Activate, deploy counter
+    /// unchanged), units the checkpoint places on it that died with it
+    /// are re-activated under the current epoch.
+    fn on_announce(
+        &mut self,
+        device: DeviceId,
+        name: String,
+        listen_addr: String,
+        units: Vec<(UnitId, StageId)>,
+    ) {
+        if self.workers.iter().any(|w| w.device == device) {
+            return; // duplicate announce: already restored
+        }
+        let expected = self.recovering.remove(&device);
+        if expected.is_none() {
+            // Unknown device (e.g. fenced-out zombie): treat as a fresh
+            // join so it re-enters through the normal path.
+            self.on_join(name, listen_addr);
+            return;
+        }
+        let Ok(sender) = self.fabric.dial(&listen_addr) else {
+            return;
+        };
+        self.senders.insert(device, sender);
+        self.last_pong.insert(device, self.config.clock.now_us());
+        self.workers.push(WorkerInfo {
+            device,
+            name,
+            addr: listen_addr,
+        });
+        // Adopt-vs-redeploy: anything the checkpoint places here that the
+        // worker no longer runs must be re-activated; anything it still
+        // runs is adopted silently.
+        let expected_units: Vec<(UnitId, StageId)> = self
+            .deployment
+            .instances_on(device)
+            .map(|u| (u, self.deployment.stage_of(u).expect("placed")))
+            .collect();
+        let mut revived: Vec<UnitId> = Vec::new();
+        for (unit, stage) in expected_units {
+            if !units.contains(&(unit, stage)) {
+                self.activate(device, unit, stage);
+                revived.push(unit);
+            }
+        }
+        if !revived.is_empty() {
+            self.connect_edges(Some(&revived));
+            if self.started {
+                if let Some(s) = self.senders.get(&device) {
+                    let _ = s.send(Message::Start);
+                }
+            }
+        }
+        if self.recovering.is_empty() {
+            self.recovery_deadline_us = None;
+        }
+        self.publish();
     }
 }
 

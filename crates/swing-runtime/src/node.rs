@@ -13,6 +13,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use swing_core::graph::StageId;
 use swing_core::Result;
 use swing_core::{DeviceId, UnitId};
 use swing_net::Message;
@@ -29,6 +30,7 @@ pub struct WorkerNode {
     join: Option<JoinHandle<()>>,
     meters: Arc<Mutex<HashMap<UnitId, Arc<SinkMeter>>>>,
     probes: Arc<Mutex<HashMap<UnitId, ProbeSlot>>>,
+    activations: Arc<Mutex<HashMap<UnitId, u64>>>,
 }
 
 impl WorkerNode {
@@ -66,11 +68,14 @@ impl WorkerNode {
         let meters2 = Arc::clone(&meters);
         let probes: Arc<Mutex<HashMap<UnitId, ProbeSlot>>> = Arc::new(Mutex::new(HashMap::new()));
         let probes2 = Arc::clone(&probes);
+        let activations: Arc<Mutex<HashMap<UnitId, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+        let activations2 = Arc::clone(&activations);
         let thread_name = format!("swing-node-{name}");
         let reg = registry;
         let fabric2 = fabric.clone();
         let master2 = master.clone();
         let node_name = name.clone();
+        let listen_addr = data_addr.clone();
         let join = std::thread::Builder::new()
             .name(thread_name)
             .spawn(move || {
@@ -81,10 +86,14 @@ impl WorkerNode {
                     registry: reg,
                     config,
                     master: master2,
+                    listen_addr,
                     executors: HashMap::new(),
+                    stages: HashMap::new(),
+                    max_epoch: 0,
                     dialed: HashMap::new(),
                     meters: meters2,
                     probes: probes2,
+                    activations: activations2,
                 };
                 while let Ok(msg) = inbox.recv() {
                     if !state.handle(msg) {
@@ -103,6 +112,7 @@ impl WorkerNode {
             join: Some(join),
             meters,
             probes,
+            activations,
         })
     }
 
@@ -170,6 +180,15 @@ impl WorkerNode {
             .collect()
     }
 
+    /// How many times each unit on this node was actually activated
+    /// (executor spawned). A master recovery that *adopts* running units
+    /// leaves these counters untouched — the kill/recover test asserts
+    /// every healthy unit stays at exactly one activation.
+    #[must_use]
+    pub fn activation_counts(&self) -> HashMap<UnitId, u64> {
+        self.activations.lock().clone()
+    }
+
     /// Stop the node: shuts down its executors and control loop. Peers
     /// see the links break and re-route, exactly like an abrupt leave.
     pub fn stop(&mut self) {
@@ -193,11 +212,21 @@ struct NodeState {
     registry: UnitRegistry,
     config: NodeConfig,
     master: MsgSender,
+    /// Our own dialable address, re-announced on master recovery.
+    listen_addr: String,
     executors: HashMap<UnitId, ExecHandle>,
+    /// Stage each hosted unit instantiates (for `Announce`).
+    stages: HashMap<UnitId, StageId>,
+    /// Highest deployment epoch seen. Topology messages stamped with an
+    /// older epoch come from a master view that has since moved on
+    /// (e.g. we were pruned and re-placed) and are dropped — the fence
+    /// that keeps zombie control traffic from corrupting live routes.
+    max_epoch: u64,
     /// Cache of dialed peer inboxes by address.
     dialed: HashMap<String, MsgSender>,
     meters: Arc<Mutex<HashMap<UnitId, Arc<SinkMeter>>>>,
     probes: Arc<Mutex<HashMap<UnitId, ProbeSlot>>>,
+    activations: Arc<Mutex<HashMap<UnitId, u64>>>,
 }
 
 impl NodeState {
@@ -208,8 +237,19 @@ impl NodeState {
                 self.device = device;
             }
             Message::Activate {
-                unit, stage_name, ..
+                unit,
+                stage,
+                stage_name,
+                epoch,
             } => {
+                if self.fenced(epoch) {
+                    return true;
+                }
+                if self.executors.contains_key(&unit) {
+                    // Already running this unit (recovering master chose
+                    // to redeploy what we adopted): keep the live one.
+                    return true;
+                }
                 let Some(any) = self.registry.create(&stage_name) else {
                     // App not installed correctly; refuse politely.
                     let _ = self.master.send(Message::Leave {
@@ -224,6 +264,8 @@ impl NodeState {
                 }
                 self.probes.lock().insert(unit, handle.probe_handle());
                 self.executors.insert(unit, handle);
+                self.stages.insert(unit, stage);
+                *self.activations.lock().entry(unit).or_insert(0) += 1;
                 let _ = self.master.send(Message::Ready {
                     device: self.device,
                 });
@@ -232,7 +274,11 @@ impl NodeState {
                 upstream,
                 downstream,
                 addr,
+                epoch,
             } => {
+                if self.fenced(epoch) {
+                    return true;
+                }
                 // If we host the upstream, `addr` reaches the downstream;
                 // if we host the downstream, `addr` reaches the upstream
                 // (for ACKs). A node can host both ends.
@@ -274,7 +320,11 @@ impl NodeState {
             Message::Disconnect {
                 upstream,
                 downstream,
+                epoch,
             } => {
+                if self.fenced(epoch) {
+                    return true;
+                }
                 // The master evicted the device at the other end of this
                 // edge (heartbeat prune / leave). Whichever end we host,
                 // cut the route so in-flight tuples re-route to the
@@ -291,9 +341,44 @@ impl NodeState {
                     device: self.device,
                 });
             }
+            Message::MasterHello { addr, epoch } => {
+                // A recovered master hails us. Adopt it (its epoch is
+                // already bumped past the old incarnation's) and
+                // re-announce everything we still run so it can
+                // reconcile adopt-vs-redeploy.
+                if epoch < self.max_epoch {
+                    return true; // stale incarnation
+                }
+                self.max_epoch = epoch;
+                if let Ok(sender) = self.fabric.dial(&addr) {
+                    self.master = sender;
+                }
+                let units: Vec<(UnitId, StageId)> = self
+                    .executors
+                    .keys()
+                    .filter_map(|u| self.stages.get(u).map(|s| (*u, *s)))
+                    .collect();
+                let _ = self.master.send(Message::Announce {
+                    device: self.device,
+                    name: self.name.clone(),
+                    listen_addr: self.listen_addr.clone(),
+                    units,
+                    epoch,
+                });
+            }
             _ => {}
         }
         true
+    }
+
+    /// Epoch fence: drop topology messages older than the newest epoch
+    /// seen, and ratchet the fence forward otherwise.
+    fn fenced(&mut self, epoch: u64) -> bool {
+        if epoch < self.max_epoch {
+            return true;
+        }
+        self.max_epoch = epoch;
+        false
     }
 
     fn dial(&mut self, addr: &str) -> Option<MsgSender> {

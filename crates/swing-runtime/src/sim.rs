@@ -44,7 +44,7 @@ use std::sync::Arc;
 use swing_core::clock::{Clock, VirtualClock};
 use swing_core::event::EventQueue;
 use swing_core::flow::{Mailbox, OverloadPolicy, PushOutcome};
-use swing_core::graph::{AppGraph, Role};
+use swing_core::graph::{AppGraph, Role, StageId};
 use swing_core::rate::Pacer;
 use swing_core::reorder::ReorderBuffer;
 use swing_core::rng::DetRng;
@@ -53,7 +53,7 @@ use swing_core::unit::Context;
 use swing_core::{Error, Result};
 use swing_core::{SeqNo, Tuple, UnitId};
 use swing_net::Message;
-use swing_telemetry::{names as tn, Counter, Histogram, Stage, Telemetry};
+use swing_telemetry::{names as tn, Counter, Gauge, Histogram, Stage, Telemetry};
 
 /// Per-link transmission model of the simulated radio: a fixed base
 /// propagation delay, uniformly distributed jitter on top, and
@@ -188,6 +188,32 @@ impl SimFabric {
     /// on (existing links keep their model).
     pub fn set_link_to(&self, addr: &str, cfg: SimLinkConfig) {
         self.state.lock().per_addr.insert(addr.to_owned(), cfg);
+    }
+
+    /// Re-model *existing and future* links toward `addr` (partition
+    /// injection: a fully-dropping model isolates the endpoint's inbound
+    /// data plane while control traffic still crosses).
+    pub fn set_links_toward(&self, addr: &str, cfg: SimLinkConfig) {
+        let mut s = self.state.lock();
+        s.per_addr.insert(addr.to_owned(), cfg);
+        for l in &mut s.links {
+            if l.to == addr {
+                l.cfg = cfg;
+            }
+        }
+    }
+
+    /// Undo [`set_links_toward`](Self::set_links_toward): existing and
+    /// future links toward `addr` return to the default model.
+    pub fn clear_links_toward(&self, addr: &str) {
+        let mut s = self.state.lock();
+        s.per_addr.remove(addr);
+        let cfg = s.default_link;
+        for l in &mut s.links {
+            if l.to == addr {
+                l.cfg = cfg;
+            }
+        }
     }
 
     /// Messages the link fault models have dropped so far.
@@ -403,6 +429,7 @@ enum ExecRole {
 /// production [`Dispatcher`].
 struct SimExec {
     unit: UnitId,
+    stage: StageId,
     worker: usize,
     disp: Dispatcher,
     role: ExecRole,
@@ -416,6 +443,9 @@ struct SimWorker {
     addr: String,
     inbox: MsgReceiver,
     alive: bool,
+    /// Installed units, kept for re-placement: when another worker dies
+    /// this one may be asked to host the orphaned stages.
+    registry: UnitRegistry,
 }
 
 #[derive(Debug, Clone)]
@@ -433,8 +463,19 @@ enum SimEvent {
     ReorderPoll(usize),
     /// Kill a worker abruptly.
     Crash(usize),
-    /// Survivors evict the crashed worker's units (heartbeat prune).
+    /// Survivors evict the crashed worker's units (heartbeat prune),
+    /// then the master re-places them (self-healing reconcile).
     Evict(usize),
+    /// A new worker joins mid-run (index into `pending_joins`).
+    Join(usize),
+    /// The master goes dark: failure detection (and so eviction and
+    /// re-placement) pauses. The data plane keeps flowing.
+    MasterDown,
+    /// The master is back: deferred evictions fire.
+    MasterUp,
+    /// Inbound partition of a worker begins (`restore: false`) or heals
+    /// (`restore: true`).
+    Partition { worker: usize, restore: bool },
 }
 
 /// A deterministic single-process swarm: real units, real dispatchers,
@@ -479,6 +520,23 @@ pub struct SimSwarm {
     /// Global unit → exec index.
     by_unit: HashMap<UnitId, usize>,
     config: SimSwarmConfig,
+    /// The application, kept for reconcile-based re-placement.
+    graph: AppGraph,
+    /// Next unit id (never reused, like the master's deployment).
+    next_unit: u32,
+    /// Deployment epoch, bumped on every topology-changing wave
+    /// (eviction, join) — the sim twin of the master's fence.
+    epoch: u64,
+    epoch_g: Gauge,
+    replaced_c: Counter,
+    recovery_h: Histogram,
+    /// Virtual crash time per worker, for the recovery histogram.
+    crashed_at: HashMap<usize, u64>,
+    /// While true, evictions defer (no master to prune the dead).
+    master_down: bool,
+    deferred_evicts: Vec<usize>,
+    /// Workers scheduled to join, consumed by `SimEvent::Join`.
+    pending_joins: Vec<Option<(String, UnitRegistry)>>,
 }
 
 impl std::fmt::Debug for SimSwarm {
@@ -526,6 +584,7 @@ impl SimSwarm {
             .telemetry
             .set_time_source(move || tel_clock.now_us());
 
+        let telemetry = config.node.telemetry.clone();
         let mut sim = SimSwarm {
             clock: Arc::clone(&clock),
             fabric: Arc::clone(&fabric),
@@ -534,97 +593,43 @@ impl SimSwarm {
             execs: Vec::new(),
             by_unit: HashMap::new(),
             config,
+            graph,
+            next_unit: 0,
+            epoch: 1,
+            epoch_g: telemetry.gauge(tn::MASTER_EPOCH, &[]),
+            replaced_c: telemetry.counter(tn::FAILOVER_REPLACED_UNITS, &[]),
+            recovery_h: telemetry.histogram(tn::FAILOVER_RECOVERY_US, &[]),
+            crashed_at: HashMap::new(),
+            master_down: false,
+            deferred_evicts: Vec::new(),
+            pending_joins: Vec::new(),
         };
+        sim.epoch_g.set_u64(sim.epoch);
 
-        for (name, _) in &workers {
+        for (name, registry) in workers {
             let (addr, inbox) = fabric.listen_impl();
             sim.workers.push(SimWorker {
-                name: name.clone(),
+                name,
                 addr,
                 inbox,
                 alive: true,
+                registry,
             });
         }
 
         // Placement: mirror Master::hosts_for under SourceOnFirst.
-        let mut next_unit = 0u32;
-        let mut stage_instances: HashMap<swing_core::graph::StageId, Vec<UnitId>> = HashMap::new();
-        for stage in graph.stages() {
-            let spec = graph.stage(stage).expect("stage exists");
-            let hosts: Vec<usize> = match spec.role {
-                Role::Source | Role::Sink => vec![0],
-                Role::Operator => {
-                    if workers.len() > 1 {
-                        (1..workers.len()).collect()
-                    } else {
-                        vec![0]
-                    }
-                }
-            };
-            for w in hosts {
-                let registry = &workers[w].1;
-                let Some(any) = registry.create(&spec.name) else {
+        let stages: Vec<StageId> = sim.graph.stages().collect();
+        let mut stage_instances: HashMap<StageId, Vec<UnitId>> = HashMap::new();
+        for stage in stages {
+            let role = sim.graph.stage(stage).expect("stage exists").role;
+            for w in sim.hosts_for(role) {
+                let Some(unit) = sim.place_unit(stage, w, 0) else {
                     return Err(Error::Malformed(format!(
                         "worker {} has no unit installed for stage {}",
-                        workers[w].0, spec.name
+                        sim.workers[w].name,
+                        sim.graph.stage(stage).expect("stage exists").name
                     )));
                 };
-                let unit = UnitId(next_unit);
-                next_unit += 1;
-                let mut node = sim.config.node.clone();
-                node.clock = clock.clone();
-                node.worker_label.clone_from(&workers[w].0);
-                let mut disp = Dispatcher::new(unit, &node);
-                disp.enable_loss_log();
-                let role = match any {
-                    AnyUnit::Source(src) => ExecRole::Source {
-                        src,
-                        pacer: Pacer::new(node.input_fps, 0),
-                        seq: 0,
-                        done: false,
-                    },
-                    AnyUnit::Operator(mut op) => {
-                        op.on_start();
-                        let mailbox = if node.flow.policy == OverloadPolicy::Block {
-                            Mailbox::new(usize::MAX, OverloadPolicy::Block)
-                        } else {
-                            Mailbox::from_config(&node.flow)
-                        };
-                        ExecRole::Operator {
-                            op,
-                            mailbox,
-                            busy: false,
-                        }
-                    }
-                    AnyUnit::Sink(sink) => {
-                        let unit_label = unit.0.to_string();
-                        let labels: &[(&str, &str)] = &[
-                            (tn::LABEL_WORKER, &node.worker_label),
-                            (tn::LABEL_UNIT, &unit_label),
-                        ];
-                        ExecRole::Sink {
-                            sink,
-                            reorder: ReorderBuffer::new(node.reorder),
-                            meter: Arc::new(SinkMeter::default()),
-                            reported_skipped: 0,
-                            reported_stale: 0,
-                            played_c: node.telemetry.counter(tn::SINK_PLAYED, labels),
-                            skipped_c: node.telemetry.counter(tn::SINK_SKIPPED, labels),
-                            stale_c: node.telemetry.counter(tn::SINK_STALE, labels),
-                            e2e_us: node.telemetry.histogram(tn::SINK_E2E_LATENCY_US, labels),
-                        }
-                    }
-                };
-                let idx = sim.execs.len();
-                sim.by_unit.insert(unit, idx);
-                sim.execs.push(SimExec {
-                    unit,
-                    worker: w,
-                    disp,
-                    role,
-                    alive: true,
-                    armed_timer: None,
-                });
                 stage_instances.entry(stage).or_default().push(unit);
             }
         }
@@ -632,7 +637,8 @@ impl SimSwarm {
         // Wire edges: each (upstream instance, downstream instance)
         // pair gets its own dialed link in both directions (data
         // forward, ACKs back), exactly like the master's Connect fan-out.
-        for &(from_stage, to_stage) in graph.edges() {
+        let edges: Vec<(StageId, StageId)> = sim.graph.edges().to_vec();
+        for (from_stage, to_stage) in edges {
             let ups = stage_instances
                 .get(&from_stage)
                 .cloned()
@@ -640,14 +646,7 @@ impl SimSwarm {
             let downs = stage_instances.get(&to_stage).cloned().unwrap_or_default();
             for &up in &ups {
                 for &down in &downs {
-                    let up_idx = sim.by_unit[&up];
-                    let down_idx = sim.by_unit[&down];
-                    let down_addr = sim.workers[sim.execs[down_idx].worker].addr.clone();
-                    let up_addr = sim.workers[sim.execs[up_idx].worker].addr.clone();
-                    let tx_data = fabric.dial_impl(&down_addr)?;
-                    sim.execs[up_idx].disp.add_downstream(down, tx_data);
-                    let tx_ack = fabric.dial_impl(&up_addr)?;
-                    sim.execs[down_idx].disp.add_upstream(up, tx_ack);
+                    sim.wire_pair(up, down)?;
                 }
             }
         }
@@ -666,6 +665,110 @@ impl SimSwarm {
             }
         }
         Ok(sim)
+    }
+
+    /// Desired hosts of a role over the *live* roster, mirroring the
+    /// master's `SourceOnFirst` rule: source/sink on the first live
+    /// worker, operators on the remaining live workers (or all, when
+    /// only one survives).
+    fn hosts_for(&self, role: Role) -> Vec<usize> {
+        let alive: Vec<usize> = self
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.alive)
+            .map(|(i, _)| i)
+            .collect();
+        match role {
+            Role::Source | Role::Sink => alive.first().map(|&w| vec![w]).unwrap_or_default(),
+            Role::Operator => {
+                if alive.len() > 1 {
+                    alive[1..].to_vec()
+                } else {
+                    alive
+                }
+            }
+        }
+    }
+
+    /// Instantiate `stage` from worker `w`'s registry as a fresh unit
+    /// (no edges wired, no events scheduled). `None` if the worker has
+    /// no unit installed for the stage.
+    fn place_unit(&mut self, stage: StageId, w: usize, start_at: u64) -> Option<UnitId> {
+        let spec = self.graph.stage(stage).expect("stage exists");
+        let any = self.workers[w].registry.create(&spec.name)?;
+        let unit = UnitId(self.next_unit);
+        self.next_unit += 1;
+        let mut node = self.config.node.clone();
+        node.clock = self.clock.clone();
+        node.worker_label.clone_from(&self.workers[w].name);
+        let mut disp = Dispatcher::new(unit, &node);
+        disp.enable_loss_log();
+        let role = match any {
+            AnyUnit::Source(src) => ExecRole::Source {
+                src,
+                pacer: Pacer::new(node.input_fps, start_at),
+                seq: 0,
+                done: false,
+            },
+            AnyUnit::Operator(mut op) => {
+                op.on_start();
+                let mailbox = if node.flow.policy == OverloadPolicy::Block {
+                    Mailbox::new(usize::MAX, OverloadPolicy::Block)
+                } else {
+                    Mailbox::from_config(&node.flow)
+                };
+                ExecRole::Operator {
+                    op,
+                    mailbox,
+                    busy: false,
+                }
+            }
+            AnyUnit::Sink(sink) => {
+                let unit_label = unit.0.to_string();
+                let labels: &[(&str, &str)] = &[
+                    (tn::LABEL_WORKER, &node.worker_label),
+                    (tn::LABEL_UNIT, &unit_label),
+                ];
+                ExecRole::Sink {
+                    sink,
+                    reorder: ReorderBuffer::new(node.reorder),
+                    meter: Arc::new(SinkMeter::default()),
+                    reported_skipped: 0,
+                    reported_stale: 0,
+                    played_c: node.telemetry.counter(tn::SINK_PLAYED, labels),
+                    skipped_c: node.telemetry.counter(tn::SINK_SKIPPED, labels),
+                    stale_c: node.telemetry.counter(tn::SINK_STALE, labels),
+                    e2e_us: node.telemetry.histogram(tn::SINK_E2E_LATENCY_US, labels),
+                }
+            }
+        };
+        let idx = self.execs.len();
+        self.by_unit.insert(unit, idx);
+        self.execs.push(SimExec {
+            unit,
+            stage,
+            worker: w,
+            disp,
+            role,
+            alive: true,
+            armed_timer: None,
+        });
+        Some(unit)
+    }
+
+    /// Dial the two directional links of one (upstream, downstream)
+    /// instance pair and register them with both dispatchers.
+    fn wire_pair(&mut self, up: UnitId, down: UnitId) -> Result<()> {
+        let up_idx = self.by_unit[&up];
+        let down_idx = self.by_unit[&down];
+        let down_addr = self.workers[self.execs[down_idx].worker].addr.clone();
+        let up_addr = self.workers[self.execs[up_idx].worker].addr.clone();
+        let tx_data = self.fabric.dial_impl(&down_addr)?;
+        self.execs[up_idx].disp.add_downstream(down, tx_data);
+        let tx_ack = self.fabric.dial_impl(&up_addr)?;
+        self.execs[down_idx].disp.add_upstream(up, tx_ack);
+        Ok(())
     }
 
     /// The virtual clock every unit in this swarm reads.
@@ -705,6 +808,90 @@ impl SimSwarm {
             }
             None => false,
         }
+    }
+
+    /// Schedule a fresh worker to join the swarm at absolute virtual
+    /// time `at_us`. On join the control plane bumps the deployment
+    /// epoch and reconciles: the newcomer picks up any operator
+    /// instances the placement policy wants on it.
+    pub fn add_worker_at(&mut self, name: &str, registry: UnitRegistry, at_us: u64) {
+        let j = self.pending_joins.len();
+        self.pending_joins.push(Some((name.to_string(), registry)));
+        self.queue.schedule(at_us, SimEvent::Join(j));
+    }
+
+    /// Take the control plane offline over `[from_us, to_us)`: worker
+    /// evictions detected in that window are deferred (survivors keep
+    /// retrying blind) and replayed, with re-placement, the moment the
+    /// master returns.
+    pub fn master_outage(&mut self, from_us: u64, to_us: u64) {
+        assert!(from_us < to_us, "outage window must be non-empty");
+        self.queue.schedule(from_us, SimEvent::MasterDown);
+        self.queue.schedule(to_us, SimEvent::MasterUp);
+    }
+
+    /// Blackhole all traffic *toward* the named worker over
+    /// `[from_us, to_us)` — an asymmetric partition: the worker keeps
+    /// sending, but nothing reaches it (data or ACKs), so upstream
+    /// retransmission carries the window. `false` if no such worker.
+    pub fn partition_worker(&mut self, name: &str, from_us: u64, to_us: u64) -> bool {
+        assert!(from_us < to_us, "partition window must be non-empty");
+        match self.workers.iter().position(|w| w.name == name) {
+            Some(w) => {
+                self.queue.schedule(
+                    from_us,
+                    SimEvent::Partition {
+                        worker: w,
+                        restore: false,
+                    },
+                );
+                self.queue.schedule(
+                    to_us,
+                    SimEvent::Partition {
+                        worker: w,
+                        restore: true,
+                    },
+                );
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current deployment epoch (starts at 1; bumped on every
+    /// topology-changing wave — eviction, join, re-placement).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Names of workers currently alive, in roster order.
+    #[must_use]
+    pub fn alive_workers(&self) -> Vec<String> {
+        self.workers
+            .iter()
+            .filter(|w| w.alive)
+            .map(|w| w.name.clone())
+            .collect()
+    }
+
+    /// How many instances of each stage are currently alive, keyed by
+    /// stage name — the observable the chaos campaign asserts
+    /// convergence on.
+    #[must_use]
+    pub fn live_placement(&self) -> Vec<(String, Vec<String>)> {
+        let mut out: Vec<(String, Vec<String>)> = Vec::new();
+        for stage in self.graph.stages() {
+            let name = self.graph.stage(stage).expect("stage exists").name.clone();
+            let hosts: Vec<String> = self
+                .execs
+                .iter()
+                .filter(|e| e.alive && e.stage == stage)
+                .map(|e| self.workers[e.worker].name.clone())
+                .collect();
+            out.push((name, hosts));
+        }
+        out
     }
 
     /// Run the event loop until virtual time reaches `until_us` (events
@@ -916,6 +1103,30 @@ impl SimSwarm {
             SimEvent::ReorderPoll(i) => self.on_reorder_poll(i, now),
             SimEvent::Crash(w) => self.on_crash(w, now),
             SimEvent::Evict(w) => self.on_evict(w, now),
+            SimEvent::Join(j) => self.on_join(j, now),
+            SimEvent::MasterDown => self.master_down = true,
+            SimEvent::MasterUp => {
+                self.master_down = false;
+                let deferred = std::mem::take(&mut self.deferred_evicts);
+                for w in deferred {
+                    self.on_evict(w, now);
+                }
+            }
+            SimEvent::Partition { worker, restore } => {
+                let addr = self.workers[worker].addr.clone();
+                if restore {
+                    self.fabric.clear_links_toward(&addr);
+                } else {
+                    // Inbound blackhole: everything dialed toward the
+                    // partitioned worker drops; its own outbound links
+                    // keep their configured model.
+                    let cfg = SimLinkConfig {
+                        drop_prob: 1.0,
+                        ..self.config.link
+                    };
+                    self.fabric.set_links_toward(&addr, cfg);
+                }
+            }
         }
     }
 
@@ -1153,11 +1364,12 @@ impl SimSwarm {
         }
     }
 
-    fn on_crash(&mut self, w: usize, _now: u64) {
+    fn on_crash(&mut self, w: usize, now: u64) {
         if !self.workers[w].alive {
             return;
         }
         self.workers[w].alive = false;
+        self.crashed_at.insert(w, now);
         self.fabric.crash(&self.workers[w].addr);
         for e in &mut self.execs {
             if e.worker == w {
@@ -1174,6 +1386,15 @@ impl SimSwarm {
     }
 
     fn on_evict(&mut self, w: usize, now: u64) {
+        if self.master_down {
+            // Nobody is steering the control plane: survivors keep
+            // retrying on their own until the master returns and
+            // replays the eviction.
+            if !self.deferred_evicts.contains(&w) {
+                self.deferred_evicts.push(w);
+            }
+            return;
+        }
         let dead: Vec<UnitId> = self
             .execs
             .iter()
@@ -1191,6 +1412,101 @@ impl SimSwarm {
             self.execs[i].disp.flush_pending();
             self.arm_timer(i, now);
         }
+        // Self-heal: re-place the dead worker's stages on survivors
+        // under a fresh deployment epoch, mirroring the live master's
+        // remove_worker → reconcile wave.
+        self.epoch += 1;
+        self.epoch_g.set_u64(self.epoch);
+        let placed = self.reconcile(now);
+        if placed > 0 {
+            self.replaced_c.add(placed);
+        }
+        if let Some(t0) = self.crashed_at.remove(&w) {
+            self.recovery_h.record(now.saturating_sub(t0));
+        }
+    }
+
+    fn on_join(&mut self, j: usize, now: u64) {
+        let Some((name, registry)) = self.pending_joins.get_mut(j).and_then(Option::take) else {
+            return;
+        };
+        let (addr, inbox) = self.fabric.listen_impl();
+        self.workers.push(SimWorker {
+            name,
+            addr,
+            inbox,
+            alive: true,
+            registry,
+        });
+        self.epoch += 1;
+        self.epoch_g.set_u64(self.epoch);
+        self.reconcile(now);
+    }
+
+    /// Drive the deployed set toward the desired placement over the
+    /// live roster — the simulator's mirror of `Master::reconcile`.
+    /// Missing `(stage, worker)` instances are created, their edges
+    /// wired pair-by-pair, and fresh sources/sinks scheduled from
+    /// `now`. Returns how many units were placed.
+    fn reconcile(&mut self, now: u64) -> u64 {
+        let order = match self.graph.topo_order() {
+            Ok(o) => o,
+            Err(_) => return 0,
+        };
+        let mut new_units: Vec<UnitId> = Vec::new();
+        for stage in order {
+            let role = self.graph.stage(stage).expect("stage exists").role;
+            for w in self.hosts_for(role) {
+                let have = self
+                    .execs
+                    .iter()
+                    .any(|e| e.alive && e.stage == stage && e.worker == w);
+                if !have {
+                    if let Some(unit) = self.place_unit(stage, w, now) {
+                        new_units.push(unit);
+                    }
+                }
+            }
+        }
+        if new_units.is_empty() {
+            return 0;
+        }
+        // Wire only pairs that touch a new unit; surviving pairs keep
+        // their existing links.
+        let edges: Vec<(StageId, StageId)> = self.graph.edges().to_vec();
+        for (from_stage, to_stage) in edges {
+            let ups: Vec<UnitId> = self
+                .execs
+                .iter()
+                .filter(|e| e.alive && e.stage == from_stage)
+                .map(|e| e.unit)
+                .collect();
+            let downs: Vec<UnitId> = self
+                .execs
+                .iter()
+                .filter(|e| e.alive && e.stage == to_stage)
+                .map(|e| e.unit)
+                .collect();
+            for &up in &ups {
+                for &down in &downs {
+                    if !new_units.contains(&up) && !new_units.contains(&down) {
+                        continue;
+                    }
+                    let _ = self.wire_pair(up, down);
+                }
+            }
+        }
+        for &unit in &new_units {
+            let i = self.by_unit[&unit];
+            match self.execs[i].role {
+                ExecRole::Source { .. } => self.queue.schedule(now, SimEvent::SourceTick(i)),
+                ExecRole::Sink { .. } => self
+                    .queue
+                    .schedule(now + self.config.reorder_poll_us, SimEvent::ReorderPoll(i)),
+                ExecRole::Operator { .. } => {}
+            }
+        }
+        new_units.len() as u64
     }
 }
 
@@ -1375,5 +1691,146 @@ mod tests {
         cfg.link.drop_prob = 1.5;
         let err = SimSwarm::start(graph(), vec![("A".into(), UnitRegistry::new())], cfg);
         assert!(err.is_err());
+    }
+
+    /// Which workers host the named stage right now.
+    fn hosts_of(swarm: &SimSwarm, stage: &str) -> Vec<String> {
+        swarm
+            .live_placement()
+            .into_iter()
+            .find(|(s, _)| s == stage)
+            .map(|(_, hosts)| hosts)
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn sole_host_crash_replaces_units_on_the_survivor() {
+        // B is the only operator host; its death must not strand the
+        // pipeline — the reconcile wave re-places "work" on A.
+        let mut swarm = SimSwarm::start(
+            graph(),
+            vec![("A".into(), registry(u64::MAX)), ("B".into(), registry(0))],
+            config(9, 0.0),
+        )
+        .unwrap();
+        assert_eq!(swarm.epoch(), 1);
+        assert!(swarm.crash_worker_at("B", 5 * SECOND_US));
+        swarm.run_for(20 * SECOND_US);
+        assert_eq!(swarm.alive_workers(), vec!["A".to_string()]);
+        assert_eq!(swarm.epoch(), 2, "eviction bumps the deployment epoch");
+        assert_eq!(
+            hosts_of(&swarm, "work"),
+            vec!["A".to_string()],
+            "operator re-placed on the survivor"
+        );
+        // Re-placement is observable in telemetry too.
+        let snap = swarm.telemetry().snapshot();
+        assert_eq!(snap.counter_total(tn::FAILOVER_REPLACED_UNITS), 1);
+        // The pipeline keeps playing after the heal: frames sensed well
+        // after the crash still reach the sink.
+        let reports = swarm.finish();
+        let consumed: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
+        assert!(
+            consumed > 450,
+            "only {consumed} frames played across a 20 s run with one crash"
+        );
+    }
+
+    #[test]
+    fn join_mid_run_takes_over_operator_load() {
+        let mut swarm = SimSwarm::start(
+            graph(),
+            vec![("A".into(), registry(u64::MAX)), ("B".into(), registry(0))],
+            config(13, 0.0),
+        )
+        .unwrap();
+        swarm.add_worker_at("C", registry(0), 5 * SECOND_US);
+        swarm.run_for(15 * SECOND_US);
+        assert_eq!(swarm.alive_workers(), vec!["A", "B", "C"]);
+        assert_eq!(swarm.epoch(), 2, "join bumps the deployment epoch");
+        let mut work_hosts = hosts_of(&swarm, "work");
+        work_hosts.sort();
+        assert_eq!(work_hosts, vec!["B".to_string(), "C".to_string()]);
+        // The newcomer's instance actually serves traffic.
+        let stats = swarm.delivery_stats();
+        let c_sent: u64 = stats
+            .iter()
+            .filter(|(w, _, _)| w == "C")
+            .map(|(_, _, s)| s.sent)
+            .sum();
+        assert!(c_sent > 0, "joined worker never forwarded a tuple");
+    }
+
+    #[test]
+    fn master_outage_defers_eviction_until_recovery() {
+        let mut swarm = SimSwarm::start(
+            graph(),
+            vec![("A".into(), registry(u64::MAX)), ("B".into(), registry(0))],
+            config(21, 0.0),
+        )
+        .unwrap();
+        swarm.master_outage(SECOND_US, 12 * SECOND_US);
+        assert!(swarm.crash_worker_at("B", 2 * SECOND_US));
+        swarm.run_for(10 * SECOND_US);
+        assert_eq!(swarm.epoch(), 1, "no reconcile while the master is offline");
+        assert!(
+            hosts_of(&swarm, "work").is_empty(),
+            "orphaned stage must not re-place without a master"
+        );
+        swarm.run_for(5 * SECOND_US);
+        assert_eq!(swarm.epoch(), 2, "deferred eviction replays on recovery");
+        assert_eq!(hosts_of(&swarm, "work"), vec!["A".to_string()]);
+    }
+
+    #[test]
+    fn partition_heals_via_retransmission() {
+        let mut cfg = config(17, 0.0);
+        cfg.node.reorder = swing_core::config::ReorderConfig {
+            span_us: 10 * SECOND_US,
+        };
+        let mut swarm = SimSwarm::start(
+            graph(),
+            vec![("A".into(), registry(200)), ("B".into(), registry(0))],
+            cfg,
+        )
+        .unwrap();
+        // Blackhole everything toward B for two seconds mid-stream.
+        assert!(swarm.partition_worker("B", 3 * SECOND_US, 5 * SECOND_US));
+        assert!(!swarm.partition_worker("nope", SECOND_US, 2 * SECOND_US));
+        swarm.run_for(30 * SECOND_US);
+        let totals = swarm.delivery_totals();
+        assert!(totals.retried > 0, "partition must force retransmissions");
+        assert_eq!(totals.lost, 0, "retries carry the partition window");
+        let reports = swarm.finish();
+        let consumed: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
+        assert_eq!(consumed, 200, "every frame plays once the link heals");
+    }
+
+    #[test]
+    fn same_seed_same_history_across_crash_and_heal() {
+        let run = |seed: u64| {
+            let mut swarm = SimSwarm::start(
+                graph(),
+                vec![
+                    ("A".into(), registry(300)),
+                    ("B".into(), registry(0)),
+                    ("C".into(), registry(0)),
+                ],
+                config(seed, 0.05),
+            )
+            .unwrap();
+            swarm.crash_worker_at("C", 4 * SECOND_US);
+            swarm.add_worker_at("D", registry(0), 8 * SECOND_US);
+            swarm.run_for(25 * SECOND_US);
+            let totals = swarm.delivery_totals();
+            let epoch = swarm.epoch();
+            let dropped = swarm.fabric().dropped();
+            let reports = swarm.finish();
+            let consumed: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
+            (totals, epoch, dropped, consumed)
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "crash + join must replay byte-identically");
     }
 }

@@ -37,6 +37,7 @@
 //! ```
 
 use crate::chaos::{ChaosControl, FaultPlan};
+use crate::checkpoint::StoreHandle;
 use crate::config::SwarmConfig;
 use crate::executor::{DeliveryStats, NodeConfig, SinkReport};
 use crate::fabric::Fabric;
@@ -64,7 +65,7 @@ pub struct LocalSwarmBuilder {
     graph: AppGraph,
     config: SwarmConfig,
     placement: Placement,
-    heartbeat: Option<crate::master::HeartbeatConfig>,
+    checkpoint: Option<StoreHandle>,
     fabric: Fabric,
     workers: Vec<(String, UnitRegistry)>,
 }
@@ -170,10 +171,21 @@ impl LocalSwarmBuilder {
     }
 
     /// Enable master-side liveness probing: silent workers are removed
-    /// from the roster and deployment after the configured timeout.
+    /// from the roster and deployment after the configured timeout,
+    /// and their units are re-placed onto the survivors.
     #[must_use]
     pub fn heartbeat(mut self, config: crate::master::HeartbeatConfig) -> Self {
-        self.heartbeat = Some(config);
+        self.config.heartbeat = Some(config);
+        self
+    }
+
+    /// Persist the master's control state to this store on every
+    /// membership change. A master spawned later against the same store
+    /// (see [`LocalSwarm::recover_master`]) resumes from the checkpoint
+    /// instead of cold-starting.
+    #[must_use]
+    pub fn checkpoint(mut self, store: StoreHandle) -> Self {
+        self.checkpoint = Some(store);
         self
     }
 
@@ -191,8 +203,8 @@ impl LocalSwarmBuilder {
         if self.workers.is_empty() {
             return Err(Error::Malformed("a swarm needs at least one worker".into()));
         }
+        self.config.validate()?;
         let node_config = self.config.node_config();
-        node_config.validate()?;
         let (fabric, chaos) = match self.config.chaos {
             Some(plan) => {
                 let (f, ctl) = Fabric::chaos(self.fabric, plan);
@@ -207,15 +219,15 @@ impl LocalSwarmBuilder {
         node_config
             .telemetry
             .set_time_source(move || tel_clock.now_us());
-        let master = Master::spawn(
-            self.graph,
-            MasterConfig {
-                expected_workers: self.workers.len(),
-                placement: self.placement,
-                heartbeat: self.heartbeat,
-            },
-            fabric.clone(),
-        )?;
+        let master_config = MasterConfig {
+            expected_workers: self.workers.len(),
+            placement: self.placement,
+            heartbeat: self.config.heartbeat,
+            clock: node_config.clock.clone(),
+            checkpoint: self.checkpoint,
+            ..MasterConfig::default()
+        };
+        let master = Master::spawn(self.graph, master_config.clone(), fabric.clone())?;
         let mut nodes = Vec::new();
         for (name, registry) in self.workers {
             nodes.push(WorkerNode::spawn(
@@ -236,6 +248,7 @@ impl LocalSwarmBuilder {
         }
         Ok(LocalSwarm {
             master,
+            master_config,
             nodes,
             fabric,
             node_config,
@@ -248,6 +261,7 @@ impl LocalSwarmBuilder {
 #[derive(Debug)]
 pub struct LocalSwarm {
     master: Master,
+    master_config: MasterConfig,
     nodes: Vec<WorkerNode>,
     fabric: Fabric,
     node_config: NodeConfig,
@@ -262,7 +276,7 @@ impl LocalSwarm {
             graph,
             config: SwarmConfig::default(),
             placement: Placement::SourceOnFirst,
-            heartbeat: None,
+            checkpoint: None,
             fabric: Fabric::in_proc(),
             workers: Vec::new(),
         }
@@ -298,6 +312,48 @@ impl LocalSwarm {
     #[must_use]
     pub fn master_addr(&self) -> &str {
         self.master.addr()
+    }
+
+    /// The master's live status: started flag, current deployment,
+    /// deployment epoch, evicted workers, per-unit deploy counts.
+    #[must_use]
+    pub fn master_status(&self) -> std::sync::Arc<crate::master::MasterStatus> {
+        self.master.status()
+    }
+
+    /// Kill the master abruptly: its control thread exits without
+    /// telling anyone, like a master-device crash. The data plane keeps
+    /// flowing (routes are already installed on the workers). Recover
+    /// with [`recover_master`](Self::recover_master) — the swarm must
+    /// have been built with [`LocalSwarmBuilder::checkpoint`] for the
+    /// new incarnation to adopt the running deployment.
+    pub fn kill_master(&mut self) {
+        self.master.kill();
+    }
+
+    /// Spawn a replacement master after [`kill_master`](Self::kill_master).
+    ///
+    /// `graph` must be the same application (the checkpoint records its
+    /// shape and rejects a mismatch). The new master loads the
+    /// checkpoint, hails the recorded workers, adopts the units they
+    /// still run, and re-places anything hosted by workers that died
+    /// while no master was watching.
+    pub fn recover_master(&mut self, graph: AppGraph) -> Result<()> {
+        self.master = Master::spawn(graph, self.master_config.clone(), self.fabric.clone())?;
+        Ok(())
+    }
+
+    /// Per-worker activation counters: how many times each unit's
+    /// executor was actually spawned on that worker. Recovery that
+    /// *adopts* running units leaves these at one.
+    #[must_use]
+    pub fn activation_counts(
+        &self,
+    ) -> Vec<(String, std::collections::HashMap<swing_core::UnitId, u64>)> {
+        self.nodes
+            .iter()
+            .map(|n| (n.name().to_owned(), n.activation_counts()))
+            .collect()
     }
 
     /// Let the app run for a while.

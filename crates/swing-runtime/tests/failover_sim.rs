@@ -1,0 +1,177 @@
+//! Self-healing under deterministic simulation: the sole host of an
+//! operator stage crashes mid-stream, the control plane re-places the
+//! orphaned stage on a survivor under a fresh deployment epoch, and the
+//! retransmission layer carries every un-ACKed frame across the gap.
+//!
+//! The assertions are the PR's acceptance bar: bounded time to
+//! re-placement, the shed-accounting conservation identity
+//! `sensed = (played + stale) + shed_at_source + shed_in_queue + lost`
+//! with `lost == 0`, and byte-identical same-seed replay of the whole
+//! chaos scenario.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use swing_core::config::{ReorderConfig, RetryConfig};
+use swing_core::graph::AppGraph;
+use swing_core::unit::{closure_sink, closure_source, closure_unit, Context};
+use swing_core::{Tuple, SECOND_US};
+use swing_runtime::registry::UnitRegistry;
+use swing_runtime::sim::{SimSwarm, SimSwarmConfig};
+use swing_telemetry::{names as tn, Telemetry};
+
+const FRAMES: u64 = 600; // 20 virtual seconds at 30 fps
+
+fn graph() -> AppGraph {
+    let mut g = AppGraph::new("failover-app");
+    let s = g.add_source("cam");
+    let o = g.add_operator("work");
+    let k = g.add_sink("out");
+    g.connect(s, o).unwrap();
+    g.connect(o, k).unwrap();
+    g
+}
+
+fn registry(frames: u64) -> UnitRegistry {
+    let mut r = UnitRegistry::new();
+    r.register_source("cam", move || {
+        let count = AtomicU64::new(0);
+        closure_source(move |_now| {
+            if count.fetch_add(1, Ordering::Relaxed) < frames {
+                Some(Tuple::new().with("x", 21i64))
+            } else {
+                None
+            }
+        })
+    });
+    r.register_operator("work", || {
+        closure_unit(|t: Tuple, ctx: &mut Context<'_>| {
+            let x = t.i64("x").unwrap();
+            ctx.send(Tuple::new().with("x", x * 2));
+        })
+    });
+    r.register_sink("out", || {
+        closure_sink(|t: Tuple, _| assert_eq!(t.i64("x").unwrap(), 42))
+    });
+    r
+}
+
+/// A retry budget generous enough to bridge the eviction delay: frames
+/// in flight to the dead operator keep retrying until the survivors cut
+/// the route and the replacement instance is wired in.
+fn generous_retry() -> RetryConfig {
+    RetryConfig {
+        enabled: true,
+        deadline_factor: 3.0,
+        deadline_floor_us: 50_000,
+        deadline_ceiling_us: 400_000,
+        backoff_factor: 1.5,
+        max_retries: 20,
+        dedup_window: 8192,
+    }
+}
+
+fn config(seed: u64, drop: f64) -> SimSwarmConfig {
+    let mut c = SimSwarmConfig {
+        seed,
+        ..SimSwarmConfig::default()
+    };
+    c.link = c.link.with_drop(drop);
+    c.node.input_fps = 30.0;
+    c.node.retry = generous_retry();
+    // Wide reorder window: a frame may wait out the whole eviction +
+    // re-placement gap before its retransmission lands.
+    c.node.reorder = ReorderConfig {
+        span_us: 10 * SECOND_US,
+    };
+    c.node.telemetry = Telemetry::new();
+    c
+}
+
+/// Crash the only operator host mid-stream. Clean links isolate the
+/// crash itself as the sole fault: every sensed frame must be accounted
+/// for by the conservation identity, with zero loss, and the stage must
+/// be re-placed within the eviction delay.
+#[test]
+fn sole_host_crash_conserves_every_frame() {
+    let mut swarm = SimSwarm::start(
+        graph(),
+        vec![("A".into(), registry(FRAMES)), ("B".into(), registry(0))],
+        config(0xFA110, 0.0),
+    )
+    .unwrap();
+    let telemetry = swarm.telemetry().clone();
+    assert!(swarm.crash_worker_at("B", 5 * SECOND_US));
+    swarm.run_for(60 * SECOND_US);
+
+    // Bounded time to re-placement: the heal happens in the eviction
+    // wave itself, so recovery latency is exactly the detection delay.
+    assert_eq!(swarm.epoch(), 2, "one eviction wave, one epoch bump");
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counter_total(tn::FAILOVER_REPLACED_UNITS), 1);
+    let recovery = snap.histogram_total(tn::FAILOVER_RECOVERY_US);
+    assert_eq!(recovery.count, 1, "exactly one recovery recorded");
+    assert!(
+        recovery.max <= 2 * swing_core::timing::CONTROL_PERIOD_US,
+        "re-placement took {} us, beyond the detection bound",
+        recovery.max
+    );
+
+    let reports = swarm.finish();
+    let snap = telemetry.snapshot();
+    let sensed = snap.counter_total(tn::SOURCE_SENSED);
+    let played = snap.counter_total(tn::SINK_PLAYED);
+    let stale = snap.counter_total(tn::SINK_STALE);
+    let shed_src = snap.counter_total(tn::SOURCE_SHED);
+    let shed_q = snap.counter_total(tn::EXEC_SHED_IN_QUEUE);
+    let lost = snap.counter_total(tn::EXEC_LOST);
+
+    assert_eq!(sensed, FRAMES, "the source ran to completion");
+    assert_eq!(lost, 0, "retransmission must bridge the crash");
+    assert_eq!(
+        sensed,
+        (played + stale) + shed_src + shed_q + lost,
+        "conservation identity violated: sensed {sensed} != (played {played} \
+         + stale {stale}) + shed_src {shed_src} + shed_q {shed_q} + lost {lost}"
+    );
+    let consumed: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
+    assert_eq!(consumed, played, "sink meter and telemetry agree");
+    assert!(
+        played > FRAMES * 9 / 10,
+        "crash recovery must play the overwhelming majority, got {played}/{FRAMES}"
+    );
+}
+
+/// The same crash under lossy links, twice with the same seed: every
+/// counter, histogram bucket, and sink report must be byte-identical —
+/// the whole fault scenario is a pure function of its seed.
+#[test]
+fn same_seed_crash_scenario_replays_byte_identically() {
+    let run = |seed: u64| {
+        let mut swarm = SimSwarm::start(
+            graph(),
+            vec![
+                ("A".into(), registry(FRAMES)),
+                ("B".into(), registry(0)),
+                ("C".into(), registry(0)),
+            ],
+            config(seed, 0.05),
+        )
+        .unwrap();
+        let telemetry = swarm.telemetry().clone();
+        swarm.crash_worker_at("C", 4 * SECOND_US);
+        swarm.add_worker_at("D", registry(0), 9 * SECOND_US);
+        swarm.run_for(45 * SECOND_US);
+        let epoch = swarm.epoch();
+        let reports = swarm.finish();
+        (telemetry.to_json(), epoch, format!("{reports:?}"))
+    };
+    let a = run(1234);
+    let b = run(1234);
+    assert_eq!(a.1, b.1, "same seed, same epoch history");
+    assert_eq!(a.2, b.2, "same seed, same sink reports");
+    assert_eq!(a.0, b.0, "same seed, byte-identical telemetry export");
+    let c = run(4321);
+    assert_ne!(
+        a.0, c.0,
+        "a different seed must draw a different fault pattern"
+    );
+}

@@ -1,0 +1,187 @@
+//! Master checkpoint/recovery, live and in-process: the master is
+//! killed mid-stream, a replacement loads the checkpoint, hails the
+//! workers, and adopts the running deployment — without redeploying a
+//! single healthy unit and without losing a frame.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use swing_core::config::{ReorderConfig, RetryConfig};
+use swing_core::graph::AppGraph;
+use swing_core::unit::{closure_sink, closure_source, closure_unit, Context};
+use swing_core::Tuple;
+use swing_runtime::checkpoint::MemoryCheckpoint;
+use swing_runtime::registry::UnitRegistry;
+use swing_runtime::swarm::LocalSwarm;
+use swing_runtime::HeartbeatConfig;
+
+const FRAMES: u64 = 300;
+
+fn pipeline() -> AppGraph {
+    let mut g = AppGraph::new("recovery-app");
+    let s = g.add_source("cam");
+    let o = g.add_operator("work");
+    let k = g.add_sink("out");
+    g.connect(s, o).unwrap();
+    g.connect(o, k).unwrap();
+    g
+}
+
+fn registry(produced: Arc<AtomicU64>, consumed: Arc<AtomicU64>) -> UnitRegistry {
+    let mut r = UnitRegistry::new();
+    r.register_source("cam", move || {
+        let p = Arc::clone(&produced);
+        closure_source(move |_now| {
+            if p.fetch_add(1, Ordering::Relaxed) < FRAMES {
+                Some(Tuple::new().with("x", 21i64))
+            } else {
+                None
+            }
+        })
+    });
+    r.register_operator("work", || {
+        closure_unit(|t: Tuple, ctx: &mut Context<'_>| {
+            let x = t.i64("x").unwrap();
+            ctx.send(Tuple::new().with("x", x * 2));
+        })
+    });
+    r.register_sink("out", move || {
+        let c = Arc::clone(&consumed);
+        closure_sink(move |t: Tuple, _| {
+            assert_eq!(t.i64("x").unwrap(), 42);
+            c.fetch_add(1, Ordering::Relaxed);
+        })
+    });
+    r
+}
+
+fn fast_retry() -> RetryConfig {
+    RetryConfig {
+        enabled: true,
+        deadline_factor: 3.0,
+        deadline_floor_us: 50_000,
+        deadline_ceiling_us: 200_000,
+        backoff_factor: 2.0,
+        max_retries: 10,
+        dedup_window: 4096,
+    }
+}
+
+/// Kill the master while frames stream, bring up a replacement from the
+/// checkpoint, and finish the stream. Healthy units must be *adopted*
+/// (activation counters stay at one) and every frame must play.
+#[test]
+fn master_kill_and_recover_adopts_units_without_frame_loss() {
+    let produced = Arc::new(AtomicU64::new(0));
+    let consumed = Arc::new(AtomicU64::new(0));
+    let store = MemoryCheckpoint::handle();
+    let mut swarm = LocalSwarm::builder(pipeline())
+        .input_fps(100.0)
+        .reorder(ReorderConfig { span_us: 3_000_000 })
+        .retry(fast_retry())
+        .heartbeat(HeartbeatConfig {
+            interval: Duration::from_millis(100),
+            timeout: Duration::from_millis(600),
+        })
+        .checkpoint(Arc::clone(&store))
+        .worker("A", registry(Arc::clone(&produced), Arc::clone(&consumed)))
+        .worker("B", registry(Arc::clone(&produced), Arc::clone(&consumed)))
+        .worker("C", registry(Arc::clone(&produced), Arc::clone(&consumed)))
+        .start()
+        .unwrap();
+
+    let epoch_before = swarm.master_status().epoch();
+    let deployment_before = swarm.deployment();
+    let units_before: Vec<_> = deployment_before.iter().collect();
+    assert!(!units_before.is_empty(), "initial deployment landed");
+
+    // Let the stream warm up, then kill the master mid-flight.
+    swarm.run_for(Duration::from_millis(500));
+    swarm.kill_master();
+    // The data plane keeps flowing while nobody is watching.
+    let mid = consumed.load(Ordering::Relaxed);
+    swarm.run_for(Duration::from_millis(400));
+    assert!(
+        consumed.load(Ordering::Relaxed) > mid,
+        "frames must keep playing during the master outage"
+    );
+
+    // A replacement master loads the checkpoint and hails the workers.
+    swarm.recover_master(pipeline()).unwrap();
+
+    // Wait for re-announcement to settle and the stream to finish.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while consumed.load(Ordering::Relaxed) < FRAMES {
+        assert!(
+            Instant::now() < deadline,
+            "stream never finished after recovery: {}/{FRAMES}",
+            consumed.load(Ordering::Relaxed)
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The recovered master adopted the deployment rather than starting
+    // a second copy of the app.
+    let status = swarm.master_status();
+    assert!(
+        status.epoch() > epoch_before,
+        "the new incarnation must fence with a higher epoch"
+    );
+    let recovered: Vec<_> = status.deployment().iter().collect();
+    let mut a = units_before.clone();
+    let mut b = recovered.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "adopted deployment must match the checkpointed one");
+
+    // No redeploys: every executor was spawned exactly once.
+    for (worker, counts) in swarm.activation_counts() {
+        assert!(!counts.is_empty(), "worker {worker} runs no units");
+        for (unit, n) in counts {
+            assert_eq!(
+                n, 1,
+                "unit {unit:?} on {worker} was activated {n} times — recovery \
+                 must adopt, not redeploy"
+            );
+        }
+    }
+
+    let (reports, delivery) = swarm.stop_with_delivery();
+    let consumed_total: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
+    assert_eq!(consumed_total, FRAMES, "every frame played");
+    let mut lost = 0;
+    for (_, _, s) in &delivery {
+        lost += s.lost;
+    }
+    assert_eq!(lost, 0, "no frame may be lost across the master outage");
+}
+
+/// Recovery refuses a checkpoint from a different application.
+#[test]
+fn recovery_rejects_a_mismatched_graph() {
+    let produced = Arc::new(AtomicU64::new(0));
+    let consumed = Arc::new(AtomicU64::new(0));
+    let store = MemoryCheckpoint::handle();
+    let mut swarm = LocalSwarm::builder(pipeline())
+        .input_fps(50.0)
+        .checkpoint(Arc::clone(&store))
+        .worker("A", registry(Arc::clone(&produced), Arc::clone(&consumed)))
+        .worker("B", registry(Arc::clone(&produced), Arc::clone(&consumed)))
+        .start()
+        .unwrap();
+    swarm.run_for(Duration::from_millis(200));
+    swarm.kill_master();
+
+    let mut other = AppGraph::new("some-other-app");
+    let s = other.add_source("cam");
+    let k = other.add_sink("out");
+    other.connect(s, k).unwrap();
+    assert!(
+        swarm.recover_master(other).is_err(),
+        "a checkpoint of another app must be rejected"
+    );
+
+    // The right graph still works.
+    swarm.recover_master(pipeline()).unwrap();
+    drop(swarm.stop());
+}

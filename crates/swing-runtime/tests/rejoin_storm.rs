@@ -1,0 +1,157 @@
+//! Leave→rejoin storms under virtual time: a seed sweep drives
+//! deterministic churn schedules (workers crash and fresh ones join in
+//! bursts) and asserts the control plane converges — membership matches
+//! the survivors, the placement policy's desired state is restored, and
+//! no stage is ever deployed twice on one worker.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use swing_core::graph::AppGraph;
+use swing_core::rng::DetRng;
+use swing_core::unit::{closure_sink, closure_source, PassThrough};
+use swing_core::{Tuple, SECOND_US};
+use swing_runtime::registry::UnitRegistry;
+use swing_runtime::sim::{SimSwarm, SimSwarmConfig};
+use swing_telemetry::Telemetry;
+
+fn graph() -> AppGraph {
+    let mut g = AppGraph::new("storm-app");
+    let s = g.add_source("cam");
+    let o = g.add_operator("work");
+    let k = g.add_sink("out");
+    g.connect(s, o).unwrap();
+    g.connect(o, k).unwrap();
+    g
+}
+
+fn registry() -> UnitRegistry {
+    let mut r = UnitRegistry::new();
+    r.register_source("cam", || {
+        let count = AtomicU64::new(0);
+        closure_source(move |_now| {
+            if count.fetch_add(1, Ordering::Relaxed) < 10_000 {
+                Some(Tuple::new().with("v", 1i64))
+            } else {
+                None
+            }
+        })
+    });
+    r.register_operator("work", || PassThrough);
+    r.register_sink("out", || closure_sink(|_, _| ()));
+    r
+}
+
+fn config(seed: u64) -> SimSwarmConfig {
+    let mut c = SimSwarmConfig {
+        seed,
+        ..SimSwarmConfig::default()
+    };
+    c.node.input_fps = 30.0;
+    c.node.telemetry = Telemetry::new();
+    c
+}
+
+/// One storm: from a 4-worker swarm, a seed-derived schedule of crashes
+/// and joins plays out over 20 virtual seconds, then the swarm gets a
+/// quiet tail to converge.
+fn run_storm(seed: u64) {
+    let names = ["A", "B", "C", "D"];
+    let mut swarm = SimSwarm::start(
+        graph(),
+        names
+            .iter()
+            .map(|n| ((*n).to_string(), registry()))
+            .collect(),
+        config(seed),
+    )
+    .unwrap();
+
+    // Seed-derived churn schedule: crash up to three of the original
+    // workers at distinct times, and for each crash a fresh replacement
+    // joins a bit later — a leave→rejoin storm.
+    let mut rng = DetRng::seed_from_u64(seed ^ 0x0057_0917);
+    let storms = 1 + (rng.next_u64() % 3) as usize;
+    let mut expected: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+    let mut performed = 0u64;
+    for i in 0..storms {
+        let victim = names[1 + (rng.next_u64() % 3) as usize]; // never "A"
+        if !expected.iter().any(|n| n == victim) {
+            continue; // already crashed in this storm
+        }
+        let crash_at = (1 + rng.next_u64() % 10) * SECOND_US;
+        let join_at = crash_at + (1 + rng.next_u64() % 8) * SECOND_US;
+        assert!(swarm.crash_worker_at(victim, crash_at));
+        let newcomer = format!("{victim}{i}");
+        swarm.add_worker_at(&newcomer, registry(), join_at);
+        expected.retain(|n| n != victim);
+        expected.push(newcomer);
+        performed += 1;
+    }
+
+    // The storm plus a quiet convergence tail.
+    swarm.run_for(40 * SECOND_US);
+
+    let mut alive = swarm.alive_workers();
+    alive.sort();
+    let mut want_alive = expected.clone();
+    want_alive.sort();
+    assert_eq!(
+        alive, want_alive,
+        "seed {seed}: membership must converge on survivors + rejoiners"
+    );
+
+    // Desired placement restored, and no duplicate (stage, worker)
+    // deployments anywhere.
+    let placement = swarm.live_placement();
+    for (stage, hosts) in &placement {
+        let mut sorted = hosts.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            hosts.len(),
+            "seed {seed}: stage {stage} deployed twice on one worker: {hosts:?}"
+        );
+    }
+    let hosts_of = |stage: &str| -> Vec<String> {
+        placement
+            .iter()
+            .find(|(s, _)| s == stage)
+            .map(|(_, h)| h.clone())
+            .unwrap()
+    };
+    // "A" is never crashed, so it stays the first live worker and keeps
+    // hosting the endpoints; operators cover every *other* live worker.
+    assert_eq!(hosts_of("cam"), vec!["A".to_string()], "seed {seed}");
+    assert_eq!(hosts_of("out"), vec!["A".to_string()], "seed {seed}");
+    // Reconcile is add-only (like the live master): every non-first
+    // live worker must host an operator; a surplus instance may remain
+    // on "A" from a window where it was the sole survivor.
+    let ops = hosts_of("work");
+    for w in swarm.alive_workers().iter().filter(|n| *n != "A") {
+        assert!(
+            ops.contains(w),
+            "seed {seed}: live worker {w} hosts no operator: {ops:?}"
+        );
+    }
+    for host in &ops {
+        assert!(
+            swarm.alive_workers().contains(host),
+            "seed {seed}: operator placed on a dead worker {host}"
+        );
+    }
+
+    // The epoch ledger saw one bump per topology change: each crash's
+    // eviction wave and each join.
+    assert_eq!(
+        swarm.epoch(),
+        1 + 2 * performed,
+        "seed {seed}: one epoch bump per crash and per join"
+    );
+}
+
+#[test]
+fn rejoin_storms_converge_across_seeds() {
+    for seed in 1..=10 {
+        run_storm(seed);
+    }
+}

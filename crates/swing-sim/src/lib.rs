@@ -6,6 +6,10 @@
 //! (`swing-device`, `swing-net`) while executing the *real* routing code
 //! from `swing-core`, so policy behaviour is measured, not imitated.
 //!
+//! * [`campaign`] — seeded chaos campaign over the self-healing
+//!   runtime: a fault grid (crashes, master outage, partitions, churn
+//!   storms) × seeds, each point checking conservation, bounded
+//!   recovery, and byte-identical replay.
 //! * [`engine`] — minimal event-queue core with stable ordering.
 //! * [`swarm`] — the simulator: source dispatcher with per-destination
 //!   windows, shared sender radio, worker queues/CPUs, ACK-driven
@@ -20,6 +24,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 pub mod engine;
 pub mod experiments;
 pub mod metrics;

@@ -1,0 +1,94 @@
+//! The full chaos campaign as a test: every fault archetype × seeds,
+//! each grid point holding the conservation, bounded-recovery, and
+//! replay invariants. Writes `campaign_summary.json` (to
+//! `$SWING_CAMPAIGN_OUT` when set, else into `target/`) so CI can
+//! upload it as an artifact.
+
+use std::path::PathBuf;
+use swing_sim::campaign::{run_campaign, CampaignConfig, FaultKind};
+
+fn summary_path() -> PathBuf {
+    match std::env::var_os("SWING_CAMPAIGN_OUT") {
+        Some(p) => PathBuf::from(p),
+        None => {
+            // target/<profile>/../campaign_summary.json next to the
+            // test binary, wherever cargo placed it.
+            let mut p = std::env::current_exe().expect("test binary path");
+            p.pop(); // binary name
+            p.pop(); // deps/
+            p.push("campaign_summary.json");
+            p
+        }
+    }
+}
+
+/// The acceptance grid: all six archetypes, two seeds each — 12 points.
+#[test]
+fn chaos_campaign_grid_holds_all_invariants() {
+    let config = CampaignConfig::default();
+    assert_eq!(
+        config.kinds.len() * config.seeds.len(),
+        12,
+        "the default campaign must cover at least 12 grid points"
+    );
+    let summary = run_campaign(&config);
+
+    let path = summary_path();
+    summary.write(&path).expect("write campaign summary");
+    eprintln!("campaign summary written to {}", path.display());
+
+    let failures: Vec<String> = summary
+        .points
+        .iter()
+        .filter(|p| !p.passed())
+        .map(|p| {
+            format!(
+                "{}(seed {}): conserved={} recovery_bounded={} replay={} \
+                 [sensed {} played {} stale {} shed_src {} shed_q {} lost {}]",
+                p.fault,
+                p.seed,
+                p.conserved,
+                p.recovery_bounded,
+                p.replay_identical,
+                p.sensed,
+                p.played,
+                p.stale,
+                p.shed_source,
+                p.shed_queue,
+                p.lost
+            )
+        })
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "{} of {} grid points violated invariants:\n{}",
+        failures.len(),
+        summary.points.len(),
+        failures.join("\n")
+    );
+
+    // Sole-host archetypes actually exercised re-placement; every
+    // churn archetype moved the deployment epoch.
+    for kind in [FaultKind::CrashMidStream, FaultKind::CascadingCrashes] {
+        let exercised = summary
+            .points
+            .iter()
+            .filter(|p| p.fault == kind.name())
+            .all(|p| p.replaced_units > 0);
+        assert!(exercised, "{} never re-placed a unit", kind.name());
+    }
+    for kind in [
+        FaultKind::CrashMidStream,
+        FaultKind::CrashDuringDeploy,
+        FaultKind::CascadingCrashes,
+        FaultKind::MasterOutage,
+        FaultKind::JoinLeaveStorm,
+    ] {
+        let moved = summary
+            .points
+            .iter()
+            .filter(|p| p.fault == kind.name())
+            .all(|p| p.epoch > 1);
+        assert!(moved, "{} never bumped the deployment epoch", kind.name());
+    }
+}

@@ -104,6 +104,17 @@ pub const DEVICE_WIFI_POWER_W: &str = "swing_device_wifi_power_watts";
 /// Mean input data rate at a device, frames per second (gauge).
 pub const DEVICE_INPUT_FPS: &str = "swing_device_input_fps";
 
+// --- self-healing control plane ---
+
+/// Current deployment epoch of the control plane (gauge; bumped on
+/// every topology-changing wave — eviction, join, re-placement).
+pub const MASTER_EPOCH: &str = "swing_master_epoch";
+/// Function units re-placed onto survivors after worker deaths.
+pub const FAILOVER_REPLACED_UNITS: &str = "swing_failover_replaced_units_total";
+/// Crash-to-re-placement latency histogram, microseconds (from the
+/// worker's death to its units running again on survivors).
+pub const FAILOVER_RECOVERY_US: &str = "swing_failover_recovery_us";
+
 // --- transport (labels: link) ---
 
 /// Frames written to a link.

@@ -104,6 +104,17 @@ fn render_tick(snap: &Snapshot, tick: u64) {
     }
 }
 
+/// The control plane's one-line view: the deployment epoch (bumped on
+/// every topology-changing wave) and which workers have been evicted.
+fn render_control(epoch: u64, dead: &[String]) {
+    let dead = if dead.is_empty() {
+        "-".to_string()
+    } else {
+        dead.join(", ")
+    };
+    println!("control: epoch {epoch} | dead workers: {dead}");
+}
+
 fn render_totals(telemetry: &Telemetry) {
     let snap = telemetry.snapshot();
     let e2e = snap.histogram_total(names::SINK_E2E_LATENCY_US);
@@ -143,6 +154,8 @@ fn run_live(policy: Policy, workers: usize, seconds: u64) {
     for tick in 1..=seconds {
         swarm.run_for(Duration::from_secs(1));
         render_tick(&swarm.telemetry().snapshot(), tick);
+        let status = swarm.master_status();
+        render_control(status.epoch(), &status.dead_workers());
     }
     render_totals(swarm.telemetry());
     swarm.stop();
@@ -166,6 +179,7 @@ fn run_sim(policy: Policy, workers: usize, seconds: u64, seed: u64) {
     for i in 1..workers {
         crew.push((format!("W{i}"), registry()));
     }
+    let crew_names: Vec<String> = crew.iter().map(|(n, _)| n.clone()).collect();
     let mut swarm = SimSwarm::start(face::app_graph(), crew, cfg).expect("sim swarm start");
 
     let wall = std::time::Instant::now();
@@ -175,6 +189,13 @@ fn run_sim(policy: Policy, workers: usize, seconds: u64, seed: u64) {
         swarm.run_for(SECOND_US);
         let now_s = swarm.clock().now_us() / SECOND_US;
         render_tick(&telemetry.snapshot(), now_s.max(tick));
+        let alive = swarm.alive_workers();
+        let dead: Vec<String> = crew_names
+            .iter()
+            .filter(|n| !alive.contains(n))
+            .cloned()
+            .collect();
+        render_control(swarm.epoch(), &dead);
     }
     println!(
         "\nreplayed {seconds} virtual seconds in {:?} wall time (deterministic in seed {seed})",
