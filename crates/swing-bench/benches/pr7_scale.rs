@@ -1,0 +1,170 @@
+//! PR 7 scaling curve: federated sharded engine, devices × threads.
+//!
+//! Two sweeps over `swing_sim::federation`:
+//!
+//! - **scale**: device count grows (swarms × workers) at one thread —
+//!   wall-clock and sensed-tuples/sec as the federation grows from a
+//!   hundred devices to ten thousand.
+//! - **threads**: a fixed 1 000-device / 100-swarm federation run at
+//!   1, 2, 4, 8 threads — the conservative-synchronization speedup
+//!   curve. On a single-core host the extra threads merely interleave,
+//!   so the speedup column is only meaningful when `host_cores` >= the
+//!   thread count; `scripts/check_bench_guard.py` enforces the 4×
+//!   floor only on hosts with enough cores.
+//!
+//! Every point asserts per-swarm tuple conservation and, for the
+//! threads sweep, byte-identical federated rollups against the
+//! single-thread run — the perf claim is only worth making if the
+//! schedule stayed exact.
+//!
+//! Run `--quick` for the CI-sized grid. Writes `BENCH_pr7_scale.json`
+//! to the workspace root (override with `BENCH_OUT`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use swing_core::SECOND_US;
+use swing_sim::federation::{Federation, FederationConfig};
+
+struct Point {
+    swarms: usize,
+    workers: usize,
+    threads: usize,
+    devices: usize,
+    windows: u64,
+    wall_ms: u128,
+    sensed: u64,
+    tuples_per_sec: f64,
+    conserved: bool,
+    rollup: String,
+}
+
+/// One seeded federation run; virtual span fixed at 10 s so points are
+/// comparable within a sweep.
+fn run_point(swarms: usize, workers: usize, threads: usize) -> Point {
+    const VIRTUAL_S: u64 = 10;
+    let config = FederationConfig {
+        swarms,
+        workers_per_swarm: workers,
+        frames_per_source: VIRTUAL_S * 30,
+        seed: 1,
+        threads,
+        horizon_us: (VIRTUAL_S + 5) * SECOND_US,
+        ..FederationConfig::default()
+    };
+    let fed = Federation::build(config).expect("federation builds");
+    let wall = Instant::now();
+    let report = fed.run();
+    let wall_ms = wall.elapsed().as_millis();
+    let sensed = report.federated_counter("swing_source_sensed_total");
+    let tuples_per_sec = if wall_ms == 0 {
+        0.0
+    } else {
+        sensed as f64 * 1000.0 / wall_ms as f64
+    };
+    Point {
+        swarms,
+        workers,
+        threads,
+        devices: report.devices,
+        windows: report.windows,
+        wall_ms,
+        sensed,
+        tuples_per_sec,
+        conserved: report.all_conserved(),
+        rollup: report.federated_json,
+    }
+}
+
+fn row_json(p: &Point, extra: &str) -> String {
+    format!(
+        "{{\"swarms\": {}, \"workers\": {}, \"devices\": {}, \"threads\": {}, \
+         \"windows\": {}, \"wall_ms\": {}, \"sensed\": {}, \
+         \"tuples_per_sec\": {:.0}, \"conserved\": {}{extra}}}",
+        p.swarms,
+        p.workers,
+        p.devices,
+        p.threads,
+        p.windows,
+        p.wall_ms,
+        p.sensed,
+        p.tuples_per_sec,
+        p.conserved
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+
+    // Devices sweep at one thread: the engine-cost curve itself.
+    let scale_grid: &[(usize, usize)] = if quick {
+        &[(10, 10), (50, 10)]
+    } else {
+        &[(10, 10), (100, 10), (100, 32), (100, 100)]
+    };
+    // Thread sweep at a fixed shape with good shard/thread balance.
+    let (t_swarms, t_workers) = (100, 10);
+    let thread_grid: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+
+    println!("pr7 scale: cores={cores} quick={quick}");
+    println!("--- devices sweep (1 thread) ---");
+    let mut scale_rows = Vec::new();
+    for &(s, w) in scale_grid {
+        let p = run_point(s, w, 1);
+        assert!(p.conserved, "{}x{w} violated conservation", p.swarms);
+        println!(
+            "{:>3} swarms x {:>3} workers = {:>5} devices  wall {:>7} ms  {:>7.0} tuples/s",
+            p.swarms, p.workers, p.devices, p.wall_ms, p.tuples_per_sec
+        );
+        scale_rows.push(row_json(&p, ""));
+    }
+
+    println!("--- thread sweep ({t_swarms} swarms x {t_workers} workers) ---");
+    let mut thread_rows = Vec::new();
+    let mut base_wall = 0u128;
+    let mut base_rollup = String::new();
+    for &t in thread_grid {
+        let p = run_point(t_swarms, t_workers, t);
+        assert!(p.conserved, "{t} threads violated conservation");
+        if t == 1 {
+            base_wall = p.wall_ms.max(1);
+            base_rollup = p.rollup.clone();
+        } else {
+            assert_eq!(
+                p.rollup, base_rollup,
+                "federated rollup diverged at {t} threads — schedule not exact"
+            );
+        }
+        let speedup = base_wall as f64 / p.wall_ms.max(1) as f64;
+        println!(
+            "threads {t}  wall {:>7} ms  {:>7.0} tuples/s  speedup {speedup:.2}x",
+            p.wall_ms, p.tuples_per_sec
+        );
+        thread_rows.push(row_json(&p, &format!(", \"speedup_vs_1t\": {speedup:.2}")));
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"pr\": 7,");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(
+        json,
+        "  \"harness\": \"seeded Federation runs (10 virtual seconds, seed 1); \
+         host-specific — compare columns within one report, regenerate rather than \
+         compare across machines; speedup_vs_1t is meaningful only when host_cores >= threads\","
+    );
+    let _ = writeln!(json, "  \"scale\": [");
+    let _ = writeln!(json, "    {}", scale_rows.join(",\n    "));
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"threads\": [");
+    let _ = writeln!(json, "    {}", thread_rows.join(",\n    "));
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    let out = std::env::var("BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_pr7_scale.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).expect("write BENCH_pr7_scale.json");
+    println!("\nwrote {out}");
+}

@@ -75,6 +75,20 @@ pub const TUPLE_OVERHEAD_BYTES: u64 = 40;
 pub const ACK_BYTES: u64 = 220;
 
 // ---------------------------------------------------------------------
+// Federation tier (swarm-of-swarms; reproduction-specific, motivated
+// by the SwarMS multi-swarm scenario).
+// ---------------------------------------------------------------------
+
+/// Minimum one-way latency of an inter-swarm gateway link. Gateways
+/// bridge co-located swarms over an uplink hop (AP-to-AP or cellular
+/// backhaul), an order of magnitude slower than the intra-swarm hop.
+/// This floor doubles as the conservative-synchronization *lookahead*
+/// of the sharded simulator: a shard may safely advance past the global
+/// lower-bound timestamp by exactly this much, because no cross-shard
+/// tuple can arrive sooner.
+pub const GATEWAY_MIN_LATENCY_US: u64 = 20 * MILLISECOND_US;
+
+// ---------------------------------------------------------------------
 // Executor cadence (reproduction-specific; PR3 telemetry design).
 // ---------------------------------------------------------------------
 
@@ -100,6 +114,9 @@ mod tests {
         const {
             assert!(ACK_DEADLINE_FLOOR_US < ACK_DEADLINE_CEILING_US);
             assert!(LOCAL_HOP_US < ACK_DELAY_US);
+            // The federation lookahead must dominate the intra-swarm
+            // hop, or cross-shard windows would degenerate to lockstep.
+            assert!(GATEWAY_MIN_LATENCY_US > ACK_DELAY_US);
             assert!(TELEMETRY_PUBLISH_INTERVAL_US < CONTROL_PERIOD_US);
             assert!(PENDING_RETRY_TICK_US < ACK_DEADLINE_FLOOR_US);
         }

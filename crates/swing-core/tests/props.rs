@@ -145,4 +145,47 @@ proptest! {
             }
         }
     }
+
+    /// Tie-break determinism of the event queue: events sharing a
+    /// timestamp pop in the exact sequence they were pushed, under any
+    /// interleaving of pushes and pops. Cross-shard merge in the
+    /// federated simulator depends on this invariant — inbound gateway
+    /// tuples are injected in deterministic link order and must replay
+    /// in that order when their delivery instants collide.
+    #[test]
+    fn event_queue_breaks_ties_fifo(
+        script in proptest::collection::vec((0u64..16, 0u8..4), 1..300),
+    ) {
+        let mut q = swing_core::event::EventQueue::new();
+        // Reference model: sorted-stable list of (time, push ordinal).
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        let mut ordinal = 0u64;
+        for (t, op) in script {
+            if op == 0 && !model.is_empty() {
+                let (popped_t, popped_ord) = q.pop().expect("model says non-empty");
+                // The model's earliest (time, ordinal) — stable sort by
+                // time only, so equal timestamps keep push order.
+                let min_idx = model
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &(mt, mo))| (mt, mo))
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                let (mt, mo) = model.remove(min_idx);
+                prop_assert_eq!((popped_t, popped_ord), (mt, mo));
+            } else {
+                // Past timestamps clamp to `now`, same as the queue.
+                let t = t.max(q.now_us());
+                q.schedule(t, ordinal);
+                model.push((t, ordinal));
+                ordinal += 1;
+            }
+        }
+        // Drain: the remainder pops in (time, push-order) sequence.
+        model.sort_by_key(|&(t, o)| (t, o));
+        for (mt, mo) in model {
+            prop_assert_eq!(q.pop(), Some((mt, mo)));
+        }
+        prop_assert!(q.is_empty());
+    }
 }

@@ -97,8 +97,7 @@ impl SwarmConfig {
     pub fn validate(&self) -> Result<()> {
         self.node_config().validate()?;
         if let Some(hb) = &self.heartbeat {
-            hb.validate()
-                .map_err(swing_core::Error::Malformed)?;
+            hb.validate().map_err(swing_core::Error::Malformed)?;
         }
         Ok(())
     }

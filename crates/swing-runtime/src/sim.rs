@@ -277,6 +277,13 @@ impl SimFabric {
         let mut out = Vec::new();
         let mut s = self.state.lock();
         for link in &mut s.links {
+            // Fast path: poll runs after every event over every link,
+            // and almost all links are idle almost always — at
+            // federation scale this scan is the simulator's hottest
+            // loop.
+            if link.rx.is_empty() {
+                continue;
+            }
             while let Ok(msg) = link.rx.try_recv() {
                 let data_plane = matches!(msg, Message::Data { .. } | Message::Ack { .. });
                 if data_plane
@@ -448,6 +455,34 @@ struct SimWorker {
     registry: UnitRegistry,
 }
 
+/// One gateway tuple leaving a swarm: a sampled summary of a played
+/// frame, emitted by the swarm's gateway (the sink host) toward a peer
+/// swarm of the federation. The federation tier routes it over an
+/// inter-swarm gateway link chosen by the same `L_i` estimator the
+/// intra-swarm router uses (LRS composed across tiers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayFrame {
+    /// Virtual instant the gateway emitted the frame.
+    pub emitted_us: u64,
+    /// Per-swarm gateway sequence number (dense from 0).
+    pub seq: u64,
+}
+
+/// Receipt of one gateway tuple that arrived from a peer swarm — the
+/// shard wrapper turns these into ACKs flowing back over the reverse
+/// gateway channel, feeding the sender's latency estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayReceipt {
+    /// Index of the emitting swarm in the federation.
+    pub from_swarm: u64,
+    /// The emitter's gateway sequence number.
+    pub seq: u64,
+    /// Virtual instant the frame was emitted (rides the tuple).
+    pub emitted_us: u64,
+    /// Virtual instant the frame arrived here.
+    pub arrived_us: u64,
+}
+
 #[derive(Debug, Clone)]
 enum SimEvent {
     /// A source pacing tick for the exec at this index.
@@ -476,6 +511,12 @@ enum SimEvent {
     /// Inbound partition of a worker begins (`restore: false`) or heals
     /// (`restore: true`).
     Partition { worker: usize, restore: bool },
+    /// A gateway tuple from a peer swarm arrives (federation tier).
+    GatewayIngress {
+        from_swarm: u64,
+        seq: u64,
+        emitted_us: u64,
+    },
 }
 
 /// A deterministic single-process swarm: real units, real dispatchers,
@@ -537,6 +578,20 @@ pub struct SimSwarm {
     deferred_evicts: Vec<usize>,
     /// Workers scheduled to join, consumed by `SimEvent::Join`.
     pending_joins: Vec<Option<(String, UnitRegistry)>>,
+    /// Gateway tap: every Nth played frame egresses toward the
+    /// federation. `None` = this swarm is not federated.
+    gateway_every: Option<u64>,
+    /// Played frames seen by the tap since the gateway was enabled.
+    gateway_played: u64,
+    /// Next gateway sequence number.
+    gateway_seq: u64,
+    /// Sampled frames awaiting pickup by the federation shard driver.
+    gateway_egress: Vec<GatewayFrame>,
+    /// Arrived peer-swarm frames awaiting ACK by the shard driver.
+    gateway_receipts: Vec<GatewayReceipt>,
+    gateway_egress_c: Counter,
+    gateway_ingress_c: Counter,
+    gateway_hop_h: Histogram,
 }
 
 impl std::fmt::Debug for SimSwarm {
@@ -603,6 +658,14 @@ impl SimSwarm {
             master_down: false,
             deferred_evicts: Vec::new(),
             pending_joins: Vec::new(),
+            gateway_every: None,
+            gateway_played: 0,
+            gateway_seq: 0,
+            gateway_egress: Vec::new(),
+            gateway_receipts: Vec::new(),
+            gateway_egress_c: telemetry.counter(tn::GATEWAY_EGRESS, &[]),
+            gateway_ingress_c: telemetry.counter(tn::GATEWAY_INGRESS, &[]),
+            gateway_hop_h: telemetry.histogram(tn::GATEWAY_HOP_US, &[]),
         };
         sim.epoch_g.set_u64(sim.epoch);
 
@@ -865,6 +928,66 @@ impl SimSwarm {
         self.epoch
     }
 
+    // -- federation seam (the shard-local half of the sharded engine) --
+
+    /// Make this swarm a federation member: every `sample_every`-th
+    /// frame the sink plays is summarized into a [`GatewayFrame`] and
+    /// queued for egress toward peer swarms. The federation tier picks
+    /// the destination per frame by scoring gateway links with the same
+    /// `L_i` estimator the intra-swarm router uses.
+    ///
+    /// # Panics
+    /// If `sample_every` is zero.
+    pub fn enable_gateway(&mut self, sample_every: u64) {
+        assert!(sample_every > 0, "gateway sample rate must be >= 1");
+        self.gateway_every = Some(sample_every);
+    }
+
+    /// Timestamp of the earliest pending event, if any — the shard's
+    /// contribution to the federation's global lower-bound timestamp.
+    #[must_use]
+    pub fn next_event_us(&self) -> Option<u64> {
+        self.queue.peek_time()
+    }
+
+    /// Schedule the arrival of a gateway tuple from a peer swarm at
+    /// absolute virtual time `at_us`. Called by the shard driver when
+    /// it drains an inbound gateway channel; conservative windowing
+    /// guarantees `at_us` is never in this shard's past.
+    pub fn ingest_remote(&mut self, at_us: u64, from_swarm: u64, seq: u64, emitted_us: u64) {
+        debug_assert!(
+            at_us >= self.queue.now_us(),
+            "gateway arrival at {at_us} violates lookahead (shard now {})",
+            self.queue.now_us()
+        );
+        self.queue.schedule(
+            at_us,
+            SimEvent::GatewayIngress {
+                from_swarm,
+                seq,
+                emitted_us,
+            },
+        );
+    }
+
+    /// Take the gateway frames emitted since the last drain (the shard
+    /// driver routes them over inter-swarm links after each window).
+    pub fn drain_gateway_egress(&mut self) -> Vec<GatewayFrame> {
+        std::mem::take(&mut self.gateway_egress)
+    }
+
+    /// Take the receipts of peer-swarm frames that arrived since the
+    /// last drain (the shard driver ACKs them back to the emitters).
+    pub fn drain_gateway_receipts(&mut self) -> Vec<GatewayReceipt> {
+        std::mem::take(&mut self.gateway_receipts)
+    }
+
+    /// Gateway accounting so far: `(egress, ingress)` tuple counts.
+    #[must_use]
+    pub fn gateway_counts(&self) -> (u64, u64) {
+        (self.gateway_egress_c.get(), self.gateway_ingress_c.get())
+    }
+
     /// Names of workers currently alive, in roster order.
     #[must_use]
     pub fn alive_workers(&self) -> Vec<String> {
@@ -1085,6 +1208,27 @@ impl SimSwarm {
         sink.consume(tuple, now);
     }
 
+    /// Gateway tap: `n` frames just played at a sink. Every
+    /// `gateway_every`-th one becomes an egress [`GatewayFrame`].
+    /// Frames played during the final [`finish`](Self::finish) drain
+    /// are not tapped — the federation horizon has passed by then.
+    fn note_gateway_plays(&mut self, n: u64, now: u64) {
+        let Some(every) = self.gateway_every else {
+            return;
+        };
+        for _ in 0..n {
+            self.gateway_played += 1;
+            if self.gateway_played.is_multiple_of(every) {
+                self.gateway_egress.push(GatewayFrame {
+                    emitted_us: now,
+                    seq: self.gateway_seq,
+                });
+                self.gateway_seq += 1;
+                self.gateway_egress_c.inc();
+            }
+        }
+    }
+
     fn handle(&mut self, now: u64, ev: SimEvent) {
         match ev {
             SimEvent::SourceTick(i) => self.on_source_tick(i, now),
@@ -1111,6 +1255,24 @@ impl SimSwarm {
                 for w in deferred {
                     self.on_evict(w, now);
                 }
+            }
+            SimEvent::GatewayIngress {
+                from_swarm,
+                seq,
+                emitted_us,
+            } => {
+                // The gateway consumes federated tuples at ingress: the
+                // frame is accounted (count + one-way hop latency) and
+                // a receipt queued for the ACK flowing back to the
+                // emitter's estimator.
+                self.gateway_ingress_c.inc();
+                self.gateway_hop_h.record(now.saturating_sub(emitted_us));
+                self.gateway_receipts.push(GatewayReceipt {
+                    from_swarm,
+                    seq,
+                    emitted_us,
+                    arrived_us: now,
+                });
             }
             SimEvent::Partition { worker, restore } => {
                 let addr = self.workers[worker].addr.clone();
@@ -1285,6 +1447,7 @@ impl SimSwarm {
         }
         let service_us = self.config.service_us;
         let telemetry = self.config.node.telemetry.clone();
+        let mut played_n = 0u64;
         let e = &mut self.execs[i];
         let seq = tuple.seq();
         let sent_at = tuple.sent_at_us();
@@ -1327,15 +1490,18 @@ impl SimSwarm {
                 telemetry.record_stage(seq.0, dest.0, Stage::Played);
                 for played in reorder.push(seq, tuple, now) {
                     Self::play_one(played.item, now, meter, sink, played_c, e2e_us);
+                    played_n += 1;
                 }
             }
         }
+        self.note_gateway_plays(played_n, now);
     }
 
     fn on_reorder_poll(&mut self, i: usize, now: u64) {
         if !self.execs[i].alive {
             return;
         }
+        let mut played_n = 0u64;
         let e = &mut self.execs[i];
         if let ExecRole::Sink {
             sink,
@@ -1351,6 +1517,7 @@ impl SimSwarm {
         {
             for played in reorder.poll(now) {
                 Self::play_one(played.item, now, meter, sink, played_c, e2e_us);
+                played_n += 1;
             }
             let s = reorder.skipped();
             skipped_c.add(s - *reported_skipped);
@@ -1362,6 +1529,7 @@ impl SimSwarm {
             self.queue
                 .schedule(now + self.config.reorder_poll_us, SimEvent::ReorderPoll(i));
         }
+        self.note_gateway_plays(played_n, now);
     }
 
     fn on_crash(&mut self, w: usize, now: u64) {
@@ -1804,6 +1972,51 @@ mod tests {
         let reports = swarm.finish();
         let consumed: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
         assert_eq!(consumed, 200, "every frame plays once the link heals");
+    }
+
+    #[test]
+    fn sim_swarm_is_send() {
+        // Shards of the federated engine move across scoped worker
+        // threads between windows; the whole harness must be Send.
+        fn assert_send<T: Send>() {}
+        assert_send::<SimSwarm>();
+    }
+
+    #[test]
+    fn gateway_tap_samples_every_nth_play_and_ingress_accounts() {
+        let mut swarm = SimSwarm::start(
+            graph(),
+            vec![("A".into(), registry(100)), ("B".into(), registry(0))],
+            config(7, 0.0),
+        )
+        .unwrap();
+        swarm.enable_gateway(10);
+        // A peer frame scheduled before the run is consumed at its
+        // arrival instant and produces exactly one receipt.
+        swarm.ingest_remote(2 * SECOND_US, 3, 0, 2 * SECOND_US - 20_000);
+        swarm.run_for(10 * SECOND_US);
+        let egress = swarm.drain_gateway_egress();
+        assert!(!egress.is_empty(), "tap produced no egress");
+        // Dense gateway sequence, one frame per 10 plays.
+        for (i, f) in egress.iter().enumerate() {
+            assert_eq!(f.seq, i as u64);
+        }
+        let receipts = swarm.drain_gateway_receipts();
+        assert_eq!(receipts.len(), 1);
+        assert_eq!(receipts[0].from_swarm, 3);
+        assert_eq!(receipts[0].arrived_us, 2 * SECOND_US);
+        let (eg, ing) = swarm.gateway_counts();
+        assert_eq!(eg, egress.len() as u64);
+        assert_eq!(ing, 1);
+        // The hop histogram saw the one-way latency.
+        let snap = swarm.telemetry().snapshot();
+        let hop = snap.histogram_total(tn::GATEWAY_HOP_US);
+        assert_eq!(hop.count, 1);
+        // Second drain is empty (draining semantics).
+        assert!(swarm.drain_gateway_egress().is_empty());
+        let reports = swarm.finish();
+        let consumed: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
+        assert_eq!(consumed, 100, "gateway tap must not perturb delivery");
     }
 
     #[test]

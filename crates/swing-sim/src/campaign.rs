@@ -179,6 +179,10 @@ impl GridPoint {
 pub struct CampaignSummary {
     /// One entry per `(fault, seed)` grid point, in sweep order.
     pub points: Vec<GridPoint>,
+    /// Federated re-run section (the archetypes applied inside members
+    /// of a swarm-of-swarms), when the campaign ran one. Attached by
+    /// the caller via [`run_federated_chaos`].
+    pub federation: Option<FederatedChaosSummary>,
 }
 
 impl CampaignSummary {
@@ -199,12 +203,17 @@ impl CampaignSummary {
     #[must_use]
     pub fn to_json(&self) -> String {
         let points: Vec<String> = self.points.iter().map(GridPoint::to_json).collect();
+        let federation = match &self.federation {
+            Some(f) => format!(",\"federation\":{}", f.to_json()),
+            None => String::new(),
+        };
         format!(
-            "{{\"grid_points\":{},\"passed\":{},\"failed\":{},\"points\":[{}]}}",
+            "{{\"grid_points\":{},\"passed\":{},\"failed\":{},\"points\":[{}]{}}}",
             self.points.len(),
             self.passed(),
             self.failed(),
-            points.join(",")
+            points.join(","),
+            federation
         )
     }
 
@@ -385,7 +394,209 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignSummary {
             points.push(run_grid_point(kind, seed, config.frames));
         }
     }
-    CampaignSummary { points }
+    CampaignSummary {
+        points,
+        federation: None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Federated chaos re-run: the same archetypes at swarm-of-swarms scale.
+// ---------------------------------------------------------------------------
+
+/// Shape of the federated chaos re-run: one federation on the sharded
+/// parallel engine, with a fault archetype applied round-robin inside
+/// every member swarm.
+#[derive(Debug, Clone)]
+pub struct FederatedChaosConfig {
+    /// Member swarms. The default re-runs the campaign at 100-swarm
+    /// scale.
+    pub swarms: usize,
+    /// Devices per member; at least 4 so every archetype has operator
+    /// hosts to kill and a survivor to re-place onto.
+    pub workers_per_swarm: usize,
+    /// Frames each member's source senses.
+    pub frames: u64,
+    /// Master seed of the federation.
+    pub seed: u64,
+    /// Engine worker threads (any value reproduces the same schedule).
+    pub threads: usize,
+}
+
+impl Default for FederatedChaosConfig {
+    fn default() -> Self {
+        FederatedChaosConfig {
+            swarms: 100,
+            workers_per_swarm: 4,
+            frames: 150,
+            seed: 17,
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        }
+    }
+}
+
+/// One member's outcome in the federated re-run: which archetype hit
+/// it, plus its master-status row (epoch, roster, counters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FederatedMember {
+    /// Fault archetype applied inside this member.
+    pub fault: String,
+    /// The member's post-run status.
+    pub status: crate::federation::SwarmStatus,
+}
+
+/// Outcome of the federated chaos re-run.
+#[derive(Debug, Clone)]
+pub struct FederatedChaosSummary {
+    /// Total devices simulated.
+    pub devices: usize,
+    /// Synchronization windows the engine executed.
+    pub windows: u64,
+    /// Engine threads used.
+    pub threads: usize,
+    /// Gateway frames routed over inter-swarm links.
+    pub routed: u64,
+    /// Gateway frames consumed by peers.
+    pub ingress: u64,
+    /// Per-member rows, in shard order.
+    pub members: Vec<FederatedMember>,
+    /// A second run of the same seed exported a byte-identical
+    /// federated telemetry rollup.
+    pub replay_identical: bool,
+}
+
+impl FederatedChaosSummary {
+    /// Members whose shed-accounting identity held with zero loss.
+    #[must_use]
+    pub fn conserved_members(&self) -> usize {
+        self.members.iter().filter(|m| m.status.conserved).count()
+    }
+
+    /// Every member conserved and the replay matched.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.replay_identical && self.conserved_members() == self.members.len()
+    }
+
+    /// Serialize as one JSON object (the `federation` section of
+    /// `campaign_summary.json`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let members: Vec<String> = self
+            .members
+            .iter()
+            .map(|m| {
+                format!(
+                    "{{\"fault\":\"{}\",\"status\":{}}}",
+                    m.fault,
+                    m.status.to_json()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"swarms\":{},\"devices\":{},\"windows\":{},\"threads\":{},\
+             \"routed\":{},\"ingress\":{},\"conserved_members\":{},\
+             \"replay_identical\":{},\"passed\":{},\"members\":[{}]}}",
+            self.members.len(),
+            self.devices,
+            self.windows,
+            self.threads,
+            self.routed,
+            self.ingress,
+            self.conserved_members(),
+            self.replay_identical,
+            self.passed(),
+            members.join(",")
+        )
+    }
+}
+
+/// Apply one archetype inside a member swarm. Worker `w0` hosts the
+/// endpoints and is never touched; the single-swarm campaign's timings
+/// are kept so the federated run stresses the same recovery paths.
+fn apply_member_fault(swarm: &mut SimSwarm, kind: FaultKind) {
+    use crate::federation::member_registry;
+    match kind {
+        FaultKind::CrashMidStream => {
+            swarm.crash_worker_at("w1", 5 * SECOND_US);
+        }
+        FaultKind::CrashDuringDeploy => {
+            swarm.add_worker_at("wj", member_registry(0), 3 * SECOND_US);
+            swarm.crash_worker_at("w2", 3 * SECOND_US);
+        }
+        FaultKind::CascadingCrashes => {
+            swarm.crash_worker_at("w1", 4 * SECOND_US);
+            swarm.crash_worker_at("w2", 4 * SECOND_US + SECOND_US / 2);
+        }
+        FaultKind::MasterOutage => {
+            swarm.master_outage(2 * SECOND_US, 8 * SECOND_US);
+            swarm.crash_worker_at("w2", 3 * SECOND_US);
+        }
+        FaultKind::Partition => {
+            swarm.partition_worker("w1", 3 * SECOND_US, 6 * SECOND_US);
+        }
+        FaultKind::JoinLeaveStorm => {
+            swarm.crash_worker_at("w2", 2 * SECOND_US);
+            swarm.add_worker_at("wj", member_registry(0), 4 * SECOND_US);
+            swarm.crash_worker_at("w1", 5 * SECOND_US);
+            swarm.add_worker_at("wk", member_registry(0), 7 * SECOND_US);
+        }
+    }
+}
+
+fn run_federated_once(config: &FederatedChaosConfig) -> crate::federation::FederationReport {
+    let mut fed = crate::federation::Federation::build(crate::federation::FederationConfig {
+        swarms: config.swarms,
+        workers_per_swarm: config.workers_per_swarm,
+        frames_per_source: config.frames,
+        seed: config.seed,
+        threads: config.threads,
+        ..crate::federation::FederationConfig::default()
+    })
+    .expect("federated campaign builds");
+    for i in 0..config.swarms {
+        apply_member_fault(fed.swarm_mut(i), FaultKind::ALL[i % FaultKind::ALL.len()]);
+    }
+    fed.run()
+}
+
+/// Re-run the chaos archetypes at federation scale: every member swarm
+/// takes a fault from the grid (round-robin), the sharded engine runs
+/// them in parallel, and the run repeats once to check that the whole
+/// federated schedule is a pure function of its seed. Attach the
+/// result to a [`CampaignSummary`] to land it in
+/// `campaign_summary.json`.
+///
+/// # Panics
+/// If `workers_per_swarm < 4` — the archetypes need two operator
+/// hosts to fault and a survivor.
+#[must_use]
+pub fn run_federated_chaos(config: &FederatedChaosConfig) -> FederatedChaosSummary {
+    assert!(
+        config.workers_per_swarm >= 4,
+        "federated archetypes need at least 4 workers per swarm"
+    );
+    let a = run_federated_once(config);
+    let b = run_federated_once(config);
+    let members = a
+        .swarms
+        .iter()
+        .map(|s| FederatedMember {
+            fault: FaultKind::ALL[s.id % FaultKind::ALL.len()]
+                .name()
+                .to_string(),
+            status: s.clone(),
+        })
+        .collect();
+    FederatedChaosSummary {
+        devices: a.devices,
+        windows: a.windows,
+        threads: a.threads,
+        routed: a.routed,
+        ingress: a.federated_ingress(),
+        members,
+        replay_identical: a.federated_json == b.federated_json && a.swarms == b.swarms,
+    }
 }
 
 #[cfg(test)]
@@ -401,6 +612,44 @@ mod tests {
         let json = p.to_json();
         assert!(json.contains("\"fault\":\"crash_mid_stream\""));
         assert!(json.contains("\"passed\":true"));
+    }
+
+    #[test]
+    fn federated_chaos_conserves_replays_and_reports_member_status() {
+        let cfg = FederatedChaosConfig {
+            swarms: 12, // two full passes over the archetype grid
+            workers_per_swarm: 4,
+            frames: 90,
+            seed: 5,
+            threads: 2,
+        };
+        let fed = run_federated_chaos(&cfg);
+        assert!(fed.passed(), "federated chaos failed: {fed:?}");
+        assert_eq!(fed.devices, 48);
+        // Crash archetypes moved their member's epoch; rosters reflect
+        // the churn (a lone crash leaves 3, cascading leaves 2, the
+        // join/leave storm restores 4).
+        for m in &fed.members {
+            match m.fault.as_str() {
+                "crash_mid_stream" => assert_eq!(m.status.alive_workers, 3),
+                "cascading_crashes" => {
+                    assert_eq!(m.status.alive_workers, 2);
+                    assert!(m.status.epoch > 1);
+                }
+                "join_leave_storm" => assert_eq!(m.status.alive_workers, 4),
+                _ => {}
+            }
+        }
+        // The section lands in the campaign summary JSON with the
+        // MasterStatus-style per-member fields.
+        let summary = CampaignSummary {
+            points: Vec::new(),
+            federation: Some(fed),
+        };
+        let json = summary.to_json();
+        assert!(json.contains("\"federation\":{\"swarms\":12"));
+        assert!(json.contains("\"epoch\":"));
+        assert!(json.contains("\"alive_workers\":"));
     }
 
     #[test]

@@ -10,7 +10,6 @@
 //!   runtime: a fault grid (crashes, master outage, partitions, churn
 //!   storms) × seeds, each point checking conservation, bounded
 //!   recovery, and byte-identical replay.
-//! * [`engine`] — minimal event-queue core with stable ordering.
 //! * [`swarm`] — the simulator: source dispatcher with per-destination
 //!   windows, shared sender radio, worker queues/CPUs, ACK-driven
 //!   estimation, churn and mobility.
@@ -20,16 +19,25 @@
 //! * [`pipeline`] — multi-stage dataflow simulation with a distributed
 //!   router at every upstream instance (the paper's full programming
 //!   model).
+//! * [`shard`] — conservative windowed parallel engine: each shard is
+//!   one swarm with its own event queue, advanced by a scoped-thread
+//!   pool with gateway-latency lookahead so the schedule is
+//!   byte-identical at any thread count.
+//! * [`federation`] — swarm-of-swarms built on [`shard`]: K swarms from
+//!   one config, gateway links scored by the paper's `L_i` estimator,
+//!   telemetry rolled up through exactly-mergeable snapshots.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod campaign;
-pub mod engine;
 pub mod experiments;
+pub mod federation;
 pub mod metrics;
 pub mod pipeline;
+pub mod shard;
 pub mod swarm;
 
+pub use federation::{Federation, FederationConfig, FederationReport, SwarmStatus};
 pub use metrics::{FrameRecord, SwarmReport, TimelinePoint, WorkerStats};
 pub use swarm::{Swarm, SwarmConfig, WorkerSpec};

@@ -18,9 +18,9 @@
 //! pipeline across devices or fuse stages onto one — have the latency
 //! consequences the paper's design discussion implies.
 
-use crate::engine::EventQueue;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use swing_core::config::RouterConfig;
+use swing_core::event::EventQueue;
 use swing_core::graph::{AppGraph, Deployment, Role, StageId};
 use swing_core::rate::Pacer;
 use swing_core::rng::DetRng;

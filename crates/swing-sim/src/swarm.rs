@@ -37,13 +37,13 @@
 //! the gates between sends, so the shared state machine observes the
 //! same flow control a TCP socket buffer would impose.
 
-use crate::engine::EventQueue;
 use crate::metrics::{FrameRecord, SwarmReport, TimelinePoint, WorkerStats};
 use crossbeam::channel::{unbounded, Receiver};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use swing_core::clock::VirtualClock;
 use swing_core::config::{ReorderConfig, RetryConfig, RouterConfig};
+use swing_core::event::EventQueue;
 use swing_core::rate::Pacer;
 use swing_core::reorder::ReorderBuffer;
 use swing_core::rng::DetRng;

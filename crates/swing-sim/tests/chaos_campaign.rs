@@ -5,7 +5,9 @@
 //! upload it as an artifact.
 
 use std::path::PathBuf;
-use swing_sim::campaign::{run_campaign, CampaignConfig, FaultKind};
+use swing_sim::campaign::{
+    run_campaign, run_federated_chaos, CampaignConfig, FaultKind, FederatedChaosConfig,
+};
 
 fn summary_path() -> PathBuf {
     match std::env::var_os("SWING_CAMPAIGN_OUT") {
@@ -31,7 +33,37 @@ fn chaos_campaign_grid_holds_all_invariants() {
         12,
         "the default campaign must cover at least 12 grid points"
     );
-    let summary = run_campaign(&config);
+    let mut summary = run_campaign(&config);
+
+    // The federated re-run: all six archetypes spread round-robin over
+    // a 100-swarm federation (400 devices) on the sharded parallel
+    // engine, twice, proving conservation and byte-identical replay at
+    // swarm-of-swarms scale. Its per-member status rows (epoch, alive
+    // workers, counters) land in the summary's `federation` section.
+    let fed = run_federated_chaos(&FederatedChaosConfig::default());
+    assert_eq!(fed.members.len(), 100);
+    assert!(
+        fed.replay_identical,
+        "federated chaos replay diverged at 100-swarm scale"
+    );
+    let unconserved: Vec<String> = fed
+        .members
+        .iter()
+        .filter(|m| !m.status.conserved)
+        .map(|m| format!("member {} ({}): {:?}", m.status.id, m.fault, m.status))
+        .collect();
+    assert!(
+        unconserved.is_empty(),
+        "{} of 100 members violated conservation:\n{}",
+        unconserved.len(),
+        unconserved.join("\n")
+    );
+    // Gateway traffic actually crossed swarm boundaries during chaos.
+    assert!(
+        fed.routed > 0 && fed.ingress > 0,
+        "federation never exchanged"
+    );
+    summary.federation = Some(fed);
 
     let path = summary_path();
     summary.write(&path).expect("write campaign summary");

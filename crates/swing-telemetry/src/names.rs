@@ -115,6 +115,15 @@ pub const FAILOVER_REPLACED_UNITS: &str = "swing_failover_replaced_units_total";
 /// worker's death to its units running again on survivors).
 pub const FAILOVER_RECOVERY_US: &str = "swing_failover_recovery_us";
 
+// --- federation tier (labels: swarm / link = "<from>-><to>") ---
+
+/// Gateway tuples a swarm's gateway emitted toward peer swarms.
+pub const GATEWAY_EGRESS: &str = "swing_gateway_egress_total";
+/// Gateway tuples a swarm's gateway received from peer swarms.
+pub const GATEWAY_INGRESS: &str = "swing_gateway_ingress_total";
+/// One-way inter-swarm gateway hop latency histogram, microseconds.
+pub const GATEWAY_HOP_US: &str = "swing_gateway_hop_us";
+
 // --- transport (labels: link) ---
 
 /// Frames written to a link.

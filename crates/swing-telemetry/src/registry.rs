@@ -214,6 +214,43 @@ impl Snapshot {
             .map(|(_, h)| h)
     }
 
+    /// Merge another snapshot into this one — the cross-shard telemetry
+    /// rollup of the federated simulator: each shard owns an isolated
+    /// registry, and the federation sums them into one federated view.
+    ///
+    /// Semantics per metric kind, for keys present in both snapshots:
+    /// counters add (wrapping, like the recording path's `fetch_add`),
+    /// histograms merge exactly (the log-linear buckets are mergeable
+    /// by construction, so quantiles of the merge equal quantiles of
+    /// single-pass recording), and gauges *sum* — the federated reading
+    /// of a level (queue depth, credits, alive workers) is the total
+    /// across shards. Gauges that are identities rather than levels
+    /// (e.g. the per-swarm deployment epoch) are only meaningful
+    /// per-shard; read those from the per-shard snapshots instead.
+    /// Keys unique to `other` are inserted. Sorted key order — and with
+    /// it byte-identical JSON export — is preserved, so merging the
+    /// same shard snapshots in the same order always yields the same
+    /// document regardless of how many threads produced them.
+    pub fn merge_from(&mut self, other: &Snapshot) {
+        fn merge_sorted<V: Clone>(
+            into: &mut Vec<(MetricKey, V)>,
+            from: &[(MetricKey, V)],
+            combine: impl Fn(&mut V, &V),
+        ) {
+            for (k, v) in from {
+                match into.binary_search_by(|(ik, _)| ik.cmp(k)) {
+                    Ok(i) => combine(&mut into[i].1, v),
+                    Err(i) => into.insert(i, (k.clone(), v.clone())),
+                }
+            }
+        }
+        merge_sorted(&mut self.counters, &other.counters, |a, b| {
+            *a = a.wrapping_add(*b);
+        });
+        merge_sorted(&mut self.gauges, &other.gauges, |a, b| *a += *b);
+        merge_sorted(&mut self.histograms, &other.histograms, |a, b| a.merge(b));
+    }
+
     /// Merge of all histograms with this name across label sets.
     #[must_use]
     pub fn histogram_total(&self, name: &str) -> HistogramSnapshot {
@@ -276,6 +313,51 @@ mod tests {
         r.counter("sent", &[("unit", "2")]).add(5);
         r.counter("other", &[]).add(100);
         assert_eq!(r.snapshot().counter_total("sent"), 7);
+    }
+
+    #[test]
+    fn merge_from_sums_counters_and_gauges_and_merges_histograms() {
+        let a = Registry::new();
+        a.counter("sent", &[("swarm", "0")]).add(3);
+        a.gauge("depth", &[]).set(2.0);
+        a.histogram("lat", &[]).record(10);
+        let b = Registry::new();
+        b.counter("sent", &[("swarm", "0")]).add(4);
+        b.counter("sent", &[("swarm", "1")]).add(5);
+        b.gauge("depth", &[]).set(1.5);
+        b.histogram("lat", &[]).record(30);
+
+        let mut merged = a.snapshot();
+        merged.merge_from(&b.snapshot());
+        assert_eq!(merged.counter("sent", &[("swarm", "0")]), 7);
+        assert_eq!(merged.counter("sent", &[("swarm", "1")]), 5);
+        assert_eq!(merged.counter_total("sent"), 12);
+        assert_eq!(merged.gauge("depth", &[]), Some(3.5));
+        let h = merged.histogram("lat", &[]).unwrap();
+        assert_eq!((h.count, h.sum), (2, 40));
+        // Keys stay sorted, so the merged export is deterministic.
+        let mut sorted = merged.counters.clone();
+        sorted.sort_by(|(x, _), (y, _)| x.cmp(y));
+        assert_eq!(merged.counters, sorted);
+    }
+
+    #[test]
+    fn merge_order_is_associative_over_shards() {
+        let make = |n: u64| {
+            let r = Registry::new();
+            r.counter("c", &[]).add(n);
+            r.histogram("h", &[]).record(n);
+            r.snapshot()
+        };
+        let (s1, s2, s3) = (make(1), make(2), make(3));
+        let mut left = s1.clone();
+        left.merge_from(&s2);
+        left.merge_from(&s3);
+        let mut right = s2.clone();
+        right.merge_from(&s3);
+        let mut outer = s1;
+        outer.merge_from(&right);
+        assert_eq!(left, outer);
     }
 
     #[test]

@@ -14,11 +14,16 @@
 //!   `VirtualClock` through the seeded `SimFabric`, sampled once per
 //!   *virtual* second. The whole run is deterministic in the seed and
 //!   finishes in milliseconds regardless of the simulated span.
+//! * `fed` — a whole federation (K swarms on the sharded parallel
+//!   engine), rendered as a per-swarm rollup table plus the federated
+//!   totals read from the exactly-merged snapshot.
 //!
 //! ```sh
 //! cargo run --release --example telemetry_dashboard -- [live|sim] [policy] [workers] [seconds] [seed]
 //! cargo run --release --example telemetry_dashboard -- live lrs 4 8
 //! cargo run --release --example telemetry_dashboard -- sim lrs 4 30 7
+//! cargo run --release --example telemetry_dashboard -- fed [swarms] [workers] [seconds] [seed]
+//! cargo run --release --example telemetry_dashboard -- fed 20 10 10 1
 //! ```
 
 use std::collections::BTreeMap;
@@ -26,6 +31,7 @@ use std::time::Duration;
 use swing::apps::face::{self, FaceAppConfig};
 use swing::prelude::*;
 use swing::telemetry::{names, Snapshot};
+use swing_sim::federation::{Federation, FederationConfig};
 
 fn registry() -> UnitRegistry {
     let mut r = UnitRegistry::new();
@@ -205,14 +211,116 @@ fn run_sim(policy: Policy, workers: usize, seconds: u64, seed: u64) {
     swarm.finish();
 }
 
+/// The federation rollup view: one row per member swarm (control-plane
+/// epoch, crew size, the shed-accounting identity, gateway traffic and
+/// tail latency), then federated totals computed from the merged
+/// snapshot — the same exactly-mergeable rollup the scale-smoke CI job
+/// diffs byte-for-byte across thread counts.
+fn run_fed(swarms: usize, workers: usize, seconds: u64, seed: u64) {
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    println!(
+        "telemetry dashboard (federation rollup): {swarms} swarms x {workers} workers = {} \
+         devices, {seconds} virtual seconds @ seed {seed}, {threads} threads",
+        swarms * workers
+    );
+    let config = FederationConfig {
+        swarms,
+        workers_per_swarm: workers,
+        frames_per_source: seconds.saturating_mul(30),
+        seed,
+        threads,
+        horizon_us: (seconds + 5) * SECOND_US,
+        ..FederationConfig::default()
+    };
+    let fed = Federation::build(config).expect("federation builds");
+    let wall = std::time::Instant::now();
+    let report = fed.run();
+
+    println!(
+        "\n{:<6} {:>5} {:>5} {:>7} {:>7} {:>6} {:>8} {:>8} {:>7} {:>7} {:>9} {:>5}",
+        "swarm",
+        "epoch",
+        "crew",
+        "sensed",
+        "played",
+        "stale",
+        "shed_src",
+        "shed_q",
+        "egress",
+        "ingress",
+        "p99_ms",
+        "ok"
+    );
+    for s in &report.swarms {
+        println!(
+            "{:<6} {:>5} {:>5} {:>7} {:>7} {:>6} {:>8} {:>8} {:>7} {:>7} {:>9.1} {:>5}",
+            s.id,
+            s.epoch,
+            s.alive_workers,
+            s.sensed,
+            s.played,
+            s.stale,
+            s.shed_source,
+            s.shed_queue,
+            s.gateway_egress,
+            s.gateway_ingress,
+            s.p99_e2e_us as f64 / 1_000.0,
+            if s.conserved { "yes" } else { "NO" }
+        );
+    }
+
+    // Federated totals come from the merged snapshot, not by re-summing
+    // the rows — proving the rollup view and the per-member views agree.
+    let fed_sensed = report.federated_counter("swing_source_sensed_total");
+    let row_sensed: u64 = report.swarms.iter().map(|s| s.sensed).sum();
+    assert_eq!(
+        fed_sensed, row_sensed,
+        "merged rollup disagrees with member rows"
+    );
+    let e2e = report.federated.histogram_total(names::SINK_E2E_LATENCY_US);
+    println!(
+        "\nfederated: {} shards, {} sync windows on {} threads | sensed {fed_sensed} \
+         played {} | gateway routed {} acked {} ingress {} | e2e p50 {:.1} ms p99 {:.1} ms | \
+         all conserved: {}",
+        report.swarms.len(),
+        report.windows,
+        report.threads,
+        report.federated_counter("swing_sink_played_total"),
+        report.routed,
+        report.acked,
+        report.federated_ingress(),
+        e2e.p50() as f64 / 1_000.0,
+        e2e.p99() as f64 / 1_000.0,
+        report.all_conserved(),
+    );
+    println!(
+        "replayed {seconds} virtual seconds across {} devices in {:?} wall time \
+         (rollup byte-identical at any thread count)",
+        report.devices,
+        wall.elapsed()
+    );
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     // Mode is optional and defaults to live, so the original
     // `-- lrs 3 4` invocation keeps working.
     let mode = match args.peek().map(String::as_str) {
-        Some("live") | Some("sim") => args.next().unwrap(),
+        Some("live") | Some("sim") | Some("fed") => args.next().unwrap(),
         _ => "live".into(),
     };
+    if mode == "fed" {
+        // fed takes swarm-shape args, not a routing policy: the member
+        // swarms all run the campaign configuration.
+        let mut num = |default: u64| {
+            args.next()
+                .map(|s| s.parse().expect("fed args are numeric"))
+                .unwrap_or(default)
+        };
+        let (swarms, workers, seconds, seed) = (num(20), num(10), num(10), num(1));
+        run_fed(swarms as usize, workers as usize, seconds, seed);
+        return;
+    }
     let policy: Policy = args
         .next()
         .unwrap_or_else(|| "lrs".into())

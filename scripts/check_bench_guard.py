@@ -3,6 +3,7 @@
 
 Usage: check_bench_guard.py BENCH_pr3_telemetry.json BENCH_pr2.json \\
            [BENCH_pr5_flow.json]
+       check_bench_guard.py --pr7 BENCH_pr7_scale.json
 
 Cross-checks the freshly measured overhead reports against the
 checked-in PR2 data-plane baseline:
@@ -17,6 +18,13 @@ checked-in PR2 data-plane baseline:
    checked-in reference — a wildly different number means the bench is
    no longer measuring the PR2 workload and the percentage above is
    meaningless.
+
+`--pr7` guards the sharded-engine scaling curve instead: every point
+must conserve tuples, every point must clear an absolute tuples/sec
+floor (holds even on a one-core container), and — only when the
+measuring host has >= 4 cores, because extra threads cannot speed up a
+single core — the best multi-thread point must reach min(4, cores/2)x
+the single-thread wall clock.
 """
 
 import json
@@ -58,7 +66,54 @@ def check_report(report, bench_name, what, ref):
     print(f"OK: {what} dispatch cost within budget of the PR2 baseline")
 
 
+# Absolute throughput floor for every scaling point. The reference
+# one-core container sustains ~9.5k tuples/sec at the 10 000-device
+# point, so 2 000 leaves headroom for slow CI hosts without letting a
+# real regression (an accidentally quadratic scan, say) slip through.
+PR7_TUPLES_PER_SEC_FLOOR = 2_000.0
+
+
+def check_pr7(report):
+    cores = int(report["host_cores"])
+    rows = list(report["scale"]) + list(report["threads"])
+    print(f"pr7 scaling curve: {len(rows)} points measured on a {cores}-core host")
+
+    for row in rows:
+        where = f"{row['devices']} devices @ {row['threads']} threads"
+        if not row["conserved"]:
+            sys.exit(f"FAIL: {where} violated tuple conservation")
+        tps = float(row["tuples_per_sec"])
+        print(f"  {where:<28} {row['wall_ms']:>7} ms  {tps:>9.0f} tuples/s")
+        if tps < PR7_TUPLES_PER_SEC_FLOOR:
+            sys.exit(
+                f"FAIL: {where} ran at {tps:.0f} tuples/sec, below the "
+                f"{PR7_TUPLES_PER_SEC_FLOOR:.0f} floor"
+            )
+
+    if cores < 4:
+        print(
+            f"OK: throughput floor holds; speedup gate skipped "
+            f"({cores}-core host cannot demonstrate parallel speedup)"
+        )
+        return
+    # Only thread counts the host can actually run in parallel count
+    # toward the gate.
+    eligible = [r for r in report["threads"] if r["threads"] <= cores]
+    best = max(float(r["speedup_vs_1t"]) for r in eligible)
+    required = min(4.0, cores / 2.0)
+    if best < required:
+        sys.exit(
+            f"FAIL: best speedup {best:.2f}x on a {cores}-core host, "
+            f"below the required {required:.1f}x"
+        )
+    print(f"OK: throughput floor holds and best speedup {best:.2f}x >= {required:.1f}x")
+
+
 def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--pr7":
+        with open(sys.argv[2], encoding="utf-8") as f:
+            check_pr7(json.load(f))
+        return
     if len(sys.argv) not in (3, 4):
         sys.exit(__doc__)
     with open(sys.argv[1], encoding="utf-8") as f:
