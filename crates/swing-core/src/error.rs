@@ -66,6 +66,11 @@ pub enum Error {
     DiscoveryTimeout,
     /// The connection was closed by the peer.
     Closed,
+    /// A non-blocking operation found no work ready (accept with no
+    /// pending connection, read with no buffered bytes). Distinct from
+    /// [`Io`](Error::Io) so poll loops can retry instead of treating the
+    /// condition as a fatal transport failure.
+    WouldBlock,
 }
 
 impl Error {
@@ -118,6 +123,7 @@ impl PartialEq for Error {
             (FrameTooLarge(a), FrameTooLarge(b)) => a == b,
             (DiscoveryTimeout, DiscoveryTimeout) => true,
             (Closed, Closed) => true,
+            (WouldBlock, WouldBlock) => true,
             _ => false,
         }
     }
@@ -156,6 +162,7 @@ impl fmt::Display for Error {
             Error::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
             Error::DiscoveryTimeout => write!(f, "no master discovered before timeout"),
             Error::Closed => write!(f, "connection closed by peer"),
+            Error::WouldBlock => write!(f, "operation would block; no work ready"),
         }
     }
 }

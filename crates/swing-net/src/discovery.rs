@@ -44,10 +44,19 @@ pub struct MasterResponder {
 }
 
 impl MasterResponder {
-    /// Start answering queries on `port`, advertising `info`.
+    /// Start answering queries on `port`, advertising `info`, polling
+    /// for shutdown at the default [`NetTimeouts::read`] interval.
+    ///
+    /// [`NetTimeouts::read`]: crate::timeouts::NetTimeouts::read
     pub fn start(port: u16, info: MasterInfo) -> Result<Self> {
+        MasterResponder::start_with(port, info, crate::timeouts::NetTimeouts::default().read)
+    }
+
+    /// Start answering queries, checking the stop flag every `poll`
+    /// (the knob that used to be a hard-coded 100 ms constant).
+    pub fn start_with(port: u16, info: MasterInfo, poll: Duration) -> Result<Self> {
         let socket = UdpSocket::bind(("127.0.0.1", port))?;
-        socket.set_read_timeout(Some(Duration::from_millis(100)))?;
+        socket.set_read_timeout(Some(poll))?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let reply = {
@@ -104,10 +113,19 @@ impl Drop for MasterResponder {
     }
 }
 
-/// Probe for a master on `port`, retrying until `timeout` elapses.
+/// Probe for a master on `port`, retrying until `timeout` elapses,
+/// re-sending the query at the default [`NetTimeouts::read`] interval.
+///
+/// [`NetTimeouts::read`]: crate::timeouts::NetTimeouts::read
 pub fn query_master(port: u16, timeout: Duration) -> Result<MasterInfo> {
+    query_master_with(port, timeout, crate::timeouts::NetTimeouts::default().read)
+}
+
+/// Probe for a master, re-sending the query every `poll` (the knob
+/// that used to be a hard-coded 100 ms constant).
+pub fn query_master_with(port: u16, timeout: Duration, poll: Duration) -> Result<MasterInfo> {
     let socket = UdpSocket::bind(("127.0.0.1", 0))?;
-    socket.set_read_timeout(Some(Duration::from_millis(100)))?;
+    socket.set_read_timeout(Some(poll))?;
     let deadline = Instant::now() + timeout;
     let mut buf = [0u8; 512];
     loop {

@@ -17,9 +17,12 @@ pub mod frame;
 pub mod link;
 pub mod metrics;
 pub mod tcp;
+pub mod timeouts;
 pub mod wire;
 
 #[allow(deprecated)]
 pub use error::{NetError, NetResult};
+pub use frame::FrameAssembler;
 pub use metrics::LinkMetrics;
-pub use wire::{Message, WireSegment, SHARED_SEGMENT_MIN};
+pub use timeouts::NetTimeouts;
+pub use wire::{Message, ServiceEntry, WireSegment, SHARED_SEGMENT_MIN};

@@ -6,16 +6,16 @@
 //! and receives framed [`Message`]s over a `TcpStream`; a
 //! [`MessageListener`] accepts incoming connections.
 
-use crate::frame::{read_frame, write_frame_parts};
+use crate::frame::{write_frame_parts, FrameAssembler};
 use crate::metrics::LinkMetrics;
 use crate::wire::{Message, WireSegment};
 use bytes::BytesMut;
 use std::fmt;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufRead, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::time::Duration;
-use swing_core::Result;
 use swing_core::SharedBytes;
+use swing_core::{Error, Result};
 
 /// A bidirectional framed message channel over TCP.
 ///
@@ -26,6 +26,10 @@ pub struct MessageStream {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     peer: SocketAddr,
+    /// Frame reassembly state machine shared with the reactor's
+    /// non-blocking connections — `MessageStream` is the blocking
+    /// compat shim over the same torn-read logic.
+    assembler: FrameAssembler,
     /// Reused encode buffer: after a few sends it reaches the
     /// connection's steady-state message size and stops allocating.
     scratch: BytesMut,
@@ -54,6 +58,7 @@ impl MessageStream {
             reader,
             writer,
             peer,
+            assembler: FrameAssembler::new(),
             scratch: BytesMut::new(),
             segments: Vec::new(),
             metrics: None,
@@ -108,14 +113,14 @@ impl MessageStream {
     }
 
     /// Receive the next message, blocking. Returns
-    /// [`Error::Closed`](swing_core::Error::Closed) on clean
+    /// [`Error::Closed`] on clean
     /// shutdown.
     ///
     /// The frame is read into one shared buffer which the decoded
     /// message's byte payloads borrow — a received video frame is never
     /// copied after it leaves the socket.
     pub fn recv(&mut self) -> Result<Message> {
-        let payload = SharedBytes::from_vec(read_frame(&mut self.reader)?);
+        let payload = self.recv_frame()?;
         let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
         let msg = Message::decode_shared(&payload)?;
         if let (Some(m), Some(t0)) = (&self.metrics, t0) {
@@ -124,6 +129,31 @@ impl MessageStream {
             m.bytes_received.add(payload.len() as u64);
         }
         Ok(msg)
+    }
+
+    /// Pull buffered bytes through the shared [`FrameAssembler`] until
+    /// one complete frame is out. Clean EOF at a frame boundary maps to
+    /// [`Error::Closed`]; EOF mid-frame is a truncation IO error.
+    fn recv_frame(&mut self) -> Result<SharedBytes> {
+        loop {
+            if let Some(frame) = self.assembler.next_frame()? {
+                return Ok(frame);
+            }
+            let chunk = self.reader.fill_buf()?;
+            if chunk.is_empty() {
+                return Err(if self.assembler.is_at_boundary() {
+                    Error::Closed
+                } else {
+                    Error::io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                });
+            }
+            let n = chunk.len();
+            self.assembler.feed(chunk);
+            self.reader.consume(n);
+        }
     }
 
     /// Set a read timeout (None blocks forever). A timed-out `recv`
@@ -171,14 +201,23 @@ impl MessageListener {
         Ok(self.listener.local_addr()?)
     }
 
-    /// Accept the next connection, blocking.
+    /// Accept the next connection (blocking by default).
+    ///
+    /// In non-blocking mode ([`set_nonblocking`](Self::set_nonblocking)),
+    /// "no connection pending" surfaces as [`Error::WouldBlock`] —
+    /// distinct from fatal accept failures, which stay
+    /// [`Error::Io`] — so poll loops can retry
+    /// without pattern-matching IO error kinds.
     pub fn accept(&self) -> Result<MessageStream> {
-        let (stream, _) = self.listener.accept()?;
-        MessageStream::new(stream)
+        match self.listener.accept() {
+            Ok((stream, _)) => MessageStream::new(stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Err(Error::WouldBlock),
+            Err(e) => Err(e.into()),
+        }
     }
 
     /// Put the listener into non-blocking mode (`accept` then returns
-    /// `WouldBlock` IO errors instead of blocking).
+    /// [`Error::WouldBlock`] instead of blocking).
     pub fn set_nonblocking(&self, nonblocking: bool) -> Result<()> {
         self.listener.set_nonblocking(nonblocking)?;
         Ok(())
@@ -316,6 +355,27 @@ mod tests {
                 .unwrap();
         }
         server.join().unwrap();
+    }
+
+    #[test]
+    fn nonblocking_accept_reports_would_block_not_io() {
+        let listener = MessageListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        // No pending connection: retryable, not fatal.
+        assert!(matches!(listener.accept(), Err(Error::WouldBlock)));
+        // A real connection still comes through.
+        let addr = listener.local_addr().unwrap();
+        let _client = MessageStream::connect(addr).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            match listener.accept() {
+                Ok(_) => break,
+                Err(Error::WouldBlock) if std::time::Instant::now() < deadline => {
+                    thread::sleep(Duration::from_millis(1));
+                }
+                other => panic!("unexpected accept result {other:?}"),
+            }
+        }
     }
 
     #[test]

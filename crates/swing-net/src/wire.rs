@@ -68,6 +68,29 @@ impl WireSegment {
     }
 }
 
+/// One entry in the service registry: the pattern coordinates a
+/// service registered under (application, role, stage) plus the
+/// address where it accepts connections. Carried by
+/// [`Message::ServicesFound`] lookup replies.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ServiceEntry {
+    /// Application name the service belongs to.
+    pub app: String,
+    /// Role within the application (`"master"`, `"worker"`, ...).
+    pub role: String,
+    /// Optional stage qualifier (empty when the service is not tied to
+    /// a dataflow stage).
+    pub stage: String,
+    /// Dialable address of the service.
+    pub addr: String,
+}
+
+impl ServiceEntry {
+    fn encoded_len(&self) -> usize {
+        2 + self.app.len() + 2 + self.role.len() + 2 + self.stage.len() + 2 + self.addr.len()
+    }
+}
+
 /// Every message exchanged between Swing threads.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -200,6 +223,95 @@ pub enum Message {
         /// Latest deployment epoch the worker has observed.
         epoch: u64,
     },
+    /// Service → registry: register (or refresh) a service under the
+    /// pattern coordinates (app, role, stage) with a TTL. The registry
+    /// answers with [`RegistryAck`]; registrations not renewed by
+    /// [`ServiceHeartbeat`] before the TTL elapses are expired and
+    /// tombstoned (SwarMS-style pattern registration, CROWDio-style
+    /// lease liveness).
+    ///
+    /// [`RegistryAck`]: Message::RegistryAck
+    /// [`ServiceHeartbeat`]: Message::ServiceHeartbeat
+    RegisterService {
+        /// Application name.
+        app: String,
+        /// Role within the application.
+        role: String,
+        /// Optional stage qualifier (may be empty).
+        stage: String,
+        /// Dialable address of the service.
+        addr: String,
+        /// Lease duration in milliseconds; the registration expires
+        /// this long after the last register/heartbeat.
+        ttl_ms: u64,
+    },
+    /// Service → registry: renew the lease of an existing registration.
+    /// The registry answers with [`RegistryAck`]; `registered: false`
+    /// means the lease already expired and the service must
+    /// re-register.
+    ///
+    /// [`RegistryAck`]: Message::RegistryAck
+    ServiceHeartbeat {
+        /// Application name.
+        app: String,
+        /// Role within the application.
+        role: String,
+        /// Stage qualifier used at registration.
+        stage: String,
+        /// Address used at registration.
+        addr: String,
+    },
+    /// Client → registry: find live services matching a pattern. Empty
+    /// strings are wildcards, so `("app", "worker", "")` matches every
+    /// worker of `app`. Answered with [`ServicesFound`].
+    ///
+    /// [`ServicesFound`]: Message::ServicesFound
+    LookupServices {
+        /// Application pattern (empty = any).
+        app: String,
+        /// Role pattern (empty = any).
+        role: String,
+        /// Stage pattern (empty = any).
+        stage: String,
+    },
+    /// Registry → client: the live services matching a lookup.
+    ServicesFound {
+        /// Matching registrations, in registry iteration order.
+        services: Vec<ServiceEntry>,
+    },
+    /// Registry → service: acknowledgement of a register or heartbeat.
+    RegistryAck {
+        /// `true` when the lease is live; `false` when a heartbeat
+        /// arrived after expiry and the service must re-register.
+        registered: bool,
+    },
+    /// Client → registry: subscribe to expiry tombstones for services
+    /// matching a pattern (empty strings are wildcards). The registry
+    /// pushes a [`ServiceExpired`] on the same connection whenever a
+    /// matching lease lapses.
+    ///
+    /// [`ServiceExpired`]: Message::ServiceExpired
+    WatchServices {
+        /// Application pattern (empty = any).
+        app: String,
+        /// Role pattern (empty = any).
+        role: String,
+        /// Stage pattern (empty = any).
+        stage: String,
+    },
+    /// Registry → watcher: a registration's TTL lapsed without renewal.
+    /// This tombstone is what drives eviction: the master treats an
+    /// expired worker exactly like a heartbeat-pruned one.
+    ServiceExpired {
+        /// Application of the expired registration.
+        app: String,
+        /// Role of the expired registration.
+        role: String,
+        /// Stage of the expired registration.
+        stage: String,
+        /// Address of the expired registration.
+        addr: String,
+    },
 }
 
 impl Message {
@@ -233,6 +345,36 @@ impl Message {
                     units,
                     ..
                 } => 4 + 2 + name.len() + 2 + listen_addr.len() + 2 + units.len() * 8 + 8,
+                Message::RegisterService {
+                    app,
+                    role,
+                    stage,
+                    addr,
+                    ..
+                } => 2 + app.len() + 2 + role.len() + 2 + stage.len() + 2 + addr.len() + 8,
+                Message::ServiceHeartbeat {
+                    app,
+                    role,
+                    stage,
+                    addr,
+                }
+                | Message::ServiceExpired {
+                    app,
+                    role,
+                    stage,
+                    addr,
+                } => 2 + app.len() + 2 + role.len() + 2 + stage.len() + 2 + addr.len(),
+                Message::LookupServices { app, role, stage }
+                | Message::WatchServices { app, role, stage } => {
+                    2 + app.len() + 2 + role.len() + 2 + stage.len()
+                }
+                Message::ServicesFound { services } => {
+                    2 + services
+                        .iter()
+                        .map(ServiceEntry::encoded_len)
+                        .sum::<usize>()
+                }
+                Message::RegistryAck { .. } => 1,
             }
     }
 
@@ -364,6 +506,70 @@ impl Message {
                     b.put_u32(stage.0);
                 }
                 b.put_u64(*epoch);
+            }
+            Message::RegisterService {
+                app,
+                role,
+                stage,
+                addr,
+                ttl_ms,
+            } => {
+                b.put_u8(16);
+                put_str(b, app);
+                put_str(b, role);
+                put_str(b, stage);
+                put_str(b, addr);
+                b.put_u64(*ttl_ms);
+            }
+            Message::ServiceHeartbeat {
+                app,
+                role,
+                stage,
+                addr,
+            } => {
+                b.put_u8(17);
+                put_str(b, app);
+                put_str(b, role);
+                put_str(b, stage);
+                put_str(b, addr);
+            }
+            Message::LookupServices { app, role, stage } => {
+                b.put_u8(18);
+                put_str(b, app);
+                put_str(b, role);
+                put_str(b, stage);
+            }
+            Message::ServicesFound { services } => {
+                b.put_u8(19);
+                b.put_u16(services.len() as u16);
+                for s in services {
+                    put_str(b, &s.app);
+                    put_str(b, &s.role);
+                    put_str(b, &s.stage);
+                    put_str(b, &s.addr);
+                }
+            }
+            Message::RegistryAck { registered } => {
+                b.put_u8(20);
+                b.put_u8(u8::from(*registered));
+            }
+            Message::WatchServices { app, role, stage } => {
+                b.put_u8(21);
+                put_str(b, app);
+                put_str(b, role);
+                put_str(b, stage);
+            }
+            Message::ServiceExpired {
+                app,
+                role,
+                stage,
+                addr,
+            } => {
+                b.put_u8(22);
+                put_str(b, app);
+                put_str(b, role);
+                put_str(b, stage);
+                put_str(b, addr);
             }
         }
     }
@@ -519,6 +725,51 @@ impl Message {
                     epoch: get_u64(&mut buf)?,
                 }
             }
+            16 => Message::RegisterService {
+                app: get_str(&mut buf)?,
+                role: get_str(&mut buf)?,
+                stage: get_str(&mut buf)?,
+                addr: get_str(&mut buf)?,
+                ttl_ms: get_u64(&mut buf)?,
+            },
+            17 => Message::ServiceHeartbeat {
+                app: get_str(&mut buf)?,
+                role: get_str(&mut buf)?,
+                stage: get_str(&mut buf)?,
+                addr: get_str(&mut buf)?,
+            },
+            18 => Message::LookupServices {
+                app: get_str(&mut buf)?,
+                role: get_str(&mut buf)?,
+                stage: get_str(&mut buf)?,
+            },
+            19 => {
+                let n = get_u16(&mut buf)? as usize;
+                let mut services = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    services.push(ServiceEntry {
+                        app: get_str(&mut buf)?,
+                        role: get_str(&mut buf)?,
+                        stage: get_str(&mut buf)?,
+                        addr: get_str(&mut buf)?,
+                    });
+                }
+                Message::ServicesFound { services }
+            }
+            20 => Message::RegistryAck {
+                registered: get_u8(&mut buf)? != 0,
+            },
+            21 => Message::WatchServices {
+                app: get_str(&mut buf)?,
+                role: get_str(&mut buf)?,
+                stage: get_str(&mut buf)?,
+            },
+            22 => Message::ServiceExpired {
+                app: get_str(&mut buf)?,
+                role: get_str(&mut buf)?,
+                stage: get_str(&mut buf)?,
+                addr: get_str(&mut buf)?,
+            },
             other => return Err(Error::Malformed(format!("unknown message tag {other}"))),
         };
         if !buf.is_empty() {
@@ -839,6 +1090,37 @@ mod tests {
             units: vec![(UnitId(0), StageId(0)), (UnitId(7), StageId(2))],
             epoch: 10,
         });
+        roundtrip(Message::RegisterService {
+            app: "face".into(),
+            role: "worker".into(),
+            stage: String::new(),
+            addr: "127.0.0.1:45100".into(),
+            ttl_ms: 900,
+        });
+        roundtrip(Message::ServiceHeartbeat {
+            app: "face".into(),
+            role: "worker".into(),
+            stage: String::new(),
+            addr: "127.0.0.1:45100".into(),
+        });
+        roundtrip(Message::LookupServices {
+            app: "face".into(),
+            role: String::new(),
+            stage: String::new(),
+        });
+        roundtrip(Message::ServicesFound { services: vec![] });
+        roundtrip(Message::RegistryAck { registered: false });
+        roundtrip(Message::WatchServices {
+            app: "face".into(),
+            role: "worker".into(),
+            stage: String::new(),
+        });
+        roundtrip(Message::ServiceExpired {
+            app: "face".into(),
+            role: "worker".into(),
+            stage: String::new(),
+            addr: "127.0.0.1:45100".into(),
+        });
     }
 
     #[test]
@@ -1000,6 +1282,52 @@ mod tests {
                 listen_addr: "127.0.0.1:45003".into(),
                 units: vec![(UnitId(1), StageId(0)), (UnitId(4), StageId(2))],
                 epoch: 5,
+            },
+            Message::RegisterService {
+                app: "face".into(),
+                role: "worker".into(),
+                stage: "detect".into(),
+                addr: "127.0.0.1:45100".into(),
+                ttl_ms: 1_500,
+            },
+            Message::ServiceHeartbeat {
+                app: "face".into(),
+                role: "worker".into(),
+                stage: String::new(),
+                addr: "127.0.0.1:45100".into(),
+            },
+            Message::LookupServices {
+                app: "face".into(),
+                role: "master".into(),
+                stage: String::new(),
+            },
+            Message::ServicesFound {
+                services: vec![
+                    ServiceEntry {
+                        app: "face".into(),
+                        role: "master".into(),
+                        stage: String::new(),
+                        addr: "127.0.0.1:45000".into(),
+                    },
+                    ServiceEntry {
+                        app: "face".into(),
+                        role: "worker".into(),
+                        stage: "detect".into(),
+                        addr: "127.0.0.1:45100".into(),
+                    },
+                ],
+            },
+            Message::RegistryAck { registered: true },
+            Message::WatchServices {
+                app: String::new(),
+                role: "worker".into(),
+                stage: String::new(),
+            },
+            Message::ServiceExpired {
+                app: "face".into(),
+                role: "worker".into(),
+                stage: "detect".into(),
+                addr: "127.0.0.1:45100".into(),
             },
         ]
     }

@@ -1,0 +1,156 @@
+//! Property tests of the framing layer's torn-read / short-write
+//! paths: however a valid frame stream is split at the byte level —
+//! kernel reads ending mid-prefix, mid-payload, or spanning several
+//! frames — the [`FrameAssembler`] reassembles the identical
+//! [`Message`] sequence, and a writer that accepts only a few bytes
+//! per call still produces the identical byte stream.
+
+use proptest::prelude::*;
+use swing_core::{SeqNo, Tuple, UnitId};
+use swing_net::frame::{write_frame, write_frame_parts};
+use swing_net::{FrameAssembler, Message};
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    let data = (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+        // Cross SHARED_SEGMENT_MIN sometimes so the gathered-write path
+        // emits both scratch and shared segments.
+        proptest::collection::vec(any::<u8>(), 0..2048),
+    )
+        .prop_map(|(dest, from, seq, bytes)| Message::Data {
+            dest: UnitId(dest),
+            from: UnitId(from),
+            tuple: Tuple::with_seq(SeqNo(seq)).with("payload", bytes),
+        });
+    let ack = (any::<u64>(), any::<u32>(), any::<u32>()).prop_map(|(seq, to, from)| Message::Ack {
+        seq: SeqNo(seq),
+        to: UnitId(to),
+        from: UnitId(from),
+        sent_at_us: 1,
+        processing_us: 2,
+    });
+    let registry =
+        ("[a-z]{0,8}", "[a-z]{0,8}", "[a-z0-9.:]{0,20}").prop_map(|(app, role, addr)| {
+            Message::RegisterService {
+                app,
+                role,
+                stage: String::new(),
+                addr,
+                ttl_ms: 1_000,
+            }
+        });
+    prop_oneof![data, ack, registry, Just(Message::Ping)]
+}
+
+/// The reference byte stream: every message framed back to back via the
+/// gathered-write fast path (the same encoding transports use).
+fn frame_stream(msgs: &[Message]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for msg in msgs {
+        let mut scratch = bytes::BytesMut::new();
+        let mut segs = Vec::new();
+        msg.encode_segments(&mut scratch, &mut segs);
+        let parts: Vec<&[u8]> = segs.iter().map(|s| s.bytes(&scratch)).collect();
+        write_frame_parts(&mut out, &parts).unwrap();
+    }
+    out
+}
+
+/// Split `stream` into chunks at positions derived from `cuts`
+/// (arbitrary fractions, deduplicated and sorted).
+fn split_points(stream_len: usize, cuts: &[f64]) -> Vec<usize> {
+    let mut points: Vec<usize> = cuts
+        .iter()
+        .map(|f| ((stream_len as f64) * f) as usize)
+        .filter(|&p| p > 0 && p < stream_len)
+        .collect();
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+/// A writer that accepts at most `max` bytes per `write` call — the
+/// short-write behaviour of a non-blocking socket with a nearly full
+/// send buffer.
+struct ShortWriter {
+    out: Vec<u8>,
+    max: usize,
+}
+
+impl std::io::Write for ShortWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = buf.len().min(self.max);
+        self.out.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+proptest! {
+    /// Any byte-level split of a valid frame stream reassembles to the
+    /// identical message sequence.
+    #[test]
+    fn any_split_reassembles_identically(
+        msgs in proptest::collection::vec(arb_message(), 1..8),
+        cuts in proptest::collection::vec(0.0f64..1.0, 0..32),
+    ) {
+        let stream = frame_stream(&msgs);
+        let points = split_points(stream.len(), &cuts);
+        let mut asm = FrameAssembler::new();
+        let mut decoded = Vec::new();
+        let mut start = 0;
+        for end in points.into_iter().chain(std::iter::once(stream.len())) {
+            asm.feed(&stream[start..end]);
+            start = end;
+            while let Some(frame) = asm.next_frame().unwrap() {
+                decoded.push(Message::decode_shared(&frame).unwrap());
+            }
+        }
+        prop_assert!(asm.is_at_boundary(), "stream must end on a frame boundary");
+        prop_assert_eq!(decoded, msgs);
+    }
+
+    /// Degenerate split: one byte at a time (every possible tear at
+    /// once).
+    #[test]
+    fn byte_at_a_time_reassembles_identically(
+        msgs in proptest::collection::vec(arb_message(), 1..4),
+    ) {
+        let stream = frame_stream(&msgs);
+        let mut asm = FrameAssembler::new();
+        let mut decoded = Vec::new();
+        for byte in &stream {
+            asm.feed(std::slice::from_ref(byte));
+            while let Some(frame) = asm.next_frame().unwrap() {
+                decoded.push(Message::decode_shared(&frame).unwrap());
+            }
+        }
+        prop_assert_eq!(decoded, msgs);
+    }
+
+    /// A writer that takes only a few bytes per call drains to exactly
+    /// the reference byte stream, for both framing entry points.
+    #[test]
+    fn short_writes_drain_to_identical_bytes(
+        msg in arb_message(),
+        max in 1usize..16,
+    ) {
+        let reference = frame_stream(std::slice::from_ref(&msg));
+        // Gathered write path.
+        let mut scratch = bytes::BytesMut::new();
+        let mut segs = Vec::new();
+        msg.encode_segments(&mut scratch, &mut segs);
+        let parts: Vec<&[u8]> = segs.iter().map(|s| s.bytes(&scratch)).collect();
+        let mut w = ShortWriter { out: Vec::new(), max };
+        write_frame_parts(&mut w, &parts).unwrap();
+        prop_assert_eq!(&w.out, &reference);
+        // Contiguous write path.
+        let mut w = ShortWriter { out: Vec::new(), max };
+        write_frame(&mut w, &msg.encode()).unwrap();
+        prop_assert_eq!(&w.out, &reference);
+    }
+}

@@ -1,0 +1,38 @@
+//! # swing-reactor
+//!
+//! First-party non-blocking networked runtime for Swing: a
+//! single-threaded readiness loop ([`Reactor`]) multiplexing hundreds
+//! of framed TCP connections, and a registry service
+//! ([`RegistryServer`]) replacing UDP probe discovery with TTL'd
+//! registrations, heartbeat renewal, pattern lookup, and
+//! tombstone-on-expiry watch events.
+//!
+//! Per the workspace dependency policy (DESIGN.md §7) this is built on
+//! `std::net` only — no tokio, no mio, no libc. Sockets are switched to
+//! non-blocking mode and the reactor *sweeps* them level-triggered
+//! style, parking on its command channel with adaptive backoff when
+//! idle; see [`reactor`] for the model and the epoll upgrade seam.
+//!
+//! Layering:
+//!
+//! - [`conn`]: one non-blocking connection — partial reads reassembled
+//!   through `swing-net`'s [`FrameAssembler`](swing_net::FrameAssembler),
+//!   short writes drained from the zero-copy `encode_segments` chunks.
+//! - [`reactor`]: the sweep loop, registration/dial/wakeup API, bounded
+//!   outboxes feeding transport backpressure into the PR 5 credit gate.
+//! - [`registry`]: lease table + server loop for service discovery.
+//! - [`client`]: synchronous registry client and the shared
+//!   [`Heartbeater`] renewal thread.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod conn;
+pub mod reactor;
+pub mod registry;
+
+pub use client::{await_service, Heartbeater, RegistryClient};
+pub use conn::{Drain, FramedConn, OutFrame};
+pub use reactor::{ConnEvent, ConnId, Delivery, Reactor, ReactorConfig, ReactorHandle};
+pub use registry::{Pattern, RegistryCore, RegistryServer};

@@ -1,0 +1,669 @@
+//! The readiness loop: one thread multiplexing every live socket.
+//!
+//! `std::net` exposes no readiness API and the dependency policy
+//! (DESIGN.md §7) rules out `libc`/`mio`/`tokio`, so the reactor is a
+//! *sweep* loop: every registered socket is `O_NONBLOCK`, and each
+//! iteration drains the command channel, accepts pending connections,
+//! then try-writes / try-reads every connection until `WouldBlock`.
+//! Between sweeps with no activity the loop parks on the command
+//! channel with an adaptive backoff (sub-millisecond when recently
+//! busy, capped low enough that dial/lookup latency stays bounded), so
+//! an idle reactor costs little and a busy one polls at full rate.
+//! This trades syscalls-per-sweep for zero dependencies — the seam to
+//! upgrade to `epoll` later is exactly this module.
+//!
+//! Connections come in two flavours:
+//!
+//! * **dialed** ([`ReactorHandle::dial`]) — the caller gets a *bounded*
+//!   `Sender<Message>`; the reactor moves messages from that outbox
+//!   into the connection's write queue only while the queue is short,
+//!   so a slow peer back-pressures producers through the channel bound
+//!   (which is what the PR 5 credit gate ultimately leans on).
+//! * **accepted** — inbound frames are decoded and delivered either to
+//!   a plain inbox (`Delivery::Inbox`, the fabric path) or as
+//!   [`ConnEvent`]s tagged with a [`ConnId`] (`Delivery::Service`, for
+//!   services like the registry that reply on the same connection via
+//!   [`ReactorHandle::send_to`]).
+
+use crate::conn::{Drain, FramedConn, OutFrame};
+use bytes::BytesMut;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use swing_core::{Error, Result};
+use swing_net::wire::WireSegment;
+use swing_net::{Message, NetTimeouts};
+use swing_telemetry::{names, Counter, Gauge, Telemetry};
+
+/// Identifies one reactor-managed connection (stable for its lifetime,
+/// never reused within a reactor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn{}", self.0)
+    }
+}
+
+/// Inbound event stream for `Delivery::Service` consumers.
+#[derive(Debug, Clone)]
+pub enum ConnEvent {
+    /// A decoded message arrived on the given connection.
+    Message(ConnId, Message),
+    /// The connection closed (EOF, error, or deregistration). Sent at
+    /// most once, after which the `ConnId` is dead.
+    Closed(ConnId),
+}
+
+/// Where a listener delivers the frames its accepted connections
+/// receive.
+#[derive(Debug, Clone)]
+pub enum Delivery {
+    /// Decoded messages are forwarded to this sender, with no
+    /// connection identity — the fabric inbox model, where all peers
+    /// funnel into one queue.
+    Inbox(Sender<Message>),
+    /// Events tagged with the originating [`ConnId`], including a
+    /// [`ConnEvent::Closed`] tombstone — for request/reply services.
+    Service(Sender<ConnEvent>),
+}
+
+/// Reactor tuning.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Capacity of each dialed connection's outbox channel (the
+    /// back-pressure bound producers block on).
+    pub outbox_capacity: usize,
+    /// Write-queue length at which the reactor stops pulling from a
+    /// connection's outbox (keeps per-conn memory bounded by
+    /// `outbox_capacity + writer_queue_limit` frames).
+    pub writer_queue_limit: usize,
+    /// Idle-sweep park time cap. Small values cut command / readiness
+    /// latency on an idle reactor at the cost of idle CPU.
+    pub idle_backoff_max: Duration,
+    /// Network timing (dial timeout is taken from here).
+    pub timeouts: NetTimeouts,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            outbox_capacity: 256,
+            writer_queue_limit: 64,
+            idle_backoff_max: Duration::from_millis(5),
+            timeouts: NetTimeouts::default(),
+        }
+    }
+}
+
+enum Cmd {
+    Listen(TcpListener, Delivery),
+    Register {
+        stream: TcpStream,
+        outbox: Option<Receiver<Message>>,
+        delivery: Option<Delivery>,
+        reply: Sender<Result<ConnId>>,
+    },
+    SendTo(ConnId, Message),
+    Close(ConnId),
+    Shutdown,
+}
+
+/// Handle for registering work with a running [`Reactor`]. Cloneable;
+/// the reactor thread exits when every handle is dropped or
+/// [`shutdown`](Self::shutdown) is called.
+#[derive(Clone)]
+pub struct ReactorHandle {
+    cmd: Sender<Cmd>,
+    config: ReactorConfig,
+    thread: Arc<Mutex<Option<JoinHandle<()>>>>,
+}
+
+impl fmt::Debug for ReactorHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReactorHandle").finish_non_exhaustive()
+    }
+}
+
+impl ReactorHandle {
+    /// Bind a listener and deliver everything its accepted connections
+    /// receive according to `delivery`. Returns the resolved address.
+    pub fn listen<A: ToSocketAddrs>(&self, addr: A, delivery: Delivery) -> Result<String> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        self.send_cmd(Cmd::Listen(listener, delivery))?;
+        Ok(local.to_string())
+    }
+
+    /// Dial a peer for writing. Returns a *bounded* sender; `send`
+    /// blocks once `outbox_capacity` messages are queued, which is the
+    /// transport's back-pressure signal. Dropping every clone of the
+    /// sender closes the connection after the queue drains.
+    pub fn dial(&self, addr: &str) -> Result<Sender<Message>> {
+        self.dial_with_delivery(addr, None)
+    }
+
+    /// Dial a peer bidirectionally: like [`dial`](Self::dial), but
+    /// frames the peer sends back are delivered too (request/reply
+    /// clients such as the registry client).
+    pub fn dial_bidi(&self, addr: &str, delivery: Delivery) -> Result<Sender<Message>> {
+        self.dial_with_delivery(addr, Some(delivery))
+    }
+
+    fn dial_with_delivery(
+        &self,
+        addr: &str,
+        delivery: Option<Delivery>,
+    ) -> Result<Sender<Message>> {
+        let sock_addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| Error::Malformed(format!("unresolvable address {addr}")))?;
+        let stream = TcpStream::connect_timeout(&sock_addr, self.config.timeouts.connect)?;
+        let (tx, rx) = bounded(self.config.outbox_capacity);
+        self.register(stream, Some(rx), delivery)?;
+        Ok(tx)
+    }
+
+    /// Hand an already-connected socket to the reactor.
+    pub fn register(
+        &self,
+        stream: TcpStream,
+        outbox: Option<Receiver<Message>>,
+        delivery: Option<Delivery>,
+    ) -> Result<ConnId> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.send_cmd(Cmd::Register {
+            stream,
+            outbox,
+            delivery,
+            reply: reply_tx,
+        })?;
+        reply_rx.recv().map_err(|_| Error::Closed)?
+    }
+
+    /// Queue a message for writing on an accepted connection (the
+    /// reply path for `Delivery::Service` consumers). Fire-and-forget:
+    /// unknown / already-closed connections are ignored.
+    pub fn send_to(&self, conn: ConnId, msg: Message) -> Result<()> {
+        self.send_cmd(Cmd::SendTo(conn, msg))
+    }
+
+    /// Close one connection (its `Delivery::Service` consumer, if any,
+    /// receives a `Closed` tombstone).
+    pub fn close(&self, conn: ConnId) -> Result<()> {
+        self.send_cmd(Cmd::Close(conn))
+    }
+
+    /// Stop the reactor thread, dropping every connection.
+    pub fn shutdown(&self) {
+        let _ = self.cmd.send(Cmd::Shutdown);
+        if let Some(h) = self.thread.lock().expect("reactor thread lock").take() {
+            let _ = h.join();
+        }
+    }
+
+    fn send_cmd(&self, cmd: Cmd) -> Result<()> {
+        self.cmd.send(cmd).map_err(|_| Error::Closed)
+    }
+}
+
+struct ConnState {
+    conn: FramedConn,
+    outbox: Option<Receiver<Message>>,
+    delivery: Option<Delivery>,
+    /// Outbox disconnected; close once the write queue drains.
+    closing: bool,
+}
+
+struct Metrics {
+    events: Counter,
+    frames_sent: Counter,
+    frames_received: Counter,
+    conns_closed: Counter,
+    open_conns: Gauge,
+    writer_queue_depth: Gauge,
+}
+
+impl Metrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        Metrics {
+            events: telemetry.counter(names::REACTOR_EVENTS, &[]),
+            frames_sent: telemetry.counter(names::REACTOR_FRAMES_SENT, &[]),
+            frames_received: telemetry.counter(names::REACTOR_FRAMES_RECEIVED, &[]),
+            conns_closed: telemetry.counter(names::REACTOR_CONNS_CLOSED, &[]),
+            open_conns: telemetry.gauge(names::REACTOR_OPEN_CONNS, &[]),
+            writer_queue_depth: telemetry.gauge(names::REACTOR_WRITER_QUEUE_DEPTH, &[]),
+        }
+    }
+}
+
+/// The sweep loop. Construct with [`Reactor::spawn`]; interact through
+/// the returned [`ReactorHandle`].
+#[derive(Debug)]
+pub struct Reactor;
+
+impl Reactor {
+    /// Start a reactor thread. `telemetry`, when given, receives the
+    /// `swing_reactor_*` metrics.
+    #[must_use]
+    pub fn spawn(config: ReactorConfig, telemetry: Option<&Telemetry>) -> ReactorHandle {
+        let (cmd_tx, cmd_rx) = unbounded();
+        let metrics = telemetry.map(Metrics::new);
+        let cfg = config.clone();
+        let handle = std::thread::Builder::new()
+            .name("swing-reactor".into())
+            .spawn(move || run(cfg, cmd_rx, metrics))
+            .expect("spawn reactor thread");
+        ReactorHandle {
+            cmd: cmd_tx,
+            config,
+            thread: Arc::new(Mutex::new(Some(handle))),
+        }
+    }
+}
+
+fn run(config: ReactorConfig, cmd_rx: Receiver<Cmd>, metrics: Option<Metrics>) {
+    let mut listeners: Vec<(TcpListener, Delivery)> = Vec::new();
+    let mut conns: HashMap<u64, ConnState> = HashMap::new();
+    let mut next_id: u64 = 0;
+    let mut scratch = BytesMut::new();
+    let mut segments: Vec<WireSegment> = Vec::new();
+    let mut read_buf = vec![0u8; 64 * 1024];
+    let mut frames: Vec<swing_core::SharedBytes> = Vec::new();
+    let mut closed: Vec<u64> = Vec::new();
+    let mut backoff = Duration::from_micros(500);
+    let mut busy = true;
+
+    loop {
+        // 1. Commands. Park here when the previous sweep found nothing.
+        let park = if busy { Duration::ZERO } else { backoff };
+        match cmd_rx.recv_timeout(park) {
+            Ok(cmd) => {
+                if handle_cmd(
+                    cmd,
+                    &config,
+                    &mut listeners,
+                    &mut conns,
+                    &mut next_id,
+                    &mut scratch,
+                    &mut segments,
+                ) {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        let mut drained_all_cmds = false;
+        while !drained_all_cmds {
+            match cmd_rx.try_recv() {
+                Ok(cmd) => {
+                    if handle_cmd(
+                        cmd,
+                        &config,
+                        &mut listeners,
+                        &mut conns,
+                        &mut next_id,
+                        &mut scratch,
+                        &mut segments,
+                    ) {
+                        return;
+                    }
+                }
+                Err(_) => drained_all_cmds = true,
+            }
+        }
+
+        let mut events: u64 = 0;
+
+        // 2. Accept.
+        for (listener, delivery) in &listeners {
+            loop {
+                match listener.accept() {
+                    // A failed setup means the peer vanished between
+                    // accept and fcntl; skip it.
+                    Ok((stream, _)) => {
+                        if let Ok(conn) = FramedConn::new(stream) {
+                            let id = next_id;
+                            next_id += 1;
+                            conns.insert(
+                                id,
+                                ConnState {
+                                    conn,
+                                    outbox: None,
+                                    delivery: Some(delivery.clone()),
+                                    closing: false,
+                                },
+                            );
+                            events += 1;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break, // transient accept failure; retry next sweep
+                }
+            }
+        }
+
+        // 3. Per-connection sweep.
+        closed.clear();
+        let mut queued_total: u64 = 0;
+        for (&id, state) in conns.iter_mut() {
+            // 3a. Refill the write queue from the outbox while short.
+            if let Some(outbox) = &state.outbox {
+                while state.conn.queue_len() < config.writer_queue_limit {
+                    match outbox.try_recv() {
+                        Ok(msg) => {
+                            state
+                                .conn
+                                .enqueue(OutFrame::encode(&msg, &mut scratch, &mut segments));
+                            events += 1;
+                        }
+                        Err(crossbeam::channel::TryRecvError::Empty) => break,
+                        Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                            state.closing = true;
+                            state.outbox = None;
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // 3b. Write.
+            match state.conn.drain_write() {
+                Ok((done, drain)) => {
+                    if done > 0 {
+                        events += done;
+                        if let Some(m) = &metrics {
+                            m.frames_sent.add(done);
+                        }
+                    }
+                    if state.closing && drain == Drain::Idle && state.conn.queue_len() == 0 {
+                        closed.push(id);
+                        continue;
+                    }
+                }
+                Err(_) => {
+                    closed.push(id);
+                    continue;
+                }
+            }
+
+            // 3c. Read.
+            frames.clear();
+            let read_result = state.conn.drain_read(&mut read_buf, &mut frames);
+            if !frames.is_empty() {
+                events += frames.len() as u64;
+                if let Some(m) = &metrics {
+                    m.frames_received.add(frames.len() as u64);
+                }
+                for frame in frames.drain(..) {
+                    let Ok(msg) = Message::decode_shared(&frame) else {
+                        // Undecodable peer: drop the connection.
+                        closed.push(id);
+                        break;
+                    };
+                    let delivered = match &state.delivery {
+                        Some(Delivery::Inbox(tx)) => tx.send(msg).is_ok(),
+                        Some(Delivery::Service(tx)) => {
+                            tx.send(ConnEvent::Message(ConnId(id), msg)).is_ok()
+                        }
+                        // Write-only connection: inbound frames have
+                        // nowhere to go; ignore them.
+                        None => true,
+                    };
+                    if !delivered {
+                        closed.push(id);
+                        break;
+                    }
+                }
+            }
+            match read_result {
+                Ok(Drain::Eof) | Err(_) => closed.push(id),
+                Ok(_) => {}
+            }
+            queued_total += state.conn.queue_len() as u64;
+        }
+
+        // 4. Reap closed connections.
+        closed.sort_unstable();
+        closed.dedup();
+        for id in closed.drain(..) {
+            if let Some(state) = conns.remove(&id) {
+                if let Some(Delivery::Service(tx)) = &state.delivery {
+                    let _ = tx.send(ConnEvent::Closed(ConnId(id)));
+                }
+                if let Some(m) = &metrics {
+                    m.conns_closed.inc();
+                }
+                events += 1;
+            }
+        }
+
+        if let Some(m) = &metrics {
+            if events > 0 {
+                m.events.add(events);
+            }
+            m.open_conns.set_u64(conns.len() as u64);
+            m.writer_queue_depth.set_u64(queued_total);
+        }
+
+        // 5. Adaptive idle backoff.
+        busy = events > 0;
+        if busy {
+            backoff = Duration::from_micros(500);
+        } else {
+            backoff = (backoff * 2).min(config.idle_backoff_max);
+        }
+    }
+}
+
+/// Apply one command. Returns `true` on shutdown.
+fn handle_cmd(
+    cmd: Cmd,
+    _config: &ReactorConfig,
+    listeners: &mut Vec<(TcpListener, Delivery)>,
+    conns: &mut HashMap<u64, ConnState>,
+    next_id: &mut u64,
+    scratch: &mut BytesMut,
+    segments: &mut Vec<WireSegment>,
+) -> bool {
+    match cmd {
+        Cmd::Listen(listener, delivery) => {
+            listeners.push((listener, delivery));
+        }
+        Cmd::Register {
+            stream,
+            outbox,
+            delivery,
+            reply,
+        } => {
+            let result = FramedConn::new(stream).map(|conn| {
+                let id = *next_id;
+                *next_id += 1;
+                conns.insert(
+                    id,
+                    ConnState {
+                        conn,
+                        outbox,
+                        delivery,
+                        closing: false,
+                    },
+                );
+                ConnId(id)
+            });
+            let _ = reply.send(result);
+        }
+        Cmd::SendTo(ConnId(id), msg) => {
+            if let Some(state) = conns.get_mut(&id) {
+                state
+                    .conn
+                    .enqueue(OutFrame::encode(&msg, scratch, segments));
+            }
+        }
+        Cmd::Close(ConnId(id)) => {
+            if let Some(state) = conns.remove(&id) {
+                if let Some(Delivery::Service(tx)) = &state.delivery {
+                    let _ = tx.send(ConnEvent::Closed(ConnId(id)));
+                }
+            }
+        }
+        Cmd::Shutdown => return true,
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swing_core::{SeqNo, Tuple, UnitId};
+
+    fn data(i: u64) -> Message {
+        Message::Data {
+            dest: UnitId(1),
+            from: UnitId(0),
+            tuple: Tuple::with_seq(SeqNo(i)).with("frame", vec![i as u8; 2_000]),
+        }
+    }
+
+    #[test]
+    fn dialed_messages_reach_inbox_listener() {
+        let reactor = Reactor::spawn(ReactorConfig::default(), None);
+        let (tx, rx) = unbounded();
+        let addr = reactor.listen("127.0.0.1:0", Delivery::Inbox(tx)).unwrap();
+        let out = reactor.dial(&addr).unwrap();
+        for i in 0..100 {
+            out.send(data(i)).unwrap();
+        }
+        for i in 0..100 {
+            let msg = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(msg, data(i));
+        }
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn service_delivery_can_reply_on_the_same_conn() {
+        let reactor = Reactor::spawn(ReactorConfig::default(), None);
+        let (ev_tx, ev_rx) = unbounded();
+        let addr = reactor
+            .listen("127.0.0.1:0", Delivery::Service(ev_tx))
+            .unwrap();
+        // Echo service: one thread answering Ping with Pong.
+        let svc_reactor = reactor.clone();
+        let svc = std::thread::spawn(move || {
+            while let Ok(ev) = ev_rx.recv_timeout(Duration::from_secs(5)) {
+                match ev {
+                    ConnEvent::Message(conn, Message::Ping) => {
+                        svc_reactor
+                            .send_to(
+                                conn,
+                                Message::Pong {
+                                    device: swing_core::DeviceId(9),
+                                },
+                            )
+                            .unwrap();
+                    }
+                    ConnEvent::Message(_, _) => {}
+                    ConnEvent::Closed(_) => break,
+                }
+            }
+        });
+        let (reply_tx, reply_rx) = unbounded();
+        let out = reactor.dial_bidi(&addr, Delivery::Inbox(reply_tx)).unwrap();
+        out.send(Message::Ping).unwrap();
+        let reply = reply_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            reply,
+            Message::Pong {
+                device: swing_core::DeviceId(9)
+            }
+        );
+        drop(out); // closes the conn; service sees Closed and exits
+        svc.join().unwrap();
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn bounded_outbox_applies_backpressure() {
+        let config = ReactorConfig {
+            outbox_capacity: 4,
+            ..ReactorConfig::default()
+        };
+        let reactor = Reactor::spawn(config, None);
+        let (tx, rx) = unbounded();
+        let addr = reactor.listen("127.0.0.1:0", Delivery::Inbox(tx)).unwrap();
+        let out = reactor.dial(&addr).unwrap();
+        // The reactor keeps draining, so sends never deadlock; but the
+        // channel is bounded, so at any instant at most
+        // capacity + writer-queue messages are buffered.
+        for i in 0..200 {
+            out.send(data(i)).unwrap();
+        }
+        for i in 0..200 {
+            let msg = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(msg, data(i), "order must be preserved");
+        }
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn many_concurrent_conns_multiplex_on_one_thread() {
+        let reactor = Reactor::spawn(ReactorConfig::default(), None);
+        let (tx, rx) = unbounded();
+        let addr = reactor.listen("127.0.0.1:0", Delivery::Inbox(tx)).unwrap();
+        let senders: Vec<_> = (0..50).map(|_| reactor.dial(&addr).unwrap()).collect();
+        for (k, s) in senders.iter().enumerate() {
+            for i in 0..20 {
+                s.send(data((k * 100 + i) as u64)).unwrap();
+            }
+        }
+        let mut got = Vec::new();
+        for _ in 0..50 * 20 {
+            let Message::Data { tuple, .. } = rx.recv_timeout(Duration::from_secs(10)).unwrap()
+            else {
+                panic!("unexpected variant");
+            };
+            got.push(tuple.seq().0);
+        }
+        got.sort_unstable();
+        let want: Vec<u64> = (0..50)
+            .flat_map(|k| (0..20).map(move |i| (k * 100 + i) as u64))
+            .collect();
+        assert_eq!(got, want);
+        reactor.shutdown();
+    }
+
+    #[test]
+    fn dropping_the_outbox_closes_the_conn_after_draining() {
+        let reactor = Reactor::spawn(ReactorConfig::default(), None);
+        let (ev_tx, ev_rx) = unbounded();
+        let addr = reactor
+            .listen("127.0.0.1:0", Delivery::Service(ev_tx))
+            .unwrap();
+        let out = reactor.dial(&addr).unwrap();
+        out.send(Message::Ping).unwrap();
+        drop(out);
+        let mut saw_msg = false;
+        let mut saw_close = false;
+        while let Ok(ev) = ev_rx.recv_timeout(Duration::from_secs(5)) {
+            match ev {
+                ConnEvent::Message(_, Message::Ping) => saw_msg = true,
+                ConnEvent::Closed(_) => {
+                    saw_close = true;
+                    break;
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert!(saw_msg, "queued message must drain before the close");
+        assert!(saw_close, "service must see the Closed tombstone");
+        reactor.shutdown();
+    }
+}

@@ -23,6 +23,7 @@ use swing_core::config::{ReorderConfig, RetryConfig};
 use swing_core::flow::FlowConfig;
 use swing_core::routing::{Policy, RouterConfig};
 use swing_core::Result;
+use swing_net::NetTimeouts;
 use swing_telemetry::Telemetry;
 
 /// The knobs shared by live and simulated swarm construction.
@@ -62,6 +63,11 @@ pub struct SwarmConfig {
     /// timeout at or below the interval declares every worker dead
     /// before its first reply can arrive.
     pub heartbeat: Option<HeartbeatConfig>,
+    /// Transport timing: dial timeout, blocking-read poll timeout, and
+    /// the registry heartbeat interval / lease TTL. Replaces the
+    /// hard-coded durations the TCP and discovery layers used to carry;
+    /// only networked fabrics (TCP, reactor) consult it.
+    pub net: NetTimeouts,
 }
 
 impl Default for SwarmConfig {
@@ -77,6 +83,7 @@ impl Default for SwarmConfig {
             clock: node.clock,
             chaos: None,
             heartbeat: None,
+            net: NetTimeouts::default(),
         }
     }
 }
@@ -99,6 +106,7 @@ impl SwarmConfig {
         if let Some(hb) = &self.heartbeat {
             hb.validate().map_err(swing_core::Error::Malformed)?;
         }
+        self.net.validate()?;
         Ok(())
     }
 
@@ -134,6 +142,7 @@ impl SwarmConfig {
             clock: node.clock,
             chaos: None,
             heartbeat: None,
+            net: NetTimeouts::default(),
         }
     }
 
@@ -197,6 +206,20 @@ mod tests {
         assert!(hb(400, 100).validate().is_err());
         // No heartbeat config at all is fine (detection off).
         SwarmConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn net_timeouts_are_validated() {
+        use std::time::Duration;
+        let mut cfg = SwarmConfig::default();
+        cfg.validate().unwrap();
+        // A lease TTL at or below the renewal interval expires every
+        // registration between heartbeats.
+        cfg.net.heartbeat_ttl = cfg.net.heartbeat_interval;
+        assert!(cfg.validate().is_err());
+        cfg.net = NetTimeouts::default();
+        cfg.net.connect = Duration::ZERO;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -17,7 +17,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use swing_core::{Error, Result};
 use swing_net::tcp::{MessageListener, MessageStream};
-use swing_net::{LinkMetrics, Message};
+use swing_net::{LinkMetrics, Message, NetTimeouts};
+use swing_reactor::{Delivery, Reactor, ReactorConfig, ReactorHandle};
 use swing_telemetry::Telemetry;
 
 /// Sending half of a message pipe.
@@ -47,6 +48,11 @@ pub enum Fabric {
     InProc(Arc<InProcNet>),
     /// Loopback TCP sockets (multi-thread or multi-process).
     Tcp(Arc<TcpNet>),
+    /// Non-blocking TCP multiplexed on one reactor thread
+    /// (see [`swing_reactor`]): the thread-per-link model of
+    /// [`Tcp`](Fabric::Tcp) replaced by a single sweep loop, which is
+    /// what lets one process hold a thousand worker links.
+    Reactor(Arc<ReactorNet>),
     /// Any fabric wrapped in deterministic fault injection
     /// (see [`crate::chaos`]).
     Chaos(Arc<ChaosFabric>),
@@ -57,10 +63,12 @@ pub enum Fabric {
 }
 
 /// Shared state of the TCP fabric: the optional telemetry domain its
-/// links report per-link frame/byte/timing metrics into.
+/// links report per-link frame/byte/timing metrics into, and the
+/// network timing knobs its dials use.
 #[derive(Debug, Default)]
 pub struct TcpNet {
     telemetry: Mutex<Option<Telemetry>>,
+    timeouts: Mutex<NetTimeouts>,
 }
 
 impl TcpNet {
@@ -69,6 +77,29 @@ impl TcpNet {
             .lock()
             .as_ref()
             .map(|t| LinkMetrics::new(t, link))
+    }
+}
+
+/// Shared state of the reactor fabric: the handle every listen/dial
+/// goes through. The reactor thread is shut down when the last clone
+/// of the fabric drops.
+#[derive(Debug)]
+pub struct ReactorNet {
+    handle: ReactorHandle,
+}
+
+impl ReactorNet {
+    /// The underlying reactor handle (for attaching registry services
+    /// or extra listeners on the same sweep loop).
+    #[must_use]
+    pub fn handle(&self) -> &ReactorHandle {
+        &self.handle
+    }
+}
+
+impl Drop for ReactorNet {
+    fn drop(&mut self) {
+        self.handle.shutdown();
     }
 }
 
@@ -92,6 +123,46 @@ impl Fabric {
         Fabric::Tcp(Arc::new(TcpNet::default()))
     }
 
+    /// A reactor fabric with default tuning and no telemetry.
+    #[must_use]
+    pub fn reactor() -> Self {
+        Fabric::reactor_with(ReactorConfig::default(), None)
+    }
+
+    /// A reactor fabric with explicit tuning. `telemetry`, when given,
+    /// receives the `swing_reactor_*` metrics (unlike the TCP fabric,
+    /// the reactor binds its metrics at spawn, so they cannot be
+    /// attached later via [`set_telemetry`](Self::set_telemetry)).
+    #[must_use]
+    pub fn reactor_with(config: ReactorConfig, telemetry: Option<&Telemetry>) -> Self {
+        Fabric::Reactor(Arc::new(ReactorNet {
+            handle: Reactor::spawn(config, telemetry),
+        }))
+    }
+
+    /// The reactor handle, when this fabric (or the fabric a chaos
+    /// wrapper encloses) runs on one.
+    #[must_use]
+    pub fn reactor_handle(&self) -> Option<&ReactorHandle> {
+        match self {
+            Fabric::Reactor(net) => Some(net.handle()),
+            Fabric::Chaos(net) => net.inner.reactor_handle(),
+            _ => None,
+        }
+    }
+
+    /// Set the network timing knobs (dial timeout) used by links dialed
+    /// after this call. Only the TCP fabric reads them dynamically — the
+    /// reactor takes its timing at [`reactor_with`](Self::reactor_with)
+    /// spawn; other fabrics have no wire timing at all.
+    pub fn set_timeouts(&self, timeouts: NetTimeouts) {
+        match self {
+            Fabric::Tcp(net) => *net.timeouts.lock() = timeouts,
+            Fabric::Chaos(net) => net.inner.set_timeouts(timeouts),
+            _ => {}
+        }
+    }
+
     /// Report per-link transport metrics (frames, bytes, encode/decode
     /// time) into `telemetry`. Affects links dialed or accepted after
     /// the call; only the TCP fabric has wire traffic to measure, other
@@ -100,6 +171,8 @@ impl Fabric {
         match self {
             Fabric::InProc(_) => {}
             Fabric::Tcp(net) => *net.telemetry.lock() = Some(telemetry.clone()),
+            // The reactor binds its metrics at spawn (reactor_with).
+            Fabric::Reactor(_) => {}
             Fabric::Chaos(net) => net.inner.set_telemetry(telemetry),
             Fabric::Sim(_) => {}
         }
@@ -153,6 +226,11 @@ impl Fabric {
                     .expect("spawn accept thread");
                 Ok((addr, rx))
             }
+            Fabric::Reactor(net) => {
+                let (tx, rx) = unbounded();
+                let addr = net.handle.listen("127.0.0.1:0", Delivery::Inbox(tx))?;
+                Ok((addr, rx))
+            }
             // Faults are injected on the dial side; listening is clean.
             Fabric::Chaos(net) => net.inner.listen(),
             Fabric::Sim(net) => Ok(net.listen_impl()),
@@ -172,7 +250,11 @@ impl Fabric {
                 ))
             }),
             Fabric::Tcp(net) => {
-                let mut stream = MessageStream::connect(addr)?;
+                let connect = net.timeouts.lock().connect;
+                let sock_addr = std::net::ToSocketAddrs::to_socket_addrs(addr)?
+                    .next()
+                    .ok_or_else(|| Error::Malformed(format!("unresolvable address {addr}")))?;
+                let mut stream = MessageStream::connect_timeout(&sock_addr, connect)?;
                 if let Some(m) = net.link_metrics(addr) {
                     stream.set_metrics(m);
                 }
@@ -190,6 +272,9 @@ impl Fabric {
                     .expect("spawn writer thread");
                 Ok(tx)
             }
+            // No writer thread: the reactor's sweep loop drains the
+            // bounded outbox, so a thousand links cost one thread total.
+            Fabric::Reactor(net) => net.handle.dial(addr),
             Fabric::Chaos(net) => {
                 let inner_tx = net.inner.dial(addr)?;
                 Ok(crate::chaos::spawn_link_shim(
@@ -289,6 +374,44 @@ mod tests {
     #[test]
     fn tcp_multiple_dialers_share_inbox() {
         let fabric = Fabric::tcp();
+        let (addr, rx) = fabric.listen().unwrap();
+        let tx1 = fabric.dial(&addr).unwrap();
+        let tx2 = fabric.dial(&addr).unwrap();
+        tx1.send(Message::Ping).unwrap();
+        tx2.send(Message::Ping).unwrap();
+        for _ in 0..2 {
+            assert_eq!(
+                rx.recv_timeout(Duration::from_secs(2)).unwrap(),
+                Message::Ping
+            );
+        }
+    }
+
+    #[test]
+    fn reactor_messages_flow() {
+        let fabric = Fabric::reactor();
+        let (addr, rx) = fabric.listen().unwrap();
+        let tx = fabric.dial(&addr).unwrap();
+        tx.send(Message::Ping).unwrap();
+        tx.send(Message::Pong {
+            device: swing_core::DeviceId(3),
+        })
+        .unwrap();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(2)).unwrap(),
+            Message::Ping
+        );
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(2)).unwrap(),
+            Message::Pong {
+                device: swing_core::DeviceId(3)
+            }
+        );
+    }
+
+    #[test]
+    fn reactor_multiple_dialers_share_inbox() {
+        let fabric = Fabric::reactor();
         let (addr, rx) = fabric.listen().unwrap();
         let tx1 = fabric.dial(&addr).unwrap();
         let tx2 = fabric.dial(&addr).unwrap();

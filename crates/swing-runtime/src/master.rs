@@ -324,6 +324,78 @@ impl Master {
         )
     }
 
+    /// Make this master discoverable through a [`RegistryServer`]
+    /// (the registry-based replacement for UDP [`announce`](Self::announce)):
+    /// registers `(app, "master")` under a heartbeat-renewed lease and
+    /// watches `(app, "worker")` registrations, forwarding every expiry
+    /// tombstone into the master's inbox — a worker whose lease lapses
+    /// is evicted and its units re-placed, exactly like a heartbeat
+    /// prune. Requires a reactor fabric. Keep the returned attachment
+    /// alive for as long as the master should stay registered.
+    ///
+    /// [`RegistryServer`]: swing_reactor::RegistryServer
+    pub fn attach_registry(
+        &self,
+        fabric: &Fabric,
+        registry_addr: &str,
+        app: &str,
+        timeouts: swing_net::NetTimeouts,
+    ) -> Result<RegistryAttachment> {
+        let Some(reactor) = fabric.reactor_handle() else {
+            return Err(swing_core::Error::Malformed(
+                "registry discovery requires a reactor fabric".into(),
+            ));
+        };
+        let heartbeater = swing_reactor::Heartbeater::spawn(reactor, registry_addr, timeouts)?;
+        heartbeater.add(swing_net::ServiceEntry {
+            app: app.to_owned(),
+            role: "master".to_owned(),
+            stage: String::new(),
+            addr: self.addr.clone(),
+        })?;
+        let mut watcher = swing_reactor::RegistryClient::connect(reactor, registry_addr, timeouts)?;
+        let app2 = app.to_owned();
+        watcher.watch(&app2, "worker", "")?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let inbox = self.inbox_tx.clone();
+        let poll = timeouts.heartbeat_interval;
+        let bridge = std::thread::Builder::new()
+            .name("swing-registry-watch".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::SeqCst) {
+                    match watcher.recv_expired(poll) {
+                        Ok(entry) => {
+                            let sent = inbox.send(Message::ServiceExpired {
+                                app: entry.app,
+                                role: entry.role,
+                                stage: entry.stage,
+                                addr: entry.addr,
+                            });
+                            if sent.is_err() {
+                                return; // master gone
+                            }
+                        }
+                        Err(swing_core::Error::WouldBlock) => {}
+                        Err(_) => {
+                            // Registry link broke: re-dial and re-watch
+                            // until it heals (or we are stopped).
+                            std::thread::sleep(poll);
+                            if watcher.reconnect().is_ok() {
+                                let _ = watcher.watch(&app2, "worker", "");
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("spawn registry watch thread");
+        Ok(RegistryAttachment {
+            heartbeater,
+            stop,
+            bridge: Some(bridge),
+        })
+    }
+
     /// Progress/status handle.
     #[must_use]
     pub fn status(&self) -> Arc<MasterStatus> {
@@ -355,6 +427,26 @@ impl Master {
 impl Drop for Master {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+/// Keeps a master registered and watching through a registry (see
+/// [`Master::attach_registry`]). Dropping it stops the heartbeat — the
+/// master's own lease lapses one TTL later — and the watch bridge.
+#[derive(Debug)]
+pub struct RegistryAttachment {
+    #[allow(dead_code)] // held for its renewal thread
+    heartbeater: swing_reactor::Heartbeater,
+    stop: Arc<AtomicBool>,
+    bridge: Option<JoinHandle<()>>,
+}
+
+impl Drop for RegistryAttachment {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.bridge.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -405,6 +497,21 @@ impl MasterState {
             }
             Message::Pong { device } => {
                 self.last_pong.insert(device, self.config.clock.now_us());
+            }
+            // Registry lease of a worker lapsed (its heartbeats
+            // stopped): evict it exactly like a heartbeat prune —
+            // cut surviving routes, re-place its units. The watch
+            // pattern already narrowed app and role, but a master
+            // sharing its inbox with other traffic re-checks role.
+            Message::ServiceExpired { role, addr, .. } if role == "worker" => {
+                let dead: Option<DeviceId> = self
+                    .workers
+                    .iter()
+                    .find(|w| w.addr == addr)
+                    .map(|w| w.device);
+                if let Some(device) = dead {
+                    self.remove_worker(device);
+                }
             }
             Message::Stop => return false,
             _ => {}

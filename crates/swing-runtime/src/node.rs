@@ -21,6 +21,25 @@ use swing_net::Message;
 /// Shared slot an executor publishes its latest probe into.
 type ProbeSlot = Arc<Mutex<Option<ExecProbe>>>;
 
+/// How a node joins a swarm through the registry: where the
+/// [`RegistryServer`](swing_reactor::RegistryServer) lives, which app's
+/// master to look up, and the [`Heartbeater`](swing_reactor::Heartbeater)
+/// that will keep the node's own lease renewed. Passed to
+/// [`WorkerNode::register_and_spawn`].
+#[derive(Debug)]
+pub struct RegistryJoin<'a> {
+    /// Dialable address of the registry service.
+    pub registry_addr: &'a str,
+    /// Application namespace for both the lookup and the registration.
+    pub app: &'a str,
+    /// Renews this node's `(app, "worker")` lease; shared by every
+    /// node in the process.
+    pub heartbeater: &'a swing_reactor::Heartbeater,
+    /// Transport timing — bounds the master lookup and sets the lease
+    /// interval/TTL.
+    pub timeouts: swing_net::NetTimeouts,
+}
+
 /// A running worker node.
 #[derive(Debug)]
 pub struct WorkerNode {
@@ -129,6 +148,56 @@ impl WorkerNode {
     ) -> Result<WorkerNode> {
         let info = swing_net::discovery::query_master(discovery_port, timeout)?;
         WorkerNode::spawn(name, fabric, &info.addr, registry, config)
+    }
+
+    /// Discover the master through a [`RegistryServer`] and join it,
+    /// then register this node's own data address as an `(app, "worker")`
+    /// service kept alive by `heartbeater`. The registry-based
+    /// replacement for [`discover_and_spawn`](Self::discover_and_spawn):
+    /// if the node dies, its lease lapses and the master (watching
+    /// through [`Master::attach_registry`](crate::master::Master::attach_registry))
+    /// evicts it and re-places its units. Requires a reactor fabric.
+    ///
+    /// Graceful leavers should pass [`service_entry`](Self::service_entry)
+    /// to [`Heartbeater::remove`](swing_reactor::Heartbeater::remove)
+    /// before stopping.
+    ///
+    /// [`RegistryServer`]: swing_reactor::RegistryServer
+    pub fn register_and_spawn(
+        name: impl Into<String>,
+        fabric: Fabric,
+        join: &RegistryJoin<'_>,
+        registry: UnitRegistry,
+        config: NodeConfig,
+    ) -> Result<WorkerNode> {
+        let Some(reactor) = fabric.reactor_handle() else {
+            return Err(swing_core::Error::Malformed(
+                "registry discovery requires a reactor fabric".into(),
+            ));
+        };
+        let master = swing_reactor::await_service(
+            reactor,
+            join.registry_addr,
+            join.app,
+            "master",
+            join.timeouts.connect,
+            join.timeouts,
+        )?;
+        let node = WorkerNode::spawn(name, fabric, &master.addr, registry, config)?;
+        join.heartbeater.add(node.service_entry(join.app))?;
+        Ok(node)
+    }
+
+    /// The registry entry describing this node as an `(app, "worker")`
+    /// service at its data address.
+    #[must_use]
+    pub fn service_entry(&self, app: &str) -> swing_net::ServiceEntry {
+        swing_net::ServiceEntry {
+            app: app.to_owned(),
+            role: "worker".to_owned(),
+            stage: String::new(),
+            addr: self.data_addr.clone(),
+        }
     }
 
     /// The node's human-readable name.

@@ -66,8 +66,18 @@ pub struct LocalSwarmBuilder {
     config: SwarmConfig,
     placement: Placement,
     checkpoint: Option<StoreHandle>,
-    fabric: Fabric,
+    transport: Transport,
     workers: Vec<(String, UnitRegistry)>,
+}
+
+/// Which fabric [`LocalSwarmBuilder::start`] constructs. Deferred to
+/// start so networked fabrics pick up the final `SwarmConfig::net`
+/// knobs and telemetry domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Transport {
+    InProc,
+    Tcp,
+    Reactor,
 }
 
 impl LocalSwarmBuilder {
@@ -159,7 +169,27 @@ impl LocalSwarmBuilder {
     /// Use loopback TCP sockets instead of in-process channels.
     #[must_use]
     pub fn tcp(mut self) -> Self {
-        self.fabric = Fabric::tcp();
+        self.transport = Transport::Tcp;
+        self
+    }
+
+    /// Use the non-blocking reactor fabric: loopback TCP multiplexed on
+    /// one [`swing_reactor`] sweep thread instead of two threads per
+    /// link, the configuration that scales a single process to
+    /// 1000-worker swarms. Reactor metrics land in the swarm's
+    /// telemetry domain.
+    #[must_use]
+    pub fn reactor(mut self) -> Self {
+        self.transport = Transport::Reactor;
+        self
+    }
+
+    /// Network timing knobs (dial timeout, read poll, registry
+    /// heartbeat interval and lease TTL) used by the TCP and reactor
+    /// fabrics.
+    #[must_use]
+    pub fn net(mut self, timeouts: swing_net::NetTimeouts) -> Self {
+        self.config.net = timeouts;
         self
     }
 
@@ -205,12 +235,24 @@ impl LocalSwarmBuilder {
         }
         self.config.validate()?;
         let node_config = self.config.node_config();
+        let base = match self.transport {
+            Transport::InProc => Fabric::in_proc(),
+            Transport::Tcp => Fabric::tcp(),
+            Transport::Reactor => Fabric::reactor_with(
+                swing_reactor::ReactorConfig {
+                    timeouts: self.config.net,
+                    ..swing_reactor::ReactorConfig::default()
+                },
+                Some(&node_config.telemetry),
+            ),
+        };
+        base.set_timeouts(self.config.net);
         let (fabric, chaos) = match self.config.chaos {
             Some(plan) => {
-                let (f, ctl) = Fabric::chaos(self.fabric, plan);
+                let (f, ctl) = Fabric::chaos(base, plan);
                 (f, Some(ctl))
             }
-            None => (self.fabric, None),
+            None => (base, None),
         };
         // TCP links report frames/bytes/timing into the swarm's domain.
         fabric.set_telemetry(&node_config.telemetry);
@@ -277,7 +319,7 @@ impl LocalSwarm {
             config: SwarmConfig::default(),
             placement: Placement::SourceOnFirst,
             checkpoint: None,
-            fabric: Fabric::in_proc(),
+            transport: Transport::InProc,
             workers: Vec::new(),
         }
     }
@@ -312,6 +354,14 @@ impl LocalSwarm {
     #[must_use]
     pub fn master_addr(&self) -> &str {
         self.master.addr()
+    }
+
+    /// The fabric this swarm runs on (e.g. to dial extra links, or to
+    /// reach the reactor handle for registry wiring on a
+    /// [`reactor`](LocalSwarmBuilder::reactor) swarm).
+    #[must_use]
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
     }
 
     /// The master's live status: started flag, current deployment,
@@ -590,6 +640,28 @@ mod tests {
         let reports = swarm.stop();
         let total: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
         assert!(total > 20, "only {total} tuples consumed over TCP");
+    }
+
+    #[test]
+    fn reactor_swarm_runs_the_full_workflow() {
+        let swarm = LocalSwarm::builder(pipeline_graph())
+            .policy(Policy::Lrs)
+            .input_fps(100.0)
+            .reactor()
+            .worker("A", registry(None))
+            .worker("B", registry(None))
+            .worker("C", registry(None))
+            .start()
+            .unwrap();
+        swarm.run_for(Duration::from_millis(700));
+        // All links multiplex on the reactor; its metrics land in the
+        // swarm's telemetry domain.
+        let snap = swarm.telemetry().snapshot();
+        let frames = snap.counter_total(swing_telemetry::names::REACTOR_FRAMES_SENT);
+        assert!(frames > 0, "no frames counted on the reactor");
+        let reports = swarm.stop();
+        let total: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
+        assert!(total > 20, "only {total} tuples consumed over the reactor");
     }
 
     #[test]

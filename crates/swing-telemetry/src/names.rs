@@ -138,3 +138,36 @@ pub const NET_BYTES_RECEIVED: &str = "swing_net_bytes_received_total";
 pub const NET_ENCODE_US: &str = "swing_net_encode_us";
 /// Wire-decode time histogram, microseconds.
 pub const NET_DECODE_US: &str = "swing_net_decode_us";
+
+// --- reactor (no labels: one reactor per process/domain) ---
+
+/// Readiness events serviced by the reactor's sweep loop (accepted
+/// connections, readable drains, writable drains). Sampled per second
+/// this is the reactor's events/sec rate.
+pub const REACTOR_EVENTS: &str = "swing_reactor_events_total";
+/// Connections currently registered with the reactor (gauge).
+pub const REACTOR_OPEN_CONNS: &str = "swing_reactor_open_conns";
+/// Messages currently queued across all writer outboxes (gauge; the
+/// back-pressure signal the credit gate keeps bounded).
+pub const REACTOR_WRITER_QUEUE_DEPTH: &str = "swing_reactor_writer_queue_depth";
+/// Frames fully written to sockets by the reactor.
+pub const REACTOR_FRAMES_SENT: &str = "swing_reactor_frames_sent_total";
+/// Frames fully reassembled from sockets by the reactor.
+pub const REACTOR_FRAMES_RECEIVED: &str = "swing_reactor_frames_received_total";
+/// Connections dropped on error, EOF or deregistration.
+pub const REACTOR_CONNS_CLOSED: &str = "swing_reactor_conns_closed_total";
+
+// --- registry service (no labels: one registry per swarm) ---
+
+/// Live registrations currently in the registry (gauge).
+pub const REGISTRY_SIZE: &str = "swing_registry_size";
+/// Registrations accepted (first-time registers, not renewals).
+pub const REGISTRY_REGISTERED: &str = "swing_registry_registered_total";
+/// Lease renewals accepted via heartbeat.
+pub const REGISTRY_HEARTBEATS: &str = "swing_registry_heartbeats_total";
+/// Leases that lapsed without renewal and were tombstoned.
+pub const REGISTRY_EXPIRED: &str = "swing_registry_expired_total";
+/// Pattern lookups served.
+pub const REGISTRY_LOOKUPS: &str = "swing_registry_lookups_total";
+/// Client-observed lookup round-trip histogram, microseconds.
+pub const REGISTRY_LOOKUP_US: &str = "swing_registry_lookup_us";

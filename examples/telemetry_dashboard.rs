@@ -9,7 +9,10 @@
 //! same rendering drives two modes:
 //!
 //! * `live` — the face-recognition swarm on real executor threads under
-//!   a `RealClock`, sampled once per wall second;
+//!   a `RealClock`, carried over the reactor fabric (real loopback
+//!   sockets multiplexed on one sweep thread), sampled once per wall
+//!   second; each frame includes the transport row — open connections,
+//!   framed traffic, the bounded writer-queue backlog, registry leases;
 //! * `sim` — the *same* production data plane replayed under a
 //!   `VirtualClock` through the seeded `SimFabric`, sampled once per
 //!   *virtual* second. The whole run is deterministic in the seed and
@@ -110,6 +113,37 @@ fn render_tick(snap: &Snapshot, tick: u64) {
     }
 }
 
+/// The transport row, present only when the swarm runs on the reactor
+/// fabric: connection count, framed traffic, the bounded writer-queue
+/// backlog (the credit gate's back-pressure signal), and the registry's
+/// lease churn when a `RegistryServer` shares the process.
+fn render_net(snap: &Snapshot) {
+    let sent = snap.counter_total(names::REACTOR_FRAMES_SENT);
+    let recv = snap.counter_total(names::REACTOR_FRAMES_RECEIVED);
+    if sent + recv == 0 {
+        return;
+    }
+    let open = snap.gauge(names::REACTOR_OPEN_CONNS, &[]).unwrap_or(0.0);
+    let closed = snap.counter_total(names::REACTOR_CONNS_CLOSED);
+    let depth = snap
+        .gauge(names::REACTOR_WRITER_QUEUE_DEPTH, &[])
+        .unwrap_or(0.0);
+    print!(
+        "net: conns {open:.0} (closed {closed}) | frames tx {sent} rx {recv} | writer queue {depth:.0}"
+    );
+    let leases = snap.gauge(names::REGISTRY_SIZE, &[]);
+    if let Some(leases) = leases {
+        let lookup = snap.histogram_total(names::REGISTRY_LOOKUP_US);
+        print!(
+            " | registry leases {leases:.0} expired {} lookups {} p99 {:.1} ms",
+            snap.counter_total(names::REGISTRY_EXPIRED),
+            snap.counter_total(names::REGISTRY_LOOKUPS),
+            lookup.p99() as f64 / 1_000.0,
+        );
+    }
+    println!();
+}
+
 /// The control plane's one-line view: the deployment epoch (bumped on
 /// every topology-changing wave) and which workers have been evicted.
 fn render_control(epoch: u64, dead: &[String]) {
@@ -146,11 +180,13 @@ fn render_totals(telemetry: &Telemetry) {
 
 fn run_live(policy: Policy, workers: usize, seconds: u64) {
     println!(
-        "telemetry dashboard (live): face recognition on {workers} devices, policy {policy}, {seconds}s @ 24 FPS"
+        "telemetry dashboard (live): face recognition on {workers} devices over the \
+         reactor fabric, policy {policy}, {seconds}s @ 24 FPS"
     );
     let mut builder = LocalSwarm::builder(face::app_graph())
         .policy(policy)
         .input_fps(24.0)
+        .reactor()
         .worker("A", registry());
     for i in 1..workers {
         builder = builder.worker(format!("W{i}"), registry());
@@ -159,7 +195,9 @@ fn run_live(policy: Policy, workers: usize, seconds: u64) {
 
     for tick in 1..=seconds {
         swarm.run_for(Duration::from_secs(1));
-        render_tick(&swarm.telemetry().snapshot(), tick);
+        let snap = swarm.telemetry().snapshot();
+        render_tick(&snap, tick);
+        render_net(&snap);
         let status = swarm.master_status();
         render_control(status.epoch(), &status.dead_workers());
     }

@@ -4,6 +4,7 @@
 Usage: check_bench_guard.py BENCH_pr3_telemetry.json BENCH_pr2.json \\
            [BENCH_pr5_flow.json]
        check_bench_guard.py --pr7 BENCH_pr7_scale.json
+       check_bench_guard.py --pr8 BENCH_pr8_soak.json
 
 Cross-checks the freshly measured overhead reports against the
 checked-in PR2 data-plane baseline:
@@ -25,6 +26,13 @@ floor (holds even on a one-core container), and — only when the
 measuring host has >= 4 cores, because extra threads cannot speed up a
 single core — the best multi-thread point must reach min(4, cores/2)x
 the single-thread wall clock.
+
+`--pr8` guards the reactor loopback soak: frame accounting must be
+exact (sensed = delivered + shed_at_source, zero lost, zero per-stream
+reorders), every churned lease must have produced a registry tombstone
+(and no more than a sliver of live leases may have starved out), and
+both the registry-lookup p99 and the end-to-end frame p99 must hold
+under generous absolute ceilings sized for slow CI hosts.
 """
 
 import json
@@ -109,7 +117,79 @@ def check_pr7(report):
     print(f"OK: throughput floor holds and best speedup {best:.2f}x >= {required:.1f}x")
 
 
+# Absolute latency ceilings for the soak. The reference 1000-worker run
+# on a loaded container measures lookup p99 in the tens of ms and e2e
+# p99 well under 100 ms; the ceilings catch a broken sweep loop (which
+# degrades to seconds or deadlock) while tolerating slow shared CI
+# runners and scheduler noise.
+PR8_LOOKUP_P99_CEILING_US = 250_000
+PR8_E2E_P99_CEILING_US = 500_000
+
+
+def check_pr8(report):
+    workers = int(report["workers"])
+    sensed = int(report["sensed"])
+    delivered = int(report["delivered"])
+    shed = int(report["shed_at_source"])
+    lost = int(report["lost"])
+    print(
+        f"pr8 reactor soak: {workers} workers, {sensed} sensed = "
+        f"{delivered} delivered + {shed} shed + {lost} lost"
+    )
+
+    if workers < 100:
+        sys.exit(f"FAIL: soak ran only {workers} workers; not a scale test")
+    if delivered == 0:
+        sys.exit("FAIL: soak delivered nothing")
+    if lost != 0:
+        sys.exit(f"FAIL: {lost} frames lost under churn")
+    if not report["conserved"] or sensed != delivered + shed + lost:
+        sys.exit("FAIL: frame conservation identity violated")
+    if int(report["order_violations"]) != 0:
+        sys.exit(f"FAIL: {report['order_violations']} per-stream reorders")
+
+    churned = int(report["churned"])
+    tombstones = int(report["tombstones"])
+    if tombstones < churned:
+        sys.exit(
+            f"FAIL: only {tombstones} registry tombstones for "
+            f"{churned} churned leases"
+        )
+    # Tombstones beyond the churned set are live leases the registry
+    # starved out — renewal fell behind the TTL at this scale.
+    if tombstones > churned + workers // 10:
+        sys.exit(
+            f"FAIL: {tombstones - churned} live leases expired despite "
+            f"renewal (of {workers} workers)"
+        )
+
+    lookup_p99 = int(report["lookup_p99_us"])
+    e2e_p99 = int(report["e2e_p99_us"])
+    print(
+        f"  churn {churned} leases -> {tombstones} tombstones; "
+        f"lookup p99 {lookup_p99 / 1000:.1f} ms, e2e p99 {e2e_p99 / 1000:.1f} ms"
+    )
+    if lookup_p99 > PR8_LOOKUP_P99_CEILING_US:
+        sys.exit(
+            f"FAIL: registry lookup p99 {lookup_p99} us exceeds the "
+            f"{PR8_LOOKUP_P99_CEILING_US} us ceiling"
+        )
+    if e2e_p99 > PR8_E2E_P99_CEILING_US:
+        sys.exit(
+            f"FAIL: end-to-end p99 {e2e_p99} us exceeds the "
+            f"{PR8_E2E_P99_CEILING_US} us ceiling"
+        )
+    print(
+        f"OK: zero loss across {delivered} frames on {workers} workers; "
+        "tombstones and p99 ceilings hold"
+    )
+
+
 def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--pr8":
+        with open(sys.argv[2], encoding="utf-8") as f:
+            check_pr8(json.load(f))
+        return
     if len(sys.argv) == 3 and sys.argv[1] == "--pr7":
         with open(sys.argv[2], encoding="utf-8") as f:
             check_pr7(json.load(f))

@@ -15,6 +15,9 @@
 //!   the paper's nine-phone testbed, mobility traces, radio model.
 //! * [`net`] — wireless link models, tuple wire format, TCP transport,
 //!   UDP discovery.
+//! * [`reactor`] — non-blocking networked runtime: a single-threaded
+//!   readiness loop multiplexing framed connections, plus the TTL-lease
+//!   registry service that replaces UDP probing for discovery.
 //! * [`sim`] — deterministic discrete-event simulator regenerating every
 //!   figure and table of the paper.
 //! * [`runtime`] — live master/worker runtime with in-process and TCP
@@ -35,6 +38,7 @@ pub use swing_apps as apps;
 pub use swing_core as core;
 pub use swing_device as device;
 pub use swing_net as net;
+pub use swing_reactor as reactor;
 pub use swing_runtime as runtime;
 pub use swing_sim as sim;
 pub use swing_telemetry as telemetry;
