@@ -1,7 +1,8 @@
 //! # swing-apps
 //!
-//! The two reference sensing applications the paper evaluates (§VI-A),
-//! implemented with real CPU-bound kernels over real byte streams:
+//! The reference sensing applications — the two the paper evaluates
+//! (§VI-A) plus the keyed spatial stream — implemented with real
+//! CPU-bound kernels over real byte streams:
 //!
 //! * [`face`] — face recognition: a synthetic camera produces ~6.0 kB
 //!   grayscale frames containing planted faces; an integral-image
@@ -11,6 +12,11 @@
 //!   72.0 kB audio frames encoding English word sequences as tone
 //!   chords; a Goertzel-filterbank recognizer decodes the words; a
 //!   rule-based dictionary translates them to Spanish.
+//! * [`spatial`] — grid-keyed spatial aggregation: seeded GPS probes
+//!   walk a square field sampling a synthetic pollution plume; a
+//!   *keyed* aggregation stage keeps per-grid-cell windowed statistics
+//!   behind a `KeyBy("cell")` edge; a map sink merges the cells. The
+//!   workload that exercises the partitioned-routing layer.
 //!
 //! The paper uses OpenCV cascades and PocketSphinx + Apertium; those
 //! stacks are not available here, so these kernels substitute compute
@@ -30,4 +36,5 @@
 #![warn(missing_debug_implementations)]
 
 pub mod face;
+pub mod spatial;
 pub mod voice;

@@ -1,0 +1,190 @@
+//! Pure spatial kernels: grid-cell indexing, the synthetic scalar
+//! field the probes sample, and the single-machine aggregation oracle.
+//!
+//! Everything here is a pure function — no clocks, no RNG — so the
+//! distributed pipeline's output can be checked against [`oracle`]
+//! exactly, and a same-seed replay is trivially byte-identical.
+
+use std::collections::BTreeMap;
+
+/// Map a position (meters from the field's south-west corner) to its
+/// grid-cell key: cells are `field_m / grid` on a side, numbered
+/// row-major from the south-west. Positions outside the field clamp to
+/// the border cells, so the mapping is total.
+#[must_use]
+pub fn cell_index(x_m: f64, y_m: f64, field_m: f64, grid: u32) -> i64 {
+    let grid = grid.max(1);
+    let cell_m = field_m.max(1.0) / f64::from(grid);
+    let clamp = |v: f64| ((v / cell_m).floor().max(0.0) as u32).min(grid - 1);
+    i64::from(clamp(y_m)) * i64::from(grid) + i64::from(clamp(x_m))
+}
+
+/// Invert [`cell_index`]: the `(column, row)` of a cell key.
+#[must_use]
+pub fn cell_coords(cell: i64, grid: u32) -> (u32, u32) {
+    let grid = grid.max(1);
+    let cell = cell.max(0) as u64;
+    (
+        (cell % u64::from(grid)) as u32,
+        (cell / u64::from(grid)) as u32,
+    )
+}
+
+/// The synthetic scalar field the probes sample — a smooth "pollution
+/// plume" built from three Gaussian sources whose centers scale with
+/// the field, plus a gentle west-to-east gradient. Pure in `(x, y,
+/// field_m)`, so every probe at the same spot reads the same value.
+#[must_use]
+pub fn reading_at(x_m: f64, y_m: f64, field_m: f64) -> f64 {
+    let f = field_m.max(1.0);
+    let plume = |cx: f64, cy: f64, peak: f64, spread: f64| {
+        let dx = (x_m - cx * f) / (spread * f);
+        let dy = (y_m - cy * f) / (spread * f);
+        peak * (-(dx * dx + dy * dy)).exp()
+    };
+    let base = 5.0 + 10.0 * (x_m / f).clamp(0.0, 1.0);
+    base + plume(0.25, 0.30, 80.0, 0.15)
+        + plume(0.70, 0.65, 55.0, 0.20)
+        + plume(0.85, 0.20, 30.0, 0.10)
+}
+
+/// Per-cell aggregate: count / sum / extrema of the readings observed
+/// in one cell. `Default` is the empty aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellStats {
+    /// Readings observed.
+    pub count: u64,
+    /// Sum of the readings.
+    pub sum: f64,
+    /// Smallest reading (`+inf` while empty).
+    pub min: f64,
+    /// Largest reading (`-inf` while empty).
+    pub max: f64,
+}
+
+impl Default for CellStats {
+    fn default() -> Self {
+        CellStats {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl CellStats {
+    /// Fold one reading in.
+    pub fn observe(&mut self, reading: f64) {
+        self.count += 1;
+        self.sum += reading;
+        self.min = self.min.min(reading);
+        self.max = self.max.max(reading);
+    }
+
+    /// Fold another aggregate in (used by the map sink to merge).
+    pub fn merge(&mut self, other: &CellStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean reading, or 0 while empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The single-machine reference: fold a stream of `(cell, reading)`
+/// pairs into per-cell aggregates. The distributed pipeline — keyed
+/// routing, per-instance state, crash re-homing and all — must produce
+/// exactly this map from the same stream.
+#[must_use]
+pub fn oracle(readings: impl IntoIterator<Item = (i64, f64)>) -> BTreeMap<i64, CellStats> {
+    let mut cells: BTreeMap<i64, CellStats> = BTreeMap::new();
+    for (cell, reading) in readings {
+        cells.entry(cell).or_default().observe(reading);
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_index_is_row_major_and_total() {
+        // 100 m field, 4×4 grid: 25 m cells.
+        assert_eq!(cell_index(0.0, 0.0, 100.0, 4), 0);
+        assert_eq!(cell_index(99.0, 0.0, 100.0, 4), 3);
+        assert_eq!(cell_index(0.0, 99.0, 100.0, 4), 12);
+        assert_eq!(cell_index(60.0, 30.0, 100.0, 4), 4 + 2);
+        // Off-field positions clamp rather than panic or wrap.
+        assert_eq!(cell_index(-5.0, -5.0, 100.0, 4), 0);
+        assert_eq!(cell_index(500.0, 500.0, 100.0, 4), 15);
+        // Degenerate grids stay total.
+        assert_eq!(cell_index(50.0, 50.0, 100.0, 0), 0);
+    }
+
+    #[test]
+    fn cell_coords_inverts_cell_index() {
+        for grid in [1u32, 4, 6] {
+            for cy in 0..grid {
+                for cx in 0..grid {
+                    let cell = i64::from(cy * grid + cx);
+                    assert_eq!(cell_coords(cell, grid), (cx, cy));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reading_field_is_pure_and_peaks_at_the_plume() {
+        let a = reading_at(100.0, 120.0, 400.0);
+        let b = reading_at(100.0, 120.0, 400.0);
+        assert_eq!(a, b, "the field is a pure function of position");
+        let on_plume = reading_at(0.25 * 400.0, 0.30 * 400.0, 400.0);
+        let far = reading_at(0.0, 399.0, 400.0);
+        assert!(
+            on_plume > far + 40.0,
+            "plume center {on_plume} must dominate the far corner {far}"
+        );
+        assert!(far > 0.0, "the base level keeps readings positive");
+    }
+
+    #[test]
+    fn oracle_folds_per_cell() {
+        let m = oracle([(3, 2.0), (1, 1.0), (3, 4.0)]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[&3].count, 2);
+        assert_eq!(m[&3].sum, 6.0);
+        assert_eq!(m[&3].mean(), 3.0);
+        assert_eq!(m[&3].min, 2.0);
+        assert_eq!(m[&3].max, 4.0);
+        assert_eq!(m[&1].count, 1);
+    }
+
+    #[test]
+    fn merge_equals_observing_the_concatenation() {
+        let mut a = CellStats::default();
+        let mut b = CellStats::default();
+        let mut whole = CellStats::default();
+        for (i, r) in [4.0, 9.0, 1.0, 6.5, 3.0].iter().enumerate() {
+            if i % 2 == 0 {
+                a.observe(*r)
+            } else {
+                b.observe(*r)
+            }
+            whole.observe(*r);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(CellStats::default().mean(), 0.0);
+    }
+}

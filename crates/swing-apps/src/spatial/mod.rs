@@ -1,0 +1,76 @@
+//! The spatial-streaming sensing app: grid-keyed aggregation of GPS
+//! probe readings.
+//!
+//! A fleet of probes (seeded [`GeoWalk`]s from `swing-device`) samples
+//! a synthetic pollution plume while walking a square field. Each
+//! sample is stamped with its grid-cell key at the source; the
+//! probe → aggregate edge is **`KeyBy("cell")`**, so every reading of a
+//! cell lands on the one aggregator instance owning that cell's state —
+//! the workload that proves the partitioned-routing layer end to end.
+//! The aggregator keeps per-cell tumbling-window statistics and passes
+//! each reading through enriched; the map sink merges the played
+//! stream back into one per-cell map, which must equal the pure
+//! single-machine [`oracle`] over the same stream.
+//!
+//! The face and voice apps exercise `Broadcast` edges (any replica may
+//! serve any frame); this app is their keyed counterpart: correctness
+//! depends on *which* instance each tuple reaches, including across
+//! crash-driven key re-homing.
+//!
+//! [`GeoWalk`]: swing_device::mobility::GeoWalk
+
+mod grid;
+mod units;
+
+pub use grid::{cell_coords, cell_index, oracle, reading_at, CellStats};
+pub use units::{
+    install, CellObserver, GridAggregate, MapSink, ProbeSource, SpatialAppConfig, FIELD_CELL,
+    FIELD_CELL_COUNT, FIELD_CELL_MEAN, FIELD_DEVICE, FIELD_READING, FIELD_X, FIELD_Y,
+    STAGE_AGGREGATE, STAGE_MAP, STAGE_PROBE,
+};
+
+use swing_core::graph::AppGraph;
+
+/// Aggregator replicas the graph asks for (the keyed stage's
+/// parallelism hint).
+pub const AGGREGATE_PARALLELISM: u32 = 4;
+
+/// Build the three-stage spatial dataflow: probe →(KeyBy cell)→
+/// grid-aggregate → map, with the aggregation stage hinted to
+/// [`AGGREGATE_PARALLELISM`] replicas.
+#[must_use]
+pub fn app_graph() -> AppGraph {
+    let mut g = AppGraph::new("spatial-aggregation");
+    let probe = g.add_source(STAGE_PROBE);
+    let agg = g.add_operator(STAGE_AGGREGATE);
+    let map = g.add_sink(STAGE_MAP);
+    g.connect_keyed(probe, agg, FIELD_CELL).expect("valid edge");
+    g.connect(agg, map).expect("valid edge");
+    g.set_parallelism(agg, AGGREGATE_PARALLELISM)
+        .expect("stage exists");
+    g.set_target_rate(30.0);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swing_core::graph::{EdgeKind, StageId};
+
+    #[test]
+    fn app_graph_is_valid_keyed_and_parallel() {
+        let g = app_graph();
+        g.validate().unwrap();
+        assert_eq!(g.stage_count(), 3);
+        let (probe, agg, map) = (StageId(0), StageId(1), StageId(2));
+        assert_eq!(
+            g.edge_kind(probe, agg),
+            Some(&EdgeKind::KeyBy(FIELD_CELL.into()))
+        );
+        assert_eq!(g.edge_kind(agg, map), Some(&EdgeKind::Broadcast));
+        assert_eq!(
+            g.stage(agg).unwrap().parallelism,
+            Some(AGGREGATE_PARALLELISM)
+        );
+    }
+}

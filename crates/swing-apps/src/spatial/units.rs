@@ -1,0 +1,430 @@
+//! Swing function units for the spatial-aggregation app: GPS probes,
+//! the keyed per-cell aggregator, and the merging map sink.
+
+use crate::spatial::grid::{cell_index, reading_at, CellStats};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use swing_core::stateful::{Keyed, StatefulUnit, WindowSpec};
+use swing_core::unit::{Context, SinkUnit, SourceUnit};
+use swing_core::{Tuple, SECOND_US};
+use swing_device::mobility::GeoWalk;
+use swing_runtime::registry::UnitRegistry;
+
+/// Stage name of the GPS probe source.
+pub const STAGE_PROBE: &str = "probe";
+/// Stage name of the keyed per-cell aggregation operator.
+pub const STAGE_AGGREGATE: &str = "grid-aggregate";
+/// Stage name of the map sink.
+pub const STAGE_MAP: &str = "map";
+
+/// Tuple field holding the grid-cell key — the field the app graph's
+/// `KeyBy` edge partitions on.
+pub const FIELD_CELL: &str = "cell";
+/// Tuple field holding the probe's x position, meters.
+pub const FIELD_X: &str = "x";
+/// Tuple field holding the probe's y position, meters.
+pub const FIELD_Y: &str = "y";
+/// Tuple field holding the probe device index.
+pub const FIELD_DEVICE: &str = "device";
+/// Tuple field holding the sampled scalar reading.
+pub const FIELD_READING: &str = "reading";
+/// Enrichment field: readings seen for this cell in the current window
+/// (including this one).
+pub const FIELD_CELL_COUNT: &str = "cell_count";
+/// Enrichment field: mean reading for this cell in the current window.
+pub const FIELD_CELL_MEAN: &str = "cell_mean";
+
+/// App-level configuration shared by all spatial units.
+#[derive(Debug, Clone)]
+pub struct SpatialAppConfig {
+    /// Mobility seed: probe walks derive from `seed + device index`.
+    pub seed: u64,
+    /// Number of probe devices the source multiplexes.
+    pub devices: u32,
+    /// Side length of the square field, meters.
+    pub field_m: f64,
+    /// Grid resolution per side: `grid × grid` cells (the key space).
+    pub grid: u32,
+    /// Probe walking speed, m/s.
+    pub speed_mps: f64,
+    /// Virtual time between two samples of the *same* device, µs.
+    pub sample_period_us: u64,
+    /// Tumbling-window span of the aggregation stage, µs.
+    pub window_us: u64,
+    /// Total tuples the source emits before ending the stream
+    /// (`u64::MAX` = unbounded).
+    pub frames: u64,
+}
+
+impl Default for SpatialAppConfig {
+    fn default() -> Self {
+        SpatialAppConfig {
+            seed: 42,
+            devices: 8,
+            field_m: 240.0,
+            grid: 6,
+            speed_mps: 12.0,
+            sample_period_us: 200_000,
+            window_us: SECOND_US,
+            frames: u64::MAX,
+        }
+    }
+}
+
+/// Source unit: a fleet of GPS probes walking the field. Each call
+/// samples the next device round-robin, advancing that device's
+/// [`GeoWalk`] by one sample period on its *own* clock — so the emitted
+/// stream is a pure function of the config, independent of the pacing
+/// loop's wall-clock arguments. That is what lets a test regenerate the
+/// exact sensed stream as a single-machine oracle.
+#[derive(Debug)]
+pub struct ProbeSource {
+    walkers: Vec<GeoWalk>,
+    samples: Vec<u64>,
+    field_m: f64,
+    grid: u32,
+    sample_period_us: u64,
+    frames: u64,
+    emitted: u64,
+}
+
+impl ProbeSource {
+    /// Build from the app config.
+    #[must_use]
+    pub fn new(config: &SpatialAppConfig) -> Self {
+        let devices = config.devices.max(1);
+        let walkers = (0..devices)
+            .map(|d| GeoWalk::new(config.seed + u64::from(d), config.field_m, config.speed_mps))
+            .collect();
+        ProbeSource {
+            walkers,
+            samples: vec![0; devices as usize],
+            field_m: config.field_m.max(1.0),
+            grid: config.grid,
+            sample_period_us: config.sample_period_us.max(1),
+            frames: config.frames,
+            emitted: 0,
+        }
+    }
+}
+
+impl SourceUnit for ProbeSource {
+    fn next_tuple(&mut self, _now_us: u64) -> Option<Tuple> {
+        if self.emitted >= self.frames {
+            return None;
+        }
+        let d = (self.emitted % self.walkers.len() as u64) as usize;
+        self.emitted += 1;
+        self.samples[d] += 1;
+        let t_us = self.samples[d] * self.sample_period_us;
+        let (x, y) = self.walkers[d].position_at(t_us);
+        let cell = cell_index(x, y, self.field_m, self.grid);
+        let reading = reading_at(x, y, self.field_m);
+        Some(
+            Tuple::new()
+                .with(FIELD_DEVICE, d as i64)
+                .with(FIELD_X, x)
+                .with(FIELD_Y, y)
+                .with(FIELD_CELL, cell)
+                .with(FIELD_READING, reading),
+        )
+    }
+}
+
+/// Called with the cell key of every tuple an aggregator instance
+/// processes — the hook the cross-key-leakage tests hang their
+/// per-instance trackers on.
+pub type CellObserver = Arc<dyn Fn(i64) + Send + Sync>;
+
+/// Keyed operator: per-grid-cell windowed statistics. State lives in
+/// one cell per key, which is only sound behind the app graph's
+/// `KeyBy(FIELD_CELL)` edge; each input is passed through enriched with
+/// its cell's running count and mean (exactly one output per input, so
+/// the runtime's sequence accounting stays exact).
+pub struct GridAggregate {
+    window_us: u64,
+    observer: Option<CellObserver>,
+}
+
+impl std::fmt::Debug for GridAggregate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GridAggregate")
+            .field("window_us", &self.window_us)
+            .field("observed", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl GridAggregate {
+    /// Build from the app config.
+    #[must_use]
+    pub fn new(config: &SpatialAppConfig) -> Self {
+        GridAggregate {
+            window_us: config.window_us.max(1),
+            observer: None,
+        }
+    }
+
+    /// Attach a per-tuple cell observer (testing hook).
+    #[must_use]
+    pub fn with_observer(mut self, observer: CellObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Wrap in the [`Keyed`] adapter, ready to register as an operator.
+    ///
+    /// # Panics
+    /// Never — the tumbling window constructed from the config is
+    /// always valid.
+    #[must_use]
+    pub fn keyed(self) -> Keyed<GridAggregate> {
+        Keyed::new(self).expect("tumbling window with positive span is valid")
+    }
+}
+
+impl StatefulUnit for GridAggregate {
+    type State = CellStats;
+
+    fn key_field(&self) -> &str {
+        FIELD_CELL
+    }
+
+    fn window(&self) -> WindowSpec {
+        WindowSpec::tumbling(self.window_us)
+    }
+
+    fn accumulate(&mut self, state: &mut CellStats, data: &Tuple, _now_us: u64) {
+        if let Ok(reading) = data.f64(FIELD_READING) {
+            state.observe(reading);
+        }
+    }
+
+    fn process(&mut self, state: &CellStats, data: Tuple, ctx: &mut Context<'_>) {
+        if let (Some(obs), Ok(cell)) = (&self.observer, data.i64(FIELD_CELL)) {
+            obs(cell);
+        }
+        ctx.send(
+            data.with(FIELD_CELL_COUNT, state.count as i64)
+                .with(FIELD_CELL_MEAN, state.mean()),
+        );
+    }
+}
+
+/// Sink unit: merges every played tuple's *raw* `(cell, reading)` into
+/// a per-cell map. Merging from raw fields (not the window-scoped
+/// enrichment) makes the final map independent of window placement and
+/// of which aggregator instance owned a key when — it must equal the
+/// single-machine [`oracle`] over the played stream, crashes and
+/// re-homing notwithstanding.
+///
+/// [`oracle`]: crate::spatial::grid::oracle
+pub struct MapSink<F: FnMut(i64, &CellStats) + Send> {
+    cells: BTreeMap<i64, CellStats>,
+    on_update: F,
+}
+
+impl<F: FnMut(i64, &CellStats) + Send> std::fmt::Debug for MapSink<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MapSink")
+            .field("cells", &self.cells.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: FnMut(i64, &CellStats) + Send> MapSink<F> {
+    /// Build with an update callback, invoked with a cell's aggregate
+    /// after each played tuple folds in.
+    pub fn new(on_update: F) -> Self {
+        MapSink {
+            cells: BTreeMap::new(),
+            on_update,
+        }
+    }
+
+    /// The merged per-cell map so far.
+    #[must_use]
+    pub fn cells(&self) -> &BTreeMap<i64, CellStats> {
+        &self.cells
+    }
+}
+
+impl<F: FnMut(i64, &CellStats) + Send> SinkUnit for MapSink<F> {
+    fn consume(&mut self, data: Tuple, _now_us: u64) {
+        let (Ok(cell), Ok(reading)) = (data.i64(FIELD_CELL), data.f64(FIELD_READING)) else {
+            return; // malformed tuple: drop
+        };
+        let stats = self.cells.entry(cell).or_default();
+        stats.observe(reading);
+        (self.on_update)(cell, stats);
+    }
+}
+
+/// Install all three spatial stages into a runtime registry.
+pub fn install(registry: &mut UnitRegistry, config: SpatialAppConfig) {
+    let config = Arc::new(config);
+    let c = Arc::clone(&config);
+    registry.register_source(STAGE_PROBE, move || ProbeSource::new(&c));
+    let c = Arc::clone(&config);
+    registry.register_operator(STAGE_AGGREGATE, move || GridAggregate::new(&c).keyed());
+    registry.register_sink(STAGE_MAP, move || MapSink::new(|_, _| {}));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spatial::grid::oracle;
+    use swing_core::unit::FunctionUnit;
+
+    fn small_config() -> SpatialAppConfig {
+        SpatialAppConfig {
+            frames: 400,
+            ..SpatialAppConfig::default()
+        }
+    }
+
+    fn drain(mut src: ProbeSource) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        while let Some(t) = src.next_tuple(0) {
+            out.push(t);
+        }
+        out
+    }
+
+    #[test]
+    fn probe_source_is_deterministic_and_ends() {
+        let cfg = small_config();
+        let a = drain(ProbeSource::new(&cfg));
+        let b = drain(ProbeSource::new(&cfg));
+        assert_eq!(a.len(), 400, "frames cap ends the stream");
+        assert_eq!(a, b, "same config, same stream");
+        let c = drain(ProbeSource::new(&SpatialAppConfig {
+            seed: 7,
+            ..small_config()
+        }));
+        assert_ne!(a, c, "a different seed walks a different trace");
+    }
+
+    #[test]
+    fn probe_tuples_are_well_formed_and_cover_the_grid() {
+        let cfg = small_config();
+        let tuples = drain(ProbeSource::new(&cfg));
+        let mut cells = std::collections::BTreeSet::new();
+        for t in &tuples {
+            let x = t.f64(FIELD_X).unwrap();
+            let y = t.f64(FIELD_Y).unwrap();
+            assert!((0.0..=cfg.field_m).contains(&x));
+            assert!((0.0..=cfg.field_m).contains(&y));
+            let cell = t.i64(FIELD_CELL).unwrap();
+            assert_eq!(cell, cell_index(x, y, cfg.field_m, cfg.grid));
+            assert!((0..i64::from(cfg.grid * cfg.grid)).contains(&cell));
+            assert!(t.f64(FIELD_READING).unwrap() > 0.0);
+            assert!((0..i64::from(cfg.devices)).contains(&t.i64(FIELD_DEVICE).unwrap()));
+            cells.insert(cell);
+        }
+        assert!(
+            cells.len() >= 16,
+            "400 samples must touch >= 16 grid cells, got {}",
+            cells.len()
+        );
+    }
+
+    #[test]
+    fn aggregate_enriches_with_running_window_stats() {
+        let cfg = SpatialAppConfig {
+            frames: 64,
+            ..SpatialAppConfig::default()
+        };
+        let mut op = GridAggregate::new(&cfg).keyed();
+        let mut out = Vec::new();
+        // All inside one window: counts are per-cell running totals.
+        for (i, t) in drain(ProbeSource::new(&cfg)).into_iter().enumerate() {
+            let mut ctx = Context::new(i as u64 * 1_000, &mut out);
+            op.process_data(t, &mut ctx);
+        }
+        assert_eq!(out.len(), 64, "exactly one output per input");
+        let mut seen: BTreeMap<i64, CellStats> = BTreeMap::new();
+        for t in &out {
+            let cell = t.i64(FIELD_CELL).unwrap();
+            seen.entry(cell)
+                .or_default()
+                .observe(t.f64(FIELD_READING).unwrap());
+            let s = &seen[&cell];
+            assert_eq!(t.i64(FIELD_CELL_COUNT).unwrap(), s.count as i64);
+            assert!((t.f64(FIELD_CELL_MEAN).unwrap() - s.mean()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn aggregate_windows_tumble() {
+        let cfg = SpatialAppConfig::default();
+        let mut op = GridAggregate::new(&cfg).keyed();
+        let mut out = Vec::new();
+        let t = Tuple::new().with(FIELD_CELL, 3i64).with(FIELD_READING, 2.0);
+        for now in [0, 1_000] {
+            let mut ctx = Context::new(now, &mut out);
+            op.process_data(t.clone(), &mut ctx);
+        }
+        assert_eq!(out[1].i64(FIELD_CELL_COUNT).unwrap(), 2);
+        // Next window: the cell's state starts fresh.
+        let mut ctx = Context::new(cfg.window_us + 1, &mut out);
+        op.process_data(t.clone(), &mut ctx);
+        assert_eq!(out[2].i64(FIELD_CELL_COUNT).unwrap(), 1);
+    }
+
+    #[test]
+    fn observer_sees_every_cell() {
+        let cfg = SpatialAppConfig {
+            frames: 32,
+            ..SpatialAppConfig::default()
+        };
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let s = Arc::clone(&seen);
+        let mut op = GridAggregate::new(&cfg)
+            .with_observer(Arc::new(move |cell| s.lock().unwrap().push(cell)))
+            .keyed();
+        let tuples = drain(ProbeSource::new(&cfg));
+        let expect: Vec<i64> = tuples.iter().map(|t| t.i64(FIELD_CELL).unwrap()).collect();
+        let mut out = Vec::new();
+        for t in tuples {
+            let mut ctx = Context::new(0, &mut out);
+            op.process_data(t, &mut ctx);
+        }
+        assert_eq!(*seen.lock().unwrap(), expect);
+    }
+
+    #[test]
+    fn map_sink_merge_equals_the_oracle() {
+        let cfg = small_config();
+        let tuples = drain(ProbeSource::new(&cfg));
+        let expect = oracle(
+            tuples
+                .iter()
+                .map(|t| (t.i64(FIELD_CELL).unwrap(), t.f64(FIELD_READING).unwrap())),
+        );
+        let mut updates = 0u64;
+        let mut sink = MapSink::new(|_, _| updates += 1);
+        for t in tuples {
+            sink.consume(t, 0);
+        }
+        assert_eq!(sink.cells(), &expect);
+        drop(sink);
+        assert_eq!(updates, 400, "one callback per played tuple");
+    }
+
+    #[test]
+    fn malformed_tuples_are_dropped_not_counted() {
+        let mut sink = MapSink::new(|_, _| {});
+        sink.consume(Tuple::new().with("other", 1i64), 0);
+        assert!(sink.cells().is_empty());
+    }
+
+    #[test]
+    fn install_registers_all_three_stages() {
+        let mut r = UnitRegistry::new();
+        install(&mut r, SpatialAppConfig::default());
+        for stage in [STAGE_PROBE, STAGE_AGGREGATE, STAGE_MAP] {
+            assert!(r.contains(stage), "{stage} missing");
+        }
+    }
+}

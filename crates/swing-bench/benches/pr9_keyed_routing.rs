@@ -1,0 +1,196 @@
+//! PR9 keyed-routing overhead microbench: measures what the
+//! partition-aware dispatch path costs per tuple, against the PR2
+//! `dispatch_clone_and_record` baseline, and writes the result to
+//! `BENCH_pr9_keyed.json` at the workspace root.
+//!
+//! Run with `cargo bench -p swing-bench --bench pr9_keyed_routing`
+//! (append `-- --quick` for the CI smoke run, `-- --assert` to fail the
+//! process when the Broadcast-edge overhead exceeds the 5% budget).
+//!
+//! Two rows:
+//!
+//! * `dispatch_broadcast_overhead` — the **gated** row. Broadcast is
+//!   every pre-PR9 edge, so the partition generalization must be free
+//!   there: the instrumented column adds exactly what the refactored
+//!   dispatcher now runs per Broadcast tuple (one partition-mode
+//!   discriminant match yielding no key hash) on top of the PR2 dispatch
+//!   work. Budget: 5% over the baseline.
+//! * `dispatch_keyed_overhead` — informational. The full `KeyBy` path:
+//!   hash the key field to canonical bytes, rendezvous-hash it over four
+//!   live downstream instances, record the owner in the key-ownership
+//!   map and bump the per-downstream routed count (the publish-time
+//!   telemetry feed).
+
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Instant;
+use swing_core::routing::partition::{rendezvous_owner, tuple_key_hash};
+use swing_core::{SeqNo, Tuple, UnitId};
+
+/// Local mirror of the dispatcher's partition mode, so the bench charges
+/// the same discriminant match the hot path runs.
+enum Mode {
+    Broadcast,
+    KeyBy {
+        field: String,
+        owners: HashMap<u64, UnitId>,
+    },
+}
+
+/// Nanoseconds per iteration for one timed run.
+fn time_ns<F: FnMut()>(f: &mut F, iters: u64) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Interleaved best-of-`runs` for a baseline/instrumented pair, same
+/// discipline as the PR2/PR3/PR5 harnesses.
+fn bench_pair<A: FnMut(), B: FnMut()>(
+    mut baseline: A,
+    mut instrumented: B,
+    iters: u64,
+    runs: usize,
+) -> (f64, f64) {
+    time_ns(&mut baseline, iters / 10 + 1);
+    time_ns(&mut instrumented, iters / 10 + 1);
+    let mut base_best = f64::INFINITY;
+    let mut inst_best = f64::INFINITY;
+    for _ in 0..runs {
+        base_best = base_best.min(time_ns(&mut baseline, iters));
+        inst_best = inst_best.min(time_ns(&mut instrumented, iters));
+    }
+    (base_best, inst_best)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let assert_budget = std::env::args().any(|a| a == "--assert");
+    let (iters, runs) = if quick { (50_000, 5) } else { (200_000, 7) };
+
+    // The PR2 dispatch workload: a 6 kB camera frame plus a scalar key
+    // field, rotated across 4096 distinct tuples so payload refcounts
+    // touch memory beyond L2 the way production dispatch does.
+    const ROT: usize = 4096;
+    let tuples: Vec<Tuple> = (0..ROT)
+        .map(|i| {
+            Tuple::with_seq(SeqNo(i as u64))
+                .with("frame", vec![(i % 251) as u8; 6_000])
+                .with("cam", (i % 36) as i64)
+        })
+        .collect();
+
+    let members = [UnitId(11), UnitId(12), UnitId(13), UnitId(14)];
+
+    // Pin the CPU at its working frequency before the first row.
+    {
+        let spin_until = Instant::now() + std::time::Duration::from_millis(200);
+        let mut i = 0usize;
+        while Instant::now() < spin_until {
+            black_box((tuples[i].clone(), tuples[i].clone()));
+            i = (i + 1) & (ROT - 1);
+        }
+    }
+
+    // --- gated row: Broadcast dispatch, pre- vs post-refactor ---
+    let mode = Mode::Broadcast;
+    let (mut bi, mut ai) = (0usize, 0usize);
+    let (baseline, instrumented) = bench_pair(
+        || {
+            let t = black_box(&tuples[bi]);
+            let wire_copy = t.clone();
+            let inflight_copy = t.clone();
+            black_box((wire_copy, inflight_copy));
+            bi = (bi + 1) & (ROT - 1);
+        },
+        || {
+            let t = black_box(&tuples[ai]);
+            // The partition-aware path's only Broadcast addition: the
+            // mode match deciding no key hash is needed.
+            let key_hash = match black_box(&mode) {
+                Mode::KeyBy { field, .. } => Some(tuple_key_hash(t, field)),
+                Mode::Broadcast => None,
+            };
+            black_box(key_hash);
+            let wire_copy = t.clone();
+            let inflight_copy = t.clone();
+            black_box((wire_copy, inflight_copy));
+            ai = (ai + 1) & (ROT - 1);
+        },
+        iters,
+        runs,
+    );
+    let overhead_pct = (instrumented / baseline - 1.0).max(0.0) * 100.0;
+    println!(
+        "broadcast edge  baseline {baseline:>8.1} ns  instrumented {instrumented:>8.1} ns  overhead {overhead_pct:>5.2}%"
+    );
+
+    // --- informational row: the full KeyBy dispatch path ---
+    let mut mode = Mode::KeyBy {
+        field: "cam".to_owned(),
+        owners: HashMap::new(),
+    };
+    let mut routed: Vec<(UnitId, u64)> = Vec::new();
+    let (mut bi, mut ai) = (0usize, 0usize);
+    let (keyed_base, keyed_inst) = bench_pair(
+        || {
+            let t = black_box(&tuples[bi]);
+            black_box((t.clone(), t.clone()));
+            bi = (bi + 1) & (ROT - 1);
+        },
+        || {
+            let t = black_box(&tuples[ai]);
+            let key_hash = match &mode {
+                Mode::KeyBy { field, .. } => Some(tuple_key_hash(t, field)),
+                Mode::Broadcast => None,
+            };
+            let h = key_hash.expect("keyed mode");
+            let dest = rendezvous_owner(h, members.iter().copied()).expect("live members");
+            if let Mode::KeyBy { owners, .. } = &mut mode {
+                owners.insert(h, dest);
+            }
+            match routed.iter_mut().find(|(u, _)| *u == dest) {
+                Some((_, n)) => *n += 1,
+                None => routed.push((dest, 1)),
+            }
+            let wire_copy = t.clone();
+            let inflight_copy = t.clone();
+            black_box((wire_copy, inflight_copy));
+            ai = (ai + 1) & (ROT - 1);
+        },
+        iters,
+        runs,
+    );
+    let keyed_pct = (keyed_inst / keyed_base - 1.0).max(0.0) * 100.0;
+    println!(
+        "keyed edge      baseline {keyed_base:>8.1} ns  instrumented {keyed_inst:>8.1} ns  overhead {keyed_pct:>5.2}%"
+    );
+    // Keep the side tables observable so the work can't be optimized
+    // out, and sanity-check the rendezvous spread all four ways.
+    if let Mode::KeyBy { owners, .. } = &mode {
+        assert!(owners.len() >= 32, "36 key values must populate the map");
+    }
+    assert_eq!(
+        routed.len(),
+        members.len(),
+        "keys must spread to all members"
+    );
+
+    let json = format!(
+        "{{\n  \"pr\": 9,\n  \"quick\": {quick},\n  \"budget_pct\": 5.0,\n  \"harness\": \"self-contained Instant loop (min-of-runs); host-specific — compare columns within one report, regenerate rather than compare across machines\",\n  \"benches\": [\n    {{\"name\": \"dispatch_broadcast_overhead\", \"unit\": \"ns/op\", \"baseline\": {baseline:.1}, \"instrumented\": {instrumented:.1}, \"overhead_pct\": {overhead_pct:.2}}},\n    {{\"name\": \"dispatch_keyed_overhead\", \"unit\": \"ns/op\", \"baseline\": {keyed_base:.1}, \"instrumented\": {keyed_inst:.1}, \"overhead_pct\": {keyed_pct:.2}}}\n  ]\n}}\n"
+    );
+    let out = std::env::var("BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_pr9_keyed.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out, &json).expect("write BENCH_pr9_keyed.json");
+    println!("\nwrote {out}");
+
+    if assert_budget {
+        assert!(
+            overhead_pct <= 5.0,
+            "Broadcast-edge dispatch overhead {overhead_pct:.2}% exceeds the 5% budget"
+        );
+        println!("Broadcast-edge overhead within the 5% budget");
+    }
+}

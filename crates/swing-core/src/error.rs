@@ -7,6 +7,7 @@
 //! re-exports `NetError`/`NetResult` as deprecated aliases of
 //! [`Error`]/[`Result`] for one release.
 
+use crate::graph::StageId;
 use crate::UnitId;
 use std::fmt;
 use std::io;
@@ -22,6 +23,10 @@ pub type Result<T> = std::result::Result<T, Error>;
 pub enum Error {
     /// An edge refers to a unit id that is not part of the graph.
     UnknownUnit(UnitId),
+    /// A graph operation refers to a stage id that is not part of the
+    /// graph. Distinct from [`UnknownUnit`](Error::UnknownUnit): stages
+    /// are logical graph vertices, units are deployed instances.
+    UnknownStage(StageId),
     /// The same edge was added twice.
     DuplicateEdge(UnitId, UnitId),
     /// Connecting these units would create a cycle; Swing graphs are DAGs.
@@ -86,6 +91,7 @@ impl PartialEq for Error {
         use Error::*;
         match (self, other) {
             (UnknownUnit(a), UnknownUnit(b)) => a == b,
+            (UnknownStage(a), UnknownStage(b)) => a == b,
             (DuplicateEdge(a1, a2), DuplicateEdge(b1, b2)) => a1 == b1 && a2 == b2,
             (CycleDetected(a1, a2), CycleDetected(b1, b2)) => a1 == b1 && a2 == b2,
             (InvalidEndpoint(a, aw), InvalidEndpoint(b, bw)) => a == b && aw == bw,
@@ -133,6 +139,7 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::UnknownUnit(u) => write!(f, "unknown function unit {u}"),
+            Error::UnknownStage(s) => write!(f, "unknown stage {s}"),
             Error::DuplicateEdge(a, b) => write!(f, "edge {a} -> {b} already exists"),
             Error::CycleDetected(a, b) => {
                 write!(
@@ -214,6 +221,19 @@ mod tests {
     fn errors_compare_equal() {
         assert_eq!(Error::NoDownstreams, Error::NoDownstreams);
         assert_ne!(Error::UnknownUnit(UnitId(1)), Error::UnknownUnit(UnitId(2)));
+        assert_eq!(
+            Error::UnknownStage(StageId(4)),
+            Error::UnknownStage(StageId(4))
+        );
+        assert_ne!(
+            Error::UnknownStage(StageId(4)),
+            Error::UnknownStage(StageId(5))
+        );
+        // Stage and unit errors never conflate, even for equal raw ids.
+        assert_ne!(
+            Error::UnknownStage(StageId(4)),
+            Error::UnknownUnit(UnitId(4))
+        );
     }
 
     #[test]

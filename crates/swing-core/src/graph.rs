@@ -56,6 +56,48 @@ pub struct StageSpec {
     pub role: Role,
     /// Optional schema of the tuples this stage emits.
     pub output_schema: Option<TupleSchema>,
+    /// Parallelism hint: cap on how many replicas a deployment should
+    /// place for this stage. `None` means "as many as the placement
+    /// policy likes" (today's behavior).
+    pub parallelism: Option<u32>,
+}
+
+/// How tuples crossing an edge are distributed over the downstream
+/// stage's instances.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EdgeKind {
+    /// Every downstream replica is a candidate; LRS (or the configured
+    /// policy) picks one per tuple. Today's behavior and the default.
+    #[default]
+    Broadcast,
+    /// Hash-partitioned on the named tuple field: every tuple carrying
+    /// the same key value goes to the one instance that owns the key
+    /// under rendezvous hashing (see
+    /// [`routing::partition`](crate::routing::partition)).
+    KeyBy(String),
+    /// Deterministic round-robin over live instances, ignoring latency.
+    Rebalance,
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeKind::Broadcast => f.write_str("broadcast"),
+            EdgeKind::KeyBy(field) => write!(f, "key_by({field})"),
+            EdgeKind::Rebalance => f.write_str("rebalance"),
+        }
+    }
+}
+
+/// One directed edge of the dataflow graph, with its distribution kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeSpec {
+    /// Upstream stage.
+    pub from: StageId,
+    /// Downstream stage.
+    pub to: StageId,
+    /// How tuples are spread over the downstream's instances.
+    pub kind: EdgeKind,
 }
 
 /// A directed acyclic dataflow graph describing a Swing application.
@@ -79,8 +121,15 @@ pub struct StageSpec {
 pub struct AppGraph {
     name: String,
     stages: Vec<StageSpec>,
-    /// Adjacency as (upstream, downstream) pairs.
-    edges: Vec<(StageId, StageId)>,
+    /// Edges in insertion order.
+    edges: Vec<EdgeSpec>,
+    /// Downstream adjacency per stage, maintained incrementally by
+    /// `connect_with` so graph walks (`reaches`, `topo_order`,
+    /// `downstreams`) are O(V+E) instead of rescanning the flat edge
+    /// list per node. Per-stage order mirrors edge insertion order.
+    out_adj: Vec<Vec<StageId>>,
+    /// Upstream adjacency per stage (see `out_adj`).
+    in_adj: Vec<Vec<StageId>>,
     /// Performance requirement: input rate (tuples/s) the app must sustain,
     /// settable by the programmer (paper §IV-A). `None` means best effort.
     target_rate: Option<f64>,
@@ -94,6 +143,8 @@ impl AppGraph {
             name: name.into(),
             stages: Vec::new(),
             edges: Vec::new(),
+            out_adj: Vec::new(),
+            in_adj: Vec::new(),
             target_rate: None,
         }
     }
@@ -136,7 +187,10 @@ impl AppGraph {
             name: name.into(),
             role,
             output_schema: None,
+            parallelism: None,
         });
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
         id
     }
 
@@ -145,24 +199,70 @@ impl AppGraph {
         let spec = self
             .stages
             .get_mut(stage.0 as usize)
-            .ok_or(Error::UnknownUnit(UnitId(stage.0)))?;
+            .ok_or(Error::UnknownStage(stage))?;
         spec.output_schema = Some(schema);
         Ok(())
     }
 
-    /// Connect `from` to `to` (the paper's `src.connectTo(f1)`).
+    /// Declare how many replicas a deployment should place for `stage`
+    /// at most. `replicas` must be at least 1.
+    pub fn set_parallelism(&mut self, stage: StageId, replicas: u32) -> Result<()> {
+        if replicas == 0 {
+            return Err(Error::InvalidConfig(
+                "stage parallelism must be at least 1".into(),
+            ));
+        }
+        let spec = self
+            .stages
+            .get_mut(stage.0 as usize)
+            .ok_or(Error::UnknownStage(stage))?;
+        spec.parallelism = Some(replicas);
+        Ok(())
+    }
+
+    /// Connect `from` to `to` (the paper's `src.connectTo(f1)`) with
+    /// the default [`Broadcast`](EdgeKind::Broadcast) distribution.
     ///
     /// Rejects unknown stages, duplicate edges, edges into a source or out
     /// of a sink, self-loops and anything that would create a cycle.
     pub fn connect(&mut self, from: StageId, to: StageId) -> Result<()> {
+        self.connect_with(from, to, EdgeKind::Broadcast)
+    }
+
+    /// Connect `from` to `to` hash-partitioned on tuple field `field`:
+    /// every tuple with the same key value is routed to the one
+    /// downstream instance owning that key.
+    pub fn connect_keyed(
+        &mut self,
+        from: StageId,
+        to: StageId,
+        field: impl Into<String>,
+    ) -> Result<()> {
+        self.connect_with(from, to, EdgeKind::KeyBy(field.into()))
+    }
+
+    /// Connect `from` to `to` with deterministic round-robin
+    /// distribution over the downstream's live instances.
+    pub fn connect_rebalance(&mut self, from: StageId, to: StageId) -> Result<()> {
+        self.connect_with(from, to, EdgeKind::Rebalance)
+    }
+
+    /// Connect `from` to `to` with an explicit [`EdgeKind`].
+    ///
+    /// Beyond [`connect`](Self::connect)'s checks, a non-`Broadcast`
+    /// out-edge must be its stage's *only* out-edge (and vice versa):
+    /// one upstream dispatcher tracks in-flight tuples by sequence
+    /// number, so it runs exactly one distribution mode. `KeyBy` also
+    /// requires a non-empty field name.
+    pub fn connect_with(&mut self, from: StageId, to: StageId, kind: EdgeKind) -> Result<()> {
         let from_spec = self
             .stages
             .get(from.0 as usize)
-            .ok_or(Error::UnknownUnit(UnitId(from.0)))?;
+            .ok_or(Error::UnknownStage(from))?;
         let to_spec = self
             .stages
             .get(to.0 as usize)
-            .ok_or(Error::UnknownUnit(UnitId(to.0)))?;
+            .ok_or(Error::UnknownStage(to))?;
         if from_spec.role == Role::Sink {
             return Err(Error::InvalidEndpoint(
                 UnitId(from.0),
@@ -178,13 +278,34 @@ impl AppGraph {
         if from == to {
             return Err(Error::CycleDetected(UnitId(from.0), UnitId(to.0)));
         }
-        if self.edges.contains(&(from, to)) {
+        if let EdgeKind::KeyBy(field) = &kind {
+            if field.is_empty() {
+                return Err(Error::InvalidConfig(
+                    "key_by edge requires a non-empty field name".into(),
+                ));
+            }
+        }
+        if self.edges.iter().any(|e| e.from == from && e.to == to) {
             return Err(Error::DuplicateEdge(UnitId(from.0), UnitId(to.0)));
+        }
+        let has_out = !self.out_adj[from.0 as usize].is_empty();
+        let has_partitioned_out = self
+            .edges
+            .iter()
+            .any(|e| e.from == from && e.kind != EdgeKind::Broadcast);
+        if (kind != EdgeKind::Broadcast && has_out) || has_partitioned_out {
+            return Err(Error::InvalidGraph(format!(
+                "stage `{}` would mix a partitioned out-edge with other \
+                 out-edges; key_by/rebalance edges must be sole",
+                from_spec.name
+            )));
         }
         if self.reaches(to, from) {
             return Err(Error::CycleDetected(UnitId(from.0), UnitId(to.0)));
         }
-        self.edges.push((from, to));
+        self.edges.push(EdgeSpec { from, to, kind });
+        self.out_adj[from.0 as usize].push(to);
+        self.in_adj[to.0 as usize].push(from);
         Ok(())
     }
 
@@ -199,11 +320,7 @@ impl AppGraph {
             if std::mem::replace(&mut seen[s.0 as usize], true) {
                 continue;
             }
-            for &(a, b) in &self.edges {
-                if a == s {
-                    queue.push_back(b);
-                }
-            }
+            queue.extend(&self.out_adj[s.0 as usize]);
         }
         false
     }
@@ -212,7 +329,7 @@ impl AppGraph {
     pub fn stage(&self, id: StageId) -> Result<&StageSpec> {
         self.stages
             .get(id.0 as usize)
-            .ok_or(Error::UnknownUnit(UnitId(id.0)))
+            .ok_or(Error::UnknownStage(id))
     }
 
     /// Look up a stage id by name.
@@ -235,26 +352,39 @@ impl AppGraph {
         self.stages.len()
     }
 
-    /// All edges as (upstream, downstream) pairs.
+    /// All edges in insertion order.
     #[must_use]
-    pub fn edges(&self) -> &[(StageId, StageId)] {
+    pub fn edges(&self) -> &[EdgeSpec] {
         &self.edges
+    }
+
+    /// The distribution kind of the `from -> to` edge, if it exists.
+    #[must_use]
+    pub fn edge_kind(&self, from: StageId, to: StageId) -> Option<&EdgeKind> {
+        self.edges
+            .iter()
+            .find(|e| e.from == from && e.to == to)
+            .map(|e| &e.kind)
     }
 
     /// Stages that `stage` sends tuples to.
     pub fn downstreams(&self, stage: StageId) -> impl Iterator<Item = StageId> + '_ {
-        self.edges
+        self.out_adj
+            .get(stage.0 as usize)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
             .iter()
-            .filter(move |(a, _)| *a == stage)
-            .map(|(_, b)| *b)
+            .copied()
     }
 
     /// Stages that send tuples to `stage`.
     pub fn upstreams(&self, stage: StageId) -> impl Iterator<Item = StageId> + '_ {
-        self.edges
+        self.in_adj
+            .get(stage.0 as usize)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
             .iter()
-            .filter(move |(_, b)| *b == stage)
-            .map(|(a, _)| *a)
+            .copied()
     }
 
     /// All source stages.
@@ -275,10 +405,7 @@ impl AppGraph {
     /// [`connect`](Self::connect), which rejects cycles eagerly).
     pub fn topo_order(&self) -> Result<Vec<StageId>> {
         let n = self.stages.len();
-        let mut indeg = vec![0usize; n];
-        for &(_, b) in &self.edges {
-            indeg[b.0 as usize] += 1;
-        }
+        let mut indeg: Vec<usize> = self.in_adj.iter().map(Vec::len).collect();
         let mut queue: VecDeque<StageId> = (0..n as u32)
             .map(StageId)
             .filter(|s| indeg[s.0 as usize] == 0)
@@ -286,12 +413,10 @@ impl AppGraph {
         let mut order = Vec::with_capacity(n);
         while let Some(s) = queue.pop_front() {
             order.push(s);
-            for &(a, b) in &self.edges {
-                if a == s {
-                    indeg[b.0 as usize] -= 1;
-                    if indeg[b.0 as usize] == 0 {
-                        queue.push_back(b);
-                    }
+            for &b in &self.out_adj[s.0 as usize] {
+                indeg[b.0 as usize] -= 1;
+                if indeg[b.0 as usize] == 0 {
+                    queue.push_back(b);
                 }
             }
         }
@@ -324,8 +449,17 @@ impl AppGraph {
                 shape
             ));
         }
-        for &(a, b) in &self.edges {
-            out.push_str(&format!("  {a} -> {b};\n"));
+        for e in &self.edges {
+            match &e.kind {
+                // Unlabeled, exactly as before this field existed.
+                EdgeKind::Broadcast => out.push_str(&format!("  {} -> {};\n", e.from, e.to)),
+                kind => out.push_str(&format!(
+                    "  {} -> {} [label=\"{}\"];\n",
+                    e.from,
+                    e.to,
+                    kind.to_string().replace('"', "'")
+                )),
+            }
         }
         out.push_str("}\n");
         out
@@ -464,11 +598,46 @@ impl Deployment {
 
     /// The downstream instances a given instance should route to, derived
     /// from the logical graph: every instance of every downstream stage.
+    ///
+    /// This is the *candidate set* — on a `Broadcast` edge the router
+    /// picks among all of them per tuple; on a partitioned edge use
+    /// [`downstream_instances_for`](Self::downstream_instances_for)
+    /// to resolve a concrete tuple's destination.
     pub fn downstream_instances(&self, graph: &AppGraph, unit: UnitId) -> Result<Vec<UnitId>> {
         let stage = self.stage_of(unit)?;
         let mut out = Vec::new();
         for ds in graph.downstreams(stage) {
             out.extend(self.instances_of(ds));
+        }
+        Ok(out)
+    }
+
+    /// The downstream instances `tuple` may be delivered to from `unit`,
+    /// respecting each out-edge's [`EdgeKind`]:
+    ///
+    /// * `Broadcast` / `Rebalance` — every instance of the downstream
+    ///   stage (the per-tuple pick happens in the router);
+    /// * `KeyBy(field)` — only the one instance owning the tuple's key
+    ///   under rendezvous hashing over the stage's live instances.
+    pub fn downstream_instances_for(
+        &self,
+        graph: &AppGraph,
+        unit: UnitId,
+        tuple: &crate::tuple::Tuple,
+    ) -> Result<Vec<UnitId>> {
+        use crate::routing::partition::{rendezvous_owner, tuple_key_hash};
+        let stage = self.stage_of(unit)?;
+        let mut out = Vec::new();
+        for edge in graph.edges().iter().filter(|e| e.from == stage) {
+            match &edge.kind {
+                EdgeKind::Broadcast | EdgeKind::Rebalance => {
+                    out.extend(self.instances_of(edge.to));
+                }
+                EdgeKind::KeyBy(field) => {
+                    let h = tuple_key_hash(tuple, field);
+                    out.extend(rendezvous_owner(h, self.instances_of(edge.to)));
+                }
+            }
         }
         Ok(out)
     }
@@ -530,9 +699,90 @@ mod tests {
     #[test]
     fn rejects_unknown_stage() {
         let (mut g, cam, ..) = face_graph();
-        assert!(matches!(
+        assert_eq!(
             g.connect(cam, StageId(99)),
-            Err(Error::UnknownUnit(_))
+            Err(Error::UnknownStage(StageId(99)))
+        );
+        assert_eq!(
+            g.connect(StageId(42), cam),
+            Err(Error::UnknownStage(StageId(42)))
+        );
+        assert_eq!(
+            g.stage(StageId(99)).unwrap_err(),
+            Error::UnknownStage(StageId(99))
+        );
+        assert_eq!(
+            g.set_parallelism(StageId(99), 2),
+            Err(Error::UnknownStage(StageId(99)))
+        );
+    }
+
+    #[test]
+    fn keyed_and_rebalance_edges_record_their_kind() {
+        let mut g = AppGraph::new("keyed");
+        let src = g.add_source("gps");
+        let agg = g.add_operator("agg");
+        let dsp = g.add_sink("dsp");
+        g.connect_keyed(src, agg, "cell").unwrap();
+        g.connect_rebalance(agg, dsp).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.edge_kind(src, agg), Some(&EdgeKind::KeyBy("cell".into())));
+        assert_eq!(g.edge_kind(agg, dsp), Some(&EdgeKind::Rebalance));
+        assert_eq!(g.edge_kind(src, dsp), None);
+        // Kinds render as DOT labels; broadcast stays bare.
+        let dot = g.to_dot();
+        assert!(dot.contains(&format!("{src} -> {agg} [label=\"key_by(cell)\"];")));
+        assert!(dot.contains(&format!("{agg} -> {dsp} [label=\"rebalance\"];")));
+    }
+
+    #[test]
+    fn partitioned_out_edge_must_be_sole() {
+        // Keyed after an existing broadcast out-edge.
+        let mut g = AppGraph::new("mix1");
+        let s = g.add_source("s");
+        let a = g.add_operator("a");
+        let b = g.add_operator("b");
+        g.connect(s, a).unwrap();
+        assert!(matches!(
+            g.connect_keyed(s, b, "k"),
+            Err(Error::InvalidGraph(_))
+        ));
+        // Broadcast after an existing keyed out-edge.
+        let mut g = AppGraph::new("mix2");
+        let s = g.add_source("s");
+        let a = g.add_operator("a");
+        let b = g.add_operator("b");
+        g.connect_keyed(s, a, "k").unwrap();
+        assert!(matches!(g.connect(s, b), Err(Error::InvalidGraph(_))));
+        // Two broadcast out-edges stay legal (today's fan-out).
+        let mut g = AppGraph::new("fan");
+        let s = g.add_source("s");
+        let a = g.add_operator("a");
+        let b = g.add_operator("b");
+        g.connect(s, a).unwrap();
+        g.connect(s, b).unwrap();
+    }
+
+    #[test]
+    fn keyed_edge_requires_field_name() {
+        let mut g = AppGraph::new("nofield");
+        let s = g.add_source("s");
+        let a = g.add_operator("a");
+        assert!(matches!(
+            g.connect_keyed(s, a, ""),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn parallelism_hint_round_trips() {
+        let (mut g, _, det, ..) = face_graph();
+        assert_eq!(g.stage(det).unwrap().parallelism, None);
+        g.set_parallelism(det, 3).unwrap();
+        assert_eq!(g.stage(det).unwrap().parallelism, Some(3));
+        assert!(matches!(
+            g.set_parallelism(det, 0),
+            Err(Error::InvalidConfig(_))
         ));
     }
 
@@ -617,6 +867,42 @@ mod tests {
         assert_eq!(d.instances_on(DeviceId(0)).collect::<Vec<_>>(), vec![u_src]);
         let downstream = d.downstream_instances(&g, u_src).unwrap();
         assert_eq!(downstream, vec![u1, u2]);
+    }
+
+    #[test]
+    fn keyed_deployment_query_resolves_one_owner() {
+        use crate::tuple::Tuple;
+        let mut g = AppGraph::new("keyed-deploy");
+        let src = g.add_source("gps");
+        let agg = g.add_operator("agg");
+        let dsp = g.add_sink("dsp");
+        g.connect_keyed(src, agg, "cell").unwrap();
+        g.connect(agg, dsp).unwrap();
+        let mut d = Deployment::new();
+        let u_src = d.place(src, DeviceId(0));
+        let owners: Vec<UnitId> = (1..=4).map(|i| d.place(agg, DeviceId(i))).collect();
+        let u_agg = owners[0];
+        let u_dsp = d.place(dsp, DeviceId(9));
+
+        // A keyed edge resolves to exactly one owning instance, stably.
+        let t = Tuple::new().with("cell", 7i64);
+        let hit = d.downstream_instances_for(&g, u_src, &t).unwrap();
+        assert_eq!(hit.len(), 1);
+        assert!(owners.contains(&hit[0]));
+        assert_eq!(hit, d.downstream_instances_for(&g, u_src, &t).unwrap());
+        // Different keys spread over different owners.
+        let distinct: std::collections::BTreeSet<UnitId> = (0..64i64)
+            .map(|c| {
+                d.downstream_instances_for(&g, u_src, &Tuple::new().with("cell", c))
+                    .unwrap()[0]
+            })
+            .collect();
+        assert!(distinct.len() > 1, "all 64 keys landed on one instance");
+        // Broadcast edges still return every downstream instance.
+        assert_eq!(
+            d.downstream_instances_for(&g, u_agg, &t).unwrap(),
+            vec![u_dsp]
+        );
     }
 
     #[test]

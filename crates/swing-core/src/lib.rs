@@ -72,6 +72,7 @@ pub mod rate;
 pub mod reorder;
 pub mod rng;
 pub mod routing;
+pub mod stateful;
 pub mod stats;
 pub mod timing;
 pub mod tuple;
@@ -109,10 +110,11 @@ pub mod prelude {
     pub use crate::clock::{Clock, ClockHandle, RealClock, VirtualClock};
     pub use crate::config::{ReorderConfig, RetryConfig, RouterConfig};
     pub use crate::flow::{FlowConfig, Mailbox, OverloadPolicy};
-    pub use crate::graph::AppGraph;
+    pub use crate::graph::{AppGraph, EdgeKind};
     pub use crate::id::{DeviceId, SeqNo, UnitId};
     pub use crate::payload::SharedBytes;
     pub use crate::routing::{Policy, Router, RouterSnapshot};
+    pub use crate::stateful::{Keyed, StatefulUnit, WindowSpec};
     pub use crate::tuple::{FieldKey, Tuple, Value, ValueKind};
     pub use crate::unit::{
         closure_sink, closure_source, closure_unit, Context, FunctionUnit, PassThrough, SinkUnit,

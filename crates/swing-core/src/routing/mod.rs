@@ -16,13 +16,18 @@
 //! * [`Router`] — ties selection, routing and
 //!   [latency estimation](crate::estimator) together and implements all
 //!   five policies evaluated in the paper (§VI-B): RR, PR, LR, PRS, LRS.
+//! * [`partition`] — key hashing and rendezvous ownership for
+//!   [`KeyBy`](crate::graph::EdgeKind::KeyBy) edges, where the *key*
+//!   (not LRS) decides the destination instance.
 
+pub mod partition;
 mod policy;
 mod router;
 pub mod selection;
 pub mod table;
 
 pub use crate::config::RouterConfig;
+pub use partition::{rendezvous_owner, tuple_key_bytes, tuple_key_hash};
 pub use policy::{Metric, Policy};
 pub use router::{RouteView, Router, RouterSnapshot};
 pub use table::{RouteEntry, RoutingTable};

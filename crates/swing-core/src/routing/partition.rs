@@ -1,0 +1,244 @@
+//! Key hashing and rendezvous partitioning for `KeyBy` edges.
+//!
+//! A keyed edge routes every tuple carrying the same key value to the
+//! same downstream instance, so per-key operator state never has to be
+//! shared or migrated during normal operation. Ownership is decided by
+//! rendezvous (highest-random-weight) hashing over the *live* instance
+//! set: each `(key, instance)` pair gets a deterministic score and the
+//! instance with the highest score owns the key. Rendezvous hashing is
+//!
+//! * **deterministic** — a pure function of key bytes and member ids, so
+//!   SimSwarm replays route identically;
+//! * **total** — any non-empty member set owns every key;
+//! * **minimally disruptive** — removing one member re-homes only the
+//!   keys that member owned, and adding one member steals only the keys
+//!   it now wins; every other key keeps its owner.
+//!
+//! Key identity is the *canonical byte encoding* of the tuple field
+//! ([`tuple_key_bytes`]), a kind tag followed by a fixed-width
+//! big-endian payload, so `I64(1)` and `F64(1.0)` are distinct keys and
+//! float keys hash by bit pattern (NaNs are stable, `-0.0 != 0.0`).
+
+use crate::tuple::{Tuple, Value};
+use crate::UnitId;
+
+/// Kind tag prefixed to the canonical key bytes of a missing field.
+const TAG_MISSING: u8 = 0;
+/// Kind tags for each [`Value`] variant (see [`value_key_bytes`]).
+const TAG_BYTES: u8 = 1;
+const TAG_STR: u8 = 2;
+const TAG_I64: u8 = 3;
+const TAG_F64: u8 = 4;
+const TAG_F32VEC: u8 = 5;
+const TAG_BOOL: u8 = 6;
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mixing function.
+///
+/// Used both to finish the byte hash and to combine a key hash with a
+/// member id for rendezvous scoring. Deterministic and dependency-free,
+/// so key ownership is identical across hosts and replays.
+#[must_use]
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a 64-bit hash of a byte string, finished with [`mix64`].
+///
+/// FNV-1a mixes low bits poorly on short inputs; the finalizer spreads
+/// the result over all 64 bits so rendezvous scores are unbiased.
+#[must_use]
+pub fn stable_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    mix64(h)
+}
+
+/// Append the canonical key encoding of a value: one kind tag byte,
+/// then a fixed-width big-endian payload.
+///
+/// The encoding is injective per kind (distinct values never collide
+/// byte-wise) and portable (no platform-dependent layout), which makes
+/// it usable both for hashing and as a `BTreeMap` state-cell key with
+/// deterministic iteration order.
+pub fn value_key_bytes(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Bytes(b) => {
+            out.push(TAG_BYTES);
+            out.extend_from_slice(b.as_slice());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::I64(i) => {
+            out.push(TAG_I64);
+            out.extend_from_slice(&i.to_be_bytes());
+        }
+        Value::F64(f) => {
+            out.push(TAG_F64);
+            out.extend_from_slice(&f.to_bits().to_be_bytes());
+        }
+        Value::F32Vec(v) => {
+            out.push(TAG_F32VEC);
+            for f in v.iter() {
+                out.extend_from_slice(&f.to_bits().to_be_bytes());
+            }
+        }
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(u8::from(*b));
+        }
+    }
+}
+
+/// Canonical key bytes of `field` in `tuple`.
+///
+/// A missing field maps to a one-byte sentinel encoding, so tuples
+/// without the key field still land deterministically on one instance
+/// (all of them on the *same* instance) instead of erroring mid-stream.
+#[must_use]
+pub fn tuple_key_bytes(tuple: &Tuple, field: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    match tuple.get_value(field) {
+        Ok(v) => value_key_bytes(v, &mut out),
+        Err(_) => out.push(TAG_MISSING),
+    }
+    out
+}
+
+/// Hash of the canonical key bytes of `field` in `tuple`.
+#[must_use]
+pub fn tuple_key_hash(tuple: &Tuple, field: &str) -> u64 {
+    stable_hash(&tuple_key_bytes(tuple, field))
+}
+
+/// Rendezvous score of `(key_hash, member)` — higher wins ownership.
+#[must_use]
+#[inline]
+pub fn rendezvous_score(key_hash: u64, member: UnitId) -> u64 {
+    // Pre-mixing the member id decorrelates consecutive unit ids before
+    // they meet the key hash; xor alone would make u0/u1 scores differ
+    // in one bit.
+    mix64(key_hash ^ mix64(u64::from(member.0).wrapping_add(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// The member owning `key_hash`: the highest [`rendezvous_score`], ties
+/// broken toward the lower unit id. `None` iff `members` is empty.
+///
+/// Members may arrive in any order and may contain duplicates; the
+/// result depends only on the *set*.
+pub fn rendezvous_owner(
+    key_hash: u64,
+    members: impl IntoIterator<Item = UnitId>,
+) -> Option<UnitId> {
+    let mut best: Option<(u64, UnitId)> = None;
+    for m in members {
+        let score = rendezvous_score(key_hash, m);
+        best = match best {
+            None => Some((score, m)),
+            Some((bs, bm)) if score > bs || (score == bs && m < bm) => Some((score, m)),
+            keep => keep,
+        };
+    }
+    best.map(|(_, m)| m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::SharedBytes;
+    use std::collections::BTreeMap;
+
+    fn u(i: u32) -> UnitId {
+        UnitId(i)
+    }
+
+    #[test]
+    fn key_bytes_distinguish_kinds_and_values() {
+        let t = Tuple::new()
+            .with("i", 1i64)
+            .with("f", 1.0f64)
+            .with("s", "1")
+            .with("b", SharedBytes::copy_from_slice(b"1"));
+        let keys: Vec<Vec<u8>> = ["i", "f", "s", "b"]
+            .iter()
+            .map(|k| tuple_key_bytes(&t, k))
+            .collect();
+        for (a, ka) in keys.iter().enumerate() {
+            for kb in keys.iter().skip(a + 1) {
+                assert_ne!(ka, kb, "kinds must not collide byte-wise");
+            }
+        }
+        // Missing field: stable one-byte sentinel.
+        assert_eq!(tuple_key_bytes(&t, "absent"), vec![TAG_MISSING]);
+        assert_eq!(
+            tuple_key_hash(&t, "absent"),
+            tuple_key_hash(&Tuple::new(), "anything-else"),
+            "all missing keys are one partition, regardless of field name"
+        );
+    }
+
+    #[test]
+    fn float_keys_hash_by_bit_pattern() {
+        let pos = Tuple::new().with("f", 0.0f64);
+        let neg = Tuple::new().with("f", -0.0f64);
+        assert_ne!(tuple_key_hash(&pos, "f"), tuple_key_hash(&neg, "f"));
+        let nan = Tuple::new().with("f", f64::NAN);
+        assert_eq!(tuple_key_hash(&nan, "f"), tuple_key_hash(&nan, "f"));
+    }
+
+    #[test]
+    fn owner_is_deterministic_and_order_independent() {
+        let members = [u(3), u(1), u(7), u(5)];
+        let mut reversed = members;
+        reversed.reverse();
+        for k in 0..200u64 {
+            let h = mix64(k);
+            let a = rendezvous_owner(h, members).unwrap();
+            let b = rendezvous_owner(h, reversed).unwrap();
+            assert_eq!(a, b);
+            assert!(members.contains(&a), "owner must be a member");
+        }
+        assert_eq!(rendezvous_owner(42, []), None);
+    }
+
+    #[test]
+    fn removal_moves_only_the_dead_members_keys() {
+        let full = [u(0), u(1), u(2), u(3)];
+        let survivors = [u(0), u(1), u(3)];
+        for k in 0..500u64 {
+            let h = mix64(k ^ 0xDEAD);
+            let before = rendezvous_owner(h, full).unwrap();
+            let after = rendezvous_owner(h, survivors).unwrap();
+            if before != u(2) {
+                assert_eq!(before, after, "survivor-owned key must not move");
+            } else {
+                assert!(survivors.contains(&after));
+            }
+        }
+    }
+
+    #[test]
+    fn ownership_spreads_over_members() {
+        let members = [u(0), u(1), u(2), u(3)];
+        let mut counts: BTreeMap<UnitId, u32> = BTreeMap::new();
+        for k in 0..4_000u64 {
+            let h = stable_hash(&k.to_be_bytes());
+            *counts
+                .entry(rendezvous_owner(h, members).unwrap())
+                .or_insert(0) += 1;
+        }
+        for (&m, &c) in &counts {
+            assert!(
+                (500..=1_500).contains(&c),
+                "member {m} owns {c} of 4000 keys; distribution is skewed"
+            );
+        }
+    }
+}

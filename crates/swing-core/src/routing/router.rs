@@ -4,6 +4,7 @@ use crate::config::RouterConfig;
 use crate::error::{Error, Result};
 use crate::estimator::LatencyEstimator;
 use crate::rng::DetRng;
+use crate::routing::partition::rendezvous_owner;
 use crate::routing::policy::{Metric, Policy};
 use crate::routing::selection::select_workers;
 use crate::routing::table::RoutingTable;
@@ -77,6 +78,9 @@ pub struct Router {
     arrivals: RateEstimator,
     rng: DetRng,
     rr_cursor: usize,
+    /// Cursor for `Rebalance`-edge round-robin, separate from
+    /// `rr_cursor` so probing never perturbs keyed-graph dispatch.
+    rebalance_cursor: usize,
     round: u64,
     probe_remaining: u32,
     last_rebalance_us: Option<u64>,
@@ -114,6 +118,7 @@ impl Router {
             table: RoutingTable::new(),
             rng: DetRng::seed_from_u64(seed),
             rr_cursor: 0,
+            rebalance_cursor: 0,
             round: 0,
             probe_remaining: 0,
             last_rebalance_us: None,
@@ -219,12 +224,7 @@ impl Router {
         if self.table.is_empty() {
             return Err(Error::NoDownstreams);
         }
-        self.dispatched += 1;
-        if self.arrivals_noted < self.dispatched {
-            self.arrivals_noted = self.dispatched;
-            self.arrivals.record(now_us);
-        }
-        self.maybe_rebalance(now_us);
+        self.note_dispatch(now_us);
 
         let round_robin = self.config.policy == Policy::Rr || self.probe_remaining > 0;
         if round_robin {
@@ -238,6 +238,51 @@ impl Router {
         } else {
             self.table.sample(&mut self.rng)
         }
+    }
+
+    /// Pick the destination for a tuple on a
+    /// [`KeyBy`](crate::graph::EdgeKind::KeyBy) edge: the live
+    /// downstream that owns `key_hash` under rendezvous hashing (see
+    /// [`partition`](crate::routing::partition)).
+    ///
+    /// Shares [`route`](Self::route)'s arrival and rebalance
+    /// bookkeeping so Λ estimates and snapshots stay meaningful, but
+    /// draws nothing from the RNG and ignores Worker Selection: key
+    /// affinity — not latency — decides the destination, and *every*
+    /// live instance (selected or not) owns its share of keys.
+    pub fn route_key(&mut self, key_hash: u64, now_us: u64) -> Result<UnitId> {
+        if self.table.is_empty() {
+            return Err(Error::NoDownstreams);
+        }
+        self.note_dispatch(now_us);
+        rendezvous_owner(key_hash, self.table.units()).ok_or(Error::NoDownstreams)
+    }
+
+    /// Pick the destination for a tuple on a
+    /// [`Rebalance`](crate::graph::EdgeKind::Rebalance) edge:
+    /// deterministic round-robin over all live downstreams, with a
+    /// cursor independent from LRS probing so replays are byte-stable.
+    pub fn route_rebalance(&mut self, now_us: u64) -> Result<UnitId> {
+        if self.table.is_empty() {
+            return Err(Error::NoDownstreams);
+        }
+        self.note_dispatch(now_us);
+        let units: Vec<UnitId> = self.table.units().collect();
+        let dest = units[self.rebalance_cursor % units.len()];
+        self.rebalance_cursor = (self.rebalance_cursor + 1) % units.len();
+        Ok(dest)
+    }
+
+    /// Dispatch-side bookkeeping shared by every `route*` flavour:
+    /// count the dispatch, backfill a missing arrival sample, and run a
+    /// rebalancing round when the control period has elapsed.
+    fn note_dispatch(&mut self, now_us: u64) {
+        self.dispatched += 1;
+        if self.arrivals_noted < self.dispatched {
+            self.arrivals_noted = self.dispatched;
+            self.arrivals.record(now_us);
+        }
+        self.maybe_rebalance(now_us);
     }
 
     /// Record that `seq` was dispatched to `unit` at `now_us`.
@@ -716,6 +761,95 @@ mod tests {
         assert_eq!(r.occupancy.get(&u(1)), Some(&1.0));
         r.remove_downstream(u(1));
         assert!(r.occupancy.is_empty());
+    }
+
+    #[test]
+    fn route_key_is_sticky_and_rehomes_on_leave() {
+        let mut r = Router::new(RouterConfig::new(Policy::Lrs), 13);
+        for i in 1..=4 {
+            r.add_downstream(u(i), 0);
+        }
+        // Ownership per key hash is stable across calls and time.
+        let owners: Vec<UnitId> = (0..64u64)
+            .map(|k| r.route_key(k.wrapping_mul(0x9E37), 0).unwrap())
+            .collect();
+        for (k, &owner) in owners.iter().enumerate() {
+            assert_eq!(
+                r.route_key((k as u64).wrapping_mul(0x9E37), SECOND_US)
+                    .unwrap(),
+                owner
+            );
+        }
+        // Evicting one downstream moves only its keys.
+        let dead = owners[0];
+        r.remove_downstream(dead);
+        for (k, &owner) in owners.iter().enumerate() {
+            let now = r
+                .route_key((k as u64).wrapping_mul(0x9E37), 2 * SECOND_US)
+                .unwrap();
+            if owner == dead {
+                assert_ne!(now, dead, "dead unit still owns key {k}");
+            } else {
+                assert_eq!(now, owner, "survivor-owned key {k} moved");
+            }
+        }
+    }
+
+    #[test]
+    fn route_key_ignores_worker_selection() {
+        // LRS deselects the straggler, but keyed routing must still
+        // deliver its keys to it: key affinity beats latency.
+        let mut cfg = RouterConfig::new(Policy::Lrs);
+        cfg.probe_every_rounds = 1_000;
+        let mut r = Router::new(cfg, 14);
+        r.add_downstream(u(1), 0);
+        r.add_downstream(u(2), 0);
+        r.add_downstream(u(3), 0);
+        drive(&mut r, 240, 24.0, 0, |d| {
+            if d == u(3) {
+                500_000
+            } else {
+                50_000
+            }
+        });
+        assert!(!r.is_selected(u(3)));
+        let hit_straggler = (0..256u64)
+            .any(|k| r.route_key(crate::routing::partition::mix64(k), 20 * SECOND_US) == Ok(u(3)));
+        assert!(hit_straggler, "deselected unit received none of 256 keys");
+    }
+
+    #[test]
+    fn route_rebalance_cycles_deterministically() {
+        let mut r = Router::new(RouterConfig::new(Policy::Lrs), 15);
+        for i in 1..=3 {
+            r.add_downstream(u(i), 0);
+        }
+        let seq: Vec<UnitId> = (0..9u64)
+            .map(|i| r.route_rebalance(i * 1_000).unwrap())
+            .collect();
+        let mut r2 = Router::new(RouterConfig::new(Policy::Lrs), 999);
+        for i in 1..=3 {
+            r2.add_downstream(u(i), 0);
+        }
+        let seq2: Vec<UnitId> = (0..9u64)
+            .map(|i| r2.route_rebalance(i * 1_000).unwrap())
+            .collect();
+        assert_eq!(seq, seq2, "rebalance order must not depend on the seed");
+        let mut counts = std::collections::BTreeMap::new();
+        for d in seq {
+            *counts.entry(d).or_insert(0u32) += 1;
+        }
+        assert!(
+            counts.values().all(|&c| c == 3),
+            "uneven rebalance: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn keyed_routes_error_on_empty_table() {
+        let mut r = Router::new(RouterConfig::new(Policy::Lrs), 16);
+        assert_eq!(r.route_key(7, 0).unwrap_err(), Error::NoDownstreams);
+        assert_eq!(r.route_rebalance(0).unwrap_err(), Error::NoDownstreams);
     }
 
     #[test]

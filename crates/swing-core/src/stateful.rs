@@ -1,0 +1,481 @@
+//! Keyed, windowed stateful operators.
+//!
+//! A plain [`FunctionUnit`] is stateless from the runtime's point of
+//! view: any replica may process any tuple, which is exactly what
+//! `Broadcast` edges exploit. A [`StatefulUnit`] instead declares a
+//! *key field* and keeps one state cell per key value, which only works
+//! when the upstream edge is
+//! [`KeyBy`](crate::graph::EdgeKind::KeyBy)-partitioned on the same
+//! field — then every tuple of a key reaches the one replica owning
+//! that key's cell, and no state is ever shared across instances.
+//!
+//! State is scoped to operator-declared **windows** ([`WindowSpec`]):
+//! tumbling (disjoint spans) or sliding (overlapping spans on a slide
+//! step). Window placement is driven entirely by the context timestamp
+//! `ctx.now_us`, which comes from the injected [`Clock`](crate::clock):
+//! under [`VirtualClock`](crate::clock::VirtualClock) a SimSwarm replay
+//! assigns every tuple to the same window every run, byte-identically.
+//!
+//! The [`Keyed`] adapter turns any `StatefulUnit` into a
+//! [`FunctionUnit`]: it hashes the key field to canonical bytes
+//! ([`tuple_key_bytes`]), lazily closes expired windows in
+//! deterministic (key, window-start) order, folds the input into every
+//! window pane containing `now`, and then lets the operator emit for
+//! the input itself with read access to the freshest pane.
+
+use crate::error::{Error, Result};
+use crate::routing::partition::tuple_key_bytes;
+use crate::tuple::Tuple;
+use crate::unit::{Context, FunctionUnit};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Window placement declared by a stateful operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowSpec {
+    /// Disjoint windows of `span_us`: a timestamp `t` belongs to
+    /// exactly the window starting at `t - t % span_us`.
+    Tumbling {
+        /// Window length in microseconds (must be > 0).
+        span_us: u64,
+    },
+    /// Overlapping windows of `span_us`, a new one starting every
+    /// `slide_us`: a timestamp belongs to `span/slide` windows.
+    Sliding {
+        /// Window length in microseconds (must be > 0).
+        span_us: u64,
+        /// Start-to-start distance; must divide `span_us` evenly.
+        slide_us: u64,
+    },
+}
+
+impl WindowSpec {
+    /// A tumbling window of `span_us`.
+    #[must_use]
+    pub fn tumbling(span_us: u64) -> Self {
+        WindowSpec::Tumbling { span_us }
+    }
+
+    /// A sliding window of `span_us`, sliding by `slide_us`.
+    #[must_use]
+    pub fn sliding(span_us: u64, slide_us: u64) -> Self {
+        WindowSpec::Sliding { span_us, slide_us }
+    }
+
+    /// Window length in microseconds.
+    #[must_use]
+    pub fn span_us(&self) -> u64 {
+        match *self {
+            WindowSpec::Tumbling { span_us } | WindowSpec::Sliding { span_us, .. } => span_us,
+        }
+    }
+
+    /// Start-to-start distance; equals the span for tumbling windows.
+    #[must_use]
+    pub fn slide_us(&self) -> u64 {
+        match *self {
+            WindowSpec::Tumbling { span_us } => span_us,
+            WindowSpec::Sliding { slide_us, .. } => slide_us,
+        }
+    }
+
+    /// Check the invariants: positive span and slide, slide dividing
+    /// the span (so window starts form a regular grid and a tumbling
+    /// window is exactly a sliding one with `slide == span`).
+    pub fn validate(&self) -> Result<()> {
+        let (span, slide) = (self.span_us(), self.slide_us());
+        if span == 0 || slide == 0 {
+            return Err(Error::InvalidConfig(
+                "window span and slide must be positive".into(),
+            ));
+        }
+        if !span.is_multiple_of(slide) {
+            return Err(Error::InvalidConfig(format!(
+                "window slide {slide} µs must divide the span {span} µs"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Start timestamps of every window containing `now_us`, ascending.
+    #[must_use]
+    pub fn window_starts(&self, now_us: u64) -> Vec<u64> {
+        let (span, slide) = (self.span_us(), self.slide_us());
+        let newest = now_us - now_us % slide;
+        let panes = span / slide;
+        let mut starts = Vec::with_capacity(panes as usize);
+        // Oldest window still containing `now` starts (panes-1) slides
+        // before the newest; clamp at the epoch.
+        for i in (0..panes).rev() {
+            let back = i * slide;
+            if back <= newest {
+                starts.push(newest - back);
+            }
+        }
+        starts
+    }
+}
+
+impl fmt::Display for WindowSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            WindowSpec::Tumbling { span_us } => write!(f, "tumbling({span_us}µs)"),
+            WindowSpec::Sliding { span_us, slide_us } => {
+                write!(f, "sliding({span_us}µs/{slide_us}µs)")
+            }
+        }
+    }
+}
+
+/// A keyed, windowed operator: per-key state cells scoped to windows.
+///
+/// Implementations never see tuples of keys they don't own — the
+/// upstream [`KeyBy`](crate::graph::EdgeKind::KeyBy) edge guarantees
+/// it — so `State` needs no synchronization and no cross-instance
+/// merge during normal operation.
+pub trait StatefulUnit: Send {
+    /// Per-(key, window) accumulator. `Default` is the empty state a
+    /// fresh cell starts from.
+    type State: Default + Send;
+
+    /// The tuple field that carries the key. Must match the field
+    /// declared on the upstream `KeyBy` edge.
+    fn key_field(&self) -> &str;
+
+    /// The window placement for this operator's state.
+    fn window(&self) -> WindowSpec;
+
+    /// Fold one input into one (key, window) state cell. For sliding
+    /// windows this runs once per window pane containing the input's
+    /// timestamp, oldest pane first.
+    fn accumulate(&mut self, state: &mut Self::State, data: &Tuple, now_us: u64);
+
+    /// Emit output(s) for the input itself, with read access to the
+    /// freshest window's state (already including this input).
+    /// Enrichment-style operators (one output per input) do all their
+    /// emitting here, which keeps the runtime's sequence accounting
+    /// exact.
+    fn process(&mut self, state: &Self::State, data: Tuple, ctx: &mut Context<'_>);
+
+    /// A window for `key` closed (time advanced past its end). The
+    /// state cell is handed over by value; emit aggregates through
+    /// `ctx` or drop them (the default).
+    fn on_window_close(
+        &mut self,
+        key: &[u8],
+        window_start_us: u64,
+        state: Self::State,
+        ctx: &mut Context<'_>,
+    ) {
+        let _ = (key, window_start_us, state, ctx);
+    }
+}
+
+/// Adapter running a [`StatefulUnit`] as a plain [`FunctionUnit`].
+///
+/// Keeps state cells in `BTreeMap`s keyed by canonical key bytes and
+/// window start, so iteration — and therefore every close/emit order —
+/// is deterministic across runs and hosts.
+pub struct Keyed<U: StatefulUnit> {
+    inner: U,
+    spec: WindowSpec,
+    /// key bytes -> window start -> accumulator.
+    cells: BTreeMap<Vec<u8>, BTreeMap<u64, U::State>>,
+    /// Windows closed so far (diagnostics).
+    closed: u64,
+}
+
+impl<U: StatefulUnit> fmt::Debug for Keyed<U> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Keyed")
+            .field("spec", &self.spec)
+            .field("keys", &self.cells.len())
+            .field("closed", &self.closed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<U: StatefulUnit> Keyed<U> {
+    /// Wrap `inner`, validating its declared window.
+    ///
+    /// # Errors
+    /// Fails if the operator's [`WindowSpec`] is invalid.
+    pub fn new(inner: U) -> Result<Self> {
+        let spec = inner.window();
+        spec.validate()?;
+        Ok(Keyed {
+            inner,
+            spec,
+            cells: BTreeMap::new(),
+            closed: 0,
+        })
+    }
+
+    /// The wrapped operator.
+    #[must_use]
+    pub fn inner(&self) -> &U {
+        &self.inner
+    }
+
+    /// Distinct keys that have owned a state cell so far.
+    #[must_use]
+    pub fn key_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Currently open (key, window) cells.
+    #[must_use]
+    pub fn open_windows(&self) -> usize {
+        self.cells.values().map(BTreeMap::len).sum()
+    }
+
+    /// Windows closed so far.
+    #[must_use]
+    pub fn closed_windows(&self) -> u64 {
+        self.closed
+    }
+
+    /// Close every window whose end lies at or before `now_us`,
+    /// invoking `on_window_close` in (key, window-start) order.
+    fn close_expired(&mut self, now_us: u64, ctx: &mut Context<'_>) {
+        let span = self.spec.span_us();
+        // Collect first: on_window_close may not re-enter the cell map.
+        let mut due: Vec<(Vec<u8>, u64, U::State)> = Vec::new();
+        for (key, panes) in &mut self.cells {
+            while let Some((&start, _)) = panes.first_key_value() {
+                if start + span > now_us {
+                    break;
+                }
+                let state = panes.remove(&start).expect("first key exists");
+                due.push((key.clone(), start, state));
+            }
+        }
+        for (key, start, state) in due {
+            self.closed += 1;
+            self.inner.on_window_close(&key, start, state, ctx);
+        }
+    }
+
+    /// Flush every still-open window through `on_window_close`, oldest
+    /// first — end-of-stream teardown for tests and batch drains.
+    /// (`FunctionUnit::on_stop` has no emitter, so the runtime cannot
+    /// route flush emissions; call this explicitly where they matter.)
+    pub fn flush(&mut self, ctx: &mut Context<'_>) {
+        self.close_expired(u64::MAX, ctx);
+    }
+}
+
+impl<U: StatefulUnit> FunctionUnit for Keyed<U> {
+    fn process_data(&mut self, data: Tuple, ctx: &mut Context<'_>) {
+        let now = ctx.now_us;
+        self.close_expired(now, ctx);
+        let key = tuple_key_bytes(&data, self.inner.key_field());
+        let starts = self.spec.window_starts(now);
+        let panes = self.cells.entry(key).or_default();
+        for &start in &starts {
+            self.inner
+                .accumulate(panes.entry(start).or_default(), &data, now);
+        }
+        let newest = *starts.last().expect("window_starts is never empty");
+        let state = panes.get(&newest).expect("pane was just accumulated");
+        self.inner.process(state, data, ctx);
+    }
+
+    fn on_start(&mut self) {}
+
+    fn on_stop(&mut self) {
+        // Deliberately no implicit flush: there is no emitter here.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SECOND_US;
+
+    /// Per-key running count; emits the input enriched with the count,
+    /// and a summary tuple when a window closes.
+    struct CountPerKey {
+        emit_on_close: bool,
+    }
+
+    impl StatefulUnit for CountPerKey {
+        type State = i64;
+
+        fn key_field(&self) -> &str {
+            "k"
+        }
+
+        fn window(&self) -> WindowSpec {
+            WindowSpec::tumbling(SECOND_US)
+        }
+
+        fn accumulate(&mut self, state: &mut i64, _data: &Tuple, _now_us: u64) {
+            *state += 1;
+        }
+
+        fn process(&mut self, state: &i64, data: Tuple, ctx: &mut Context<'_>) {
+            ctx.send(data.with("count", *state));
+        }
+
+        fn on_window_close(
+            &mut self,
+            key: &[u8],
+            window_start_us: u64,
+            state: i64,
+            ctx: &mut Context<'_>,
+        ) {
+            if self.emit_on_close {
+                ctx.send(
+                    Tuple::new()
+                        .with("key_len", key.len() as i64)
+                        .with("window", window_start_us as i64)
+                        .with("total", state),
+                );
+            }
+        }
+    }
+
+    fn t(k: i64) -> Tuple {
+        Tuple::new().with("k", k)
+    }
+
+    #[test]
+    fn tumbling_counts_reset_per_window() {
+        let mut op = Keyed::new(CountPerKey {
+            emit_on_close: false,
+        })
+        .unwrap();
+        let mut out = Vec::new();
+        // Three tuples of key 1 and one of key 2 in the first window.
+        for (i, key) in [(0u64, 1i64), (1, 1), (2, 2), (3, 1)] {
+            let mut ctx = Context::new(i * 1_000, &mut out);
+            op.process_data(t(key), &mut ctx);
+        }
+        let counts: Vec<i64> = out.iter().map(|o| o.i64("count").unwrap()).collect();
+        assert_eq!(counts, vec![1, 2, 1, 3], "per-key running counts");
+        assert_eq!(op.key_count(), 2);
+        assert_eq!(op.open_windows(), 2);
+
+        // Next window: counts restart.
+        let mut ctx = Context::new(SECOND_US + 5, &mut out);
+        op.process_data(t(1), &mut ctx);
+        assert_eq!(out.last().unwrap().i64("count").unwrap(), 1);
+        assert_eq!(op.closed_windows(), 2, "both key windows closed");
+    }
+
+    #[test]
+    fn close_emissions_fire_in_key_order() {
+        let mut op = Keyed::new(CountPerKey {
+            emit_on_close: true,
+        })
+        .unwrap();
+        let mut out = Vec::new();
+        for key in [5i64, 3, 5] {
+            let mut ctx = Context::new(0, &mut out);
+            op.process_data(t(key), &mut ctx);
+        }
+        out.clear();
+        let mut ctx = Context::new(2 * SECOND_US, &mut out);
+        op.process_data(t(9), &mut ctx);
+        // Two window-close summaries (keys 3 then 5, canonical byte
+        // order) followed by the enriched input itself.
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].i64("total").unwrap(), 1);
+        assert_eq!(out[1].i64("total").unwrap(), 2);
+        assert!(out[2].i64("count").is_ok());
+
+        // flush() drains the remaining open window.
+        let mut ctx = Context::new(2 * SECOND_US, &mut out);
+        op.flush(&mut ctx);
+        assert_eq!(op.open_windows(), 0);
+        assert_eq!(out.last().unwrap().i64("total").unwrap(), 1);
+    }
+
+    #[test]
+    fn sliding_windows_accumulate_every_pane() {
+        struct Sum;
+        impl StatefulUnit for Sum {
+            type State = i64;
+            fn key_field(&self) -> &str {
+                "k"
+            }
+            fn window(&self) -> WindowSpec {
+                WindowSpec::sliding(4_000, 1_000)
+            }
+            fn accumulate(&mut self, state: &mut i64, data: &Tuple, _now: u64) {
+                *state += data.i64("v").unwrap_or(0);
+            }
+            fn process(&mut self, state: &i64, data: Tuple, ctx: &mut Context<'_>) {
+                ctx.send(data.with("sum", *state));
+            }
+        }
+        let mut op = Keyed::new(Sum).unwrap();
+        let mut out = Vec::new();
+        for (now, v) in [(500u64, 1i64), (1_500, 10), (2_500, 100)] {
+            let mut ctx = Context::new(now, &mut out);
+            op.process_data(Tuple::new().with("k", 1i64).with("v", v), &mut ctx);
+        }
+        // Freshest pane at t=2500 starts at 2000 and saw only v=100;
+        // the pane starting at 0 holds all three.
+        assert_eq!(out[2].i64("sum").unwrap(), 100);
+        assert!(op.open_windows() >= 3);
+        // Window [0, 4000) still open at t=2500; closed after t=4000.
+        let mut ctx = Context::new(4_000, &mut out);
+        op.process_data(Tuple::new().with("k", 1i64).with("v", 0), &mut ctx);
+        assert!(op.closed_windows() >= 1);
+    }
+
+    #[test]
+    fn window_starts_cover_now_and_respect_epoch() {
+        let w = WindowSpec::sliding(3_000, 1_000);
+        assert_eq!(w.window_starts(2_500), vec![0, 1_000, 2_000]);
+        // Near the epoch there are fewer containing windows.
+        assert_eq!(w.window_starts(500), vec![0]);
+        let t = WindowSpec::tumbling(1_000);
+        assert_eq!(t.window_starts(2_500), vec![2_000]);
+        for spec in [w, t] {
+            for now in [0u64, 999, 1_000, 123_456] {
+                for s in spec.window_starts(now) {
+                    assert!(s <= now && now < s + spec.span_us());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_windows_are_rejected() {
+        assert!(WindowSpec::tumbling(0).validate().is_err());
+        assert!(WindowSpec::sliding(3_000, 2_000).validate().is_err());
+        assert!(WindowSpec::sliding(3_000, 0).validate().is_err());
+        assert!(WindowSpec::sliding(3_000, 3_000).validate().is_ok());
+        struct Bad;
+        impl StatefulUnit for Bad {
+            type State = ();
+            fn key_field(&self) -> &str {
+                "k"
+            }
+            fn window(&self) -> WindowSpec {
+                WindowSpec::tumbling(0)
+            }
+            fn accumulate(&mut self, _: &mut (), _: &Tuple, _: u64) {}
+            fn process(&mut self, _: &(), _: Tuple, _: &mut Context<'_>) {}
+        }
+        assert!(Keyed::new(Bad).is_err());
+    }
+
+    #[test]
+    fn missing_key_field_lands_in_one_cell() {
+        let mut op = Keyed::new(CountPerKey {
+            emit_on_close: false,
+        })
+        .unwrap();
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            let mut ctx = Context::new(0, &mut out);
+            op.process_data(Tuple::new().with("other", 1i64), &mut ctx);
+        }
+        assert_eq!(op.key_count(), 1, "keyless tuples share one cell");
+        assert_eq!(out.last().unwrap().i64("count").unwrap(), 3);
+    }
+}

@@ -3,6 +3,7 @@
 use proptest::prelude::*;
 use swing_core::dedup::DedupWindow;
 use swing_core::graph::AppGraph;
+use swing_core::routing::partition::rendezvous_owner;
 use swing_core::routing::{Policy, Router, RouterConfig};
 use swing_core::{SeqNo, UnitId};
 
@@ -29,8 +30,63 @@ proptest! {
         // Every accepted edge respects the topological order.
         let order = g.topo_order().unwrap();
         let pos = |s| order.iter().position(|&x| x == s).unwrap();
-        for &(a, b) in g.edges() {
-            prop_assert!(pos(a) < pos(b));
+        for e in g.edges() {
+            prop_assert!(pos(e.from) < pos(e.to));
+        }
+    }
+
+    /// The rendezvous partitioner is deterministic (replaying the same
+    /// key against the same membership yields the same owner, whatever
+    /// the iteration order) and total (every key is owned by exactly
+    /// one live member).
+    #[test]
+    fn partitioner_is_deterministic_and_total(
+        members in proptest::collection::btree_set(0u32..64, 1..12),
+        keys in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let fwd: Vec<UnitId> = members.iter().map(|&m| UnitId(m)).collect();
+        let mut rev = fwd.clone();
+        rev.reverse();
+        for &k in &keys {
+            let a = rendezvous_owner(k, fwd.iter().copied()).expect("non-empty membership");
+            let b = rendezvous_owner(k, rev.iter().copied()).expect("non-empty membership");
+            prop_assert_eq!(a, b, "owner depends on member order");
+            prop_assert!(fwd.contains(&a), "owner {} is not a live member", a);
+            // Replay: same inputs, same owner.
+            prop_assert_eq!(rendezvous_owner(k, fwd.iter().copied()), Some(a));
+        }
+    }
+
+    /// One-member membership changes are minimally disruptive: removing
+    /// a member re-homes only the keys it owned, and adding a member
+    /// steals keys without moving any key between survivors.
+    #[test]
+    fn partitioner_is_minimally_disruptive(
+        members in proptest::collection::btree_set(0u32..64, 2..12),
+        newcomer in 64u32..80,
+        keys in proptest::collection::vec(any::<u64>(), 1..128),
+        victim_sel in any::<u32>(),
+    ) {
+        let full: Vec<UnitId> = members.iter().map(|&m| UnitId(m)).collect();
+        let victim = full[victim_sel as usize % full.len()];
+        let survivors: Vec<UnitId> = full.iter().copied().filter(|&u| u != victim).collect();
+        let grown: Vec<UnitId> = full.iter().copied().chain([UnitId(newcomer)]).collect();
+        for &k in &keys {
+            let before = rendezvous_owner(k, full.iter().copied()).unwrap();
+            // Removal: survivor-owned keys stay put.
+            let after = rendezvous_owner(k, survivors.iter().copied()).unwrap();
+            if before == victim {
+                prop_assert!(survivors.contains(&after));
+            } else {
+                prop_assert_eq!(before, after, "key of a survivor moved on removal");
+            }
+            // Addition: a key either keeps its owner or moves to the
+            // newcomer — never to another existing member.
+            let joined = rendezvous_owner(k, grown.iter().copied()).unwrap();
+            prop_assert!(
+                joined == before || joined == UnitId(newcomer),
+                "join moved a key between existing members: {} -> {}", before, joined
+            );
         }
     }
 

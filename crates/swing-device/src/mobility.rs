@@ -1,12 +1,19 @@
-//! User mobility expressed as Wi-Fi signal-strength traces.
+//! User mobility expressed as Wi-Fi signal-strength traces and
+//! deterministic GPS walks.
 //!
 //! The paper captures mobility through "variations in signal strength"
 //! (§III) and evaluates it by walking a device through three zones
 //! (Fig. 10): good (RSSI > -30 dBm), fair (-70 to -60 dBm) and poor
 //! (-80 to -70 dBm). [`MobilityTrace`] is a step function from time to
 //! RSSI; [`SignalZone`] names the paper's zones.
+//!
+//! [`GeoWalk`] complements the RSSI view with a *positional* one: a
+//! seeded random-waypoint walk over a square field, for sensing
+//! workloads whose tuples carry GPS coordinates (e.g. the spatial
+//! aggregation app). Same seed, same trace — byte-identical replays.
 
 use serde::{Deserialize, Serialize};
+use swing_core::DetRng;
 
 /// The signal-strength zones used in the paper's experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -133,6 +140,88 @@ impl MobilityTrace {
     }
 }
 
+/// A deterministic random-waypoint GPS walk over a square field.
+///
+/// The device starts at a seeded position, picks a waypoint uniformly
+/// over the field, walks toward it at constant speed, and repeats.
+/// Positions are meters from the field's south-west corner. All
+/// randomness flows through a [`DetRng`], so a trace is a pure function
+/// of `(seed, field_m, speed_mps)` and the query times — the property
+/// the simulator's byte-identical replay tests rely on.
+#[derive(Debug, Clone)]
+pub struct GeoWalk {
+    rng: DetRng,
+    /// Current position, meters.
+    x_m: f64,
+    y_m: f64,
+    /// Current waypoint target, meters.
+    wx_m: f64,
+    wy_m: f64,
+    field_m: f64,
+    speed_mps: f64,
+    /// Time the walk has been advanced to, microseconds.
+    now_us: u64,
+}
+
+impl GeoWalk {
+    /// A walk over a `field_m` × `field_m` field at `speed_mps`,
+    /// starting at a seeded position. Non-positive dimensions or speeds
+    /// clamp to small positive values rather than panic.
+    #[must_use]
+    pub fn new(seed: u64, field_m: f64, speed_mps: f64) -> Self {
+        let field_m = field_m.max(1.0);
+        let speed_mps = speed_mps.max(0.01);
+        let mut rng = DetRng::seed_from_u64(seed);
+        let x_m = rng.unit_f64() * field_m;
+        let y_m = rng.unit_f64() * field_m;
+        let wx_m = rng.unit_f64() * field_m;
+        let wy_m = rng.unit_f64() * field_m;
+        GeoWalk {
+            rng,
+            x_m,
+            y_m,
+            wx_m,
+            wy_m,
+            field_m,
+            speed_mps,
+            now_us: 0,
+        }
+    }
+
+    /// Side length of the field, meters.
+    #[must_use]
+    pub fn field_m(&self) -> f64 {
+        self.field_m
+    }
+
+    /// Advance the walk to absolute time `t_us` and return the position
+    /// `(x_m, y_m)`. Time is monotone: queries earlier than a previous
+    /// call return the current (not historical) position.
+    pub fn position_at(&mut self, t_us: u64) -> (f64, f64) {
+        let mut remaining_s = t_us.saturating_sub(self.now_us) as f64 / 1_000_000.0;
+        self.now_us = self.now_us.max(t_us);
+        while remaining_s > 0.0 {
+            let dx = self.wx_m - self.x_m;
+            let dy = self.wy_m - self.y_m;
+            let dist = (dx * dx + dy * dy).sqrt();
+            let reach_s = dist / self.speed_mps;
+            if reach_s > remaining_s {
+                let f = remaining_s * self.speed_mps / dist;
+                self.x_m += dx * f;
+                self.y_m += dy * f;
+                break;
+            }
+            // Waypoint reached: snap to it and draw the next one.
+            self.x_m = self.wx_m;
+            self.y_m = self.wy_m;
+            self.wx_m = self.rng.unit_f64() * self.field_m;
+            self.wy_m = self.rng.unit_f64() * self.field_m;
+            remaining_s -= reach_s;
+        }
+        (self.x_m, self.y_m)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +274,43 @@ mod tests {
         assert_eq!(t.rssi_at(100), -75.0);
         let trans: Vec<u64> = t.transition_times().collect();
         assert_eq!(trans, vec![50, 100]);
+    }
+
+    #[test]
+    fn geowalk_same_seed_same_trace() {
+        let mut a = GeoWalk::new(42, 1_000.0, 1.4);
+        let mut b = GeoWalk::new(42, 1_000.0, 1.4);
+        for t in (0..20).map(|i| i * 7_000_000) {
+            assert_eq!(a.position_at(t), b.position_at(t));
+        }
+        let mut c = GeoWalk::new(43, 1_000.0, 1.4);
+        let far = 600_000_000;
+        assert_ne!(a.position_at(far), c.position_at(far), "seeds differ");
+    }
+
+    #[test]
+    fn geowalk_stays_on_the_field_and_moves() {
+        let mut w = GeoWalk::new(7, 500.0, 10.0);
+        let (x0, y0) = w.position_at(0);
+        let mut moved = false;
+        for t in (1..200).map(|i| i * 1_000_000) {
+            let (x, y) = w.position_at(t);
+            assert!((0.0..=500.0).contains(&x), "x={x} off-field");
+            assert!((0.0..=500.0).contains(&y), "y={y} off-field");
+            if (x - x0).abs() > 1.0 || (y - y0).abs() > 1.0 {
+                moved = true;
+            }
+        }
+        assert!(moved, "walk never left its starting point");
+    }
+
+    #[test]
+    fn geowalk_speed_bounds_displacement() {
+        let mut w = GeoWalk::new(11, 10_000.0, 2.0);
+        let (x0, y0) = w.position_at(0);
+        let (x1, y1) = w.position_at(30_000_000); // 30 s at 2 m/s
+        let dist = ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt();
+        assert!(dist <= 60.0 + 1e-6, "moved {dist} m in 30 s at 2 m/s");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! encoding with explicit bounds checking. All integers are big-endian.
 
 use bytes::{BufMut, Bytes, BytesMut};
-use swing_core::graph::StageId;
+use swing_core::graph::{EdgeKind, StageId};
 use swing_core::{DeviceId, FieldKey, SeqNo, SharedBytes, Tuple, UnitId, Value};
 use swing_core::{Error, Result};
 
@@ -153,6 +153,9 @@ pub enum Message {
         addr: String,
         /// Deployment epoch of this topology change (fencing).
         epoch: u64,
+        /// Distribution mode of the edge this link belongs to
+        /// (broadcast, hash-partitioned, or round-robin).
+        kind: EdgeKind,
     },
     /// Master → workers: begin sensing and computing (§IV-B step 4).
     Start,
@@ -331,7 +334,13 @@ impl Message {
                     name, listen_addr, ..
                 } => 4 + 2 + name.len() + 2 + listen_addr.len(),
                 Message::Activate { stage_name, .. } => 4 + 4 + 2 + stage_name.len() + 8,
-                Message::Connect { addr, .. } => 4 + 4 + 2 + addr.len() + 8,
+                Message::Connect { addr, kind, .. } => {
+                    let kind_len = match kind {
+                        EdgeKind::KeyBy(field) => 1 + 2 + field.len(),
+                        EdgeKind::Broadcast | EdgeKind::Rebalance => 1,
+                    };
+                    4 + 4 + 2 + addr.len() + 8 + kind_len
+                }
                 Message::Start | Message::Stop | Message::Ping => 0,
                 Message::Ready { .. }
                 | Message::Leave { .. }
@@ -448,12 +457,21 @@ impl Message {
                 downstream,
                 addr,
                 epoch,
+                kind,
             } => {
                 b.put_u8(5);
                 b.put_u32(upstream.0);
                 b.put_u32(downstream.0);
                 put_str(b, addr);
                 b.put_u64(*epoch);
+                match kind {
+                    EdgeKind::Broadcast => b.put_u8(0),
+                    EdgeKind::KeyBy(field) => {
+                        b.put_u8(1);
+                        put_str(b, field);
+                    }
+                    EdgeKind::Rebalance => b.put_u8(2),
+                }
             }
             Message::Start => b.put_u8(6),
             Message::Stop => b.put_u8(7),
@@ -683,6 +701,14 @@ impl Message {
                 downstream: UnitId(get_u32(&mut buf)?),
                 addr: get_str(&mut buf)?,
                 epoch: get_u64(&mut buf)?,
+                kind: match get_u8(&mut buf)? {
+                    0 => EdgeKind::Broadcast,
+                    1 => EdgeKind::KeyBy(get_str(&mut buf)?),
+                    2 => EdgeKind::Rebalance,
+                    k => {
+                        return Err(Error::Malformed(format!("unknown edge kind tag {k}")));
+                    }
+                },
             },
             6 => Message::Start,
             7 => Message::Stop,
@@ -1058,6 +1084,21 @@ mod tests {
             downstream: UnitId(9),
             addr: "127.0.0.1:45001".into(),
             epoch: 2,
+            kind: EdgeKind::Broadcast,
+        });
+        roundtrip(Message::Connect {
+            upstream: UnitId(1),
+            downstream: UnitId(9),
+            addr: "127.0.0.1:45001".into(),
+            epoch: 2,
+            kind: EdgeKind::KeyBy("cell".into()),
+        });
+        roundtrip(Message::Connect {
+            upstream: UnitId(1),
+            downstream: UnitId(9),
+            addr: "127.0.0.1:45001".into(),
+            epoch: 2,
+            kind: EdgeKind::Rebalance,
         });
         roundtrip(Message::Start);
         roundtrip(Message::Stop);
@@ -1251,6 +1292,7 @@ mod tests {
                 downstream: UnitId(9),
                 addr: "127.0.0.1:45001".into(),
                 epoch: 3,
+                kind: EdgeKind::KeyBy("cell".into()),
             },
             Message::Start,
             Message::Stop,

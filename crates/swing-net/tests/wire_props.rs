@@ -2,7 +2,7 @@
 //! robustness against arbitrary (corrupt) inputs.
 
 use proptest::prelude::*;
-use swing_core::graph::StageId;
+use swing_core::graph::{EdgeKind, StageId};
 use swing_core::{DeviceId, SeqNo, Tuple, UnitId};
 use swing_net::Message;
 
@@ -51,14 +51,26 @@ fn arb_message() -> impl Strategy<Value = Message> {
             epoch,
         },
     );
-    let connect = (any::<u32>(), any::<u32>(), "[a-z0-9.:]{0,32}", any::<u64>()).prop_map(
-        |(up, down, addr, epoch)| Message::Connect {
-            upstream: UnitId(up),
-            downstream: UnitId(down),
-            addr,
-            epoch,
-        },
-    );
+    let connect = (
+        any::<u32>(),
+        any::<u32>(),
+        "[a-z0-9.:]{0,32}",
+        any::<u64>(),
+        (0u8..3, "[a-z_]{0,16}"),
+    )
+        .prop_map(
+            |(up, down, addr, epoch, (kind_sel, field))| Message::Connect {
+                upstream: UnitId(up),
+                downstream: UnitId(down),
+                addr,
+                epoch,
+                kind: match kind_sel {
+                    0 => EdgeKind::Broadcast,
+                    1 => EdgeKind::KeyBy(field),
+                    _ => EdgeKind::Rebalance,
+                },
+            },
+        );
     let disconnect = (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(up, down, epoch)| {
         Message::Disconnect {
             upstream: UnitId(up),

@@ -33,6 +33,8 @@ use swing_core::clock::ClockHandle;
 use swing_core::config::RetryConfig;
 use swing_core::dedup::DedupWindow;
 use swing_core::flow::{FlowConfig, OverloadPolicy};
+use swing_core::graph::EdgeKind;
+use swing_core::routing::partition::{rendezvous_owner, tuple_key_hash};
 use swing_core::routing::{Router, RouterSnapshot};
 use swing_core::timing;
 use swing_core::{SeqNo, Tuple, UnitId};
@@ -58,6 +60,19 @@ struct RouteGauges {
     latency_us: Gauge,
     weight: Gauge,
     selected: Gauge,
+}
+
+/// Keyed-edge telemetry handles, registered lazily on the first publish
+/// of a dispatcher whose out-edge is partitioned — broadcast
+/// dispatchers never register (or pay for) them.
+struct KeyedMetrics {
+    keys: Gauge,
+    skew: Gauge,
+    rehomed: Counter,
+    rehomed_last: Gauge,
+    /// Per-downstream routed counters, registered lazily like
+    /// [`ExecMetrics::route_gauges`].
+    routed: HashMap<UnitId, Counter>,
 }
 
 /// One executor's telemetry handles. Everything is registered once at
@@ -89,6 +104,8 @@ pub(crate) struct ExecMetrics {
     shed_in_queue: Counter,
     pub(crate) mailbox_depth: Histogram,
     route_gauges: HashMap<UnitId, RouteGauges>,
+    /// Keyed-edge handles, `None` until the first keyed publish.
+    keyed: Option<KeyedMetrics>,
     /// Per-downstream remaining-credit gauges, registered lazily like
     /// [`ExecMetrics::route_gauges`].
     credit_gauges: HashMap<UnitId, Gauge>,
@@ -126,6 +143,7 @@ impl ExecMetrics {
             shed_in_queue: telemetry.counter(n::EXEC_SHED_IN_QUEUE, labels),
             mailbox_depth: telemetry.histogram(n::EXEC_MAILBOX_DEPTH, labels),
             route_gauges: HashMap::new(),
+            keyed: None,
             credit_gauges: HashMap::new(),
             prev_selected: Vec::new(),
             prev_probing: false,
@@ -219,6 +237,44 @@ impl ExecMetrics {
         self.prev_probing = snap.probing;
     }
 
+    /// The keyed-edge handles, registered on first use.
+    fn keyed(&mut self) -> &mut KeyedMetrics {
+        use swing_telemetry::names as n;
+        if self.keyed.is_none() {
+            let labels: &[(&str, &str)] = &[
+                (n::LABEL_WORKER, &self.worker),
+                (n::LABEL_UNIT, &self.unit_label),
+            ];
+            self.keyed = Some(KeyedMetrics {
+                keys: self.telemetry.gauge(n::KEYED_KEYS, labels),
+                skew: self.telemetry.gauge(n::KEYED_SKEW_RATIO, labels),
+                rehomed: self.telemetry.counter(n::KEYED_REHOMED, labels),
+                rehomed_last: self.telemetry.gauge(n::KEYED_REHOMED_LAST, labels),
+                routed: HashMap::new(),
+            });
+        }
+        self.keyed.as_mut().expect("registered above")
+    }
+
+    /// The partitioned-edge routed counter toward `unit`, registered on
+    /// first use.
+    fn keyed_routed(&mut self, unit: UnitId) -> &Counter {
+        use swing_telemetry::names as n;
+        if !self.keyed().routed.contains_key(&unit) {
+            let downstream = unit.0.to_string();
+            let counter = self.telemetry.counter(
+                n::KEYED_ROUTED,
+                &[
+                    (n::LABEL_WORKER, &self.worker),
+                    (n::LABEL_UNIT, &self.unit_label),
+                    (n::LABEL_DOWNSTREAM, &downstream),
+                ],
+            );
+            self.keyed().routed.insert(unit, counter);
+        }
+        &self.keyed.as_ref().expect("registered above").routed[&unit]
+    }
+
     /// The remaining-credit gauge toward `unit`, registered on first use.
     fn credit_gauge(&mut self, unit: UnitId) -> &Gauge {
         use swing_telemetry::names as n;
@@ -296,6 +352,40 @@ pub struct Dispatcher {
     /// pushes are suppressed and the embedding layer transmits one
     /// tuple at a time via [`Dispatcher::flush_one`].
     paced: bool,
+    /// Distribution mode of this unit's out-edge (see
+    /// [`Dispatcher::set_edge_kind`]).
+    partition: PartitionState,
+    /// Per-downstream routed counts on a partitioned out-edge, pending
+    /// telemetry flush (same local-accumulate idiom as
+    /// [`LocalDelivery`]). Always empty on broadcast edges.
+    part_routed: Vec<(UnitId, u64)>,
+}
+
+/// Distribution mode of a dispatcher's out-edge, mirroring [`EdgeKind`]
+/// plus the routing state each mode needs at dispatch time. The graph
+/// layer guarantees a partitioned (non-broadcast) out-edge is the *sole*
+/// out-edge of its stage, so one mode per dispatcher suffices.
+enum PartitionState {
+    /// Replica pooling (the default): the configured routing policy
+    /// picks freely among live downstream instances.
+    Broadcast,
+    /// Hash partitioning: every tuple is pinned to the rendezvous owner
+    /// of its key hash among the live downstream instances.
+    KeyBy {
+        /// Tuple field whose value is hashed into the key space.
+        field: String,
+        /// Last observed owner of every key hash routed on this edge,
+        /// for re-home accounting and the skew gauge.
+        owners: HashMap<u64, UnitId>,
+        /// Keys whose owner has changed since the edge was wired.
+        rehomed_total: u64,
+        /// Keys re-homed by the most recent membership change alone.
+        rehomed_last: u64,
+        /// Portion of `rehomed_total` already flushed to telemetry.
+        rehomed_published: u64,
+    },
+    /// Round-robin spraying, ignoring latency estimates.
+    Rebalance,
 }
 
 /// Per-downstream in-flight counts, touched on every send and every
@@ -385,6 +475,8 @@ impl Dispatcher {
             next_publish_us: 0,
             loss_log: None,
             paced: false,
+            partition: PartitionState::Broadcast,
+            part_routed: Vec::new(),
         }
     }
 
@@ -598,6 +690,7 @@ impl Dispatcher {
         self.metrics
             .inflight_size
             .set_u64(self.inflight.len() as u64);
+        self.publish_keyed();
         let snap = ExecProbe {
             router,
             delivery: self.delivery(),
@@ -614,11 +707,123 @@ impl Dispatcher {
         }
     }
 
+    /// Adopt the out-edge's distribution mode (see [`EdgeKind`]).
+    /// Wiring layers call this when a downstream link of the edge is
+    /// established; repeated calls with the same kind are no-ops, so
+    /// per-replica `Connect` messages don't reset keyed routing state.
+    pub fn set_edge_kind(&mut self, kind: &EdgeKind) {
+        match (kind, &self.partition) {
+            (EdgeKind::Broadcast, PartitionState::Broadcast)
+            | (EdgeKind::Rebalance, PartitionState::Rebalance) => {}
+            (EdgeKind::KeyBy(f), PartitionState::KeyBy { field, .. }) if f == field => {}
+            _ => {
+                self.partition = match kind {
+                    EdgeKind::Broadcast => PartitionState::Broadcast,
+                    EdgeKind::KeyBy(field) => PartitionState::KeyBy {
+                        field: field.clone(),
+                        owners: HashMap::new(),
+                        rehomed_total: 0,
+                        rehomed_last: 0,
+                        rehomed_published: 0,
+                    },
+                    EdgeKind::Rebalance => PartitionState::Rebalance,
+                };
+            }
+        }
+    }
+
+    /// Keyed-routing observability: `(distinct keys seen, keys re-homed
+    /// in total, keys re-homed by the last membership change)` of a
+    /// `KeyBy` out-edge, or `None` on broadcast/rebalance edges.
+    #[must_use]
+    pub fn keyed_stats(&self) -> Option<(usize, u64, u64)> {
+        match &self.partition {
+            PartitionState::KeyBy {
+                owners,
+                rehomed_total,
+                rehomed_last,
+                ..
+            } => Some((owners.len(), *rehomed_total, *rehomed_last)),
+            _ => None,
+        }
+    }
+
+    /// Re-derive the rendezvous owner of every key seen on a `KeyBy`
+    /// out-edge after a membership change, counting moved keys. Tuples
+    /// re-hash lazily at dispatch time anyway; this keeps the re-home
+    /// telemetry exact at the moment of the change instead of trickling
+    /// in with traffic.
+    fn recompute_key_owners(&mut self) {
+        let PartitionState::KeyBy {
+            owners,
+            rehomed_total,
+            rehomed_last,
+            ..
+        } = &mut self.partition
+        else {
+            return;
+        };
+        let mut moved = 0u64;
+        for (hash, owner) in owners.iter_mut() {
+            if let Some(new_owner) = rendezvous_owner(*hash, self.downstreams.keys().copied()) {
+                if *owner != new_owner {
+                    *owner = new_owner;
+                    moved += 1;
+                }
+            }
+        }
+        *rehomed_total += moved;
+        *rehomed_last = moved;
+    }
+
+    /// Flush keyed-routing telemetry: per-downstream routed counts, the
+    /// key-count and skew gauges, and the re-home counters. A no-op on
+    /// broadcast edges — the gauges are never even registered.
+    fn publish_keyed(&mut self) {
+        if matches!(self.partition, PartitionState::Broadcast) {
+            return;
+        }
+        for (unit, n) in std::mem::take(&mut self.part_routed) {
+            self.metrics.keyed_routed(unit).add(n);
+        }
+        let PartitionState::KeyBy {
+            owners,
+            rehomed_total,
+            rehomed_last,
+            rehomed_published,
+            ..
+        } = &mut self.partition
+        else {
+            return;
+        };
+        let keyed = self.metrics.keyed();
+        keyed.keys.set_u64(owners.len() as u64);
+        let mut per_owner: HashMap<UnitId, u64> = HashMap::new();
+        for owner in owners.values() {
+            *per_owner.entry(*owner).or_insert(0) += 1;
+        }
+        let skew = if per_owner.is_empty() {
+            0.0
+        } else {
+            let max = per_owner.values().copied().max().unwrap_or(0) as f64;
+            let mean = owners.len() as f64 / per_owner.len() as f64;
+            max / mean
+        };
+        keyed.skew.set(skew);
+        let delta = *rehomed_total - *rehomed_published;
+        if delta > 0 {
+            keyed.rehomed.add(delta);
+            *rehomed_published = *rehomed_total;
+        }
+        keyed.rehomed_last.set_u64(*rehomed_last);
+    }
+
     /// Route future tuples to this downstream too.
     pub fn add_downstream(&mut self, unit: UnitId, sender: MsgSender) {
         self.downstreams.insert(unit, sender);
         let now = self.clock.now_us();
         self.router.add_downstream(unit, now);
+        self.recompute_key_owners();
         // Tuples may have been waiting for a route.
         self.flush_pending();
     }
@@ -650,7 +855,8 @@ impl Dispatcher {
 
     pub(crate) fn handle_control(&mut self, msg: ExecMsg) {
         match msg {
-            ExecMsg::AddDownstream { unit, sender } => {
+            ExecMsg::AddDownstream { unit, sender, kind } => {
+                self.set_edge_kind(&kind);
                 self.add_downstream(unit, sender);
             }
             ExecMsg::RemoveDownstream { unit } => {
@@ -732,6 +938,7 @@ impl Dispatcher {
             }
         }
         let mut orphans = self.router.remove_downstream(unit);
+        self.recompute_key_owners();
         self.reclaim_seqs(&orphans);
         // Belt and braces: anything still addressed to the evicted unit
         // that the router no longer tracked (e.g. an entry whose ACK the
@@ -875,7 +1082,26 @@ impl Dispatcher {
             let dest = match p.committed {
                 Some(d) => d,
                 None => {
-                    let Ok(d) = self.router.route(now) else {
+                    // Partition-aware route selection: broadcast edges
+                    // draw from the policy router exactly as before;
+                    // keyed edges pin the tuple to its key's rendezvous
+                    // owner (re-computed on every attempt, so requeued
+                    // tuples re-home to survivors automatically);
+                    // rebalance edges spray round-robin.
+                    let key_hash = match &self.partition {
+                        PartitionState::KeyBy { field, .. } => {
+                            Some(tuple_key_hash(&p.tuple, field))
+                        }
+                        _ => None,
+                    };
+                    let routed = if let Some(h) = key_hash {
+                        self.router.route_key(h, now)
+                    } else if matches!(self.partition, PartitionState::Rebalance) {
+                        self.router.route_rebalance(now)
+                    } else {
+                        self.router.route(now)
+                    };
+                    let Ok(d) = routed else {
                         if self.retry.enabled {
                             // No downstream *right now* — e.g. the sole
                             // host of the next stage died and its
@@ -891,6 +1117,15 @@ impl Dispatcher {
                         self.log_loss(p.tuple.seq());
                         return None;
                     };
+                    if let (Some(h), PartitionState::KeyBy { owners, .. }) =
+                        (key_hash, &mut self.partition)
+                    {
+                        // Owners normally move in `recompute_key_owners`;
+                        // this insert records first-sighted keys (and is
+                        // a safety net if a route lands between table
+                        // updates).
+                        owners.insert(h, d);
+                    }
                     p.committed = Some(d);
                     d
                 }
@@ -923,6 +1158,12 @@ impl Dispatcher {
                 tuple: p.tuple.clone(),
             }) {
                 Ok(()) => {
+                    if !matches!(self.partition, PartitionState::Broadcast) {
+                        match self.part_routed.iter_mut().find(|(u, _)| *u == dest) {
+                            Some((_, n)) => *n += 1,
+                            None => self.part_routed.push((dest, 1)),
+                        }
+                    }
                     if p.attempts == 0 {
                         self.local.sent += 1;
                         self.metrics.telemetry.record_stage(
@@ -1303,5 +1544,113 @@ mod tests {
             _ => unreachable!(),
         };
         assert_eq!(sent.sent_at_us(), 5_000_000);
+    }
+
+    fn keyed_tuple(seq: u64, cell: i64) -> Tuple {
+        let mut t = Tuple::new().with("cell", cell);
+        t.set_seq(SeqNo(seq));
+        t
+    }
+
+    fn drain_cells(rx: &crossbeam::channel::Receiver<Message>) -> Vec<i64> {
+        rx.try_iter()
+            .map(|m| match m {
+                Message::Data { tuple, .. } => tuple.i64("cell").expect("keyed field"),
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
+    /// On a `KeyBy` edge every tuple of a key lands on one downstream,
+    /// whichever replica the latency policy would otherwise prefer, and
+    /// the keyed telemetry sees the keys.
+    #[test]
+    fn keyed_edge_pins_each_key_to_one_downstream() {
+        let mut out = Dispatcher::new(UnitId(0), &config(100.0));
+        out.set_edge_kind(&EdgeKind::KeyBy("cell".into()));
+        let (tx_a, rx_a) = crossbeam::channel::unbounded();
+        let (tx_b, rx_b) = crossbeam::channel::unbounded();
+        out.add_downstream(UnitId(1), tx_a);
+        out.add_downstream(UnitId(2), tx_b);
+
+        for seq in 0..64 {
+            out.dispatch(keyed_tuple(seq, i64::try_from(seq % 8).unwrap()));
+        }
+        assert_eq!(out.delivery().sent, 64);
+        let cells_a = drain_cells(&rx_a);
+        let cells_b = drain_cells(&rx_b);
+        // Zero leakage: no cell value appears on both downstreams.
+        for c in &cells_a {
+            assert!(!cells_b.contains(c), "cell {c} leaked across owners");
+        }
+        // Rendezvous over two members splits eight keys non-trivially.
+        assert!(!cells_a.is_empty() && !cells_b.is_empty());
+        let (keys, rehomed_total, _) = out.keyed_stats().expect("keyed edge");
+        assert_eq!(keys, 8);
+        assert_eq!(rehomed_total, 0, "stable membership re-homes nothing");
+    }
+
+    /// Evicting a keyed downstream re-homes exactly the keys it owned:
+    /// its in-flight tuples re-hash to survivors and the re-home
+    /// counters record the move.
+    #[test]
+    fn keyed_eviction_rehomes_only_the_dead_owners_keys() {
+        let mut out = Dispatcher::new(UnitId(0), &config(100.0));
+        out.set_edge_kind(&EdgeKind::KeyBy("cell".into()));
+        let (tx_a, rx_a) = crossbeam::channel::unbounded();
+        let (tx_b, rx_b) = crossbeam::channel::unbounded();
+        out.add_downstream(UnitId(1), tx_a);
+        out.add_downstream(UnitId(2), tx_b);
+        for seq in 0..32 {
+            out.dispatch(keyed_tuple(seq, i64::try_from(seq % 16).unwrap()));
+        }
+        let before_a: std::collections::BTreeSet<i64> = drain_cells(&rx_a).into_iter().collect();
+        let before_b: std::collections::BTreeSet<i64> = drain_cells(&rx_b).into_iter().collect();
+        assert_eq!(before_a.len() + before_b.len(), 16);
+
+        // Kill downstream 1. Its unACKed tuples must re-hash to 2, and
+        // keys 2 already owned must not move.
+        out.remove_downstream(UnitId(1));
+        out.flush_pending();
+        let resent: std::collections::BTreeSet<i64> = drain_cells(&rx_b).into_iter().collect();
+        assert_eq!(resent, before_a, "exactly the dead owner's keys moved");
+        let (keys, rehomed_total, rehomed_last) = out.keyed_stats().expect("keyed edge");
+        assert_eq!(keys, 16);
+        assert_eq!(rehomed_total, before_a.len() as u64);
+        assert_eq!(rehomed_last, before_a.len() as u64);
+    }
+
+    /// A `Rebalance` edge sprays round-robin across connected
+    /// downstreams, ignoring the seeded latency draw.
+    #[test]
+    fn rebalance_edge_alternates_downstreams() {
+        let mut out = Dispatcher::new(UnitId(0), &config(100.0));
+        out.set_edge_kind(&EdgeKind::Rebalance);
+        let (tx_a, rx_a) = crossbeam::channel::unbounded();
+        let (tx_b, rx_b) = crossbeam::channel::unbounded();
+        out.add_downstream(UnitId(1), tx_a);
+        out.add_downstream(UnitId(2), tx_b);
+        for seq in 0..10 {
+            out.dispatch(tuple(seq));
+        }
+        assert_eq!(rx_a.try_iter().count(), 5);
+        assert_eq!(rx_b.try_iter().count(), 5);
+        assert!(out.keyed_stats().is_none(), "rebalance tracks no keys");
+    }
+
+    /// Repeated `set_edge_kind` with the same kind (one Connect per
+    /// replica) must not reset keyed ownership state.
+    #[test]
+    fn repeated_edge_kind_is_idempotent() {
+        let mut out = Dispatcher::new(UnitId(0), &config(100.0));
+        out.set_edge_kind(&EdgeKind::KeyBy("cell".into()));
+        let (tx_a, _rx_a) = crossbeam::channel::unbounded();
+        out.add_downstream(UnitId(1), tx_a);
+        out.dispatch(keyed_tuple(0, 7));
+        assert_eq!(out.keyed_stats().expect("keyed").0, 1);
+        out.set_edge_kind(&EdgeKind::KeyBy("cell".into()));
+        assert_eq!(out.keyed_stats().expect("keyed").0, 1, "state survived");
+        out.set_edge_kind(&EdgeKind::KeyBy("other".into()));
+        assert_eq!(out.keyed_stats().expect("keyed").0, 0, "new field resets");
     }
 }

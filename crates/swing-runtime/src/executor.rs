@@ -138,6 +138,9 @@ pub enum ExecMsg {
         unit: UnitId,
         /// Sender toward the node hosting it.
         sender: MsgSender,
+        /// Distribution mode of the edge this link belongs to
+        /// (broadcast, hash-partitioned, or round-robin).
+        kind: swing_core::graph::EdgeKind,
     },
     /// Stop routing to this downstream; in-flight tuples addressed to
     /// it are re-routed to the survivors.
@@ -734,6 +737,7 @@ mod tests {
         src_h.send(ExecMsg::AddDownstream {
             unit: UnitId(1),
             sender: fabric.dial(&op_addr).unwrap(),
+            kind: swing_core::graph::EdgeKind::Broadcast,
         });
         op_h.send(ExecMsg::AddUpstream {
             unit: UnitId(0),
@@ -742,6 +746,7 @@ mod tests {
         op_h.send(ExecMsg::AddDownstream {
             unit: UnitId(2),
             sender: fabric.dial(&sink_addr).unwrap(),
+            kind: swing_core::graph::EdgeKind::Broadcast,
         });
         sink_h.send(ExecMsg::AddUpstream {
             unit: UnitId(1),

@@ -582,7 +582,8 @@ impl MasterState {
     /// For every graph edge with exactly one end among `dead_units`,
     /// send the surviving end's host a Disconnect for that pair.
     fn disconnect_edges_of(&self, dead_units: &[UnitId]) {
-        for &(up_stage, down_stage) in self.graph.edges() {
+        for e in self.graph.edges() {
+            let (up_stage, down_stage) = (e.from, e.to);
             let ups: Vec<UnitId> = self.deployment.instances_of(up_stage).collect();
             let downs: Vec<UnitId> = self.deployment.instances_of(down_stage).collect();
             for &u in &ups {
@@ -672,8 +673,17 @@ impl MasterState {
         let mut new_units: Vec<UnitId> = Vec::new();
         let mut touched: Vec<DeviceId> = Vec::new();
         for stage in order {
-            let role = self.graph.stage(stage).expect("stage exists").role;
-            for device in self.hosts_for(role) {
+            let spec = self.graph.stage(stage).expect("stage exists");
+            let (role, parallelism) = (spec.role, spec.parallelism);
+            let mut hosts = self.hosts_for(role);
+            // A stage's parallelism hint caps how many replicas the
+            // policy fans out to (roster order keeps the cap stable
+            // across reconciles; dead hosts fall out of the roster, so
+            // replacement devices slide under the cap automatically).
+            if let Some(cap) = parallelism {
+                hosts.truncate(cap as usize);
+            }
+            for device in hosts {
                 let have = self
                     .deployment
                     .instances_of(stage)
@@ -735,7 +745,8 @@ impl MasterState {
     /// edge. With `only_touching`, restrict to pairs involving one of the
     /// given (freshly placed) units.
     fn connect_edges(&self, only_touching: Option<&[UnitId]>) {
-        for &(up_stage, down_stage) in self.graph.edges() {
+        for e in self.graph.edges() {
+            let (up_stage, down_stage) = (e.from, e.to);
             let ups: Vec<UnitId> = self.deployment.instances_of(up_stage).collect();
             let downs: Vec<UnitId> = self.deployment.instances_of(down_stage).collect();
             for &u in &ups {
@@ -758,6 +769,7 @@ impl MasterState {
                             downstream: d,
                             addr,
                             epoch: self.epoch,
+                            kind: e.kind.clone(),
                         });
                     }
                     if let (Some(s), Some(addr)) = (self.senders.get(&d_dev), u_addr) {
@@ -766,6 +778,7 @@ impl MasterState {
                             downstream: d,
                             addr,
                             epoch: self.epoch,
+                            kind: e.kind.clone(),
                         });
                     }
                 }

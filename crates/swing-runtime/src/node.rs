@@ -344,6 +344,7 @@ impl NodeState {
                 downstream,
                 addr,
                 epoch,
+                kind,
             } => {
                 if self.fenced(epoch) {
                     return true;
@@ -356,6 +357,7 @@ impl NodeState {
                     h.send(ExecMsg::AddDownstream {
                         unit: downstream,
                         sender,
+                        kind,
                     });
                 }
                 if let (Some(h), Some(sender)) = (self.executors.get(&downstream), sender) {

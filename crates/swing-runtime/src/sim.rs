@@ -44,7 +44,7 @@ use std::sync::Arc;
 use swing_core::clock::{Clock, VirtualClock};
 use swing_core::event::EventQueue;
 use swing_core::flow::{Mailbox, OverloadPolicy, PushOutcome};
-use swing_core::graph::{AppGraph, Role, StageId};
+use swing_core::graph::{AppGraph, EdgeKind, Role, StageId};
 use swing_core::rate::Pacer;
 use swing_core::reorder::ReorderBuffer;
 use swing_core::rng::DetRng;
@@ -684,8 +684,9 @@ impl SimSwarm {
         let stages: Vec<StageId> = sim.graph.stages().collect();
         let mut stage_instances: HashMap<StageId, Vec<UnitId>> = HashMap::new();
         for stage in stages {
-            let role = sim.graph.stage(stage).expect("stage exists").role;
-            for w in sim.hosts_for(role) {
+            let spec = sim.graph.stage(stage).expect("stage exists");
+            let (role, parallelism) = (spec.role, spec.parallelism);
+            for w in sim.hosts_for(role, parallelism) {
                 let Some(unit) = sim.place_unit(stage, w, 0) else {
                     return Err(Error::Malformed(format!(
                         "worker {} has no unit installed for stage {}",
@@ -700,16 +701,13 @@ impl SimSwarm {
         // Wire edges: each (upstream instance, downstream instance)
         // pair gets its own dialed link in both directions (data
         // forward, ACKs back), exactly like the master's Connect fan-out.
-        let edges: Vec<(StageId, StageId)> = sim.graph.edges().to_vec();
-        for (from_stage, to_stage) in edges {
-            let ups = stage_instances
-                .get(&from_stage)
-                .cloned()
-                .unwrap_or_default();
-            let downs = stage_instances.get(&to_stage).cloned().unwrap_or_default();
+        let edges = sim.graph.edges().to_vec();
+        for e in edges {
+            let ups = stage_instances.get(&e.from).cloned().unwrap_or_default();
+            let downs = stage_instances.get(&e.to).cloned().unwrap_or_default();
             for &up in &ups {
                 for &down in &downs {
-                    sim.wire_pair(up, down)?;
+                    sim.wire_pair(up, down, &e.kind)?;
                 }
             }
         }
@@ -733,8 +731,10 @@ impl SimSwarm {
     /// Desired hosts of a role over the *live* roster, mirroring the
     /// master's `SourceOnFirst` rule: source/sink on the first live
     /// worker, operators on the remaining live workers (or all, when
-    /// only one survives).
-    fn hosts_for(&self, role: Role) -> Vec<usize> {
+    /// only one survives). A stage's parallelism hint caps the fan-out
+    /// (roster order, so replacement hosts slide under the cap as dead
+    /// workers leave the roster).
+    fn hosts_for(&self, role: Role, parallelism: Option<u32>) -> Vec<usize> {
         let alive: Vec<usize> = self
             .workers
             .iter()
@@ -742,7 +742,7 @@ impl SimSwarm {
             .filter(|(_, w)| w.alive)
             .map(|(i, _)| i)
             .collect();
-        match role {
+        let mut hosts = match role {
             Role::Source | Role::Sink => alive.first().map(|&w| vec![w]).unwrap_or_default(),
             Role::Operator => {
                 if alive.len() > 1 {
@@ -751,7 +751,11 @@ impl SimSwarm {
                     alive
                 }
             }
+        };
+        if let Some(cap) = parallelism {
+            hosts.truncate(cap as usize);
         }
+        hosts
     }
 
     /// Instantiate `stage` from worker `w`'s registry as a fresh unit
@@ -821,13 +825,15 @@ impl SimSwarm {
     }
 
     /// Dial the two directional links of one (upstream, downstream)
-    /// instance pair and register them with both dispatchers.
-    fn wire_pair(&mut self, up: UnitId, down: UnitId) -> Result<()> {
+    /// instance pair and register them with both dispatchers, stamping
+    /// the upstream dispatcher with the edge's distribution mode.
+    fn wire_pair(&mut self, up: UnitId, down: UnitId, kind: &EdgeKind) -> Result<()> {
         let up_idx = self.by_unit[&up];
         let down_idx = self.by_unit[&down];
         let down_addr = self.workers[self.execs[down_idx].worker].addr.clone();
         let up_addr = self.workers[self.execs[up_idx].worker].addr.clone();
         let tx_data = self.fabric.dial_impl(&down_addr)?;
+        self.execs[up_idx].disp.set_edge_kind(kind);
         self.execs[up_idx].disp.add_downstream(down, tx_data);
         let tx_ack = self.fabric.dial_impl(&up_addr)?;
         self.execs[down_idx].disp.add_upstream(up, tx_ack);
@@ -1623,8 +1629,9 @@ impl SimSwarm {
         };
         let mut new_units: Vec<UnitId> = Vec::new();
         for stage in order {
-            let role = self.graph.stage(stage).expect("stage exists").role;
-            for w in self.hosts_for(role) {
+            let spec = self.graph.stage(stage).expect("stage exists");
+            let (role, parallelism) = (spec.role, spec.parallelism);
+            for w in self.hosts_for(role, parallelism) {
                 let have = self
                     .execs
                     .iter()
@@ -1641,18 +1648,18 @@ impl SimSwarm {
         }
         // Wire only pairs that touch a new unit; surviving pairs keep
         // their existing links.
-        let edges: Vec<(StageId, StageId)> = self.graph.edges().to_vec();
-        for (from_stage, to_stage) in edges {
+        let edges = self.graph.edges().to_vec();
+        for edge in edges {
             let ups: Vec<UnitId> = self
                 .execs
                 .iter()
-                .filter(|e| e.alive && e.stage == from_stage)
+                .filter(|e| e.alive && e.stage == edge.from)
                 .map(|e| e.unit)
                 .collect();
             let downs: Vec<UnitId> = self
                 .execs
                 .iter()
-                .filter(|e| e.alive && e.stage == to_stage)
+                .filter(|e| e.alive && e.stage == edge.to)
                 .map(|e| e.unit)
                 .collect();
             for &up in &ups {
@@ -1660,7 +1667,7 @@ impl SimSwarm {
                     if !new_units.contains(&up) && !new_units.contains(&down) {
                         continue;
                     }
-                    let _ = self.wire_pair(up, down);
+                    let _ = self.wire_pair(up, down, &edge.kind);
                 }
             }
         }

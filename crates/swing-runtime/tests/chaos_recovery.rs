@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use swing_core::config::{ReorderConfig, RetryConfig};
-use swing_core::graph::{AppGraph, StageId};
+use swing_core::graph::{AppGraph, EdgeKind, StageId};
 use swing_core::unit::{closure_sink, closure_source, closure_unit, Context};
 use swing_core::{Tuple, UnitId};
 use swing_net::Message;
@@ -271,6 +271,7 @@ fn expired_ack_deadline_reroutes_to_another_downstream() {
     src_h.send(ExecMsg::AddDownstream {
         unit: UnitId(1),
         sender: hole_tx,
+        kind: EdgeKind::Broadcast,
     });
     src_h.send(ExecMsg::Start);
 
@@ -296,6 +297,7 @@ fn expired_ack_deadline_reroutes_to_another_downstream() {
     src_h.send(ExecMsg::AddDownstream {
         unit: UnitId(2),
         sender: live_tx,
+        kind: EdgeKind::Broadcast,
     });
 
     let mut live_seqs: BTreeSet<u64> = BTreeSet::new();

@@ -68,6 +68,22 @@ pub const EXEC_SELECTION_CHANGES: &str = "swing_exec_selection_changes_total";
 /// Probe-window activations (round-robin refresh of unselected units).
 pub const EXEC_PROBE_WINDOWS: &str = "swing_exec_probe_windows_total";
 
+// --- keyed (partitioned) out-edges (labels: worker, unit [, downstream]) ---
+
+/// Distinct keys this dispatcher has routed on its `KeyBy` out-edge
+/// (gauge).
+pub const KEYED_KEYS: &str = "swing_keyed_keys";
+/// Key skew of the `KeyBy` out-edge: max over mean keys owned per live
+/// downstream, 1.0 = perfectly even (gauge).
+pub const KEYED_SKEW_RATIO: &str = "swing_keyed_skew_ratio";
+/// Keys whose rendezvous owner changed (membership churn re-homing).
+pub const KEYED_REHOMED: &str = "swing_keyed_rehomed_total";
+/// Keys re-homed by the most recent membership change alone (gauge).
+pub const KEYED_REHOMED_LAST: &str = "swing_keyed_rehomed_last";
+/// Tuples routed per downstream on a partitioned (`KeyBy`/`Rebalance`)
+/// out-edge (labels add `downstream`).
+pub const KEYED_ROUTED: &str = "swing_keyed_routed_total";
+
 // --- in-flight table (labels: worker, unit) ---
 
 /// Tuples currently awaiting an ACK (gauge).

@@ -21,10 +21,15 @@
 //!   engine), rendered as a per-swarm rollup table plus the federated
 //!   totals read from the exactly-merged snapshot.
 //!
+//! Both live and sim modes run the face app by default; passing
+//! `spatial` right after the mode runs the grid-keyed spatial app
+//! instead, which lights up the keyed-routing row (per-stage key
+//! population, key skew, keys re-homed on the last epoch bump).
+//!
 //! ```sh
-//! cargo run --release --example telemetry_dashboard -- [live|sim] [policy] [workers] [seconds] [seed]
+//! cargo run --release --example telemetry_dashboard -- [live|sim] [face|spatial] [policy] [workers] [seconds] [seed]
 //! cargo run --release --example telemetry_dashboard -- live lrs 4 8
-//! cargo run --release --example telemetry_dashboard -- sim lrs 4 30 7
+//! cargo run --release --example telemetry_dashboard -- sim spatial lrs 6 30 7
 //! cargo run --release --example telemetry_dashboard -- fed [swarms] [workers] [seconds] [seed]
 //! cargo run --release --example telemetry_dashboard -- fed 20 10 10 1
 //! ```
@@ -32,14 +37,34 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 use swing::apps::face::{self, FaceAppConfig};
+use swing::apps::spatial::{self, SpatialAppConfig};
 use swing::prelude::*;
 use swing::telemetry::{names, Snapshot};
 use swing_sim::federation::{Federation, FederationConfig};
 
-fn registry() -> UnitRegistry {
+/// Which reference app the dashboard drives: face exercises Broadcast
+/// edges, spatial exercises the `KeyBy("cell")` partitioned edge (and
+/// therefore the keyed-routing row).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum App {
+    Face,
+    Spatial,
+}
+
+fn registry(app: App) -> UnitRegistry {
     let mut r = UnitRegistry::new();
-    face::install(&mut r, FaceAppConfig::default());
+    match app {
+        App::Face => face::install(&mut r, FaceAppConfig::default()),
+        App::Spatial => spatial::install(&mut r, SpatialAppConfig::default()),
+    }
     r
+}
+
+fn graph(app: App) -> AppGraph {
+    match app {
+        App::Face => face::app_graph(),
+        App::Spatial => spatial::app_graph(),
+    }
 }
 
 /// One dashboard frame from one consistent registry snapshot.
@@ -111,6 +136,38 @@ fn render_tick(snap: &Snapshot, tick: u64) {
             println!("{r}");
         }
     }
+    render_keyed(snap);
+}
+
+/// The keyed-routing row, present only when a stage dispatches over a
+/// `KeyBy` edge: per dispatching (worker, unit) the live key
+/// population, the key-skew gauge (hottest owner's share of tuples
+/// over the per-owner mean), and the keys re-homed by membership
+/// changes — total and on the last epoch bump.
+fn render_keyed(snap: &Snapshot) {
+    let mut rows: Vec<String> = Vec::new();
+    for (key, keys) in snap.gauges_named(names::KEYED_KEYS) {
+        let (Some(w), Some(u)) = (key.label(names::LABEL_WORKER), key.label(names::LABEL_UNIT))
+        else {
+            continue;
+        };
+        let labels = [(names::LABEL_WORKER, w), (names::LABEL_UNIT, u)];
+        let skew = snap.gauge(names::KEYED_SKEW_RATIO, &labels).unwrap_or(0.0);
+        let rehomed = snap.counter(names::KEYED_REHOMED, &labels);
+        let last = snap
+            .gauge(names::KEYED_REHOMED_LAST, &labels)
+            .unwrap_or(0.0);
+        rows.push(format!(
+            "  {w}/{u}: keys {keys:.0}  skew {skew:.2}x mean  rehomed {rehomed} (last wave {last:.0})"
+        ));
+    }
+    if !rows.is_empty() {
+        rows.sort();
+        println!("keyed routing ({}):", rows.len());
+        for r in &rows {
+            println!("{r}");
+        }
+    }
 }
 
 /// The transport row, present only when the swarm runs on the reactor
@@ -178,18 +235,23 @@ fn render_totals(telemetry: &Telemetry) {
     }
 }
 
-fn run_live(policy: Policy, workers: usize, seconds: u64) {
+fn run_live(app: App, policy: Policy, workers: usize, seconds: u64) {
+    let name = if app == App::Spatial {
+        "spatial aggregation"
+    } else {
+        "face recognition"
+    };
     println!(
-        "telemetry dashboard (live): face recognition on {workers} devices over the \
+        "telemetry dashboard (live): {name} on {workers} devices over the \
          reactor fabric, policy {policy}, {seconds}s @ 24 FPS"
     );
-    let mut builder = LocalSwarm::builder(face::app_graph())
+    let mut builder = LocalSwarm::builder(graph(app))
         .policy(policy)
         .input_fps(24.0)
         .reactor()
-        .worker("A", registry());
+        .worker("A", registry(app));
     for i in 1..workers {
-        builder = builder.worker(format!("W{i}"), registry());
+        builder = builder.worker(format!("W{i}"), registry(app));
     }
     let swarm = builder.start().expect("swarm start");
 
@@ -205,9 +267,14 @@ fn run_live(policy: Policy, workers: usize, seconds: u64) {
     swarm.stop();
 }
 
-fn run_sim(policy: Policy, workers: usize, seconds: u64, seed: u64) {
+fn run_sim(app: App, policy: Policy, workers: usize, seconds: u64, seed: u64) {
+    let name = if app == App::Spatial {
+        "spatial aggregation"
+    } else {
+        "face recognition"
+    };
     println!(
-        "telemetry dashboard (virtual-time replay): face recognition on {workers} devices, \
+        "telemetry dashboard (virtual-time replay): {name} on {workers} devices, \
          policy {policy}, {seconds} simulated seconds @ 24 FPS, seed {seed}"
     );
     let mut cfg = SimSwarmConfig {
@@ -219,12 +286,12 @@ fn run_sim(policy: Policy, workers: usize, seconds: u64, seed: u64) {
     cfg.node.telemetry = Telemetry::new();
     let telemetry = cfg.node.telemetry.clone();
 
-    let mut crew: Vec<(String, UnitRegistry)> = vec![("A".into(), registry())];
+    let mut crew: Vec<(String, UnitRegistry)> = vec![("A".into(), registry(app))];
     for i in 1..workers {
-        crew.push((format!("W{i}"), registry()));
+        crew.push((format!("W{i}"), registry(app)));
     }
     let crew_names: Vec<String> = crew.iter().map(|(n, _)| n.clone()).collect();
-    let mut swarm = SimSwarm::start(face::app_graph(), crew, cfg).expect("sim swarm start");
+    let mut swarm = SimSwarm::start(graph(app), crew, cfg).expect("sim swarm start");
 
     let wall = std::time::Instant::now();
     for tick in 1..=seconds {
@@ -347,6 +414,19 @@ fn main() {
         Some("live") | Some("sim") | Some("fed") => args.next().unwrap(),
         _ => "live".into(),
     };
+    // Optional app selector right after the mode; face stays the
+    // default so existing invocations keep working.
+    let app = match args.peek().map(String::as_str) {
+        Some("spatial") => {
+            args.next();
+            App::Spatial
+        }
+        Some("face") => {
+            args.next();
+            App::Face
+        }
+        _ => App::Face,
+    };
     if mode == "fed" {
         // fed takes swarm-shape args, not a routing policy: the member
         // swarms all run the campaign configuration.
@@ -375,8 +455,8 @@ fn main() {
     let seed: u64 = args.next().map(|s| s.parse().expect("seed")).unwrap_or(7);
 
     match mode.as_str() {
-        "live" => run_live(policy, workers, seconds),
-        "sim" => run_sim(policy, workers, seconds, seed),
+        "live" => run_live(app, policy, workers, seconds),
+        "sim" => run_sim(app, policy, workers, seconds, seed),
         other => panic!("mode must be 'live' or 'sim', got {other:?}"),
     }
 }

@@ -5,6 +5,7 @@ Usage: check_bench_guard.py BENCH_pr3_telemetry.json BENCH_pr2.json \\
            [BENCH_pr5_flow.json]
        check_bench_guard.py --pr7 BENCH_pr7_scale.json
        check_bench_guard.py --pr8 BENCH_pr8_soak.json
+       check_bench_guard.py --pr9 BENCH_pr9_keyed.json BENCH_pr2.json
 
 Cross-checks the freshly measured overhead reports against the
 checked-in PR2 data-plane baseline:
@@ -26,6 +27,12 @@ floor (holds even on a one-core container), and — only when the
 measuring host has >= 4 cores, because extra threads cannot speed up a
 single core — the best multi-thread point must reach min(4, cores/2)x
 the single-thread wall clock.
+
+`--pr9` guards the partition-aware dispatch path: the Broadcast-edge
+row (every pre-PR9 edge) must stay within the 5% budget over the PR2
+baseline — the partition generalization must be free where it is not
+used — while the full KeyBy row (key hash + rendezvous ownership) is
+reported informationally.
 
 `--pr8` guards the reactor loopback soak: frame accounting must be
 exact (sensed = delivered + shed_at_source, zero lost, zero per-stream
@@ -185,7 +192,23 @@ def check_pr8(report):
     )
 
 
+def check_pr9(report, ref):
+    check_report(report, "dispatch_broadcast_overhead", "partition match", ref)
+    keyed = pick(report["benches"], "dispatch_keyed_overhead")
+    print(
+        f"keyed (KeyBy) dispatch, informational: {keyed['instrumented']:.1f} ns/op "
+        f"(+{keyed['overhead_pct']:.2f}% over the two-clone baseline)"
+    )
+
+
 def main():
+    if len(sys.argv) == 4 and sys.argv[1] == "--pr9":
+        with open(sys.argv[2], encoding="utf-8") as f:
+            pr9 = json.load(f)
+        with open(sys.argv[3], encoding="utf-8") as f:
+            pr2 = json.load(f)
+        check_pr9(pr9, pick(pr2["benches"], "dispatch_clone_and_record")["after"])
+        return
     if len(sys.argv) == 3 and sys.argv[1] == "--pr8":
         with open(sys.argv[2], encoding="utf-8") as f:
             check_pr8(json.load(f))

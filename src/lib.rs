@@ -22,8 +22,8 @@
 //!   figure and table of the paper.
 //! * [`runtime`] — live master/worker runtime with in-process and TCP
 //!   transports.
-//! * [`apps`] — the two reference sensing applications with real compute
-//!   kernels.
+//! * [`apps`] — the reference sensing applications (face, voice, and the
+//!   grid-keyed spatial stream) with real compute kernels.
 //!
 //! See `examples/quickstart.rs` for a complete first program.
 

@@ -16,8 +16,31 @@ fn prelude_covers_the_application_surface() {
     let _ = Tuple::new().with("v", 1i64);
     let mut g = AppGraph::new("surface");
     let s = g.add_source("src");
+    let op = g.add_operator("agg");
     let k = g.add_sink("out");
-    g.connect(s, k).unwrap();
+    g.connect_keyed(s, op, "cell").unwrap();
+    g.connect(op, k).unwrap();
+    g.set_parallelism(op, 4).unwrap();
+    assert_eq!(g.edge_kind(s, op), Some(&EdgeKind::KeyBy("cell".into())));
+
+    // Keyed-state API: a stateful operator wraps into a FunctionUnit.
+    struct Count;
+    impl StatefulUnit for Count {
+        type State = i64;
+        fn key_field(&self) -> &str {
+            "cell"
+        }
+        fn window(&self) -> WindowSpec {
+            WindowSpec::tumbling(SECOND_US)
+        }
+        fn accumulate(&mut self, state: &mut i64, _data: &Tuple, _now_us: u64) {
+            *state += 1;
+        }
+        fn process(&mut self, state: &i64, data: Tuple, ctx: &mut Context<'_>) {
+            ctx.send(data.with("count", *state));
+        }
+    }
+    let _keyed: Keyed<Count> = Keyed::new(Count).unwrap();
 
     // Configuration: one SwarmConfig feeds both the live builder and
     // the simulator.
@@ -61,6 +84,8 @@ fn prelude_covers_the_application_surface() {
 fn key_types_are_send_and_sync() {
     assert_send_sync::<Tuple>();
     assert_send_sync::<AppGraph>();
+    assert_send_sync::<EdgeKind>();
+    assert_send_sync::<WindowSpec>();
     assert_send_sync::<RouterConfig>();
     assert_send_sync::<RetryConfig>();
     assert_send_sync::<ReorderConfig>();
