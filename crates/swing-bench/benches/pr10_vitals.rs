@@ -1,0 +1,174 @@
+//! PR10 vitals-snapshot overhead microbench: measures what the live
+//! energy layer costs per dispatched tuple, against the PR2
+//! `dispatch_clone_and_record` baseline, and writes the result to
+//! `BENCH_pr10_tournament.json` at the workspace root.
+//!
+//! Run with `cargo bench -p swing-bench --bench pr10_vitals`
+//! (append `-- --quick` for the CI smoke run, `-- --assert` to fail the
+//! process when the vitals-snapshot overhead exceeds the 5% budget).
+//!
+//! Two rows:
+//!
+//! * `dispatch_vitals_overhead` — the **gated** row. The instrumented
+//!   column adds exactly what the energy layer now runs per dispatched
+//!   tuple on top of the PR2 dispatch work: one [`Battery::drain`]
+//!   charge (the per-cycle CPU + Wi-Fi joule accounting) plus, every
+//!   256 tuples, a full [`WorkerVitals`] snapshot published into the
+//!   live router via [`Router::note_vitals`] — the same amortization the
+//!   runtime uses (vitals ride the control period, not the data path).
+//!   Budget: 5% over the baseline.
+//! * `policy_reselect_cost` — informational. One energy-aware
+//!   re-selection: an RSS `rebalance` over eight vitals-bearing
+//!   downstreams, the periodic control-plane work a tournament run
+//!   triggers once per second — nowhere near the per-tuple path.
+
+use std::hint::black_box;
+use std::time::Instant;
+use swing_core::config::RouterConfig;
+use swing_core::routing::{Policy, Router};
+use swing_core::{SeqNo, Tuple, UnitId};
+use swing_device::battery::Battery;
+use swing_device::power::PowerModel;
+
+/// Nanoseconds per iteration for one timed run.
+fn time_ns<F: FnMut()>(f: &mut F, iters: u64) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Interleaved best-of-`runs` for a baseline/instrumented pair, same
+/// discipline as the PR2/PR3/PR5/PR9 harnesses.
+fn bench_pair<A: FnMut(), B: FnMut()>(
+    mut baseline: A,
+    mut instrumented: B,
+    iters: u64,
+    runs: usize,
+) -> (f64, f64) {
+    time_ns(&mut baseline, iters / 10 + 1);
+    time_ns(&mut instrumented, iters / 10 + 1);
+    let mut base_best = f64::INFINITY;
+    let mut inst_best = f64::INFINITY;
+    for _ in 0..runs {
+        base_best = base_best.min(time_ns(&mut baseline, iters));
+        inst_best = inst_best.min(time_ns(&mut instrumented, iters));
+    }
+    (base_best, inst_best)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let assert_budget = std::env::args().any(|a| a == "--assert");
+    let (iters, runs) = if quick { (50_000, 5) } else { (200_000, 7) };
+
+    // The PR2 dispatch workload: a 6 kB camera frame plus a scalar key
+    // field, rotated across 4096 distinct tuples so payload refcounts
+    // touch memory beyond L2 the way production dispatch does.
+    const ROT: usize = 4096;
+    let tuples: Vec<Tuple> = (0..ROT)
+        .map(|i| {
+            Tuple::with_seq(SeqNo(i as u64))
+                .with("frame", vec![(i % 251) as u8; 6_000])
+                .with("cam", (i % 36) as i64)
+        })
+        .collect();
+
+    // Pin the CPU at its working frequency before the first row.
+    {
+        let spin_until = Instant::now() + std::time::Duration::from_millis(200);
+        let mut i = 0usize;
+        while Instant::now() < spin_until {
+            black_box((tuples[i].clone(), tuples[i].clone()));
+            i = (i + 1) & (ROT - 1);
+        }
+    }
+
+    // --- gated row: dispatch with the energy layer's per-tuple work ---
+    let model = PowerModel::new(&swing_device::testbed()[1]);
+    let mut battery = Battery::new(23_310.0);
+    let mut router = Router::new(RouterConfig::new(Policy::EnergyLrs), 10);
+    for u in 11..15 {
+        router.add_downstream(UnitId(u), 0);
+    }
+    let (mut bi, mut ai) = (0usize, 0usize);
+    let (baseline, instrumented) = bench_pair(
+        || {
+            let t = black_box(&tuples[bi]);
+            let wire_copy = t.clone();
+            let inflight_copy = t.clone();
+            black_box((wire_copy, inflight_copy));
+            bi = (bi + 1) & (ROT - 1);
+        },
+        || {
+            let t = black_box(&tuples[ai]);
+            // One dispatch cycle's joule charge: CPU over the service
+            // span plus Wi-Fi airtime for the 6 kB frame.
+            let w = model.total_power_w(black_box(0.8), black_box(1_200_000.0));
+            black_box(battery.drain(w, 1e-4));
+            // Amortized vitals publication: the control plane snapshots
+            // charge fraction + drain into the router every 256 tuples.
+            if ai & 255 == 0 {
+                router.note_vitals(UnitId(11 + (ai as u32 & 3)), battery.level(), w, -40.0);
+            }
+            let wire_copy = t.clone();
+            let inflight_copy = t.clone();
+            black_box((wire_copy, inflight_copy));
+            ai = (ai + 1) & (ROT - 1);
+        },
+        iters,
+        runs,
+    );
+    let overhead_pct = (instrumented / baseline - 1.0).max(0.0) * 100.0;
+    println!(
+        "vitals dispatch baseline {baseline:>8.1} ns  instrumented {instrumented:>8.1} ns  overhead {overhead_pct:>5.2}%"
+    );
+    assert!(
+        !battery.is_empty(),
+        "the bench battery must outlive the measurement"
+    );
+
+    // --- informational row: one energy-aware re-selection ---
+    let mut rss = Router::new(RouterConfig::new(Policy::Rss), 10);
+    for u in 1..9u32 {
+        rss.add_downstream(UnitId(u), 0);
+        rss.note_vitals(UnitId(u), 1.0 - f64::from(u) * 0.1, 1.2, -40.0);
+        // Seed a latency estimate so selection has rates to rank.
+        rss.on_send(SeqNo(u64::from(u)), UnitId(u), 0);
+        rss.on_ack(SeqNo(u64::from(u)), 90_000, 80_000);
+    }
+    let mut now = 1_000_000u64;
+    let resel_iters = iters / 100 + 1;
+    let mut tick = || {
+        now += 1_000_000;
+        rss.rebalance(black_box(now));
+        black_box(rss.snapshot(now).routes.len());
+    };
+    time_ns(&mut tick, resel_iters / 10 + 1);
+    let mut resel_best = f64::INFINITY;
+    for _ in 0..runs {
+        resel_best = resel_best.min(time_ns(&mut tick, resel_iters));
+    }
+    println!("RSS re-selection (8 workers)      {resel_best:>8.1} ns/reselect");
+
+    let json = format!(
+        "{{\n  \"pr\": 10,\n  \"quick\": {quick},\n  \"budget_pct\": 5.0,\n  \"harness\": \"self-contained Instant loop (min-of-runs); host-specific — compare columns within one report, regenerate rather than compare across machines\",\n  \"benches\": [\n    {{\"name\": \"dispatch_vitals_overhead\", \"unit\": \"ns/op\", \"baseline\": {baseline:.1}, \"instrumented\": {instrumented:.1}, \"overhead_pct\": {overhead_pct:.2}}},\n    {{\"name\": \"policy_reselect_cost\", \"unit\": \"ns/reselect\", \"baseline\": 0.0, \"instrumented\": {resel_best:.1}, \"overhead_pct\": 0.0}}\n  ]\n}}\n"
+    );
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_pr10_tournament.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    std::fs::write(&out, &json).expect("write BENCH_pr10_tournament.json");
+    println!("\nwrote {out}");
+
+    if assert_budget {
+        assert!(
+            overhead_pct <= 5.0,
+            "vitals-snapshot dispatch overhead {overhead_pct:.2}% exceeds the 5% budget"
+        );
+        println!("vitals-snapshot overhead within the 5% budget");
+    }
+}

@@ -113,7 +113,9 @@ pub mod prelude {
     pub use crate::graph::{AppGraph, EdgeKind};
     pub use crate::id::{DeviceId, SeqNo, UnitId};
     pub use crate::payload::SharedBytes;
-    pub use crate::routing::{Policy, Router, RouterSnapshot};
+    pub use crate::routing::{
+        Metric, Policy, Router, RouterSnapshot, SelectionDecision, SelectionPolicy, WorkerVitals,
+    };
     pub use crate::stateful::{Keyed, StatefulUnit, WindowSpec};
     pub use crate::tuple::{FieldKey, Tuple, Value, ValueKind};
     pub use crate::unit::{

@@ -19,15 +19,23 @@
 //! * [`partition`] — key hashing and rendezvous ownership for
 //!   [`KeyBy`](crate::graph::EdgeKind::KeyBy) edges, where the *key*
 //!   (not LRS) decides the destination instance.
+//! * [`vitals`] — the open [`SelectionPolicy`] trait: policies consume a
+//!   per-worker [`WorkerVitals`] snapshot (latency, battery, drain,
+//!   RSSI), so lifetime-aware schedulers plug in beside the paper's five.
 
 pub mod partition;
 mod policy;
 mod router;
 pub mod selection;
 pub mod table;
+pub mod vitals;
 
 pub use crate::config::RouterConfig;
 pub use partition::{rendezvous_owner, tuple_key_bytes, tuple_key_hash};
 pub use policy::{Metric, Policy};
 pub use router::{RouteView, Router, RouterSnapshot};
 pub use table::{RouteEntry, RoutingTable};
+pub use vitals::{
+    CorrelatedSubset, CrowdioResched, DelayRatio, DelaySelection, EnergyWeightedLrs, RoundRobin,
+    SelectionDecision, SelectionPolicy, WorkerVitals,
+};

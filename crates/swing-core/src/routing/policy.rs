@@ -1,5 +1,16 @@
-//! The five routing policies evaluated in the paper (§VI-B).
+//! The routing policies evaluated in the paper (§VI-B) plus the
+//! lifetime-aware extensions, as config-deserializable names.
+//!
+//! [`Policy`] is a thin identifier: it serializes, parses and displays,
+//! and [`resolve`](Policy::resolve)s to a boxed
+//! [`SelectionPolicy`](crate::routing::SelectionPolicy) implementation
+//! that the router actually consults. Custom policies skip the enum
+//! entirely and hand the router an implementation directly.
 
+use crate::routing::vitals::{
+    CorrelatedSubset, CrowdioResched, DelayRatio, DelaySelection, EnergyWeightedLrs, RoundRobin,
+    SelectionPolicy,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
@@ -15,17 +26,22 @@ pub enum Metric {
 
 /// A data-routing policy for upstream function units.
 ///
-/// | Policy | Weights      | Worker selection |
-/// |--------|--------------|------------------|
-/// | `Rr`   | equal (turns)| no               |
-/// | `Pr`   | `1/W_i`      | no               |
-/// | `Lr`   | `1/L_i`      | no               |
-/// | `Prs`  | `1/W_i`      | yes              |
-/// | `Lrs`  | `1/L_i`      | yes              |
+/// | Policy    | Weights             | Worker selection        |
+/// |-----------|---------------------|-------------------------|
+/// | `Rr`      | equal (turns)       | no                      |
+/// | `Pr`      | `1/W_i`             | no                      |
+/// | `Lr`      | `1/L_i`             | no                      |
+/// | `Prs`     | `1/W_i`             | yes                     |
+/// | `Lrs`     | `1/L_i`             | yes                     |
+/// | `EnergyLrs` | `1/L_i` × lifetime | yes (lifetime-scaled)  |
+/// | `Rss`     | `1/L_i`             | yes (battery-ranked)    |
+/// | `Crowdio` | `1/L_i` (tapered)   | yes (drains dying)      |
 ///
 /// `Lrs` is Swing's contribution; `Rr` is the default of data-center
 /// stream processors (Storm, SEEP, IBM Streams) and of prior mobile
-/// stream processors, making it the paper's headline baseline.
+/// stream processors, making it the paper's headline baseline. The last
+/// three go beyond the paper: they read the per-worker
+/// [`WorkerVitals`](crate::routing::WorkerVitals) energy fields.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Policy {
     /// Round-robin: each tuple to the next downstream in turn.
@@ -38,25 +54,78 @@ pub enum Policy {
     Prs,
     /// Latency-based routing with worker selection (the Swing policy).
     Lrs,
+    /// LRS with weights scaled by projected battery lifetime.
+    EnergyLrs,
+    /// Correlated-source subset selection: cover demand with the
+    /// healthiest-battery subset (Robot Subset Selection).
+    Rss,
+    /// CROWDio-style rescheduling: proactively drain dying workers.
+    Crowdio,
 }
 
 impl Policy {
-    /// All policies, in the order the paper's figures list them.
+    /// The five paper policies, in the order the paper's figures list
+    /// them. Pinned to five entries — figure-reproduction sweeps index
+    /// into this array.
     pub const ALL: [Policy; 5] = [Policy::Rr, Policy::Pr, Policy::Lr, Policy::Prs, Policy::Lrs];
 
+    /// The three lifetime-aware policies added on top of the paper.
+    pub const ENERGY_AWARE: [Policy; 3] = [Policy::EnergyLrs, Policy::Rss, Policy::Crowdio];
+
+    /// Every built-in policy: the paper's five followed by the
+    /// energy-aware three.
+    pub const EXTENDED: [Policy; 8] = [
+        Policy::Rr,
+        Policy::Pr,
+        Policy::Lr,
+        Policy::Prs,
+        Policy::Lrs,
+        Policy::EnergyLrs,
+        Policy::Rss,
+        Policy::Crowdio,
+    ];
+
+    /// Resolve the name to its built-in [`SelectionPolicy`]
+    /// implementation — the object the [`Router`](crate::routing::Router)
+    /// consults every control period.
+    #[must_use]
+    pub fn resolve(self) -> Box<dyn SelectionPolicy> {
+        match self {
+            Policy::Rr => Box::new(RoundRobin),
+            Policy::Pr => Box::new(DelayRatio::new(Metric::Processing)),
+            Policy::Lr => Box::new(DelayRatio::new(Metric::Latency)),
+            Policy::Prs => Box::new(DelaySelection::new(Metric::Processing)),
+            Policy::Lrs => Box::new(DelaySelection::new(Metric::Latency)),
+            Policy::EnergyLrs => Box::new(EnergyWeightedLrs),
+            Policy::Rss => Box::new(CorrelatedSubset),
+            Policy::Crowdio => Box::new(CrowdioResched),
+        }
+    }
+
     /// Whether this policy runs the Worker Selection step.
+    #[deprecated(
+        since = "0.10.0",
+        note = "the Router consults the resolved SelectionPolicy; use `Policy::resolve()`"
+    )]
     #[must_use]
     pub fn uses_selection(self) -> bool {
-        matches!(self, Policy::Prs | Policy::Lrs)
+        matches!(
+            self,
+            Policy::Prs | Policy::Lrs | Policy::EnergyLrs | Policy::Rss | Policy::Crowdio
+        )
     }
 
     /// The delay metric driving the weights, or `None` for round robin.
+    #[deprecated(
+        since = "0.10.0",
+        note = "the Router consults the resolved SelectionPolicy; use `Policy::resolve()`"
+    )]
     #[must_use]
     pub fn metric(self) -> Option<Metric> {
         match self {
             Policy::Rr => None,
             Policy::Pr | Policy::Prs => Some(Metric::Processing),
-            Policy::Lr | Policy::Lrs => Some(Metric::Latency),
+            _ => Some(Metric::Latency),
         }
     }
 
@@ -69,6 +138,9 @@ impl Policy {
             Policy::Lr => "LR",
             Policy::Prs => "PRS",
             Policy::Lrs => "LRS",
+            Policy::EnergyLrs => "ELRS",
+            Policy::Rss => "RSS",
+            Policy::Crowdio => "CROWDIO",
         }
     }
 }
@@ -89,8 +161,12 @@ impl FromStr for Policy {
             "lr" => Ok(Policy::Lr),
             "prs" => Ok(Policy::Prs),
             "lrs" => Ok(Policy::Lrs),
+            "elrs" | "energy-lrs" => Ok(Policy::EnergyLrs),
+            "rss" => Ok(Policy::Rss),
+            "crowdio" => Ok(Policy::Crowdio),
             other => Err(format!(
-                "unknown policy `{other}` (expected one of rr, pr, lr, prs, lrs)"
+                "unknown policy `{other}` (expected one of rr, pr, lr, prs, lrs, \
+                 elrs, rss, crowdio)"
             )),
         }
     }
@@ -101,26 +177,30 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(deprecated)]
     fn selection_flag_matches_table() {
         assert!(!Policy::Rr.uses_selection());
         assert!(!Policy::Pr.uses_selection());
         assert!(!Policy::Lr.uses_selection());
         assert!(Policy::Prs.uses_selection());
         assert!(Policy::Lrs.uses_selection());
+        assert!(Policy::EnergyLrs.uses_selection());
     }
 
     #[test]
+    #[allow(deprecated)]
     fn metrics_match_table() {
         assert_eq!(Policy::Rr.metric(), None);
         assert_eq!(Policy::Pr.metric(), Some(Metric::Processing));
         assert_eq!(Policy::Prs.metric(), Some(Metric::Processing));
         assert_eq!(Policy::Lr.metric(), Some(Metric::Latency));
         assert_eq!(Policy::Lrs.metric(), Some(Metric::Latency));
+        assert_eq!(Policy::EnergyLrs.metric(), Some(Metric::Latency));
     }
 
     #[test]
     fn parse_roundtrips_display() {
-        for p in Policy::ALL {
+        for p in Policy::EXTENDED {
             let parsed: Policy = p.name().parse().unwrap();
             assert_eq!(parsed, p);
             let parsed: Policy = p.name().to_lowercase().parse().unwrap();
@@ -134,5 +214,30 @@ mod tests {
         assert_eq!(Policy::ALL.len(), 5);
         assert_eq!(Policy::ALL[0], Policy::Rr);
         assert_eq!(Policy::ALL[4], Policy::Lrs);
+    }
+
+    #[test]
+    fn extended_starts_with_the_paper_five() {
+        assert_eq!(Policy::EXTENDED.len(), 8);
+        assert_eq!(&Policy::EXTENDED[..5], &Policy::ALL[..]);
+        assert_eq!(Policy::ENERGY_AWARE.len(), 3);
+    }
+
+    #[test]
+    fn resolve_names_match_enum_names() {
+        for p in Policy::EXTENDED {
+            assert_eq!(p.resolve().name(), p.name());
+        }
+    }
+
+    #[test]
+    fn new_variants_parse_their_aliases() {
+        assert_eq!("energy-lrs".parse::<Policy>().unwrap(), Policy::EnergyLrs);
+        assert_eq!("Elrs".parse::<Policy>().unwrap(), Policy::EnergyLrs);
+        let err = "bogus".parse::<Policy>().unwrap_err();
+        assert!(
+            err.contains("crowdio"),
+            "error should list new names: {err}"
+        );
     }
 }

@@ -6,11 +6,30 @@ use crate::estimator::LatencyEstimator;
 use crate::rng::DetRng;
 use crate::routing::partition::rendezvous_owner;
 use crate::routing::policy::{Metric, Policy};
-use crate::routing::selection::select_workers;
 use crate::routing::table::RoutingTable;
+use crate::routing::vitals::{SelectionPolicy, WorkerVitals};
 use crate::stats::RateEstimator;
 use crate::{SeqNo, UnitId};
 use std::collections::BTreeMap;
+
+/// Energy/radio vitals reported for one downstream, kept between
+/// control periods. Defaults model a healthy mains-powered worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct VitalsNote {
+    battery_frac: f64,
+    drain_w: f64,
+    rssi_dbm: f64,
+}
+
+impl Default for VitalsNote {
+    fn default() -> Self {
+        VitalsNote {
+            battery_frac: 1.0,
+            drain_w: 0.0,
+            rssi_dbm: 0.0,
+        }
+    }
+}
 
 /// Diagnostic view of one routing-table row plus its latency statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +40,10 @@ pub struct RouteView {
     pub weight: f64,
     /// Whether Worker Selection kept the unit active.
     pub selected: bool,
+    /// Last reported battery level, 0..=1 (1 when unreported).
+    pub battery_frac: f64,
+    /// Last reported power draw, watts (0 when unreported).
+    pub drain_w: f64,
     /// Mean end-to-end latency estimate, milliseconds.
     pub latency_ms: f64,
     /// Mean processing delay estimate, milliseconds.
@@ -73,6 +96,10 @@ pub struct RouterSnapshot {
 #[derive(Debug)]
 pub struct Router {
     config: RouterConfig,
+    /// The selection policy actually consulted each control period —
+    /// resolved from `config.policy`, or installed directly via
+    /// [`set_selection_policy`](Self::set_selection_policy).
+    policy_impl: Box<dyn SelectionPolicy>,
     table: RoutingTable,
     estimator: LatencyEstimator,
     arrivals: RateEstimator,
@@ -87,6 +114,8 @@ pub struct Router {
     demand_hint: Option<f64>,
     /// Latest reported queue occupancy per downstream, 0..=1.
     occupancy: BTreeMap<UnitId, f64>,
+    /// Latest reported energy/radio vitals per downstream.
+    vitals: BTreeMap<UnitId, VitalsNote>,
     /// Tuples dispatched via [`route`](Self::route).
     dispatched: u64,
     /// Arrivals recorded (explicitly or by `route`'s fallback).
@@ -124,16 +153,35 @@ impl Router {
             last_rebalance_us: None,
             demand_hint: None,
             occupancy: BTreeMap::new(),
+            vitals: BTreeMap::new(),
             dispatched: 0,
             arrivals_noted: 0,
+            policy_impl: config.policy.resolve(),
             config,
         }
     }
 
-    /// The policy this router runs.
+    /// The configured policy name this router was built with. When a
+    /// custom implementation was installed via
+    /// [`set_selection_policy`](Self::set_selection_policy), this still
+    /// reports the original config name — use
+    /// [`policy_name`](Self::policy_name) for the live label.
     #[must_use]
     pub fn policy(&self) -> Policy {
         self.config.policy
+    }
+
+    /// Display name of the selection policy actually in force.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        self.policy_impl.name()
+    }
+
+    /// Replace the selection policy with a custom implementation — the
+    /// open end of the API. Takes effect at the next rebalancing round;
+    /// the routing table keeps its current weights until then.
+    pub fn set_selection_policy(&mut self, policy: Box<dyn SelectionPolicy>) {
+        self.policy_impl = policy;
     }
 
     /// The router's configuration.
@@ -166,6 +214,7 @@ impl Router {
     pub fn remove_downstream(&mut self, unit: UnitId) -> Vec<SeqNo> {
         self.table.remove(unit);
         self.occupancy.remove(&unit);
+        self.vitals.remove(&unit);
         self.estimator.remove_unit(unit)
     }
 
@@ -199,6 +248,25 @@ impl Router {
         self.occupancy.insert(unit, occupancy.clamp(0.0, 1.0));
     }
 
+    /// Report a downstream's energy/radio vitals: remaining battery
+    /// fraction (clamped to `[0, 1]`), current power draw in watts and
+    /// Wi-Fi RSSI in dBm. The next rebalance hands them to the
+    /// [`SelectionPolicy`] as part of its [`WorkerVitals`] snapshot;
+    /// latency-only policies simply ignore them. NaN fields are ignored
+    /// (the previous report is kept).
+    pub fn note_vitals(&mut self, unit: UnitId, battery_frac: f64, drain_w: f64, rssi_dbm: f64) {
+        let note = self.vitals.entry(unit).or_default();
+        if !battery_frac.is_nan() {
+            note.battery_frac = battery_frac.clamp(0.0, 1.0);
+        }
+        if !drain_w.is_nan() {
+            note.drain_w = drain_w.max(0.0);
+        }
+        if !rssi_dbm.is_nan() {
+            note.rssi_dbm = rssi_dbm;
+        }
+    }
+
     /// Record that a tuple arrived at this upstream unit.
     ///
     /// Feeds the input-rate estimate `Λ` that Worker Selection covers.
@@ -226,7 +294,7 @@ impl Router {
         }
         self.note_dispatch(now_us);
 
-        let round_robin = self.config.policy == Policy::Rr || self.probe_remaining > 0;
+        let round_robin = self.policy_impl.round_robin() || self.probe_remaining > 0;
         if round_robin {
             if self.probe_remaining > 0 {
                 self.probe_remaining -= 1;
@@ -345,23 +413,20 @@ impl Router {
             None => measured,
         };
 
-        if self.config.policy == Policy::Rr {
+        if self.policy_impl.round_robin() {
             self.table.equalize();
             return;
         }
 
-        let metric = self
-            .config
-            .policy
-            .metric()
-            .expect("non-RR policies have a metric");
+        let metric = self.policy_impl.metric();
 
-        // Gather (unit, delay) for every downstream in the table. A
-        // positive occupancy_penalty inflates the effective delay of
-        // workers with full credit windows, de-weighting them ahead of
-        // the (laggier) latency signal.
+        // Gather vitals for every downstream in the table. A positive
+        // occupancy_penalty inflates the effective delay of workers with
+        // full credit windows, de-weighting them ahead of the (laggier)
+        // latency signal. Energy fields come from the latest
+        // `note_vitals` report; unreported workers count as healthy.
         let penalty = self.config.occupancy_penalty;
-        let delays: Vec<(UnitId, f64)> = self
+        let vitals: Vec<WorkerVitals> = self
             .table
             .units()
             .filter_map(|u| self.estimator.view(u, now_us))
@@ -375,36 +440,30 @@ impl Router {
                 } else {
                     0.0
                 };
-                (v.unit, d.max(1.0) * (1.0 + occ * penalty))
+                let note = self.vitals.get(&v.unit).copied().unwrap_or_default();
+                WorkerVitals {
+                    unit: v.unit,
+                    latency_us: d.max(1.0) * (1.0 + occ * penalty),
+                    battery_frac: note.battery_frac,
+                    drain_w: note.drain_w,
+                    rssi_dbm: note.rssi_dbm,
+                }
             })
             .collect();
-        if delays.is_empty() {
+        if vitals.is_empty() {
             return;
         }
 
-        // Service rates μ_i = 1/delay, in tuples per second.
-        let rates: Vec<(UnitId, f64)> = delays.iter().map(|&(u, d)| (u, 1_000_000.0 / d)).collect();
-
-        let selected: Vec<UnitId> = if self.config.policy.uses_selection() {
-            select_workers(&rates, lambda * self.config.headroom).selected
-        } else {
-            rates.iter().map(|&(u, _)| u).collect()
-        };
-
-        // Routing weights p_i ∝ 1/delay over the selected set.
-        let weights: Vec<(UnitId, f64)> = rates
-            .iter()
-            .filter(|(u, _)| selected.contains(u))
-            .map(|&(u, mu)| (u, mu))
-            .collect();
-        self.table.install(&weights, &selected);
+        let decision = self
+            .policy_impl
+            .select(&vitals, lambda * self.config.headroom);
+        self.table.install(&decision.weights, &decision.selected);
 
         // Periodic probing keeps estimates of unselected units fresh
-        // (§V-B). Only needed when selection can starve some units.
-        if self.config.policy.uses_selection()
-            && self
-                .round
-                .is_multiple_of(u64::from(self.config.probe_every_rounds))
+        // (§V-B). Only needed when selection starved some units.
+        if self
+            .round
+            .is_multiple_of(u64::from(self.config.probe_every_rounds))
             && self.table.selected_len() < self.table.len()
         {
             self.probe_remaining = self.config.probe_tuples_per_unit * self.table.len() as u32;
@@ -431,10 +490,13 @@ impl Router {
                     ),
                     None => (0.0, 0.0, 0, 0, 0),
                 };
+                let note = self.vitals.get(&e.unit).copied().unwrap_or_default();
                 RouteView {
                     unit: e.unit,
                     weight: e.weight,
                     selected: e.selected,
+                    battery_frac: note.battery_frac,
+                    drain_w: note.drain_w,
                     latency_ms,
                     processing_ms,
                     sent,
@@ -858,5 +920,111 @@ mod tests {
         let mut cfg = RouterConfig::new(Policy::Lrs);
         cfg.headroom = 0.0;
         let _ = Router::new(cfg, 0);
+    }
+
+    #[test]
+    fn energy_lrs_deselects_a_dying_fast_worker() {
+        let mut cfg = RouterConfig::new(Policy::EnergyLrs);
+        cfg.probe_every_rounds = 1_000;
+        let mut r = Router::new(cfg, 20);
+        r.add_downstream(u(1), 0);
+        r.add_downstream(u(2), 0);
+        r.add_downstream(u(3), 0);
+        // Unit 1 is fastest but nearly empty and draining hard.
+        r.note_vitals(u(1), 0.02, 4.0, -55.0);
+        let counts = drive(&mut r, 480, 24.0, 0, |d| {
+            if d == u(1) {
+                40_000
+            } else {
+                60_000
+            }
+        });
+        assert!(!r.is_selected(u(1)), "dying unit must be deselected");
+        assert!(r.is_selected(u(2)));
+        assert!(r.is_selected(u(3)));
+        // Under plain LRS the fast unit would dominate; here the healthy
+        // pair carries the load after the first rebalance.
+        let dying = counts.get(&u(1)).copied().unwrap_or(0);
+        let healthy = counts.get(&u(2)).copied().unwrap_or(0);
+        assert!(
+            healthy > dying,
+            "healthy worker should out-receive the dying one: {healthy} vs {dying}"
+        );
+    }
+
+    #[test]
+    fn vitals_default_to_healthy_and_clear_on_leave() {
+        let mut r = Router::new(RouterConfig::new(Policy::EnergyLrs), 21);
+        r.add_downstream(u(1), 0);
+        drive(&mut r, 48, 24.0, 0, |_| 40_000);
+        let snap = r.snapshot(2 * SECOND_US);
+        assert_eq!(snap.routes[0].battery_frac, 1.0);
+        assert_eq!(snap.routes[0].drain_w, 0.0);
+        r.note_vitals(u(1), 7.0, -3.0, f64::NAN); // clamped
+        r.note_vitals(u(1), f64::NAN, 2.5, -60.0); // partial update
+        let snap = r.snapshot(2 * SECOND_US);
+        assert_eq!(snap.routes[0].battery_frac, 1.0);
+        assert_eq!(snap.routes[0].drain_w, 2.5);
+        r.remove_downstream(u(1));
+        assert!(r.vitals.is_empty());
+    }
+
+    #[test]
+    fn custom_selection_policy_plugs_in() {
+        /// Always routes everything to the lowest unit id.
+        #[derive(Debug)]
+        struct Favorite;
+        impl crate::routing::SelectionPolicy for Favorite {
+            fn select(
+                &mut self,
+                vitals: &[crate::routing::WorkerVitals],
+                _lambda: f64,
+            ) -> crate::routing::SelectionDecision {
+                let min = vitals.iter().map(|v| v.unit).min();
+                let selected: Vec<UnitId> = min.into_iter().collect();
+                crate::routing::SelectionDecision {
+                    weights: selected.iter().map(|&u| (u, 1.0)).collect(),
+                    selected,
+                    satisfied: true,
+                }
+            }
+            fn name(&self) -> &'static str {
+                "FAVORITE"
+            }
+        }
+
+        let mut cfg = RouterConfig::new(Policy::Lrs);
+        cfg.probe_every_rounds = 1_000;
+        let mut r = Router::new(cfg, 22);
+        r.add_downstream(u(3), 0);
+        r.add_downstream(u(7), 0);
+        r.set_selection_policy(Box::new(Favorite));
+        assert_eq!(r.policy_name(), "FAVORITE");
+        assert_eq!(r.policy(), Policy::Lrs, "config name is preserved");
+        drive(&mut r, 200, 24.0, 0, |_| 40_000);
+        assert!(r.is_selected(u(3)));
+        assert!(!r.is_selected(u(7)));
+    }
+
+    #[test]
+    fn energy_policies_match_lrs_on_healthy_swarms() {
+        // With no vitals reported every worker defaults to a full
+        // battery, so ELRS must route byte-identically to LRS.
+        let run = |policy: Policy| {
+            let mut cfg = RouterConfig::new(policy);
+            cfg.probe_every_rounds = 1_000;
+            let mut r = Router::new(cfg, 23);
+            for i in 1..=3 {
+                r.add_downstream(u(i), 0);
+            }
+            drive(&mut r, 300, 24.0, 0, |d| {
+                if d == u(3) {
+                    400_000
+                } else {
+                    50_000
+                }
+            })
+        };
+        assert_eq!(run(Policy::Lrs), run(Policy::EnergyLrs));
     }
 }

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use swing_core::dedup::DedupWindow;
 use swing_core::graph::AppGraph;
 use swing_core::routing::partition::rendezvous_owner;
-use swing_core::routing::{Policy, Router, RouterConfig};
+use swing_core::routing::{Policy, Router, RouterConfig, WorkerVitals};
 use swing_core::{SeqNo, UnitId};
 
 proptest! {
@@ -244,4 +244,80 @@ proptest! {
         }
         prop_assert!(q.is_empty());
     }
+
+    /// Selection is a pure function of the vitals: for every built-in
+    /// policy, two freshly resolved instances fed the same snapshot and
+    /// demand return identical decisions, and re-asking the same
+    /// instance does not drift.
+    #[test]
+    fn selection_is_deterministic_for_fixed_vitals(
+        vitals in vitals_strategy(),
+        lambda in 0.1f64..60.0,
+    ) {
+        for policy in Policy::EXTENDED {
+            let mut a = policy.resolve();
+            let mut b = policy.resolve();
+            let d1 = format!("{:?}", a.select(&vitals, lambda));
+            let d2 = format!("{:?}", b.select(&vitals, lambda));
+            let d3 = format!("{:?}", a.select(&vitals, lambda));
+            prop_assert_eq!(&d1, &d2, "{} differs across instances", policy.name());
+            prop_assert_eq!(&d1, &d3, "{} drifts across calls", policy.name());
+        }
+    }
+
+    /// With effectively infinite batteries (full charge, any draw) the
+    /// energy-weighted policy degenerates to plain LRS: the lifetime
+    /// factor saturates at 1 for every worker, so weights, membership
+    /// and satisfaction all coincide.
+    #[test]
+    fn energy_weighted_degenerates_to_lrs_on_full_batteries(
+        latencies in proptest::collection::vec(1_000.0f64..500_000.0, 1..10),
+        drains in proptest::collection::vec(0.0f64..5.0, 10),
+        lambda in 0.1f64..60.0,
+    ) {
+        let vitals: Vec<WorkerVitals> = latencies
+            .iter()
+            .zip(&drains)
+            .enumerate()
+            .map(|(i, (&l, &d))| WorkerVitals {
+                unit: UnitId(i as u32 + 1),
+                latency_us: l,
+                battery_frac: 1.0, // full pack => lifetime_s() is infinite
+                drain_w: d,
+                rssi_dbm: -40.0,
+            })
+            .collect();
+        let lrs = format!("{:?}", Policy::Lrs.resolve().select(&vitals, lambda));
+        let elrs = format!("{:?}", Policy::EnergyLrs.resolve().select(&vitals, lambda));
+        prop_assert_eq!(lrs, elrs);
+    }
+}
+
+/// Random worker-vitals snapshots: distinct units, latencies spanning
+/// three orders of magnitude, charge fractions over the full range
+/// (including dead and full packs), plausible draws and RSSI.
+fn vitals_strategy() -> impl Strategy<Value = Vec<WorkerVitals>> {
+    proptest::collection::vec(
+        (
+            1_000.0f64..1_000_000.0,
+            0.0f64..=1.0,
+            0.0f64..5.0,
+            -90.0f64..-25.0,
+        ),
+        1..10,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(
+                |(i, (latency_us, battery_frac, drain_w, rssi_dbm))| WorkerVitals {
+                    unit: UnitId(i as u32 + 1),
+                    latency_us,
+                    battery_frac,
+                    drain_w,
+                    rssi_dbm,
+                },
+            )
+            .collect()
+    })
 }

@@ -87,6 +87,30 @@ proptest! {
         prop_assert!(b.level() >= 0.0 && b.level() <= 1.0);
     }
 
+    /// Battery charge is monotone non-increasing under any drain
+    /// schedule: no sequence of draws (including zero-power and
+    /// zero-time draws) ever raises the remaining charge, and emptiness
+    /// is absorbing.
+    #[test]
+    fn battery_drain_is_monotone_non_increasing(
+        capacity in 1.0f64..5_000.0,
+        draws in proptest::collection::vec((0.0f64..10.0, 0.0f64..500.0), 1..60),
+    ) {
+        let mut b = Battery::new(capacity);
+        let mut prev = b.remaining_j();
+        let mut was_empty = false;
+        for (w, dt) in draws {
+            b.drain(w, dt);
+            prop_assert!(b.remaining_j() <= prev + 1e-12);
+            prop_assert!(b.level() <= 1.0 && b.level() >= 0.0);
+            if was_empty {
+                prop_assert!(b.is_empty(), "an empty battery came back to life");
+            }
+            was_empty = b.is_empty();
+            prev = b.remaining_j();
+        }
+    }
+
     /// CPU service times grow monotonically with background load and
     /// never fall below the unloaded base.
     #[test]

@@ -60,6 +60,8 @@ struct RouteGauges {
     latency_us: Gauge,
     weight: Gauge,
     selected: Gauge,
+    battery_frac: Gauge,
+    drain_w: Gauge,
 }
 
 /// Keyed-edge telemetry handles, registered lazily on the first publish
@@ -98,6 +100,7 @@ pub(crate) struct ExecMetrics {
     selection_size: Gauge,
     selection_changes: Counter,
     probe_windows: Counter,
+    policy_reselects: Counter,
     sensed: Counter,
     shed_at_source: Counter,
     source_paused: Counter,
@@ -114,6 +117,9 @@ pub(crate) struct ExecMetrics {
     prev_selected: Vec<UnitId>,
     /// Probe flag at the last published snapshot, for edge detection.
     prev_probing: bool,
+    /// Rebalance round at the last published snapshot, for the
+    /// re-selection counter.
+    prev_round: u64,
 }
 
 impl ExecMetrics {
@@ -137,6 +143,7 @@ impl ExecMetrics {
             selection_size: telemetry.gauge(n::EXEC_SELECTION_SIZE, labels),
             selection_changes: telemetry.counter(n::EXEC_SELECTION_CHANGES, labels),
             probe_windows: telemetry.counter(n::EXEC_PROBE_WINDOWS, labels),
+            policy_reselects: telemetry.counter(n::POLICY_RESELECTS, labels),
             sensed: telemetry.counter(n::SOURCE_SENSED, labels),
             shed_at_source: telemetry.counter(n::SOURCE_SHED, labels),
             source_paused: telemetry.counter(n::SOURCE_PAUSED, labels),
@@ -147,6 +154,7 @@ impl ExecMetrics {
             credit_gauges: HashMap::new(),
             prev_selected: Vec::new(),
             prev_probing: false,
+            prev_round: 0,
             policy: config.router.policy.name(),
             unit_raw: me.0,
             telemetry,
@@ -192,6 +200,8 @@ impl ExecMetrics {
                         ],
                     ),
                     selected: self.telemetry.gauge(n::ROUTE_SELECTED, labels),
+                    battery_frac: self.telemetry.gauge(n::BATTERY_FRAC, labels),
+                    drain_w: self.telemetry.gauge(n::DRAIN_W, labels),
                 };
                 self.route_gauges.insert(route.unit, gauges);
             }
@@ -199,6 +209,8 @@ impl ExecMetrics {
             gauges.latency_us.set(route.latency_ms * 1_000.0);
             gauges.weight.set(route.weight);
             gauges.selected.set(if route.selected { 1.0 } else { 0.0 });
+            gauges.battery_frac.set(route.battery_frac);
+            gauges.drain_w.set(route.drain_w);
         }
         // A downstream that left keeps its last gauge values; zero the
         // weight so scrapes don't show a stale route share.
@@ -235,6 +247,10 @@ impl ExecMetrics {
             self.probe_windows.inc();
         }
         self.prev_probing = snap.probing;
+        if snap.round > self.prev_round {
+            self.policy_reselects.add(snap.round - self.prev_round);
+            self.prev_round = snap.round;
+        }
     }
 
     /// The keyed-edge handles, registered on first use.
@@ -496,6 +512,23 @@ impl Dispatcher {
     #[must_use]
     pub fn router_mut(&mut self) -> &mut Router {
         &mut self.router
+    }
+
+    /// Record a live energy/link reading for the worker hosting
+    /// downstream `unit`. The reading lands in the router's per-worker
+    /// [`WorkerVitals`](swing_core::routing::WorkerVitals) snapshot and
+    /// is consumed by the selection policy on its next re-selection
+    /// round. `NaN` fields keep the previous value, so partial sensors
+    /// (battery-only, RSSI-only) can report independently.
+    pub fn note_worker_vitals(
+        &mut self,
+        unit: UnitId,
+        battery_frac: f64,
+        drain_w: f64,
+        rssi_dbm: f64,
+    ) {
+        self.router
+            .note_vitals(unit, battery_frac, drain_w, rssi_dbm);
     }
 
     /// The overload-control configuration this dispatcher runs under.

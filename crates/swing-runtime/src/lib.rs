@@ -55,7 +55,7 @@ pub mod prelude {
     pub use crate::executor::{DeliveryStats, NodeConfig, SinkReport};
     pub use crate::master::{HeartbeatConfig, Placement};
     pub use crate::registry::UnitRegistry;
-    pub use crate::sim::{SimFabric, SimLinkConfig, SimSwarm, SimSwarmConfig};
+    pub use crate::sim::{SimEnergyConfig, SimFabric, SimLinkConfig, SimSwarm, SimSwarmConfig};
     pub use crate::swarm::{LocalSwarm, LocalSwarmBuilder};
     pub use swing_core::prelude::*;
     pub use swing_telemetry::Telemetry;

@@ -52,6 +52,7 @@ use swing_core::timing;
 use swing_core::unit::Context;
 use swing_core::{Error, Result};
 use swing_core::{SeqNo, Tuple, UnitId};
+use swing_device::{Battery, DeviceProfile, PowerModel};
 use swing_net::Message;
 use swing_telemetry::{names as tn, Counter, Gauge, Histogram, Stage, Telemetry};
 
@@ -363,6 +364,13 @@ pub struct SimSwarmConfig {
     /// Virtual interval between sink reorder-buffer polls (the live
     /// sink's 50 ms receive timeout).
     pub reorder_poll_us: u64,
+    /// Live energy accounting: when set, every worker carries a
+    /// [`Battery`] drained on each dispatch/ACK cycle from the device
+    /// profile's power envelope, and a drained pack is a *battery
+    /// cliff* — the worker dies through the same epoch-fenced eviction
+    /// wave as a crash. `None` (the default) models wall-powered
+    /// workers, the pre-energy behavior.
+    pub energy: Option<SimEnergyConfig>,
 }
 
 impl Default for SimSwarmConfig {
@@ -374,7 +382,118 @@ impl Default for SimSwarmConfig {
             service_us: timing::LOCAL_HOP_US,
             eviction_delay_us: timing::CONTROL_PERIOD_US,
             reorder_poll_us: 50_000,
+            energy: None,
         }
+    }
+}
+
+/// Energy model of a [`SimSwarm`]: how fast simulated batteries drain.
+///
+/// Drain is charged at the points where a live device burns energy —
+/// CPU over each modeled service span, Wi-Fi airtime on both endpoints
+/// of every data frame and ACK — all under the swarm's virtual clock,
+/// so an energy trajectory is a pure function of the seed.
+#[derive(Debug, Clone)]
+pub struct SimEnergyConfig {
+    /// Device profile whose compute + Wi-Fi power envelope drives the
+    /// drain (peak CPU watts over a service span, Wi-Fi watts over a
+    /// frame's airtime at the saturated rate).
+    pub profile: DeviceProfile,
+    /// Battery capacity given to every worker, joules. `None` → the
+    /// profile's own pack (`DeviceProfile::battery_j`).
+    pub capacity_j: Option<f64>,
+    /// Per-worker capacity overrides by worker name, joules — for
+    /// heterogeneous packs and battery-cliff scenarios.
+    pub per_worker_j: Vec<(String, f64)>,
+    /// Modeled on-air payload of one data frame, bytes (the paper's
+    /// 6 kB camera frames by default).
+    pub frame_bytes: u64,
+    /// Battery fraction at or below which a worker reports *low power*
+    /// to the control plane, once per worker life.
+    pub low_power_frac: f64,
+    /// Period between vitals publications into the live dispatchers'
+    /// routers (battery fraction + drain watts per downstream), µs.
+    pub vitals_every_us: u64,
+}
+
+impl Default for SimEnergyConfig {
+    fn default() -> Self {
+        // Galaxy-Nexus-class profile (testbed device B): mid-range
+        // compute, a 1750 mAh pack.
+        let profile = swing_device::testbed().swap_remove(1);
+        SimEnergyConfig {
+            profile,
+            capacity_j: None,
+            per_worker_j: Vec::new(),
+            frame_bytes: 6_000,
+            low_power_frac: 0.15,
+            vitals_every_us: timing::CONTROL_PERIOD_US,
+        }
+    }
+}
+
+/// One simulated worker's battery plus its drain bookkeeping.
+struct BatteryPack {
+    battery: Battery,
+    /// Joules drained since the last vitals tick (the drain-rate
+    /// estimation window).
+    window_j: f64,
+    /// Drain estimate over the last completed window, watts.
+    drain_w: f64,
+    /// Low-power already reported (the event fires once per life).
+    low_power_reported: bool,
+    battery_g: Gauge,
+    drain_g: Gauge,
+}
+
+impl BatteryPack {
+    /// Remaining fraction; wall power (infinite capacity) reads 1.0.
+    fn frac(&self) -> f64 {
+        if self.battery.capacity_j().is_infinite() {
+            1.0
+        } else {
+            self.battery.level()
+        }
+    }
+}
+
+/// Runtime state of the energy layer (present when
+/// [`SimSwarmConfig::energy`] is set).
+struct EnergyRt {
+    cfg: SimEnergyConfig,
+    model: PowerModel,
+    /// Per-worker packs, indexed like `SimSwarm::workers`.
+    packs: Vec<BatteryPack>,
+    /// Virtual start of the current drain-estimation window.
+    window_start_us: u64,
+    deaths_c: Counter,
+    low_power_c: Counter,
+    /// Battery-cliff log: `(virtual µs, worker name)`.
+    deaths: Vec<(u64, String)>,
+    /// Low-power crossings: `(virtual µs, worker name)`.
+    low_power: Vec<(u64, String)>,
+}
+
+impl EnergyRt {
+    fn make_pack(cfg: &SimEnergyConfig, name: &str, telemetry: &Telemetry) -> BatteryPack {
+        let capacity = cfg
+            .per_worker_j
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, j)| j)
+            .or(cfg.capacity_j)
+            .unwrap_or(cfg.profile.battery_j);
+        let labels: &[(&str, &str)] = &[(tn::LABEL_WORKER, name)];
+        let pack = BatteryPack {
+            battery: Battery::new(capacity),
+            window_j: 0.0,
+            drain_w: 0.0,
+            low_power_reported: false,
+            battery_g: telemetry.gauge(tn::BATTERY_FRAC, labels),
+            drain_g: telemetry.gauge(tn::DRAIN_W, labels),
+        };
+        pack.battery_g.set(pack.frac());
+        pack
     }
 }
 
@@ -503,6 +622,10 @@ enum SimEvent {
     Evict(usize),
     /// A new worker joins mid-run (index into `pending_joins`).
     Join(usize),
+    /// Periodic energy bookkeeping: fold the drain window into each
+    /// pack's watt estimate and publish per-worker vitals into every
+    /// live dispatcher's router.
+    VitalsTick,
     /// The master goes dark: failure detection (and so eviction and
     /// re-placement) pauses. The data plane keeps flowing.
     MasterDown,
@@ -573,6 +696,8 @@ pub struct SimSwarm {
     recovery_h: Histogram,
     /// Virtual crash time per worker, for the recovery histogram.
     crashed_at: HashMap<usize, u64>,
+    /// Battery state per worker, when energy modeling is on.
+    energy: Option<EnergyRt>,
     /// While true, evictions defer (no master to prune the dead).
     master_down: bool,
     deferred_evicts: Vec<usize>,
@@ -655,6 +780,7 @@ impl SimSwarm {
             replaced_c: telemetry.counter(tn::FAILOVER_REPLACED_UNITS, &[]),
             recovery_h: telemetry.histogram(tn::FAILOVER_RECOVERY_US, &[]),
             crashed_at: HashMap::new(),
+            energy: None,
             master_down: false,
             deferred_evicts: Vec::new(),
             pending_joins: Vec::new(),
@@ -677,6 +803,26 @@ impl SimSwarm {
                 inbox,
                 alive: true,
                 registry,
+            });
+        }
+
+        if let Some(cfg) = sim.config.energy.clone() {
+            let packs = sim
+                .workers
+                .iter()
+                .map(|w| EnergyRt::make_pack(&cfg, &w.name, &telemetry))
+                .collect();
+            sim.queue
+                .schedule(cfg.vitals_every_us, SimEvent::VitalsTick);
+            sim.energy = Some(EnergyRt {
+                model: PowerModel::new(&cfg.profile),
+                packs,
+                window_start_us: 0,
+                deaths_c: telemetry.counter(tn::DEATHS, &[]),
+                low_power_c: telemetry.counter(tn::LOW_POWER, &[]),
+                deaths: Vec::new(),
+                low_power: Vec::new(),
+                cfg,
             });
         }
 
@@ -1254,6 +1400,7 @@ impl SimSwarm {
             SimEvent::Crash(w) => self.on_crash(w, now),
             SimEvent::Evict(w) => self.on_evict(w, now),
             SimEvent::Join(j) => self.on_join(j, now),
+            SimEvent::VitalsTick => self.on_vitals_tick(now),
             SimEvent::MasterDown => self.master_down = true,
             SimEvent::MasterUp => {
                 self.master_down = false;
@@ -1298,6 +1445,158 @@ impl SimSwarm {
         }
     }
 
+    // --- energy layer -----------------------------------------------
+
+    /// Drain `joules` from worker `w`'s battery. Wall-powered packs
+    /// (infinite capacity) and already-dead workers are no-ops. A pack
+    /// that empties here is a *battery cliff*: the worker dies on the
+    /// spot and the death flows through the same epoch-fenced
+    /// crash → evict → reconcile wave as an abrupt crash.
+    fn drain_worker(&mut self, w: usize, joules: f64, now: u64) {
+        if joules <= 0.0 || !self.workers.get(w).is_some_and(|x| x.alive) {
+            return;
+        }
+        let mut died = false;
+        if let Some(energy) = &mut self.energy {
+            let Some(pack) = energy.packs.get_mut(w) else {
+                return;
+            };
+            if pack.battery.capacity_j().is_infinite() || pack.battery.is_empty() {
+                return;
+            }
+            pack.battery.drain(joules, 1.0);
+            pack.window_j += joules;
+            let level = pack.battery.level();
+            if !pack.low_power_reported && level <= energy.cfg.low_power_frac {
+                pack.low_power_reported = true;
+                energy.low_power_c.inc();
+                energy.low_power.push((now, self.workers[w].name.clone()));
+            }
+            if pack.battery.is_empty() {
+                energy.deaths_c.inc();
+                energy.deaths.push((now, self.workers[w].name.clone()));
+                died = true;
+            }
+        }
+        if died {
+            self.on_crash(w, now);
+        }
+    }
+
+    /// Charge worker `w` for `span_us` of full-utilization compute
+    /// (the profile's peak CPU envelope — the modeled service burns
+    /// the whole span).
+    fn drain_cpu(&mut self, w: usize, span_us: u64, now: u64) {
+        let Some(energy) = &self.energy else {
+            return;
+        };
+        let joules = energy.model.cpu_power_w(1.0) * span_us as f64 / 1e6;
+        self.drain_worker(w, joules, now);
+    }
+
+    /// Charge worker `w` for the airtime of `bytes` on the wire at the
+    /// profile's saturated Wi-Fi rate.
+    fn drain_wifi(&mut self, w: usize, bytes: u64, now: u64) {
+        let Some(energy) = &self.energy else {
+            return;
+        };
+        let airtime_s = bytes as f64 / energy.model.wifi_peak_rate_bps;
+        let joules = energy.model.peak_wifi_w * airtime_s;
+        self.drain_worker(w, joules, now);
+    }
+
+    /// Charge both endpoints of a delivered message: the sender's
+    /// radio transmitted it, `rx_worker`'s radio received it. Charged
+    /// at delivery time (one virtual link delay after the send), which
+    /// keeps every drain a pure function of the event history.
+    fn charge_transfer(&mut self, rx_worker: usize, msg: &Message, now: u64) {
+        if self.energy.is_none() {
+            return;
+        }
+        let (bytes, sender) = match msg {
+            Message::Data { from, .. } => {
+                let Some(energy) = &self.energy else { return };
+                (energy.cfg.frame_bytes + timing::TUPLE_OVERHEAD_BYTES, *from)
+            }
+            Message::Ack { from, .. } => (timing::ACK_BYTES, *from),
+            _ => return,
+        };
+        if let Some(&i) = self.by_unit.get(&sender) {
+            let tx_worker = self.execs[i].worker;
+            self.drain_wifi(tx_worker, bytes, now);
+        }
+        self.drain_wifi(rx_worker, bytes, now);
+    }
+
+    /// Periodic energy bookkeeping: finish the drain-estimation
+    /// window, refresh the per-worker battery gauges, and publish each
+    /// downstream's hosting-worker vitals into every live dispatcher's
+    /// router — the snapshot the selection policy reads on its next
+    /// re-selection round.
+    fn on_vitals_tick(&mut self, now: u64) {
+        let Some(energy) = &mut self.energy else {
+            return;
+        };
+        let dt_s = ((now - energy.window_start_us) as f64 / 1e6).max(1e-9);
+        for pack in &mut energy.packs {
+            pack.drain_w = pack.window_j / dt_s;
+            pack.window_j = 0.0;
+            pack.battery_g.set(pack.frac());
+            pack.drain_g.set(pack.drain_w);
+        }
+        energy.window_start_us = now;
+        let every = energy.cfg.vitals_every_us;
+        let readings: Vec<(f64, f64)> =
+            energy.packs.iter().map(|p| (p.frac(), p.drain_w)).collect();
+        let unit_worker: HashMap<UnitId, usize> = self
+            .execs
+            .iter()
+            .filter(|e| e.alive)
+            .map(|e| (e.unit, e.worker))
+            .collect();
+        for i in 0..self.execs.len() {
+            if !self.execs[i].alive {
+                continue;
+            }
+            let downs: Vec<UnitId> = self.execs[i].disp.router_mut().downstreams().collect();
+            for d in downs {
+                let Some(&w) = unit_worker.get(&d) else {
+                    continue;
+                };
+                let Some(&(frac, drain)) = readings.get(w) else {
+                    continue;
+                };
+                self.execs[i]
+                    .disp
+                    .note_worker_vitals(d, frac, drain, f64::NAN);
+            }
+        }
+        self.queue.schedule(now + every, SimEvent::VitalsTick);
+    }
+
+    /// Remaining battery fraction of the named worker (`None` when
+    /// energy modeling is off or the worker is unknown).
+    #[must_use]
+    pub fn battery_frac(&self, name: &str) -> Option<f64> {
+        let energy = self.energy.as_ref()?;
+        let w = self.workers.iter().position(|x| x.name == name)?;
+        energy.packs.get(w).map(BatteryPack::frac)
+    }
+
+    /// Battery-cliff deaths so far: `(virtual µs, worker name)`, in
+    /// death order. Empty when energy modeling is off.
+    #[must_use]
+    pub fn battery_deaths(&self) -> &[(u64, String)] {
+        self.energy.as_ref().map_or(&[], |e| &e.deaths)
+    }
+
+    /// Low-power crossings reported to the control plane so far:
+    /// `(virtual µs, worker name)`, at most one per worker life.
+    #[must_use]
+    pub fn low_power_events(&self) -> &[(u64, String)] {
+        self.energy.as_ref().map_or(&[], |e| &e.low_power)
+    }
+
     /// One serialized operator service completes: serve the tuple at
     /// the head of the mailbox — the run_operator data path, event-
     /// shaped (process, ACK with the modeled service time, dispatch
@@ -1307,6 +1606,7 @@ impl SimSwarm {
             return;
         }
         let service_us = self.config.service_us;
+        let worker = self.execs[i].worker;
         let telemetry = self.config.node.telemetry.clone();
         let e = &mut self.execs[i];
         let ExecRole::Operator { op, mailbox, busy } = &mut e.role else {
@@ -1350,6 +1650,8 @@ impl SimSwarm {
                 .schedule(now + service_us, SimEvent::ServiceDone(i));
         }
         self.arm_timer(i, now);
+        // The service span just burned the worker's compute envelope.
+        self.drain_cpu(worker, service_us, now);
     }
 
     fn on_source_tick(&mut self, i: usize, now: u64) {
@@ -1422,6 +1724,7 @@ impl SimSwarm {
         // clone shares the channel; it frees `self` for the handlers).
         let inbox = self.workers[w].inbox.clone();
         while let Ok(msg) = inbox.try_recv() {
+            self.charge_transfer(w, &msg, now);
             match msg {
                 Message::Data { dest, from, tuple } => self.on_data(dest, from, tuple, now),
                 Message::Ack {
@@ -1605,6 +1908,10 @@ impl SimSwarm {
             return;
         };
         let (addr, inbox) = self.fabric.listen_impl();
+        if let Some(energy) = &mut self.energy {
+            let pack = EnergyRt::make_pack(&energy.cfg, &name, &self.config.node.telemetry);
+            energy.packs.push(pack);
+        }
         self.workers.push(SimWorker {
             name,
             addr,
@@ -2052,5 +2359,158 @@ mod tests {
         let a = run(42);
         let b = run(42);
         assert_eq!(a, b, "crash + join must replay byte-identically");
+    }
+
+    fn energy(per_worker: &[(&str, f64)]) -> SimEnergyConfig {
+        SimEnergyConfig {
+            per_worker_j: per_worker
+                .iter()
+                .map(|&(n, j)| (n.to_string(), j))
+                .collect(),
+            ..SimEnergyConfig::default()
+        }
+    }
+
+    #[test]
+    fn batteries_drain_monotonically_under_load() {
+        let mut cfg = config(5, 0.0);
+        cfg.energy = Some(energy(&[]));
+        let mut swarm = SimSwarm::start(
+            graph(),
+            vec![("A".into(), registry(u64::MAX)), ("B".into(), registry(0))],
+            cfg,
+        )
+        .unwrap();
+        let mut prev = swarm.battery_frac("B").unwrap();
+        assert_eq!(prev, 1.0);
+        for _ in 0..5 {
+            swarm.run_for(5 * SECOND_US);
+            let frac = swarm.battery_frac("B").unwrap();
+            assert!(frac <= prev, "battery must never recharge mid-run");
+            prev = frac;
+        }
+        assert!(prev < 1.0, "sustained load must drain the pack");
+        assert!(swarm.battery_deaths().is_empty());
+        // The device-layer gauges are live.
+        let snap = swarm.telemetry().snapshot();
+        let b = snap
+            .gauge(tn::BATTERY_FRAC, &[(tn::LABEL_WORKER, "B")])
+            .expect("per-worker battery gauge");
+        assert!(b < 1.0 && b > 0.0);
+        assert!(
+            snap.gauge(tn::DRAIN_W, &[(tn::LABEL_WORKER, "B")])
+                .expect("per-worker drain gauge")
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn battery_cliff_flows_through_the_eviction_wave() {
+        let mut cfg = config(6, 0.0);
+        // B gets a pack a few hundred dispatch/ACK cycles deep; C is
+        // healthy and inherits the full load after B's cliff.
+        cfg.energy = Some(energy(&[("B", 0.5)]));
+        let mut swarm = SimSwarm::start(
+            graph(),
+            vec![
+                ("A".into(), registry(u64::MAX)),
+                ("B".into(), registry(0)),
+                ("C".into(), registry(0)),
+            ],
+            cfg,
+        )
+        .unwrap();
+        swarm.run_for(60 * SECOND_US);
+        let deaths = swarm.battery_deaths().to_vec();
+        assert_eq!(deaths.len(), 1, "exactly one pack was sized to die");
+        assert_eq!(deaths[0].1, "B");
+        assert!(
+            swarm.low_power_events().iter().any(|(_, w)| w == "B"),
+            "the cliff must be preceded by a low-power report"
+        );
+        assert_eq!(swarm.alive_workers(), vec!["A", "C"]);
+        assert_eq!(swarm.epoch(), 2, "the death bumps the deployment epoch");
+        let snap = swarm.telemetry().snapshot();
+        assert_eq!(snap.counter_total(tn::DEATHS), 1);
+        assert_eq!(snap.counter_total(tn::LOW_POWER), 1);
+        // The pipeline survives on the healthy worker.
+        let reports = swarm.finish();
+        let consumed: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
+        assert!(
+            consumed > 1_000,
+            "only {consumed} frames played across the cliff"
+        );
+    }
+
+    #[test]
+    fn vitals_reach_upstream_routers() {
+        let mut cfg = config(8, 0.0);
+        cfg.energy = Some(energy(&[]));
+        let mut swarm = SimSwarm::start(
+            graph(),
+            vec![("A".into(), registry(u64::MAX)), ("B".into(), registry(0))],
+            cfg,
+        )
+        .unwrap();
+        swarm.run_for(10 * SECOND_US);
+        let _ = swarm.delivery_stats(); // force a dispatcher publish
+        let snap = swarm.telemetry().snapshot();
+        // The source's dispatcher mirrors its downstream's battery into
+        // the per-route gauge (labels worker/unit/downstream) — proof
+        // the selection policy sees live energy, not the healthy
+        // default.
+        let seen: Vec<f64> = snap
+            .gauges_named(tn::BATTERY_FRAC)
+            .filter(|(k, _)| k.label("downstream").is_some())
+            .map(|(_, v)| v)
+            .collect();
+        assert!(!seen.is_empty(), "no per-route battery gauges published");
+        assert!(
+            seen.iter().all(|&v| v < 1.0 && v > 0.0),
+            "routed vitals must show real drain: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn same_seed_same_energy_history() {
+        let run = |seed: u64| {
+            let mut cfg = config(seed, 0.05);
+            cfg.energy = Some(energy(&[("B", 0.4)]));
+            let mut swarm = SimSwarm::start(
+                graph(),
+                vec![
+                    ("A".into(), registry(400)),
+                    ("B".into(), registry(0)),
+                    ("C".into(), registry(0)),
+                ],
+                cfg,
+            )
+            .unwrap();
+            swarm.run_for(30 * SECOND_US);
+            let deaths = swarm.battery_deaths().to_vec();
+            let low_power = swarm.low_power_events().to_vec();
+            let frac_c = swarm.battery_frac("C").unwrap();
+            let totals = swarm.delivery_totals();
+            let reports = swarm.finish();
+            let consumed: u64 = reports.iter().map(|(_, r)| r.consumed).sum();
+            (deaths, low_power, frac_c.to_bits(), totals, consumed)
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "energy trajectories must replay byte-identically");
+    }
+
+    #[test]
+    fn energy_off_runs_exactly_as_before() {
+        let mut swarm = SimSwarm::start(
+            graph(),
+            vec![("A".into(), registry(50)), ("B".into(), registry(0))],
+            config(7, 0.0),
+        )
+        .unwrap();
+        swarm.run_for(5 * SECOND_US);
+        assert_eq!(swarm.battery_frac("B"), None);
+        assert!(swarm.battery_deaths().is_empty());
+        assert!(swarm.low_power_events().is_empty());
     }
 }

@@ -1,0 +1,65 @@
+//! Run the full seeded policy tournament and print the summary table.
+//!
+//! ```sh
+//! cargo run --release -p swing-sim --example policy_tournament
+//! ```
+//!
+//! Set `SWING_TOURNAMENT_OUT=/path/to/tournament_summary.json` to also
+//! write the JSON artifact.
+
+use swing_sim::tournament::{run_tournament, TournamentConfig};
+
+fn main() {
+    let config = TournamentConfig::default();
+    let summary = run_tournament(&config);
+    println!(
+        "{:<14} {:<8} {:>5} {:>8} {:>9} {:>8} {:>8} {:>7} {:>6}",
+        "trace", "policy", "seed", "frames", "p99_ms", "death_s", "half_s", "deaths", "replay"
+    );
+    for c in &summary.cells {
+        println!(
+            "{:<14} {:<8} {:>5} {:>8} {:>9.1} {:>8} {:>8} {:>7} {:>6}",
+            c.trace,
+            c.policy.name(),
+            c.seed,
+            c.frames_played,
+            c.p99_ms,
+            c.time_to_first_death_s
+                .map_or("-".to_string(), |t| format!("{t:.1}")),
+            c.time_to_half_swarm_s
+                .map_or("-".to_string(), |t| format!("{t:.1}")),
+            c.battery_deaths,
+            c.replay_identical,
+        );
+    }
+    println!();
+    for cmp in &summary.comparisons {
+        println!(
+            "{:<14} seed={:<4} {:<8} half={:>6.1}s lrs={:>6.1}s margin={:>+7.1}s p99={:>7.1}ms (lrs {:>7.1}ms) win={}",
+            cmp.trace,
+            cmp.seed,
+            cmp.policy.name(),
+            cmp.half_s,
+            cmp.lrs_half_s,
+            cmp.margin_s,
+            cmp.p99_ms,
+            cmp.lrs_p99_ms,
+            cmp.win,
+        );
+    }
+    println!();
+    for &p in &swing_core::routing::Policy::ENERGY_AWARE {
+        println!("{}: traces won = {}", p.name(), summary.traces_won(p));
+    }
+    println!(
+        "all_replays_identical = {}",
+        summary.all_replays_identical()
+    );
+    println!("acceptance_passed     = {}", summary.acceptance_passed());
+    if let Ok(path) = std::env::var("SWING_TOURNAMENT_OUT") {
+        summary
+            .write(std::path::Path::new(&path))
+            .expect("write artifact");
+        println!("wrote {path}");
+    }
+}

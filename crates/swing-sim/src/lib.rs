@@ -26,6 +26,10 @@
 //! * [`federation`] — swarm-of-swarms built on [`shard`]: K swarms from
 //!   one config, gateway links scored by the paper's `L_i` estimator,
 //!   telemetry rolled up through exactly-mergeable snapshots.
+//! * [`tournament`] — seeded policy tournaments: selection policies ×
+//!   churn traces (flash crowds, battery cliffs, RSSI sweeps), scoring
+//!   frames played, p99, time-to-first-death and time-to-half-swarm,
+//!   with byte-identical same-seed replay.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -37,7 +41,11 @@ pub mod metrics;
 pub mod pipeline;
 pub mod shard;
 pub mod swarm;
+pub mod tournament;
 
 pub use federation::{Federation, FederationConfig, FederationReport, SwarmStatus};
 pub use metrics::{FrameRecord, SwarmReport, TimelinePoint, WorkerStats};
 pub use swarm::{Swarm, SwarmConfig, WorkerSpec};
+pub use tournament::{
+    run_cell, run_tournament, Cell, ChurnTrace, Comparison, TournamentConfig, TournamentSummary,
+};

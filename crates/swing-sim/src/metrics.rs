@@ -99,6 +99,9 @@ pub struct WorkerStats {
     pub bytes_rx: u64,
     /// Integrated energy ledger.
     pub energy: EnergyLedger,
+    /// Remaining battery fraction at the end of the run (0..=1; a dead
+    /// worker reads 0, an infinite cloudlet pack reads 1).
+    pub battery_frac: f64,
 }
 
 impl WorkerStats {
@@ -149,6 +152,15 @@ pub struct SwarmReport {
     pub frames: Vec<FrameRecord>,
     /// Frames the reorder buffer skipped at playback.
     pub reorder_skipped: u64,
+    /// Workers whose battery drained to empty mid-run, as
+    /// `(time_s, name)` in death order.
+    pub battery_deaths: Vec<(f64, String)>,
+    /// One-shot low-power threshold crossings, as `(time_s, name)`.
+    pub low_power_events: Vec<(f64, String)>,
+    /// Every permanent removal — battery cliff, scripted leave,
+    /// mobility disconnect, broken link — as `(time_s, name)` in
+    /// removal order. Battery deaths appear here too.
+    pub departures: Vec<(f64, String)>,
 }
 
 impl SwarmReport {
@@ -222,12 +234,32 @@ impl SwarmReport {
             telemetry
                 .gauge(n::DEVICE_INPUT_FPS, device)
                 .set(w.input_fps);
+            telemetry.gauge(n::BATTERY_FRAC, device).set(w.battery_frac);
+            telemetry
+                .gauge(n::DRAIN_W, device)
+                .set(w.energy.mean_power_w());
             telemetry
                 .counter(
                     n::NET_BYTES_RECEIVED,
                     &[(n::LABEL_LINK, &w.name), (n::LABEL_POLICY, policy)],
                 )
                 .add(w.bytes_rx);
+        }
+        for (_, name) in &self.battery_deaths {
+            telemetry
+                .counter(
+                    n::DEATHS,
+                    &[(n::LABEL_WORKER, name), (n::LABEL_POLICY, policy)],
+                )
+                .add(1);
+        }
+        for (_, name) in &self.low_power_events {
+            telemetry
+                .counter(
+                    n::LOW_POWER,
+                    &[(n::LABEL_WORKER, name), (n::LABEL_POLICY, policy)],
+                )
+                .add(1);
         }
     }
 
@@ -244,6 +276,25 @@ impl SwarmReport {
     #[must_use]
     pub fn latency_percentile_ms(&self, p: f64) -> f64 {
         self.latency_dist.quantile(p).unwrap_or(0.0)
+    }
+
+    /// Seconds until the first battery death, or `None` when every
+    /// worker's pack outlived the run.
+    #[must_use]
+    pub fn time_to_first_death_s(&self) -> Option<f64> {
+        self.battery_deaths.first().map(|(t, _)| *t)
+    }
+
+    /// Seconds until at least half the swarm was permanently gone
+    /// (any cause: battery cliff, scripted leave, mobility disconnect),
+    /// or `None` when more than half the workers survived the run.
+    #[must_use]
+    pub fn time_to_half_swarm_s(&self) -> Option<f64> {
+        let k = self.workers.len().div_ceil(2);
+        if k == 0 {
+            return None;
+        }
+        self.departures.get(k - 1).map(|(t, _)| *t)
     }
 
     /// Sum of mean app power across workers, watts — the aggregate the
@@ -327,11 +378,11 @@ impl SwarmReport {
     #[must_use]
     pub fn workers_tsv(&self) -> String {
         let mut out = String::from(
-            "worker\treceived\tcompleted\tinput_fps\tcpu_util\tcpu_power_w\twifi_power_w\tbytes_rx\n",
+            "worker\treceived\tcompleted\tinput_fps\tcpu_util\tcpu_power_w\twifi_power_w\tbytes_rx\tbattery_frac\n",
         );
         for w in &self.workers {
             out.push_str(&format!(
-                "{}\t{}\t{}\t{:.3}\t{:.4}\t{:.4}\t{:.5}\t{}\n",
+                "{}\t{}\t{}\t{:.3}\t{:.4}\t{:.4}\t{:.5}\t{}\t{:.4}\n",
                 w.name,
                 w.received,
                 w.completed,
@@ -340,6 +391,7 @@ impl SwarmReport {
                 w.cpu_power_w,
                 w.wifi_power_w,
                 w.bytes_rx,
+                w.battery_frac,
             ));
         }
         out

@@ -54,6 +54,7 @@ use swing_device::mobility::{MobilityTrace, SignalZone};
 use swing_device::power::{EnergyLedger, PowerModel};
 use swing_device::profile::{DeviceProfile, Workload};
 use swing_device::radio::{link_quality, LinkQuality};
+use swing_device::Battery;
 use swing_net::link::SenderRadio;
 use swing_net::Message;
 use swing_runtime::{Dispatcher, NodeConfig};
@@ -78,6 +79,10 @@ pub struct WorkerSpec {
     pub join_at_us: u64,
     /// When the device abruptly leaves, if ever.
     pub leave_at_us: Option<u64>,
+    /// Battery capacity override in joules (`None` uses the profile's
+    /// full pack). Tournament traces use small packs so battery cliffs
+    /// land inside a one-minute run.
+    pub battery_j: Option<f64>,
 }
 
 impl WorkerSpec {
@@ -90,6 +95,7 @@ impl WorkerSpec {
             background: Vec::new(),
             join_at_us: 0,
             leave_at_us: None,
+            battery_j: None,
         }
     }
 
@@ -125,6 +131,19 @@ impl WorkerSpec {
     #[must_use]
     pub fn leaving_at(mut self, t_us: u64) -> Self {
         self.leave_at_us = Some(t_us);
+        self
+    }
+
+    /// Start the run with a partially-sized battery pack (joules)
+    /// instead of the profile's full pack, so battery cliffs are
+    /// reachable within a short simulated run.
+    ///
+    /// # Panics
+    /// Panics if the capacity is not strictly positive.
+    #[must_use]
+    pub fn with_battery_j(mut self, capacity_j: f64) -> Self {
+        assert!(capacity_j > 0.0, "battery capacity must be positive");
+        self.battery_j = Some(capacity_j);
         self
     }
 }
@@ -170,6 +189,9 @@ pub struct SwarmConfig {
     /// Input-rate schedule: at each `(time_us, fps)` step the source
     /// changes its sensing rate. Applied on top of `input_fps`.
     pub rate_schedule: Vec<(u64, f64)>,
+    /// Battery fraction below which a worker reports a low-power event
+    /// (once per run). Matches the CROWDio "dying" threshold by default.
+    pub low_power_frac: f64,
 }
 
 impl SwarmConfig {
@@ -191,6 +213,7 @@ impl SwarmConfig {
             link_break_us: 8 * SECOND_US,
             resend_orphans: false,
             rate_schedule: Vec::new(),
+            low_power_frac: 0.15,
         }
     }
 }
@@ -255,12 +278,23 @@ struct WorkerState {
     util_sum: f64,
     util_ticks: u64,
     energy: EnergyLedger,
+    /// The device's energy store, drained each metrics tick by exactly
+    /// the joules the ledger charged — the live counterpart of Fig. 6's
+    /// post-hoc accounting.
+    battery: Battery,
+    /// Ledger total at the previous tick (drain-rate estimation).
+    last_total_j: f64,
+    /// App power draw over the last tick, watts.
+    drain_w: f64,
+    /// The one-shot low-power report has fired.
+    low_power_reported: bool,
 }
 
 impl WorkerState {
     fn new(spec: WorkerSpec, workload: Workload) -> Self {
         let cpu = CpuModel::new(&spec.profile, workload);
         let power = PowerModel::new(&spec.profile);
+        let battery = Battery::new(spec.battery_j.unwrap_or(spec.profile.battery_j));
         let active = spec.join_at_us == 0;
         WorkerState {
             spec,
@@ -282,11 +316,25 @@ impl WorkerState {
             util_sum: 0.0,
             util_ticks: 0,
             energy: EnergyLedger::default(),
+            battery,
+            last_total_j: 0.0,
+            drain_w: 0.0,
+            low_power_reported: false,
         }
     }
 
     fn quality_at(&self, t_us: u64) -> LinkQuality {
         link_quality(self.spec.mobility.rssi_at(t_us))
+    }
+
+    /// Remaining charge fraction; infinite packs (cloudlet-class
+    /// profiles) always read full.
+    fn battery_frac(&self) -> f64 {
+        if self.battery.capacity_j().is_infinite() {
+            1.0
+        } else {
+            self.battery.level().clamp(0.0, 1.0)
+        }
     }
 }
 
@@ -315,6 +363,13 @@ pub struct Swarm {
     latency_ms: Summary,
     latency_dist: Reservoir,
     timeline: Vec<TimelinePoint>,
+    /// Workers whose battery hit empty mid-run, in death order.
+    battery_deaths: Vec<(u64, String)>,
+    /// One-shot low-power crossings, in report order.
+    low_power_events: Vec<(u64, String)>,
+    /// Every permanent removal (battery cliff, scripted leave, mobility
+    /// disconnect, broken link), in removal order.
+    departures: Vec<(u64, String)>,
 }
 
 impl std::fmt::Debug for Swarm {
@@ -412,6 +467,9 @@ impl Swarm {
             latency_ms: Summary::new(),
             latency_dist: Reservoir::default(),
             timeline: Vec::new(),
+            battery_deaths: Vec::new(),
+            low_power_events: Vec::new(),
+            departures: Vec::new(),
             config,
         }
     }
@@ -443,11 +501,11 @@ impl Swarm {
             }
             Ev::ResultArrive { seq } => self.on_result(now, seq),
             Ev::Join { w } => self.on_join(w),
-            Ev::Leave { w } => self.on_leave(w),
+            Ev::Leave { w } => self.on_leave(now, w),
             Ev::Background { w, load } => self.workers[w].cpu.set_background_load(load),
             Ev::MobilityCheck { w } => {
                 if self.workers[w].active && !self.workers[w].quality_at(now).connected {
-                    self.on_leave(w);
+                    self.on_leave(now, w);
                 }
             }
             Ev::RateChange { fps } => self.pacer.set_rate(fps),
@@ -555,13 +613,13 @@ impl Swarm {
             // Link broke between routing and transmission: drop the
             // worker; the eviction reclaims (or writes off) everything
             // unACKed toward it, this frame included.
-            self.on_leave(w);
+            self.on_leave(now, w);
             return;
         };
         if tx.end_us - tx.start_us > self.config.link_break_us {
             // The transfer would out-live any TCP timeout: declare the
             // link broken and drop the worker.
-            self.on_leave(w);
+            self.on_leave(now, w);
             return;
         }
         let fr = &mut self.frames[seq as usize];
@@ -648,7 +706,7 @@ impl Swarm {
         } else {
             // The uplink broke: drop the worker; its eviction reclaims
             // (or writes off) every unACKed frame, this one included.
-            self.on_leave(w);
+            self.on_leave(now, w);
         }
     }
 
@@ -689,10 +747,12 @@ impl Swarm {
         self.sync_gate(w);
     }
 
-    fn on_leave(&mut self, w: usize) {
+    fn on_leave(&mut self, now: u64, w: usize) {
         if !self.workers[w].active {
             return;
         }
+        self.departures
+            .push((now, self.workers[w].spec.profile.name.clone()));
         self.workers[w].active = false;
         self.workers[w].busy = false;
         self.workers[w].window_bytes = 0;
@@ -724,13 +784,41 @@ impl Swarm {
             per_worker_rssi: Vec::with_capacity(self.workers.len()),
         };
         self.completed_window = 0;
-        for st in &mut self.workers {
+        // Vitals snapshot and battery events, settled after the borrow
+        // on `workers` ends (deaths re-enter the dispatcher).
+        let mut vitals: Vec<(usize, f64, f64, f64)> = Vec::new();
+        let mut newly_low: Vec<usize> = Vec::new();
+        let mut newly_dead: Vec<usize> = Vec::new();
+        let low_power_frac = self.config.low_power_frac;
+        for (w, st) in self.workers.iter_mut().enumerate() {
             let busy_frac = (st.busy_us_window as f64 / SECOND_US as f64).min(1.0);
             let overhead = if st.active { 0.14 } else { 0.0 };
             let total_util = (busy_frac + overhead + st.cpu.background_load()).min(1.0);
             let app_util = (busy_frac + overhead).min(1.0);
             let rate_bps = st.bytes_window as f64 / period_s;
             st.energy.charge(&st.power, app_util, rate_bps, period_s);
+            // Drain the battery by exactly what the ledger charged this
+            // tick, so the live store and the post-hoc accounting agree.
+            let tick_j = st.energy.total_j() - st.last_total_j;
+            st.last_total_j = st.energy.total_j();
+            st.drain_w = tick_j / period_s;
+            st.battery.drain(st.drain_w, period_s);
+            if st.active {
+                if !st.low_power_reported && st.battery_frac() <= low_power_frac {
+                    st.low_power_reported = true;
+                    newly_low.push(w);
+                }
+                if st.battery.is_empty() {
+                    newly_dead.push(w);
+                } else {
+                    vitals.push((
+                        w,
+                        st.battery_frac(),
+                        st.drain_w,
+                        st.spec.mobility.rssi_at(now),
+                    ));
+                }
+            }
             st.util_sum += total_util;
             st.util_ticks += 1;
             point
@@ -742,6 +830,23 @@ impl Swarm {
             st.completed_window = 0;
         }
         self.timeline.push(point);
+        // Feed the dispatcher's router the energy vitals the
+        // lifetime-aware policies (ELRS / RSS / CROWDIO) select on.
+        for &(w, frac, drain, rssi) in &vitals {
+            self.disp.note_worker_vitals(unit_of(w), frac, drain, rssi);
+        }
+        for &w in &newly_low {
+            self.low_power_events
+                .push((now, self.workers[w].spec.profile.name.clone()));
+        }
+        for &w in &newly_dead {
+            // The battery cliff: the device dies mid-swarm exactly like
+            // an abrupt departure — the upstream evicts it and reclaims
+            // (or writes off) its in-flight frames.
+            self.battery_deaths
+                .push((now, self.workers[w].spec.profile.name.clone()));
+            self.on_leave(now, w);
+        }
         // Let reorder gaps time out even in quiet periods.
         for played in self.reorder.poll(now) {
             self.frames[played.item as usize].played_us = Some(played.played_us);
@@ -768,8 +873,15 @@ impl Swarm {
                 wifi_power_w: st.energy.mean_wifi_w(),
                 bytes_rx: st.bytes_rx,
                 energy: st.energy,
+                battery_frac: st.battery_frac(),
             })
             .collect();
+        let to_s = |events: &[(u64, String)]| {
+            events
+                .iter()
+                .map(|(t, n)| (*t as f64 / SECOND_US as f64, n.clone()))
+                .collect()
+        };
         SwarmReport {
             duration_s,
             generated: self.generated,
@@ -787,6 +899,9 @@ impl Swarm {
                 Vec::new()
             },
             reorder_skipped: self.reorder.skipped(),
+            battery_deaths: to_s(&self.battery_deaths),
+            low_power_events: to_s(&self.low_power_events),
+            departures: to_s(&self.departures),
         }
     }
 }

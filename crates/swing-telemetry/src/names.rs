@@ -120,6 +120,25 @@ pub const DEVICE_WIFI_POWER_W: &str = "swing_device_wifi_power_watts";
 /// Mean input data rate at a device, frames per second (gauge).
 pub const DEVICE_INPUT_FPS: &str = "swing_device_input_fps";
 
+// --- energy & lifetime (labels: worker [, unit, downstream]) ---
+
+/// Remaining battery fraction 0..=1 of a worker (gauge). Published by
+/// the device layer under `worker`, and mirrored per-route by upstream
+/// dispatchers (labels add `unit`, `downstream`) so the selection
+/// policy's view is scrapeable.
+pub const BATTERY_FRAC: &str = "swing_battery_frac";
+/// Recent battery drain of a worker, watts (gauge; same label scheme
+/// as [`BATTERY_FRAC`]).
+pub const DRAIN_W: &str = "swing_drain_w";
+/// Re-selection rounds the dispatcher's selection policy has executed
+/// (one per control-period rebalance).
+pub const POLICY_RESELECTS: &str = "swing_policy_reselects_total";
+/// Workers lost to a battery cliff (drained to empty mid-run).
+pub const DEATHS: &str = "swing_deaths_total";
+/// Workers that crossed below the low-power threshold and were
+/// reported to the control plane (at most once per worker life).
+pub const LOW_POWER: &str = "swing_low_power_total";
+
 // --- self-healing control plane ---
 
 /// Current deployment epoch of the control plane (gauge; bumped on

@@ -1,5 +1,6 @@
-//! Compare the five routing policies on the simulated nine-device
-//! testbed (the paper's Fig. 4 setup) in a few seconds of wall time.
+//! Compare every routing policy — the paper's five plus the three
+//! energy-aware extensions — on the simulated nine-device testbed (the
+//! paper's Fig. 4 setup) in a few seconds of wall time.
 //!
 //! ```sh
 //! cargo run --release --example policy_comparison -- [face|voice] [seconds]
@@ -39,7 +40,7 @@ fn main() {
     let telemetry = Telemetry::new();
     let mut baseline_fps = None;
     let mut baseline_lat = None;
-    for policy in Policy::ALL {
+    for policy in Policy::EXTENDED {
         let r = evaluation_run(policy, workload, seconds, 1);
         r.export_telemetry(&telemetry, &policy.to_string());
         if policy == Policy::Rr {

@@ -1,9 +1,10 @@
 //! A terminal dashboard over the telemetry subsystem: renders
 //! per-worker latency estimates (the L_i the LRS policy routes on),
 //! queue depths, delivery counters, and the Worker Selection membership
-//! table — all read from one registry snapshot, the same data a
-//! Prometheus scrape of [`swing::telemetry::Telemetry::prometheus_text`]
-//! would see.
+//! table — including each replica's battery column (charge fraction and
+//! drain watts, fed by worker vitals) — all read from one registry
+//! snapshot, the same data a Prometheus scrape of
+//! [`swing::telemetry::Telemetry::prometheus_text`] would see.
 //!
 //! The dashboard takes its clock from the `Clock` abstraction, so the
 //! same rendering drives two modes:
@@ -124,8 +125,18 @@ fn render_tick(snap: &Snapshot, tick: u64) {
             .gauge(names::EXEC_LATENCY_ESTIMATE_US, &labels)
             .unwrap_or(f64::NAN)
             / 1_000.0;
+        // The battery column: published by workers that report vitals
+        // (the sim energy model, or any live device feeding
+        // `Dispatcher::note_worker_vitals`); "-" until the first report.
+        let batt = snap.gauge(names::BATTERY_FRAC, &labels).map_or_else(
+            || "batt    -".to_string(),
+            |frac| {
+                let drain = snap.gauge(names::DRAIN_W, &labels).unwrap_or(0.0);
+                format!("batt {:>3.0}% {drain:>5.2} W", frac * 100.0)
+            },
+        );
         routes.push(format!(
-            "  {w}/{u} -> unit {d}: L={l_ms:>6.1} ms  {}",
+            "  {w}/{u} -> unit {d}: L={l_ms:>6.1} ms  {batt}  {}",
             if selected > 0.5 { "SELECTED" } else { "probe" }
         ));
     }
@@ -279,6 +290,10 @@ fn run_sim(app: App, policy: Policy, workers: usize, seconds: u64, seed: u64) {
     );
     let mut cfg = SimSwarmConfig {
         seed,
+        // Live energy accounting: every worker carries a modeled
+        // battery, so the selection table's battery column shows real
+        // fractions and drain watts instead of "-".
+        energy: Some(SimEnergyConfig::default()),
         ..SimSwarmConfig::default()
     };
     cfg.node.input_fps = 24.0;

@@ -6,6 +6,7 @@ Usage: check_bench_guard.py BENCH_pr3_telemetry.json BENCH_pr2.json \\
        check_bench_guard.py --pr7 BENCH_pr7_scale.json
        check_bench_guard.py --pr8 BENCH_pr8_soak.json
        check_bench_guard.py --pr9 BENCH_pr9_keyed.json BENCH_pr2.json
+       check_bench_guard.py --pr10 BENCH_pr10_tournament.json BENCH_pr2.json
 
 Cross-checks the freshly measured overhead reports against the
 checked-in PR2 data-plane baseline:
@@ -201,7 +202,23 @@ def check_pr9(report, ref):
     )
 
 
+def check_pr10(report, ref):
+    check_report(report, "dispatch_vitals_overhead", "vitals snapshot", ref)
+    resel = pick(report["benches"], "policy_reselect_cost")
+    print(
+        f"energy-aware re-selection, informational: {resel['instrumented']:.1f} ns "
+        "per 8-worker RSS rebalance (control-period work, not per-tuple)"
+    )
+
+
 def main():
+    if len(sys.argv) == 4 and sys.argv[1] == "--pr10":
+        with open(sys.argv[2], encoding="utf-8") as f:
+            pr10 = json.load(f)
+        with open(sys.argv[3], encoding="utf-8") as f:
+            pr2 = json.load(f)
+        check_pr10(pr10, pick(pr2["benches"], "dispatch_clone_and_record")["after"])
+        return
     if len(sys.argv) == 4 and sys.argv[1] == "--pr9":
         with open(sys.argv[2], encoding="utf-8") as f:
             pr9 = json.load(f)

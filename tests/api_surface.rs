@@ -78,6 +78,61 @@ fn prelude_covers_the_application_surface() {
     let _: ClockHandle = RealClock::handle();
 }
 
+/// The lifetime-aware scheduling surface: the open [`SelectionPolicy`]
+/// trait, worker vitals, the energy-aware built-ins, and the tournament
+/// harness all resolve through the facade.
+#[test]
+fn prelude_covers_the_selection_policy_surface() {
+    // WorkerVitals: the per-replica health record every policy reads.
+    let v = WorkerVitals {
+        unit: UnitId(3),
+        latency_us: 80_000.0,
+        battery_frac: 0.5,
+        drain_w: 1.2,
+        rssi_dbm: -55.0,
+    };
+    assert!(v.rate_per_sec() > 0.0);
+    assert!(v.lifetime_s().is_finite());
+    assert_eq!(WorkerVitals::healthy(UnitId(1), 1_000.0).battery_frac, 1.0);
+
+    // Policy stays a thin, serializable configuration name: every
+    // built-in round-trips through FromStr/Display and resolves to a
+    // boxed SelectionPolicy implementation.
+    for p in Policy::EXTENDED {
+        let round: Policy = p.to_string().parse().expect("policy name parses");
+        assert_eq!(round, p);
+        let mut resolved = p.resolve();
+        assert_eq!(resolved.name(), p.name());
+        let _ = resolved.select(&[v], 10.0);
+    }
+    assert_eq!(Policy::ENERGY_AWARE.len(), 3);
+    assert!("energy-lrs".parse::<Policy>().is_ok());
+
+    // The API is open: a hand-written policy installs into a live
+    // Router through the same seam the built-ins use.
+    #[derive(Debug)]
+    struct FirstOnly;
+    impl SelectionPolicy for FirstOnly {
+        fn select(&mut self, vitals: &[WorkerVitals], _lambda: f64) -> SelectionDecision {
+            let mut d = SelectionDecision::all_by_rate(vitals);
+            d.selected.truncate(1);
+            d
+        }
+        fn name(&self) -> &'static str {
+            "FIRST"
+        }
+    }
+    let mut router = Router::new(RouterConfig::new(Policy::Lrs), 0);
+    router.set_selection_policy(Box::new(FirstOnly));
+
+    // The simulator's energy model and tournament harness are reachable
+    // from the umbrella crate.
+    let _ = SimEnergyConfig::default();
+    let t = swing::sim::tournament::TournamentConfig::default();
+    assert!(t.policies.contains(&Policy::Lrs));
+    assert_eq!(swing::sim::tournament::ChurnTrace::ALL.len(), 3);
+}
+
 /// Configs and handles cross thread boundaries: builders run on one
 /// thread, executors on others, dashboards on a third.
 #[test]
@@ -98,4 +153,14 @@ fn key_types_are_send_and_sync() {
     assert_send_sync::<SharedBytes>();
     assert_send_sync::<UnitRegistry>();
     assert_send_sync::<Error>();
+    // The scheduling surface: policies (and their boxed trait objects)
+    // live inside routers shared across executor threads.
+    assert_send_sync::<Policy>();
+    assert_send_sync::<WorkerVitals>();
+    assert_send_sync::<SelectionDecision>();
+    assert_send_sync::<Box<dyn SelectionPolicy>>();
+    assert_send_sync::<SimEnergyConfig>();
+    assert_send_sync::<swing::device::Battery>();
+    assert_send_sync::<swing::sim::tournament::TournamentConfig>();
+    assert_send_sync::<swing::sim::tournament::TournamentSummary>();
 }
